@@ -1,0 +1,190 @@
+//! Language-level decision procedures on DFAs.
+//!
+//! These are the static tests that seed the paper's fixpoint computations:
+//! `L(regexp_τ) ⊆ L(regexp_τ')` for `R_sub` (Definition 4, condition ii) and
+//! `L(regexp_τ) ∩ L(regexp_τ') ∩ P* ≠ ∅` for `R_nondis` (Definition 5). All
+//! walk the pair graph lazily, so a one-off check never materializes a full
+//! product table.
+
+use crate::bitset::BitSet;
+use crate::dfa::{Dfa, StateId};
+use schemacast_regex::Sym;
+use std::collections::HashSet;
+
+fn alphabet_width(a: &Dfa, b: &Dfa) -> usize {
+    a.alphabet_len().max(b.alphabet_len())
+}
+
+/// Whether `L(a) ⊆ L(b)`.
+///
+/// BFS over reachable pairs; a counterexample is a pair with an `a`-final,
+/// non-`b`-final state.
+pub fn language_subset(a: &Dfa, b: &Dfa) -> bool {
+    let width = alphabet_width(a, b);
+    let mut seen: HashSet<(StateId, StateId)> = HashSet::new();
+    let mut stack = vec![(a.start(), b.start())];
+    seen.insert((a.start(), b.start()));
+    while let Some((qa, qb)) = stack.pop() {
+        if a.is_final(qa) && !b.is_final(qb) {
+            return false;
+        }
+        for s in 0..width {
+            let sym = Sym(s as u32);
+            let next = (a.step(qa, sym), b.step(qb, sym));
+            if seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    true
+}
+
+/// Whether `L(a) ∩ L(b) = ∅`.
+pub fn languages_disjoint(a: &Dfa, b: &Dfa) -> bool {
+    !intersection_nonempty_restricted(a, b, None)
+}
+
+/// Whether `L(a) = L(b)`.
+pub fn equivalent(a: &Dfa, b: &Dfa) -> bool {
+    language_subset(a, b) && language_subset(b, a)
+}
+
+/// Whether `L(a) ∩ L(b) ∩ P* ≠ ∅`, where `P` is a set of permitted symbols
+/// (`None` = all of Σ).
+///
+/// This is exactly the test in step 3 of the `R_nondis` algorithm: a witness
+/// must be accepted by both automata *and* use only labels whose child-type
+/// pair is already known non-disjoint.
+pub fn intersection_nonempty_restricted(a: &Dfa, b: &Dfa, allowed: Option<&BitSet>) -> bool {
+    let width = alphabet_width(a, b);
+    let mut seen: HashSet<(StateId, StateId)> = HashSet::new();
+    let mut stack = vec![(a.start(), b.start())];
+    seen.insert((a.start(), b.start()));
+    while let Some((qa, qb)) = stack.pop() {
+        if a.is_final(qa) && b.is_final(qb) {
+            return true;
+        }
+        for s in 0..width {
+            if let Some(p) = allowed {
+                if s >= p.capacity() || !p.contains(s) {
+                    continue;
+                }
+            }
+            let sym = Sym(s as u32);
+            let next = (a.step(qa, sym), b.step(qb, sym));
+            if seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    false
+}
+
+/// Whether `L(a) ∩ P* ≠ ∅` — the productivity test of §3: a complex type is
+/// productive iff its content model accepts some string over its productive
+/// child labels.
+pub fn nonempty_restricted(a: &Dfa, allowed: &BitSet) -> bool {
+    let mut seen = BitSet::new(a.state_count());
+    let mut stack = vec![a.start()];
+    seen.insert(a.start() as usize);
+    while let Some(q) = stack.pop() {
+        if a.is_final(q) {
+            return true;
+        }
+        for s in allowed.iter() {
+            let t = a.step(q, Sym(s as u32));
+            if seen.insert(t as usize) {
+                stack.push(t);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_regex::{parse_regex, Alphabet};
+
+    fn compile(text: &str, ab: &mut Alphabet) -> Dfa {
+        let r = parse_regex(text, ab).expect("parse");
+        Dfa::from_regex(&r, ab.len()).expect("compile")
+    }
+
+    #[test]
+    fn figure1_subset_direction() {
+        // Figure 1: target (billTo required) ⊆ source (billTo optional),
+        // but not vice versa.
+        let mut ab = Alphabet::new();
+        let source = compile("(shipTo, billTo?, items)", &mut ab);
+        let target = compile("(shipTo, billTo, items)", &mut ab);
+        assert!(language_subset(&target, &source));
+        assert!(!language_subset(&source, &target));
+        assert!(!languages_disjoint(&source, &target));
+    }
+
+    #[test]
+    fn subset_reflexive_and_with_star() {
+        let mut ab = Alphabet::new();
+        let d1 = compile("(a, b)", &mut ab);
+        let d2 = compile("(a | b)*", &mut ab);
+        assert!(language_subset(&d1, &d1));
+        assert!(language_subset(&d1, &d2));
+        assert!(!language_subset(&d2, &d1));
+        assert!(equivalent(&d2, &d2));
+        assert!(!equivalent(&d1, &d2));
+    }
+
+    #[test]
+    fn disjointness() {
+        let mut ab = Alphabet::new();
+        let d1 = compile("(a, a)", &mut ab);
+        let d2 = compile("(b, b)", &mut ab);
+        let d3 = compile("a, a?", &mut ab);
+        assert!(languages_disjoint(&d1, &d2));
+        assert!(!languages_disjoint(&d1, &d3));
+    }
+
+    #[test]
+    fn restricted_intersection() {
+        let mut ab = Alphabet::new();
+        let d1 = compile("(a | b)+", &mut ab);
+        let d2 = compile("(a | b)+", &mut ab);
+        let a_idx = ab.lookup("a").unwrap().index();
+        let b_idx = ab.lookup("b").unwrap().index();
+
+        // Allowed = {a}: witness "a…" exists.
+        let mut only_a = BitSet::new(ab.len());
+        only_a.insert(a_idx);
+        assert!(intersection_nonempty_restricted(&d1, &d2, Some(&only_a)));
+
+        // Allowed = ∅: no witness (ε not accepted by either).
+        let none = BitSet::new(ab.len());
+        assert!(!intersection_nonempty_restricted(&d1, &d2, Some(&none)));
+
+        // ε case: nullable languages intersect even with P = ∅.
+        let d3 = compile("a*", &mut ab);
+        let d4 = compile("b*", &mut ab);
+        let none2 = BitSet::new(ab.len());
+        assert!(intersection_nonempty_restricted(&d3, &d4, Some(&none2)));
+        let _ = b_idx;
+    }
+
+    #[test]
+    fn productivity_restriction() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a, b) | c", &mut ab);
+        let a_idx = ab.lookup("a").unwrap().index();
+        let c_idx = ab.lookup("c").unwrap().index();
+
+        // Only c productive: "c" is a witness.
+        let mut only_c = BitSet::new(ab.len());
+        only_c.insert(c_idx);
+        assert!(nonempty_restricted(&d, &only_c));
+
+        // Only a productive: neither "(a,b)" nor "c" fits.
+        let mut only_a = BitSet::new(ab.len());
+        only_a.insert(a_idx);
+        assert!(!nonempty_restricted(&d, &only_a));
+    }
+}

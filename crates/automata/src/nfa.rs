@@ -1,0 +1,206 @@
+//! Nondeterministic finite automata and the subset construction.
+//!
+//! NFAs appear in two places: as the Glushkov automaton of a content model
+//! that is not one-unambiguous (we determinize it), and as the *reverse* of a
+//! DFA (used by the with-modifications revalidation of §4.3 — the paper notes
+//! "the reverse automata of a deterministic automata may be
+//! non-deterministic").
+
+use crate::dfa::{Dfa, StateId};
+use schemacast_regex::{GlushkovNfa, Sym};
+use std::collections::HashMap;
+
+/// An ε-free NFA over a dense alphabet `0..alphabet_len`.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    alphabet_len: usize,
+    /// `trans[q]` = list of `(symbol, target)`.
+    trans: Vec<Vec<(Sym, StateId)>>,
+    starts: Vec<StateId>,
+    finals: Vec<bool>,
+}
+
+impl Nfa {
+    /// Creates an NFA with `states` states and no transitions.
+    pub fn new(states: usize, alphabet_len: usize) -> Self {
+        Nfa {
+            alphabet_len,
+            trans: vec![Vec::new(); states],
+            starts: Vec::new(),
+            finals: vec![false; states],
+        }
+    }
+
+    /// Converts a Glushkov automaton, widening to `alphabet_len` symbols.
+    pub fn from_glushkov(g: &GlushkovNfa, alphabet_len: usize) -> Self {
+        let mut nfa = Nfa::new(g.state_count(), alphabet_len);
+        nfa.starts.push(g.start() as StateId);
+        for q in 0..g.state_count() {
+            if g.is_final(q) {
+                nfa.finals[q] = true;
+            }
+            for (sym, t) in g.transitions(q) {
+                debug_assert!(sym.index() < alphabet_len);
+                nfa.trans[q].push((sym, t as StateId));
+            }
+        }
+        nfa
+    }
+
+    /// Marks `q` as a start state.
+    pub fn add_start(&mut self, q: StateId) {
+        if !self.starts.contains(&q) {
+            self.starts.push(q);
+        }
+    }
+
+    /// Marks `q` as accepting.
+    pub fn set_final(&mut self, q: StateId) {
+        self.finals[q as usize] = true;
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, from: StateId, sym: Sym, to: StateId) {
+        self.trans[from as usize].push((sym, to));
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Word acceptance by breadth simulation (reference/testing).
+    pub fn accepts(&self, input: &[Sym]) -> bool {
+        let mut current: Vec<bool> = vec![false; self.state_count()];
+        for &q in &self.starts {
+            current[q as usize] = true;
+        }
+        for &s in input {
+            let mut next = vec![false; self.state_count()];
+            for (q, _) in current.iter().enumerate().filter(|(_, &on)| on) {
+                for &(sym, t) in &self.trans[q] {
+                    if sym == s {
+                        next[t as usize] = true;
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+            .iter()
+            .zip(&self.finals)
+            .any(|(&on, &fin)| on && fin)
+    }
+
+    /// Determinizes via the subset construction. The result is complete
+    /// (a sink is materialized for missing transitions).
+    pub fn determinize(&self) -> Dfa {
+        let mut start_set: Vec<StateId> = self.starts.clone();
+        start_set.sort_unstable();
+        start_set.dedup();
+
+        let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
+        let mut subsets: Vec<Vec<StateId>> = Vec::new();
+        let mut trans: Vec<StateId> = Vec::new();
+        let mut finals: Vec<bool> = Vec::new();
+
+        index.insert(start_set.clone(), 0);
+        subsets.push(start_set);
+
+        let mut work = 0usize;
+        while work < subsets.len() {
+            let subset = subsets[work].clone();
+            finals.push(subset.iter().any(|&q| self.finals[q as usize]));
+            let base = trans.len();
+            trans.resize(base + self.alphabet_len, StateId::MAX);
+            for sym_idx in 0..self.alphabet_len {
+                let sym = Sym(sym_idx as u32);
+                let mut target: Vec<StateId> = Vec::new();
+                for &q in &subset {
+                    for &(s, t) in &self.trans[q as usize] {
+                        if s == sym {
+                            target.push(t);
+                        }
+                    }
+                }
+                target.sort_unstable();
+                target.dedup();
+                let next_id = *index.entry(target.clone()).or_insert_with(|| {
+                    subsets.push(target);
+                    (subsets.len() - 1) as StateId
+                });
+                trans[base + sym_idx] = next_id;
+            }
+            work += 1;
+        }
+
+        Dfa::from_parts(self.alphabet_len, 0, trans, finals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_regex::{parse_regex, Alphabet, Regex};
+
+    fn s(i: u32) -> Sym {
+        Sym(i)
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        // 1-ambiguous: (a a) | (a b)
+        let r = Regex::alt(vec![
+            Regex::concat(vec![Regex::sym(s(0)), Regex::sym(s(0))]),
+            Regex::concat(vec![Regex::sym(s(0)), Regex::sym(s(1))]),
+        ]);
+        let g = GlushkovNfa::new(&r).expect("no repeats");
+        assert!(!g.is_deterministic());
+        let nfa = Nfa::from_glushkov(&g, 2);
+        let dfa = nfa.determinize();
+        for input in [
+            vec![],
+            vec![s(0)],
+            vec![s(0), s(0)],
+            vec![s(0), s(1)],
+            vec![s(1), s(0)],
+            vec![s(0), s(0), s(0)],
+        ] {
+            assert_eq!(dfa.accepts(&input), r.matches(&input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn determinize_parsed_model() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex("(a|b)*, c", &mut ab).expect("parse");
+        let g = GlushkovNfa::new(&r).expect("no repeats");
+        let dfa = Nfa::from_glushkov(&g, ab.len()).determinize();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let c = ab.lookup("c").unwrap();
+        assert!(dfa.accepts(&[c]));
+        assert!(dfa.accepts(&[a, b, b, c]));
+        assert!(!dfa.accepts(&[a, b]));
+        assert!(!dfa.accepts(&[c, c]));
+    }
+
+    #[test]
+    fn multi_start_nfa() {
+        // Two start states; accepts "x" from one and "y" from the other.
+        let mut nfa = Nfa::new(4, 2);
+        nfa.add_start(0);
+        nfa.add_start(1);
+        nfa.add_transition(0, s(0), 2);
+        nfa.add_transition(1, s(1), 3);
+        nfa.set_final(2);
+        nfa.set_final(3);
+        assert!(nfa.accepts(&[s(0)]));
+        assert!(nfa.accepts(&[s(1)]));
+        assert!(!nfa.accepts(&[s(0), s(1)]));
+        let dfa = nfa.determinize();
+        assert!(dfa.accepts(&[s(0)]));
+        assert!(dfa.accepts(&[s(1)]));
+        assert!(!dfa.accepts(&[]));
+    }
+}

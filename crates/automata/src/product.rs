@@ -1,0 +1,149 @@
+//! Intersection (product) automata.
+//!
+//! The product is built over **all** pairs `Q_a × Q_b`, not just the pairs
+//! reachable from `(q_a⁰, q_b⁰)`: the with-modifications algorithm of §4.3
+//! enters the product at an arbitrary pair `(q_a, q_b)` computed by running
+//! the two automata over different strings, so every pair must be addressable
+//! and every pair's `IA`/`IR` classification must be precomputed.
+
+use crate::dfa::{Dfa, StateId};
+use schemacast_regex::Sym;
+
+/// The intersection automaton `c` of two DFAs `a` and `b`, with dense pair
+/// indexing: state `(q_a, q_b)` has index `q_a · |Q_b| + q_b`.
+#[derive(Debug, Clone)]
+pub struct Product {
+    dfa: Dfa,
+    na: usize,
+    nb: usize,
+}
+
+impl Product {
+    /// Builds the full product of `a` and `b`. The alphabet is the wider of
+    /// the two (symbols missing from one machine's table go to its sink, as
+    /// with any [`Dfa::step`]).
+    pub fn new(a: &Dfa, b: &Dfa) -> Product {
+        let alphabet = a.alphabet_len().max(b.alphabet_len());
+        let (na, nb) = (a.state_count(), b.state_count());
+        let n = na * nb;
+        let mut trans = vec![0 as StateId; n * alphabet];
+        let mut finals = vec![false; n];
+        for qa in 0..na as StateId {
+            for qb in 0..nb as StateId {
+                let q = qa as usize * nb + qb as usize;
+                finals[q] = a.is_final(qa) && b.is_final(qb);
+                for s in 0..alphabet {
+                    let sym = Sym(s as u32);
+                    let ta = a.step(qa, sym);
+                    let tb = b.step(qb, sym);
+                    trans[q * alphabet + s] = (ta as usize * nb + tb as usize) as StateId;
+                }
+            }
+        }
+        let start = a.start() as usize * nb + b.start() as usize;
+        let dfa = Dfa::from_parts(alphabet, start as StateId, trans, finals);
+        Product { dfa, na, nb }
+    }
+
+    /// The product DFA (`L = L(a) ∩ L(b)`).
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// Index of the pair state `(q_a, q_b)`.
+    #[inline]
+    pub fn pair(&self, qa: StateId, qb: StateId) -> StateId {
+        debug_assert!((qa as usize) < self.na && (qb as usize) < self.nb);
+        (qa as usize * self.nb + qb as usize) as StateId
+    }
+
+    /// The `(q_a, q_b)` components of a pair state.
+    ///
+    /// Returns `None` for the synthetic sink that [`Dfa::from_parts`] may
+    /// have appended beyond the `na·nb` grid (never happens in practice —
+    /// the `(sink_a, sink_b)` pair already serves as the product sink).
+    #[inline]
+    pub fn unpair(&self, q: StateId) -> Option<(StateId, StateId)> {
+        let q = q as usize;
+        if q < self.na * self.nb {
+            Some(((q / self.nb) as StateId, (q % self.nb) as StateId))
+        } else {
+            None
+        }
+    }
+
+    /// Number of `a`-states.
+    pub fn a_states(&self) -> usize {
+        self.na
+    }
+
+    /// Number of `b`-states.
+    pub fn b_states(&self) -> usize {
+        self.nb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_regex::{parse_regex, Alphabet};
+
+    fn compile(text: &str, ab: &mut Alphabet) -> Dfa {
+        let r = parse_regex(text, ab).expect("parse");
+        // Defer table width to the caller's alphabet as it stands now; the
+        // product widens as needed.
+        Dfa::from_regex(&r, ab.len()).expect("compile")
+    }
+
+    #[test]
+    fn product_accepts_intersection() {
+        let mut ab = Alphabet::new();
+        let d1 = compile("(a | b)*, c", &mut ab);
+        let d2 = compile("a, (b | c)*", &mut ab);
+        let p = Product::new(&d1, &d2);
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let c = ab.lookup("c").unwrap();
+        // In both: starts with a, ends with c, middle from {b,c}/{a,b}…
+        assert!(p.dfa().accepts(&[a, c]));
+        assert!(p.dfa().accepts(&[a, b, c]));
+        assert!(!p.dfa().accepts(&[c])); // not in d2
+        assert!(!p.dfa().accepts(&[a, b])); // not in d1
+        assert!(!p.dfa().accepts(&[]));
+    }
+
+    #[test]
+    fn product_with_different_alphabet_widths() {
+        let mut ab = Alphabet::new();
+        let d1 = compile("a", &mut ab); // table width 1
+        let d2 = compile("a | b", &mut ab); // table width 2
+        let p = Product::new(&d1, &d2);
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        assert!(p.dfa().accepts(&[a]));
+        assert!(!p.dfa().accepts(&[b])); // d1 rejects b via sink widening
+    }
+
+    #[test]
+    fn pair_round_trip() {
+        let mut ab = Alphabet::new();
+        let d1 = compile("a, b", &mut ab);
+        let d2 = compile("a, b?", &mut ab);
+        let p = Product::new(&d1, &d2);
+        for qa in 0..d1.state_count() as StateId {
+            for qb in 0..d2.state_count() as StateId {
+                let q = p.pair(qa, qb);
+                assert_eq!(p.unpair(q), Some((qa, qb)));
+            }
+        }
+    }
+
+    #[test]
+    fn product_start_is_pair_of_starts() {
+        let mut ab = Alphabet::new();
+        let d1 = compile("a*", &mut ab);
+        let d2 = compile("a?", &mut ab);
+        let p = Product::new(&d1, &d2);
+        assert_eq!(p.dfa().start(), p.pair(d1.start(), d2.start()));
+    }
+}

@@ -1,0 +1,455 @@
+//! String schema-cast revalidation (§4.2) and revalidation after
+//! modifications (§4.3).
+//!
+//! [`StringCast`] preprocesses a pair of DFAs `(a, b)` once; at runtime,
+//! strings known to be in `L(a)` are tested for membership in `L(b)` with as
+//! little scanning as the immediate decision automaton permits (optimal per
+//! Prop. 3). For modified strings, the changed region is scanned with
+//! `b_immed` and the unchanged remainder with `c_immed` (Prop. 2); when the
+//! edits sit near the end of the string, the same algorithm runs over the
+//! *reverse* automata instead, so the scan cost tracks the edited region, not
+//! the string length.
+
+use crate::dfa::Dfa;
+use crate::ida::{Ida, IdaOutcome, ProductIda};
+use schemacast_regex::Sym;
+
+/// The result of a revalidation call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Whether the string is in the target language.
+    pub accepted: bool,
+    /// Total symbols consumed across all scanning phases (the paper's cost
+    /// measure: how much of the input had to be looked at).
+    pub symbols_scanned: usize,
+    /// Which strategy the with-modifications entry point chose.
+    pub strategy: Strategy,
+}
+
+/// Scanning strategy chosen for a with-modifications revalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Pure schema cast from the start state (no modifications).
+    Forward,
+    /// Changed prefix with `b_immed`, unchanged suffix with `c_immed`.
+    ForwardWithMods,
+    /// Reverse-automaton variant: changed suffix first, unchanged prefix via
+    /// the reversed product.
+    BackwardWithMods,
+    /// Plain scan of the new string with `b_immed` (no locality to exploit).
+    PlainScan,
+}
+
+/// Preprocessed machinery for revalidating members of `L(a)` against `L(b)`.
+#[derive(Debug, Clone)]
+pub struct StringCast {
+    a: Dfa,
+    b_immed: Ida,
+    c_immed: ProductIda,
+    reverse: Option<Box<ReverseMachinery>>,
+}
+
+#[derive(Debug, Clone)]
+struct ReverseMachinery {
+    a_rev: Dfa,
+    b_rev_immed: Ida,
+    c_rev_immed: ProductIda,
+}
+
+impl StringCast {
+    /// Preprocesses the pair `(a, b)`. Does not build reverse automata; see
+    /// [`StringCast::with_reverse`].
+    pub fn new(a: Dfa, b: Dfa) -> StringCast {
+        let b_immed = Ida::from_dfa(&b);
+        let c_immed = ProductIda::new(&a, &b);
+        StringCast {
+            a,
+            b_immed,
+            c_immed,
+            reverse: None,
+        }
+    }
+
+    /// Additionally preprocesses the reverse automata of `a` and `b`
+    /// (determinized), enabling the backward strategy for edits near the end
+    /// of strings. The paper notes the reverse of a DFA may be
+    /// nondeterministic — we pay the subset construction once, statically.
+    pub fn with_reverse(mut self) -> StringCast {
+        let b = self.b_immed.dfa().clone();
+        let a_rev = self.a.reversed();
+        let b_rev = b.reversed();
+        let b_rev_immed = Ida::from_dfa(&b_rev);
+        let c_rev_immed = ProductIda::new(&a_rev, &b_rev);
+        self.reverse = Some(Box::new(ReverseMachinery {
+            a_rev,
+            b_rev_immed,
+            c_rev_immed,
+        }));
+        self
+    }
+
+    /// The single-schema update configuration (`b = a`): revalidating a
+    /// string of `L(a)` after edits, against `a` itself.
+    pub fn for_updates(a: Dfa) -> StringCast {
+        StringCast::new(a.clone(), a)
+    }
+
+    /// The source DFA `a`.
+    pub fn source(&self) -> &Dfa {
+        &self.a
+    }
+
+    /// The target's stand-alone IDA (`b_immed`).
+    pub fn target_ida(&self) -> &Ida {
+        &self.b_immed
+    }
+
+    /// The product IDA (`c_immed`).
+    pub fn product_ida(&self) -> &ProductIda {
+        &self.c_immed
+    }
+
+    /// §4.2: decides `s ∈ L(b)` for `s ∈ L(a)`, scanning as few symbols as
+    /// possible.
+    ///
+    /// The precondition `s ∈ L(a)` is the caller's responsibility (it holds
+    /// by construction in schema-cast validation); if violated, the answer
+    /// may be arbitrary — use [`Ida::run`] on the target for unknown input.
+    pub fn revalidate(&self, s: &[Sym]) -> Decision {
+        let out = self.c_immed.run(s);
+        Decision {
+            accepted: out.accepted(),
+            symbols_scanned: out.consumed(),
+            strategy: Strategy::Forward,
+        }
+    }
+
+    /// §4.3: decides `new ∈ L(b)` given that `old ∈ L(a)` and `new` was
+    /// obtained from `old` by edits. Chooses forward, backward, or plain
+    /// scanning based on where the strings differ.
+    ///
+    /// Computes the longest common prefix/suffix itself (O(unchanged
+    /// region)); an editor that already tracks where its edits landed — the
+    /// paper notes this is "straightforward to keep track of" — should call
+    /// [`StringCast::revalidate_with_mods_hinted`] instead and skip the
+    /// rediscovery scan entirely.
+    pub fn revalidate_with_mods(&self, old: &[Sym], new: &[Sym]) -> Decision {
+        let (n, m) = (old.len(), new.len());
+        // Longest common prefix / suffix of old and new.
+        let p = old
+            .iter()
+            .zip(new.iter())
+            .take_while(|(o, s)| o == s)
+            .count();
+        let mut k = 0;
+        while k < n.min(m) && old[n - 1 - k] == new[m - 1 - k] {
+            k += 1;
+        }
+        self.revalidate_with_mods_hinted(old, new, p, k)
+    }
+
+    /// §4.3 with caller-supplied edit locality: `common_prefix` symbols at
+    /// the start and `common_suffix` symbols at the end of `new` are known
+    /// unchanged from `old`. Any under-estimate is sound (extra symbols are
+    /// just rescanned); over-estimates are the caller's bug.
+    ///
+    /// # Panics
+    /// Panics (debug) if the hints exceed the string lengths.
+    pub fn revalidate_with_mods_hinted(
+        &self,
+        old: &[Sym],
+        new: &[Sym],
+        common_prefix: usize,
+        common_suffix: usize,
+    ) -> Decision {
+        let (n, m) = (old.len(), new.len());
+        let p = common_prefix;
+        let k = common_suffix;
+        debug_assert!(p <= n.min(m) && k <= n.min(m), "hints out of range");
+        debug_assert!(old[..p] == new[..p], "prefix hint wrong");
+        debug_assert!(old[n - k..] == new[m - k..], "suffix hint wrong");
+
+        // Cost estimates: symbols each strategy must look at.
+        let forward_cost = (m - k) + (n - k);
+        let backward_cost = (m - p) + (n - p);
+        let plain_cost = m;
+
+        if forward_cost <= backward_cost && forward_cost < plain_cost {
+            self.forward_with_mods(old, new, k)
+        } else if self.reverse.is_some() && backward_cost < plain_cost {
+            self.backward_with_mods(old, new, p)
+        } else {
+            let out = self.b_immed.run(new);
+            Decision {
+                accepted: out.accepted(),
+                symbols_scanned: out.consumed(),
+                strategy: Strategy::PlainScan,
+            }
+        }
+    }
+
+    /// Forward Prop. 2 with a known common suffix length `k`.
+    fn forward_with_mods(&self, old: &[Sym], new: &[Sym], k: usize) -> Decision {
+        let (n, m) = (old.len(), new.len());
+        let i = m - k; // first index of the unchanged suffix in `new`
+                       // Step 1: evaluate new[0..i] with b_immed.
+        let (out, qb) = self
+            .b_immed
+            .run_from_with_state(self.b_immed.dfa().start(), &new[..i]);
+        match out {
+            IdaOutcome::Accept {
+                early: true,
+                consumed,
+            } => {
+                return Decision {
+                    accepted: true,
+                    symbols_scanned: consumed,
+                    strategy: Strategy::ForwardWithMods,
+                }
+            }
+            IdaOutcome::Reject {
+                early: true,
+                consumed,
+            } => {
+                return Decision {
+                    accepted: false,
+                    symbols_scanned: consumed,
+                    strategy: Strategy::ForwardWithMods,
+                }
+            }
+            // Not early: i symbols consumed, continue from qb.
+            _ => {}
+        }
+        // Step 2: evaluate old[0..n-k] with a.
+        let qa = self.a.run_from(self.a.start(), &old[..n - k]);
+        // Steps 3–4: continue over the unchanged suffix with c_immed.
+        let out = self.c_immed.run_from_pair(qa, qb, &new[i..]);
+        Decision {
+            accepted: out.accepted(),
+            symbols_scanned: i + (n - k) + out.consumed(),
+            strategy: Strategy::ForwardWithMods,
+        }
+    }
+
+    /// Backward variant over the reverse automata, with a known common
+    /// prefix length `p`: `new ∈ L(b)` iff `rev(new) ∈ L(rev(b))`, and
+    /// `rev(new)` has the unchanged region `rev(old[..p])` as its suffix.
+    fn backward_with_mods(&self, old: &[Sym], new: &[Sym], p: usize) -> Decision {
+        let rev = self.reverse.as_ref().expect("reverse machinery built");
+        let (n, m) = (old.len(), new.len());
+
+        let new_rev_prefix: Vec<Sym> = new[p..].iter().rev().copied().collect();
+        let (out, qb) = rev
+            .b_rev_immed
+            .run_from_with_state(rev.b_rev_immed.dfa().start(), &new_rev_prefix);
+        match out {
+            IdaOutcome::Accept {
+                early: true,
+                consumed,
+            } => {
+                return Decision {
+                    accepted: true,
+                    symbols_scanned: consumed,
+                    strategy: Strategy::BackwardWithMods,
+                }
+            }
+            IdaOutcome::Reject {
+                early: true,
+                consumed,
+            } => {
+                return Decision {
+                    accepted: false,
+                    symbols_scanned: consumed,
+                    strategy: Strategy::BackwardWithMods,
+                }
+            }
+            _ => {}
+        }
+
+        let old_rev_prefix: Vec<Sym> = old[p..].iter().rev().copied().collect();
+        let qa = rev.a_rev.run_from(rev.a_rev.start(), &old_rev_prefix);
+
+        // The unchanged region is scanned lazily in reverse: an immediate
+        // accept (typical when the reversed residuals coincide past the
+        // edit) touches O(1) symbols of a potentially huge prefix.
+        let out = rev
+            .c_rev_immed
+            .run_from_pair_iter(qa, qb, old[..p].iter().rev().copied());
+        Decision {
+            accepted: out.accepted(),
+            symbols_scanned: (m - p) + (n - p) + out.consumed(),
+            strategy: Strategy::BackwardWithMods,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_regex::{parse_regex, Alphabet};
+
+    fn compile(text: &str, ab: &mut Alphabet) -> Dfa {
+        let r = parse_regex(text, ab).expect("parse");
+        Dfa::from_regex(&r, ab.len()).expect("compile")
+    }
+
+    fn setup(src: &str, tgt: &str) -> (StringCast, Alphabet, Dfa, Dfa) {
+        let mut ab = Alphabet::new();
+        let a = compile(src, &mut ab);
+        let b = compile(tgt, &mut ab);
+        (
+            StringCast::new(a.clone(), b.clone()).with_reverse(),
+            ab,
+            a,
+            b,
+        )
+    }
+
+    #[test]
+    fn revalidate_decides_membership_in_b() {
+        let (cast, ab, a, b) = setup("(x | y)*, z", "x*, (y | z)+");
+        let syms: Vec<Sym> = ab.symbols().collect();
+        let mut inputs: Vec<Vec<Sym>> = vec![vec![]];
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for base in &inputs {
+                for &s in &syms {
+                    let mut v = base.clone();
+                    v.push(s);
+                    next.push(v);
+                }
+            }
+            inputs.extend(next);
+        }
+        inputs.retain(|i| a.accepts(i));
+        for input in &inputs {
+            let d = cast.revalidate(input);
+            assert_eq!(d.accepted, b.accepts(input), "input {input:?}");
+            assert!(d.symbols_scanned <= input.len());
+        }
+    }
+
+    #[test]
+    fn identical_schemas_accept_immediately() {
+        let (cast, ab, _, _) = setup("(a, b?, c)", "(a, b?, c)");
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let c = ab.lookup("c").unwrap();
+        // a == b, so the start pair already satisfies L(qa) ⊆ L(qb):
+        // zero symbols scanned.
+        let d = cast.revalidate(&[a, b, c]);
+        assert!(d.accepted);
+        assert_eq!(d.symbols_scanned, 0);
+    }
+
+    #[test]
+    fn with_mods_prefix_edit_uses_forward() {
+        // Long tail unchanged: forward strategy, cost independent of tail
+        // scanning thanks to the product IDA reaching an IA state.
+        let (cast, ab, a, b) = setup("(h1 | h2), t*", "h2, t*");
+        let h1 = ab.lookup("h1").unwrap();
+        let h2 = ab.lookup("h2").unwrap();
+        let t = ab.lookup("t").unwrap();
+
+        let mut old = vec![h1];
+        old.extend(std::iter::repeat_n(t, 500));
+        assert!(a.accepts(&old));
+        // Edit: relabel the head h1 → h2.
+        let mut new = old.clone();
+        new[0] = h2;
+        assert!(b.accepts(&new));
+
+        let d = cast.revalidate_with_mods(&old, &new);
+        assert!(d.accepted);
+        assert_eq!(d.strategy, Strategy::ForwardWithMods);
+        // After the changed head, both machines sit in "t*" states whose
+        // languages coincide — the IDA should accept far before the end.
+        assert!(
+            d.symbols_scanned < 20,
+            "scanned {} symbols",
+            d.symbols_scanned
+        );
+    }
+
+    #[test]
+    fn with_mods_suffix_edit_uses_backward() {
+        let (cast, ab, a, b) = setup("h, t*, (e1 | e2)", "h, t*, e2");
+        let h = ab.lookup("h").unwrap();
+        let t = ab.lookup("t").unwrap();
+        let e1 = ab.lookup("e1").unwrap();
+        let e2 = ab.lookup("e2").unwrap();
+
+        let mut old = vec![h];
+        old.extend(std::iter::repeat_n(t, 500));
+        old.push(e1);
+        assert!(a.accepts(&old));
+        let mut new = old.clone();
+        let last = new.len() - 1;
+        new[last] = e2;
+        assert!(b.accepts(&new));
+
+        let d = cast.revalidate_with_mods(&old, &new);
+        assert!(d.accepted);
+        assert_eq!(d.strategy, Strategy::BackwardWithMods);
+        assert!(
+            d.symbols_scanned < 20,
+            "scanned {} symbols",
+            d.symbols_scanned
+        );
+    }
+
+    #[test]
+    fn with_mods_agrees_with_direct_check_on_edit_scripts() {
+        let (cast, ab, a, b) = setup("(x | y)+, z", "x+, z");
+        let x = ab.lookup("x").unwrap();
+        let y = ab.lookup("y").unwrap();
+        let z = ab.lookup("z").unwrap();
+
+        let old = vec![x, y, x, z];
+        assert!(a.accepts(&old));
+        let candidates: Vec<Vec<Sym>> = vec![
+            vec![x, x, x, z],    // relabel y→x: valid in b
+            vec![x, y, x, z],    // unchanged: invalid in b (contains y)
+            vec![x, x, z],       // delete: valid
+            vec![x, x, x, x, z], // insert: valid
+            vec![z],             // heavy edit: invalid (x+ required)
+            vec![x, z],          // valid
+            vec![y, z],          // invalid
+        ];
+        for new in &candidates {
+            let d = cast.revalidate_with_mods(&old, new);
+            assert_eq!(d.accepted, b.accepts(new), "new {new:?}");
+        }
+    }
+
+    #[test]
+    fn for_updates_single_schema() {
+        let mut ab = Alphabet::new();
+        let a = compile("(item*, total)", &mut ab);
+        let cast = StringCast::for_updates(a.clone()).with_reverse();
+        let item = ab.lookup("item").unwrap();
+        let total = ab.lookup("total").unwrap();
+
+        let old = vec![item, item, total];
+        assert!(a.accepts(&old));
+        // Insert an item at the front: still valid.
+        let new = vec![item, item, item, total];
+        assert!(cast.revalidate_with_mods(&old, &new).accepted);
+        // Delete the total: invalid.
+        let new = vec![item, item];
+        assert!(!cast.revalidate_with_mods(&old, &new).accepted);
+    }
+
+    #[test]
+    fn unmodified_string_costs_nothing_when_subsumed() {
+        let (cast, ab, a, _) = setup("(a, b)", "(a, b) | c");
+        let sa = ab.lookup("a").unwrap();
+        let sb = ab.lookup("b").unwrap();
+        let old = vec![sa, sb];
+        assert!(a.accepts(&old));
+        let d = cast.revalidate_with_mods(&old, &old);
+        assert!(d.accepted);
+        // L(a) ⊆ L(b): start pair is IA, decision after zero symbols.
+        assert_eq!(d.symbols_scanned, 0);
+    }
+}

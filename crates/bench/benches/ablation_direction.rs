@@ -1,0 +1,53 @@
+//! Ablation A-3: the reverse-automaton strategy of §4.3. With reverse
+//! machinery, a suffix edit on a long string is decided from the back in
+//! O(edit); without it, the algorithm falls back to a plain forward scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemacast_automata::{Dfa, Strategy, StringCast};
+use schemacast_regex::{parse_regex, Alphabet};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ab = Alphabet::new();
+    let ra = parse_regex("(header, item*, (footerA | footerB))", &mut ab).expect("parse");
+    let rb = parse_regex("(header, item*, footerA)", &mut ab).expect("parse");
+    let a = Dfa::from_regex(&ra, ab.len()).expect("compile");
+    let b = Dfa::from_regex(&rb, ab.len()).expect("compile");
+    let header = ab.lookup("header").unwrap();
+    let item = ab.lookup("item").unwrap();
+    let fa = ab.lookup("footerA").unwrap();
+    let fb = ab.lookup("footerB").unwrap();
+
+    let with_reverse = StringCast::new(a.clone(), b.clone()).with_reverse();
+    let forward_only = StringCast::new(a, b);
+
+    let mut group = c.benchmark_group("ablation_direction_suffix_edit");
+    for &len in &[1_000usize, 10_000, 100_000] {
+        let mut old = vec![header];
+        old.extend(std::iter::repeat_n(item, len));
+        old.push(fb);
+        let mut new = old.clone();
+        let last = new.len() - 1;
+        new[last] = fa;
+
+        let d = with_reverse.revalidate_with_mods(&old, &new);
+        assert!(d.accepted && d.strategy == Strategy::BackwardWithMods);
+        let d2 = forward_only.revalidate_with_mods(&old, &new);
+        assert!(d2.accepted);
+
+        group.bench_with_input(
+            BenchmarkId::new("with_reverse", len),
+            &(old.clone(), new.clone()),
+            |bch, (old, new)| bch.iter(|| black_box(with_reverse.revalidate_with_mods(old, new))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("forward_only", len),
+            &(old, new),
+            |bch, (old, new)| bch.iter(|| black_box(forward_only.revalidate_with_mods(old, new))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Ablation A-2: IDA content-model checks (§4) on vs. off — the paper's
+//! prototype omitted them inside Xerces; here we measure what they add.
+//!
+//! The effect shows on Experiment 1 *rejections*: without a `billTo`, the
+//! product IDA rejects after two symbols of the root content model, while
+//! the plain-DFA configuration scans the root's children and then fails on
+//! recursion. Both are constant-time for this workload; the IDA's edge
+//! grows with content-model length, so we add a synthetic wide-content
+//! model case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemacast_bench::Experiment1;
+use schemacast_core::{CastContext, CastOptions};
+use schemacast_regex::Alphabet;
+use schemacast_schema::{SchemaBuilder, SimpleType};
+use schemacast_tree::Doc;
+use std::hint::black_box;
+
+fn wide_fixture() -> (
+    Alphabet,
+    schemacast_schema::AbstractSchema,
+    schemacast_schema::AbstractSchema,
+    Doc,
+) {
+    // Source: (lead, e1?, e2 … e64); target: (lead, e1, e2 … e64).
+    // With e1 present, the IDA accepts after scanning 2 symbols; the plain
+    // DFA scans all 65.
+    let mut ab = Alphabet::new();
+    let n = 64usize;
+    let labels: Vec<String> = (1..=n).map(|i| format!("e{i}")).collect();
+    let mk = |ab: &mut Alphabet, optional_first: bool| {
+        let mut b = SchemaBuilder::new(ab);
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        let root = b.declare("Root").unwrap();
+        let mut model = String::from("lead, e1");
+        if optional_first {
+            model.push('?');
+        }
+        for l in &labels[1..] {
+            model.push_str(", ");
+            model.push_str(l);
+        }
+        let mut kids: Vec<(&str, schemacast_schema::TypeId)> = vec![("lead", text)];
+        for l in &labels {
+            kids.push((l.as_str(), text));
+        }
+        b.complex(root, &model, &kids).unwrap();
+        b.root("r", root);
+        b.finish().unwrap()
+    };
+    let source = mk(&mut ab, true);
+    let target = mk(&mut ab, false);
+    let r = ab.lookup("r").unwrap();
+    let lead = ab.lookup("lead").unwrap();
+    let mut doc = Doc::new(r);
+    let e = doc.add_element(doc.root(), lead);
+    doc.add_text(e, "x");
+    for l in &labels {
+        let sym = ab.lookup(l).unwrap();
+        let e = doc.add_element(doc.root(), sym);
+        doc.add_text(e, "v");
+    }
+    assert!(source.accepts_document(&doc));
+    assert!(target.accepts_document(&doc));
+    (ab, source, target, doc)
+}
+
+fn bench(c: &mut Criterion) {
+    // Experiment 1 rejection path.
+    let fixture = Experiment1::fixture();
+    let mut ab = fixture.alphabet.clone();
+    let no_bill = schemacast_workload::purchase_order::generate_document(&mut ab, 500, false);
+    let with_ida = fixture.context(CastOptions::default());
+    let without_ida = fixture.context(CastOptions::paper_prototype());
+    assert!(!with_ida.validate(&no_bill).is_valid());
+    assert!(!without_ida.validate(&no_bill).is_valid());
+
+    let mut group = c.benchmark_group("ablation_ida_exp1_reject");
+    group.bench_with_input(BenchmarkId::new("ida_on", 500), &no_bill, |b, doc| {
+        b.iter(|| black_box(with_ida.validate(doc)))
+    });
+    group.bench_with_input(BenchmarkId::new("ida_off", 500), &no_bill, |b, doc| {
+        b.iter(|| black_box(without_ida.validate(doc)))
+    });
+    group.finish();
+
+    // Wide content model: IDA's early accept vs. full scan of 65 labels.
+    let (wab, wsource, wtarget, wdoc) = wide_fixture();
+    let ida_on = CastContext::with_options(&wsource, &wtarget, &wab, CastOptions::default());
+    let ida_off =
+        CastContext::with_options(&wsource, &wtarget, &wab, CastOptions::paper_prototype());
+    assert!(ida_on.validate(&wdoc).is_valid());
+    assert!(ida_off.validate(&wdoc).is_valid());
+    let (_, s_on) = ida_on.validate_with_stats(&wdoc);
+    let (_, s_off) = ida_off.validate_with_stats(&wdoc);
+    assert!(s_on.content_symbols_scanned < s_off.content_symbols_scanned);
+
+    let mut group = c.benchmark_group("ablation_ida_wide_model");
+    group.bench_function("ida_on", |b| b.iter(|| black_box(ida_on.validate(&wdoc))));
+    group.bench_function("ida_off", |b| b.iter(|| black_box(ida_off.validate(&wdoc))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

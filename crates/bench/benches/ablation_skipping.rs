@@ -1,0 +1,45 @@
+//! Ablation A-1: how much of the Experiment 2 win comes from
+//! subsumed-subtree skipping vs. disjointness pruning vs. IDA content
+//! checks. Four configurations over the 500-item document.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schemacast_bench::Experiment2;
+use schemacast_core::CastOptions;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fixture = Experiment2::fixture();
+    let doc = &fixture.docs.iter().find(|(n, _)| *n == 500).expect("500").1;
+
+    let configs: [(&str, CastOptions); 4] = [
+        ("all_on", CastOptions::default()),
+        (
+            "no_subsumption",
+            CastOptions {
+                use_subsumption: false,
+                use_disjointness: true,
+                use_ida: true,
+            },
+        ),
+        (
+            "no_disjointness",
+            CastOptions {
+                use_subsumption: true,
+                use_disjointness: false,
+                use_ida: true,
+            },
+        ),
+        ("all_off", CastOptions::baseline()),
+    ];
+
+    let mut group = c.benchmark_group("ablation_skipping_exp2_500");
+    for (name, opts) in configs {
+        let ctx = fixture.context(opts);
+        assert!(ctx.validate(doc).is_valid());
+        group.bench_function(name, |b| b.iter(|| black_box(ctx.validate(doc))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! §3.4 — DTD label-indexed cast validation: with a label index, only
+//! elements whose type pair is undecided are checked. Compared against the
+//! top-down tree cast and full validation on a DTD version of the
+//! purchase-order evolution. Index construction is benchmarked separately
+//! (a database would maintain it anyway).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemacast_core::{CastContext, CastOptions, DtdCastValidator, FullValidator, LabelIndex};
+use schemacast_regex::Alphabet;
+use schemacast_schema::parse_dtd;
+use schemacast_tree::Doc;
+use std::hint::black_box;
+
+const SRC: &str = r#"
+  <!ELEMENT purchaseOrder (shipTo, billTo?, items)>
+  <!ELEMENT shipTo (name, street, city)>
+  <!ELEMENT billTo (name, street, city)>
+  <!ELEMENT items (item*)>
+  <!ELEMENT item (productName, quantity)>
+  <!ELEMENT productName (#PCDATA)>
+  <!ELEMENT quantity (#PCDATA)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT street (#PCDATA)>
+  <!ELEMENT city (#PCDATA)>
+"#;
+const TGT: &str = r#"
+  <!ELEMENT purchaseOrder (shipTo, billTo, items)>
+  <!ELEMENT shipTo (name, street, city)>
+  <!ELEMENT billTo (name, street, city)>
+  <!ELEMENT items (item*)>
+  <!ELEMENT item (productName, quantity)>
+  <!ELEMENT productName (#PCDATA)>
+  <!ELEMENT quantity (#PCDATA)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT street (#PCDATA)>
+  <!ELEMENT city (#PCDATA)>
+"#;
+
+fn build_doc(ab: &mut Alphabet, items: usize) -> Doc {
+    let po = ab.intern("purchaseOrder");
+    let labels: Vec<_> = [
+        "shipTo",
+        "billTo",
+        "items",
+        "item",
+        "productName",
+        "quantity",
+    ]
+    .iter()
+    .map(|l| ab.intern(l))
+    .collect();
+    let addr_kids: Vec<_> = ["name", "street", "city"]
+        .iter()
+        .map(|l| ab.intern(l))
+        .collect();
+    let mut d = Doc::new(po);
+    for &a in &labels[..2] {
+        let e = d.add_element(d.root(), a);
+        for &k in &addr_kids {
+            let c = d.add_element(e, k);
+            d.add_text(c, "v");
+        }
+    }
+    let il = d.add_element(d.root(), labels[2]);
+    for i in 0..items {
+        let it = d.add_element(il, labels[3]);
+        let p = d.add_element(it, labels[4]);
+        d.add_text(p, "Widget");
+        let q = d.add_element(it, labels[5]);
+        d.add_text(q, (1 + i % 99).to_string());
+    }
+    d
+}
+
+fn bench(c: &mut Criterion) {
+    let mut ab = Alphabet::new();
+    let source = parse_dtd(SRC, Some("purchaseOrder"), &mut ab).expect("source DTD");
+    let target = parse_dtd(TGT, Some("purchaseOrder"), &mut ab).expect("target DTD");
+    let ctx = CastContext::with_options(&source, &target, &ab, CastOptions::default());
+    let dtd = DtdCastValidator::new(&ctx, ab.len()).expect("DTD style");
+    let full = FullValidator::new(&target);
+
+    let mut group = c.benchmark_group("dtd_cast");
+    for &n in &[100usize, 1000] {
+        let doc = build_doc(&mut ab, n);
+        assert!(source.accepts_document(&doc));
+        let index = LabelIndex::build(&doc);
+        assert!(dtd.validate(&doc, &index).is_valid());
+
+        group.bench_with_input(
+            BenchmarkId::new("label_indexed", n),
+            &(&doc, &index),
+            |b, (doc, index)| b.iter(|| black_box(dtd.validate(doc, index))),
+        );
+        group.bench_with_input(BenchmarkId::new("index_build", n), &doc, |b, doc| {
+            b.iter(|| black_box(LabelIndex::build(doc)))
+        });
+        group.bench_with_input(BenchmarkId::new("tree_cast", n), &doc, |b, doc| {
+            b.iter(|| black_box(ctx.validate(doc)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_validation", n), &doc, |b, doc| {
+            b.iter(|| black_box(full.validate(doc)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 3a — Experiment 1: validation time vs. number of `item` elements
+//! for a document valid under Figure 1a (`billTo` optional) revalidated
+//! against Figure 2 (`billTo` required).
+//!
+//! Series:
+//! * `schema_cast`      — the full algorithm (subsumption + disjointness +
+//!   IDA content checks). Expected ~constant in document size.
+//! * `paper_prototype`  — the paper's modified-Xerces configuration (no IDA
+//!   content checks). Also ~constant here.
+//! * `full_validation`  — the unmodified-Xerces baseline. Linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use schemacast_bench::{Experiment1, ITEM_COUNTS};
+use schemacast_core::CastOptions;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fixture = Experiment1::fixture();
+    fixture.assert_precondition();
+    let cast = fixture.context(CastOptions::default());
+    let paper = fixture.context(CastOptions::paper_prototype());
+    let full = fixture.full();
+
+    let mut group = c.benchmark_group("fig3a_experiment1");
+    for (i, &n) in ITEM_COUNTS.iter().enumerate() {
+        let doc = &fixture.docs[i].1;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("schema_cast", n), doc, |b, doc| {
+            b.iter(|| black_box(cast.validate(doc)))
+        });
+        group.bench_with_input(BenchmarkId::new("paper_prototype", n), doc, |b, doc| {
+            b.iter(|| black_box(paper.validate(doc)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_validation", n), doc, |b, doc| {
+            b.iter(|| black_box(full.validate(doc)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

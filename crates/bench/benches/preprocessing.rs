@@ -1,0 +1,44 @@
+//! Static preprocessing costs: the paper's method shifts work from
+//! per-document validation to a once-per-schema-pair phase. This bench
+//! quantifies that phase: XSD compilation, `R_sub`/`R_dis` fixpoints, and
+//! product-IDA construction — all independent of document size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schemacast_automata::ProductIda;
+use schemacast_core::TypeRelations;
+use schemacast_regex::Alphabet;
+use schemacast_schema::xsd::parse_xsd;
+use schemacast_workload::purchase_order as po;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let src_text = po::source_xsd();
+    let tgt_text = po::target_xsd();
+
+    c.bench_function("preprocess/xsd_compile", |b| {
+        b.iter(|| {
+            let mut ab = Alphabet::new();
+            black_box(parse_xsd(&src_text, &mut ab).expect("compiles"))
+        })
+    });
+
+    let mut ab = Alphabet::new();
+    let source = parse_xsd(&src_text, &mut ab).expect("source");
+    let target = parse_xsd(&tgt_text, &mut ab).expect("target");
+
+    c.bench_function("preprocess/relations_fixpoints", |b| {
+        b.iter(|| black_box(TypeRelations::compute(&source, &target, &ab)))
+    });
+
+    // Product IDA of the PO content models (the pair Experiment 1 needs).
+    let s_po = source.type_by_name("POType").expect("POType");
+    let t_po = target.type_by_name("POType").expect("POType");
+    let a = &source.type_def(s_po).as_complex().expect("complex").dfa;
+    let bdfa = &target.type_def(t_po).as_complex().expect("complex").dfa;
+    c.bench_function("preprocess/product_ida", |b| {
+        b.iter(|| black_box(ProductIda::new(a, bdfa)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Scaling behaviour beyond the paper's fixed schema pair: how the static
+//! preprocessing (the `R_sub`/`R_dis` fixpoints) and the runtime win scale
+//! with schema size, on synthetic schema evolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use schemacast_core::{CastContext, CastOptions, FullValidator, TypeRelations};
+use schemacast_regex::Alphabet;
+use schemacast_workload::synth::{random_schema, sample_document, SynthConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_preprocessing");
+    for &n_complex in &[4usize, 16, 64] {
+        let mut rng = SmallRng::seed_from_u64(n_complex as u64);
+        let cfg = SynthConfig {
+            n_complex,
+            ..Default::default()
+        };
+        let mut synth = random_schema(&cfg, &mut rng);
+        let original = synth.clone();
+        synth.evolve(&mut rng);
+        synth.evolve(&mut rng);
+        let mut ab = Alphabet::new();
+        let source = original.build(&mut ab);
+        let target = synth.build(&mut ab);
+        group.bench_with_input(
+            BenchmarkId::new("relations_fixpoints", n_complex),
+            &(&source, &target, &ab),
+            |b, (s, t, ab)| b.iter(|| black_box(TypeRelations::compute(s, t, ab))),
+        );
+    }
+    group.finish();
+
+    // Runtime win on a mid-sized synthetic evolution.
+    let mut rng = SmallRng::seed_from_u64(99);
+    let cfg = SynthConfig {
+        n_complex: 16,
+        ..Default::default()
+    };
+    let mut synth = random_schema(&cfg, &mut rng);
+    let original = synth.clone();
+    synth.evolve(&mut rng);
+    let mut ab = Alphabet::new();
+    let source = original.build(&mut ab);
+    let target = synth.build(&mut ab);
+    let ctx = CastContext::with_options(&source, &target, &ab, CastOptions::default());
+    let full = FullValidator::new(&target);
+
+    let mut group = c.benchmark_group("scaling_runtime_synthetic");
+    for &fanout in &[4usize, 16, 64] {
+        let Some(doc) = sample_document(&source, &mut ab, &mut rng, fanout) else {
+            continue;
+        };
+        // Verdicts agree (precondition holds by construction).
+        assert_eq!(
+            ctx.validate(&doc).is_valid(),
+            full.validate(&doc).is_valid()
+        );
+        group.bench_with_input(BenchmarkId::new("schema_cast", fanout), &doc, |b, doc| {
+            b.iter(|| black_box(ctx.validate(doc)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("full_validation", fanout),
+            &doc,
+            |b, doc| b.iter(|| black_box(full.validate(doc))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Streaming vs. tree-building validation: end-to-end cost from XML text to
+//! verdict. The streaming path parses and casts in one O(depth)-memory pass
+//! (the paper's memory claim); the DOM path parses, builds the tree, then
+//! casts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use schemacast_core::{CastContext, CastOptions, StreamingCast};
+use schemacast_regex::Alphabet;
+use schemacast_tree::{Doc, WhitespaceMode};
+use schemacast_workload::purchase_order as po;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut alphabet = Alphabet::new();
+    let source =
+        schemacast_schema::xsd::parse_xsd(&po::source_xsd(), &mut alphabet).expect("source");
+    let target =
+        schemacast_schema::xsd::parse_xsd(&po::target_xsd(), &mut alphabet).expect("target");
+
+    let mut group = c.benchmark_group("streaming_vs_dom");
+    for &n in &[100usize, 1000] {
+        let text = po::document_xml(&mut alphabet, n);
+        let ctx = CastContext::with_options(&source, &target, &alphabet, CastOptions::default());
+        let streaming = StreamingCast::new(&ctx);
+
+        // Sanity: both answer valid.
+        let (out, _) = streaming
+            .validate_str(&text, &alphabet)
+            .expect("well-formed");
+        assert!(out.is_valid());
+
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("stream_parse_and_cast", n),
+            &text,
+            |b, t| b.iter(|| black_box(streaming.validate_str(t, &alphabet).expect("ok"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dom_parse_build_cast", n),
+            &text,
+            |b, t| {
+                b.iter(|| {
+                    let xml = schemacast_xml::parse_document(t).expect("ok");
+                    // Lookup-only import: labels are already interned.
+                    let mut ab = alphabet.clone();
+                    let doc = Doc::from_xml(&xml.root, &mut ab, WhitespaceMode::Trim);
+                    black_box(ctx.validate(&doc))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("xml_parse_only", n), &text, |b, t| {
+            b.iter(|| black_box(schemacast_xml::parse_document(t).expect("ok")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! §4.3 — string revalidation after modifications: cost vs. edit locality.
+//!
+//! Source content model `(header, item*, footer)`, target
+//! `(header, item+, footer)` — once one `item` has been seen, the residual
+//! languages coincide, so the product IDA accepts as soon as the scan
+//! reaches unchanged territory. A 10k-symbol member receives one inserted
+//! `item`; the editor knows where it inserted, so the *hinted* entry point
+//! is used (the paper: tracking the leftmost unmodified position "is
+//! straightforward"). Note that inserting an `item` into a uniform run is
+//! a boundary-local edit wherever it lands (the common prefix/suffix cover
+//! everything else), so every with-mods decision is O(1) here while the
+//! plain rescan stays O(n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemacast_automata::{Dfa, Ida, StringCast};
+use schemacast_regex::{parse_regex, Alphabet, Sym};
+use std::hint::black_box;
+
+fn setup() -> (StringCast, Ida, Vec<Sym>, Alphabet) {
+    let mut ab = Alphabet::new();
+    let ra = parse_regex("(header, item*, footer)", &mut ab).expect("parse");
+    let rb = parse_regex("(header, item+, footer)", &mut ab).expect("parse");
+    let a = Dfa::from_regex(&ra, ab.len()).expect("compile");
+    let b = Dfa::from_regex(&rb, ab.len()).expect("compile");
+    let header = ab.lookup("header").unwrap();
+    let item = ab.lookup("item").unwrap();
+    let footer = ab.lookup("footer").unwrap();
+    let mut s = vec![header];
+    s.extend(std::iter::repeat_n(item, 10_000));
+    s.push(footer);
+    assert!(a.accepts(&s));
+    assert!(b.accepts(&s));
+    let b_immed = Ida::from_dfa(&b);
+    (StringCast::new(a, b).with_reverse(), b_immed, s, ab)
+}
+
+fn bench(c: &mut Criterion) {
+    let (cast, b_immed, old, ab) = setup();
+    let item = ab.lookup("item").unwrap();
+
+    // Three edited versions: an inserted item near the start / middle /
+    // end, with the editor-known common prefix/suffix alongside.
+    let mut variants: Vec<(&str, Vec<Sym>, usize, usize)> = Vec::new();
+    for (name, pos) in [("prefix", 1usize), ("middle", 5_000), ("suffix", 10_000)] {
+        let mut v = old.clone();
+        v.insert(pos, item);
+        // The editor knows: everything before `pos` and everything after it
+        // (old.len() - pos symbols) is unchanged.
+        variants.push((name, v, pos, old.len() - pos));
+    }
+
+    let mut group = c.benchmark_group("string_mods_locality");
+    for (name, new, p, k) in &variants {
+        group.bench_with_input(
+            BenchmarkId::new("with_mods_hinted", name),
+            new,
+            |bch, new| {
+                bch.iter(|| black_box(cast.revalidate_with_mods_hinted(&old, new, *p, *k)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("with_mods_rediscover", name),
+            new,
+            |bch, new| bch.iter(|| black_box(cast.revalidate_with_mods(&old, new))),
+        );
+        group.bench_with_input(BenchmarkId::new("plain_rescan", name), new, |bch, new| {
+            bch.iter(|| black_box(b_immed.run(new)))
+        });
+    }
+    group.finish();
+
+    // Sanity: every variant is accepted; edits near an end decide within a
+    // few symbols, while a middle edit (with honest editor hints) costs on
+    // the order of its distance to the nearer end.
+    for (name, new, p, k) in &variants {
+        let d = cast.revalidate_with_mods_hinted(&old, new, *p, *k);
+        assert!(d.accepted, "{name} should be accepted");
+        match *name {
+            "middle" => assert!(
+                d.symbols_scanned > 1_000 && d.symbols_scanned <= old.len() + 3,
+                "middle scanned {}",
+                d.symbols_scanned
+            ),
+            _ => assert!(
+                d.symbols_scanned < 100,
+                "{name} scanned {}",
+                d.symbols_scanned
+            ),
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! §4.2 — string schema-cast: deciding `s ∈ L(b)` for `s ∈ L(a)` with the
+//! product immediate decision automaton vs. scanning `s` with `b` alone.
+//!
+//! Two regimes:
+//! * `related` pairs (b is a small mutation of a) — the IDA often decides
+//!   after a short prefix.
+//! * `identical` pairs — the start state is already immediate-accept:
+//!   decisions are O(1) regardless of string length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use schemacast_automata::{Dfa, Ida, StringCast};
+use schemacast_regex::{Regex, Sym};
+use schemacast_workload::strings::{related_regex_pair, sample_member};
+use std::hint::black_box;
+
+const LENGTHS: [usize; 4] = [16, 128, 1024, 8192];
+const SIGMA: u32 = 6;
+
+fn related_pair(seed: u64) -> Option<(Dfa, Dfa, Vec<Vec<Sym>>)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (ra, rb) = related_regex_pair(&mut rng, SIGMA, 3);
+    let a = Dfa::from_regex(&ra, SIGMA as usize).ok()?;
+    let b = Dfa::from_regex(&rb, SIGMA as usize).ok()?;
+    if a.is_empty_language() {
+        return None;
+    }
+    let strings: Vec<Vec<Sym>> = LENGTHS
+        .iter()
+        .map(|&len| sample_member(&a, &mut rng, len))
+        .collect::<Option<_>>()?;
+    Some((a, b, strings))
+}
+
+fn bench(c: &mut Criterion) {
+    // Find a seed producing a usable pair with long-enough members.
+    let (a, b, strings) = (0..200u64)
+        .find_map(related_pair)
+        .expect("a usable related pair exists");
+    let cast = StringCast::new(a.clone(), b.clone());
+    let b_immed = Ida::from_dfa(&b);
+
+    let mut group = c.benchmark_group("string_revalidation_related");
+    for (i, s) in strings.iter().enumerate() {
+        let len = s.len().max(1);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("ida_cast", LENGTHS[i]), s, |bch, s| {
+            bch.iter(|| black_box(cast.revalidate(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("plain_scan", LENGTHS[i]), s, |bch, s| {
+            bch.iter(|| black_box(b_immed.run(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("dfa_only", LENGTHS[i]), s, |bch, s| {
+            bch.iter(|| black_box(b.accepts(s)))
+        });
+    }
+    group.finish();
+
+    // Identical pair: item* vs item* — O(1) cast.
+    let r = Regex::star(Regex::sym(Sym(0)));
+    let d = Dfa::from_regex(&r, 1).expect("compiles");
+    let cast_same = StringCast::new(d.clone(), d.clone());
+    let mut group = c.benchmark_group("string_revalidation_identical");
+    for &len in &LENGTHS {
+        let s = vec![Sym(0); len];
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("ida_cast", len), &s, |bch, s| {
+            bch.iter(|| black_box(cast_same.revalidate(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("dfa_only", len), &s, |bch, s| {
+            bch.iter(|| black_box(d.accepts(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

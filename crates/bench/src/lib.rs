@@ -1,0 +1,113 @@
+#![warn(missing_docs)]
+
+//! Shared fixtures for the benchmark suite and the `paper_report` binary.
+//!
+//! One fixture per experiment of the paper, so every bench and the report
+//! measure exactly the same workloads:
+//!
+//! * [`Experiment1`] — Figure 1a source vs. Figure 2 target (`billTo`
+//!   optional → required), documents with a `billTo`.
+//! * [`Experiment2`] — Figure 2 with `maxExclusive=200` vs. Figure 2
+//!   (`=100`), quantities below 100.
+//!
+//! The paper's document sizes: 2, 50, 100, 200, 500, 1000 items.
+
+use schemacast_core::{CastContext, CastOptions, FullValidator};
+use schemacast_regex::Alphabet;
+use schemacast_schema::AbstractSchema;
+use schemacast_tree::Doc;
+use schemacast_workload::purchase_order as po;
+
+/// The item counts of Tables 2–3 and Figures 3a/3b.
+pub const ITEM_COUNTS: [usize; 6] = [2, 50, 100, 200, 500, 1000];
+
+/// A schema pair plus pre-generated documents for each item count.
+pub struct Fixture {
+    /// Shared alphabet.
+    pub alphabet: Alphabet,
+    /// Source schema (documents are valid for it).
+    pub source: AbstractSchema,
+    /// Target schema (the cast target).
+    pub target: AbstractSchema,
+    /// One document per entry of [`ITEM_COUNTS`].
+    pub docs: Vec<(usize, Doc)>,
+}
+
+impl Fixture {
+    fn build(source_xsd: &str, target_xsd: &str) -> Fixture {
+        let mut alphabet = Alphabet::new();
+        let source =
+            schemacast_schema::xsd::parse_xsd(source_xsd, &mut alphabet).expect("source XSD");
+        let target =
+            schemacast_schema::xsd::parse_xsd(target_xsd, &mut alphabet).expect("target XSD");
+        let docs = ITEM_COUNTS
+            .iter()
+            .map(|&n| (n, po::generate_document(&mut alphabet, n, true)))
+            .collect();
+        Fixture {
+            alphabet,
+            source,
+            target,
+            docs,
+        }
+    }
+
+    /// A cast context with the given options.
+    pub fn context(&self, options: CastOptions) -> CastContext<'_> {
+        CastContext::with_options(&self.source, &self.target, &self.alphabet, options)
+    }
+
+    /// The baseline validator for the target schema.
+    pub fn full(&self) -> FullValidator<'_> {
+        FullValidator::new(&self.target)
+    }
+
+    /// Sanity-check that every document is valid for the source (the cast
+    /// precondition) — call once per bench setup.
+    pub fn assert_precondition(&self) {
+        for (n, doc) in &self.docs {
+            assert!(
+                self.source.accepts_document(doc),
+                "{n}-item document is not source-valid"
+            );
+        }
+    }
+}
+
+/// Experiment 1 fixture (Figure 3a).
+pub struct Experiment1;
+
+impl Experiment1 {
+    /// Builds the fixture.
+    pub fn fixture() -> Fixture {
+        Fixture::build(&po::source_xsd(), &po::target_xsd())
+    }
+}
+
+/// Experiment 2 fixture (Figure 3b, Table 3).
+pub struct Experiment2;
+
+impl Experiment2 {
+    /// Builds the fixture.
+    pub fn fixture() -> Fixture {
+        Fixture::build(&po::source_maxex200_xsd(), &po::target_xsd())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_satisfy_preconditions() {
+        let f1 = Experiment1::fixture();
+        f1.assert_precondition();
+        let f2 = Experiment2::fixture();
+        f2.assert_precondition();
+        // Experiment 1 documents (with billTo) are also target-valid.
+        let ctx = f1.context(CastOptions::default());
+        for (_, doc) in &f1.docs {
+            assert!(ctx.validate(doc).is_valid());
+        }
+    }
+}

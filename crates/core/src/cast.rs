@@ -1,0 +1,597 @@
+//! Schema-cast validation without modifications (§3.2).
+//!
+//! [`CastContext`] preprocesses a (source, target) schema pair: it computes
+//! the [`TypeRelations`] fixpoints and lazily builds one product
+//! [immediate decision automaton](schemacast_automata::ProductIda) per
+//! encountered type pair for content-model checking (§4 integration — the
+//! paper's own Xerces prototype skipped this part "due to the complexity of
+//! modifying the Xerces code base"; [`CastOptions::use_ida`] turns it off to
+//! reproduce exactly their configuration, and on for the full algorithm).
+//!
+//! At runtime, [`CastContext::validate`] walks the document validating
+//! against both schemas in parallel, skipping every subtree whose type pair
+//! is subsumed and failing fast on disjoint pairs.
+
+use crate::full::{validate_simple_content, FullValidator};
+use crate::relations::TypeRelations;
+use crate::stats::{CastOutcome, ValidationStats};
+use schemacast_automata::{IdaOutcome, ProductIda};
+use schemacast_regex::{Alphabet, Sym};
+use schemacast_schema::{AbstractSchema, ComplexType, TypeDef, TypeId};
+use schemacast_tree::{Doc, NodeId};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Feature toggles for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CastOptions {
+    /// Skip subtrees whose type pair is in `R_sub`.
+    pub use_subsumption: bool,
+    /// Reject immediately on disjoint type pairs.
+    pub use_disjointness: bool,
+    /// Check content models with the product IDA (early accept/reject)
+    /// instead of running the target DFA over all children labels.
+    pub use_ida: bool,
+}
+
+impl Default for CastOptions {
+    fn default() -> Self {
+        CastOptions {
+            use_subsumption: true,
+            use_disjointness: true,
+            use_ida: true,
+        }
+    }
+}
+
+impl CastOptions {
+    /// The configuration of the paper's modified Xerces: subsumption and
+    /// disjointness pruning, but plain DFA content-model checks.
+    pub fn paper_prototype() -> CastOptions {
+        CastOptions {
+            use_ida: false,
+            ..Default::default()
+        }
+    }
+
+    /// Everything off: equivalent to full validation against the target.
+    pub fn baseline() -> CastOptions {
+        CastOptions {
+            use_subsumption: false,
+            use_disjointness: false,
+            use_ida: false,
+        }
+    }
+}
+
+/// A preprocessed schema pair, ready to revalidate many documents.
+pub struct CastContext<'a> {
+    source: &'a AbstractSchema,
+    target: &'a AbstractSchema,
+    relations: TypeRelations,
+    options: CastOptions,
+    ida_cache: RwLock<HashMap<(TypeId, TypeId), Arc<ProductIda>>>,
+}
+
+impl<'a> CastContext<'a> {
+    /// Preprocesses the pair with default options (full algorithm).
+    pub fn new(
+        source: &'a AbstractSchema,
+        target: &'a AbstractSchema,
+        alphabet: &Alphabet,
+    ) -> CastContext<'a> {
+        Self::with_options(source, target, alphabet, CastOptions::default())
+    }
+
+    /// Preprocesses the pair with explicit options.
+    pub fn with_options(
+        source: &'a AbstractSchema,
+        target: &'a AbstractSchema,
+        alphabet: &Alphabet,
+        options: CastOptions,
+    ) -> CastContext<'a> {
+        let relations = TypeRelations::compute(source, target, alphabet);
+        CastContext {
+            source,
+            target,
+            relations,
+            options,
+            ida_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The source schema.
+    pub fn source(&self) -> &AbstractSchema {
+        self.source
+    }
+
+    /// The target schema.
+    pub fn target(&self) -> &AbstractSchema {
+        self.target
+    }
+
+    /// The computed subsumption/disjointness relations.
+    pub fn relations(&self) -> &TypeRelations {
+        &self.relations
+    }
+
+    /// The active options.
+    pub fn options(&self) -> CastOptions {
+        self.options
+    }
+
+    /// §3.2 `doValidate`: decides whether `doc` — known valid with respect
+    /// to the source schema — is valid with respect to the target schema.
+    ///
+    /// If the precondition is broken (the root label is not even in the
+    /// source's ℛ), falls back to full validation against the target, so
+    /// the answer is correct regardless.
+    pub fn validate(&self, doc: &Doc) -> CastOutcome {
+        self.validate_with_stats(doc).0
+    }
+
+    /// Like [`CastContext::validate`], with cost counters.
+    pub fn validate_with_stats(&self, doc: &Doc) -> (CastOutcome, ValidationStats) {
+        let mut stats = ValidationStats::default();
+        let root = doc.root();
+        let Some(label) = doc.label(root) else {
+            return (CastOutcome::Invalid, stats);
+        };
+        let Some(tgt_type) = self.target.root_type(label) else {
+            return (CastOutcome::Invalid, stats);
+        };
+        let ok = match self.source.root_type(label) {
+            Some(src_type) => self.cast_validate(doc, root, src_type, tgt_type, &mut stats),
+            None => {
+                stats.full_validations += 1;
+                FullValidator::new(self.target).validate_node(doc, root, tgt_type, &mut stats)
+            }
+        };
+        (CastOutcome::from_bool(ok), stats)
+    }
+
+    /// The `validate(τ, τ', e)` of §3.2, implemented with an explicit work
+    /// stack so that document depth never consumes call-stack frames.
+    pub(crate) fn cast_validate(
+        &self,
+        doc: &Doc,
+        node: NodeId,
+        src: TypeId,
+        tgt: TypeId,
+        stats: &mut ValidationStats,
+    ) -> bool {
+        enum Work {
+            /// Parallel validation against both schemas.
+            Cast(NodeId, TypeId, TypeId),
+            /// Target-only validation (source typing unavailable).
+            Full(NodeId, TypeId),
+        }
+        let mut work: Vec<Work> = vec![Work::Cast(node, src, tgt)];
+        while let Some(item) = work.pop() {
+            let (node, src, tgt) = match item {
+                Work::Full(node, tgt) => {
+                    stats.full_validations += 1;
+                    if !FullValidator::new(self.target).validate_node(doc, node, tgt, stats) {
+                        return false;
+                    }
+                    continue;
+                }
+                Work::Cast(node, src, tgt) => (node, src, tgt),
+            };
+            stats.nodes_visited += 1;
+            if self.options.use_subsumption && self.relations.subsumed(src, tgt) {
+                stats.subsumed_skips += 1;
+                continue;
+            }
+            if self.options.use_disjointness && self.relations.disjoint(src, tgt) {
+                stats.disjoint_rejects += 1;
+                return false;
+            }
+            match self.target.type_def(tgt) {
+                TypeDef::Simple(s) => {
+                    stats.value_checks += 1;
+                    if !validate_simple_content(doc, node, |text| s.validate(text), stats) {
+                        return false;
+                    }
+                }
+                TypeDef::Complex(c_tgt) => {
+                    let mut labels: Vec<Sym> = Vec::new();
+                    for child in doc.validation_children(node) {
+                        match doc.label(child) {
+                            Some(l) => labels.push(l),
+                            None => return false,
+                        }
+                    }
+                    let src_complex = self.source.type_def(src).as_complex();
+                    if !self.check_content(src_complex, c_tgt, src, tgt, &labels, stats) {
+                        return false;
+                    }
+                    let children: Vec<NodeId> = doc.validation_children(node).collect();
+                    // Push in reverse so children are processed in order.
+                    for (child, &label) in children.iter().zip(labels.iter()).rev() {
+                        let Some(child_tgt) = c_tgt.child_type(label) else {
+                            return false;
+                        };
+                        match src_complex.and_then(|c| c.child_type(label)) {
+                            Some(child_src) => {
+                                work.push(Work::Cast(*child, child_src, child_tgt));
+                            }
+                            None => {
+                                // No source typing for this child
+                                // (precondition violated or source simple).
+                                work.push(Work::Full(*child, child_tgt));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Content-model membership of the children labels, via the product IDA
+    /// (knowing the string is in the source content model) or the plain
+    /// target DFA.
+    fn check_content(
+        &self,
+        src_complex: Option<&ComplexType>,
+        tgt: &ComplexType,
+        src_id: TypeId,
+        tgt_id: TypeId,
+        labels: &[Sym],
+        stats: &mut ValidationStats,
+    ) -> bool {
+        if self.options.use_ida {
+            if let Some(_src) = src_complex {
+                let ida = self.product_ida(src_id, tgt_id);
+                let out = ida.run(labels);
+                stats.content_symbols_scanned += out.consumed();
+                match out {
+                    IdaOutcome::Accept { early, .. } => {
+                        if early {
+                            stats.ida_early_accepts += 1;
+                        }
+                        return true;
+                    }
+                    IdaOutcome::Reject { early, .. } => {
+                        if early {
+                            stats.ida_early_rejects += 1;
+                        }
+                        return false;
+                    }
+                }
+            }
+        }
+        stats.content_symbols_scanned += labels.len();
+        tgt.dfa.accepts(labels)
+    }
+
+    /// The cached product IDA for a (source, target) complex type pair.
+    pub(crate) fn product_ida(&self, src: TypeId, tgt: TypeId) -> Arc<ProductIda> {
+        if let Some(ida) = self
+            .ida_cache
+            .read()
+            .expect("lock poisoned")
+            .get(&(src, tgt))
+        {
+            return Arc::clone(ida);
+        }
+        let a = &self
+            .source
+            .type_def(src)
+            .as_complex()
+            .expect("product IDA requires complex source")
+            .dfa;
+        let b = &self
+            .target
+            .type_def(tgt)
+            .as_complex()
+            .expect("product IDA requires complex target")
+            .dfa;
+        let ida = Arc::new(ProductIda::new(a, b));
+        self.ida_cache
+            .write()
+            .expect("lock poisoned")
+            .insert((src, tgt), Arc::clone(&ida));
+        ida
+    }
+
+    /// Eagerly builds the product IDAs of every type pair *reachable* from
+    /// a shared root label (the pairs the validator can actually encounter),
+    /// so that no first-validation latency remains. Returns the number of
+    /// IDAs materialized.
+    ///
+    /// Reachability: starting from `(ℛ(σ), ℛ'(σ))` for every label σ rooted
+    /// in both schemas, follow matching child labels of complex pairs that
+    /// are neither subsumed nor disjoint (others are never content-checked).
+    pub fn warm_up(&self) -> usize {
+        let mut seen: std::collections::HashSet<(TypeId, TypeId)> =
+            std::collections::HashSet::new();
+        let mut stack: Vec<(TypeId, TypeId)> = Vec::new();
+        for (label, s) in self.source.roots() {
+            if let Some(t) = self.target.root_type(label) {
+                if seen.insert((s, t)) {
+                    stack.push((s, t));
+                }
+            }
+        }
+        let mut built = 0;
+        while let Some((s, t)) = stack.pop() {
+            if self.options.use_subsumption && self.relations.subsumed(s, t) {
+                continue;
+            }
+            if self.options.use_disjointness && self.relations.disjoint(s, t) {
+                continue;
+            }
+            let (Some(cs), Some(ct)) = (
+                self.source.type_def(s).as_complex(),
+                self.target.type_def(t).as_complex(),
+            ) else {
+                continue;
+            };
+            if self.options.use_ida {
+                let _ = self.product_ida(s, t);
+                built += 1;
+            }
+            for (&label, &child_s) in &cs.child_types {
+                if let Some(child_t) = ct.child_type(label) {
+                    if seen.insert((child_s, child_t)) {
+                        stack.push((child_s, child_t));
+                    }
+                }
+            }
+        }
+        built
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_schema::{AtomicKind, SchemaBuilder, SimpleType};
+
+    /// Figure 1 pair plus documents, shared by the tests.
+    struct Fixture {
+        source: AbstractSchema,
+        target: AbstractSchema,
+        alphabet: Alphabet,
+    }
+
+    fn po_schema(ab: &mut Alphabet, bill_optional: bool, qty_max: i64) -> AbstractSchema {
+        let mut b = SchemaBuilder::new(ab);
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        let mut qty_ty = SimpleType::of(AtomicKind::PositiveInteger);
+        qty_ty.facets.max_exclusive = Some(schemacast_schema::BoundValue::Num(
+            schemacast_schema::Decimal::from_i64(qty_max),
+        ));
+        let qty = b.simple("Qty", qty_ty).unwrap();
+        let addr = b.declare("USAddress").unwrap();
+        b.complex(
+            addr,
+            "(name, street, city)",
+            &[("name", text), ("street", text), ("city", text)],
+        )
+        .unwrap();
+        let item = b.declare("Item").unwrap();
+        b.complex(
+            item,
+            "(productName, quantity, USPrice)",
+            &[("productName", text), ("quantity", qty), ("USPrice", text)],
+        )
+        .unwrap();
+        let items = b.declare("Items").unwrap();
+        b.complex(items, "item*", &[("item", item)]).unwrap();
+        let po = b.declare("POType").unwrap();
+        let model = if bill_optional {
+            "(shipTo, billTo?, items)"
+        } else {
+            "(shipTo, billTo, items)"
+        };
+        b.complex(
+            po,
+            model,
+            &[("shipTo", addr), ("billTo", addr), ("items", items)],
+        )
+        .unwrap();
+        b.root("purchaseOrder", po);
+        b.finish().unwrap()
+    }
+
+    fn fixture(bill_optional_src: bool, src_max: i64, tgt_max: i64) -> Fixture {
+        let mut alphabet = Alphabet::new();
+        let source = po_schema(&mut alphabet, bill_optional_src, src_max);
+        let target = po_schema(&mut alphabet, false, tgt_max);
+        Fixture {
+            source,
+            target,
+            alphabet,
+        }
+    }
+
+    fn po_doc(f: &mut Fixture, with_bill: bool, items: usize, qty: &str) -> Doc {
+        let ab = &mut f.alphabet;
+        let po = ab.intern("purchaseOrder");
+        let ship = ab.intern("shipTo");
+        let bill = ab.intern("billTo");
+        let items_l = ab.intern("items");
+        let item = ab.intern("item");
+        let pn = ab.intern("productName");
+        let q = ab.intern("quantity");
+        let price = ab.intern("USPrice");
+        let name = ab.intern("name");
+        let street = ab.intern("street");
+        let city = ab.intern("city");
+
+        let mut doc = Doc::new(po);
+        let addr = |doc: &mut Doc, label| {
+            let a = doc.add_element(doc.root(), label);
+            for l in [name, street, city] {
+                let e = doc.add_element(a, l);
+                doc.add_text(e, "v");
+            }
+        };
+        addr(&mut doc, ship);
+        if with_bill {
+            addr(&mut doc, bill);
+        }
+        let il = doc.add_element(doc.root(), items_l);
+        for _ in 0..items {
+            let i = doc.add_element(il, item);
+            let e = doc.add_element(i, pn);
+            doc.add_text(e, "Widget");
+            let e = doc.add_element(i, q);
+            doc.add_text(e, qty);
+            let e = doc.add_element(i, price);
+            doc.add_text(e, "9.99");
+        }
+        doc
+    }
+
+    #[test]
+    fn experiment1_accepts_with_billto_in_constant_nodes() {
+        let mut f = fixture(true, 100, 100);
+        let small = po_doc(&mut f, true, 2, "5");
+        let large = po_doc(&mut f, true, 200, "5");
+        let ctx = CastContext::new(&f.source, &f.target, &f.alphabet);
+        let (out_s, stats_s) = ctx.validate_with_stats(&small);
+        let (out_l, stats_l) = ctx.validate_with_stats(&large);
+        assert!(out_s.is_valid());
+        assert!(out_l.is_valid());
+        // The hallmark of Experiment 1: node visits do not grow with the
+        // document (billTo presence decides everything).
+        assert_eq!(stats_s.nodes_visited, stats_l.nodes_visited);
+        assert!(
+            stats_s.nodes_visited <= 4,
+            "visited {}",
+            stats_s.nodes_visited
+        );
+        assert!(stats_l.subsumed_skips >= 1);
+    }
+
+    #[test]
+    fn experiment1_rejects_missing_billto_immediately() {
+        let mut f = fixture(true, 100, 100);
+        let doc = po_doc(&mut f, false, 50, "5");
+        // Valid per source (billTo optional), invalid per target.
+        assert!(f.source.accepts_document(&doc));
+        assert!(!f.target.accepts_document(&doc));
+        let ctx = CastContext::new(&f.source, &f.target, &f.alphabet);
+        let (out, stats) = ctx.validate_with_stats(&doc);
+        assert!(!out.is_valid());
+        assert!(stats.nodes_visited <= 2, "visited {}", stats.nodes_visited);
+    }
+
+    #[test]
+    fn experiment2_checks_each_quantity() {
+        // Source maxExclusive=200, target=100.
+        let mut f = fixture(false, 200, 100);
+        let ok = po_doc(&mut f, true, 10, "99");
+        let bad = po_doc(&mut f, true, 10, "150");
+        assert!(f.source.accepts_document(&ok));
+        assert!(f.source.accepts_document(&bad));
+        let ctx = CastContext::new(&f.source, &f.target, &f.alphabet);
+        let (out_ok, stats_ok) = ctx.validate_with_stats(&ok);
+        assert!(out_ok.is_valid());
+        assert_eq!(stats_ok.value_checks, 10);
+        // Address subtrees were skipped via subsumption.
+        assert!(stats_ok.subsumed_skips >= 2);
+        let (out_bad, _) = ctx.validate_with_stats(&bad);
+        assert!(!out_bad.is_valid());
+    }
+
+    #[test]
+    fn cast_agrees_with_full_validation_on_all_options() {
+        let mut f = fixture(true, 200, 100);
+        let docs = [
+            po_doc(&mut f, true, 3, "50"),
+            po_doc(&mut f, false, 3, "50"),
+            po_doc(&mut f, true, 0, "50"),
+            po_doc(&mut f, true, 3, "150"),
+            po_doc(&mut f, true, 3, "99"),
+        ];
+        for opts in [
+            CastOptions::default(),
+            CastOptions::paper_prototype(),
+            CastOptions::baseline(),
+            CastOptions {
+                use_subsumption: true,
+                use_disjointness: false,
+                use_ida: true,
+            },
+        ] {
+            let ctx = CastContext::with_options(&f.source, &f.target, &f.alphabet, opts);
+            for (i, doc) in docs.iter().enumerate() {
+                // Precondition: these documents are valid per the source.
+                assert!(f.source.accepts_document(doc), "doc {i} source-valid");
+                let expect = f.target.accepts_document(doc);
+                assert_eq!(
+                    ctx.validate(doc).is_valid(),
+                    expect,
+                    "doc {i} under {opts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_schemas_skip_everything() {
+        let mut f = fixture(true, 100, 100);
+        let source2 = po_schema(&mut f.alphabet, true, 100);
+        let doc = po_doc(&mut f, true, 100, "5");
+        let ctx = CastContext::new(&f.source, &source2, &f.alphabet);
+        let (out, stats) = ctx.validate_with_stats(&doc);
+        assert!(out.is_valid());
+        // Root pair subsumed: one node visited, everything else skipped.
+        assert_eq!(stats.nodes_visited, 1);
+        assert_eq!(stats.subsumed_skips, 1);
+    }
+
+    #[test]
+    fn warm_up_builds_reachable_idas() {
+        let mut f = fixture(true, 200, 100);
+        let doc = po_doc(&mut f, true, 5, "50");
+        let ctx = CastContext::new(&f.source, &f.target, &f.alphabet);
+        let built = ctx.warm_up();
+        // The PO pair is the only non-subsumed, non-disjoint complex pair
+        // reachable in experiment 2 fixtures… plus Items/Item chains.
+        assert!(built >= 1, "built {built}");
+        // Verdicts unchanged after warm-up.
+        assert!(ctx.validate(&doc).is_valid());
+        // Warm-up is idempotent.
+        assert_eq!(ctx.warm_up(), built);
+    }
+
+    #[test]
+    fn root_label_unknown_to_target_is_invalid() {
+        let mut f = fixture(true, 100, 100);
+        let other = f.alphabet.intern("unknownRoot");
+        let doc = Doc::new(other);
+        let ctx = CastContext::new(&f.source, &f.target, &f.alphabet);
+        assert!(!ctx.validate(&doc).is_valid());
+    }
+
+    #[test]
+    fn fallback_when_source_precondition_broken() {
+        // Root label known to the target but not the source: validate fully.
+        let mut alphabet = Alphabet::new();
+        let source = {
+            let mut b = SchemaBuilder::new(&mut alphabet);
+            let t = b.simple("T", SimpleType::string()).unwrap();
+            b.root("other", t);
+            b.finish().unwrap()
+        };
+        let target = {
+            let mut b = SchemaBuilder::new(&mut alphabet);
+            let t = b.simple("T", SimpleType::string()).unwrap();
+            b.root("note", t);
+            b.finish().unwrap()
+        };
+        let note = alphabet.lookup("note").unwrap();
+        let mut doc = Doc::new(note);
+        doc.add_text(doc.root(), "hello");
+        let ctx = CastContext::new(&source, &target, &alphabet);
+        let (out, stats) = ctx.validate_with_stats(&doc);
+        assert!(out.is_valid());
+        assert_eq!(stats.full_validations, 1);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Schema-cast revalidation of XML — the paper's core contribution (§3).
+//!
+//! Given a document known to be valid with respect to a *source* abstract
+//! XML Schema, decide whether it is valid with respect to a *target* schema
+//! without revalidating everything:
+//!
+//! * [`relations::TypeRelations`] — the `R_sub` / `R_dis` fixpoints over the
+//!   type pairs of the two schemas (Definitions 4–5, Theorems 1–2).
+//! * [`cast::CastContext`] — schema-cast validation without modifications
+//!   (§3.2), with immediate-decision-automaton content-model checks (§4) and
+//!   ablation switches ([`cast::CastOptions`]).
+//! * [`mods::ModsValidator`] — schema-cast with modifications (§3.3) over
+//!   Δ-encoded edited trees, using the `modified(v)` trie and the
+//!   string-revalidation-with-mods machinery (§4.3).
+//! * [`dtdcast::DtdCastValidator`] — the label-indexed DTD optimization
+//!   (§3.4).
+//! * [`full::FullValidator`] — the Xerces-style baseline the paper compares
+//!   against, instrumented identically.
+
+pub mod cast;
+pub mod dtdcast;
+pub mod explain;
+pub mod full;
+pub mod mods;
+pub mod relations;
+pub mod repair;
+pub mod stats;
+pub mod stream;
+
+pub use cast::{CastContext, CastOptions};
+pub use dtdcast::{DtdCastValidator, LabelIndex, LabelPlan, NotDtdStyle};
+pub use explain::{explain, validate_explained, FailureKind, ValidationFailure};
+pub use full::FullValidator;
+pub use mods::ModsValidator;
+pub use relations::TypeRelations;
+pub use repair::{RepairAction, RepairError, Repairer};
+pub use stats::{CastOutcome, ValidationStats};
+pub use stream::{validate_xml_stream, StreamingCast};

@@ -1,0 +1,369 @@
+//! The `R_sub` and `R_dis` relations (§3.2, Definitions 4–5).
+//!
+//! `R_sub` is computed as a *greatest* fixpoint: start from all type pairs
+//! whose content-model languages are included (`L(regexp_τ) ⊆ L(regexp_τ')`,
+//! decided on the compiled DFAs) and refine away pairs whose child types
+//! break the relation. `R_nondis` is a *least* fixpoint: a pair is
+//! non-disjoint once a witness string exists in
+//! `L(regexp_τ) ∩ L(regexp_τ') ∩ P*`, where `P` collects the labels whose
+//! child-type pairs are already known non-disjoint. `R_dis` is its
+//! complement (Theorem 2).
+//!
+//! Deviation from the paper's merged-χ exposition (anticipated by its
+//! "straightforward extension" remark): simple×simple pairs are seeded with
+//! the value-space subsumption/disjointness of `schemacast-schema::simple`
+//! rather than unconditionally related — this is what makes Experiment 2
+//! (a `maxExclusive` narrowing) force per-value checks. Simple×complex
+//! pairs are handled soundly: they are never subsumed, and they are
+//! non-disjoint exactly when both accept the childless element (a nullable
+//! content model meets a simple type accepting the empty string).
+
+use schemacast_automata::{intersection_nonempty_restricted, language_subset, BitSet};
+use schemacast_regex::Alphabet;
+use schemacast_schema::{AbstractSchema, TypeDef, TypeId};
+
+/// The precomputed subsumption and (non-)disjointness relations between the
+/// types of a source schema and a target schema.
+#[derive(Debug, Clone)]
+pub struct TypeRelations {
+    /// `sub[τ]` = set of target types subsuming source type `τ`.
+    sub: Vec<BitSet>,
+    /// `nondis[τ]` = set of target types not disjoint from `τ`.
+    nondis: Vec<BitSet>,
+    target_count: usize,
+}
+
+impl TypeRelations {
+    /// Computes both relations for a schema pair over a shared alphabet.
+    pub fn compute(
+        source: &AbstractSchema,
+        target: &AbstractSchema,
+        alphabet: &Alphabet,
+    ) -> TypeRelations {
+        let (n_src, n_tgt) = (source.type_count(), target.type_count());
+        let mut sub: Vec<BitSet> = (0..n_src).map(|_| BitSet::new(n_tgt)).collect();
+        let mut nondis: Vec<BitSet> = (0..n_src).map(|_| BitSet::new(n_tgt)).collect();
+
+        // ---- R_sub: seed, then refine (greatest fixpoint). ----
+        for s in source.type_ids() {
+            for t in target.type_ids() {
+                let related = match (source.type_def(s), target.type_def(t)) {
+                    (TypeDef::Simple(a), TypeDef::Simple(b)) => a.subsumed_by(b),
+                    (TypeDef::Complex(a), TypeDef::Complex(b)) => language_subset(&a.dfa, &b.dfa),
+                    // Simple vs. complex: never subsumed (see module docs).
+                    _ => false,
+                };
+                if related {
+                    sub[s.index()].insert(t.index());
+                }
+            }
+        }
+        loop {
+            let mut changed = false;
+            for s in source.type_ids() {
+                let TypeDef::Complex(a) = source.type_def(s) else {
+                    continue;
+                };
+                let candidates: Vec<usize> = sub[s.index()].iter().collect();
+                for ti in candidates {
+                    let t = TypeId(ti as u32);
+                    let TypeDef::Complex(b) = target.type_def(t) else {
+                        continue;
+                    };
+                    let broken = a.child_types.iter().any(|(&label, &child_s)| {
+                        match b.child_type(label) {
+                            Some(child_t) => !sub[child_s.index()].contains(child_t.index()),
+                            // Label has no target child type: conservatively
+                            // break the pair.
+                            None => true,
+                        }
+                    });
+                    if broken {
+                        sub[s.index()].remove(ti);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // ---- R_nondis: least fixpoint. ----
+        // Seed: simple pairs that share a value; simple/complex pairs that
+        // share the childless element.
+        for s in source.type_ids() {
+            for t in target.type_ids() {
+                let seeded = match (source.type_def(s), target.type_def(t)) {
+                    (TypeDef::Simple(a), TypeDef::Simple(b)) => !a.disjoint_from(b),
+                    (TypeDef::Simple(a), TypeDef::Complex(b)) => {
+                        a.validate("") && b.regex.nullable()
+                    }
+                    (TypeDef::Complex(a), TypeDef::Simple(b)) => {
+                        a.regex.nullable() && b.validate("")
+                    }
+                    (TypeDef::Complex(_), TypeDef::Complex(_)) => false,
+                };
+                if seeded {
+                    nondis[s.index()].insert(t.index());
+                }
+            }
+        }
+        loop {
+            let mut changed = false;
+            for s in source.type_ids() {
+                let TypeDef::Complex(a) = source.type_def(s) else {
+                    continue;
+                };
+                for t in target.type_ids() {
+                    if nondis[s.index()].contains(t.index()) {
+                        continue;
+                    }
+                    let TypeDef::Complex(b) = target.type_def(t) else {
+                        continue;
+                    };
+                    // P = labels whose child-type pair is already nondis.
+                    let mut allowed = BitSet::new(alphabet.len());
+                    for (&label, &child_s) in &a.child_types {
+                        if let Some(child_t) = b.child_type(label) {
+                            if nondis[child_s.index()].contains(child_t.index())
+                                && label.index() < allowed.capacity()
+                            {
+                                allowed.insert(label.index());
+                            }
+                        }
+                    }
+                    if intersection_nonempty_restricted(&a.dfa, &b.dfa, Some(&allowed)) {
+                        nondis[s.index()].insert(t.index());
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        TypeRelations {
+            sub,
+            nondis,
+            target_count: n_tgt,
+        }
+    }
+
+    /// `τ ≤ τ'`: every tree valid for the source type is valid for the
+    /// target type (Definition 2 / Theorem 1).
+    pub fn subsumed(&self, s: TypeId, t: TypeId) -> bool {
+        debug_assert!(t.index() < self.target_count);
+        self.sub[s.index()].contains(t.index())
+    }
+
+    /// `τ ⊘ τ'`: no tree is valid for both (Definition 3 / Theorem 2).
+    pub fn disjoint(&self, s: TypeId, t: TypeId) -> bool {
+        debug_assert!(t.index() < self.target_count);
+        !self.nondis[s.index()].contains(t.index())
+    }
+
+    /// Number of subsumed pairs (diagnostics).
+    pub fn subsumed_pair_count(&self) -> usize {
+        self.sub.iter().map(BitSet::count).sum()
+    }
+
+    /// Number of disjoint pairs (diagnostics).
+    pub fn disjoint_pair_count(&self) -> usize {
+        self.sub.len() * self.target_count - self.nondis.iter().map(BitSet::count).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_schema::{SchemaBuilder, SimpleType};
+
+    /// Figure 1: source with optional billTo, target requiring it.
+    fn figure1() -> (AbstractSchema, AbstractSchema, Alphabet) {
+        let mut ab = Alphabet::new();
+        let source = {
+            let mut b = SchemaBuilder::new(&mut ab);
+            let text = b.simple("Text", SimpleType::string()).unwrap();
+            let addr = b.declare("USAddress").unwrap();
+            b.complex(
+                addr,
+                "(name, street, city)",
+                &[("name", text), ("street", text), ("city", text)],
+            )
+            .unwrap();
+            let items = b.declare("Items").unwrap();
+            b.complex(items, "item*", &[("item", text)]).unwrap();
+            let po = b.declare("POType1").unwrap();
+            b.complex(
+                po,
+                "(shipTo, billTo?, items)",
+                &[("shipTo", addr), ("billTo", addr), ("items", items)],
+            )
+            .unwrap();
+            b.root("purchaseOrder", po);
+            b.finish().unwrap()
+        };
+        let target = {
+            let mut b = SchemaBuilder::new(&mut ab);
+            let text = b.simple("Text", SimpleType::string()).unwrap();
+            let addr = b.declare("USAddress").unwrap();
+            b.complex(
+                addr,
+                "(name, street, city)",
+                &[("name", text), ("street", text), ("city", text)],
+            )
+            .unwrap();
+            let items = b.declare("Items").unwrap();
+            b.complex(items, "item*", &[("item", text)]).unwrap();
+            let po = b.declare("POType2").unwrap();
+            b.complex(
+                po,
+                "(shipTo, billTo, items)",
+                &[("shipTo", addr), ("billTo", addr), ("items", items)],
+            )
+            .unwrap();
+            b.root("purchaseOrder", po);
+            b.finish().unwrap()
+        };
+        (source, target, ab)
+    }
+
+    #[test]
+    fn figure1_relations() {
+        let (source, target, ab) = figure1();
+        let rel = TypeRelations::compute(&source, &target, &ab);
+        let s_po = source.type_by_name("POType1").unwrap();
+        let t_po = target.type_by_name("POType2").unwrap();
+        let s_addr = source.type_by_name("USAddress").unwrap();
+        let t_addr = target.type_by_name("USAddress").unwrap();
+        let s_items = source.type_by_name("Items").unwrap();
+        let t_items = target.type_by_name("Items").unwrap();
+
+        // Identical types subsume each other.
+        assert!(rel.subsumed(s_addr, t_addr));
+        assert!(rel.subsumed(s_items, t_items));
+        // The PO types: source NOT subsumed by target (billTo optional vs
+        // required), but not disjoint either (documents with billTo).
+        assert!(!rel.subsumed(s_po, t_po));
+        assert!(!rel.disjoint(s_po, t_po));
+        // Address and items are not disjoint from themselves.
+        assert!(!rel.disjoint(s_addr, t_addr));
+    }
+
+    #[test]
+    fn reverse_direction_is_subsumed() {
+        let (source, target, ab) = figure1();
+        // Casting from the *target* (billTo required) to the source
+        // (optional) subsumes: every required-billTo doc is acceptable.
+        let rel = TypeRelations::compute(&target, &source, &ab);
+        let t_po = target.type_by_name("POType2").unwrap();
+        let s_po = source.type_by_name("POType1").unwrap();
+        assert!(rel.subsumed(t_po, s_po));
+    }
+
+    #[test]
+    fn child_type_breakage_propagates() {
+        // Same content models, but a child's simple type narrows: the parent
+        // pair must leave R_sub even though the regex languages coincide.
+        let mut ab = Alphabet::new();
+        let mk = |ab: &mut Alphabet, max_len: Option<usize>| {
+            let mut b = SchemaBuilder::new(ab);
+            let mut st = SimpleType::string();
+            st.facets.max_length = max_len;
+            let leaf = b.simple("Leaf", st).unwrap();
+            let root = b.declare("Root").unwrap();
+            b.complex(root, "(x)", &[("x", leaf)]).unwrap();
+            b.root("r", root);
+            b.finish().unwrap()
+        };
+        let source = mk(&mut ab, None);
+        let target = mk(&mut ab, Some(3));
+        let rel = TypeRelations::compute(&source, &target, &ab);
+        let s_root = source.type_by_name("Root").unwrap();
+        let t_root = target.type_by_name("Root").unwrap();
+        assert!(!rel.subsumed(s_root, t_root));
+        // Still not disjoint: short strings satisfy both.
+        assert!(!rel.disjoint(s_root, t_root));
+        // Reverse direction subsumes.
+        let rel_rev = TypeRelations::compute(&target, &source, &ab);
+        assert!(rel_rev.subsumed(t_root, s_root));
+    }
+
+    #[test]
+    fn disjoint_content_models() {
+        let mut ab = Alphabet::new();
+        let mk = |ab: &mut Alphabet, model: &str, kids: &[&str]| {
+            let mut b = SchemaBuilder::new(ab);
+            let text = b.simple("Text", SimpleType::string()).unwrap();
+            let root = b.declare("Root").unwrap();
+            let child_types: Vec<(&str, TypeId)> = kids.iter().map(|k| (*k, text)).collect();
+            b.complex(root, model, &child_types).unwrap();
+            b.root("r", root);
+            b.finish().unwrap()
+        };
+        let source = mk(&mut ab, "(a, a)", &["a"]);
+        let target = mk(&mut ab, "(b, b)", &["b"]);
+        let rel = TypeRelations::compute(&source, &target, &ab);
+        let s = source.type_by_name("Root").unwrap();
+        let t = target.type_by_name("Root").unwrap();
+        assert!(rel.disjoint(s, t));
+        assert!(!rel.subsumed(s, t));
+    }
+
+    #[test]
+    fn recursive_disjointness_via_child_types() {
+        // Content models intersect as string languages ("x" both), but the
+        // child types of x are disjoint simple types — so the parents are
+        // disjoint too, which only the P*-restricted fixpoint detects.
+        let mut ab = Alphabet::new();
+        let mk = |ab: &mut Alphabet, kind: schemacast_schema::AtomicKind| {
+            let mut b = SchemaBuilder::new(ab);
+            let leaf = b.simple("Leaf", SimpleType::of(kind)).unwrap();
+            let root = b.declare("Root").unwrap();
+            b.complex(root, "(x)", &[("x", leaf)]).unwrap();
+            b.root("r", root);
+            b.finish().unwrap()
+        };
+        let source = mk(&mut ab, schemacast_schema::AtomicKind::Date);
+        let target = mk(&mut ab, schemacast_schema::AtomicKind::Integer);
+        let rel = TypeRelations::compute(&source, &target, &ab);
+        let s = source.type_by_name("Root").unwrap();
+        let t = target.type_by_name("Root").unwrap();
+        assert!(rel.disjoint(s, t));
+    }
+
+    #[test]
+    fn simple_complex_nondisjoint_only_on_empty() {
+        let mut ab = Alphabet::new();
+        // Source: simple string type at root label; target: nullable complex.
+        let source = {
+            let mut b = SchemaBuilder::new(&mut ab);
+            let s = b.simple("S", SimpleType::string()).unwrap();
+            b.root("r", s);
+            b.finish().unwrap()
+        };
+        let target = {
+            let mut b = SchemaBuilder::new(&mut ab);
+            let text = b.simple("Text", SimpleType::string()).unwrap();
+            let c = b.declare("C").unwrap();
+            b.complex(c, "x?", &[("x", text)]).unwrap();
+            let d = b.declare("D").unwrap();
+            b.complex(d, "(x)", &[("x", text)]).unwrap();
+            b.root("r", c);
+            b.root("r2", d);
+            b.finish().unwrap()
+        };
+        let rel = TypeRelations::compute(&source, &target, &ab);
+        let s = source.type_by_name("S").unwrap();
+        let c = target.type_by_name("C").unwrap();
+        let d = target.type_by_name("D").unwrap();
+        // The childless element <r/> is valid for both S and C…
+        assert!(!rel.disjoint(s, c));
+        // …but D requires a child element, which S never has.
+        assert!(rel.disjoint(s, d));
+        // Simple never subsumed by complex.
+        assert!(!rel.subsumed(s, c));
+    }
+}

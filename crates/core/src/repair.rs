@@ -1,0 +1,610 @@
+//! Automatic document repair — the paper's stated future work:
+//! "exploring how a system may automatically correct a document valid
+//! according to one schema so that it conforms to a new schema".
+//!
+//! Given a document (typically valid for the source schema) and the
+//! preprocessed pair, [`Repairer::repair`] produces a *new* document valid
+//! for the target schema together with a log of what changed:
+//!
+//! * subsumed subtrees are copied verbatim (no inspection, as in the cast
+//!   validator),
+//! * out-of-range simple values are replaced by a deterministic example of
+//!   the target simple type,
+//! * rejected content models are fixed by a **minimum-edit** repair of the
+//!   children-label string ([`schemacast_automata::repair_string`]);
+//!   inserted or substituted elements get minimal synthesized subtrees
+//!   (shortest witnesses of the target content models).
+//!
+//! Per-node repairs are cost-minimal; the composition is greedy per level,
+//! not globally minimal — computing a globally minimal tree edit script is
+//! NP-hard in general and out of scope.
+
+use crate::cast::CastContext;
+use schemacast_automata::{repair_string, shortest_witness, BitSet, StringRepairOp};
+use schemacast_regex::{Alphabet, Sym};
+use schemacast_schema::{AbstractSchema, TypeDef, TypeId};
+use schemacast_tree::{Doc, NodeId, NodeKind};
+use std::fmt;
+
+/// One change made by the repairer, with a slash path into the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairAction {
+    /// A simple value was replaced.
+    SetValue {
+        /// Path of the element whose value changed.
+        path: String,
+        /// Previous value.
+        old: String,
+        /// New (schema-valid) value.
+        new: String,
+    },
+    /// A new element (with minimal content) was inserted.
+    InsertElement {
+        /// Path of the inserted element.
+        path: String,
+    },
+    /// An element (and its subtree) was removed.
+    DeleteElement {
+        /// Path of the removed element.
+        path: String,
+    },
+    /// An element was replaced by one with a different label (fresh minimal
+    /// content).
+    ReplaceElement {
+        /// Path of the replaced element.
+        path: String,
+        /// Its previous label.
+        old_label: String,
+        /// The new label.
+        new_label: String,
+    },
+}
+
+impl fmt::Display for RepairAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairAction::SetValue { path, old, new } => {
+                write!(f, "set value at {path}: {old:?} -> {new:?}")
+            }
+            RepairAction::InsertElement { path } => write!(f, "insert element at {path}"),
+            RepairAction::DeleteElement { path } => write!(f, "delete element at {path}"),
+            RepairAction::ReplaceElement {
+                path,
+                old_label,
+                new_label,
+            } => write!(
+                f,
+                "replace element at {path}: <{old_label}> -> <{new_label}>"
+            ),
+        }
+    }
+}
+
+/// Why a document could not be repaired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairError {
+    /// The root label is admitted by neither the target's root map nor a
+    /// unique alternative.
+    NoAdmissibleRoot,
+    /// A required type has an empty value space / language.
+    Unrepairable {
+        /// Path at which repair failed.
+        path: String,
+    },
+    /// Synthesis recursion exceeded the safety bound (pathological schema).
+    DepthExceeded,
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::NoAdmissibleRoot => write!(f, "no admissible root element"),
+            RepairError::Unrepairable { path } => write!(f, "unrepairable content at {path}"),
+            RepairError::DepthExceeded => write!(f, "synthesis recursion exceeded bound"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+const MAX_SYNTH_DEPTH: usize = 256;
+
+/// Repairs documents against a preprocessed schema pair.
+pub struct Repairer<'a, 'b> {
+    ctx: &'a CastContext<'b>,
+    alphabet: &'a Alphabet,
+    /// Productivity of target types (synthesis only uses productive labels).
+    productive: Vec<bool>,
+}
+
+impl<'a, 'b> Repairer<'a, 'b> {
+    /// Prepares a repairer (computes target-type productivity once).
+    pub fn new(ctx: &'a CastContext<'b>, alphabet: &'a Alphabet) -> Self {
+        let productive = ctx.target().productive(alphabet);
+        Repairer {
+            ctx,
+            alphabet,
+            productive,
+        }
+    }
+
+    fn target(&self) -> &AbstractSchema {
+        self.ctx.target()
+    }
+
+    /// Repairs `doc` into a target-valid document, returning it with the
+    /// change log (empty when the document was already valid).
+    pub fn repair(&self, doc: &Doc) -> Result<(Doc, Vec<RepairAction>), RepairError> {
+        let root = doc.root();
+        let Some(label) = doc.label(root) else {
+            return Err(RepairError::NoAdmissibleRoot);
+        };
+        let mut actions = Vec::new();
+        let (out_label, tgt) = match self.target().root_type(label) {
+            Some(t) => (label, t),
+            None => {
+                // Relabel the root if the target admits exactly one root.
+                let mut roots: Vec<(Sym, TypeId)> = self.target().roots().collect();
+                if roots.len() != 1 {
+                    return Err(RepairError::NoAdmissibleRoot);
+                }
+                let (new_label, t) = roots.pop().expect("len checked");
+                actions.push(RepairAction::ReplaceElement {
+                    path: format!("/{}", self.alphabet.name(label)),
+                    old_label: self.alphabet.name(label).to_owned(),
+                    new_label: self.alphabet.name(new_label).to_owned(),
+                });
+                (new_label, t)
+            }
+        };
+        let src = doc.label(root).and_then(|l| self.ctx.source().root_type(l));
+        let mut out = Doc::new(out_label);
+        let out_root = out.root();
+        let mut path = format!("/{}", self.alphabet.name(out_label));
+        self.repair_node(
+            doc,
+            root,
+            src,
+            tgt,
+            &mut out,
+            out_root,
+            &mut path,
+            &mut actions,
+            0,
+        )?;
+        Ok((out, actions))
+    }
+
+    /// Copies `node`'s content into `out_node`, repaired against `tgt`.
+    #[allow(clippy::too_many_arguments)]
+    fn repair_node(
+        &self,
+        doc: &Doc,
+        node: NodeId,
+        src: Option<TypeId>,
+        tgt: TypeId,
+        out: &mut Doc,
+        out_node: NodeId,
+        path: &mut String,
+        actions: &mut Vec<RepairAction>,
+        depth: usize,
+    ) -> Result<(), RepairError> {
+        if depth > MAX_SYNTH_DEPTH {
+            return Err(RepairError::DepthExceeded);
+        }
+        // Fast path: subsumed pair ⇒ verbatim copy.
+        if let Some(s) = src {
+            if self.ctx.relations().subsumed(s, tgt) {
+                copy_children(doc, node, out, out_node);
+                return Ok(());
+            }
+        }
+        match self.target().type_def(tgt) {
+            TypeDef::Simple(simple) => {
+                let children: Vec<NodeId> = doc.validation_children(node).collect();
+                let current: Option<String> = match children.as_slice() {
+                    [] => Some(String::new()),
+                    [only] => doc.text(*only).map(str::to_owned),
+                    _ => None,
+                };
+                match current {
+                    Some(value) if simple.validate(&value) => {
+                        if !value.is_empty() {
+                            out.add_text(out_node, value);
+                        }
+                    }
+                    other => {
+                        let new = simple
+                            .example_value()
+                            .ok_or_else(|| RepairError::Unrepairable { path: path.clone() })?;
+                        actions.push(RepairAction::SetValue {
+                            path: path.clone(),
+                            old: other.unwrap_or_else(|| "<element content>".to_owned()),
+                            new: new.clone(),
+                        });
+                        if !new.is_empty() {
+                            out.add_text(out_node, new);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            TypeDef::Complex(c_tgt) => {
+                let children: Vec<NodeId> = doc.validation_children(node).collect();
+                // Text in element content is dropped as a repair.
+                let mut labels: Vec<Sym> = Vec::new();
+                let mut element_children: Vec<NodeId> = Vec::new();
+                for &child in &children {
+                    match doc.label(child) {
+                        Some(l) => {
+                            labels.push(l);
+                            element_children.push(child);
+                        }
+                        None => actions.push(RepairAction::DeleteElement {
+                            path: format!("{path}/#text"),
+                        }),
+                    }
+                }
+                let allowed = self.productive_labels(c_tgt);
+                let (ops, _cost) = repair_string(&c_tgt.dfa, &labels, Some(&allowed))
+                    .ok_or_else(|| RepairError::Unrepairable { path: path.clone() })?;
+
+                let src_complex = src.and_then(|s| self.ctx.source().type_def(s).as_complex());
+                let mut child_iter = element_children.iter();
+                let mut position = 0usize;
+                for op in ops {
+                    match op {
+                        StringRepairOp::Keep(label) => {
+                            let child = *child_iter.next().expect("op/child alignment");
+                            let child_tgt = c_tgt
+                                .child_type(label)
+                                .ok_or_else(|| RepairError::Unrepairable { path: path.clone() })?;
+                            let child_src = src_complex.and_then(|c| c.child_type(label));
+                            let out_child = out.add_element(out_node, label);
+                            let len = path.len();
+                            path.push('/');
+                            path.push_str(self.alphabet.name(label));
+                            path.push_str(&format!("[{position}]"));
+                            self.repair_node(
+                                doc,
+                                child,
+                                child_src,
+                                child_tgt,
+                                out,
+                                out_child,
+                                path,
+                                actions,
+                                depth + 1,
+                            )?;
+                            path.truncate(len);
+                            position += 1;
+                        }
+                        StringRepairOp::Delete(label) => {
+                            let _ = child_iter.next().expect("op/child alignment");
+                            actions.push(RepairAction::DeleteElement {
+                                path: format!("{path}/{}", self.alphabet.name(label)),
+                            });
+                        }
+                        StringRepairOp::Subst { from, to } => {
+                            let _ = child_iter.next().expect("op/child alignment");
+                            actions.push(RepairAction::ReplaceElement {
+                                path: format!("{path}/{}", self.alphabet.name(from)),
+                                old_label: self.alphabet.name(from).to_owned(),
+                                new_label: self.alphabet.name(to).to_owned(),
+                            });
+                            self.synthesize(to, out, out_node, path, depth + 1)?;
+                            position += 1;
+                        }
+                        StringRepairOp::Insert(label) => {
+                            actions.push(RepairAction::InsertElement {
+                                path: format!("{path}/{}", self.alphabet.name(label)),
+                            });
+                            self.synthesize(label, out, out_node, path, depth + 1)?;
+                            position += 1;
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Labels of a content model whose target child types are productive.
+    fn productive_labels(&self, c: &schemacast_schema::ComplexType) -> BitSet {
+        let mut allowed = BitSet::new(self.alphabet.len());
+        for (&label, &t) in &c.child_types {
+            if self.productive[t.index()] && label.index() < allowed.capacity() {
+                allowed.insert(label.index());
+            }
+        }
+        allowed
+    }
+
+    /// Appends a minimal valid element with `label` under `parent`.
+    fn synthesize(
+        &self,
+        label: Sym,
+        out: &mut Doc,
+        parent: NodeId,
+        path: &str,
+        depth: usize,
+    ) -> Result<(), RepairError> {
+        if depth > MAX_SYNTH_DEPTH {
+            return Err(RepairError::DepthExceeded);
+        }
+        // The label's type under the element we are synthesizing into:
+        // resolved through the parent's target type is already done by the
+        // caller; here we need the target type for `label` in the context
+        // of its parent, which the caller knows — so this helper takes the
+        // parent's complex def instead. To keep the recursion simple we
+        // resolve through the parent element's type each time.
+        let parent_tgt = out
+            .label(parent)
+            .and_then(|l| self.resolve_type_of(parent, out, l));
+        let t = match parent_tgt {
+            Some(TypeDef::Complex(c)) => c.child_type(label),
+            _ => None,
+        }
+        .ok_or_else(|| RepairError::Unrepairable {
+            path: path.to_owned(),
+        })?;
+        let node = out.add_element(parent, label);
+        self.synthesize_content(t, out, node, path, depth + 1)
+    }
+
+    /// Resolves the target type definition governing `node` in `out` by
+    /// walking up from the root (outputs are always target-typed).
+    fn resolve_type_of<'s>(&'s self, node: NodeId, out: &Doc, _label: Sym) -> Option<&'s TypeDef> {
+        // Reconstruct the type by the root-to-node label path.
+        let mut chain = Vec::new();
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            chain.push(out.label(n)?);
+            cur = out.parent(n);
+        }
+        chain.reverse();
+        let mut t = self.target().root_type(chain[0])?;
+        for &label in &chain[1..] {
+            match self.target().type_def(t) {
+                TypeDef::Complex(c) => t = c.child_type(label)?,
+                TypeDef::Simple(_) => return None,
+            }
+        }
+        Some(self.target().type_def(t))
+    }
+
+    /// Fills `node` with minimal content valid for type `t`.
+    fn synthesize_content(
+        &self,
+        t: TypeId,
+        out: &mut Doc,
+        node: NodeId,
+        path: &str,
+        depth: usize,
+    ) -> Result<(), RepairError> {
+        if depth > MAX_SYNTH_DEPTH {
+            return Err(RepairError::DepthExceeded);
+        }
+        match self.target().type_def(t) {
+            TypeDef::Simple(s) => {
+                let v = s.example_value().ok_or_else(|| RepairError::Unrepairable {
+                    path: path.to_owned(),
+                })?;
+                if !v.is_empty() {
+                    out.add_text(node, v);
+                }
+                Ok(())
+            }
+            TypeDef::Complex(c) => {
+                let allowed = self.productive_labels(c);
+                let witness = shortest_witness(&c.dfa, Some(&allowed)).ok_or_else(|| {
+                    RepairError::Unrepairable {
+                        path: path.to_owned(),
+                    }
+                })?;
+                for label in witness {
+                    let ct = c
+                        .child_type(label)
+                        .ok_or_else(|| RepairError::Unrepairable {
+                            path: path.to_owned(),
+                        })?;
+                    let child = out.add_element(node, label);
+                    self.synthesize_content(ct, out, child, path, depth + 1)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn copy_children(doc: &Doc, node: NodeId, out: &mut Doc, out_node: NodeId) {
+    for &child in doc.children(node) {
+        match doc.kind(child) {
+            NodeKind::Element(label) => {
+                let out_child = out.add_element(out_node, *label);
+                copy_children(doc, child, out, out_child);
+            }
+            NodeKind::Text(t) => {
+                out.add_text(out_node, t.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_schema::{AtomicKind, BoundValue, Decimal, SchemaBuilder, SimpleType};
+
+    struct Fx {
+        source: schemacast_schema::AbstractSchema,
+        target: schemacast_schema::AbstractSchema,
+        ab: Alphabet,
+    }
+
+    fn fx() -> Fx {
+        let mut ab = Alphabet::new();
+        let mk = |ab: &mut Alphabet, optional: bool, qty_max: i64| {
+            let mut b = SchemaBuilder::new(ab);
+            let text = b.simple("Text", SimpleType::string()).unwrap();
+            let mut qty_t = SimpleType::of(AtomicKind::PositiveInteger);
+            qty_t.facets.max_exclusive = Some(BoundValue::Num(Decimal::from_i64(qty_max)));
+            let qty = b.simple("Qty", qty_t).unwrap();
+            let addr = b.declare("Addr").unwrap();
+            b.complex(addr, "(name, city)", &[("name", text), ("city", text)])
+                .unwrap();
+            let item = b.declare("Item").unwrap();
+            b.complex(item, "(sku, qty)", &[("sku", text), ("qty", qty)])
+                .unwrap();
+            let items = b.declare("Items").unwrap();
+            b.complex(items, "item*", &[("item", item)]).unwrap();
+            let po = b.declare("PO").unwrap();
+            let model = if optional {
+                "(ship, bill?, items)"
+            } else {
+                "(ship, bill, items)"
+            };
+            b.complex(
+                po,
+                model,
+                &[("ship", addr), ("bill", addr), ("items", items)],
+            )
+            .unwrap();
+            b.root("po", po);
+            b.finish().unwrap()
+        };
+        let source = mk(&mut ab, true, 200);
+        let target = mk(&mut ab, false, 100);
+        Fx { source, target, ab }
+    }
+
+    fn build_doc(ab: &mut Alphabet, with_bill: bool, qtys: &[&str]) -> Doc {
+        let po = ab.intern("po");
+        let ship = ab.intern("ship");
+        let bill = ab.intern("bill");
+        let items = ab.intern("items");
+        let item = ab.intern("item");
+        let sku = ab.intern("sku");
+        let qty = ab.intern("qty");
+        let name = ab.intern("name");
+        let city = ab.intern("city");
+        let mut d = Doc::new(po);
+        for (l, on) in [(ship, true), (bill, with_bill)] {
+            if !on {
+                continue;
+            }
+            let a = d.add_element(d.root(), l);
+            for k in [name, city] {
+                let e = d.add_element(a, k);
+                d.add_text(e, "v");
+            }
+        }
+        let il = d.add_element(d.root(), items);
+        for q in qtys {
+            let i = d.add_element(il, item);
+            let s = d.add_element(i, sku);
+            d.add_text(s, "S");
+            let e = d.add_element(i, qty);
+            d.add_text(e, *q);
+        }
+        d
+    }
+
+    #[test]
+    fn valid_documents_repair_to_themselves() {
+        let mut f = fx();
+        let doc = build_doc(&mut f.ab, true, &["5", "50"]);
+        let ctx = CastContext::new(&f.source, &f.target, &f.ab);
+        let r = Repairer::new(&ctx, &f.ab);
+        let (fixed, actions) = r.repair(&doc).expect("repairs");
+        assert!(actions.is_empty(), "actions: {actions:?}");
+        assert!(f.target.accepts_document(&fixed));
+        assert_eq!(fixed.node_count(), doc.node_count());
+    }
+
+    #[test]
+    fn missing_required_element_is_inserted() {
+        let mut f = fx();
+        let doc = build_doc(&mut f.ab, false, &["5"]);
+        assert!(f.source.accepts_document(&doc));
+        assert!(!f.target.accepts_document(&doc));
+        let ctx = CastContext::new(&f.source, &f.target, &f.ab);
+        let r = Repairer::new(&ctx, &f.ab);
+        let (fixed, actions) = r.repair(&doc).expect("repairs");
+        assert!(f.target.accepts_document(&fixed));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(&actions[0], RepairAction::InsertElement { path }
+            if path == "/po/bill"));
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped_to_examples() {
+        let mut f = fx();
+        let doc = build_doc(&mut f.ab, true, &["150", "50", "199"]);
+        assert!(f.source.accepts_document(&doc));
+        let ctx = CastContext::new(&f.source, &f.target, &f.ab);
+        let r = Repairer::new(&ctx, &f.ab);
+        let (fixed, actions) = r.repair(&doc).expect("repairs");
+        assert!(f.target.accepts_document(&fixed));
+        let value_fixes: Vec<_> = actions
+            .iter()
+            .filter(|a| matches!(a, RepairAction::SetValue { .. }))
+            .collect();
+        assert_eq!(value_fixes.len(), 2); // 150 and 199, not 50
+    }
+
+    #[test]
+    fn foreign_elements_are_deleted() {
+        let mut f = fx();
+        let mut doc = build_doc(&mut f.ab, true, &["5"]);
+        // Inject a bogus element into the po content.
+        let bogus = f.ab.intern("bogus");
+        doc.insert_element(doc.root(), 1, bogus);
+        let ctx = CastContext::new(&f.source, &f.target, &f.ab);
+        let r = Repairer::new(&ctx, &f.ab);
+        let (fixed, actions) = r.repair(&doc).expect("repairs");
+        assert!(f.target.accepts_document(&fixed));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, RepairAction::DeleteElement { path } if path.contains("bogus"))));
+    }
+
+    #[test]
+    fn unknown_root_relabeled_when_unique() {
+        let mut f = fx();
+        let other = f.ab.intern("legacyOrder");
+        let doc = Doc::new(other);
+        let ctx = CastContext::new(&f.source, &f.target, &f.ab);
+        let r = Repairer::new(&ctx, &f.ab);
+        let (fixed, actions) = r.repair(&doc).expect("repairs");
+        assert!(f.target.accepts_document(&fixed));
+        assert!(matches!(&actions[0], RepairAction::ReplaceElement { .. }));
+    }
+
+    #[test]
+    fn repair_is_idempotent() {
+        let mut f = fx();
+        let doc = build_doc(&mut f.ab, false, &["150"]);
+        let ctx = CastContext::new(&f.source, &f.target, &f.ab);
+        let r = Repairer::new(&ctx, &f.ab);
+        let (fixed, actions1) = r.repair(&doc).expect("repairs");
+        assert!(!actions1.is_empty());
+        let (fixed2, actions2) = r.repair(&fixed).expect("repairs again");
+        assert!(actions2.is_empty(), "second pass: {actions2:?}");
+        assert!(f.target.accepts_document(&fixed2));
+    }
+
+    #[test]
+    fn actions_render_readably() {
+        let a = RepairAction::SetValue {
+            path: "/po/items/item[0]/qty".into(),
+            old: "150".into(),
+            new: "1".into(),
+        };
+        assert!(a.to_string().contains("/po/items/item[0]/qty"));
+        let b = RepairAction::InsertElement {
+            path: "/po/bill".into(),
+        };
+        assert!(b.to_string().contains("insert"));
+    }
+}

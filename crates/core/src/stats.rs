@@ -1,0 +1,96 @@
+//! Validation statistics — the instrumentation behind Table 3 and the
+//! cost accounting of every benchmark.
+
+use std::ops::AddAssign;
+
+/// Counters collected during one validation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationStats {
+    /// Tree nodes the validator descended into (the paper's "nodes visited",
+    /// Table 3). Skipped subtrees contribute only their root.
+    pub nodes_visited: usize,
+    /// Symbols consumed by content-model automata.
+    pub content_symbols_scanned: usize,
+    /// Subtrees skipped because their type pair is in `R_sub`.
+    pub subsumed_skips: usize,
+    /// Validations cut short because a type pair is disjoint.
+    pub disjoint_rejects: usize,
+    /// Content-model checks decided early by an immediate-accept state.
+    pub ida_early_accepts: usize,
+    /// Content-model checks decided early by an immediate-reject state.
+    pub ida_early_rejects: usize,
+    /// Subtrees validated from scratch (inserted content, or no source
+    /// type available).
+    pub full_validations: usize,
+    /// Simple values checked against facets.
+    pub value_checks: usize,
+}
+
+impl AddAssign for ValidationStats {
+    fn add_assign(&mut self, rhs: ValidationStats) {
+        self.nodes_visited += rhs.nodes_visited;
+        self.content_symbols_scanned += rhs.content_symbols_scanned;
+        self.subsumed_skips += rhs.subsumed_skips;
+        self.disjoint_rejects += rhs.disjoint_rejects;
+        self.ida_early_accepts += rhs.ida_early_accepts;
+        self.ida_early_rejects += rhs.ida_early_rejects;
+        self.full_validations += rhs.full_validations;
+        self.value_checks += rhs.value_checks;
+    }
+}
+
+/// The result of a validation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CastOutcome {
+    /// The document is valid with respect to the target schema.
+    Valid,
+    /// The document is not valid with respect to the target schema.
+    Invalid,
+}
+
+impl CastOutcome {
+    /// Whether the outcome is [`CastOutcome::Valid`].
+    pub fn is_valid(self) -> bool {
+        matches!(self, CastOutcome::Valid)
+    }
+
+    /// Builds an outcome from a boolean.
+    pub fn from_bool(b: bool) -> CastOutcome {
+        if b {
+            CastOutcome::Valid
+        } else {
+            CastOutcome::Invalid
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = ValidationStats {
+            nodes_visited: 3,
+            content_symbols_scanned: 5,
+            ..Default::default()
+        };
+        let b = ValidationStats {
+            nodes_visited: 2,
+            subsumed_skips: 1,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.nodes_visited, 5);
+        assert_eq!(a.content_symbols_scanned, 5);
+        assert_eq!(a.subsumed_skips, 1);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(CastOutcome::Valid.is_valid());
+        assert!(!CastOutcome::Invalid.is_valid());
+        assert_eq!(CastOutcome::from_bool(true), CastOutcome::Valid);
+        assert_eq!(CastOutcome::from_bool(false), CastOutcome::Invalid);
+    }
+}

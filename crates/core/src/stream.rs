@@ -1,0 +1,467 @@
+//! Streaming schema-cast validation.
+//!
+//! The paper's closing claim: "the memory requirement of our algorithm does
+//! not vary with the size of the document, but depends solely on the sizes
+//! of the schemas". This module makes that literal: [`StreamingCast`]
+//! consumes a [`PullEvent`] stream and validates
+//! against both schemas in parallel **without building the document tree**
+//! — state is one frame per open element (O(depth)) plus the preprocessed
+//! schema-pair structures.
+//!
+//! Subsumed subtrees are skipped by depth counting (events are consumed but
+//! no work is done); disjoint pairs and immediate-reject automaton states
+//! abort the scan at the earliest event the decision procedure permits.
+
+use crate::cast::CastContext;
+use crate::stats::{CastOutcome, ValidationStats};
+use schemacast_automata::{ProductIda, StateId};
+use schemacast_regex::Alphabet;
+use schemacast_schema::{TypeDef, TypeId};
+use schemacast_xml::{PullEvent, PullParser, XmlError};
+use std::sync::Arc;
+
+/// A streaming validator over a preprocessed [`CastContext`].
+pub struct StreamingCast<'a, 'b> {
+    ctx: &'a CastContext<'b>,
+}
+
+enum Frame {
+    /// Target type is simple: accumulate character data.
+    Simple { tgt: TypeId, text: String },
+    /// Target type is complex: run the content model as children arrive.
+    Complex {
+        src: Option<TypeId>,
+        tgt: TypeId,
+        content: Content,
+    },
+}
+
+enum Content {
+    /// Product IDA over (source, target) content models (§4 integration).
+    Ida {
+        ida: Arc<ProductIda>,
+        q: StateId,
+        /// Early decision, if the IDA reached IA (`Some(true)`).
+        /// Immediate rejects abort the whole scan instead.
+        accepted_early: bool,
+    },
+    /// Plain target-DFA scan (no source content model, or IDA disabled).
+    Dfa { q: StateId },
+}
+
+impl<'a, 'b> StreamingCast<'a, 'b> {
+    /// Wraps a cast context.
+    pub fn new(ctx: &'a CastContext<'b>) -> Self {
+        StreamingCast { ctx }
+    }
+
+    /// Validates XML text end to end (parse + cast in one streaming pass).
+    ///
+    /// # Errors
+    /// Returns `Err` only for malformed XML; validity verdicts are in the
+    /// `Ok` payload.
+    pub fn validate_str(
+        &self,
+        text: &str,
+        alphabet: &Alphabet,
+    ) -> Result<(CastOutcome, ValidationStats), XmlError> {
+        self.validate_events(PullParser::new(text), alphabet)
+    }
+
+    /// Validates a pull-event stream.
+    ///
+    /// The stream is consumed until a verdict is reached; on early rejection
+    /// the remaining events are not pulled (useful over sockets).
+    pub fn validate_events<I>(
+        &self,
+        events: I,
+        alphabet: &Alphabet,
+    ) -> Result<(CastOutcome, ValidationStats), XmlError>
+    where
+        I: IntoIterator<Item = Result<PullEvent, XmlError>>,
+    {
+        let mut stats = ValidationStats::default();
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut skip_depth: usize = 0;
+        let mut seen_root = false;
+
+        for event in events {
+            match event? {
+                PullEvent::Doctype { .. } => {}
+                PullEvent::Start { name, .. } => {
+                    if skip_depth > 0 {
+                        skip_depth += 1;
+                        continue;
+                    }
+                    let Some(sym) = alphabet.lookup(&name) else {
+                        // A label neither schema has ever seen cannot be
+                        // admitted by the target.
+                        return Ok((CastOutcome::Invalid, stats));
+                    };
+                    if stack.is_empty() {
+                        if seen_root {
+                            return Ok((CastOutcome::Invalid, stats));
+                        }
+                        seen_root = true;
+                        let Some(tgt) = self.ctx.target().root_type(sym) else {
+                            return Ok((CastOutcome::Invalid, stats));
+                        };
+                        let src = self.ctx.source().root_type(sym);
+                        match self.enter(src, tgt, &mut stats) {
+                            Entered::Frame(f) => stack.push(f),
+                            Entered::Skip => skip_depth = 1,
+                            Entered::Reject => return Ok((CastOutcome::Invalid, stats)),
+                        }
+                    } else {
+                        let top = stack.last_mut().expect("non-empty");
+                        match top {
+                            Frame::Simple { .. } => {
+                                // Element content inside a simple type.
+                                return Ok((CastOutcome::Invalid, stats));
+                            }
+                            Frame::Complex { src, tgt, content } => {
+                                // Step the content model.
+                                match content {
+                                    Content::Ida {
+                                        ida,
+                                        q,
+                                        accepted_early,
+                                    } => {
+                                        if !*accepted_early {
+                                            stats.content_symbols_scanned += 1;
+                                            *q = ida.ida().dfa().step(*q, sym);
+                                            if ida.ida().is_ir(*q) {
+                                                stats.ida_early_rejects += 1;
+                                                return Ok((CastOutcome::Invalid, stats));
+                                            }
+                                            if ida.ida().is_ia(*q) {
+                                                stats.ida_early_accepts += 1;
+                                                *accepted_early = true;
+                                            }
+                                        }
+                                    }
+                                    Content::Dfa { q } => {
+                                        stats.content_symbols_scanned += 1;
+                                        let dfa = &self
+                                            .ctx
+                                            .target()
+                                            .type_def(*tgt)
+                                            .as_complex()
+                                            .expect("complex frame")
+                                            .dfa;
+                                        *q = dfa.step(*q, sym);
+                                        if *q == dfa.sink() {
+                                            return Ok((CastOutcome::Invalid, stats));
+                                        }
+                                    }
+                                }
+                                // Type the child.
+                                let tgt_def = self
+                                    .ctx
+                                    .target()
+                                    .type_def(*tgt)
+                                    .as_complex()
+                                    .expect("complex frame");
+                                let Some(child_tgt) = tgt_def.child_type(sym) else {
+                                    return Ok((CastOutcome::Invalid, stats));
+                                };
+                                let child_src = src.and_then(|s| {
+                                    self.ctx
+                                        .source()
+                                        .type_def(s)
+                                        .as_complex()
+                                        .and_then(|c| c.child_type(sym))
+                                });
+                                match self.enter(child_src, child_tgt, &mut stats) {
+                                    Entered::Frame(f) => stack.push(f),
+                                    Entered::Skip => skip_depth = 1,
+                                    Entered::Reject => return Ok((CastOutcome::Invalid, stats)),
+                                }
+                            }
+                        }
+                    }
+                }
+                PullEvent::Text(t) => {
+                    if skip_depth > 0 {
+                        continue;
+                    }
+                    match stack.last_mut() {
+                        Some(Frame::Simple { text, .. }) => text.push_str(&t),
+                        Some(Frame::Complex { .. }) => {
+                            if !t.chars().all(char::is_whitespace) {
+                                return Ok((CastOutcome::Invalid, stats));
+                            }
+                        }
+                        None => {
+                            if !t.chars().all(char::is_whitespace) {
+                                return Ok((CastOutcome::Invalid, stats));
+                            }
+                        }
+                    }
+                }
+                PullEvent::End { .. } => {
+                    if skip_depth > 0 {
+                        skip_depth -= 1;
+                        continue;
+                    }
+                    let frame = stack.pop().expect("balanced events");
+                    let ok = match frame {
+                        Frame::Simple { tgt, text } => {
+                            stats.value_checks += 1;
+                            let simple = self
+                                .ctx
+                                .target()
+                                .type_def(tgt)
+                                .as_simple()
+                                .expect("simple frame");
+                            // Whitespace-only content is treated as the
+                            // empty value, matching the tree validators
+                            // (Doc::validation_children drops ignorable
+                            // whitespace before simple-value checks).
+                            if text.chars().all(char::is_whitespace) {
+                                simple.validate("")
+                            } else {
+                                simple.validate(&text)
+                            }
+                        }
+                        Frame::Complex { content, tgt, .. } => match content {
+                            Content::Ida {
+                                ida,
+                                q,
+                                accepted_early,
+                            } => accepted_early || ida.ida().dfa().is_final(q),
+                            Content::Dfa { q } => {
+                                let dfa = &self
+                                    .ctx
+                                    .target()
+                                    .type_def(tgt)
+                                    .as_complex()
+                                    .expect("complex frame")
+                                    .dfa;
+                                dfa.is_final(q)
+                            }
+                        },
+                    };
+                    if !ok {
+                        return Ok((CastOutcome::Invalid, stats));
+                    }
+                }
+            }
+        }
+        if !seen_root || !stack.is_empty() || skip_depth != 0 {
+            return Ok((CastOutcome::Invalid, stats));
+        }
+        Ok((CastOutcome::Valid, stats))
+    }
+
+    /// Decides how to process an element with type pair `(src?, tgt)`.
+    fn enter(&self, src: Option<TypeId>, tgt: TypeId, stats: &mut ValidationStats) -> Entered {
+        stats.nodes_visited += 1;
+        let opts = self.ctx.options();
+        if let Some(s) = src {
+            if opts.use_subsumption && self.ctx.relations().subsumed(s, tgt) {
+                stats.subsumed_skips += 1;
+                return Entered::Skip;
+            }
+            if opts.use_disjointness && self.ctx.relations().disjoint(s, tgt) {
+                stats.disjoint_rejects += 1;
+                return Entered::Reject;
+            }
+        } else {
+            stats.full_validations += 1;
+        }
+        match self.ctx.target().type_def(tgt) {
+            TypeDef::Simple(_) => Entered::Frame(Frame::Simple {
+                tgt,
+                text: String::new(),
+            }),
+            TypeDef::Complex(c) => {
+                let src_complex =
+                    src.filter(|&s| self.ctx.source().type_def(s).as_complex().is_some());
+                let content = match (opts.use_ida, src_complex) {
+                    (true, Some(s)) => {
+                        let ida = self.ctx.product_ida(s, tgt);
+                        let q = ida.ida().dfa().start();
+                        // The start state may already be decisive.
+                        if ida.ida().is_ir(q) {
+                            stats.ida_early_rejects += 1;
+                            return Entered::Reject;
+                        }
+                        let accepted_early = ida.ida().is_ia(q);
+                        if accepted_early {
+                            stats.ida_early_accepts += 1;
+                        }
+                        Content::Ida {
+                            ida,
+                            q,
+                            accepted_early,
+                        }
+                    }
+                    _ => Content::Dfa { q: c.dfa.start() },
+                };
+                Entered::Frame(Frame::Complex { src, tgt, content })
+            }
+        }
+    }
+}
+
+enum Entered {
+    Frame(Frame),
+    Skip,
+    Reject,
+}
+
+/// One-call convenience: preprocess nothing, reuse an existing context.
+pub fn validate_xml_stream(
+    ctx: &CastContext<'_>,
+    xml_text: &str,
+    alphabet: &Alphabet,
+) -> Result<(CastOutcome, ValidationStats), XmlError> {
+    StreamingCast::new(ctx).validate_str(xml_text, alphabet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_schema::{SchemaBuilder, SimpleType};
+    use schemacast_tree::{Doc, WhitespaceMode};
+
+    fn schemas() -> (
+        schemacast_schema::AbstractSchema,
+        schemacast_schema::AbstractSchema,
+        Alphabet,
+    ) {
+        let mut ab = Alphabet::new();
+        let mk = |ab: &mut Alphabet, optional: bool| {
+            let mut b = SchemaBuilder::new(ab);
+            let text = b.simple("Text", SimpleType::string()).unwrap();
+            let addr = b.declare("Addr").unwrap();
+            b.complex(addr, "(name, city)", &[("name", text), ("city", text)])
+                .unwrap();
+            let items = b.declare("Items").unwrap();
+            b.complex(items, "item*", &[("item", text)]).unwrap();
+            let po = b.declare("PO").unwrap();
+            let model = if optional {
+                "(ship, bill?, items)"
+            } else {
+                "(ship, bill, items)"
+            };
+            b.complex(
+                po,
+                model,
+                &[("ship", addr), ("bill", addr), ("items", items)],
+            )
+            .unwrap();
+            b.root("po", po);
+            b.finish().unwrap()
+        };
+        let source = mk(&mut ab, true);
+        let target = mk(&mut ab, false);
+        (source, target, ab)
+    }
+
+    const VALID: &str = "<po>\n  <ship><name>A</name><city>C</city></ship>\n  \
+                         <bill><name>B</name><city>C</city></bill>\n  \
+                         <items><item>x</item><item>y</item></items>\n</po>";
+    const NO_BILL: &str =
+        "<po><ship><name>A</name><city>C</city></ship><items><item>x</item></items></po>";
+
+    #[test]
+    fn streaming_accepts_valid_documents() {
+        let (source, target, ab) = schemas();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let sc = StreamingCast::new(&ctx);
+        let (out, stats) = sc.validate_str(VALID, &ab).expect("well-formed");
+        assert!(out.is_valid());
+        // ship/bill/items pairs are subsumed: their subtrees were skipped.
+        assert!(stats.subsumed_skips >= 3);
+        assert!(stats.nodes_visited <= 4);
+    }
+
+    #[test]
+    fn streaming_rejects_early_without_draining() {
+        let (source, target, ab) = schemas();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let sc = StreamingCast::new(&ctx);
+        let (out, stats) = sc.validate_str(NO_BILL, &ab).expect("well-formed");
+        assert!(!out.is_valid());
+        // Decided within the root content model (ship, then items ⇒ IR).
+        assert!(stats.ida_early_rejects >= 1 || stats.disjoint_rejects >= 1);
+    }
+
+    #[test]
+    fn streaming_agrees_with_tree_validator() {
+        let (source, target, mut ab) = schemas();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let sc = StreamingCast::new(&ctx);
+        for text in [
+            VALID,
+            NO_BILL,
+            "<po><ship><name>A</name><city>C</city></ship>\
+             <bill><name>B</name><city>C</city></bill><items/></po>",
+            "<po><items/></po>",
+            "<other/>",
+        ] {
+            let (stream_out, _) = sc.validate_str(text, &ab).expect("well-formed");
+            let xml = schemacast_xml::parse_document(text).expect("dom");
+            let doc = Doc::from_xml(&xml.root, &mut ab, WhitespaceMode::Trim);
+            let tree_out = ctx.validate(&doc);
+            let truth = target.accepts_document(&doc);
+            // Cast verdicts are guaranteed only under the precondition;
+            // every input here except "<other/>" is source-valid, and
+            // "<other/>" has no source root type so both validators fall
+            // back to full checking.
+            assert_eq!(stream_out.is_valid(), truth, "stream vs truth on {text}");
+            assert_eq!(tree_out.is_valid(), truth, "tree vs truth on {text}");
+        }
+    }
+
+    #[test]
+    fn streaming_checks_simple_values() {
+        let mut ab = Alphabet::new();
+        let mk = |ab: &mut Alphabet, max: i64| {
+            let mut b = SchemaBuilder::new(ab);
+            let mut qty = SimpleType::of(schemacast_schema::AtomicKind::PositiveInteger);
+            qty.facets.max_exclusive = Some(schemacast_schema::BoundValue::Num(
+                schemacast_schema::Decimal::from_i64(max),
+            ));
+            let q = b.simple("Qty", qty).unwrap();
+            let root = b.declare("Root").unwrap();
+            b.complex(root, "qty+", &[("qty", q)]).unwrap();
+            b.root("r", root);
+            b.finish().unwrap()
+        };
+        let source = mk(&mut ab, 200);
+        let target = mk(&mut ab, 100);
+        let ctx = CastContext::new(&source, &target, &ab);
+        let sc = StreamingCast::new(&ctx);
+        let (out, stats) = sc
+            .validate_str("<r><qty>50</qty><qty>99</qty></r>", &ab)
+            .expect("ok");
+        assert!(out.is_valid());
+        assert_eq!(stats.value_checks, 2);
+        let (out, _) = sc
+            .validate_str("<r><qty>50</qty><qty>150</qty></r>", &ab)
+            .expect("ok");
+        assert!(!out.is_valid());
+    }
+
+    #[test]
+    fn streaming_rejects_malformed_xml_as_error() {
+        let (source, target, ab) = schemas();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let sc = StreamingCast::new(&ctx);
+        assert!(sc.validate_str("<po><ship></po>", &ab).is_err());
+    }
+
+    #[test]
+    fn streaming_text_in_element_content_is_invalid() {
+        let (source, target, ab) = schemas();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let sc = StreamingCast::new(&ctx);
+        let (out, _) = sc
+            .validate_str("<po>stray text<ship/><bill/><items/></po>", &ab)
+            .expect("well-formed");
+        assert!(!out.is_valid());
+    }
+}

@@ -1,0 +1,482 @@
+//! The regular-expression AST for content models.
+//!
+//! Content models of DTDs and XML Schemas are regular expressions over the
+//! element-label alphabet Σ. XML Schema particles add bounded repetition
+//! (`minOccurs`/`maxOccurs`), represented here by [`Regex::Repeat`] and
+//! expanded away before automaton construction.
+
+use crate::alphabet::Sym;
+
+/// A regular expression over interned symbols.
+///
+/// Constructed either through the smart constructors ([`Regex::concat`],
+/// [`Regex::alt`], …), the [parser](crate::parser), or the schema compilers.
+/// Smart constructors perform light simplification (flattening, identity and
+/// annihilator elimination) so that equivalent schemas produce small, similar
+/// ASTs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// The empty language ∅ (matches nothing).
+    Empty,
+    /// The language {ε}.
+    Epsilon,
+    /// A single symbol.
+    Sym(Sym),
+    /// Concatenation, in order. Invariant: length ≥ 2, no nested `Concat`.
+    Concat(Vec<Regex>),
+    /// Alternation. Invariant: length ≥ 2, no nested `Alt`.
+    Alt(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+    /// One or more.
+    Plus(Box<Regex>),
+    /// Zero or one.
+    Opt(Box<Regex>),
+    /// Bounded repetition `r{min, max}`; `max == None` means unbounded.
+    /// Used for XSD `minOccurs`/`maxOccurs`.
+    Repeat {
+        /// The repeated expression.
+        inner: Box<Regex>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` = unbounded.
+        max: Option<u32>,
+    },
+}
+
+/// Cap on `maxOccurs` expansion, to bound Glushkov automaton size.
+/// (Realistic schemas use small bounds or `unbounded`.)
+pub const MAX_REPEAT_EXPANSION: u32 = 4096;
+
+impl Regex {
+    /// A single-symbol expression.
+    pub fn sym(s: Sym) -> Regex {
+        Regex::Sym(s)
+    }
+
+    /// Smart concatenation: flattens nested `Concat`, drops `Epsilon`,
+    /// annihilates on `Empty`.
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Epsilon => {}
+                Regex::Empty => return Regex::Empty,
+                Regex::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Concat(out),
+        }
+    }
+
+    /// Smart alternation: flattens nested `Alt`, drops `Empty`, dedups
+    /// syntactically equal branches.
+    pub fn alt(parts: Vec<Regex>) -> Regex {
+        let mut out: Vec<Regex> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => {
+                    for q in inner {
+                        if !out.contains(&q) {
+                            out.push(q);
+                        }
+                    }
+                }
+                other => {
+                    if !out.contains(&other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// Smart star: `∅* = ε* = ε`; collapses nested closures.
+    pub fn star(r: Regex) -> Regex {
+        match r {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(inner) => Regex::Star(inner),
+            Regex::Plus(inner) | Regex::Opt(inner) => Regex::Star(inner),
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// Smart plus: `∅+ = ∅`, `ε+ = ε`, `(r*)+ = r*`.
+    pub fn plus(r: Regex) -> Regex {
+        match r {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(inner) => Regex::Star(inner),
+            Regex::Opt(inner) => Regex::Star(inner),
+            Regex::Plus(inner) => Regex::Plus(inner),
+            other => Regex::Plus(Box::new(other)),
+        }
+    }
+
+    /// Smart option: `∅? = ε? = ε`, `(r*)? = r*`, `(r+)? = r*`.
+    pub fn opt(r: Regex) -> Regex {
+        match r {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(inner) => Regex::Star(inner),
+            Regex::Plus(inner) => Regex::Star(inner),
+            Regex::Opt(inner) => Regex::Opt(inner),
+            other => Regex::Opt(Box::new(other)),
+        }
+    }
+
+    /// Bounded repetition with the usual simplifications for trivial bounds.
+    pub fn repeat(r: Regex, min: u32, max: Option<u32>) -> Regex {
+        match (min, max) {
+            (_, Some(mx)) if mx < min => Regex::Empty,
+            (0, Some(0)) => Regex::Epsilon,
+            (0, None) => Regex::star(r),
+            (1, None) => Regex::plus(r),
+            (0, Some(1)) => Regex::opt(r),
+            (1, Some(1)) => r,
+            _ => Regex::Repeat {
+                inner: Box::new(r),
+                min,
+                max,
+            },
+        }
+    }
+
+    /// Whether ε ∈ L(self).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Epsilon => true,
+            Regex::Concat(ps) => ps.iter().all(Regex::nullable),
+            Regex::Alt(ps) => ps.iter().any(Regex::nullable),
+            Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Plus(inner) => inner.nullable(),
+            Regex::Repeat { inner, min, .. } => *min == 0 || inner.nullable(),
+        }
+    }
+
+    /// Whether L(self) = ∅ (syntactic check; exact thanks to the smart
+    /// constructors never hiding `Empty` inside other nodes, and exact for
+    /// hand-built ASTs too since we recurse).
+    pub fn is_empty_language(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Epsilon | Regex::Sym(_) | Regex::Star(_) | Regex::Opt(_) => false,
+            Regex::Concat(ps) => ps.iter().any(Regex::is_empty_language),
+            Regex::Alt(ps) => ps.iter().all(Regex::is_empty_language),
+            Regex::Plus(inner) => inner.is_empty_language(),
+            Regex::Repeat { inner, min, .. } => *min > 0 && inner.is_empty_language(),
+        }
+    }
+
+    /// Collects the set of symbols used (Σ_τ in the paper), deduplicated,
+    /// in first-occurrence order.
+    pub fn symbols(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<Sym>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Sym(s) => {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+            Regex::Concat(ps) | Regex::Alt(ps) => {
+                for p in ps {
+                    p.collect_symbols(out);
+                }
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) => r.collect_symbols(out),
+            Regex::Repeat { inner, .. } => inner.collect_symbols(out),
+        }
+    }
+
+    /// Rewrites `Repeat` nodes into `Concat`/`Opt`/`Star` combinations so
+    /// that position-based constructions only see the classical operators.
+    ///
+    /// `r{m,n}` becomes `r^m · (r?)^{n-m}` and `r{m,}` becomes `r^m · r*`.
+    ///
+    /// # Errors
+    /// Returns `Err` if an expansion would exceed
+    /// [`MAX_REPEAT_EXPANSION`] copies.
+    pub fn expand_repeats(&self) -> Result<Regex, RepeatOverflow> {
+        Ok(match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Sym(s) => Regex::Sym(*s),
+            Regex::Concat(ps) => Regex::concat(
+                ps.iter()
+                    .map(Regex::expand_repeats)
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Regex::Alt(ps) => Regex::alt(
+                ps.iter()
+                    .map(Regex::expand_repeats)
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Regex::Star(r) => Regex::star(r.expand_repeats()?),
+            Regex::Plus(r) => Regex::plus(r.expand_repeats()?),
+            Regex::Opt(r) => Regex::opt(r.expand_repeats()?),
+            Regex::Repeat { inner, min, max } => {
+                let body = inner.expand_repeats()?;
+                let copies = max.unwrap_or(*min).max(*min);
+                if copies > MAX_REPEAT_EXPANSION {
+                    return Err(RepeatOverflow { requested: copies });
+                }
+                let mut parts = Vec::with_capacity(copies as usize + 1);
+                for _ in 0..*min {
+                    parts.push(body.clone());
+                }
+                match max {
+                    None => parts.push(Regex::star(body)),
+                    Some(mx) => {
+                        for _ in *min..*mx {
+                            parts.push(Regex::opt(body.clone()));
+                        }
+                    }
+                }
+                Regex::concat(parts)
+            }
+        })
+    }
+
+    /// Brzozowski derivative of the language with respect to `s`.
+    ///
+    /// This is the reference semantics used by property tests; automata
+    /// constructions are checked against [`Regex::matches`].
+    pub fn derivative(&self, s: Sym) -> Regex {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Empty,
+            Regex::Sym(t) => {
+                if *t == s {
+                    Regex::Epsilon
+                } else {
+                    Regex::Empty
+                }
+            }
+            Regex::Concat(ps) => {
+                // d(p1 p2 … pn) = d(p1) p2…pn  |  [p1 nullable] d(p2…pn)
+                let head = &ps[0];
+                let tail = Regex::concat(ps[1..].to_vec());
+                let first = Regex::concat(vec![head.derivative(s), tail.clone()]);
+                if head.nullable() {
+                    Regex::alt(vec![first, tail.derivative(s)])
+                } else {
+                    first
+                }
+            }
+            Regex::Alt(ps) => Regex::alt(ps.iter().map(|p| p.derivative(s)).collect()),
+            Regex::Star(r) => Regex::concat(vec![r.derivative(s), Regex::Star(r.clone())]),
+            Regex::Plus(r) => Regex::concat(vec![r.derivative(s), Regex::star((**r).clone())]),
+            Regex::Opt(r) => r.derivative(s),
+            Regex::Repeat { inner, min, max } => {
+                let rest = Regex::repeat(
+                    (**inner).clone(),
+                    min.saturating_sub(1),
+                    max.map(|m| m.saturating_sub(1)),
+                );
+                let first = Regex::concat(vec![inner.derivative(s), rest]);
+                if *min == 0 && inner.nullable() {
+                    // ε is already covered; derivative of the ε branch is ∅.
+                    first
+                } else {
+                    first
+                }
+            }
+        }
+    }
+
+    /// Reference matcher via repeated derivatives. Exponential-free for the
+    /// small inputs used in tests, but not intended for production paths —
+    /// compile to a DFA instead.
+    pub fn matches(&self, input: &[Sym]) -> bool {
+        let mut r = self.clone();
+        for &s in input {
+            r = r.derivative(s);
+            if matches!(r, Regex::Empty) {
+                return false;
+            }
+        }
+        r.nullable()
+    }
+
+    /// The mirror-image expression recognizing the reversed language.
+    pub fn reverse(&self) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Sym(s) => Regex::Sym(*s),
+            Regex::Concat(ps) => Regex::concat(ps.iter().rev().map(Regex::reverse).collect()),
+            Regex::Alt(ps) => Regex::alt(ps.iter().map(Regex::reverse).collect()),
+            Regex::Star(r) => Regex::star(r.reverse()),
+            Regex::Plus(r) => Regex::plus(r.reverse()),
+            Regex::Opt(r) => Regex::opt(r.reverse()),
+            Regex::Repeat { inner, min, max } => Regex::repeat(inner.reverse(), *min, *max),
+        }
+    }
+}
+
+/// Error returned when a bounded repetition is too large to expand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepeatOverflow {
+    /// The number of copies the expansion would have created.
+    pub requested: u32,
+}
+
+impl std::fmt::Display for RepeatOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bounded repetition requires {} copies, exceeding the limit of {}",
+            self.requested, MAX_REPEAT_EXPANSION
+        )
+    }
+}
+
+impl std::error::Error for RepeatOverflow {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Sym {
+        Sym(i)
+    }
+
+    #[test]
+    fn smart_concat_flattens_and_simplifies() {
+        let r = Regex::concat(vec![
+            Regex::Epsilon,
+            Regex::sym(s(0)),
+            Regex::concat(vec![Regex::sym(s(1)), Regex::sym(s(2))]),
+        ]);
+        assert_eq!(
+            r,
+            Regex::Concat(vec![Regex::sym(s(0)), Regex::sym(s(1)), Regex::sym(s(2))])
+        );
+        assert_eq!(
+            Regex::concat(vec![Regex::sym(s(0)), Regex::Empty]),
+            Regex::Empty
+        );
+        assert_eq!(Regex::concat(vec![]), Regex::Epsilon);
+    }
+
+    #[test]
+    fn smart_alt_dedups() {
+        let r = Regex::alt(vec![Regex::sym(s(0)), Regex::sym(s(0)), Regex::Empty]);
+        assert_eq!(r, Regex::sym(s(0)));
+    }
+
+    #[test]
+    fn nullable_cases() {
+        assert!(Regex::Epsilon.nullable());
+        assert!(!Regex::sym(s(0)).nullable());
+        assert!(Regex::star(Regex::sym(s(0))).nullable());
+        assert!(!Regex::plus(Regex::sym(s(0))).nullable());
+        assert!(Regex::opt(Regex::sym(s(0))).nullable());
+        assert!(Regex::repeat(Regex::sym(s(0)), 0, Some(3)).nullable());
+        assert!(!Regex::repeat(Regex::sym(s(0)), 2, Some(3)).nullable());
+    }
+
+    #[test]
+    fn derivative_matcher_basics() {
+        // (a (b | c)* d)
+        let r = Regex::concat(vec![
+            Regex::sym(s(0)),
+            Regex::star(Regex::alt(vec![Regex::sym(s(1)), Regex::sym(s(2))])),
+            Regex::sym(s(3)),
+        ]);
+        assert!(r.matches(&[s(0), s(3)]));
+        assert!(r.matches(&[s(0), s(1), s(2), s(1), s(3)]));
+        assert!(!r.matches(&[s(0)]));
+        assert!(!r.matches(&[s(3)]));
+        assert!(!r.matches(&[]));
+    }
+
+    #[test]
+    fn repeat_semantics_via_matches() {
+        let r = Regex::repeat(Regex::sym(s(0)), 2, Some(4));
+        assert!(!r.matches(&[s(0)]));
+        assert!(r.matches(&[s(0), s(0)]));
+        assert!(r.matches(&[s(0), s(0), s(0), s(0)]));
+        assert!(!r.matches(&[s(0); 5]));
+
+        let unbounded = Regex::repeat(Regex::sym(s(0)), 3, None);
+        assert!(!unbounded.matches(&[s(0); 2]));
+        assert!(unbounded.matches(&[s(0); 3]));
+        assert!(unbounded.matches(&[s(0); 9]));
+    }
+
+    #[test]
+    fn expand_repeats_preserves_language() {
+        let r = Regex::repeat(
+            Regex::alt(vec![Regex::sym(s(0)), Regex::sym(s(1))]),
+            1,
+            Some(3),
+        );
+        let e = r.expand_repeats().expect("small bound");
+        for input in [
+            vec![],
+            vec![s(0)],
+            vec![s(1), s(0)],
+            vec![s(0), s(0), s(1)],
+            vec![s(0); 4],
+        ] {
+            assert_eq!(r.matches(&input), e.matches(&input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn expand_repeats_overflow() {
+        let r = Regex::repeat(Regex::sym(s(0)), 0, Some(MAX_REPEAT_EXPANSION + 1));
+        assert!(r.expand_repeats().is_err());
+    }
+
+    #[test]
+    fn reverse_reverses() {
+        let r = Regex::concat(vec![
+            Regex::sym(s(0)),
+            Regex::sym(s(1)),
+            Regex::opt(Regex::sym(s(2))),
+        ]);
+        let rev = r.reverse();
+        assert!(rev.matches(&[s(1), s(0)]));
+        assert!(rev.matches(&[s(2), s(1), s(0)]));
+        assert!(!rev.matches(&[s(0), s(1)]));
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        assert!(Regex::Empty.is_empty_language());
+        assert!(Regex::Concat(vec![Regex::sym(s(0)), Regex::Empty]).is_empty_language());
+        assert!(!Regex::star(Regex::Empty).is_empty_language());
+        assert!(Regex::Repeat {
+            inner: Box::new(Regex::Empty),
+            min: 1,
+            max: None
+        }
+        .is_empty_language());
+    }
+
+    #[test]
+    fn symbols_dedup_in_order() {
+        let r = Regex::concat(vec![
+            Regex::sym(s(2)),
+            Regex::alt(vec![Regex::sym(s(1)), Regex::sym(s(2))]),
+        ]);
+        assert_eq!(r.symbols(), vec![s(2), s(1)]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Pretty-printing of regular expressions back into the DTD-style syntax
+//! accepted by [`crate::parser::parse_regex`].
+
+use crate::alphabet::Alphabet;
+use crate::ast::Regex;
+use std::fmt::Write as _;
+
+/// Renders `r` using label names from `alphabet`.
+///
+/// The output round-trips through [`crate::parse_regex`] to an equivalent
+/// expression (possibly differing in irrelevant grouping).
+pub fn regex_to_string(r: &Regex, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    write_regex(r, alphabet, &mut out, Prec::Alt);
+    out
+}
+
+#[derive(PartialEq, PartialOrd, Clone, Copy)]
+enum Prec {
+    Alt = 0,
+    Seq = 1,
+    Post = 2,
+}
+
+fn write_regex(r: &Regex, ab: &Alphabet, out: &mut String, ctx: Prec) {
+    match r {
+        Regex::Empty => out.push_str("<empty>"),
+        Regex::Epsilon => out.push_str("()"),
+        Regex::Sym(s) => out.push_str(ab.name(*s)),
+        Regex::Concat(ps) => {
+            let needs = ctx > Prec::Seq;
+            if needs {
+                out.push('(');
+            }
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_regex(p, ab, out, Prec::Post);
+            }
+            if needs {
+                out.push(')');
+            }
+        }
+        Regex::Alt(ps) => {
+            let needs = ctx > Prec::Alt;
+            if needs {
+                out.push('(');
+            }
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                write_regex(p, ab, out, Prec::Seq);
+            }
+            if needs {
+                out.push(')');
+            }
+        }
+        Regex::Star(inner) => {
+            write_regex(inner, ab, out, Prec::Post);
+            out.push('*');
+        }
+        Regex::Plus(inner) => {
+            write_regex(inner, ab, out, Prec::Post);
+            out.push('+');
+        }
+        Regex::Opt(inner) => {
+            write_regex(inner, ab, out, Prec::Post);
+            out.push('?');
+        }
+        Regex::Repeat { inner, min, max } => {
+            write_regex(inner, ab, out, Prec::Post);
+            match max {
+                Some(mx) if mx == min => {
+                    let _ = write!(out, "{{{min}}}");
+                }
+                Some(mx) => {
+                    let _ = write!(out, "{{{min},{mx}}}");
+                }
+                None => {
+                    let _ = write!(out, "{{{min},}}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+
+    #[test]
+    fn round_trips_syntax() {
+        let mut ab = Alphabet::new();
+        for text in [
+            "(shipTo, billTo?, items)",
+            "(a | b)*, c+",
+            "item{2,4}",
+            "x{3}",
+            "y{2,}",
+            "()",
+        ] {
+            let r = parse_regex(text, &mut ab).expect("parse");
+            let printed = regex_to_string(&r, &ab);
+            let reparsed = parse_regex(&printed, &mut ab).expect("reparse");
+            // Compare languages on a few probes rather than ASTs (grouping
+            // may differ).
+            let syms: Vec<_> = ab.symbols().collect();
+            let mut probes: Vec<Vec<_>> = vec![vec![]];
+            for &s in syms.iter().take(3) {
+                probes.push(vec![s]);
+                probes.push(vec![s, s]);
+                for &t in syms.iter().take(3) {
+                    probes.push(vec![s, t]);
+                    probes.push(vec![s, t, s]);
+                }
+            }
+            for p in &probes {
+                assert_eq!(r.matches(p), reparsed.matches(p), "text={text} probe={p:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Glushkov position automata and the one-unambiguity test.
+//!
+//! The Glushkov (position) automaton of a regular expression has one state
+//! per symbol *occurrence* plus a start state, and is deterministic exactly
+//! when the expression is *one-unambiguous* in the sense of Brüggemann-Klein
+//! and Wood — the determinism condition that both DTDs and XML Schema impose
+//! on content models and that the paper's §5 optimality argument relies on.
+
+use crate::alphabet::Sym;
+use crate::ast::{Regex, RepeatOverflow};
+
+/// A position in the linearized regular expression (0-based).
+pub type PosId = usize;
+
+/// The classical `nullable` / `first` / `last` / `follow` sets of a regular
+/// expression, over positions.
+#[derive(Debug, Clone)]
+pub struct GlushkovSets {
+    /// Whether ε is in the language.
+    pub nullable: bool,
+    /// Positions that can start a word.
+    pub first: Vec<PosId>,
+    /// Positions that can end a word.
+    pub last: Vec<PosId>,
+    /// `follow[p]` = positions that may immediately follow position `p`.
+    pub follow: Vec<Vec<PosId>>,
+    /// The symbol at each position.
+    pub pos_syms: Vec<Sym>,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    nullable: bool,
+    first: Vec<PosId>,
+    last: Vec<PosId>,
+}
+
+impl Frame {
+    fn empty() -> Self {
+        Frame {
+            nullable: false,
+            first: Vec::new(),
+            last: Vec::new(),
+        }
+    }
+    fn epsilon() -> Self {
+        Frame {
+            nullable: true,
+            first: Vec::new(),
+            last: Vec::new(),
+        }
+    }
+}
+
+fn union(a: &mut Vec<PosId>, b: &[PosId]) {
+    for &p in b {
+        if !a.contains(&p) {
+            a.push(p);
+        }
+    }
+}
+
+fn compute(r: &Regex, pos_syms: &mut Vec<Sym>, follow: &mut Vec<Vec<PosId>>) -> Frame {
+    match r {
+        Regex::Empty => Frame::empty(),
+        Regex::Epsilon => Frame::epsilon(),
+        Regex::Sym(s) => {
+            let p = pos_syms.len();
+            pos_syms.push(*s);
+            follow.push(Vec::new());
+            Frame {
+                nullable: false,
+                first: vec![p],
+                last: vec![p],
+            }
+        }
+        Regex::Concat(ps) => {
+            let mut acc = Frame::epsilon();
+            for part in ps {
+                let f = compute(part, pos_syms, follow);
+                // follow: last(acc) × first(f)
+                for &p in &acc.last {
+                    union(&mut follow[p], &f.first);
+                }
+                if acc.nullable {
+                    union(&mut acc.first, &f.first);
+                }
+                if f.nullable {
+                    union(&mut acc.last, &f.last);
+                } else {
+                    acc.last = f.last;
+                }
+                acc.nullable &= f.nullable;
+            }
+            acc
+        }
+        Regex::Alt(ps) => {
+            let mut acc = Frame::empty();
+            for part in ps {
+                let f = compute(part, pos_syms, follow);
+                acc.nullable |= f.nullable;
+                union(&mut acc.first, &f.first);
+                union(&mut acc.last, &f.last);
+            }
+            acc
+        }
+        Regex::Star(inner) | Regex::Plus(inner) => {
+            let f = compute(inner, pos_syms, follow);
+            for &p in &f.last {
+                union(&mut follow[p], &f.first);
+            }
+            Frame {
+                nullable: matches!(r, Regex::Star(_)) || f.nullable,
+                first: f.first,
+                last: f.last,
+            }
+        }
+        Regex::Opt(inner) => {
+            let f = compute(inner, pos_syms, follow);
+            Frame {
+                nullable: true,
+                first: f.first,
+                last: f.last,
+            }
+        }
+        Regex::Repeat { .. } => {
+            unreachable!("Repeat nodes must be expanded before Glushkov construction")
+        }
+    }
+}
+
+impl GlushkovSets {
+    /// Computes the Glushkov sets of `r`. Bounded repetitions are expanded
+    /// first; see [`Regex::expand_repeats`].
+    pub fn of(r: &Regex) -> Result<GlushkovSets, RepeatOverflow> {
+        let expanded = r.expand_repeats()?;
+        let mut pos_syms = Vec::new();
+        let mut follow = Vec::new();
+        let frame = compute(&expanded, &mut pos_syms, &mut follow);
+        Ok(GlushkovSets {
+            nullable: frame.nullable,
+            first: frame.first,
+            last: frame.last,
+            follow,
+            pos_syms,
+        })
+    }
+
+    /// Number of positions (symbol occurrences).
+    pub fn positions(&self) -> usize {
+        self.pos_syms.len()
+    }
+}
+
+/// The Glushkov automaton of a regular expression.
+///
+/// State `0` is the start state; state `p + 1` corresponds to position `p`.
+/// The automaton accepts exactly `L(r)` and is deterministic iff `r` is
+/// one-unambiguous.
+#[derive(Debug, Clone)]
+pub struct GlushkovNfa {
+    sets: GlushkovSets,
+}
+
+impl GlushkovNfa {
+    /// Builds the position automaton of `r`.
+    pub fn new(r: &Regex) -> Result<GlushkovNfa, RepeatOverflow> {
+        Ok(GlushkovNfa {
+            sets: GlushkovSets::of(r)?,
+        })
+    }
+
+    /// The underlying Glushkov sets.
+    pub fn sets(&self) -> &GlushkovSets {
+        &self.sets
+    }
+
+    /// Number of states (positions + the start state).
+    pub fn state_count(&self) -> usize {
+        self.sets.positions() + 1
+    }
+
+    /// The start state (always `0`).
+    pub fn start(&self) -> usize {
+        0
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_final(&self, state: usize) -> bool {
+        if state == 0 {
+            self.sets.nullable
+        } else {
+            self.sets.last.contains(&(state - 1))
+        }
+    }
+
+    /// Out-transitions of `state` as `(symbol, target-state)` pairs.
+    pub fn transitions(&self, state: usize) -> Vec<(Sym, usize)> {
+        let targets: &[PosId] = if state == 0 {
+            &self.sets.first
+        } else {
+            &self.sets.follow[state - 1]
+        };
+        targets
+            .iter()
+            .map(|&p| (self.sets.pos_syms[p], p + 1))
+            .collect()
+    }
+
+    /// Whether the automaton is deterministic, i.e. whether the source
+    /// expression is one-unambiguous (Brüggemann-Klein & Wood).
+    pub fn is_deterministic(&self) -> bool {
+        for state in 0..self.state_count() {
+            let trans = self.transitions(state);
+            for (i, (s1, t1)) in trans.iter().enumerate() {
+                for (s2, t2) in &trans[i + 1..] {
+                    if s1 == s2 && t1 != t2 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// NFA word acceptance by breadth simulation (test/reference use).
+    pub fn accepts(&self, input: &[Sym]) -> bool {
+        let mut current = vec![false; self.state_count()];
+        current[0] = true;
+        let mut next = vec![false; self.state_count()];
+        for &s in input {
+            next.iter_mut().for_each(|b| *b = false);
+            let mut any = false;
+            for (state, _) in current.iter().enumerate().filter(|(_, &on)| on) {
+                for (sym, target) in self.transitions(state) {
+                    if sym == s {
+                        next[target] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                return false;
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        (0..self.state_count()).any(|q| current[q] && self.is_final(q))
+    }
+}
+
+/// Whether `r` is one-unambiguous (its Glushkov automaton is deterministic).
+///
+/// XML requires content models to be deterministic in this sense; the
+/// schema-cast algorithms work regardless (we determinize when needed), but
+/// the optimality results of the paper's §5 assume it.
+pub fn is_one_unambiguous(r: &Regex) -> Result<bool, RepeatOverflow> {
+    Ok(GlushkovNfa::new(r)?.is_deterministic())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Sym {
+        Sym(i)
+    }
+
+    #[test]
+    fn glushkov_accepts_language() {
+        // (a, b?, c) — the purchaseOrder shape from Figure 1a.
+        let r = Regex::concat(vec![
+            Regex::sym(s(0)),
+            Regex::opt(Regex::sym(s(1))),
+            Regex::sym(s(2)),
+        ]);
+        let nfa = GlushkovNfa::new(&r).expect("no repeats");
+        assert!(nfa.accepts(&[s(0), s(2)]));
+        assert!(nfa.accepts(&[s(0), s(1), s(2)]));
+        assert!(!nfa.accepts(&[s(0), s(1)]));
+        assert!(!nfa.accepts(&[s(1), s(2)]));
+        assert!(!nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn glushkov_matches_derivative_matcher() {
+        let r = Regex::concat(vec![
+            Regex::star(Regex::alt(vec![Regex::sym(s(0)), Regex::sym(s(1))])),
+            Regex::sym(s(2)),
+            Regex::opt(Regex::sym(s(0))),
+        ]);
+        let nfa = GlushkovNfa::new(&r).expect("no repeats");
+        let inputs: &[&[Sym]] = &[
+            &[],
+            &[s(2)],
+            &[s(0), s(2)],
+            &[s(1), s(0), s(2), s(0)],
+            &[s(2), s(2)],
+            &[s(0), s(0)],
+        ];
+        for input in inputs {
+            assert_eq!(nfa.accepts(input), r.matches(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn one_unambiguity_positive() {
+        // (a, b?, c) is deterministic.
+        let r = Regex::concat(vec![
+            Regex::sym(s(0)),
+            Regex::opt(Regex::sym(s(1))),
+            Regex::sym(s(2)),
+        ]);
+        assert!(is_one_unambiguous(&r).expect("no repeats"));
+    }
+
+    #[test]
+    fn one_unambiguity_negative() {
+        // (a a) | (a b): two distinct a-positions reachable first — the
+        // canonical 1-ambiguous example.
+        let r = Regex::alt(vec![
+            Regex::concat(vec![Regex::sym(s(0)), Regex::sym(s(0))]),
+            Regex::concat(vec![Regex::sym(s(0)), Regex::sym(s(1))]),
+        ]);
+        assert!(!is_one_unambiguous(&r).expect("no repeats"));
+    }
+
+    #[test]
+    fn star_follow_loops() {
+        let r = Regex::star(Regex::sym(s(0)));
+        let nfa = GlushkovNfa::new(&r).expect("no repeats");
+        assert!(nfa.accepts(&[]));
+        assert!(nfa.accepts(&[s(0), s(0), s(0)]));
+        assert!(!nfa.accepts(&[s(1)]));
+        assert!(nfa.is_deterministic());
+    }
+
+    #[test]
+    fn empty_language_automaton() {
+        let nfa = GlushkovNfa::new(&Regex::Empty).expect("no repeats");
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[s(0)]));
+        assert_eq!(nfa.state_count(), 1);
+    }
+
+    #[test]
+    fn repeats_expand_before_glushkov() {
+        let r = Regex::repeat(Regex::sym(s(0)), 2, Some(3));
+        let nfa = GlushkovNfa::new(&r).expect("small bound");
+        assert!(!nfa.accepts(&[s(0)]));
+        assert!(nfa.accepts(&[s(0), s(0)]));
+        assert!(nfa.accepts(&[s(0), s(0), s(0)]));
+        assert!(!nfa.accepts(&[s(0); 4]));
+    }
+}

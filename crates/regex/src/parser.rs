@@ -1,0 +1,313 @@
+//! A DTD-style textual syntax for content-model regular expressions.
+//!
+//! Grammar (whitespace is insignificant):
+//!
+//! ```text
+//! choice   := seq ('|' seq)*
+//! seq      := postfix (',' postfix)*
+//! postfix  := atom ('?' | '*' | '+' | '{' INT (',' INT?)? '}')*
+//! atom     := NAME | '(' choice ')' | '()'
+//! ```
+//!
+//! `()` denotes ε. `NAME` follows XML name rules (letters, digits, `.`,
+//! `-`, `_`, `:`). Labels are interned through the caller-supplied
+//! [`Alphabet`], so the same parser serves DTD content models, test
+//! expressions and workload generators.
+
+use crate::alphabet::{Alphabet, Sym};
+use crate::ast::Regex;
+use std::fmt;
+
+/// A parse error with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a, 'b> {
+    input: &'a [u8],
+    pos: usize,
+    alphabet: &'b mut Alphabet,
+}
+
+/// Parses `text` into a [`Regex`], interning labels into `alphabet`.
+///
+/// # Errors
+/// Returns [`ParseError`] on malformed input or trailing garbage.
+///
+/// # Examples
+/// ```
+/// use schemacast_regex::{parse_regex, Alphabet};
+/// let mut ab = Alphabet::new();
+/// let r = parse_regex("(shipTo, billTo?, items)", &mut ab).unwrap();
+/// let ship = ab.lookup("shipTo").unwrap();
+/// let bill = ab.lookup("billTo").unwrap();
+/// let items = ab.lookup("items").unwrap();
+/// assert!(r.matches(&[ship, items]));
+/// assert!(r.matches(&[ship, bill, items]));
+/// assert!(!r.matches(&[bill, items]));
+/// ```
+pub fn parse_regex(text: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    let mut p = Parser {
+        input: text.as_bytes(),
+        pos: 0,
+        alphabet,
+    };
+    let r = p.choice()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(r)
+}
+
+impl<'a, 'b> Parser<'a, 'b> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn choice(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.seq()?];
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            parts.push(self.seq()?);
+        }
+        Ok(Regex::alt(parts))
+    }
+
+    fn seq(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.postfix()?];
+        while self.peek() == Some(b',') {
+            self.pos += 1;
+            parts.push(self.postfix()?);
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'?') => {
+                    self.pos += 1;
+                    r = Regex::opt(r);
+                }
+                Some(b'*') => {
+                    self.pos += 1;
+                    r = Regex::star(r);
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    r = Regex::plus(r);
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    let min = self.integer()?;
+                    let max = match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                            match self.peek() {
+                                Some(b'}') => None,
+                                _ => Some(self.integer()?),
+                            }
+                        }
+                        _ => Some(min),
+                    };
+                    if self.bump() != Some(b'}') {
+                        return Err(self.err("expected '}'"));
+                    }
+                    if let Some(mx) = max {
+                        if mx < min {
+                            return Err(self.err("repetition max below min"));
+                        }
+                    }
+                    r = Regex::repeat(r, min, max);
+                }
+                _ => return Ok(r),
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<u32, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.input.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected integer"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("digits are UTF-8")
+            .parse()
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                if self.peek() == Some(b')') {
+                    self.pos += 1;
+                    return Ok(Regex::Epsilon);
+                }
+                let r = self.choice()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(r)
+            }
+            Some(b) if is_name_start(b) => {
+                self.skip_ws();
+                let start = self.pos;
+                while self.input.get(self.pos).copied().is_some_and(is_name_char) {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("non-UTF-8 name"))?;
+                Ok(Regex::sym(self.alphabet.intern(name)))
+            }
+            Some(_) => Err(self.err("expected name or '('")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':'
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'.' | b'-')
+}
+
+/// Convenience: parse and return both the regex and the symbols of the
+/// given label names (interning them if needed). Useful in tests.
+pub fn parse_with_syms(
+    text: &str,
+    alphabet: &mut Alphabet,
+    names: &[&str],
+) -> Result<(Regex, Vec<Sym>), ParseError> {
+    let r = parse_regex(text, alphabet)?;
+    let syms = names.iter().map(|n| alphabet.intern(n)).collect();
+    Ok((r, syms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(text: &str) -> (Regex, Alphabet) {
+        let mut ab = Alphabet::new();
+        let r = parse_regex(text, &mut ab).expect("parse");
+        (r, ab)
+    }
+
+    #[test]
+    fn parses_dtd_style_sequence() {
+        let (r, ab) = setup("(shipTo, billTo?, items)");
+        let sh = ab.lookup("shipTo").unwrap();
+        let bi = ab.lookup("billTo").unwrap();
+        let it = ab.lookup("items").unwrap();
+        assert!(r.matches(&[sh, it]));
+        assert!(r.matches(&[sh, bi, it]));
+        assert!(!r.matches(&[sh, bi]));
+    }
+
+    #[test]
+    fn parses_choice_and_closures() {
+        let (r, ab) = setup("(a | b)* , c+");
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let c = ab.lookup("c").unwrap();
+        assert!(r.matches(&[c]));
+        assert!(r.matches(&[a, b, a, c, c]));
+        assert!(!r.matches(&[a, b]));
+    }
+
+    #[test]
+    fn parses_bounded_repetition() {
+        let (r, ab) = setup("item{2,4}");
+        let item = ab.lookup("item").unwrap();
+        assert!(!r.matches(&[item]));
+        assert!(r.matches(&[item, item]));
+        assert!(r.matches(&[item; 4]));
+        assert!(!r.matches(&[item; 5]));
+    }
+
+    #[test]
+    fn parses_exact_and_open_repetition() {
+        let (r, ab) = setup("x{3}");
+        let x = ab.lookup("x").unwrap();
+        assert!(r.matches(&[x; 3]));
+        assert!(!r.matches(&[x; 2]));
+
+        let (r2, ab2) = setup("y{2,}");
+        let y = ab2.lookup("y").unwrap();
+        assert!(!r2.matches(&[y]));
+        assert!(r2.matches(&[y; 7]));
+    }
+
+    #[test]
+    fn empty_group_is_epsilon() {
+        let (r, _) = setup("()");
+        assert!(r.matches(&[]));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut ab = Alphabet::new();
+        assert!(parse_regex("(a,", &mut ab).is_err());
+        assert!(parse_regex("a)", &mut ab).is_err());
+        assert!(parse_regex("", &mut ab).is_err());
+        assert!(parse_regex("a{4,2}", &mut ab).is_err());
+        assert!(parse_regex("|a", &mut ab).is_err());
+    }
+
+    #[test]
+    fn names_allow_xml_punctuation() {
+        let (_, ab) = setup("(xsd:element, my-name, a.b_c)");
+        assert!(ab.lookup("xsd:element").is_some());
+        assert!(ab.lookup("my-name").is_some());
+        assert!(ab.lookup("a.b_c").is_some());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests on the regex layer itself: the smart constructors, the
+//! derivative matcher, repeat expansion, reversal, and the Glushkov
+//! automaton all agree with each other on randomly generated expressions.
+
+use proptest::prelude::*;
+use schemacast_regex::glushkov::is_one_unambiguous;
+use schemacast_regex::{GlushkovNfa, Regex, Sym};
+
+const SIGMA: u32 = 3;
+
+/// A proptest strategy for content-model-shaped regexes.
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        (0..SIGMA).prop_map(|s| Regex::sym(Sym(s))),
+        Just(Regex::Epsilon),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            inner.clone().prop_map(Regex::plus),
+            inner.clone().prop_map(Regex::opt),
+            (inner, 0u32..3, 0u32..4).prop_map(|(r, min, extra)| Regex::repeat(
+                r,
+                min,
+                Some(min + extra)
+            )),
+        ]
+    })
+}
+
+fn strings_up_to(n: usize) -> Vec<Vec<Sym>> {
+    let mut out: Vec<Vec<Sym>> = vec![vec![]];
+    let mut frontier = out.clone();
+    for _ in 0..n {
+        let mut next = Vec::new();
+        for base in &frontier {
+            for s in 0..SIGMA {
+                let mut v = base.clone();
+                v.push(Sym(s));
+                next.push(v);
+            }
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Glushkov automaton accepts exactly what the derivative matcher
+    /// accepts.
+    #[test]
+    fn glushkov_equals_derivatives(r in regex_strategy()) {
+        let nfa = GlushkovNfa::new(&r).expect("bounded repeats");
+        for s in strings_up_to(4) {
+            prop_assert_eq!(nfa.accepts(&s), r.matches(&s), "string {:?}", s);
+        }
+    }
+
+    /// Expanding bounded repetitions preserves the language.
+    #[test]
+    fn expansion_preserves_language(r in regex_strategy()) {
+        let e = r.expand_repeats().expect("bounded");
+        for s in strings_up_to(4) {
+            prop_assert_eq!(r.matches(&s), e.matches(&s), "string {:?}", s);
+        }
+    }
+
+    /// Reversal: `rev(r)` matches exactly the reversed strings.
+    #[test]
+    fn reversal_matches_reversed_strings(r in regex_strategy()) {
+        let rev = r.reverse();
+        for s in strings_up_to(4) {
+            let mut sr = s.clone();
+            sr.reverse();
+            prop_assert_eq!(r.matches(&s), rev.matches(&sr), "string {:?}", s);
+        }
+    }
+
+    /// nullable ⇔ matches ε; empty-language detection is sound.
+    #[test]
+    fn nullable_and_emptiness_agree_with_matching(r in regex_strategy()) {
+        prop_assert_eq!(r.nullable(), r.matches(&[]));
+        if r.is_empty_language() {
+            for s in strings_up_to(4) {
+                prop_assert!(!r.matches(&s), "empty language matched {:?}", s);
+            }
+        }
+    }
+
+    /// Printing and re-parsing preserves the language.
+    #[test]
+    fn display_round_trips(r in regex_strategy()) {
+        let mut ab = schemacast_regex::Alphabet::new();
+        for i in 0..SIGMA {
+            ab.intern(&format!("s{i}"));
+        }
+        let printed = schemacast_regex::display::regex_to_string(&r, &ab);
+        if printed.contains("<empty>") {
+            // ∅ has no surface syntax; skip.
+            return Ok(());
+        }
+        let reparsed = schemacast_regex::parse_regex(&printed, &mut ab)
+            .unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+        for s in strings_up_to(4) {
+            prop_assert_eq!(
+                r.matches(&s), reparsed.matches(&s),
+                "printed {:?}, string {:?}", printed, s
+            );
+        }
+    }
+
+    /// One-unambiguity is stable under expansion (the checker expands
+    /// internally; a deterministic expansion never becomes ambiguous).
+    #[test]
+    fn determinism_check_is_total(r in regex_strategy()) {
+        // Just exercise the checker: it must terminate without panicking
+        // and agree with a direct determinism test of the Glushkov NFA.
+        let via_check = is_one_unambiguous(&r).expect("bounded");
+        let via_nfa = GlushkovNfa::new(&r).expect("bounded").is_deterministic();
+        prop_assert_eq!(via_check, via_nfa);
+    }
+}

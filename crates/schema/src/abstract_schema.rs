@@ -1,0 +1,313 @@
+//! Abstract XML Schemas — the paper's `(Σ, 𝒯, ρ, ℛ)` formalism.
+//!
+//! A schema is a set of named types. Each type is either *simple* (an
+//! atomic kind with facets — the paper's χ types) or *complex*: a content
+//! model `regexp_τ` over Σ (kept both as a [`Regex`] and as a compiled
+//! [`Dfa`]) plus the `types_τ : Σ_τ → 𝒯` child-type assignment. `ℛ` maps
+//! permissible root labels to their types.
+//!
+//! The module also implements the paper's productivity analysis (§3) and a
+//! reference executable of Definition 1 ([`AbstractSchema::accepts_tree`])
+//! used as the ground truth oracle by validator property tests.
+
+use crate::simple::SimpleType;
+use schemacast_automata::{nonempty_restricted, BitSet, Dfa};
+use schemacast_regex::{Alphabet, Regex, Sym};
+use schemacast_tree::{Doc, NodeId, NodeKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a type within an [`AbstractSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// Dense index of the type.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A complex type: content model + child-type assignment.
+#[derive(Debug, Clone)]
+pub struct ComplexType {
+    /// The content model `regexp_τ`.
+    pub regex: Regex,
+    /// The compiled, complete DFA of `regexp_τ`.
+    pub dfa: Dfa,
+    /// `types_τ`: the type assigned to each child label used in the model.
+    pub child_types: HashMap<Sym, TypeId>,
+    /// Whether `regexp_τ` is one-unambiguous (true for all well-formed DTD
+    /// and XSD content models; the DFA is correct either way).
+    pub deterministic: bool,
+}
+
+impl ComplexType {
+    /// The child type for label `σ` (`types_τ(σ)`).
+    pub fn child_type(&self, label: Sym) -> Option<TypeId> {
+        self.child_types.get(&label).copied()
+    }
+}
+
+/// A type declaration: simple or complex.
+#[derive(Debug, Clone)]
+pub enum TypeDef {
+    /// A simple type (the χ leaf types).
+    Simple(SimpleType),
+    /// A complex type.
+    Complex(ComplexType),
+}
+
+impl TypeDef {
+    /// Whether this is a simple type.
+    pub fn is_simple(&self) -> bool {
+        matches!(self, TypeDef::Simple(_))
+    }
+
+    /// The complex payload, if complex.
+    pub fn as_complex(&self) -> Option<&ComplexType> {
+        match self {
+            TypeDef::Complex(c) => Some(c),
+            TypeDef::Simple(_) => None,
+        }
+    }
+
+    /// The simple payload, if simple.
+    pub fn as_simple(&self) -> Option<&SimpleType> {
+        match self {
+            TypeDef::Simple(s) => Some(s),
+            TypeDef::Complex(_) => None,
+        }
+    }
+}
+
+/// An abstract XML Schema `(Σ, 𝒯, ρ, ℛ)` over a shared [`Alphabet`].
+#[derive(Debug, Clone)]
+pub struct AbstractSchema {
+    types: Vec<TypeDef>,
+    names: Vec<String>,
+    roots: HashMap<Sym, TypeId>,
+}
+
+impl AbstractSchema {
+    /// Assembles a schema from parts (used by the builder and front-ends).
+    pub(crate) fn from_parts(
+        types: Vec<TypeDef>,
+        names: Vec<String>,
+        roots: HashMap<Sym, TypeId>,
+    ) -> AbstractSchema {
+        debug_assert_eq!(types.len(), names.len());
+        AbstractSchema {
+            types,
+            names,
+            roots,
+        }
+    }
+
+    /// Number of declared types (|𝒯|).
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// The declaration of `t`.
+    pub fn type_def(&self, t: TypeId) -> &TypeDef {
+        &self.types[t.index()]
+    }
+
+    /// The (diagnostic) name of `t`.
+    pub fn type_name(&self, t: TypeId) -> &str {
+        &self.names[t.index()]
+    }
+
+    /// Looks up a type by name.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| TypeId(i as u32))
+    }
+
+    /// `ℛ(σ)`: the type assigned to a root with label `σ`.
+    pub fn root_type(&self, label: Sym) -> Option<TypeId> {
+        self.roots.get(&label).copied()
+    }
+
+    /// All `(label, type)` root declarations.
+    pub fn roots(&self) -> impl Iterator<Item = (Sym, TypeId)> + '_ {
+        self.roots.iter().map(|(&s, &t)| (s, t))
+    }
+
+    /// Iterates over all type ids.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> {
+        (0..self.types.len() as u32).map(TypeId)
+    }
+
+    /// Whether this schema is DTD-style: every label is assigned the same
+    /// type wherever it appears (including as a root). DTD-specific
+    /// optimizations (§3.4) apply only then.
+    pub fn is_dtd_style(&self) -> bool {
+        let mut assigned: HashMap<Sym, TypeId> = HashMap::new();
+        let mut consistent = |label: Sym, t: TypeId| -> bool {
+            match assigned.insert(label, t) {
+                Some(prev) => prev == t,
+                None => true,
+            }
+        };
+        for def in &self.types {
+            if let TypeDef::Complex(c) = def {
+                for (&label, &t) in &c.child_types {
+                    if !consistent(label, t) {
+                        return false;
+                    }
+                }
+            }
+        }
+        for (&label, &t) in &self.roots {
+            if !consistent(label, t) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The unique type of a label in a DTD-style schema (searching roots and
+    /// all child-type maps).
+    pub fn label_type(&self, label: Sym) -> Option<TypeId> {
+        if let Some(&t) = self.roots.get(&label) {
+            return Some(t);
+        }
+        for def in &self.types {
+            if let TypeDef::Complex(c) = def {
+                if let Some(&t) = c.child_types.get(&label) {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// The paper's productivity marking (§3): `productive[t]` iff
+    /// `valid(t) ≠ ∅`.
+    ///
+    /// Simple types are productive unless their value space is empty;
+    /// a complex type is productive iff its content model accepts a string
+    /// over its productive child labels.
+    pub fn productive(&self, alphabet: &Alphabet) -> Vec<bool> {
+        let mut productive = vec![false; self.types.len()];
+        for (i, def) in self.types.iter().enumerate() {
+            if let TypeDef::Simple(s) = def {
+                productive[i] = !s.is_empty();
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (i, def) in self.types.iter().enumerate() {
+                if productive[i] {
+                    continue;
+                }
+                let TypeDef::Complex(c) = def else { continue };
+                let mut allowed = BitSet::new(alphabet.len().max(c.dfa.alphabet_len()));
+                for (&label, &t) in &c.child_types {
+                    if productive[t.index()] && label.index() < allowed.capacity() {
+                        allowed.insert(label.index());
+                    }
+                }
+                if nonempty_restricted(&c.dfa, &allowed) {
+                    productive[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        productive
+    }
+
+    /// Checks that every declared type is productive (the paper assumes
+    /// this of its input schemas).
+    ///
+    /// # Errors
+    /// Returns the list of non-productive type ids.
+    pub fn assert_productive(&self, alphabet: &Alphabet) -> Result<(), UnproductiveTypes> {
+        let p = self.productive(alphabet);
+        let bad: Vec<TypeId> = self.type_ids().filter(|t| !p[t.index()]).collect();
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(UnproductiveTypes { types: bad })
+        }
+    }
+
+    /// Reference executable of Definition 1: whether the subtree rooted at
+    /// `node` is in `valid(t)`. Used as the oracle in validator tests;
+    /// the production validators live in `schemacast-core`.
+    pub fn accepts_tree(&self, doc: &Doc, node: NodeId, t: TypeId) -> bool {
+        match &self.types[t.index()] {
+            TypeDef::Simple(s) => {
+                if doc.label(node).is_none() {
+                    return false; // χ node cannot itself have a simple type
+                }
+                let children: Vec<NodeId> = doc.validation_children(node).collect();
+                match children.as_slice() {
+                    [] => s.validate(""),
+                    [only] => match doc.kind(*only) {
+                        NodeKind::Text(text) => s.validate(text),
+                        NodeKind::Element(_) => false,
+                    },
+                    _ => false,
+                }
+            }
+            TypeDef::Complex(c) => {
+                let mut labels: Vec<Sym> = Vec::new();
+                for child in doc.validation_children(node) {
+                    match doc.label(child) {
+                        Some(l) => labels.push(l),
+                        None => return false, // character data in element content
+                    }
+                }
+                if !c.dfa.accepts(&labels) {
+                    return false;
+                }
+                doc.validation_children(node)
+                    .zip(labels.iter())
+                    .all(|(child, &label)| match c.child_type(label) {
+                        Some(ct) => self.accepts_tree(doc, child, ct),
+                        None => false,
+                    })
+            }
+        }
+    }
+
+    /// Whether `doc` is valid with respect to this schema: `ℛ(λ(root))` is
+    /// defined and the tree is in its `valid` set (reference semantics).
+    pub fn accepts_document(&self, doc: &Doc) -> bool {
+        let Some(label) = doc.label(doc.root()) else {
+            return false;
+        };
+        match self.root_type(label) {
+            Some(t) => self.accepts_tree(doc, doc.root(), t),
+            None => false,
+        }
+    }
+}
+
+/// Error listing the non-productive types of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnproductiveTypes {
+    /// The offending types.
+    pub types: Vec<TypeId>,
+}
+
+impl fmt::Display for UnproductiveTypes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} type(s) are non-productive (valid(τ) = ∅)",
+            self.types.len()
+        )
+    }
+}
+
+impl std::error::Error for UnproductiveTypes {}

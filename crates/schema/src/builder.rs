@@ -1,0 +1,405 @@
+//! Programmatic construction of abstract XML Schemas.
+//!
+//! The builder supports forward references (declare first, define later),
+//! parses content models with the DTD-style syntax of `schemacast-regex`,
+//! compiles every content model to a complete DFA at [`SchemaBuilder::finish`]
+//! time (when the alphabet is fully known), and checks the structural
+//! consistency rules of the formalism: every type defined exactly once,
+//! every label of a content model mapped by `types_τ`, roots defined.
+
+use crate::abstract_schema::{AbstractSchema, ComplexType, TypeDef, TypeId};
+use crate::simple::SimpleType;
+use schemacast_automata::Dfa;
+use schemacast_regex::glushkov::is_one_unambiguous;
+use schemacast_regex::{parse_regex, Alphabet, Regex};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error constructing a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A type name was declared twice.
+    DuplicateType(String),
+    /// A declared type was never defined.
+    UndefinedType(String),
+    /// A type was defined twice.
+    Redefined(String),
+    /// A content model failed to parse.
+    BadContentModel {
+        /// The type being defined.
+        type_name: String,
+        /// Parser error text.
+        message: String,
+    },
+    /// A label used in a content model has no entry in `types_τ`.
+    MissingChildType {
+        /// The type being defined.
+        type_name: String,
+        /// The unmapped label.
+        label: String,
+    },
+    /// A bounded repetition was too large to expand.
+    RepeatTooLarge(String),
+    /// A root label was bound to two different types.
+    ConflictingRoot(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateType(n) => write!(f, "type {n:?} declared twice"),
+            BuildError::UndefinedType(n) => write!(f, "type {n:?} was declared but never defined"),
+            BuildError::Redefined(n) => write!(f, "type {n:?} defined twice"),
+            BuildError::BadContentModel { type_name, message } => {
+                write!(f, "content model of {type_name:?}: {message}")
+            }
+            BuildError::MissingChildType { type_name, label } => write!(
+                f,
+                "content model of {type_name:?} uses label {label:?} with no child type assigned"
+            ),
+            BuildError::RepeatTooLarge(n) => {
+                write!(
+                    f,
+                    "content model of {n:?} has a repetition too large to expand"
+                )
+            }
+            BuildError::ConflictingRoot(n) => {
+                write!(f, "root label {n:?} bound to two different types")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+enum Pending {
+    Declared,
+    Simple(Box<SimpleType>),
+    Complex {
+        regex: Regex,
+        child_types: HashMap<String, TypeId>,
+    },
+}
+
+/// Builder for [`AbstractSchema`] values.
+///
+/// # Examples
+/// ```
+/// use schemacast_schema::{SchemaBuilder, SimpleType};
+/// use schemacast_regex::Alphabet;
+///
+/// let mut alphabet = Alphabet::new();
+/// let mut b = SchemaBuilder::new(&mut alphabet);
+/// let text = b.simple("Text", SimpleType::string()).unwrap();
+/// let addr = b.declare("USAddress").unwrap();
+/// b.complex(addr, "(name, street, city, state, zip, country)",
+///           &[("name", text), ("street", text), ("city", text),
+///             ("state", text), ("zip", text), ("country", text)]).unwrap();
+/// let po = b.declare("POType").unwrap();
+/// b.complex(po, "(shipTo, billTo?, items)",
+///           &[("shipTo", addr), ("billTo", addr), ("items", text)]).unwrap();
+/// b.root("purchaseOrder", po);
+/// let schema = b.finish().unwrap();
+/// assert_eq!(schema.type_count(), 3);
+/// ```
+pub struct SchemaBuilder<'a> {
+    alphabet: &'a mut Alphabet,
+    names: Vec<String>,
+    pending: Vec<Pending>,
+    index: HashMap<String, TypeId>,
+    roots: Vec<(String, TypeId)>,
+}
+
+impl<'a> SchemaBuilder<'a> {
+    /// Starts a builder over a shared alphabet.
+    pub fn new(alphabet: &'a mut Alphabet) -> SchemaBuilder<'a> {
+        SchemaBuilder {
+            alphabet,
+            names: Vec::new(),
+            pending: Vec::new(),
+            index: HashMap::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Access to the underlying alphabet (front-ends intern labels through
+    /// the builder while constructing content models).
+    pub fn alphabet_mut(&mut self) -> &mut Alphabet {
+        self.alphabet
+    }
+
+    /// Declares a type name for forward reference; define it later with
+    /// [`SchemaBuilder::complex`] or [`SchemaBuilder::define_simple`].
+    pub fn declare(&mut self, name: &str) -> Result<TypeId, BuildError> {
+        if self.index.contains_key(name) {
+            return Err(BuildError::DuplicateType(name.to_owned()));
+        }
+        let id = TypeId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.pending.push(Pending::Declared);
+        self.index.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Declares and defines a simple type in one step.
+    pub fn simple(&mut self, name: &str, ty: SimpleType) -> Result<TypeId, BuildError> {
+        let id = self.declare(name)?;
+        self.define_simple(id, ty)?;
+        Ok(id)
+    }
+
+    /// Defines a previously declared type as simple.
+    pub fn define_simple(&mut self, id: TypeId, ty: SimpleType) -> Result<(), BuildError> {
+        match &self.pending[id.index()] {
+            Pending::Declared => {
+                self.pending[id.index()] = Pending::Simple(Box::new(ty));
+                Ok(())
+            }
+            _ => Err(BuildError::Redefined(self.names[id.index()].clone())),
+        }
+    }
+
+    /// Defines a previously declared type as complex, parsing `model` with
+    /// the DTD-style regex syntax and assigning `child_types` by label name.
+    pub fn complex(
+        &mut self,
+        id: TypeId,
+        model: &str,
+        child_types: &[(&str, TypeId)],
+    ) -> Result<(), BuildError> {
+        let regex = parse_regex(model, self.alphabet).map_err(|e| BuildError::BadContentModel {
+            type_name: self.names[id.index()].clone(),
+            message: e.to_string(),
+        })?;
+        self.complex_regex(
+            id,
+            regex,
+            child_types
+                .iter()
+                .map(|(n, t)| ((*n).to_owned(), *t))
+                .collect(),
+        )
+    }
+
+    /// Defines a complex type from a pre-built [`Regex`].
+    pub fn complex_regex(
+        &mut self,
+        id: TypeId,
+        regex: Regex,
+        child_types: HashMap<String, TypeId>,
+    ) -> Result<(), BuildError> {
+        match &self.pending[id.index()] {
+            Pending::Declared => {}
+            _ => return Err(BuildError::Redefined(self.names[id.index()].clone())),
+        }
+        self.pending[id.index()] = Pending::Complex { regex, child_types };
+        Ok(())
+    }
+
+    /// Registers a root declaration `ℛ(label) = id`.
+    pub fn root(&mut self, label: &str, id: TypeId) {
+        self.roots.push((label.to_owned(), id));
+    }
+
+    /// Compiles content models and assembles the schema.
+    ///
+    /// # Errors
+    /// Fails if any declared type is undefined, a content model uses an
+    /// unmapped label, a repetition is too large, or a root label is bound
+    /// to two different types.
+    pub fn finish(self) -> Result<AbstractSchema, BuildError> {
+        let alphabet_len = self.alphabet.len();
+        let mut types = Vec::with_capacity(self.pending.len());
+        for (i, p) in self.pending.into_iter().enumerate() {
+            let name = &self.names[i];
+            match p {
+                Pending::Declared => return Err(BuildError::UndefinedType(name.clone())),
+                Pending::Simple(s) => types.push(TypeDef::Simple(*s)),
+                Pending::Complex { regex, child_types } => {
+                    let mut mapped = HashMap::with_capacity(child_types.len());
+                    for (label, t) in &child_types {
+                        let sym = self.alphabet.intern(label);
+                        mapped.insert(sym, *t);
+                    }
+                    for sym in regex.symbols() {
+                        if !mapped.contains_key(&sym) {
+                            return Err(BuildError::MissingChildType {
+                                type_name: name.clone(),
+                                label: self.alphabet.name(sym).to_owned(),
+                            });
+                        }
+                    }
+                    let dfa = Dfa::from_regex(&regex, alphabet_len.max(self.alphabet.len()))
+                        .map_err(|_| BuildError::RepeatTooLarge(name.clone()))?;
+                    let deterministic = is_one_unambiguous(&regex)
+                        .map_err(|_| BuildError::RepeatTooLarge(name.clone()))?;
+                    types.push(TypeDef::Complex(ComplexType {
+                        regex,
+                        dfa,
+                        child_types: mapped,
+                        deterministic,
+                    }));
+                }
+            }
+        }
+        let mut roots = HashMap::new();
+        for (label, t) in self.roots {
+            let sym = self.alphabet.intern(&label);
+            if let Some(prev) = roots.insert(sym, t) {
+                if prev != t {
+                    return Err(BuildError::ConflictingRoot(label));
+                }
+            }
+        }
+        Ok(AbstractSchema::from_parts(types, self.names, roots))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::AtomicKind;
+    use schemacast_tree::Doc;
+
+    fn address_schema(alphabet: &mut Alphabet) -> AbstractSchema {
+        let mut b = SchemaBuilder::new(alphabet);
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        let qty = b
+            .simple("Qty", SimpleType::of(AtomicKind::PositiveInteger))
+            .unwrap();
+        let item = b.declare("Item").unwrap();
+        b.complex(item, "(sku, qty)", &[("sku", text), ("qty", qty)])
+            .unwrap();
+        let items = b.declare("Items").unwrap();
+        b.complex(items, "item*", &[("item", item)]).unwrap();
+        b.root("items", items);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builds_and_validates_a_document() {
+        let mut ab = Alphabet::new();
+        let schema = address_schema(&mut ab);
+        assert!(schema.is_dtd_style());
+        assert!(schema.assert_productive(&ab).is_ok());
+
+        let items = ab.lookup("items").unwrap();
+        let item = ab.lookup("item").unwrap();
+        let sku = ab.lookup("sku").unwrap();
+        let qty = ab.lookup("qty").unwrap();
+
+        let mut doc = Doc::new(items);
+        let i = doc.add_element(doc.root(), item);
+        let s = doc.add_element(i, sku);
+        doc.add_text(s, "ABC-1");
+        let q = doc.add_element(i, qty);
+        doc.add_text(q, "4");
+        assert!(schema.accepts_document(&doc));
+
+        // Wrong order of children → invalid.
+        let mut bad = Doc::new(items);
+        let i = bad.add_element(bad.root(), item);
+        let q = bad.add_element(i, qty);
+        bad.add_text(q, "4");
+        let s = bad.add_element(i, sku);
+        bad.add_text(s, "ABC-1");
+        assert!(!schema.accepts_document(&bad));
+
+        // Facet violation: qty "0" is not a positiveInteger.
+        let mut bad2 = Doc::new(items);
+        let i = bad2.add_element(bad2.root(), item);
+        let s = bad2.add_element(i, sku);
+        bad2.add_text(s, "ABC-1");
+        let q = bad2.add_element(i, qty);
+        bad2.add_text(q, "0");
+        assert!(!schema.accepts_document(&bad2));
+    }
+
+    #[test]
+    fn empty_content_model_accepts_leaf() {
+        let mut ab = Alphabet::new();
+        let mut b = SchemaBuilder::new(&mut ab);
+        let empty = b.declare("EmptyType").unwrap();
+        b.complex(empty, "()", &[]).unwrap();
+        b.root("nothing", empty);
+        let schema = b.finish().unwrap();
+        let nothing = ab.lookup("nothing").unwrap();
+        let doc = Doc::new(nothing);
+        assert!(schema.accepts_document(&doc));
+    }
+
+    #[test]
+    fn builder_errors() {
+        let mut ab = Alphabet::new();
+        let mut b = SchemaBuilder::new(&mut ab);
+        let t = b.declare("T").unwrap();
+        assert_eq!(b.declare("T"), Err(BuildError::DuplicateType("T".into())));
+        // Undefined type at finish.
+        b.root("t", t);
+        assert!(matches!(b.finish(), Err(BuildError::UndefinedType(_))));
+
+        let mut ab = Alphabet::new();
+        let mut b = SchemaBuilder::new(&mut ab);
+        let t = b.declare("T").unwrap();
+        assert!(matches!(
+            b.complex(t, "(a,", &[]),
+            Err(BuildError::BadContentModel { .. })
+        ));
+        // Missing child type mapping.
+        b.complex(t, "(a, b)", &[("a", t)]).unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::MissingChildType { .. })
+        ));
+    }
+
+    #[test]
+    fn productivity_detects_unsatisfiable_recursion() {
+        // T → (t, T) … a type that requires itself forever is unproductive.
+        let mut ab = Alphabet::new();
+        let mut b = SchemaBuilder::new(&mut ab);
+        let t = b.declare("Loop").unwrap();
+        b.complex(t, "(x)", &[("x", t)]).unwrap();
+        b.root("x", t);
+        let schema = b.finish().unwrap();
+        let err = schema.assert_productive(&ab).unwrap_err();
+        assert_eq!(err.types, vec![t]);
+
+        // Adding an escape hatch (optional content) makes it productive.
+        let mut ab2 = Alphabet::new();
+        let mut b2 = SchemaBuilder::new(&mut ab2);
+        let t2 = b2.declare("Loop").unwrap();
+        b2.complex(t2, "(x?)", &[("x", t2)]).unwrap();
+        b2.root("x", t2);
+        let schema2 = b2.finish().unwrap();
+        assert!(schema2.assert_productive(&ab2).is_ok());
+    }
+
+    #[test]
+    fn non_dtd_style_detected() {
+        let mut ab = Alphabet::new();
+        let mut b = SchemaBuilder::new(&mut ab);
+        let s1 = b.simple("S1", SimpleType::string()).unwrap();
+        let s2 = b.simple("S2", SimpleType::of(AtomicKind::Integer)).unwrap();
+        let c1 = b.declare("C1").unwrap();
+        // "x" has type S1 under C1 …
+        b.complex(c1, "(x)", &[("x", s1)]).unwrap();
+        let c2 = b.declare("C2").unwrap();
+        // … but type S2 under C2: legal XML Schema, not DTD-expressible.
+        b.complex(c2, "(x)", &[("x", s2)]).unwrap();
+        b.root("c1", c1);
+        b.root("c2", c2);
+        let schema = b.finish().unwrap();
+        assert!(!schema.is_dtd_style());
+    }
+
+    #[test]
+    fn reference_validator_rejects_text_in_element_content() {
+        let mut ab = Alphabet::new();
+        let schema = address_schema(&mut ab);
+        let items = ab.lookup("items").unwrap();
+        let mut doc = Doc::new(items);
+        doc.add_text(doc.root(), "stray");
+        assert!(!schema.accepts_document(&doc));
+    }
+}

@@ -1,0 +1,404 @@
+//! DTD front-end: parses `<!ELEMENT …>` declarations into an abstract
+//! schema.
+//!
+//! A DTD is the special case of an abstract XML Schema where every element
+//! label has a single type regardless of context (§3 of the paper). The
+//! parser accepts element declarations with `EMPTY`, `ANY`, `(#PCDATA)`, and
+//! children content models (the `,`/`|`/`?`/`*`/`+` syntax, which is exactly
+//! the expression syntax of `schemacast-regex`). `<!ATTLIST>` and
+//! `<!ENTITY>` declarations are skipped (validation here is structural, as
+//! in the paper). Mixed content models with element names are not in the
+//! paper's tree model and are rejected.
+
+use crate::abstract_schema::{AbstractSchema, TypeId};
+use crate::builder::{BuildError, SchemaBuilder};
+use crate::simple::SimpleType;
+use schemacast_regex::Alphabet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error parsing a DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtdError {
+    /// Syntax error with a description.
+    Syntax(String),
+    /// An element was declared twice.
+    DuplicateElement(String),
+    /// A content model references an undeclared element.
+    UndeclaredElement {
+        /// The declaring element.
+        element: String,
+        /// The missing reference.
+        referenced: String,
+    },
+    /// Mixed content with child elements (`(#PCDATA | a)*`) is outside the
+    /// paper's tree model.
+    UnsupportedMixedContent(String),
+    /// The requested root element is not declared.
+    UnknownRoot(String),
+    /// Schema assembly failed.
+    Build(BuildError),
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtdError::Syntax(m) => write!(f, "DTD syntax error: {m}"),
+            DtdError::DuplicateElement(e) => write!(f, "element {e:?} declared twice"),
+            DtdError::UndeclaredElement {
+                element,
+                referenced,
+            } => write!(
+                f,
+                "content model of {element:?} references undeclared element {referenced:?}"
+            ),
+            DtdError::UnsupportedMixedContent(e) => {
+                write!(
+                    f,
+                    "element {e:?} has mixed content with child elements (unsupported)"
+                )
+            }
+            DtdError::UnknownRoot(r) => write!(f, "root element {r:?} is not declared"),
+            DtdError::Build(b) => write!(f, "schema assembly failed: {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+impl From<BuildError> for DtdError {
+    fn from(b: BuildError) -> DtdError {
+        DtdError::Build(b)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ContentSpec {
+    Empty,
+    Any,
+    Pcdata,
+    Children(String),
+}
+
+/// Parses DTD text (e.g. a `DOCTYPE` internal subset) into an abstract
+/// schema over `alphabet`.
+///
+/// `root`: the document-type name (from `<!DOCTYPE root …>`); pass `None`
+/// to allow every declared element as a root.
+///
+/// # Examples
+/// ```
+/// use schemacast_schema::dtd::parse_dtd;
+/// use schemacast_regex::Alphabet;
+/// let mut ab = Alphabet::new();
+/// let schema = parse_dtd(r#"
+///   <!ELEMENT po (item*, total)>
+///   <!ELEMENT item (#PCDATA)>
+///   <!ELEMENT total (#PCDATA)>
+///   <!ATTLIST po id CDATA #IMPLIED>
+/// "#, Some("po"), &mut ab).unwrap();
+/// assert!(schema.is_dtd_style());
+/// assert_eq!(schema.roots().count(), 1);
+/// ```
+pub fn parse_dtd(
+    text: &str,
+    root: Option<&str>,
+    alphabet: &mut Alphabet,
+) -> Result<AbstractSchema, DtdError> {
+    let decls = scan_declarations(text)?;
+    let mut elements: Vec<(String, ContentSpec)> = Vec::new();
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    for (name, spec) in decls {
+        if seen.insert(name.clone(), ()).is_some() {
+            return Err(DtdError::DuplicateElement(name));
+        }
+        elements.push((name, spec));
+    }
+
+    if let Some(r) = root {
+        if !elements.iter().any(|(n, _)| n == r) {
+            return Err(DtdError::UnknownRoot(r.to_owned()));
+        }
+    }
+
+    let mut b = SchemaBuilder::new(alphabet);
+    let mut ids: HashMap<String, TypeId> = HashMap::new();
+    for (name, _) in &elements {
+        let id = b.declare(&format!("E_{name}")).map_err(DtdError::from)?;
+        ids.insert(name.clone(), id);
+    }
+
+    let all_names: Vec<String> = elements.iter().map(|(n, _)| n.clone()).collect();
+    for (name, spec) in &elements {
+        let id = ids[name];
+        match spec {
+            ContentSpec::Pcdata => b.define_simple(id, SimpleType::string())?,
+            ContentSpec::Empty => b.complex(id, "()", &[])?,
+            ContentSpec::Any => {
+                // ANY: any sequence of declared elements (or text-free leaf).
+                let model = if all_names.is_empty() {
+                    "()".to_owned()
+                } else {
+                    format!("({})*", all_names.join(" | "))
+                };
+                let child_types: Vec<(&str, TypeId)> =
+                    all_names.iter().map(|n| (n.as_str(), ids[n])).collect();
+                b.complex(id, &model, &child_types)?;
+            }
+            ContentSpec::Children(model) => {
+                // Child types: every name referenced must be declared.
+                let refs = referenced_names(model);
+                let mut child_types: Vec<(&str, TypeId)> = Vec::with_capacity(refs.len());
+                for r in &refs {
+                    match ids.get(r.as_str()) {
+                        Some(&t) => child_types.push((r.as_str(), t)),
+                        None => {
+                            return Err(DtdError::UndeclaredElement {
+                                element: name.clone(),
+                                referenced: r.clone(),
+                            })
+                        }
+                    }
+                }
+                b.complex(id, model, &child_types)?;
+            }
+        }
+    }
+
+    match root {
+        Some(r) => b.root(r, ids[r]),
+        None => {
+            for (name, _) in &elements {
+                b.root(name, ids[name]);
+            }
+        }
+    }
+    b.finish().map_err(DtdError::from)
+}
+
+/// Extracts the element names used in a children content model.
+fn referenced_names(model: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let bytes = model.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_alphabetic() || b == b'_' || b == b':' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric()
+                    || matches!(bytes[i], b'_' | b':' | b'.' | b'-'))
+            {
+                i += 1;
+            }
+            let name = &model[start..i];
+            if !out.iter().any(|n| n == name) {
+                out.push(name.to_owned());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn scan_declarations(text: &str) -> Result<Vec<(String, ContentSpec)>, DtdError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if text[i..].starts_with("<!--") {
+            match text[i + 4..].find("-->") {
+                Some(j) => {
+                    i += 4 + j + 3;
+                    continue;
+                }
+                None => return Err(DtdError::Syntax("unterminated comment".into())),
+            }
+        }
+        if text[i..].starts_with("<!ELEMENT") {
+            let end = text[i..]
+                .find('>')
+                .map(|j| i + j)
+                .ok_or_else(|| DtdError::Syntax("unterminated <!ELEMENT".into()))?;
+            let body = text[i + "<!ELEMENT".len()..end].trim();
+            let (name, spec_text) = body
+                .split_once(|c: char| c.is_whitespace())
+                .ok_or_else(|| DtdError::Syntax(format!("malformed declaration: {body:?}")))?;
+            let spec_text = spec_text.trim();
+            let spec = parse_spec(name, spec_text)?;
+            out.push((name.to_owned(), spec));
+            i = end + 1;
+            continue;
+        }
+        if text[i..].starts_with("<!ATTLIST")
+            || text[i..].starts_with("<!ENTITY")
+            || text[i..].starts_with("<!NOTATION")
+            || text[i..].starts_with("<?")
+        {
+            let end = text[i..]
+                .find('>')
+                .map(|j| i + j)
+                .ok_or_else(|| DtdError::Syntax("unterminated declaration".into()))?;
+            i = end + 1;
+            continue;
+        }
+        return Err(DtdError::Syntax(format!(
+            "unexpected content at byte {i}: {:?}",
+            &text[i..(i + 20).min(text.len())]
+        )));
+    }
+    Ok(out)
+}
+
+fn parse_spec(name: &str, spec: &str) -> Result<ContentSpec, DtdError> {
+    match spec {
+        "EMPTY" => Ok(ContentSpec::Empty),
+        "ANY" => Ok(ContentSpec::Any),
+        _ => {
+            let squeezed: String = spec.chars().filter(|c| !c.is_whitespace()).collect();
+            if squeezed == "(#PCDATA)" || squeezed == "(#PCDATA)*" {
+                Ok(ContentSpec::Pcdata)
+            } else if squeezed.contains("#PCDATA") {
+                Err(DtdError::UnsupportedMixedContent(name.to_owned()))
+            } else {
+                Ok(ContentSpec::Children(spec.to_owned()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_tree::Doc;
+
+    const PO_DTD: &str = r#"
+        <!-- purchase orders -->
+        <!ELEMENT purchaseOrder (shipTo, billTo?, items)>
+        <!ELEMENT shipTo (name, street, city)>
+        <!ELEMENT billTo (name, street, city)>
+        <!ELEMENT items (item*)>
+        <!ELEMENT item (productName, quantity)>
+        <!ELEMENT productName (#PCDATA)>
+        <!ELEMENT quantity (#PCDATA)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT street (#PCDATA)>
+        <!ELEMENT city (#PCDATA)>
+        <!ATTLIST item partNum CDATA #REQUIRED>
+    "#;
+
+    #[test]
+    fn parses_purchase_order_dtd() {
+        let mut ab = Alphabet::new();
+        let schema = parse_dtd(PO_DTD, Some("purchaseOrder"), &mut ab).expect("parse");
+        assert_eq!(schema.type_count(), 10);
+        assert!(schema.is_dtd_style());
+        assert!(schema.assert_productive(&ab).is_ok());
+        assert_eq!(schema.roots().count(), 1);
+
+        // Build and check a small document against the reference semantics.
+        let po = ab.lookup("purchaseOrder").unwrap();
+        let ship = ab.lookup("shipTo").unwrap();
+        let items = ab.lookup("items").unwrap();
+        let name = ab.lookup("name").unwrap();
+        let street = ab.lookup("street").unwrap();
+        let city = ab.lookup("city").unwrap();
+
+        let mut doc = Doc::new(po);
+        let s = doc.add_element(doc.root(), ship);
+        for (label, value) in [(name, "Ada"), (street, "1 Main St"), (city, "Springfield")] {
+            let e = doc.add_element(s, label);
+            doc.add_text(e, value);
+        }
+        doc.add_element(doc.root(), items);
+        assert!(schema.accepts_document(&doc));
+
+        // billTo omitted is fine; items must still follow shipTo.
+        let mut bad = Doc::new(po);
+        bad.add_element(bad.root(), items);
+        assert!(!schema.accepts_document(&bad));
+    }
+
+    #[test]
+    fn empty_and_any() {
+        let mut ab = Alphabet::new();
+        let schema = parse_dtd(
+            "<!ELEMENT a ANY> <!ELEMENT b EMPTY> <!ELEMENT c (#PCDATA)>",
+            None,
+            &mut ab,
+        )
+        .expect("parse");
+        let a = ab.lookup("a").unwrap();
+        let b_sym = ab.lookup("b").unwrap();
+        let c = ab.lookup("c").unwrap();
+
+        // ANY accepts any mix of declared children.
+        let mut doc = Doc::new(a);
+        doc.add_element(doc.root(), b_sym);
+        let ce = doc.add_element(doc.root(), c);
+        doc.add_text(ce, "hi");
+        doc.add_element(doc.root(), a);
+        assert!(schema.accepts_document(&doc));
+
+        // EMPTY rejects children.
+        let mut bad = Doc::new(b_sym);
+        bad.add_element(bad.root(), c);
+        assert!(!schema.accepts_document(&bad));
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut ab = Alphabet::new();
+        assert!(matches!(
+            parse_dtd("<!ELEMENT a (b)>", None, &mut ab),
+            Err(DtdError::UndeclaredElement { .. })
+        ));
+        assert!(matches!(
+            parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a ANY>", None, &mut ab),
+            Err(DtdError::DuplicateElement(_))
+        ));
+        assert!(matches!(
+            parse_dtd(
+                "<!ELEMENT a (#PCDATA | b)*><!ELEMENT b EMPTY>",
+                None,
+                &mut ab
+            ),
+            Err(DtdError::UnsupportedMixedContent(_))
+        ));
+        assert!(matches!(
+            parse_dtd("<!ELEMENT a EMPTY>", Some("missing"), &mut ab),
+            Err(DtdError::UnknownRoot(_))
+        ));
+        assert!(matches!(
+            parse_dtd("garbage", None, &mut ab),
+            Err(DtdError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn doctype_subset_round_trip() {
+        // The XML parser captures the internal subset; we parse it here.
+        let xml = schemacast_xml::parse_document(
+            "<!DOCTYPE po [<!ELEMENT po (item*)> <!ELEMENT item (#PCDATA)>]><po><item>x</item></po>",
+        )
+        .expect("xml");
+        let mut ab = Alphabet::new();
+        let schema = parse_dtd(
+            xml.internal_dtd.as_deref().unwrap(),
+            xml.doctype_name.as_deref(),
+            &mut ab,
+        )
+        .expect("dtd");
+        let doc = schemacast_tree::Doc::from_xml(
+            &xml.root,
+            &mut ab,
+            schemacast_tree::WhitespaceMode::Trim,
+        );
+        assert!(schema.accepts_document(&doc));
+    }
+}

@@ -1,0 +1,95 @@
+#![warn(missing_docs)]
+
+//! Abstract XML Schemas: the paper's `(Σ, 𝒯, ρ, ℛ)` formalism, with DTD and
+//! XSD front-ends and a simple-type system with facets.
+//!
+//! * [`abstract_schema`] — types, content-model DFAs, `types_τ`, the root
+//!   map ℛ, productivity analysis, and a reference executable of
+//!   Definition 1.
+//! * [`simple`] — atomic kinds, facets, and sound value-space subsumption /
+//!   disjointness (needed for the paper's Experiment 2).
+//! * [`builder`] — programmatic schema construction.
+//! * [`dtd`] — `<!ELEMENT …>` parser (DTDs are the single-type-per-label
+//!   special case, §3.4).
+//! * [`xsd`] — an XSD-subset compiler (sequence/choice/all, occurs bounds,
+//!   named/anonymous types, restriction facets, element refs).
+
+pub mod abstract_schema;
+pub mod builder;
+pub mod dtd;
+pub mod prune;
+pub mod simple;
+pub mod xsd;
+
+pub use abstract_schema::{AbstractSchema, ComplexType, TypeDef, TypeId, UnproductiveTypes};
+pub use builder::{BuildError, SchemaBuilder};
+pub use dtd::{parse_dtd, DtdError};
+pub use prune::prune_nonproductive;
+pub use simple::{AtomicKind, BoundValue, Date, Decimal, Facets, SimpleType};
+pub use xsd::XsdError;
+
+use schemacast_regex::Alphabet;
+
+/// A revalidation session: the shared alphabet that all schemas and
+/// documents of one schema-cast computation are interned into.
+///
+/// The paper assumes the source and target schemas share Σ; a `Session`
+/// realizes that assumption.
+#[derive(Debug, Default, Clone)]
+pub struct Session {
+    /// The shared element-label alphabet.
+    pub alphabet: Alphabet,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Parses XSD text into a schema over this session's alphabet.
+    pub fn parse_xsd(&mut self, text: &str) -> Result<AbstractSchema, XsdError> {
+        xsd::parse_xsd(text, &mut self.alphabet)
+    }
+
+    /// Parses DTD text into a schema over this session's alphabet.
+    pub fn parse_dtd(
+        &mut self,
+        text: &str,
+        root: Option<&str>,
+    ) -> Result<AbstractSchema, DtdError> {
+        dtd::parse_dtd(text, root, &mut self.alphabet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_shares_alphabet_between_schemas() {
+        let mut s = Session::new();
+        let xsd1 = r#"<xsd:schema xmlns:xsd="x">
+            <xsd:element name="a" type="T"/>
+            <xsd:complexType name="T"><xsd:sequence>
+              <xsd:element name="b" type="xsd:string"/>
+            </xsd:sequence></xsd:complexType></xsd:schema>"#;
+        let xsd2 = r#"<xsd:schema xmlns:xsd="x">
+            <xsd:element name="a" type="T"/>
+            <xsd:complexType name="T"><xsd:sequence>
+              <xsd:element name="b" type="xsd:string"/>
+              <xsd:element name="c" type="xsd:string" minOccurs="0"/>
+            </xsd:sequence></xsd:complexType></xsd:schema>"#;
+        let s1 = s.parse_xsd(xsd1).expect("s1");
+        let s2 = s.parse_xsd(xsd2).expect("s2");
+        let a = s.alphabet.lookup("a").expect("shared label");
+        assert!(s1.root_type(a).is_some());
+        assert!(s2.root_type(a).is_some());
+        // Same symbol resolves in both schemas.
+        let b = s.alphabet.lookup("b").unwrap();
+        let t1 = s1.type_def(s1.root_type(a).unwrap()).as_complex().unwrap();
+        let t2 = s2.type_def(s2.root_type(a).unwrap()).as_complex().unwrap();
+        assert!(t1.child_type(b).is_some());
+        assert!(t2.child_type(b).is_some());
+    }
+}

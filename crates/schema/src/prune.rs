@@ -1,0 +1,191 @@
+//! Conversion of schemas with non-productive types into equivalent schemas
+//! with only productive types — the procedure sketched at the end of §3's
+//! productivity discussion: "modify `regexp_τ` for each productive `τ` so
+//! that the language of the new regular expression is
+//! `L(regexp_τ) ∩ ProdLabels_τ*`".
+//!
+//! The intersection is computed at the AST level: substituting ∅ for every
+//! occurrence of a label whose child type is non-productive yields exactly
+//! the restricted language (a standard identity for regular expressions),
+//! after which the smart constructors simplify and the DFA is recompiled.
+
+use crate::abstract_schema::{AbstractSchema, ComplexType, TypeDef, TypeId};
+use schemacast_automata::Dfa;
+use schemacast_regex::glushkov::is_one_unambiguous;
+use schemacast_regex::{Alphabet, Regex, Sym};
+use std::collections::HashMap;
+
+/// Substitutes `Empty` for every symbol in `dead`, restricting the language
+/// to words avoiding those symbols.
+fn restrict(r: &Regex, dead: &dyn Fn(Sym) -> bool) -> Regex {
+    match r {
+        Regex::Empty => Regex::Empty,
+        Regex::Epsilon => Regex::Epsilon,
+        Regex::Sym(s) => {
+            if dead(*s) {
+                Regex::Empty
+            } else {
+                Regex::Sym(*s)
+            }
+        }
+        Regex::Concat(ps) => Regex::concat(ps.iter().map(|p| restrict(p, dead)).collect()),
+        Regex::Alt(ps) => Regex::alt(ps.iter().map(|p| restrict(p, dead)).collect()),
+        Regex::Star(p) => Regex::star(restrict(p, dead)),
+        Regex::Plus(p) => Regex::plus(restrict(p, dead)),
+        Regex::Opt(p) => Regex::opt(restrict(p, dead)),
+        Regex::Repeat { inner, min, max } => Regex::repeat(restrict(inner, dead), *min, *max),
+    }
+}
+
+/// Returns an equivalent schema containing only productive types.
+///
+/// * Non-productive types are dropped (together with root declarations
+///   pointing at them).
+/// * Every remaining content model is restricted to its productive labels.
+///
+/// The result accepts exactly the same set of documents (non-productive
+/// types accept nothing, so removing the possibility of reaching them does
+/// not change any `valid(τ)`).
+pub fn prune_nonproductive(schema: &AbstractSchema, alphabet: &Alphabet) -> AbstractSchema {
+    let productive = schema.productive(alphabet);
+    // Dense remap of surviving type ids.
+    let mut remap: HashMap<TypeId, TypeId> = HashMap::new();
+    let mut types: Vec<TypeDef> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for t in schema.type_ids() {
+        if !productive[t.index()] {
+            continue;
+        }
+        remap.insert(t, TypeId(types.len() as u32));
+        names.push(schema.type_name(t).to_owned());
+        types.push(schema.type_def(t).clone()); // fixed up below
+    }
+    for def in &mut types {
+        if let TypeDef::Complex(c) = def {
+            let dead_labels: Vec<Sym> = c
+                .child_types
+                .iter()
+                .filter(|(_, t)| !productive[t.index()])
+                .map(|(&l, _)| l)
+                .collect();
+            let regex = restrict(&c.regex, &|s| dead_labels.contains(&s));
+            let dfa = Dfa::from_regex(&regex, alphabet.len())
+                .expect("restriction never introduces repeats");
+            let deterministic = is_one_unambiguous(&regex).unwrap_or(false);
+            let child_types = c
+                .child_types
+                .iter()
+                .filter(|(_, t)| productive[t.index()])
+                .map(|(&l, t)| (l, remap[t]))
+                .collect();
+            *def = TypeDef::Complex(ComplexType {
+                regex,
+                dfa,
+                child_types,
+                deterministic,
+            });
+        }
+    }
+    let roots = schema
+        .roots()
+        .filter(|(_, t)| productive[t.index()])
+        .map(|(l, t)| (l, remap[&t]))
+        .collect();
+    AbstractSchema::from_parts(types, names, roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::simple::SimpleType;
+    use schemacast_tree::Doc;
+
+    #[test]
+    fn prunes_unproductive_branch() {
+        // Root: (good | bad); bad's type requires itself forever.
+        let mut ab = Alphabet::new();
+        let mut b = SchemaBuilder::new(&mut ab);
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        let bad = b.declare("BadLoop").unwrap();
+        b.complex(bad, "(x)", &[("x", bad)]).unwrap();
+        let root = b.declare("Root").unwrap();
+        b.complex(root, "good | bad", &[("good", text), ("bad", bad)])
+            .unwrap();
+        b.root("r", root);
+        let schema = b.finish().unwrap();
+        assert!(schema.assert_productive(&ab).is_err());
+
+        let pruned = prune_nonproductive(&schema, &ab);
+        assert!(pruned.assert_productive(&ab).is_ok());
+        assert_eq!(pruned.type_count(), 2); // Text + Root
+
+        // Semantics preserved: <r><good>v</good></r> valid in both,
+        // and nothing involving <bad> ever was valid.
+        let r = ab.lookup("r").unwrap();
+        let good = ab.lookup("good").unwrap();
+        let bad_l = ab.lookup("bad").unwrap();
+        let mut doc = Doc::new(r);
+        let g = doc.add_element(doc.root(), good);
+        doc.add_text(g, "v");
+        assert!(schema.accepts_document(&doc));
+        assert!(pruned.accepts_document(&doc));
+
+        let mut doc2 = Doc::new(r);
+        doc2.add_element(doc2.root(), bad_l);
+        assert!(!schema.accepts_document(&doc2));
+        assert!(!pruned.accepts_document(&doc2));
+    }
+
+    #[test]
+    fn fully_productive_schema_is_unchanged_in_size() {
+        let mut ab = Alphabet::new();
+        let mut b = SchemaBuilder::new(&mut ab);
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        let root = b.declare("Root").unwrap();
+        b.complex(root, "x*", &[("x", text)]).unwrap();
+        b.root("r", root);
+        let schema = b.finish().unwrap();
+        let pruned = prune_nonproductive(&schema, &ab);
+        assert_eq!(pruned.type_count(), schema.type_count());
+        assert_eq!(pruned.roots().count(), 1);
+    }
+
+    #[test]
+    fn root_pointing_at_unproductive_type_is_dropped() {
+        let mut ab = Alphabet::new();
+        let mut b = SchemaBuilder::new(&mut ab);
+        let bad = b.declare("Bad").unwrap();
+        b.complex(bad, "(x)", &[("x", bad)]).unwrap();
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        b.root("bad", bad);
+        b.root("ok", text);
+        let schema = b.finish().unwrap();
+        let pruned = prune_nonproductive(&schema, &ab);
+        assert_eq!(pruned.roots().count(), 1);
+        let ok = ab.lookup("ok").unwrap();
+        assert!(pruned.root_type(ok).is_some());
+    }
+
+    #[test]
+    fn restriction_identity_holds() {
+        // L(r[σ→∅]) = L(r) ∩ (Σ∖σ)* — probe-based check.
+        let mut ab = Alphabet::new();
+        let r = schemacast_regex::parse_regex("(a, b?) | (c, a*)", &mut ab).unwrap();
+        let c = ab.lookup("c").unwrap();
+        let restricted = restrict(&r, &|s| s == c);
+        let a = ab.lookup("a").unwrap();
+        let b_sym = ab.lookup("b").unwrap();
+        for probe in [
+            vec![a],
+            vec![a, b_sym],
+            vec![c],
+            vec![c, a],
+            vec![c, a, a],
+            vec![],
+        ] {
+            let expected = r.matches(&probe) && !probe.contains(&c);
+            assert_eq!(restricted.matches(&probe), expected, "probe {probe:?}");
+        }
+    }
+}

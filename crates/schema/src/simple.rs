@@ -1,0 +1,1025 @@
+//! Simple (atomic) types with facets, and value-space reasoning.
+//!
+//! The paper merges all simple types into one χ type "for simplicity of
+//! exposition" and notes that handling the real XML Schema atomic types,
+//! their restrictions, and the relationships between their value spaces "is
+//! a straightforward extension". Experiment 2 *requires* that extension: the
+//! source schema's `quantity` has `maxExclusive=200` and the target's has
+//! `maxExclusive=100`, so the two simple types are neither subsumed nor
+//! disjoint and every quantity value must be checked.
+//!
+//! Soundness contract (what the cast validator relies on):
+//!
+//! * [`SimpleType::subsumed_by`] returns `true` only if **every** lexical
+//!   value accepted by `self` is accepted by `other`.
+//! * [`SimpleType::disjoint_from`] returns `true` only if **no** lexical
+//!   value is accepted by both.
+//!
+//! Both are conservative (may return `false` when the property actually
+//! holds); a `false` merely means the validator checks values explicitly.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Built-in atomic kinds (the subset exercised by the paper's schemas, plus
+/// the obvious neighbours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicKind {
+    /// `xsd:string` — accepts any character data.
+    String,
+    /// `xsd:boolean` — `true`, `false`, `1`, `0`.
+    Boolean,
+    /// `xsd:decimal`.
+    Decimal,
+    /// `xsd:integer`.
+    Integer,
+    /// `xsd:nonNegativeInteger`.
+    NonNegativeInteger,
+    /// `xsd:positiveInteger`.
+    PositiveInteger,
+    /// `xsd:date` — `YYYY-MM-DD`.
+    Date,
+    /// `xsd:anySimpleType` — the top of the simple-type hierarchy.
+    AnySimple,
+}
+
+impl AtomicKind {
+    /// Resolves a built-in XSD type name (local part, prefix stripped).
+    pub fn from_xsd_name(name: &str) -> Option<AtomicKind> {
+        Some(match name {
+            "string" | "normalizedString" | "token" | "NMTOKEN" | "Name" | "NCName" | "ID"
+            | "IDREF" | "anyURI" | "language" => AtomicKind::String,
+            "boolean" => AtomicKind::Boolean,
+            "decimal" | "float" | "double" => AtomicKind::Decimal,
+            "integer" | "long" | "int" | "short" | "byte" => AtomicKind::Integer,
+            "nonNegativeInteger" | "unsignedLong" | "unsignedInt" | "unsignedShort"
+            | "unsignedByte" => AtomicKind::NonNegativeInteger,
+            "positiveInteger" => AtomicKind::PositiveInteger,
+            "date" => AtomicKind::Date,
+            "anySimpleType" | "anyType" => AtomicKind::AnySimple,
+            _ => return None,
+        })
+    }
+
+    /// Whether the kind is in the decimal family.
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            AtomicKind::Decimal
+                | AtomicKind::Integer
+                | AtomicKind::NonNegativeInteger
+                | AtomicKind::PositiveInteger
+        )
+    }
+
+    /// Whether every lexical value of `self` is a lexical value of `other`
+    /// (facet-free kind-level subsumption).
+    pub fn value_subset_of(self, other: AtomicKind) -> bool {
+        use AtomicKind::*;
+        if self == other || matches!(other, String | AnySimple) {
+            return true;
+        }
+        matches!(
+            (self, other),
+            (PositiveInteger, NonNegativeInteger)
+                | (PositiveInteger, Integer)
+                | (PositiveInteger, Decimal)
+                | (NonNegativeInteger, Integer)
+                | (NonNegativeInteger, Decimal)
+                | (Integer, Decimal)
+        )
+    }
+
+    /// Whether the *lexical* spaces of the two kinds are provably disjoint
+    /// (no string parses as both).
+    pub fn lexically_disjoint(self, other: AtomicKind) -> bool {
+        use AtomicKind::*;
+        if self == other {
+            return false;
+        }
+        match (self, other) {
+            // String / AnySimple overlap everything.
+            (String | AnySimple, _) | (_, String | AnySimple) => false,
+            // The numeric family overlaps itself.
+            (a, b) if a.is_numeric() && b.is_numeric() => false,
+            // "1"/"0" are both boolean and numeric.
+            (Boolean, b) if b.is_numeric() => false,
+            (a, Boolean) if a.is_numeric() => false,
+            // Dates never parse as numbers or booleans.
+            (Date, _) | (_, Date) => true,
+            _ => false,
+        }
+    }
+}
+
+/// An exact decimal: `units · 10^{-scale}`.
+///
+/// Scale and magnitude are bounded at parse time (≤ 18 fraction digits,
+/// ≤ 18 integer digits) so comparisons never overflow `i128`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decimal {
+    units: i128,
+    scale: u8,
+}
+
+impl Decimal {
+    /// Parses an XSD decimal (`-12.50`, `+3`, `.5`, `7.`).
+    pub fn parse(text: &str) -> Option<Decimal> {
+        let t = text.trim();
+        let (neg, rest) = match t.strip_prefix('-') {
+            Some(r) => (true, r),
+            None => (false, t.strip_prefix('+').unwrap_or(t)),
+        };
+        let (int_part, frac_part) = match rest.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (rest, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return None;
+        }
+        if !int_part.bytes().all(|b| b.is_ascii_digit())
+            || !frac_part.bytes().all(|b| b.is_ascii_digit())
+        {
+            return None;
+        }
+        if int_part.len() > 18 || frac_part.len() > 18 {
+            return None;
+        }
+        let frac_trimmed = frac_part.trim_end_matches('0');
+        let mut units: i128 = 0;
+        for b in int_part.bytes().chain(frac_trimmed.bytes()) {
+            units = units * 10 + i128::from(b - b'0');
+        }
+        if neg {
+            units = -units;
+        }
+        Some(Decimal {
+            units,
+            scale: frac_trimmed.len() as u8,
+        })
+    }
+
+    /// Parses an XSD integer (no fractional part allowed).
+    pub fn parse_integer(text: &str) -> Option<Decimal> {
+        let d = Decimal::parse(text)?;
+        if d.scale == 0 {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// A decimal from an `i64`.
+    pub fn from_i64(v: i64) -> Decimal {
+        Decimal {
+            units: v as i128,
+            scale: 0,
+        }
+    }
+
+    /// Whether the value is a whole number.
+    pub fn is_integer(&self) -> bool {
+        self.scale == 0
+    }
+
+    /// The constant zero.
+    pub fn zero() -> Decimal {
+        Decimal::from_i64(0)
+    }
+
+    /// The constant one.
+    pub fn one() -> Decimal {
+        Decimal::from_i64(1)
+    }
+
+    /// The value one unit greater (`self + 1`).
+    pub fn succ_unit(&self) -> Decimal {
+        Decimal {
+            units: self.units + 10i128.pow(u32::from(self.scale)),
+            scale: self.scale,
+        }
+    }
+
+    /// The value one unit smaller (`self - 1`).
+    pub fn pred_unit(&self) -> Decimal {
+        Decimal {
+            units: self.units - 10i128.pow(u32::from(self.scale)),
+            scale: self.scale,
+        }
+    }
+}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Bring both to the larger scale; bounded digits keep this in i128.
+        let (a, b) = (self, other);
+        let max_scale = a.scale.max(b.scale);
+        let ax = a.units * 10i128.pow(u32::from(max_scale - a.scale));
+        let bx = b.units * 10i128.pow(u32::from(max_scale - b.scale));
+        ax.cmp(&bx)
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.units);
+        }
+        let neg = self.units < 0;
+        let abs = self.units.unsigned_abs().to_string();
+        let scale = self.scale as usize;
+        let (int, frac) = if abs.len() > scale {
+            (
+                abs[..abs.len() - scale].to_string(),
+                abs[abs.len() - scale..].to_string(),
+            )
+        } else {
+            ("0".to_string(), format!("{abs:0>scale$}"))
+        };
+        write!(f, "{}{}.{}", if neg { "-" } else { "" }, int, frac)
+    }
+}
+
+/// A calendar date (proleptic Gregorian, enough for `xsd:date` lexicals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Date {
+    /// Year.
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day, 1–31 (validated against the month).
+    pub day: u8,
+}
+
+impl Date {
+    /// Parses `YYYY-MM-DD` (optionally negative year).
+    pub fn parse(text: &str) -> Option<Date> {
+        let t = text.trim();
+        let (neg, rest) = match t.strip_prefix('-') {
+            Some(r) => (true, r),
+            None => (false, t),
+        };
+        let mut parts = rest.splitn(3, '-');
+        let y: i32 = parts.next()?.parse().ok()?;
+        let m: u8 = parts.next()?.parse().ok()?;
+        let d: u8 = parts.next()?.parse().ok()?;
+        let year = if neg { -y } else { y };
+        if !(1..=12).contains(&m) {
+            return None;
+        }
+        let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+        let max_day = match m {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 if leap => 29,
+            2 => 28,
+            _ => unreachable!(),
+        };
+        if d == 0 || d > max_day {
+            return None;
+        }
+        Some(Date {
+            year,
+            month: m,
+            day: d,
+        })
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A parsed facet bound value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundValue {
+    /// A numeric bound (decimal family).
+    Num(Decimal),
+    /// A date bound.
+    Date(Date),
+}
+
+/// Restriction facets. Range facets are parsed against the base kind when
+/// the [`SimpleType`] is constructed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Facets {
+    /// `xsd:minInclusive`.
+    pub min_inclusive: Option<BoundValue>,
+    /// `xsd:maxInclusive`.
+    pub max_inclusive: Option<BoundValue>,
+    /// `xsd:minExclusive`.
+    pub min_exclusive: Option<BoundValue>,
+    /// `xsd:maxExclusive`.
+    pub max_exclusive: Option<BoundValue>,
+    /// `xsd:enumeration` values (lexical forms).
+    pub enumeration: Option<Vec<String>>,
+    /// `xsd:length` (string kinds, in characters).
+    pub length: Option<usize>,
+    /// `xsd:minLength`.
+    pub min_length: Option<usize>,
+    /// `xsd:maxLength`.
+    pub max_length: Option<usize>,
+}
+
+impl Facets {
+    /// Whether no facet is set.
+    pub fn is_unconstrained(&self) -> bool {
+        self == &Facets::default()
+    }
+}
+
+/// An interval over decimals with half-open/closed ends, used for
+/// subsumption/disjointness reasoning over numeric kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    lo: Option<(Decimal, bool)>, // (bound, inclusive)
+    hi: Option<(Decimal, bool)>,
+}
+
+impl Interval {
+    fn unbounded() -> Interval {
+        Interval { lo: None, hi: None }
+    }
+
+    fn contains_interval(&self, inner: &Interval) -> bool {
+        let lo_ok = match (&self.lo, &inner.lo) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some((a, ai)), Some((b, bi))) => match a.cmp(b) {
+                Ordering::Less => true,
+                Ordering::Equal => *ai || !*bi,
+                Ordering::Greater => false,
+            },
+        };
+        let hi_ok = match (&self.hi, &inner.hi) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some((a, ai)), Some((b, bi))) => match a.cmp(b) {
+                Ordering::Greater => true,
+                Ordering::Equal => *ai || !*bi,
+                Ordering::Less => false,
+            },
+        };
+        lo_ok && hi_ok
+    }
+
+    fn disjoint_with(&self, other: &Interval) -> bool {
+        // self entirely below other, or other entirely below self.
+        let below = |hi: &Option<(Decimal, bool)>, lo: &Option<(Decimal, bool)>| match (hi, lo) {
+            (Some((h, hi_inc)), Some((l, lo_inc))) => match h.cmp(l) {
+                Ordering::Less => true,
+                Ordering::Equal => !(*hi_inc && *lo_inc),
+                Ordering::Greater => false,
+            },
+            _ => false,
+        };
+        below(&self.hi, &other.lo) || below(&other.hi, &self.lo)
+    }
+
+    fn contains_value(&self, v: &Decimal) -> bool {
+        let lo_ok = match &self.lo {
+            None => true,
+            Some((b, inc)) => match v.cmp(b) {
+                Ordering::Greater => true,
+                Ordering::Equal => *inc,
+                Ordering::Less => false,
+            },
+        };
+        let hi_ok = match &self.hi {
+            None => true,
+            Some((b, inc)) => match v.cmp(b) {
+                Ordering::Less => true,
+                Ordering::Equal => *inc,
+                Ordering::Greater => false,
+            },
+        };
+        lo_ok && hi_ok
+    }
+
+    fn is_empty_for_integers(&self) -> bool {
+        // Conservative emptiness: only detect when bounds pin an empty set
+        // of integers or an empty real interval.
+        if let (Some((l, li)), Some((h, hi))) = (&self.lo, &self.hi) {
+            match l.cmp(h) {
+                Ordering::Greater => return true,
+                Ordering::Equal => return !(*li && *hi),
+                Ordering::Less => {}
+            }
+        }
+        false
+    }
+}
+
+/// A simple type: an atomic kind plus restriction facets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimpleType {
+    /// Base atomic kind.
+    pub kind: AtomicKind,
+    /// Facets (already parsed against the kind).
+    pub facets: Facets,
+}
+
+impl SimpleType {
+    /// An unrestricted type of the given kind.
+    pub fn of(kind: AtomicKind) -> SimpleType {
+        SimpleType {
+            kind,
+            facets: Facets::default(),
+        }
+    }
+
+    /// Unrestricted `xsd:string`.
+    pub fn string() -> SimpleType {
+        SimpleType::of(AtomicKind::String)
+    }
+
+    /// The effective numeric interval: facets intersected with the kind's
+    /// intrinsic bounds. `None` for non-numeric kinds.
+    fn numeric_interval(&self) -> Option<Interval> {
+        if !self.kind.is_numeric() {
+            return None;
+        }
+        let mut iv = Interval::unbounded();
+        match self.kind {
+            AtomicKind::NonNegativeInteger => iv.lo = Some((Decimal::zero(), true)),
+            AtomicKind::PositiveInteger => iv.lo = Some((Decimal::one(), true)),
+            _ => {}
+        }
+        let tighten_lo = |iv: &mut Interval, b: Decimal, inc: bool| {
+            let better = match &iv.lo {
+                None => true,
+                Some((cur, cur_inc)) => match b.cmp(cur) {
+                    Ordering::Greater => true,
+                    Ordering::Equal => *cur_inc && !inc,
+                    Ordering::Less => false,
+                },
+            };
+            if better {
+                iv.lo = Some((b, inc));
+            }
+        };
+        let tighten_hi = |iv: &mut Interval, b: Decimal, inc: bool| {
+            let better = match &iv.hi {
+                None => true,
+                Some((cur, cur_inc)) => match b.cmp(cur) {
+                    Ordering::Less => true,
+                    Ordering::Equal => *cur_inc && !inc,
+                    Ordering::Greater => false,
+                },
+            };
+            if better {
+                iv.hi = Some((b, inc));
+            }
+        };
+        if let Some(BoundValue::Num(b)) = self.facets.min_inclusive {
+            tighten_lo(&mut iv, b, true);
+        }
+        if let Some(BoundValue::Num(b)) = self.facets.min_exclusive {
+            tighten_lo(&mut iv, b, false);
+        }
+        if let Some(BoundValue::Num(b)) = self.facets.max_inclusive {
+            tighten_hi(&mut iv, b, true);
+        }
+        if let Some(BoundValue::Num(b)) = self.facets.max_exclusive {
+            tighten_hi(&mut iv, b, false);
+        }
+        Some(iv)
+    }
+
+    /// Validates a lexical value against kind and facets.
+    pub fn validate(&self, text: &str) -> bool {
+        if let Some(enumeration) = &self.facets.enumeration {
+            if !self.enum_match(enumeration, text) {
+                return false;
+            }
+        }
+        match self.kind {
+            AtomicKind::String | AtomicKind::AnySimple => {
+                let chars = text.chars().count();
+                if let Some(l) = self.facets.length {
+                    if chars != l {
+                        return false;
+                    }
+                }
+                if let Some(l) = self.facets.min_length {
+                    if chars < l {
+                        return false;
+                    }
+                }
+                if let Some(l) = self.facets.max_length {
+                    if chars > l {
+                        return false;
+                    }
+                }
+                true
+            }
+            AtomicKind::Boolean => matches!(text.trim(), "true" | "false" | "1" | "0"),
+            AtomicKind::Decimal
+            | AtomicKind::Integer
+            | AtomicKind::NonNegativeInteger
+            | AtomicKind::PositiveInteger => {
+                let Some(v) = Decimal::parse(text) else {
+                    return false;
+                };
+                if self.kind != AtomicKind::Decimal && !v.is_integer() {
+                    return false;
+                }
+                self.numeric_interval()
+                    .expect("numeric kind")
+                    .contains_value(&v)
+            }
+            AtomicKind::Date => {
+                let Some(d) = Date::parse(text) else {
+                    return false;
+                };
+                let in_lo = match (self.facets.min_inclusive, self.facets.min_exclusive) {
+                    (Some(BoundValue::Date(b)), _) => d >= b,
+                    (_, Some(BoundValue::Date(b))) => d > b,
+                    _ => true,
+                };
+                let in_hi = match (self.facets.max_inclusive, self.facets.max_exclusive) {
+                    (Some(BoundValue::Date(b)), _) => d <= b,
+                    (_, Some(BoundValue::Date(b))) => d < b,
+                    _ => true,
+                };
+                in_lo && in_hi
+            }
+        }
+    }
+
+    fn enum_match(&self, enumeration: &[String], text: &str) -> bool {
+        if self.kind.is_numeric() {
+            let Some(v) = Decimal::parse(text) else {
+                return false;
+            };
+            enumeration
+                .iter()
+                .any(|e| Decimal::parse(e).is_some_and(|ev| ev == v))
+        } else {
+            enumeration.iter().any(|e| e == text)
+        }
+    }
+
+    /// Whether `valid(self) = ∅` (detected conservatively).
+    pub fn is_empty(&self) -> bool {
+        if let Some(e) = &self.facets.enumeration {
+            if e.iter().all(|v| {
+                let mut probe = self.clone();
+                probe.facets.enumeration = None;
+                !probe.validate(v)
+            }) {
+                return true;
+            }
+        }
+        if let Some(iv) = self.numeric_interval() {
+            if iv.is_empty_for_integers() {
+                return true;
+            }
+        }
+        if let (Some(mn), Some(mx)) = (self.facets.min_length, self.facets.max_length) {
+            if mn > mx {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A deterministic example of a valid lexical value, if one can be
+    /// found by probing — used by document repair to synthesize required
+    /// simple content. Returns `None` for (detectably) empty value spaces
+    /// or exotic facet combinations the probe set misses.
+    pub fn example_value(&self) -> Option<String> {
+        if let Some(e) = &self.facets.enumeration {
+            return e.iter().find(|v| self.validate(v)).cloned();
+        }
+        let candidates: &[&str] = match self.kind {
+            AtomicKind::String | AtomicKind::AnySimple => {
+                &["value", "", "x", "xxxxx", "xxxxxxxxxx"]
+            }
+            AtomicKind::Boolean => &["true", "false"],
+            AtomicKind::Date => &["2004-03-14", "1970-01-01", "2099-12-31"],
+            _ => &[
+                "1", "0", "2", "5", "10", "42", "50", "99", "100", "-1", "1000", "0.5",
+            ],
+        };
+        candidates
+            .iter()
+            .find(|v| self.validate(v))
+            .map(|v| (*v).to_owned())
+            .or_else(|| {
+                // Numeric/date ranges the fixed probes miss: derive
+                // candidates from every facet bound (the bound itself, and
+                // one unit inside it for exclusive bounds).
+                let mut candidates: Vec<String> = Vec::new();
+                for facet in [
+                    self.facets.min_inclusive,
+                    self.facets.max_inclusive,
+                    self.facets.min_exclusive,
+                    self.facets.max_exclusive,
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    match facet {
+                        BoundValue::Num(b) => {
+                            candidates.push(b.to_string());
+                            candidates.push(b.succ_unit().to_string());
+                            candidates.push(b.pred_unit().to_string());
+                        }
+                        BoundValue::Date(d) => candidates.push(d.to_string()),
+                    }
+                }
+                candidates.into_iter().find(|v| self.validate(v))
+            })
+    }
+
+    /// Sound subsumption: `true` ⇒ every value of `self` is a value of
+    /// `other` (condition i of Definition 4, refined with value spaces).
+    pub fn subsumed_by(&self, other: &SimpleType) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        // Target unconstrained string/anySimple accepts everything.
+        if matches!(other.kind, AtomicKind::String | AtomicKind::AnySimple)
+            && other.facets.is_unconstrained()
+        {
+            return true;
+        }
+        // Enumerated source: check each enumerated (and self-valid) value.
+        if let Some(e) = &self.facets.enumeration {
+            return e
+                .iter()
+                .filter(|v| self.validate(v))
+                .all(|v| other.validate(v));
+        }
+        if !self.kind.value_subset_of(other.kind) {
+            return false;
+        }
+        if other.facets.enumeration.is_some() {
+            return false; // non-enumerated source can't fit a finite target
+        }
+        match (self.numeric_interval(), other.numeric_interval()) {
+            (Some(a), Some(b)) => b.contains_interval(&a),
+            _ => {
+                // Same-family non-numeric kinds: require target facets no
+                // tighter than source's (conservative: target unconstrained,
+                // or string-length windows nest).
+                if other.facets.is_unconstrained() {
+                    return true;
+                }
+                if matches!(self.kind, AtomicKind::String | AtomicKind::AnySimple) {
+                    let src_min = self.facets.length.or(self.facets.min_length).unwrap_or(0);
+                    let src_max = self.facets.length.or(self.facets.max_length);
+                    let dst_min = other.facets.length.or(other.facets.min_length).unwrap_or(0);
+                    let dst_max = other.facets.length.or(other.facets.max_length);
+                    let max_ok = match (src_max, dst_max) {
+                        (_, None) => true,
+                        (None, Some(_)) => false,
+                        (Some(s), Some(d)) => s <= d,
+                    };
+                    return dst_min <= src_min
+                        && max_ok
+                        && other.facets.enumeration.is_none()
+                        && other.facets.min_inclusive.is_none()
+                        && other.facets.max_inclusive.is_none()
+                        && other.facets.min_exclusive.is_none()
+                        && other.facets.max_exclusive.is_none();
+                }
+                false
+            }
+        }
+    }
+
+    /// Sound disjointness: `true` ⇒ no lexical value is accepted by both.
+    pub fn disjoint_from(&self, other: &SimpleType) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return true;
+        }
+        // Enumerations: disjoint iff no shared accepted value.
+        if let Some(e) = &self.facets.enumeration {
+            return e
+                .iter()
+                .filter(|v| self.validate(v))
+                .all(|v| !other.validate(v));
+        }
+        if let Some(e) = &other.facets.enumeration {
+            return e
+                .iter()
+                .filter(|v| other.validate(v))
+                .all(|v| !self.validate(v));
+        }
+        if self.kind.lexically_disjoint(other.kind) {
+            return true;
+        }
+        // Numeric family: disjoint intervals.
+        if let (Some(a), Some(b)) = (self.numeric_interval(), other.numeric_interval()) {
+            return a.disjoint_with(&b);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(kind: AtomicKind, max_exclusive: i64) -> SimpleType {
+        SimpleType {
+            kind,
+            facets: Facets {
+                max_exclusive: Some(BoundValue::Num(Decimal::from_i64(max_exclusive))),
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn decimal_parsing_and_ordering() {
+        let a = Decimal::parse("12.50").unwrap();
+        let b = Decimal::parse("12.5").unwrap();
+        assert_eq!(a, b);
+        assert!(Decimal::parse("-3").unwrap() < Decimal::zero());
+        assert!(Decimal::parse("0.999").unwrap() < Decimal::one());
+        assert!(Decimal::parse("100").unwrap() > Decimal::parse("99.99").unwrap());
+        assert!(Decimal::parse("abc").is_none());
+        assert!(Decimal::parse("").is_none());
+        assert!(Decimal::parse("1.2.3").is_none());
+        assert!(Decimal::parse_integer("5").is_some());
+        assert!(Decimal::parse_integer("5.1").is_none());
+        assert_eq!(Decimal::parse("12.50").unwrap().to_string(), "12.5");
+        assert_eq!(Decimal::parse("-0.05").unwrap().to_string(), "-0.05");
+    }
+
+    #[test]
+    fn date_parsing() {
+        assert!(Date::parse("2004-03-14").is_some());
+        assert!(Date::parse("2004-02-29").is_some()); // leap year
+        assert!(Date::parse("2003-02-29").is_none());
+        assert!(Date::parse("2004-13-01").is_none());
+        assert!(Date::parse("2004-04-31").is_none());
+        assert!(Date::parse("2004-03-14").unwrap() < Date::parse("2004-03-15").unwrap());
+    }
+
+    #[test]
+    fn experiment2_quantity_types() {
+        // Source: positiveInteger maxExclusive 200; target: maxExclusive 100.
+        let source = num(AtomicKind::PositiveInteger, 200);
+        let target = num(AtomicKind::PositiveInteger, 100);
+        // Neither subsumed (199 valid in source, not target)…
+        assert!(!source.subsumed_by(&target));
+        // …nor disjoint (50 valid in both)…
+        assert!(!source.disjoint_from(&target));
+        // …and the reverse direction *is* subsumed.
+        assert!(target.subsumed_by(&source));
+        // Value checks behave per facets:
+        assert!(target.validate("99"));
+        assert!(!target.validate("100"));
+        assert!(!target.validate("0"));
+        assert!(!target.validate("12.5"));
+        assert!(source.validate("150"));
+    }
+
+    #[test]
+    fn kind_hierarchy_subsumption() {
+        let pos = SimpleType::of(AtomicKind::PositiveInteger);
+        let int = SimpleType::of(AtomicKind::Integer);
+        let dec = SimpleType::of(AtomicKind::Decimal);
+        let s = SimpleType::string();
+        assert!(pos.subsumed_by(&int));
+        assert!(int.subsumed_by(&dec));
+        assert!(pos.subsumed_by(&dec));
+        assert!(dec.subsumed_by(&s)); // every decimal lexical is a string
+        assert!(!int.subsumed_by(&pos));
+        assert!(!dec.subsumed_by(&int));
+        assert!(!s.subsumed_by(&dec));
+    }
+
+    #[test]
+    fn disjointness_cases() {
+        let date = SimpleType::of(AtomicKind::Date);
+        let int = SimpleType::of(AtomicKind::Integer);
+        let b = SimpleType::of(AtomicKind::Boolean);
+        let s = SimpleType::string();
+        assert!(date.disjoint_from(&int));
+        assert!(!b.disjoint_from(&int)); // "1" is both
+        assert!(!s.disjoint_from(&int));
+        // Non-overlapping numeric intervals:
+        let lo = SimpleType {
+            kind: AtomicKind::Integer,
+            facets: Facets {
+                max_inclusive: Some(BoundValue::Num(Decimal::from_i64(10))),
+                ..Default::default()
+            },
+        };
+        let hi = SimpleType {
+            kind: AtomicKind::Integer,
+            facets: Facets {
+                min_exclusive: Some(BoundValue::Num(Decimal::from_i64(10))),
+                ..Default::default()
+            },
+        };
+        assert!(lo.disjoint_from(&hi));
+        assert!(!lo.disjoint_from(&int));
+    }
+
+    #[test]
+    fn enumeration_facets() {
+        let color = SimpleType {
+            kind: AtomicKind::String,
+            facets: Facets {
+                enumeration: Some(vec!["red".into(), "green".into()]),
+                ..Default::default()
+            },
+        };
+        let wide = SimpleType {
+            kind: AtomicKind::String,
+            facets: Facets {
+                enumeration: Some(vec!["red".into(), "green".into(), "blue".into()]),
+                ..Default::default()
+            },
+        };
+        assert!(color.validate("red"));
+        assert!(!color.validate("blue"));
+        assert!(color.subsumed_by(&wide));
+        assert!(!wide.subsumed_by(&color));
+        assert!(color.subsumed_by(&SimpleType::string()));
+        let other = SimpleType {
+            kind: AtomicKind::String,
+            facets: Facets {
+                enumeration: Some(vec!["cyan".into()]),
+                ..Default::default()
+            },
+        };
+        assert!(color.disjoint_from(&other));
+        // Numeric enumeration compares by value.
+        let qty = SimpleType {
+            kind: AtomicKind::Integer,
+            facets: Facets {
+                enumeration: Some(vec!["10".into(), "20".into()]),
+                ..Default::default()
+            },
+        };
+        assert!(qty.validate("10"));
+        assert!(qty.validate("010")); // same value
+        assert!(!qty.validate("15"));
+    }
+
+    #[test]
+    fn string_length_facets() {
+        let zip = SimpleType {
+            kind: AtomicKind::String,
+            facets: Facets {
+                length: Some(5),
+                ..Default::default()
+            },
+        };
+        assert!(zip.validate("90210"));
+        assert!(!zip.validate("9021"));
+        let short = SimpleType {
+            kind: AtomicKind::String,
+            facets: Facets {
+                max_length: Some(10),
+                ..Default::default()
+            },
+        };
+        assert!(zip.subsumed_by(&short));
+        assert!(!short.subsumed_by(&zip));
+    }
+
+    #[test]
+    fn empty_types() {
+        let empty = SimpleType {
+            kind: AtomicKind::Integer,
+            facets: Facets {
+                min_inclusive: Some(BoundValue::Num(Decimal::from_i64(10))),
+                max_inclusive: Some(BoundValue::Num(Decimal::from_i64(5))),
+                ..Default::default()
+            },
+        };
+        assert!(empty.is_empty());
+        assert!(empty.subsumed_by(&SimpleType::of(AtomicKind::Date)));
+        assert!(empty.disjoint_from(&SimpleType::string()));
+        assert!(!empty.validate("7"));
+    }
+
+    #[test]
+    fn example_values_are_valid() {
+        let types = vec![
+            SimpleType::string(),
+            SimpleType::of(AtomicKind::Boolean),
+            SimpleType::of(AtomicKind::Date),
+            num(AtomicKind::PositiveInteger, 100),
+            SimpleType {
+                kind: AtomicKind::Integer,
+                facets: Facets {
+                    min_inclusive: Some(BoundValue::Num(Decimal::from_i64(5000))),
+                    ..Default::default()
+                },
+            },
+            SimpleType {
+                kind: AtomicKind::String,
+                facets: Facets {
+                    enumeration: Some(vec!["red".into(), "green".into()]),
+                    ..Default::default()
+                },
+            },
+            SimpleType {
+                kind: AtomicKind::String,
+                facets: Facets {
+                    length: Some(5),
+                    ..Default::default()
+                },
+            },
+        ];
+        for t in &types {
+            let v = t
+                .example_value()
+                .unwrap_or_else(|| panic!("no example for {t:?}"));
+            assert!(t.validate(&v), "{t:?} rejects its own example {v:?}");
+        }
+        // Empty value space yields no example.
+        let empty = SimpleType {
+            kind: AtomicKind::Integer,
+            facets: Facets {
+                min_inclusive: Some(BoundValue::Num(Decimal::from_i64(10))),
+                max_inclusive: Some(BoundValue::Num(Decimal::from_i64(5))),
+                ..Default::default()
+            },
+        };
+        assert!(empty.example_value().is_none());
+    }
+
+    #[test]
+    fn boolean_validation() {
+        let b = SimpleType::of(AtomicKind::Boolean);
+        for ok in ["true", "false", "1", "0"] {
+            assert!(b.validate(ok));
+        }
+        assert!(!b.validate("yes"));
+        assert!(b.subsumed_by(&SimpleType::string()));
+    }
+
+    #[test]
+    fn subsumption_is_sound_on_probes() {
+        // For a grid of types, whenever subsumed_by returns true, check a
+        // battery of lexical probes never violates the inclusion.
+        let types = vec![
+            SimpleType::string(),
+            SimpleType::of(AtomicKind::Integer),
+            SimpleType::of(AtomicKind::PositiveInteger),
+            SimpleType::of(AtomicKind::Decimal),
+            SimpleType::of(AtomicKind::Boolean),
+            SimpleType::of(AtomicKind::Date),
+            num(AtomicKind::PositiveInteger, 100),
+            num(AtomicKind::PositiveInteger, 200),
+            num(AtomicKind::Integer, 0),
+        ];
+        let probes = [
+            "",
+            "0",
+            "1",
+            "-1",
+            "42",
+            "99",
+            "100",
+            "150",
+            "199",
+            "200",
+            "12.5",
+            "-3.25",
+            "true",
+            "false",
+            "hello",
+            "2004-02-29",
+            "0099",
+        ];
+        for a in &types {
+            for b in &types {
+                if a.subsumed_by(b) {
+                    for p in probes {
+                        assert!(
+                            !a.validate(p) || b.validate(p),
+                            "{a:?} ≤ {b:?} violated by {p:?}"
+                        );
+                    }
+                }
+                if a.disjoint_from(b) {
+                    for p in probes {
+                        assert!(
+                            !(a.validate(p) && b.validate(p)),
+                            "{a:?} ⊘ {b:?} violated by {p:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

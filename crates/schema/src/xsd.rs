@@ -1,0 +1,992 @@
+//! XSD front-end: compiles a subset of XML Schema into abstract schemas.
+//!
+//! The subset covers the constructs that the paper's formalism models (and
+//! its Figures 1–2 exercise):
+//!
+//! * global `xsd:element` declarations (→ the root map ℛ),
+//! * named and anonymous `xsd:complexType` with `xsd:sequence`,
+//!   `xsd:choice`, `xsd:all` (≤ 5 members, expanded to permutations),
+//!   nested groups, and `minOccurs`/`maxOccurs`,
+//! * local elements by `name`+`type`, inline type, or `ref` to a global
+//!   element,
+//! * named and anonymous `xsd:simpleType` restrictions of built-in atomic
+//!   types with range, length, and enumeration facets,
+//! * the built-in types mapped by [`AtomicKind::from_xsd_name`].
+//!
+//! Attributes, identity constraints (`key`/`keyref`), substitution groups,
+//! wildcards, and mixed content are outside the paper's structural model
+//! and are rejected or ignored as documented per construct (attribute
+//! declarations are ignored; the rest are errors).
+
+use crate::abstract_schema::{AbstractSchema, TypeId};
+use crate::builder::{BuildError, SchemaBuilder};
+use crate::simple::{AtomicKind, BoundValue, Date, Decimal, SimpleType};
+use schemacast_regex::{Alphabet, Regex};
+use schemacast_xml::{parse_document, XmlElement, XmlError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error compiling an XSD document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XsdError {
+    /// The input is not well-formed XML.
+    Xml(XmlError),
+    /// The document element is not `xsd:schema`.
+    NotASchema(String),
+    /// A type reference could not be resolved.
+    UnknownType(String),
+    /// A referenced global element does not exist.
+    UnknownElementRef(String),
+    /// An element declaration carries neither `type` nor an inline type.
+    ElementWithoutType(String),
+    /// A construct outside the supported subset.
+    Unsupported(String),
+    /// The same label is used with two different types in one content model
+    /// (violates XML Schema's Element Declarations Consistent rule).
+    InconsistentElement(String),
+    /// A facet value failed to parse against its base kind.
+    BadFacet {
+        /// Facet name.
+        facet: String,
+        /// Offending value.
+        value: String,
+    },
+    /// A named simple type restricts itself (directly or indirectly).
+    CyclicSimpleType(String),
+    /// `xsd:all` with more than 5 members (permutation expansion bound).
+    AllTooLarge(usize),
+    /// Schema assembly failed.
+    Build(BuildError),
+}
+
+impl fmt::Display for XsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsdError::Xml(e) => write!(f, "XSD is not well-formed XML: {e}"),
+            XsdError::NotASchema(n) => write!(f, "document element {n:?} is not xsd:schema"),
+            XsdError::UnknownType(t) => write!(f, "unknown type reference {t:?}"),
+            XsdError::UnknownElementRef(e) => write!(f, "unknown element ref {e:?}"),
+            XsdError::ElementWithoutType(e) => {
+                write!(
+                    f,
+                    "element {e:?} has neither a type attribute nor an inline type"
+                )
+            }
+            XsdError::Unsupported(c) => write!(f, "unsupported XSD construct: {c}"),
+            XsdError::InconsistentElement(l) => write!(
+                f,
+                "label {l:?} appears with two different types in one content model"
+            ),
+            XsdError::BadFacet { facet, value } => {
+                write!(f, "facet {facet:?} has malformed value {value:?}")
+            }
+            XsdError::CyclicSimpleType(t) => write!(f, "simple type {t:?} restricts itself"),
+            XsdError::AllTooLarge(n) => {
+                write!(
+                    f,
+                    "xsd:all with {n} members exceeds the expansion bound of 5"
+                )
+            }
+            XsdError::Build(b) => write!(f, "schema assembly failed: {b}"),
+        }
+    }
+}
+
+impl std::error::Error for XsdError {}
+
+impl From<XmlError> for XsdError {
+    fn from(e: XmlError) -> Self {
+        XsdError::Xml(e)
+    }
+}
+
+impl From<BuildError> for XsdError {
+    fn from(e: BuildError) -> Self {
+        XsdError::Build(e)
+    }
+}
+
+/// Strips a namespace prefix (`xsd:element` → `element`).
+fn local(name: &str) -> &str {
+    name.rsplit(':').next().unwrap_or(name)
+}
+
+/// Parses XSD text into an [`AbstractSchema`] over `alphabet`.
+///
+/// # Errors
+/// See [`XsdError`].
+pub fn parse_xsd(text: &str, alphabet: &mut Alphabet) -> Result<AbstractSchema, XsdError> {
+    let doc = parse_document(text)?;
+    if local(&doc.root.name) != "schema" {
+        return Err(XsdError::NotASchema(doc.root.name.clone()));
+    }
+    Compiler::new(alphabet).compile(&doc.root)
+}
+
+struct Compiler<'a, 'b> {
+    builder: SchemaBuilder<'a>,
+    /// Named user types (complex and simple) → declared id.
+    named: HashMap<String, TypeId>,
+    /// Raw bodies of named simple types, for on-demand facet resolution.
+    simple_bodies: HashMap<String, &'b XmlElement>,
+    /// Memoized compiled named simple types.
+    simple_compiled: HashMap<String, SimpleType>,
+    /// Built-in simple types materialized as schema types.
+    builtins: HashMap<&'static str, TypeId>,
+    /// Global element name → its type.
+    globals: HashMap<String, TypeId>,
+    anon_counter: u32,
+}
+
+impl<'a, 'b> Compiler<'a, 'b> {
+    fn new(alphabet: &'a mut Alphabet) -> Self {
+        Compiler {
+            builder: SchemaBuilder::new(alphabet),
+            named: HashMap::new(),
+            simple_bodies: HashMap::new(),
+            simple_compiled: HashMap::new(),
+            builtins: HashMap::new(),
+            globals: HashMap::new(),
+            anon_counter: 0,
+        }
+    }
+
+    fn compile(mut self, schema: &'b XmlElement) -> Result<AbstractSchema, XsdError> {
+        // Sweep A: declare named types.
+        for child in schema.child_elements() {
+            match local(&child.name) {
+                "complexType" | "simpleType" => {
+                    let name = child
+                        .attr("name")
+                        .ok_or_else(|| XsdError::Unsupported("unnamed top-level type".into()))?;
+                    let id = self.builder.declare(name)?;
+                    self.named.insert(name.to_owned(), id);
+                    if local(&child.name) == "simpleType" {
+                        self.simple_bodies.insert(name.to_owned(), child);
+                    }
+                }
+                "element" | "annotation" | "attribute" | "attributeGroup" | "import"
+                | "include" | "notation" => {}
+                other => {
+                    return Err(XsdError::Unsupported(format!("top-level xsd:{other}")));
+                }
+            }
+        }
+
+        // Sweep B: global elements → roots. Inline anonymous types are
+        // declared now and defined in sweep C order (inline definitions are
+        // self-contained, so they are defined immediately).
+        let mut pending_complex: Vec<(TypeId, &'b XmlElement)> = Vec::new();
+        for child in schema.child_elements() {
+            if local(&child.name) != "element" {
+                continue;
+            }
+            let name = child
+                .attr("name")
+                .ok_or_else(|| XsdError::Unsupported("global element without name".into()))?
+                .to_owned();
+            let tid = self.element_type(child, &name, &mut pending_complex)?;
+            self.globals.insert(name.clone(), tid);
+            self.builder.root(&name, tid);
+        }
+
+        // Sweep C: define named complex types and queued inline complex
+        // bodies (inline bodies may themselves queue more).
+        for child in schema.child_elements() {
+            if local(&child.name) == "complexType" {
+                let name = child.attr("name").expect("checked in sweep A");
+                let id = self.named[name];
+                pending_complex.push((id, child));
+            } else if local(&child.name) == "simpleType" {
+                let name = child.attr("name").expect("checked in sweep A").to_owned();
+                let st = self.resolve_named_simple(&name, &mut Vec::new())?;
+                let id = self.named[&name];
+                self.builder.define_simple(id, st)?;
+            }
+        }
+        while let Some((id, body)) = pending_complex.pop() {
+            self.define_complex_body(id, body, &mut pending_complex)?;
+        }
+
+        self.builder.finish().map_err(XsdError::from)
+    }
+
+    /// The type of an element declaration: `type=`, inline type, or error.
+    fn element_type(
+        &mut self,
+        element: &'b XmlElement,
+        diag_name: &str,
+        pending: &mut Vec<(TypeId, &'b XmlElement)>,
+    ) -> Result<TypeId, XsdError> {
+        if let Some(tref) = element.attr("type") {
+            return self.resolve_type_ref(tref);
+        }
+        for child in element.child_elements() {
+            match local(&child.name) {
+                "complexType" => {
+                    let id = self.fresh_anon(diag_name)?;
+                    pending.push((id, child));
+                    return Ok(id);
+                }
+                "simpleType" => {
+                    let st = self.compile_simple_body(child, &mut Vec::new())?;
+                    let id = self.fresh_anon(diag_name)?;
+                    self.builder.define_simple(id, st)?;
+                    return Ok(id);
+                }
+                "annotation" | "key" | "keyref" | "unique" => {}
+                other => return Err(XsdError::Unsupported(format!("xsd:{other} in element"))),
+            }
+        }
+        Err(XsdError::ElementWithoutType(diag_name.to_owned()))
+    }
+
+    fn fresh_anon(&mut self, hint: &str) -> Result<TypeId, XsdError> {
+        self.anon_counter += 1;
+        let name = format!("__anon_{}_{}", hint, self.anon_counter);
+        Ok(self.builder.declare(&name)?)
+    }
+
+    /// Resolves a `type="…"` reference: user-named type first, then the
+    /// built-in table.
+    fn resolve_type_ref(&mut self, tref: &str) -> Result<TypeId, XsdError> {
+        if let Some(&id) = self.named.get(tref) {
+            return Ok(id);
+        }
+        let loc = local(tref);
+        if let Some(&id) = self.named.get(loc) {
+            return Ok(id);
+        }
+        if let Some(kind) = AtomicKind::from_xsd_name(loc) {
+            return self.builtin_id(kind, loc);
+        }
+        Err(XsdError::UnknownType(tref.to_owned()))
+    }
+
+    fn builtin_id(&mut self, kind: AtomicKind, loc: &str) -> Result<TypeId, XsdError> {
+        // Canonical key per kind so xsd:int and xsd:integer share a TypeId.
+        let key: &'static str = match kind {
+            AtomicKind::String => "xsd:string",
+            AtomicKind::Boolean => "xsd:boolean",
+            AtomicKind::Decimal => "xsd:decimal",
+            AtomicKind::Integer => "xsd:integer",
+            AtomicKind::NonNegativeInteger => "xsd:nonNegativeInteger",
+            AtomicKind::PositiveInteger => "xsd:positiveInteger",
+            AtomicKind::Date => "xsd:date",
+            AtomicKind::AnySimple => "xsd:anySimpleType",
+        };
+        if let Some(&id) = self.builtins.get(key) {
+            return Ok(id);
+        }
+        let _ = loc;
+        let id = self.builder.simple(key, SimpleType::of(kind))?;
+        self.builtins.insert(key, id);
+        Ok(id)
+    }
+
+    /// Compiles a named simple type on demand, with cycle detection.
+    fn resolve_named_simple(
+        &mut self,
+        name: &str,
+        in_progress: &mut Vec<String>,
+    ) -> Result<SimpleType, XsdError> {
+        if let Some(st) = self.simple_compiled.get(name) {
+            return Ok(st.clone());
+        }
+        if in_progress.iter().any(|n| n == name) {
+            return Err(XsdError::CyclicSimpleType(name.to_owned()));
+        }
+        let body = *self
+            .simple_bodies
+            .get(name)
+            .ok_or_else(|| XsdError::UnknownType(name.to_owned()))?;
+        in_progress.push(name.to_owned());
+        let st = self.compile_simple_body(body, in_progress)?;
+        in_progress.pop();
+        self.simple_compiled.insert(name.to_owned(), st.clone());
+        Ok(st)
+    }
+
+    /// Compiles a `<simpleType>` body (restriction of a base).
+    fn compile_simple_body(
+        &mut self,
+        body: &'b XmlElement,
+        in_progress: &mut Vec<String>,
+    ) -> Result<SimpleType, XsdError> {
+        let restriction = body
+            .child_elements()
+            .find(|c| local(&c.name) == "restriction")
+            .ok_or_else(|| {
+                XsdError::Unsupported(
+                    "simpleType without restriction (list/union unsupported)".into(),
+                )
+            })?;
+        let base_ref = restriction
+            .attr("base")
+            .ok_or_else(|| XsdError::Unsupported("restriction without base".into()))?;
+        let base = if let Some(kind) = AtomicKind::from_xsd_name(local(base_ref)) {
+            if self.simple_bodies.contains_key(base_ref)
+                || self.simple_bodies.contains_key(local(base_ref))
+            {
+                // User type shadowing a built-in name: prefer the user type.
+                let key = if self.simple_bodies.contains_key(base_ref) {
+                    base_ref
+                } else {
+                    local(base_ref)
+                };
+                self.resolve_named_simple(key, in_progress)?
+            } else {
+                SimpleType::of(kind)
+            }
+        } else if self.simple_bodies.contains_key(base_ref) {
+            self.resolve_named_simple(base_ref, in_progress)?
+        } else if self.simple_bodies.contains_key(local(base_ref)) {
+            self.resolve_named_simple(local(base_ref), in_progress)?
+        } else {
+            return Err(XsdError::UnknownType(base_ref.to_owned()));
+        };
+
+        let mut st = base;
+        let mut enumeration: Vec<String> = Vec::new();
+        for facet in restriction.child_elements() {
+            let fname = local(&facet.name);
+            if fname == "annotation" {
+                continue;
+            }
+            let value = facet
+                .attr("value")
+                .ok_or_else(|| XsdError::BadFacet {
+                    facet: fname.to_owned(),
+                    value: String::new(),
+                })?
+                .to_owned();
+            match fname {
+                "minInclusive" | "maxInclusive" | "minExclusive" | "maxExclusive" => {
+                    let bound = self.parse_bound(st.kind, fname, &value)?;
+                    let slot = match fname {
+                        "minInclusive" => &mut st.facets.min_inclusive,
+                        "maxInclusive" => &mut st.facets.max_inclusive,
+                        "minExclusive" => &mut st.facets.min_exclusive,
+                        _ => &mut st.facets.max_exclusive,
+                    };
+                    *slot = Some(bound);
+                }
+                "enumeration" => enumeration.push(value),
+                "length" => st.facets.length = Some(parse_len(fname, &value)?),
+                "minLength" => st.facets.min_length = Some(parse_len(fname, &value)?),
+                "maxLength" => st.facets.max_length = Some(parse_len(fname, &value)?),
+                "pattern" | "whiteSpace" | "fractionDigits" | "totalDigits" => {
+                    // Accepted and ignored: outside the value-space
+                    // reasoning this reproduction models (documented).
+                }
+                other => {
+                    return Err(XsdError::Unsupported(format!("facet xsd:{other}")));
+                }
+            }
+        }
+        if !enumeration.is_empty() {
+            st.facets.enumeration = Some(enumeration);
+        }
+        Ok(st)
+    }
+
+    fn parse_bound(
+        &self,
+        kind: AtomicKind,
+        facet: &str,
+        value: &str,
+    ) -> Result<BoundValue, XsdError> {
+        let bad = || XsdError::BadFacet {
+            facet: facet.to_owned(),
+            value: value.to_owned(),
+        };
+        match kind {
+            k if k.is_numeric() => Decimal::parse(value).map(BoundValue::Num).ok_or_else(bad),
+            AtomicKind::Date => Date::parse(value).map(BoundValue::Date).ok_or_else(bad),
+            _ => Err(XsdError::Unsupported(format!(
+                "range facet {facet} on non-ordered kind {kind:?}"
+            ))),
+        }
+    }
+
+    /// Defines a complex type body: finds the particle group, compiles it to
+    /// a regex + child-type map.
+    fn define_complex_body(
+        &mut self,
+        id: TypeId,
+        body: &'b XmlElement,
+        pending: &mut Vec<(TypeId, &'b XmlElement)>,
+    ) -> Result<(), XsdError> {
+        if body.attr("mixed").is_some_and(|m| m == "true") {
+            return Err(XsdError::Unsupported("mixed content".into()));
+        }
+        let mut particle: Option<&XmlElement> = None;
+        for child in body.child_elements() {
+            match local(&child.name) {
+                "sequence" | "choice" | "all" => {
+                    if particle.is_some() {
+                        return Err(XsdError::Unsupported(
+                            "multiple particle groups in complexType".into(),
+                        ));
+                    }
+                    particle = Some(child);
+                }
+                "annotation" | "attribute" | "attributeGroup" | "anyAttribute" => {}
+                other => {
+                    return Err(XsdError::Unsupported(format!("xsd:{other} in complexType")));
+                }
+            }
+        }
+        let (regex, children) = match particle {
+            None => (Regex::Epsilon, Vec::new()),
+            Some(p) => self.compile_particle(p, pending)?,
+        };
+        let mut child_map: HashMap<String, TypeId> = HashMap::new();
+        for (label, tid) in children {
+            if let Some(prev) = child_map.insert(label.clone(), tid) {
+                if prev != tid {
+                    return Err(XsdError::InconsistentElement(label));
+                }
+            }
+        }
+        self.builder.complex_regex(id, regex, child_map)?;
+        Ok(())
+    }
+
+    /// Compiles a particle (sequence / choice / all / element) into a regex
+    /// plus the `(label, type)` pairs it mentions.
+    fn compile_particle(
+        &mut self,
+        p: &'b XmlElement,
+        pending: &mut Vec<(TypeId, &'b XmlElement)>,
+    ) -> Result<(Regex, Vec<(String, TypeId)>), XsdError> {
+        let (min, max) = occurs(p)?;
+        let (inner, children) = match local(&p.name) {
+            "sequence" => {
+                let mut parts = Vec::new();
+                let mut children = Vec::new();
+                for c in self.group_members(p)? {
+                    let (r, cs) = self.compile_particle(c, pending)?;
+                    parts.push(r);
+                    children.extend(cs);
+                }
+                (Regex::concat(parts), children)
+            }
+            "choice" => {
+                let mut parts = Vec::new();
+                let mut children = Vec::new();
+                for c in self.group_members(p)? {
+                    let (r, cs) = self.compile_particle(c, pending)?;
+                    parts.push(r);
+                    children.extend(cs);
+                }
+                (Regex::alt(parts), children)
+            }
+            "all" => {
+                let members = self.group_members(p)?;
+                if members.len() > 5 {
+                    return Err(XsdError::AllTooLarge(members.len()));
+                }
+                let mut compiled = Vec::new();
+                let mut children = Vec::new();
+                for c in &members {
+                    if local(&c.name) != "element" {
+                        return Err(XsdError::Unsupported(
+                            "non-element particle inside xsd:all".into(),
+                        ));
+                    }
+                    let (r, cs) = self.compile_particle(c, pending)?;
+                    compiled.push(r);
+                    children.extend(cs);
+                }
+                // Language of `all`: every permutation (members may be
+                // optional — their `?` is already inside each compiled part).
+                let mut alts = Vec::new();
+                permute(
+                    &compiled,
+                    &mut Vec::new(),
+                    &mut vec![false; compiled.len()],
+                    &mut alts,
+                );
+                (Regex::alt(alts), children)
+            }
+            "element" => {
+                if let Some(r) = p.attr("ref") {
+                    let label = local(r).to_owned();
+                    let tid = *self
+                        .globals
+                        .get(&label)
+                        .ok_or_else(|| XsdError::UnknownElementRef(label.clone()))?;
+                    (
+                        Regex::sym(self.builder_alphabet().intern(&label)),
+                        vec![(label, tid)],
+                    )
+                } else {
+                    let name = p
+                        .attr("name")
+                        .ok_or_else(|| {
+                            XsdError::Unsupported("element with neither name nor ref".into())
+                        })?
+                        .to_owned();
+                    let tid = self.element_type(p, &name, pending)?;
+                    (
+                        Regex::sym(self.builder_alphabet().intern(&name)),
+                        vec![(name, tid)],
+                    )
+                }
+            }
+            "any" => return Err(XsdError::Unsupported("xsd:any wildcard".into())),
+            other => return Err(XsdError::Unsupported(format!("particle xsd:{other}"))),
+        };
+        Ok((Regex::repeat(inner, min, max), children))
+    }
+
+    fn group_members(&self, group: &'b XmlElement) -> Result<Vec<&'b XmlElement>, XsdError> {
+        let mut out = Vec::new();
+        for c in group.child_elements() {
+            match local(&c.name) {
+                "annotation" => {}
+                _ => out.push(c),
+            }
+        }
+        Ok(out)
+    }
+
+    fn builder_alphabet(&mut self) -> &mut Alphabet {
+        // SchemaBuilder owns a &mut Alphabet; expose interning through it.
+        self.builder.alphabet_mut()
+    }
+}
+
+/// Enumerates permutations of `parts` as concatenations (helper for
+/// `xsd:all`).
+fn permute(parts: &[Regex], current: &mut Vec<Regex>, used: &mut Vec<bool>, out: &mut Vec<Regex>) {
+    if current.len() == parts.len() {
+        out.push(Regex::concat(current.clone()));
+        return;
+    }
+    for i in 0..parts.len() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        current.push(parts[i].clone());
+        permute(parts, current, used, out);
+        current.pop();
+        used[i] = false;
+    }
+}
+
+fn occurs(p: &XmlElement) -> Result<(u32, Option<u32>), XsdError> {
+    let min = match p.attr("minOccurs") {
+        None => 1,
+        Some(v) => v.parse().map_err(|_| XsdError::BadFacet {
+            facet: "minOccurs".into(),
+            value: v.to_owned(),
+        })?,
+    };
+    let max = match p.attr("maxOccurs") {
+        None => Some(1),
+        Some("unbounded") => None,
+        Some(v) => Some(v.parse().map_err(|_| XsdError::BadFacet {
+            facet: "maxOccurs".into(),
+            value: v.to_owned(),
+        })?),
+    };
+    Ok((min, max))
+}
+
+fn parse_len(facet: &str, value: &str) -> Result<usize, XsdError> {
+    value.parse().map_err(|_| XsdError::BadFacet {
+        facet: facet.to_owned(),
+        value: value.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_regex::Sym;
+    use schemacast_tree::{Doc, WhitespaceMode};
+
+    const FIGURE2_XSD: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType2"/>
+  <xsd:element name="comment" type="xsd:string"/>
+  <xsd:complexType name="POType2">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+      <xsd:element name="country" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="Item" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Item">
+    <xsd:sequence>
+      <xsd:element name="productName" type="xsd:string"/>
+      <xsd:element name="quantity">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:positiveInteger">
+            <xsd:maxExclusive value="100"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+      <xsd:element name="USPrice" type="xsd:decimal"/>
+      <xsd:element name="shipDate" type="xsd:date" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+    #[test]
+    fn compiles_figure2() {
+        let mut ab = Alphabet::new();
+        let schema = parse_xsd(FIGURE2_XSD, &mut ab).expect("compile");
+        assert!(schema.assert_productive(&ab).is_ok());
+        assert_eq!(schema.roots().count(), 2); // purchaseOrder, comment
+        let po = ab.lookup("purchaseOrder").unwrap();
+        let po_type = schema.root_type(po).unwrap();
+        assert_eq!(schema.type_name(po_type), "POType2");
+        // The quantity type captured its facet.
+        let item = schema.type_by_name("Item").unwrap();
+        let item_c = schema.type_def(item).as_complex().unwrap();
+        let qty_sym = ab.lookup("quantity").unwrap();
+        let qty_type = item_c.child_type(qty_sym).unwrap();
+        let qty_simple = schema.type_def(qty_type).as_simple().unwrap();
+        assert!(qty_simple.validate("99"));
+        assert!(!qty_simple.validate("100"));
+        assert!(!qty_simple.validate("0"));
+    }
+
+    #[test]
+    fn validates_a_purchase_order_document() {
+        let mut ab = Alphabet::new();
+        let schema = parse_xsd(FIGURE2_XSD, &mut ab).expect("compile");
+        let doc_xml = schemacast_xml::parse_document(
+            r#"<purchaseOrder>
+  <shipTo><name>A</name><street>S</street><city>C</city><state>ST</state><zip>90210</zip><country>US</country></shipTo>
+  <billTo><name>B</name><street>S</street><city>C</city><state>ST</state><zip>90210</zip><country>US</country></billTo>
+  <items>
+    <item><productName>Widget</productName><quantity>5</quantity><USPrice>9.99</USPrice></item>
+    <item><productName>Gadget</productName><quantity>99</quantity><USPrice>1.50</USPrice><shipDate>2004-03-14</shipDate></item>
+  </items>
+</purchaseOrder>"#,
+        )
+        .expect("xml");
+        let doc = Doc::from_xml(&doc_xml.root, &mut ab, WhitespaceMode::Trim);
+        assert!(schema.accepts_document(&doc));
+
+        // quantity=100 violates maxExclusive.
+        let bad_xml = schemacast_xml::parse_document(
+            r#"<purchaseOrder>
+  <shipTo><name>A</name><street>S</street><city>C</city><state>ST</state><zip>1</zip><country>US</country></shipTo>
+  <billTo><name>B</name><street>S</street><city>C</city><state>ST</state><zip>1</zip><country>US</country></billTo>
+  <items><item><productName>W</productName><quantity>100</quantity><USPrice>1</USPrice></item></items>
+</purchaseOrder>"#,
+        )
+        .expect("xml");
+        let bad = Doc::from_xml(&bad_xml.root, &mut ab, WhitespaceMode::Trim);
+        assert!(!schema.accepts_document(&bad));
+    }
+
+    #[test]
+    fn element_ref_and_choice() {
+        let xsd = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="note" type="xsd:string"/>
+  <xsd:element name="log" type="Log"/>
+  <xsd:complexType name="Log">
+    <xsd:choice minOccurs="0" maxOccurs="unbounded">
+      <xsd:element ref="note"/>
+      <xsd:element name="entry" type="xsd:string"/>
+    </xsd:choice>
+  </xsd:complexType>
+</xsd:schema>"#;
+        let mut ab = Alphabet::new();
+        let schema = parse_xsd(xsd, &mut ab).expect("compile");
+        let log = ab.lookup("log").unwrap();
+        let note = ab.lookup("note").unwrap();
+        let entry = ab.lookup("entry").unwrap();
+        let mut doc = Doc::new(log);
+        let n = doc.add_element(doc.root(), note);
+        doc.add_text(n, "hello");
+        let e = doc.add_element(doc.root(), entry);
+        doc.add_text(e, "world");
+        doc.add_element(doc.root(), note);
+        assert!(schema.accepts_document(&doc));
+        assert_eq!(
+            schema.root_type(log).map(|t| schema.type_name(t)),
+            Some("Log")
+        );
+        let _ = schema.root_type(note).expect("note is global");
+    }
+
+    #[test]
+    fn all_group_permutations() {
+        let xsd = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="cfg" type="Cfg"/>
+  <xsd:complexType name="Cfg">
+    <xsd:all>
+      <xsd:element name="host" type="xsd:string"/>
+      <xsd:element name="port" type="xsd:integer"/>
+      <xsd:element name="debug" type="xsd:boolean" minOccurs="0"/>
+    </xsd:all>
+  </xsd:complexType>
+</xsd:schema>"#;
+        let mut ab = Alphabet::new();
+        let schema = parse_xsd(xsd, &mut ab).expect("compile");
+        let cfg = ab.lookup("cfg").unwrap();
+        let host = ab.lookup("host").unwrap();
+        let port = ab.lookup("port").unwrap();
+        let debug = ab.lookup("debug").unwrap();
+
+        let build = |labels: &[schemacast_regex::Sym]| {
+            let mut doc = Doc::new(cfg);
+            for &l in labels {
+                let e = doc.add_element(doc.root(), l);
+                doc.add_text(e, if l == host { "h" } else { "1" });
+            }
+            doc
+        };
+        assert!(schema.accepts_document(&build(&[host, port])));
+        assert!(schema.accepts_document(&build(&[port, host])));
+        assert!(schema.accepts_document(&build(&[debug, port, host])));
+        assert!(!schema.accepts_document(&build(&[host])));
+        assert!(!schema.accepts_document(&build(&[host, port, port])));
+    }
+
+    #[test]
+    fn named_simple_type_chain() {
+        let xsd = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Small">
+    <xsd:restriction base="xsd:positiveInteger">
+      <xsd:maxInclusive value="1000"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:simpleType name="Tiny">
+    <xsd:restriction base="Small">
+      <xsd:maxExclusive value="10"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:element name="n" type="Tiny"/>
+</xsd:schema>"#;
+        let mut ab = Alphabet::new();
+        let schema = parse_xsd(xsd, &mut ab).expect("compile");
+        let tiny = schema.type_by_name("Tiny").unwrap();
+        let st = schema.type_def(tiny).as_simple().unwrap();
+        assert!(st.validate("9"));
+        assert!(!st.validate("10"));
+        assert!(!st.validate("0"));
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut ab = Alphabet::new();
+        assert!(matches!(
+            parse_xsd("<notschema/>", &mut ab),
+            Err(XsdError::NotASchema(_))
+        ));
+        assert!(matches!(
+            parse_xsd(
+                r#"<xsd:schema xmlns:xsd="x"><xsd:element name="e" type="Missing"/></xsd:schema>"#,
+                &mut ab
+            ),
+            Err(XsdError::UnknownType(_))
+        ));
+        assert!(matches!(
+            parse_xsd(
+                r#"<xsd:schema xmlns:xsd="x"><xsd:element name="e"/></xsd:schema>"#,
+                &mut ab
+            ),
+            Err(XsdError::ElementWithoutType(_))
+        ));
+        assert!(matches!(
+            parse_xsd("not xml <", &mut ab),
+            Err(XsdError::Xml(_))
+        ));
+        // Inconsistent element declarations: same label, two types.
+        let bad = r#"
+<xsd:schema xmlns:xsd="x">
+  <xsd:element name="r" type="T"/>
+  <xsd:complexType name="T">
+    <xsd:sequence>
+      <xsd:element name="x" type="xsd:string"/>
+      <xsd:element name="x" type="xsd:integer"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(
+            parse_xsd(bad, &mut ab),
+            Err(XsdError::InconsistentElement(_))
+        ));
+    }
+
+    #[test]
+    fn all_group_size_limit() {
+        let mut members = String::new();
+        for i in 0..6 {
+            members.push_str(&format!(r#"<xsd:element name="m{i}" type="xsd:string"/>"#));
+        }
+        let xsd = format!(
+            r#"<xsd:schema xmlns:xsd="x">
+                 <xsd:element name="r" type="T"/>
+                 <xsd:complexType name="T"><xsd:all>{members}</xsd:all></xsd:complexType>
+               </xsd:schema>"#
+        );
+        let mut ab = Alphabet::new();
+        assert!(matches!(
+            parse_xsd(&xsd, &mut ab),
+            Err(XsdError::AllTooLarge(6))
+        ));
+    }
+
+    #[test]
+    fn cyclic_simple_type_detected() {
+        let xsd = r#"
+<xsd:schema xmlns:xsd="x">
+  <xsd:simpleType name="A">
+    <xsd:restriction base="B"><xsd:maxInclusive value="5"/></xsd:restriction>
+  </xsd:simpleType>
+  <xsd:simpleType name="B">
+    <xsd:restriction base="A"><xsd:minInclusive value="1"/></xsd:restriction>
+  </xsd:simpleType>
+  <xsd:element name="n" type="A"/>
+</xsd:schema>"#;
+        let mut ab = Alphabet::new();
+        assert!(matches!(
+            parse_xsd(xsd, &mut ab),
+            Err(XsdError::CyclicSimpleType(_))
+        ));
+    }
+
+    #[test]
+    fn mixed_content_rejected() {
+        let xsd = r#"
+<xsd:schema xmlns:xsd="x">
+  <xsd:element name="r" type="T"/>
+  <xsd:complexType name="T" mixed="true">
+    <xsd:sequence><xsd:element name="x" type="xsd:string"/></xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+        let mut ab = Alphabet::new();
+        assert!(matches!(
+            parse_xsd(xsd, &mut ab),
+            Err(XsdError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn annotations_and_attributes_are_tolerated() {
+        let xsd = r#"
+<xsd:schema xmlns:xsd="x">
+  <xsd:annotation><xsd:documentation>top</xsd:documentation></xsd:annotation>
+  <xsd:element name="r" type="T"/>
+  <xsd:complexType name="T">
+    <xsd:annotation><xsd:documentation>ct</xsd:documentation></xsd:annotation>
+    <xsd:sequence>
+      <xsd:annotation><xsd:documentation>seq</xsd:documentation></xsd:annotation>
+      <xsd:element name="x" type="xsd:string"/>
+    </xsd:sequence>
+    <xsd:attribute name="id" type="xsd:string"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        let mut ab = Alphabet::new();
+        let schema = parse_xsd(xsd, &mut ab).expect("annotations ignored");
+        let r = ab.lookup("r").unwrap();
+        let x = ab.lookup("x").unwrap();
+        let mut doc = Doc::new(r);
+        let e = doc.add_element(doc.root(), x);
+        doc.add_text(e, "v");
+        assert!(schema.accepts_document(&doc));
+    }
+
+    #[test]
+    fn nested_groups_with_occurs() {
+        let xsd = r#"
+<xsd:schema xmlns:xsd="x">
+  <xsd:element name="r" type="T"/>
+  <xsd:complexType name="T">
+    <xsd:sequence>
+      <xsd:element name="head" type="xsd:string"/>
+      <xsd:choice minOccurs="0" maxOccurs="unbounded">
+        <xsd:sequence>
+          <xsd:element name="k" type="xsd:string"/>
+          <xsd:element name="v" type="xsd:string"/>
+        </xsd:sequence>
+        <xsd:element name="flag" type="xsd:boolean"/>
+      </xsd:choice>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+        let mut ab = Alphabet::new();
+        let schema = parse_xsd(xsd, &mut ab).expect("compiles");
+        let r = ab.lookup("r").unwrap();
+        let head = ab.lookup("head").unwrap();
+        let k = ab.lookup("k").unwrap();
+        let v = ab.lookup("v").unwrap();
+        let flag = ab.lookup("flag").unwrap();
+        let build = |labels: &[(Sym, &str)]| {
+            let mut doc = Doc::new(r);
+            for (l, t) in labels {
+                let e = doc.add_element(doc.root(), *l);
+                doc.add_text(e, *t);
+            }
+            doc
+        };
+        assert!(schema.accepts_document(&build(&[(head, "h")])));
+        assert!(schema.accepts_document(&build(&[
+            (head, "h"),
+            (k, "a"),
+            (v, "1"),
+            (flag, "true"),
+            (k, "b"),
+            (v, "2")
+        ])));
+        // k without v breaks the inner sequence.
+        assert!(!schema.accepts_document(&build(&[(head, "h"), (k, "a"), (flag, "true")])));
+    }
+
+    #[test]
+    fn bounded_occurs() {
+        let xsd = r#"
+<xsd:schema xmlns:xsd="x">
+  <xsd:element name="r" type="T"/>
+  <xsd:complexType name="T">
+    <xsd:sequence>
+      <xsd:element name="x" type="xsd:string" minOccurs="2" maxOccurs="3"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+        let mut ab = Alphabet::new();
+        let schema = parse_xsd(xsd, &mut ab).expect("compile");
+        let r = ab.lookup("r").unwrap();
+        let x = ab.lookup("x").unwrap();
+        let build = |n: usize| {
+            let mut doc = Doc::new(r);
+            for _ in 0..n {
+                let e = doc.add_element(doc.root(), x);
+                doc.add_text(e, "v");
+            }
+            doc
+        };
+        assert!(!schema.accepts_document(&build(1)));
+        assert!(schema.accepts_document(&build(2)));
+        assert!(schema.accepts_document(&build(3)));
+        assert!(!schema.accepts_document(&build(4)));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests on the simple-type lattice: the subsumption and
+//! disjointness procedures must be *sound* against direct value probing,
+//! subsumption must be reflexive and transitive on the tested family, and
+//! disjointness symmetric.
+
+use proptest::prelude::*;
+use schemacast_schema::{AtomicKind, BoundValue, Decimal, Facets, SimpleType};
+
+/// Strategy over a representative family of simple types.
+fn simple_type_strategy() -> impl Strategy<Value = SimpleType> {
+    let kind = prop_oneof![
+        Just(AtomicKind::String),
+        Just(AtomicKind::Boolean),
+        Just(AtomicKind::Decimal),
+        Just(AtomicKind::Integer),
+        Just(AtomicKind::NonNegativeInteger),
+        Just(AtomicKind::PositiveInteger),
+        Just(AtomicKind::Date),
+    ];
+    (kind, -50i64..300, 0i64..400, any::<bool>(), any::<bool>()).prop_map(
+        |(kind, lo, width, use_lo, use_hi)| {
+            let mut facets = Facets::default();
+            if kind.is_numeric() {
+                if use_lo {
+                    facets.min_inclusive = Some(BoundValue::Num(Decimal::from_i64(lo)));
+                }
+                if use_hi {
+                    facets.max_exclusive = Some(BoundValue::Num(Decimal::from_i64(lo + width)));
+                }
+            }
+            SimpleType { kind, facets }
+        },
+    )
+}
+
+const PROBES: &[&str] = &[
+    "",
+    "0",
+    "1",
+    "-1",
+    "-50",
+    "7",
+    "42",
+    "99",
+    "100",
+    "150",
+    "249",
+    "250",
+    "299",
+    "300",
+    "12.5",
+    "-3.25",
+    "0.0",
+    "true",
+    "false",
+    "hello",
+    "2004-02-29",
+    "1999-12-31",
+    "0099",
+    "+5",
+    " 5 ",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness: a positive subsumption/disjointness answer is never
+    /// contradicted by a probe value.
+    #[test]
+    fn decisions_are_sound(a in simple_type_strategy(), b in simple_type_strategy()) {
+        if a.subsumed_by(&b) {
+            for p in PROBES {
+                prop_assert!(
+                    !a.validate(p) || b.validate(p),
+                    "{a:?} ≤ {b:?} contradicted by {p:?}"
+                );
+            }
+        }
+        if a.disjoint_from(&b) {
+            for p in PROBES {
+                prop_assert!(
+                    !(a.validate(p) && b.validate(p)),
+                    "{a:?} ⊘ {b:?} contradicted by {p:?}"
+                );
+            }
+        }
+    }
+
+    /// Reflexivity of subsumption (a type subsumes itself).
+    #[test]
+    fn subsumption_is_reflexive(a in simple_type_strategy()) {
+        prop_assert!(a.subsumed_by(&a));
+    }
+
+    /// Transitivity on the tested family.
+    #[test]
+    fn subsumption_is_transitive(
+        a in simple_type_strategy(),
+        b in simple_type_strategy(),
+        c in simple_type_strategy(),
+    ) {
+        if a.subsumed_by(&b) && b.subsumed_by(&c) {
+            prop_assert!(a.subsumed_by(&c), "{a:?} ≤ {b:?} ≤ {c:?} but not {a:?} ≤ {c:?}");
+        }
+    }
+
+    /// Symmetry of disjointness.
+    #[test]
+    fn disjointness_is_symmetric(a in simple_type_strategy(), b in simple_type_strategy()) {
+        prop_assert_eq!(a.disjoint_from(&b), b.disjoint_from(&a));
+    }
+
+    /// A type is never disjoint from itself unless its value space is empty.
+    #[test]
+    fn self_disjointness_means_empty(a in simple_type_strategy()) {
+        if a.disjoint_from(&a) {
+            for p in PROBES {
+                prop_assert!(!a.validate(p), "self-disjoint type accepts {p:?}");
+            }
+        }
+    }
+
+    /// Example values satisfy their own type.
+    #[test]
+    fn examples_validate(a in simple_type_strategy()) {
+        if let Some(v) = a.example_value() {
+            prop_assert!(a.validate(&v), "{a:?} rejects its example {v:?}");
+        } else {
+            // No example found ⇒ the probe battery finds nothing either
+            // (the example prober is at least as thorough as PROBES for
+            // numeric ranges).
+            if a.kind.is_numeric() {
+                for p in PROBES {
+                    prop_assert!(!a.validate(p), "example missing but {p:?} validates for {a:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! A second realistic workload: an Atom-like news-feed schema family.
+//!
+//! Where the purchase-order workload mirrors the paper's experiments, this
+//! family exercises the constructs those schemas do not: choices
+//! (`summary | content`), bounded repetition (`category{0,5}`), optional
+//! heads and *mixed* widening/narrowing in one evolution step —
+//! representative of real-world feed-format drift.
+//!
+//! Versions:
+//! * **v1** — `feed(meta, entry*)`, entries carry `summary | content`,
+//!   unbounded categories.
+//! * **v2** — `entry+` (at least one entry: narrowing), `meta` gains an
+//!   optional `generator` (widening), categories capped at 5 (narrowing),
+//!   `content` only (narrowing of the choice).
+//!
+//! Both versions exist as XSD and DTD text, plus a direct generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use schemacast_regex::Alphabet;
+use schemacast_tree::Doc;
+
+/// XSD text for feed version 1.
+pub fn v1_xsd() -> String {
+    feed_xsd(false)
+}
+
+/// XSD text for feed version 2 (see module docs for the deltas).
+pub fn v2_xsd() -> String {
+    feed_xsd(true)
+}
+
+fn feed_xsd(v2: bool) -> String {
+    let entry_occurs = if v2 {
+        r#" minOccurs="1" maxOccurs="unbounded""#
+    } else {
+        r#" minOccurs="0" maxOccurs="unbounded""#
+    };
+    let generator = if v2 {
+        r#"<xsd:element name="generator" type="xsd:string" minOccurs="0"/>"#
+    } else {
+        ""
+    };
+    let body = if v2 {
+        r#"<xsd:element name="content" type="xsd:string"/>"#
+    } else {
+        r#"<xsd:choice>
+             <xsd:element name="summary" type="xsd:string"/>
+             <xsd:element name="content" type="xsd:string"/>
+           </xsd:choice>"#
+    };
+    let category_occurs = if v2 {
+        r#" minOccurs="0" maxOccurs="5""#
+    } else {
+        r#" minOccurs="0" maxOccurs="unbounded""#
+    };
+    format!(
+        r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="feed" type="Feed"/>
+  <xsd:complexType name="Feed">
+    <xsd:sequence>
+      <xsd:element name="meta" type="Meta"/>
+      <xsd:element name="entry" type="Entry"{entry_occurs}/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Meta">
+    <xsd:sequence>
+      <xsd:element name="title" type="xsd:string"/>
+      <xsd:element name="updated" type="xsd:date"/>
+      <xsd:element name="author" type="Author" minOccurs="0"/>
+      {generator}
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Author">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="email" type="xsd:string" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Entry">
+    <xsd:sequence>
+      <xsd:element name="title" type="xsd:string"/>
+      <xsd:element name="id" type="xsd:string"/>
+      <xsd:element name="updated" type="xsd:date"/>
+      {body}
+      <xsd:element name="category" type="xsd:string"{category_occurs}/>
+      <xsd:element name="author" type="Author" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#
+    )
+}
+
+/// DTD text for feed version 1.
+pub fn v1_dtd() -> &'static str {
+    r#"
+    <!ELEMENT feed (meta, entry*)>
+    <!ELEMENT meta (title, updated, author?)>
+    <!ELEMENT author (name, email?)>
+    <!ELEMENT entry (title, id, updated, (summary | content), category*, author?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT updated (#PCDATA)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT email (#PCDATA)>
+    <!ELEMENT id (#PCDATA)>
+    <!ELEMENT summary (#PCDATA)>
+    <!ELEMENT content (#PCDATA)>
+    <!ELEMENT category (#PCDATA)>
+    "#
+}
+
+/// DTD text for feed version 2.
+pub fn v2_dtd() -> &'static str {
+    r#"
+    <!ELEMENT feed (meta, entry+)>
+    <!ELEMENT meta (title, updated, author?, generator?)>
+    <!ELEMENT author (name, email?)>
+    <!ELEMENT entry (title, id, updated, content, category{0,5}, author?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT updated (#PCDATA)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT email (#PCDATA)>
+    <!ELEMENT id (#PCDATA)>
+    <!ELEMENT generator (#PCDATA)>
+    <!ELEMENT content (#PCDATA)>
+    <!ELEMENT category (#PCDATA)>
+    "#
+}
+
+/// Knobs for the feed generator.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Probability an entry uses `content` rather than `summary`
+    /// (v2 requires `content`, so 1.0 generates v2-compatible bodies).
+    pub content_prob: f64,
+    /// Maximum categories per entry (sampled 0..=max).
+    pub max_categories: usize,
+    /// RNG seed (generation is deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for FeedConfig {
+    fn default() -> Self {
+        FeedConfig {
+            entries: 10,
+            content_prob: 0.5,
+            max_categories: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a feed valid for **v1**. With `content_prob = 1.0` and
+/// `max_categories ≤ 5` and `entries ≥ 1`, the document is also v2-valid.
+pub fn generate_feed(alphabet: &mut Alphabet, cfg: &FeedConfig) -> Doc {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let feed = alphabet.intern("feed");
+    let meta = alphabet.intern("meta");
+    let title = alphabet.intern("title");
+    let updated = alphabet.intern("updated");
+    let author = alphabet.intern("author");
+    let name = alphabet.intern("name");
+    let email = alphabet.intern("email");
+    let entry = alphabet.intern("entry");
+    let id = alphabet.intern("id");
+    let summary = alphabet.intern("summary");
+    let content = alphabet.intern("content");
+    let category = alphabet.intern("category");
+
+    let mut doc = Doc::new(feed);
+    let m = doc.add_element(doc.root(), meta);
+    let t = doc.add_element(m, title);
+    doc.add_text(t, "Example Feed");
+    let u = doc.add_element(m, updated);
+    doc.add_text(u, "2004-03-14");
+    if rng.gen_bool(0.7) {
+        let a = doc.add_element(m, author);
+        let n = doc.add_element(a, name);
+        doc.add_text(n, "Feed Owner");
+        if rng.gen_bool(0.5) {
+            let e = doc.add_element(a, email);
+            doc.add_text(e, "owner@example.com");
+        }
+    }
+    for i in 0..cfg.entries {
+        let en = doc.add_element(doc.root(), entry);
+        let t = doc.add_element(en, title);
+        doc.add_text(t, format!("Entry {i}"));
+        let d = doc.add_element(en, id);
+        doc.add_text(d, format!("urn:id:{i}"));
+        let u = doc.add_element(en, updated);
+        doc.add_text(u, format!("2004-{:02}-{:02}", 1 + i % 12, 1 + i % 28));
+        let body = if rng.gen_bool(cfg.content_prob) {
+            content
+        } else {
+            summary
+        };
+        let b = doc.add_element(en, body);
+        doc.add_text(b, "Lorem ipsum dolor sit amet.");
+        let n_cat = rng.gen_range(0..=cfg.max_categories);
+        for c in 0..n_cat {
+            let ce = doc.add_element(en, category);
+            doc.add_text(ce, format!("topic-{c}"));
+        }
+        if rng.gen_bool(0.3) {
+            let a = doc.add_element(en, author);
+            let n = doc.add_element(a, name);
+            doc.add_text(n, format!("Author {i}"));
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_schema::Session;
+
+    #[test]
+    fn v1_documents_validate_against_v1() {
+        let mut session = Session::new();
+        let v1 = session.parse_xsd(&v1_xsd()).expect("v1");
+        let doc = generate_feed(&mut session.alphabet, &FeedConfig::default());
+        assert!(v1.accepts_document(&doc));
+    }
+
+    #[test]
+    fn v2_compatibility_depends_on_generation_knobs() {
+        let mut session = Session::new();
+        let v1 = session.parse_xsd(&v1_xsd()).expect("v1");
+        let v2 = session.parse_xsd(&v2_xsd()).expect("v2");
+
+        // content-only, ≤5 categories, ≥1 entry: valid under both.
+        let good = generate_feed(
+            &mut session.alphabet,
+            &FeedConfig {
+                entries: 5,
+                content_prob: 1.0,
+                max_categories: 4,
+                seed: 1,
+            },
+        );
+        assert!(v1.accepts_document(&good));
+        assert!(v2.accepts_document(&good));
+
+        // Zero entries: v1 only.
+        let empty = generate_feed(
+            &mut session.alphabet,
+            &FeedConfig {
+                entries: 0,
+                ..Default::default()
+            },
+        );
+        assert!(v1.accepts_document(&empty));
+        assert!(!v2.accepts_document(&empty));
+
+        // Summary bodies: v1 only.
+        let summaries = generate_feed(
+            &mut session.alphabet,
+            &FeedConfig {
+                entries: 3,
+                content_prob: 0.0,
+                max_categories: 2,
+                seed: 7,
+            },
+        );
+        assert!(v1.accepts_document(&summaries));
+        assert!(!v2.accepts_document(&summaries));
+
+        // Too many categories: v1 only.
+        let crowded = generate_feed(
+            &mut session.alphabet,
+            &FeedConfig {
+                entries: 2,
+                content_prob: 1.0,
+                max_categories: 9,
+                seed: 1304, // seed chosen so some entry has > 5 categories
+            },
+        );
+        assert!(v1.accepts_document(&crowded));
+        if crowded.node_count() > 0 {
+            // The category count is random; only assert v2-invalidity when
+            // an entry actually exceeded 5.
+            let cat = session.alphabet.lookup("category").unwrap();
+            let max_cats = crowded
+                .preorder()
+                .into_iter()
+                .filter(|&n| crowded.label(n) == session.alphabet.lookup("entry"))
+                .map(|e| {
+                    crowded
+                        .children(e)
+                        .iter()
+                        .filter(|&&c| crowded.label(c) == Some(cat))
+                        .count()
+                })
+                .max()
+                .unwrap_or(0);
+            assert_eq!(v2.accepts_document(&crowded), max_cats <= 5);
+        }
+    }
+
+    #[test]
+    fn dtd_versions_agree_with_xsd_versions() {
+        let mut session = Session::new();
+        let v1_x = session.parse_xsd(&v1_xsd()).expect("v1 xsd");
+        let v2_x = session.parse_xsd(&v2_xsd()).expect("v2 xsd");
+        let v1_d = session.parse_dtd(v1_dtd(), Some("feed")).expect("v1 dtd");
+        let v2_d = session.parse_dtd(v2_dtd(), Some("feed")).expect("v2 dtd");
+        assert!(v1_d.is_dtd_style());
+        for seed in 0..10 {
+            let doc = generate_feed(
+                &mut session.alphabet,
+                &FeedConfig {
+                    entries: seed as usize % 4,
+                    content_prob: 0.5,
+                    max_categories: 7,
+                    seed,
+                },
+            );
+            // The DTD abstracts the XSD's date type to #PCDATA; structural
+            // verdicts must still agree on structurally generated docs.
+            assert_eq!(
+                v1_x.accepts_document(&doc),
+                v1_d.accepts_document(&doc),
+                "v1 seed {seed}"
+            );
+            assert_eq!(
+                v2_x.accepts_document(&doc),
+                v2_d.accepts_document(&doc),
+                "v2 seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the EDBT 2004 experiments and beyond.
+//!
+//! * [`purchase_order`] — the paper's Figure 1/2 schemas and the 2–1000-item
+//!   purchase-order documents behind Tables 2–3 and Figures 3a/3b.
+//! * [`synth`] — random abstract schemas, realistic schema *evolutions*
+//!   (make-optional, narrow-facet, …), random valid documents, and random
+//!   edit scripts — the fuel for property tests and ablations.
+//! * [`strings`] — §4-level workloads: random content-model regexes,
+//!   related DFA pairs, member sampling, and locality-controlled string
+//!   edits.
+//! * [`feed`] — an Atom-like feed schema family (choices, bounded
+//!   repetition, mixed widening/narrowing evolutions), as XSD and DTD.
+
+pub mod feed;
+pub mod purchase_order;
+pub mod strings;
+pub mod synth;

@@ -1,0 +1,232 @@
+//! The paper's experimental workload: purchase-order schemas and documents
+//! (Figures 1 and 2, Tables 2 and 3).
+//!
+//! * [`source_xsd`] — Figure 1a: `billTo` optional (`POType1`).
+//! * [`target_xsd`] — Figure 2: the complete target schema, `billTo`
+//!   required, `quantity < 100`.
+//! * [`source_maxex200_xsd`] — the Experiment 2 source: Figure 2 with
+//!   `quantity`'s `maxExclusive` raised to 200.
+//! * [`generate_document`] — a purchase order with `n` items, valid with
+//!   respect to every schema above (quantities stay below 100).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use schemacast_regex::Alphabet;
+use schemacast_tree::Doc;
+
+fn po_xsd(bill_min_occurs_zero: bool, quantity_max_exclusive: u32) -> String {
+    let bill_min = if bill_min_occurs_zero {
+        r#" minOccurs="0""#
+    } else {
+        ""
+    };
+    format!(
+        r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType"/>
+  <xsd:element name="comment" type="xsd:string"/>
+  <xsd:complexType name="POType">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"{bill_min}/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+      <xsd:element name="country" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="Item" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Item">
+    <xsd:sequence>
+      <xsd:element name="productName" type="xsd:string"/>
+      <xsd:element name="quantity">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:positiveInteger">
+            <xsd:maxExclusive value="{quantity_max_exclusive}"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+      <xsd:element name="USPrice" type="xsd:decimal"/>
+      <xsd:element name="shipDate" type="xsd:date" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#
+    )
+}
+
+/// Figure 1a: the Experiment 1 source schema (`billTo` optional).
+pub fn source_xsd() -> String {
+    po_xsd(true, 100)
+}
+
+/// Figure 2: the target schema of both experiments (`billTo` required,
+/// `quantity` `maxExclusive="100"`).
+pub fn target_xsd() -> String {
+    po_xsd(false, 100)
+}
+
+/// The Experiment 2 source: Figure 2 with `maxExclusive` raised to `"200"`.
+pub fn source_maxex200_xsd() -> String {
+    po_xsd(false, 200)
+}
+
+/// Deterministic product names, cycled.
+const PRODUCTS: [&str; 8] = [
+    "Lawnmower",
+    "Baby Monitor",
+    "Lapis Necklace",
+    "Sturdy Shelves",
+    "Garden Gnome",
+    "Espresso Machine",
+    "Desk Lamp",
+    "Mechanical Keyboard",
+];
+
+/// Generates a purchase-order document with `n_items` items.
+///
+/// The document is valid for every schema in this module when
+/// `with_billto` is true (quantities are in `1..100`); with
+/// `with_billto = false` it is valid only for the Figure 1a source, which
+/// is exactly the Experiment 1 rejection scenario.
+pub fn generate_document(alphabet: &mut Alphabet, n_items: usize, with_billto: bool) -> Doc {
+    let mut rng = SmallRng::seed_from_u64(n_items as u64 ^ 0x5eed);
+    generate_document_with(alphabet, n_items, with_billto, |i| {
+        // Deterministic-but-varied quantities below 100.
+        (rng.gen_range(1..100) + i as u32) % 99 + 1
+    })
+}
+
+/// Like [`generate_document`], with caller-controlled quantity values —
+/// Experiment 2 needs quantities in `1..200` (valid for the maxExclusive-200
+/// source, possibly invalid for the target).
+pub fn generate_document_with(
+    alphabet: &mut Alphabet,
+    n_items: usize,
+    with_billto: bool,
+    mut quantity: impl FnMut(usize) -> u32,
+) -> Doc {
+    let po = alphabet.intern("purchaseOrder");
+    let ship_to = alphabet.intern("shipTo");
+    let bill_to = alphabet.intern("billTo");
+    let items = alphabet.intern("items");
+    let item = alphabet.intern("item");
+    let product_name = alphabet.intern("productName");
+    let qty = alphabet.intern("quantity");
+    let price = alphabet.intern("USPrice");
+    let ship_date = alphabet.intern("shipDate");
+    let name = alphabet.intern("name");
+    let street = alphabet.intern("street");
+    let city = alphabet.intern("city");
+    let state = alphabet.intern("state");
+    let zip = alphabet.intern("zip");
+    let country = alphabet.intern("country");
+
+    let mut doc = Doc::new(po);
+    let address = |doc: &mut Doc, label, who: &str| {
+        let a = doc.add_element(doc.root(), label);
+        for (l, v) in [
+            (name, who),
+            (street, "123 Maple Street"),
+            (city, "Mill Valley"),
+            (state, "CA"),
+            (zip, "90952"),
+            (country, "US"),
+        ] {
+            let e = doc.add_element(a, l);
+            doc.add_text(e, v);
+        }
+    };
+    address(&mut doc, ship_to, "Alice Smith");
+    if with_billto {
+        address(&mut doc, bill_to, "Robert Smith");
+    }
+    let items_node = doc.add_element(doc.root(), items);
+    for i in 0..n_items {
+        let it = doc.add_element(items_node, item);
+        let e = doc.add_element(it, product_name);
+        doc.add_text(e, PRODUCTS[i % PRODUCTS.len()]);
+        let e = doc.add_element(it, qty);
+        doc.add_text(e, quantity(i).to_string());
+        let e = doc.add_element(it, price);
+        doc.add_text(e, format!("{}.{:02}", 1 + (i * 7) % 150, (i * 13) % 100));
+        if i % 2 == 0 {
+            let e = doc.add_element(it, ship_date);
+            doc.add_text(e, format!("2004-{:02}-{:02}", 1 + i % 12, 1 + i % 28));
+        }
+    }
+    doc
+}
+
+/// Serializes a generated purchase order the way the paper's input files
+/// were stored (XML declaration + indentation), for the Table 2 file sizes.
+pub fn document_xml(alphabet: &mut Alphabet, n_items: usize) -> String {
+    let doc = generate_document(alphabet, n_items, true);
+    let xml = doc.to_xml(alphabet);
+    schemacast_xml::to_pretty_string(&xml)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_schema::Session;
+
+    #[test]
+    fn generated_documents_are_valid_for_all_three_schemas() {
+        let mut session = Session::new();
+        let source = session.parse_xsd(&source_xsd()).expect("source");
+        let target = session.parse_xsd(&target_xsd()).expect("target");
+        let wide = session.parse_xsd(&source_maxex200_xsd()).expect("wide");
+        let doc = generate_document(&mut session.alphabet, 10, true);
+        assert!(source.accepts_document(&doc));
+        assert!(target.accepts_document(&doc));
+        assert!(wide.accepts_document(&doc));
+
+        let no_bill = generate_document(&mut session.alphabet, 10, false);
+        assert!(source.accepts_document(&no_bill));
+        assert!(!target.accepts_document(&no_bill));
+    }
+
+    #[test]
+    fn quantities_between_100_and_200_split_the_schemas() {
+        let mut session = Session::new();
+        let target = session.parse_xsd(&target_xsd()).expect("target");
+        let wide = session.parse_xsd(&source_maxex200_xsd()).expect("wide");
+        let doc =
+            generate_document_with(&mut session.alphabet, 5, true, |i| 100 + (i as u32 % 100));
+        assert!(wide.accepts_document(&doc));
+        assert!(!target.accepts_document(&doc));
+    }
+
+    #[test]
+    fn file_sizes_track_table2_shape() {
+        let mut ab = Alphabet::new();
+        let s2 = document_xml(&mut ab, 2).len();
+        let s100 = document_xml(&mut ab, 100).len();
+        let s1000 = document_xml(&mut ab, 1000).len();
+        // Affine growth: size(n) ≈ base + per_item·n.
+        let per_item = (s1000 - s100) as f64 / 900.0;
+        let base = s100 as f64 - 100.0 * per_item;
+        assert!(per_item > 100.0 && per_item < 400.0, "per_item={per_item}");
+        assert!(base > 300.0 && base < 2000.0, "base={base}");
+        assert!(s2 < 3000);
+    }
+
+    #[test]
+    fn documents_parse_back() {
+        let mut ab = Alphabet::new();
+        let xml_text = document_xml(&mut ab, 3);
+        let parsed = schemacast_xml::parse_document(&xml_text).expect("reparse");
+        assert_eq!(parsed.root.name, "purchaseOrder");
+    }
+}

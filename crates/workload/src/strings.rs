@@ -1,0 +1,310 @@
+//! String-level workloads for the §4 benchmarks: random content-model
+//! regexes, related DFA pairs, member-string sampling, and edit scripts
+//! with controllable locality (prefix / middle / suffix).
+
+use rand::Rng;
+use schemacast_automata::Dfa;
+use schemacast_regex::{Regex, Sym};
+
+/// Samples a random regular expression over `alphabet_size` symbols.
+///
+/// Produces content-model-shaped expressions: sequences and choices of
+/// symbols decorated with `?`/`*`/`+`, nested up to `depth`.
+pub fn random_regex(rng: &mut impl Rng, alphabet_size: u32, depth: usize) -> Regex {
+    debug_assert!(alphabet_size > 0);
+    if depth == 0 || rng.gen_bool(0.4) {
+        let r = Regex::sym(Sym(rng.gen_range(0..alphabet_size)));
+        return decorate(rng, r);
+    }
+    let n = rng.gen_range(2..=3);
+    let parts: Vec<Regex> = (0..n)
+        .map(|_| random_regex(rng, alphabet_size, depth - 1))
+        .collect();
+    let combined = if rng.gen_bool(0.5) {
+        Regex::concat(parts)
+    } else {
+        Regex::alt(parts)
+    };
+    decorate(rng, combined)
+}
+
+fn decorate(rng: &mut impl Rng, r: Regex) -> Regex {
+    match rng.gen_range(0..6) {
+        0 => Regex::opt(r),
+        1 => Regex::star(r),
+        2 => Regex::plus(r),
+        _ => r,
+    }
+}
+
+/// Generates a *related* pair of expressions: the second is a structural
+/// mutation of the first (symbol swap, modifier change, or appended
+/// optional part) — modelling schema evolution at the content-model level.
+pub fn related_regex_pair(rng: &mut impl Rng, alphabet_size: u32, depth: usize) -> (Regex, Regex) {
+    let a = random_regex(rng, alphabet_size, depth);
+    let b = mutate_regex(&a, rng, alphabet_size);
+    (a, b)
+}
+
+/// One random structural mutation of a regex.
+pub fn mutate_regex(r: &Regex, rng: &mut impl Rng, alphabet_size: u32) -> Regex {
+    match rng.gen_range(0..4) {
+        0 => swap_one_symbol(r, rng, alphabet_size),
+        1 => change_one_modifier(r, rng),
+        2 => Regex::concat(vec![
+            r.clone(),
+            Regex::opt(Regex::sym(Sym(rng.gen_range(0..alphabet_size)))),
+        ]),
+        _ => Regex::alt(vec![
+            r.clone(),
+            Regex::sym(Sym(rng.gen_range(0..alphabet_size))),
+        ]),
+    }
+}
+
+fn swap_one_symbol(r: &Regex, rng: &mut impl Rng, alphabet_size: u32) -> Regex {
+    match r {
+        Regex::Sym(_) if rng.gen_bool(0.5) => Regex::sym(Sym(rng.gen_range(0..alphabet_size))),
+        Regex::Concat(ps) => Regex::concat(
+            ps.iter()
+                .map(|p| swap_one_symbol(p, rng, alphabet_size))
+                .collect(),
+        ),
+        Regex::Alt(ps) => Regex::alt(
+            ps.iter()
+                .map(|p| swap_one_symbol(p, rng, alphabet_size))
+                .collect(),
+        ),
+        Regex::Star(p) => Regex::star(swap_one_symbol(p, rng, alphabet_size)),
+        Regex::Plus(p) => Regex::plus(swap_one_symbol(p, rng, alphabet_size)),
+        Regex::Opt(p) => Regex::opt(swap_one_symbol(p, rng, alphabet_size)),
+        other => other.clone(),
+    }
+}
+
+fn change_one_modifier(r: &Regex, rng: &mut impl Rng) -> Regex {
+    match r {
+        Regex::Star(p) => Regex::plus((**p).clone()),
+        Regex::Plus(p) => Regex::star((**p).clone()),
+        Regex::Opt(p) => (**p).clone(),
+        Regex::Sym(s) => {
+            if rng.gen_bool(0.5) {
+                Regex::opt(Regex::sym(*s))
+            } else {
+                Regex::plus(Regex::sym(*s))
+            }
+        }
+        Regex::Concat(ps) if !ps.is_empty() => {
+            let i = rng.gen_range(0..ps.len());
+            let mut out = ps.clone();
+            out[i] = change_one_modifier(&ps[i], rng);
+            Regex::concat(out)
+        }
+        Regex::Alt(ps) if !ps.is_empty() => {
+            let i = rng.gen_range(0..ps.len());
+            let mut out = ps.clone();
+            out[i] = change_one_modifier(&ps[i], rng);
+            Regex::alt(out)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Samples a member of `L(dfa)` of roughly `target_len` symbols.
+///
+/// Returns `None` if the language is empty. The walk only takes transitions
+/// into co-accessible states; past the hard cap it follows shortest paths to
+/// an accepting state, so termination is guaranteed.
+pub fn sample_member(dfa: &Dfa, rng: &mut impl Rng, target_len: usize) -> Option<Vec<Sym>> {
+    let live = dfa.coaccessible();
+    if !live.contains(dfa.start() as usize) {
+        return None;
+    }
+    // BFS distance-to-final for the bail-out phase.
+    let n = dfa.state_count();
+    let mut dist = vec![usize::MAX; n];
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for q in 0..n as u32 {
+        for s in 0..dfa.alphabet_len() {
+            let t = dfa.step(q, Sym(s as u32));
+            rev[t as usize].push(q);
+        }
+    }
+    let mut queue = std::collections::VecDeque::new();
+    for q in 0..n as u32 {
+        if dfa.is_final(q) {
+            dist[q as usize] = 0;
+            queue.push_back(q);
+        }
+    }
+    while let Some(q) = queue.pop_front() {
+        for &p in &rev[q as usize] {
+            if dist[p as usize] == usize::MAX {
+                dist[p as usize] = dist[q as usize] + 1;
+                queue.push_back(p);
+            }
+        }
+    }
+
+    let hard_cap = target_len * 2 + 16;
+    let mut out = Vec::with_capacity(target_len);
+    let mut q = dfa.start();
+    loop {
+        let finishing = out.len() >= hard_cap;
+        if dfa.is_final(q) && (out.len() >= target_len || finishing) {
+            return Some(out);
+        }
+        // Candidate transitions into live states.
+        let mut candidates: Vec<(Sym, u32)> = Vec::new();
+        for s in 0..dfa.alphabet_len() {
+            let sym = Sym(s as u32);
+            let t = dfa.step(q, sym);
+            if live.contains(t as usize) {
+                candidates.push((sym, t));
+            }
+        }
+        if candidates.is_empty() {
+            debug_assert!(dfa.is_final(q), "live non-final state must have a way out");
+            return Some(out);
+        }
+        let (sym, t) = if finishing {
+            *candidates
+                .iter()
+                .min_by_key(|(_, t)| dist[*t as usize])
+                .expect("non-empty")
+        } else {
+            candidates[rng.gen_range(0..candidates.len())]
+        };
+        out.push(sym);
+        q = t;
+    }
+}
+
+/// Where an edit script concentrates its changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditLocality {
+    /// Changes near the start of the string.
+    Prefix,
+    /// Changes around the middle.
+    Middle,
+    /// Changes near the end (append-heavy).
+    Suffix,
+}
+
+/// Applies `n_edits` random point edits (insert / delete / replace) to a
+/// copy of `s`, concentrated per `locality`, drawing symbols below
+/// `alphabet_size`.
+pub fn edit_string(
+    s: &[Sym],
+    rng: &mut impl Rng,
+    n_edits: usize,
+    locality: EditLocality,
+    alphabet_size: u32,
+) -> Vec<Sym> {
+    let mut out = s.to_vec();
+    for _ in 0..n_edits {
+        let len = out.len();
+        let window = (len / 8).max(2);
+        let center = match locality {
+            EditLocality::Prefix => 0,
+            EditLocality::Middle => len / 2,
+            EditLocality::Suffix => len.saturating_sub(1),
+        };
+        let lo = center.saturating_sub(window / 2);
+        let hi = (lo + window).min(len);
+        let pos = if lo >= hi {
+            0
+        } else {
+            rng.gen_range(lo..hi.max(lo + 1))
+        };
+        match rng.gen_range(0..3) {
+            0 if !out.is_empty() => {
+                let p = pos.min(out.len() - 1);
+                out[p] = Sym(rng.gen_range(0..alphabet_size));
+            }
+            1 => {
+                let p = pos.min(out.len());
+                out.insert(p, Sym(rng.gen_range(0..alphabet_size)));
+            }
+            _ if !out.is_empty() => {
+                let p = pos.min(out.len() - 1);
+                out.remove(p);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_members_are_members() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for seed in 0..30 {
+            let mut r_rng = SmallRng::seed_from_u64(seed);
+            let r = random_regex(&mut r_rng, 4, 3);
+            let dfa = Dfa::from_regex(&r, 4).expect("compile");
+            match sample_member(&dfa, &mut rng, 12) {
+                Some(s) => {
+                    assert!(dfa.accepts(&s), "regex seed {seed}, sample {s:?}");
+                }
+                None => assert!(dfa.is_empty_language()),
+            }
+        }
+    }
+
+    #[test]
+    fn sample_lengths_track_target() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // (a | b)* — can reach any length.
+        let r = Regex::star(Regex::alt(vec![Regex::sym(Sym(0)), Regex::sym(Sym(1))]));
+        let dfa = Dfa::from_regex(&r, 2).expect("compile");
+        let lens: Vec<usize> = (0..50)
+            .map(|_| sample_member(&dfa, &mut rng, 40).expect("nonempty").len())
+            .collect();
+        let avg = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(avg > 20.0 && avg < 90.0, "avg={avg}");
+    }
+
+    #[test]
+    fn empty_language_yields_none() {
+        let dfa = Dfa::from_regex(&Regex::Empty, 2).expect("compile");
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(sample_member(&dfa, &mut rng, 5).is_none());
+    }
+
+    #[test]
+    fn edit_localities_differ() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s: Vec<Sym> = (0..100).map(|i| Sym(i % 3)).collect();
+        let pre = edit_string(&s, &mut rng, 3, EditLocality::Prefix, 3);
+        let suf = edit_string(&s, &mut rng, 3, EditLocality::Suffix, 3);
+        // A prefix edit keeps a long common suffix; a suffix edit keeps a
+        // long common prefix.
+        let common_suffix = s
+            .iter()
+            .rev()
+            .zip(pre.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count();
+        assert!(common_suffix > 50, "common_suffix={common_suffix}");
+        let common_prefix = s.iter().zip(suf.iter()).take_while(|(a, b)| a == b).count();
+        assert!(common_prefix > 50, "common_prefix={common_prefix}");
+    }
+
+    #[test]
+    fn mutations_stay_compilable() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let (a, b) = related_regex_pair(&mut rng, 5, 3);
+            let da = Dfa::from_regex(&a, 5).expect("a compiles");
+            let db = Dfa::from_regex(&b, 5).expect("b compiles");
+            let _ = (da.state_count(), db.state_count());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Positioned XML parse errors.
+
+use std::fmt;
+
+/// An error produced while parsing an XML document, with 1-based line and
+/// column of the offending byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes).
+    pub column: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError {
+            offset: 10,
+            line: 2,
+            column: 3,
+            message: "unexpected '<'".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 2"));
+        assert!(s.contains("column 3"));
+        assert!(s.contains("unexpected '<'"));
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! A from-scratch XML 1.0 parser and serializer.
+//!
+//! Built as a substrate for the schema-cast revalidation system (the paper's
+//! experiments parse purchase-order documents and XSD schema files): no
+//! external XML crates are used anywhere in the workspace.
+//!
+//! * [`parse_document`] — elements, attributes, text, CDATA, comments, PIs,
+//!   entity/character references, `DOCTYPE` internal-subset capture.
+//! * [`serialize`] — compact and pretty serialization with escaping.
+
+pub mod error;
+pub mod parser;
+pub mod pull;
+pub mod serialize;
+
+pub use error::XmlError;
+pub use parser::{parse_document, XmlDocument, XmlElement, XmlNode};
+pub use pull::{PullEvent, PullParser};
+pub use serialize::{escape_attr, escape_text, to_pretty_string, to_string};

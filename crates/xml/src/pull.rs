@@ -1,0 +1,549 @@
+//! A pull (streaming) XML parser.
+//!
+//! Yields [`PullEvent`]s one at a time with O(depth) memory — the substrate
+//! for streaming schema-cast validation, which realizes the paper's claim
+//! that "the memory requirement of our algorithm does not vary with the
+//! size of the document, but depends solely on the sizes of the schemas".
+//!
+//! The DOM parser in [`crate::parser`] accepts the same language; the two
+//! are cross-checked by tests.
+
+use crate::error::XmlError;
+
+/// One parsing event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PullEvent {
+    /// The `<!DOCTYPE name [internal]>` declaration, if present (at most
+    /// once, before the root element).
+    Doctype {
+        /// The document-type name.
+        name: String,
+        /// The raw internal subset, if any.
+        internal: Option<String>,
+    },
+    /// A start tag (or the opening half of a self-closing tag).
+    Start {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<(String, String)>,
+    },
+    /// An end tag (self-closing tags produce `Start` then `End`).
+    End {
+        /// Tag name.
+        name: String,
+    },
+    /// Character data (entities resolved; adjacent runs may be split at
+    /// CDATA boundaries).
+    Text(String),
+}
+
+/// A streaming parser over an in-memory UTF-8 document.
+///
+/// # Examples
+/// ```
+/// use schemacast_xml::pull::{PullParser, PullEvent};
+/// let mut p = PullParser::new("<a x='1'><b/>hi</a>");
+/// let events: Result<Vec<_>, _> = p.collect();
+/// let events = events.unwrap();
+/// assert_eq!(events.len(), 5); // <a>, <b>, </b>, "hi", </a>
+/// assert!(matches!(&events[0], PullEvent::Start { name, .. } if name == "a"));
+/// ```
+pub struct PullParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    stack: Vec<String>,
+    state: State,
+    /// Queued event (self-closing tags emit two events).
+    queued: Option<PullEvent>,
+    /// Whether the document element has already been seen.
+    seen_root: bool,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Prolog,
+    InDocument,
+    Done,
+    Failed,
+}
+
+impl<'a> PullParser<'a> {
+    /// Creates a parser over `input`.
+    pub fn new(input: &'a str) -> PullParser<'a> {
+        PullParser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            stack: Vec::new(),
+            state: State::Prolog,
+            queued: None,
+            seen_root: false,
+        }
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err(&self, message: &str) -> XmlError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        XmlError {
+            offset: self.pos,
+            line,
+            column: col,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn find_from(&self, from: usize, needle: &[u8]) -> Option<usize> {
+        if from > self.bytes.len() {
+            return None;
+        }
+        self.bytes[from..]
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .map(|i| from + i)
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        if !self.peek().is_some_and(is_name_start) {
+            return Err(self.err("expected a name"));
+        }
+        while self.peek().is_some_and(is_name_char) {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 name"))?
+            .to_owned())
+    }
+
+    fn entity(&mut self) -> Result<String, XmlError> {
+        self.pos += 1; // '&'
+        let end = self.bytes[self.pos..]
+            .iter()
+            .position(|&b| b == b';')
+            .map(|i| self.pos + i)
+            .ok_or_else(|| self.err("unterminated entity reference"))?;
+        let name = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-UTF-8 entity"))?;
+        let out = match name {
+            "amp" => "&".to_owned(),
+            "lt" => "<".to_owned(),
+            "gt" => ">".to_owned(),
+            "apos" => "'".to_owned(),
+            "quot" => "\"".to_owned(),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| self.err("bad hexadecimal character reference"))?;
+                char::from_u32(code)
+                    .map(String::from)
+                    .ok_or_else(|| self.err("character reference out of range"))?
+            }
+            _ if name.starts_with('#') => {
+                let code: u32 = name[1..]
+                    .parse()
+                    .map_err(|_| self.err("bad decimal character reference"))?;
+                char::from_u32(code)
+                    .map(String::from)
+                    .ok_or_else(|| self.err("character reference out of range"))?
+            }
+            _ => return Err(self.err(&format!("unknown entity &{name};"))),
+        };
+        self.pos = end + 1;
+        Ok(out)
+    }
+
+    fn attribute_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(q) if q == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'<') => return Err(self.err("'<' in attribute value")),
+                Some(b'&') => out.push_str(&self.entity()?),
+                Some(_) => self.push_char(&mut out)?,
+                None => return Err(self.err("unterminated attribute value")),
+            }
+        }
+    }
+
+    fn push_char(&mut self, out: &mut String) -> Result<(), XmlError> {
+        let b = self.bytes[self.pos];
+        if b < 0x80 {
+            out.push(b as char);
+            self.pos += 1;
+            return Ok(());
+        }
+        let len = match b {
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            0xF0..=0xF7 => 4,
+            _ => 1,
+        };
+        let end = (self.pos + len).min(self.bytes.len());
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid UTF-8"))?;
+        out.push_str(s);
+        self.pos = end;
+        Ok(())
+    }
+
+    fn prolog_event(&mut self) -> Result<Option<PullEvent>, XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                let end = self
+                    .find_from(self.pos + 2, b"?>")
+                    .ok_or_else(|| self.err("unterminated processing instruction"))?;
+                self.pos = end + 2;
+            } else if self.starts_with("<!--") {
+                let end = self
+                    .find_from(self.pos + 4, b"-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
+                self.pos = end + 3;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.pos += "<!DOCTYPE".len();
+                self.skip_ws();
+                let name = self.name()?;
+                let mut internal = None;
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'[') => {
+                            self.pos += 1;
+                            let start = self.pos;
+                            let end = self.bytes[self.pos..]
+                                .iter()
+                                .position(|&b| b == b']')
+                                .map(|i| self.pos + i)
+                                .ok_or_else(|| self.err("unterminated internal DTD subset"))?;
+                            internal = Some(
+                                std::str::from_utf8(&self.bytes[start..end])
+                                    .map_err(|_| self.err("non-UTF-8 DTD subset"))?
+                                    .to_owned(),
+                            );
+                            self.pos = end + 1;
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(_) => self.pos += 1,
+                        None => return Err(self.err("unterminated DOCTYPE")),
+                    }
+                }
+                return Ok(Some(PullEvent::Doctype { name, internal }));
+            } else {
+                self.state = State::InDocument;
+                return Ok(None);
+            }
+        }
+    }
+
+    fn document_event(&mut self) -> Result<Option<PullEvent>, XmlError> {
+        // Between events inside the document.
+        if self.stack.is_empty() {
+            // Only misc allowed outside the root; find the root start tag or
+            // the end of input.
+            self.skip_ws();
+            if self.pos == self.bytes.len() {
+                if !self.seen_root {
+                    return Err(self.err("no document element"));
+                }
+                self.state = State::Done;
+                return Ok(None);
+            }
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input inside element")),
+            Some(b'<') => {
+                if self.starts_with("</") {
+                    self.pos += 2;
+                    let close = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("malformed end tag"));
+                    }
+                    self.pos += 1;
+                    match self.stack.pop() {
+                        Some(open) if open == close => {}
+                        Some(open) => {
+                            return Err(self.err(&format!(
+                                "mismatched end tag: expected </{open}>, found </{close}>"
+                            )))
+                        }
+                        None => return Err(self.err("end tag with no open element")),
+                    }
+                    Ok(Some(PullEvent::End { name: close }))
+                } else if self.starts_with("<!--") {
+                    let end = self
+                        .find_from(self.pos + 4, b"-->")
+                        .ok_or_else(|| self.err("unterminated comment"))?;
+                    self.pos = end + 3;
+                    self.document_event()
+                } else if self.starts_with("<![CDATA[") {
+                    if self.stack.is_empty() {
+                        return Err(self.err("character data outside the root element"));
+                    }
+                    let start = self.pos + 9;
+                    let end = self
+                        .find_from(start, b"]]>")
+                        .ok_or_else(|| self.err("unterminated CDATA section"))?;
+                    let text = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("non-UTF-8 CDATA"))?
+                        .to_owned();
+                    self.pos = end + 3;
+                    Ok(Some(PullEvent::Text(text)))
+                } else if self.starts_with("<?") {
+                    let end = self
+                        .find_from(self.pos + 2, b"?>")
+                        .ok_or_else(|| self.err("unterminated processing instruction"))?;
+                    self.pos = end + 2;
+                    self.document_event()
+                } else {
+                    // Start tag.
+                    if self.stack.is_empty() {
+                        if self.seen_root {
+                            return Err(self.err("content after document element"));
+                        }
+                        self.seen_root = true;
+                    }
+                    self.pos += 1;
+                    let name = self.name()?;
+                    let mut attributes = Vec::new();
+                    loop {
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b'/') => {
+                                if !self.starts_with("/>") {
+                                    return Err(self.err("malformed empty-element tag"));
+                                }
+                                self.pos += 2;
+                                self.queued = Some(PullEvent::End { name: name.clone() });
+                                return Ok(Some(PullEvent::Start { name, attributes }));
+                            }
+                            Some(b'>') => {
+                                self.pos += 1;
+                                self.stack.push(name.clone());
+                                return Ok(Some(PullEvent::Start { name, attributes }));
+                            }
+                            Some(b) if is_name_start(b) => {
+                                let attr = self.name()?;
+                                self.skip_ws();
+                                if self.peek() != Some(b'=') {
+                                    return Err(self.err("expected '=' after attribute name"));
+                                }
+                                self.pos += 1;
+                                self.skip_ws();
+                                let value = self.attribute_value()?;
+                                if attributes.iter().any(|(n, _)| *n == attr) {
+                                    return Err(self.err(&format!("duplicate attribute {attr:?}")));
+                                }
+                                attributes.push((attr, value));
+                            }
+                            _ => return Err(self.err("malformed start tag")),
+                        }
+                    }
+                }
+            }
+            Some(_) => {
+                if self.stack.is_empty() {
+                    return Err(self.err("character data outside the root element"));
+                }
+                let mut text = String::new();
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    if b == b'&' {
+                        text.push_str(&self.entity()?);
+                    } else {
+                        self.push_char(&mut text)?;
+                    }
+                }
+                Ok(Some(PullEvent::Text(text)))
+            }
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<PullEvent>, XmlError> {
+        if let Some(e) = self.queued.take() {
+            return Ok(Some(e));
+        }
+        if self.state == State::Prolog {
+            if let Some(e) = self.prolog_event()? {
+                self.state = State::InDocument;
+                return Ok(Some(e));
+            }
+        }
+        match self.state {
+            State::Done | State::Failed => Ok(None),
+            _ => {
+                let e = self.document_event()?;
+                if e.is_none() && self.state == State::Done && !self.stack.is_empty() {
+                    return Err(self.err("unclosed elements at end of input"));
+                }
+                Ok(e)
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for PullParser<'a> {
+    type Item = Result<PullEvent, XmlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.advance() {
+            Ok(Some(e)) => Some(Ok(e)),
+            Ok(None) => None,
+            Err(e) => {
+                self.state = State::Failed;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || matches!(b, b'.' | b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_document, XmlElement, XmlNode};
+
+    fn events(input: &str) -> Vec<PullEvent> {
+        PullParser::new(input)
+            .collect::<Result<Vec<_>, _>>()
+            .expect("parses")
+    }
+
+    #[test]
+    fn basic_event_stream() {
+        let ev = events("<a x=\"1\"><b/>hi &amp; bye</a>");
+        assert_eq!(ev.len(), 5);
+        assert!(matches!(&ev[0], PullEvent::Start { name, attributes }
+            if name == "a" && attributes == &[("x".to_owned(), "1".to_owned())]));
+        assert!(matches!(&ev[1], PullEvent::Start { name, .. } if name == "b"));
+        assert!(matches!(&ev[2], PullEvent::End { name } if name == "b"));
+        assert!(matches!(&ev[3], PullEvent::Text(t) if t == "hi & bye"));
+        assert!(matches!(&ev[4], PullEvent::End { name } if name == "a"));
+    }
+
+    #[test]
+    fn doctype_event() {
+        let ev = events("<!DOCTYPE po [<!ELEMENT po EMPTY>]><po/>");
+        assert!(matches!(&ev[0], PullEvent::Doctype { name, internal }
+            if name == "po" && internal.as_deref() == Some("<!ELEMENT po EMPTY>")));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["<a>", "<a></b>", "<a/><b/>", "text", "<a>&bogus;</a>"] {
+            let r: Result<Vec<_>, _> = PullParser::new(bad).collect();
+            assert!(r.is_err(), "should reject {bad:?}");
+        }
+    }
+
+    /// Build a DOM from pull events and compare against the DOM parser on a
+    /// battery of documents.
+    #[test]
+    fn agrees_with_dom_parser() {
+        fn build(input: &str) -> Result<XmlElement, crate::error::XmlError> {
+            let mut stack: Vec<XmlElement> = Vec::new();
+            let mut root: Option<XmlElement> = None;
+            for ev in PullParser::new(input) {
+                match ev? {
+                    PullEvent::Doctype { .. } => {}
+                    PullEvent::Start { name, attributes } => {
+                        let mut e = XmlElement::new(name);
+                        e.attributes = attributes;
+                        stack.push(e);
+                    }
+                    PullEvent::End { .. } => {
+                        let e = stack.pop().expect("balanced");
+                        match stack.last_mut() {
+                            Some(parent) => parent.children.push(XmlNode::Element(e)),
+                            None => root = Some(e),
+                        }
+                    }
+                    PullEvent::Text(t) => {
+                        if let Some(parent) = stack.last_mut() {
+                            // Coalesce adjacent text like the DOM parser.
+                            if let Some(XmlNode::Text(prev)) = parent.children.last_mut() {
+                                prev.push_str(&t);
+                            } else {
+                                parent.children.push(XmlNode::Text(t));
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(root.expect("root"))
+        }
+
+        for doc in [
+            "<a><b><c/></b><b/></a>",
+            "<t>&lt;x&gt; &#65;</t>",
+            "<a>\n  <b>text</b>\n  <c/>\n</a>",
+            "<r><![CDATA[<raw>]]>tail</r>",
+            r#"<x a="1" b='two'/>"#,
+            "<?xml version=\"1.0\"?><!-- c --><r><k>v</k></r>",
+        ] {
+            let via_pull = build(doc).expect("pull parses");
+            let via_dom = parse_document(doc).expect("dom parses").root;
+            assert_eq!(via_pull, via_dom, "document {doc:?}");
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded_by_nesting() {
+        let mut p = PullParser::new("<a><b><c>x</c></b></a>");
+        let mut max_depth = 0;
+        while let Some(ev) = p.next() {
+            ev.expect("ok");
+            max_depth = max_depth.max(p.depth());
+        }
+        assert_eq!(max_depth, 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! XML serialization with escaping and optional pretty-printing.
+
+use crate::parser::{XmlElement, XmlNode};
+use std::fmt::Write as _;
+
+/// Escapes character data for element content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value (double-quote delimited).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes an element compactly (no added whitespace). Round-trips
+/// through [`crate::parse_document`].
+pub fn to_string(root: &XmlElement) -> String {
+    let mut out = String::new();
+    write_element(root, &mut out);
+    out
+}
+
+/// Serializes with an XML declaration and 2-space indentation. Text-bearing
+/// elements keep their text inline; structural elements get one child per
+/// line — the layout used by the paper's experiment documents (whose
+/// indentation whitespace contributes to DOM node counts).
+pub fn to_pretty_string(root: &XmlElement) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_pretty(root, &mut out, 0);
+    out.push('\n');
+    out
+}
+
+fn write_open_tag(e: &XmlElement, out: &mut String, self_close: bool) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, v) in &e.attributes {
+        let _ = write!(out, " {}=\"{}\"", n, escape_attr(v));
+    }
+    out.push_str(if self_close { "/>" } else { ">" });
+}
+
+fn write_element(e: &XmlElement, out: &mut String) {
+    if e.children.is_empty() {
+        write_open_tag(e, out, true);
+        return;
+    }
+    write_open_tag(e, out, false);
+    for c in &e.children {
+        match c {
+            XmlNode::Element(child) => write_element(child, out),
+            XmlNode::Text(t) => out.push_str(&escape_text(t)),
+        }
+    }
+    let _ = write!(out, "</{}>", e.name);
+}
+
+fn write_pretty(e: &XmlElement, out: &mut String, depth: usize) {
+    let indent = "  ".repeat(depth);
+    out.push_str(&indent);
+    if e.children.is_empty() {
+        write_open_tag(e, out, true);
+        return;
+    }
+    let only_text = e.children.iter().all(|c| matches!(c, XmlNode::Text(_)));
+    write_open_tag(e, out, false);
+    if only_text {
+        for c in &e.children {
+            if let XmlNode::Text(t) = c {
+                out.push_str(&escape_text(t));
+            }
+        }
+    } else {
+        for c in &e.children {
+            match c {
+                XmlNode::Element(child) => {
+                    out.push('\n');
+                    write_pretty(child, out, depth + 1);
+                }
+                XmlNode::Text(t) => {
+                    let trimmed = t.trim();
+                    if !trimmed.is_empty() {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(depth + 1));
+                        out.push_str(&escape_text(trimmed));
+                    }
+                }
+            }
+        }
+        out.push('\n');
+        out.push_str(&indent);
+    }
+    let _ = write!(out, "</{}>", e.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn round_trip_compact() {
+        let input = r#"<po id="7"><item>a &amp; b</item><empty/></po>"#;
+        let doc = parse_document(input).expect("parse");
+        let out = to_string(&doc.root);
+        let doc2 = parse_document(&out).expect("reparse");
+        assert_eq!(doc.root, doc2.root);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(
+            escape_attr(r#"say "hi" & go"#),
+            "say &quot;hi&quot; &amp; go"
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let input = "<po><shipTo><name>x</name></shipTo><items><item/><item/></items></po>";
+        let doc = parse_document(input).expect("parse");
+        let pretty = to_pretty_string(&doc.root);
+        assert!(pretty.starts_with("<?xml"));
+        assert!(pretty.contains("\n  <shipTo>"));
+        let doc2 = parse_document(&pretty).expect("reparse");
+        // Structure modulo whitespace text nodes is preserved.
+        assert_eq!(doc2.root.name, "po");
+        assert_eq!(doc2.root.child_elements().count(), 2);
+    }
+
+    #[test]
+    fn text_only_elements_stay_inline() {
+        let doc = parse_document("<a><b>text</b></a>").expect("parse");
+        let pretty = to_pretty_string(&doc.root);
+        assert!(pretty.contains("<b>text</b>"));
+    }
+}

@@ -1,0 +1,79 @@
+//! §4 at string level: immediate decision automata and revalidation with
+//! modifications over plain symbol strings (content models).
+//!
+//! Run with: `cargo run --release --example fsa_revalidation`
+
+use schemacast::automata::{Dfa, Strategy, StringCast};
+use schemacast::regex::{parse_regex, Alphabet, Sym};
+
+fn compile(text: &str, ab: &mut Alphabet) -> Dfa {
+    let r = parse_regex(text, ab).expect("regex parses");
+    Dfa::from_regex(&r, ab.len()).expect("compiles")
+}
+
+fn main() {
+    let mut ab = Alphabet::new();
+    // Figure 1 content models.
+    let a = compile("(shipTo, billTo?, items)", &mut ab);
+    let b = compile("(shipTo, billTo, items)", &mut ab);
+    let cast = StringCast::new(a.clone(), b.clone()).with_reverse();
+
+    let sh = ab.lookup("shipTo").unwrap();
+    let bi = ab.lookup("billTo").unwrap();
+    let it = ab.lookup("items").unwrap();
+
+    println!("source: (shipTo, billTo?, items)   target: (shipTo, billTo, items)\n");
+    for s in [vec![sh, bi, it], vec![sh, it]] {
+        let d = cast.revalidate(&s);
+        let names: Vec<&str> = s.iter().map(|&x| ab.name(x)).collect();
+        println!(
+            "{:<28} -> {:<8} after scanning {}/{} symbols",
+            names.join(" "),
+            if d.accepted { "accept" } else { "reject" },
+            d.symbols_scanned,
+            s.len()
+        );
+    }
+
+    // Long content models: head*, tail edits, direction choice.
+    let mut ab2 = Alphabet::new();
+    let a2 = compile("(header, item*, (footerA | footerB))", &mut ab2);
+    let b2 = compile("(header, item*, footerA)", &mut ab2);
+    let cast2 = StringCast::new(a2.clone(), b2.clone()).with_reverse();
+    let header = ab2.lookup("header").unwrap();
+    let item = ab2.lookup("item").unwrap();
+    let fa = ab2.lookup("footerA").unwrap();
+    let fb = ab2.lookup("footerB").unwrap();
+
+    let mut old: Vec<Sym> = vec![header];
+    old.extend(std::iter::repeat_n(item, 100_000));
+    old.push(fb);
+    assert!(a2.accepts(&old));
+
+    // Edit at the very end: footerB -> footerA. Backward strategy scans a
+    // handful of symbols out of 100k.
+    let mut new = old.clone();
+    let last = new.len() - 1;
+    new[last] = fa;
+    let d = cast2.revalidate_with_mods(&old, &new);
+    println!(
+        "\n100k-symbol string, suffix edit: {} via {:?}, scanned {} symbols",
+        if d.accepted { "accept" } else { "reject" },
+        d.strategy,
+        d.symbols_scanned
+    );
+    assert!(d.accepted);
+    assert_eq!(d.strategy, Strategy::BackwardWithMods);
+
+    // Edit at the very start: drop the header. Forward strategy, and the
+    // target automaton rejects immediately.
+    let new2: Vec<Sym> = old[1..].to_vec();
+    let d2 = cast2.revalidate_with_mods(&old, &new2);
+    println!(
+        "100k-symbol string, header deleted: {} via {:?}, scanned {} symbols",
+        if d2.accepted { "accept" } else { "reject" },
+        d2.strategy,
+        d2.symbols_scanned
+    );
+    assert!(!d2.accepted);
+}

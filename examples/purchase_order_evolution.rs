@@ -1,0 +1,66 @@
+//! Experiment 1 end-to-end (Figure 3a of the paper): documents valid under
+//! the Figure 1a schema (`billTo` optional) are revalidated against the
+//! Figure 2 schema (`billTo` required).
+//!
+//! With schema-cast validation the cost is **constant** in the document
+//! size — the decision hinges on the presence of `billTo`, after which the
+//! product immediate-decision automaton accepts and every child pair is
+//! subsumed. The baseline revalidates everything, so its cost is linear.
+//!
+//! Run with: `cargo run --release --example purchase_order_evolution`
+
+use schemacast::core::{CastContext, CastOptions, FullValidator};
+use schemacast::schema::Session;
+use schemacast::workload::purchase_order as po;
+use std::time::Instant;
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64() * 1e6)
+}
+
+fn main() {
+    let mut session = Session::new();
+    let source = session.parse_xsd(&po::source_xsd()).expect("source XSD");
+    let target = session.parse_xsd(&po::target_xsd()).expect("target XSD");
+
+    let (ctx, preprocess_us) = time(|| CastContext::new(&source, &target, &session.alphabet));
+    println!("schema-pair preprocessing: {preprocess_us:.1} µs (done once)\n");
+
+    // The configuration of the paper's prototype (no IDA content checks).
+    let paper_ctx = CastContext::with_options(
+        &source,
+        &target,
+        &session.alphabet,
+        CastOptions::paper_prototype(),
+    );
+
+    println!(
+        "{:>6} {:>12} {:>14} {:>14} {:>14}",
+        "items", "doc nodes", "cast µs", "paper-cfg µs", "full µs"
+    );
+    for n in [2usize, 50, 100, 200, 500, 1000] {
+        let doc = po::generate_document(&mut session.alphabet, n, true);
+        // Warm once, then measure the median of a few runs.
+        let median = |f: &dyn Fn() -> bool| -> f64 {
+            let mut times: Vec<f64> = (0..7).map(|_| time(f).1).collect();
+            times.sort_by(f64::total_cmp);
+            times[3]
+        };
+        let cast_us = median(&|| ctx.validate(&doc).is_valid());
+        let paper_us = median(&|| paper_ctx.validate(&doc).is_valid());
+        let full_us = median(&|| FullValidator::new(&target).validate(&doc).is_valid());
+        assert!(ctx.validate(&doc).is_valid());
+        println!(
+            "{:>6} {:>12} {:>14.2} {:>14.2} {:>14.2}",
+            n,
+            doc.node_count(),
+            cast_us,
+            paper_us,
+            full_us
+        );
+    }
+
+    println!("\nExpected shape (paper, Figure 3a): cast flat, full linear.");
+}

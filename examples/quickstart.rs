@@ -1,0 +1,57 @@
+//! Quickstart: parse two XSDs, generate a document valid for the first,
+//! and decide validity for the second with schema-cast revalidation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use schemacast::core::{CastContext, FullValidator};
+use schemacast::schema::Session;
+use schemacast::workload::purchase_order as po;
+
+fn main() {
+    // One session = one shared label alphabet for schemas and documents.
+    let mut session = Session::new();
+
+    // Source: Figure 1a (billTo optional). Target: Figure 2 (required).
+    let source = session.parse_xsd(&po::source_xsd()).expect("source XSD");
+    let target = session.parse_xsd(&po::target_xsd()).expect("target XSD");
+
+    // Preprocess the schema pair once: R_sub/R_dis fixpoints + IDAs.
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+
+    // Revalidate documents of growing size.
+    println!(
+        "{:>8} {:>10} {:>16} {:>16}",
+        "items", "valid?", "cast visits", "full visits"
+    );
+    for n in [2usize, 50, 100, 200, 500, 1000] {
+        let doc = po::generate_document(&mut session.alphabet, n, true);
+        let (outcome, stats) = ctx.validate_with_stats(&doc);
+        let (_, full_stats) = FullValidator::new(&target).validate_with_stats(&doc);
+        println!(
+            "{:>8} {:>10} {:>16} {:>16}",
+            n,
+            if outcome.is_valid() {
+                "valid"
+            } else {
+                "invalid"
+            },
+            stats.nodes_visited,
+            full_stats.nodes_visited
+        );
+    }
+
+    // A document without billTo: valid for the source, not the target —
+    // detected after visiting a constant number of nodes.
+    let doc = po::generate_document(&mut session.alphabet, 1000, false);
+    let (outcome, stats) = ctx.validate_with_stats(&doc);
+    println!(
+        "\nwithout billTo: {} after visiting {} of {} nodes",
+        if outcome.is_valid() {
+            "valid"
+        } else {
+            "invalid"
+        },
+        stats.nodes_visited,
+        doc.node_count()
+    );
+}

@@ -1,0 +1,59 @@
+//! Automatic document repair across a schema migration — the paper's
+//! future-work direction, implemented: documents valid under the old schema
+//! are *corrected* to conform to the new one, with a change log.
+//!
+//! Run with: `cargo run --release --example schema_migration_repair`
+
+use schemacast::core::{explain, CastContext, Repairer};
+use schemacast::schema::Session;
+use schemacast::tree::{Doc, WhitespaceMode};
+use schemacast::workload::purchase_order as po;
+use schemacast::xml::parse_document;
+
+fn main() {
+    let mut session = Session::new();
+    // Old: billTo optional, quantity < 200. New: billTo required, < 100.
+    let source = session.parse_xsd(&po::source_xsd()).expect("source");
+    let target = session.parse_xsd(&po::target_xsd()).expect("target");
+    // A legacy document: no billTo, one extra bogus element.
+    let legacy = r#"<purchaseOrder>
+  <shipTo><name>Ada</name><street>1 Main</street><city>MV</city><state>CA</state><zip>90952</zip><country>US</country></shipTo>
+  <items>
+    <item><productName>Lamp</productName><quantity>3</quantity><USPrice>12.50</USPrice></item>
+  </items>
+</purchaseOrder>"#;
+    let xml = parse_document(legacy).expect("well-formed");
+    let doc = Doc::from_xml(&xml.root, &mut session.alphabet, WhitespaceMode::Trim);
+
+    // Preprocess the pair after all labels are interned.
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    let repairer = Repairer::new(&ctx, &session.alphabet);
+
+    println!("validating legacy document against the new schema:");
+    match explain(&ctx, &doc, &session.alphabet) {
+        Ok(()) => println!("  already valid"),
+        Err(failure) => println!("  {failure}"),
+    }
+
+    println!("\nrepairing:");
+    let (fixed, actions) = repairer.repair(&doc).expect("repairable");
+    for a in &actions {
+        println!("  {a}");
+    }
+    assert!(target.accepts_document(&fixed));
+    assert!(ctx.validate(&fixed).is_valid());
+
+    println!("\nrepaired document:");
+    print!(
+        "{}",
+        schemacast::xml::to_pretty_string(&fixed.to_xml(&session.alphabet))
+    );
+
+    // Second pass is a no-op.
+    let (_, again) = repairer.repair(&fixed).expect("still repairable");
+    assert!(again.is_empty());
+    println!(
+        "\nrepair is idempotent: second pass made {} changes",
+        again.len()
+    );
+}

@@ -1,0 +1,300 @@
+//! `schemacast` — command-line schema-cast revalidation.
+//!
+//! ```text
+//! schemacast validate --schema S.xsd doc.xml [doc2.xml ...]
+//! schemacast cast --source S.xsd --target T.xsd [--stream] [--stats] doc.xml ...
+//! schemacast repair --source S.xsd --target T.xsd --out fixed.xml doc.xml
+//! schemacast inspect --source S.xsd --target T.xsd
+//! ```
+//!
+//! Schemas ending in `.dtd` are parsed as DTDs (root taken from the first
+//! document's DOCTYPE, or `--root NAME`). Exit code 0 = all valid,
+//! 1 = some invalid, 2 = usage/parse error.
+
+use schemacast::core::{CastContext, FullValidator, Repairer, StreamingCast};
+use schemacast::schema::{AbstractSchema, Session};
+use schemacast::tree::{Doc, WhitespaceMode};
+use schemacast::xml::parse_document;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    schema: Option<String>,
+    source: Option<String>,
+    target: Option<String>,
+    root: Option<String>,
+    out: Option<String>,
+    stream: bool,
+    stats: bool,
+    docs: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  schemacast validate --schema S.xsd doc.xml...\n  \
+         schemacast cast --source S.xsd --target T.xsd [--stream] [--stats] doc.xml...\n  \
+         schemacast repair --source S.xsd --target T.xsd [--out fixed.xml] doc.xml\n  \
+         schemacast inspect --source S.xsd --target T.xsd\n  \
+         (use .dtd schema files with optional --root NAME)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut opts = Options {
+        command,
+        schema: None,
+        source: None,
+        target: None,
+        root: None,
+        out: None,
+        stream: false,
+        stats: false,
+        docs: Vec::new(),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--schema" => opts.schema = args.next(),
+            "--source" => opts.source = args.next(),
+            "--target" => opts.target = args.next(),
+            "--root" => opts.root = args.next(),
+            "--out" => opts.out = args.next(),
+            "--stream" => opts.stream = true,
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => return Err(usage()),
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag {a}");
+                return Err(usage());
+            }
+            _ => opts.docs.push(a),
+        }
+    }
+    if opts.docs.is_empty() && opts.command != "inspect" {
+        eprintln!("no documents given");
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn load_schema(
+    path: &str,
+    root: Option<&str>,
+    session: &mut Session,
+) -> Result<AbstractSchema, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".dtd") {
+        session
+            .parse_dtd(&text, root)
+            .map_err(|e| format!("{path}: {e}"))
+    } else {
+        session.parse_xsd(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_doc(path: &str, session: &mut Session) -> Result<(Doc, String), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let xml = parse_document(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((
+        Doc::from_xml(&xml.root, &mut session.alphabet, WhitespaceMode::Trim),
+        text,
+    ))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let mut session = Session::new();
+    let mut any_invalid = false;
+
+    match opts.command.as_str() {
+        "validate" => {
+            let Some(schema_path) = opts.schema.as_deref() else {
+                eprintln!("validate requires --schema");
+                return usage();
+            };
+            let schema = match load_schema(schema_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let validator = FullValidator::new(&schema);
+            for path in &opts.docs {
+                match load_doc(path, &mut session) {
+                    Ok((doc, _)) => {
+                        let (out, stats) = validator.validate_with_stats(&doc);
+                        println!(
+                            "{path}: {}",
+                            if out.is_valid() { "valid" } else { "INVALID" }
+                        );
+                        if opts.stats {
+                            println!("  nodes visited: {}", stats.nodes_visited);
+                        }
+                        any_invalid |= !out.is_valid();
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+        "inspect" => {
+            let (Some(src_path), Some(tgt_path)) = (opts.source.as_deref(), opts.target.as_deref())
+            else {
+                eprintln!("inspect requires --source and --target");
+                return usage();
+            };
+            let source = match load_schema(src_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let target = match load_schema(tgt_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let ctx = CastContext::new(&source, &target, &session.alphabet);
+            let rel = ctx.relations();
+            println!(
+                "source: {} types   target: {} types   (DTD-style: {}/{})",
+                source.type_count(),
+                target.type_count(),
+                source.is_dtd_style(),
+                target.is_dtd_style()
+            );
+            println!(
+                "subsumed pairs: {}   disjoint pairs: {}\n",
+                rel.subsumed_pair_count(),
+                rel.disjoint_pair_count()
+            );
+            // Per same-named type pair, the relation the validator will use.
+            println!("{:<28} {:<28} relation", "source type", "target type");
+            for s_id in source.type_ids() {
+                let name = source.type_name(s_id);
+                let Some(t_id) = target.type_by_name(name) else {
+                    continue;
+                };
+                let relation = if rel.subsumed(s_id, t_id) {
+                    "subsumed (skip)"
+                } else if rel.disjoint(s_id, t_id) {
+                    "disjoint (reject)"
+                } else {
+                    "check"
+                };
+                println!("{:<28} {:<28} {}", name, target.type_name(t_id), relation);
+            }
+            return ExitCode::SUCCESS;
+        }
+        "cast" | "repair" => {
+            let (Some(src_path), Some(tgt_path)) = (opts.source.as_deref(), opts.target.as_deref())
+            else {
+                eprintln!("{} requires --source and --target", opts.command);
+                return usage();
+            };
+            let source = match load_schema(src_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let target = match load_schema(tgt_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            // Documents must be loaded (or at least alphabet-interned)
+            // against the shared alphabet; for streaming we hold the text.
+            let mut loaded = Vec::new();
+            for path in &opts.docs {
+                match load_doc(path, &mut session) {
+                    Ok(pair) => loaded.push((path.clone(), pair)),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let ctx = CastContext::new(&source, &target, &session.alphabet);
+            if opts.command == "repair" {
+                let repairer = Repairer::new(&ctx, &session.alphabet);
+                for (path, (doc, _)) in &loaded {
+                    match repairer.repair(doc) {
+                        Ok((fixed, actions)) => {
+                            println!("{path}: {} change(s)", actions.len());
+                            for a in &actions {
+                                println!("  {a}");
+                            }
+                            let xml_out =
+                                schemacast::xml::to_pretty_string(&fixed.to_xml(&session.alphabet));
+                            match opts.out.as_deref() {
+                                Some(out_path) => {
+                                    if let Err(e) = std::fs::write(out_path, xml_out) {
+                                        eprintln!("cannot write {out_path}: {e}");
+                                        return ExitCode::from(2);
+                                    }
+                                    println!("  wrote {out_path}");
+                                }
+                                None => print!("{xml_out}"),
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("{path}: unrepairable: {e}");
+                            any_invalid = true;
+                        }
+                    }
+                }
+            } else {
+                for (path, (doc, text)) in &loaded {
+                    let (out, stats) = if opts.stream {
+                        match StreamingCast::new(&ctx).validate_str(text, &session.alphabet) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                eprintln!("{path}: {e}");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    } else {
+                        ctx.validate_with_stats(doc)
+                    };
+                    println!(
+                        "{path}: {}",
+                        if out.is_valid() { "valid" } else { "INVALID" }
+                    );
+                    if opts.stats {
+                        println!(
+                            "  nodes visited: {} / {}   subsumed skips: {}   value checks: {}",
+                            stats.nodes_visited,
+                            doc.node_count(),
+                            stats.subsumed_skips,
+                            stats.value_checks
+                        );
+                    }
+                    any_invalid |= !out.is_valid();
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            return usage();
+        }
+    }
+    if any_invalid {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # schemacast
+//!
+//! A reproduction of **“Efficient Schema-Based Revalidation of XML”**
+//! (Raghavachari & Shmueli, EDBT 2004): given an XML document known to be
+//! valid with respect to one schema, decide — much faster than full
+//! revalidation — whether it is valid with respect to another schema,
+//! optionally after a sequence of edits.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`regex`] — content-model regular expressions, Glushkov automata,
+//!   one-unambiguity.
+//! * [`automata`] — DFAs, products, inclusion tests, immediate decision
+//!   automata, string revalidation (§4 of the paper).
+//! * [`xml`] — a from-scratch XML parser and serializer.
+//! * [`tree`] — ordered labeled trees, Dewey numbers, edits and Δ-encoding.
+//! * [`schema`] — abstract XML Schemas, simple types and facets, DTD and
+//!   XSD front-ends.
+//! * [`core`] — the schema-cast validators and the `R_sub`/`R_dis`
+//!   relations (§3).
+//! * [`workload`] — generators reproducing the paper's experiments.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use schemacast::schema::Session;
+//! use schemacast::core::{CastContext, CastOutcome};
+//! use schemacast::workload::purchase_order as po;
+//!
+//! // Source schema: billTo optional. Target: billTo required.
+//! let mut session = Session::new();
+//! let source = session.parse_xsd(&po::source_xsd()).unwrap();
+//! let target = session.parse_xsd(&po::target_xsd()).unwrap();
+//!
+//! // A document with 5 items, valid for the source schema.
+//! let doc = po::generate_document(&mut session.alphabet, 5, true);
+//!
+//! // Preprocess the schema pair once; revalidate many documents.
+//! let ctx = CastContext::new(&source, &target, &session.alphabet);
+//! assert_eq!(ctx.validate(&doc), CastOutcome::Valid);
+//! ```
+
+pub use schemacast_automata as automata;
+pub use schemacast_core as core;
+pub use schemacast_regex as regex;
+pub use schemacast_schema as schema;
+pub use schemacast_tree as tree;
+pub use schemacast_workload as workload;
+pub use schemacast_xml as xml;

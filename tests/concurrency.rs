@@ -1,0 +1,76 @@
+//! A preprocessed [`CastContext`] is shareable across threads: the message
+//! broker scenario runs one context against many documents concurrently.
+
+use schemacast::core::{CastContext, ModsValidator, StreamingCast};
+use schemacast::schema::Session;
+use schemacast::workload::purchase_order as po;
+use std::thread;
+
+/// Compile-time Send+Sync guarantees.
+#[test]
+fn context_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CastContext<'static>>();
+    assert_send_sync::<ModsValidator<'static, 'static>>();
+    assert_send_sync::<StreamingCast<'static, 'static>>();
+}
+
+#[test]
+fn concurrent_validation_shares_one_context() {
+    let mut session = Session::new();
+    let source = session.parse_xsd(&po::source_xsd()).unwrap();
+    let target = session.parse_xsd(&po::target_xsd()).unwrap();
+
+    // Pre-generate documents (alphabet interning needs &mut).
+    let docs: Vec<_> = (0..8)
+        .map(|i| {
+            let with_bill = i % 2 == 0;
+            (
+                with_bill,
+                po::generate_document(&mut session.alphabet, 50 + i * 10, with_bill),
+            )
+        })
+        .collect();
+
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (with_bill, doc) in &docs {
+            let ctx = &ctx;
+            handles.push(s.spawn(move || {
+                // The IDA cache is populated concurrently under the lock.
+                let out = ctx.validate(doc);
+                assert_eq!(out.is_valid(), *with_bill);
+                // Repeat to hit the cached path too.
+                for _ in 0..10 {
+                    assert_eq!(ctx.validate(doc).is_valid(), *with_bill);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+    });
+}
+
+#[test]
+fn concurrent_streaming_validation() {
+    let mut session = Session::new();
+    let source = session.parse_xsd(&po::source_xsd()).unwrap();
+    let target = session.parse_xsd(&po::target_xsd()).unwrap();
+    let texts: Vec<String> = (0..4)
+        .map(|_| po::document_xml(&mut session.alphabet, 100))
+        .collect();
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    let alphabet = &session.alphabet;
+    thread::scope(|s| {
+        for text in &texts {
+            let ctx = &ctx;
+            s.spawn(move || {
+                let sc = StreamingCast::new(ctx);
+                let (out, _) = sc.validate_str(text, alphabet).expect("well-formed");
+                assert!(out.is_valid());
+            });
+        }
+    });
+}

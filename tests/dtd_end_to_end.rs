@@ -1,0 +1,102 @@
+//! DTD pipeline integration: documents carrying internal DTD subsets are
+//! parsed, their DTDs compiled, and schema casts run between DTD versions —
+//! including the §3.4 label-indexed path.
+
+use schemacast::core::{CastContext, DtdCastValidator, LabelIndex};
+use schemacast::schema::Session;
+use schemacast::tree::{Doc, WhitespaceMode};
+use schemacast::xml::parse_document;
+
+const DOC_V1: &str = r#"<?xml version="1.0"?>
+<!DOCTYPE order [
+  <!ELEMENT order (customer, line*, note?)>
+  <!ELEMENT customer (#PCDATA)>
+  <!ELEMENT line (sku, qty)>
+  <!ELEMENT sku (#PCDATA)>
+  <!ELEMENT qty (#PCDATA)>
+  <!ELEMENT note (#PCDATA)>
+]>
+<order>
+  <customer>ACME</customer>
+  <line><sku>A-1</sku><qty>2</qty></line>
+  <line><sku>B-9</sku><qty>1</qty></line>
+</order>"#;
+
+const DTD_V2: &str = r#"
+  <!ELEMENT order (customer, line+, note?)>
+  <!ELEMENT customer (#PCDATA)>
+  <!ELEMENT line (sku, qty)>
+  <!ELEMENT sku (#PCDATA)>
+  <!ELEMENT qty (#PCDATA)>
+  <!ELEMENT note (#PCDATA)>
+"#;
+
+#[test]
+fn doctype_to_cast_pipeline() {
+    let mut session = Session::new();
+    let xml = parse_document(DOC_V1).expect("document parses");
+    let source = session
+        .parse_dtd(
+            xml.internal_dtd.as_deref().unwrap(),
+            xml.doctype_name.as_deref(),
+        )
+        .expect("v1 DTD");
+    let target = session.parse_dtd(DTD_V2, Some("order")).expect("v2 DTD");
+
+    let doc = Doc::from_xml(&xml.root, &mut session.alphabet, WhitespaceMode::Trim);
+    assert!(source.accepts_document(&doc));
+
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    assert!(ctx.validate(&doc).is_valid());
+
+    // Label-indexed path agrees.
+    let dtd = DtdCastValidator::new(&ctx, session.alphabet.len()).expect("DTD style");
+    let index = LabelIndex::build(&doc);
+    assert!(dtd.validate(&doc, &index).is_valid());
+}
+
+#[test]
+fn empty_line_list_fails_v2() {
+    let text = r#"<!DOCTYPE order [
+      <!ELEMENT order (customer, line*, note?)>
+      <!ELEMENT customer (#PCDATA)>
+      <!ELEMENT line (sku, qty)>
+      <!ELEMENT sku (#PCDATA)>
+      <!ELEMENT qty (#PCDATA)>
+      <!ELEMENT note (#PCDATA)>
+    ]>
+    <order><customer>ACME</customer></order>"#;
+    let mut session = Session::new();
+    let xml = parse_document(text).expect("parses");
+    let source = session
+        .parse_dtd(xml.internal_dtd.as_deref().unwrap(), Some("order"))
+        .expect("v1");
+    let target = session.parse_dtd(DTD_V2, Some("order")).expect("v2");
+    let doc = Doc::from_xml(&xml.root, &mut session.alphabet, WhitespaceMode::Trim);
+    assert!(source.accepts_document(&doc));
+
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    assert!(!ctx.validate(&doc).is_valid());
+    let dtd = DtdCastValidator::new(&ctx, session.alphabet.len()).expect("DTD style");
+    assert!(!dtd.validate(&doc, &LabelIndex::build(&doc)).is_valid());
+}
+
+#[test]
+fn preserve_whitespace_mode_does_not_change_verdicts() {
+    let mut session = Session::new();
+    let xml = parse_document(DOC_V1).expect("parses");
+    let source = session
+        .parse_dtd(xml.internal_dtd.as_deref().unwrap(), Some("order"))
+        .expect("v1");
+    let target = session.parse_dtd(DTD_V2, Some("order")).expect("v2");
+    let trimmed = Doc::from_xml(&xml.root, &mut session.alphabet, WhitespaceMode::Trim);
+    let preserved = Doc::from_xml(&xml.root, &mut session.alphabet, WhitespaceMode::Preserve);
+    assert!(preserved.node_count() > trimmed.node_count());
+
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    assert_eq!(ctx.validate(&trimmed), ctx.validate(&preserved));
+    assert_eq!(
+        source.accepts_document(&trimmed),
+        source.accepts_document(&preserved)
+    );
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration: XSD text + XML text in, cast verdicts out —
+//! exercising the whole stack through the public facade (`schemacast`).
+
+use schemacast::core::{CastContext, CastOutcome};
+use schemacast::schema::Session;
+use schemacast::tree::{Doc, WhitespaceMode};
+use schemacast::xml::parse_document;
+
+const SOURCE: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="library" type="Library"/>
+  <xsd:complexType name="Library">
+    <xsd:sequence>
+      <xsd:element name="book" type="Book" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Book">
+    <xsd:sequence>
+      <xsd:element name="title" type="xsd:string"/>
+      <xsd:element name="year" type="xsd:integer"/>
+      <xsd:element name="isbn" type="xsd:string" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+const TARGET: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="library" type="Library"/>
+  <xsd:complexType name="Library">
+    <xsd:sequence>
+      <xsd:element name="book" type="Book" minOccurs="1" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Book">
+    <xsd:sequence>
+      <xsd:element name="title" type="xsd:string"/>
+      <xsd:element name="year">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:integer">
+            <xsd:minInclusive value="1900"/>
+            <xsd:maxInclusive value="2100"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+      <xsd:element name="isbn" type="xsd:string" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+fn load(session: &mut Session, xml: &str) -> Doc {
+    let parsed = parse_document(xml).expect("well-formed XML");
+    Doc::from_xml(&parsed.root, &mut session.alphabet, WhitespaceMode::Trim)
+}
+
+#[test]
+fn cast_between_library_schema_versions() {
+    let mut session = Session::new();
+    let source = session.parse_xsd(SOURCE).expect("source");
+    let target = session.parse_xsd(TARGET).expect("target");
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+
+    // In range and non-empty: valid under both.
+    let ok = load(
+        &mut session,
+        r#"<library>
+             <book><title>TAOCP</title><year>1968</year><isbn>0-201-03801-3</isbn></book>
+             <book><title>SICP</title><year>1985</year></book>
+           </library>"#,
+    );
+    assert!(source.accepts_document(&ok));
+    assert_eq!(ctx.validate(&ok), CastOutcome::Valid);
+
+    // Empty library: valid for source (book*), invalid for target (book+).
+    let empty = load(&mut session, "<library/>");
+    assert!(source.accepts_document(&empty));
+    assert_eq!(ctx.validate(&empty), CastOutcome::Invalid);
+
+    // Year out of target range: source-valid, target-invalid.
+    let ancient = load(
+        &mut session,
+        "<library><book><title>Epic of Gilgamesh</title><year>-1800</year></book></library>",
+    );
+    assert!(source.accepts_document(&ancient));
+    assert_eq!(ctx.validate(&ancient), CastOutcome::Invalid);
+}
+
+#[test]
+fn stats_show_skipping_on_unchanged_types() {
+    let mut session = Session::new();
+    let source = session.parse_xsd(SOURCE).expect("source");
+    let target = session.parse_xsd(TARGET).expect("target");
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+
+    // Large library; title/isbn are identical string types in both schemas
+    // (subsumed), year must be value-checked.
+    let mut body = String::from("<library>");
+    for y in 0..200 {
+        body.push_str(&format!(
+            "<book><title>b{y}</title><year>{}</year></book>",
+            1900 + (y % 200)
+        ));
+    }
+    body.push_str("</library>");
+    let doc = load(&mut session, &body);
+    let (out, stats) = ctx.validate_with_stats(&doc);
+    assert!(out.is_valid());
+    assert_eq!(stats.value_checks, 200); // every year checked
+    assert!(stats.subsumed_skips >= 200); // titles skipped
+    assert!(stats.nodes_visited < doc.node_count());
+}
+
+#[test]
+fn whole_pipeline_from_strings_to_verdict() {
+    // The one-call pipeline a downstream user would write.
+    let mut session = Session::new();
+    let source = session.parse_xsd(SOURCE).expect("source");
+    let target = session.parse_xsd(TARGET).expect("target");
+    let xml =
+        parse_document("<library><book><title>Rust</title><year>2015</year></book></library>")
+            .expect("xml");
+    let doc = Doc::from_xml(&xml.root, &mut session.alphabet, WhitespaceMode::Trim);
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    assert!(ctx.validate(&doc).is_valid());
+}
+
+#[test]
+fn serialization_round_trip_preserves_verdict() {
+    let mut session = Session::new();
+    let source = session.parse_xsd(SOURCE).expect("source");
+    let target = session.parse_xsd(TARGET).expect("target");
+
+    let doc = load(
+        &mut session,
+        "<library><book><title>X</title><year>1999</year></book></library>",
+    );
+    // Serialize and re-parse; the verdict must be identical.
+    let xml = doc.to_xml(&session.alphabet);
+    let text = schemacast::xml::to_pretty_string(&xml);
+    let doc2 = load(&mut session, &text);
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    assert_eq!(ctx.validate(&doc), ctx.validate(&doc2));
+}

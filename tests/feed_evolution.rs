@@ -1,0 +1,138 @@
+//! The feed-family workload end to end: cast, diagnostics, repair, and the
+//! DTD label-indexed path, on an evolution with choices and bounded
+//! repetition (constructs the purchase-order experiments don't exercise).
+
+use schemacast::core::{explain, CastContext, DtdCastValidator, FailureKind, LabelIndex, Repairer};
+use schemacast::schema::Session;
+use schemacast::workload::feed::{self, FeedConfig};
+
+#[test]
+fn cast_between_feed_versions() {
+    let mut session = Session::new();
+    let v1 = session.parse_xsd(&feed::v1_xsd()).unwrap();
+    let v2 = session.parse_xsd(&feed::v2_xsd()).unwrap();
+
+    // Generate documents first so every label is interned.
+    let good = feed::generate_feed(
+        &mut session.alphabet,
+        &FeedConfig {
+            entries: 8,
+            content_prob: 1.0,
+            max_categories: 4,
+            seed: 11,
+        },
+    );
+    let summaries = feed::generate_feed(
+        &mut session.alphabet,
+        &FeedConfig {
+            entries: 4,
+            content_prob: 0.0,
+            max_categories: 2,
+            seed: 12,
+        },
+    );
+    let empty = feed::generate_feed(
+        &mut session.alphabet,
+        &FeedConfig {
+            entries: 0,
+            ..Default::default()
+        },
+    );
+
+    let ctx = CastContext::new(&v1, &v2, &session.alphabet);
+    assert!(ctx.validate(&good).is_valid());
+    assert!(!ctx.validate(&summaries).is_valid());
+    assert!(!ctx.validate(&empty).is_valid());
+
+    // Diagnostics name the right failure.
+    let err = explain(&ctx, &summaries, &session.alphabet).unwrap_err();
+    assert!(
+        matches!(err.kind, FailureKind::ContentModel { .. }),
+        "got {err:?}"
+    );
+    assert!(err.path.starts_with("/feed/entry"));
+
+    let err = explain(&ctx, &empty, &session.alphabet).unwrap_err();
+    assert_eq!(err.path, "/feed");
+}
+
+#[test]
+fn repair_migrates_v1_feeds_to_v2() {
+    let mut session = Session::new();
+    let v1 = session.parse_xsd(&feed::v1_xsd()).unwrap();
+    let v2 = session.parse_xsd(&feed::v2_xsd()).unwrap();
+    let summaries = feed::generate_feed(
+        &mut session.alphabet,
+        &FeedConfig {
+            entries: 3,
+            content_prob: 0.0,
+            max_categories: 2,
+            seed: 21,
+        },
+    );
+    assert!(v1.accepts_document(&summaries));
+    assert!(!v2.accepts_document(&summaries));
+
+    let ctx = CastContext::new(&v1, &v2, &session.alphabet);
+    let repairer = Repairer::new(&ctx, &session.alphabet);
+    let (fixed, actions) = repairer.repair(&summaries).expect("repairable");
+    assert!(v2.accepts_document(&fixed));
+    // Each summary body became a content body (replace), one per entry.
+    let replaces = actions
+        .iter()
+        .filter(|a| matches!(a, schemacast::core::RepairAction::ReplaceElement { .. }))
+        .count();
+    assert_eq!(replaces, 3);
+}
+
+#[test]
+fn dtd_label_index_on_feed_evolution() {
+    let mut session = Session::new();
+    let v1 = session.parse_dtd(feed::v1_dtd(), Some("feed")).unwrap();
+    let v2 = session.parse_dtd(feed::v2_dtd(), Some("feed")).unwrap();
+    let doc = feed::generate_feed(
+        &mut session.alphabet,
+        &FeedConfig {
+            entries: 6,
+            content_prob: 1.0,
+            max_categories: 3,
+            seed: 31,
+        },
+    );
+    assert!(v1.accepts_document(&doc));
+    let ctx = CastContext::new(&v1, &v2, &session.alphabet);
+    let dtd = DtdCastValidator::new(&ctx, session.alphabet.len()).expect("DTD style");
+    let index = LabelIndex::build(&doc);
+    let (out, stats) = dtd.validate_with_stats(&doc, &index);
+    assert_eq!(out.is_valid(), v2.accepts_document(&doc));
+    // Only feed / meta / entry instances needed checking — the simple-typed
+    // leaves are subsumed.
+    assert!(
+        stats.nodes_visited <= 2 + 6 + 6,
+        "visited {}",
+        stats.nodes_visited
+    );
+}
+
+#[test]
+fn streaming_on_serialized_feeds() {
+    let mut session = Session::new();
+    let v1 = session.parse_xsd(&feed::v1_xsd()).unwrap();
+    let v2 = session.parse_xsd(&feed::v2_xsd()).unwrap();
+    let doc = feed::generate_feed(
+        &mut session.alphabet,
+        &FeedConfig {
+            entries: 5,
+            content_prob: 1.0,
+            max_categories: 2,
+            seed: 41,
+        },
+    );
+    let text = schemacast::xml::to_pretty_string(&doc.to_xml(&session.alphabet));
+    let ctx = CastContext::new(&v1, &v2, &session.alphabet);
+    let sc = schemacast::core::StreamingCast::new(&ctx);
+    let (out, _) = sc
+        .validate_str(&text, &session.alphabet)
+        .expect("well-formed");
+    assert_eq!(out.is_valid(), v2.accepts_document(&doc));
+}

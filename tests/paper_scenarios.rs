@@ -1,0 +1,151 @@
+//! The paper's §6 experiments as assertions: the *shapes* of Figures 3a/3b
+//! and Table 3 hold in this implementation (timings are benchmarked in
+//! `schemacast-bench`; here we pin the node-visit behaviour, which is
+//! deterministic).
+
+use schemacast::core::{CastContext, CastOptions, FullValidator};
+use schemacast::schema::Session;
+use schemacast::workload::purchase_order as po;
+
+const ITEM_COUNTS: [usize; 6] = [2, 50, 100, 200, 500, 1000];
+
+#[test]
+fn experiment1_accept_is_constant_in_document_size() {
+    let mut session = Session::new();
+    let source = session.parse_xsd(&po::source_xsd()).unwrap();
+    let target = session.parse_xsd(&po::target_xsd()).unwrap();
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+
+    let mut visits = Vec::new();
+    for &n in &ITEM_COUNTS {
+        let doc = po::generate_document(&mut session.alphabet, n, true);
+        assert!(source.accepts_document(&doc), "precondition at {n}");
+        let (out, stats) = ctx.validate_with_stats(&doc);
+        assert!(out.is_valid());
+        visits.push(stats.nodes_visited);
+    }
+    // Figure 3a: flat curve.
+    assert!(visits.iter().all(|&v| v == visits[0]), "visits {visits:?}");
+    assert!(visits[0] <= 5);
+}
+
+#[test]
+fn experiment1_reject_is_constant_in_document_size() {
+    let mut session = Session::new();
+    let source = session.parse_xsd(&po::source_xsd()).unwrap();
+    let target = session.parse_xsd(&po::target_xsd()).unwrap();
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    for &n in &ITEM_COUNTS {
+        let doc = po::generate_document(&mut session.alphabet, n, false);
+        let (out, stats) = ctx.validate_with_stats(&doc);
+        assert!(!out.is_valid());
+        assert!(
+            stats.nodes_visited <= 2,
+            "visits {} at {n}",
+            stats.nodes_visited
+        );
+    }
+}
+
+#[test]
+fn experiment2_visits_scale_linearly_with_constant_savings() {
+    let mut session = Session::new();
+    let source = session.parse_xsd(&po::source_maxex200_xsd()).unwrap();
+    let target = session.parse_xsd(&po::target_xsd()).unwrap();
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    let full = FullValidator::new(&target);
+
+    let mut rows = Vec::new();
+    for &n in &ITEM_COUNTS {
+        let doc = po::generate_document(&mut session.alphabet, n, true);
+        let (out, stats) = ctx.validate_with_stats(&doc);
+        assert!(out.is_valid());
+        let (_, full_stats) = full.validate_with_stats(&doc);
+        rows.push((n, stats.nodes_visited, full_stats.nodes_visited));
+    }
+    for &(n, cast, full_v) in &rows {
+        // Table 3 shape: the cast visits strictly fewer nodes…
+        assert!(cast < full_v, "at {n}: {cast} vs {full_v}");
+        // …at a roughly constant fraction on non-trivial documents.
+        if n >= 50 {
+            let ratio = cast as f64 / full_v as f64;
+            assert!((0.5..0.9).contains(&ratio), "ratio {ratio} at {n}");
+        }
+    }
+    // Savings grow linearly: (full - cast) per item is ~constant.
+    let (n1, c1, f1) = rows[1];
+    let (n2, c2, f2) = rows[5];
+    let per_item_1 = (f1 - c1) as f64 / n1 as f64;
+    let per_item_2 = (f2 - c2) as f64 / n2 as f64;
+    assert!(
+        (per_item_1 - per_item_2).abs() < 0.5,
+        "savings per item drifted: {per_item_1} vs {per_item_2}"
+    );
+}
+
+#[test]
+fn experiment2_catches_out_of_range_quantities() {
+    let mut session = Session::new();
+    let source = session.parse_xsd(&po::source_maxex200_xsd()).unwrap();
+    let target = session.parse_xsd(&po::target_xsd()).unwrap();
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    // Quantities 100..199: valid for the wide source only.
+    let doc = session_doc(&mut session, 50, |i| 100 + (i as u32 % 100));
+    assert!(source.accepts_document(&doc));
+    assert!(!ctx.validate(&doc).is_valid());
+    // All below 100: valid for both.
+    let doc = session_doc(&mut session, 50, |i| 1 + (i as u32 % 99));
+    assert!(ctx.validate(&doc).is_valid());
+}
+
+fn session_doc(
+    session: &mut Session,
+    n: usize,
+    qty: impl FnMut(usize) -> u32,
+) -> schemacast::tree::Doc {
+    po::generate_document_with(&mut session.alphabet, n, true, qty)
+}
+
+#[test]
+fn paper_prototype_options_match_default_verdicts() {
+    // The paper's Xerces prototype (no IDA) and the full algorithm must
+    // agree on all experiment documents — they differ only in cost.
+    let mut session = Session::new();
+    let source = session.parse_xsd(&po::source_xsd()).unwrap();
+    let target = session.parse_xsd(&po::target_xsd()).unwrap();
+    let full_algo = CastContext::new(&source, &target, &session.alphabet);
+    let prototype = CastContext::with_options(
+        &source,
+        &target,
+        &session.alphabet,
+        CastOptions::paper_prototype(),
+    );
+    for &n in &[2usize, 100, 500] {
+        for with_bill in [true, false] {
+            let doc = po::generate_document(&mut session.alphabet, n, with_bill);
+            assert_eq!(
+                full_algo.validate(&doc),
+                prototype.validate(&doc),
+                "n={n} bill={with_bill}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table2_file_sizes_grow_affinely() {
+    let mut session = Session::new();
+    let sizes: Vec<(usize, usize)> = ITEM_COUNTS
+        .iter()
+        .map(|&n| (n, po::document_xml(&mut session.alphabet, n).len()))
+        .collect();
+    // Affine in item count, as in Table 2.
+    let (n1, s1) = sizes[1];
+    let (n2, s2) = sizes[5];
+    let per_item = (s2 - s1) as f64 / (n2 - n1) as f64;
+    for &(n, s) in &sizes[1..] {
+        let predicted = s1 as f64 + per_item * (n as f64 - n1 as f64);
+        let err = (s as f64 - predicted).abs() / s as f64;
+        assert!(err < 0.05, "size at {n} deviates {err}");
+    }
+}

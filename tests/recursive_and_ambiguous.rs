@@ -1,0 +1,156 @@
+//! Coverage for two schema shapes outside the paper's experiments:
+//!
+//! * **Recursive types** (document outlines: `section(title, section*)`) —
+//!   the fixpoints must converge and deep documents must validate.
+//! * **1-ambiguous content models** — XML forbids them, but the abstract
+//!   formalism doesn't; the paper notes the techniques still apply (only
+//!   the optimality claim needs determinism). We determinize via subset
+//!   construction and everything works.
+
+use schemacast::core::{CastContext, FullValidator};
+use schemacast::regex::Alphabet;
+use schemacast::schema::{AbstractSchema, SchemaBuilder, SimpleType};
+use schemacast::tree::Doc;
+
+fn outline_schema(ab: &mut Alphabet, max_depth_note: bool) -> AbstractSchema {
+    let mut b = SchemaBuilder::new(ab);
+    let text = b.simple("Text", SimpleType::string()).unwrap();
+    let section = b.declare("Section").unwrap();
+    // v2 additionally allows a note at the end of every section.
+    let model = if max_depth_note {
+        "(title, section*, note?)"
+    } else {
+        "(title, section*)"
+    };
+    b.complex(
+        section,
+        model,
+        &[("title", text), ("section", section), ("note", text)],
+    )
+    .unwrap();
+    b.root("doc", section);
+    b.finish().unwrap()
+}
+
+fn deep_outline(ab: &mut Alphabet, depth: usize, fanout: usize) -> Doc {
+    let doc_l = ab.intern("doc");
+    let section = ab.intern("section");
+    let title = ab.intern("title");
+    let mut d = Doc::new(doc_l);
+    let t = d.add_element(d.root(), title);
+    d.add_text(t, "root");
+    let mut cur = d.root();
+    for i in 0..depth {
+        let s = d.add_element(cur, section);
+        let t = d.add_element(s, title);
+        d.add_text(t, format!("level {i}"));
+        for _ in 0..fanout {
+            let leaf = d.add_element(s, section);
+            let lt = d.add_element(leaf, title);
+            d.add_text(lt, "leaf");
+        }
+        cur = s;
+    }
+    d
+}
+
+#[test]
+fn recursive_schema_cast_and_subsumption() {
+    let mut ab = Alphabet::new();
+    let v1 = outline_schema(&mut ab, false);
+    let v2 = outline_schema(&mut ab, true);
+    let doc = deep_outline(&mut ab, 40, 2);
+    assert!(v1.accepts_document(&doc));
+
+    // v1 ⊆ v2 (note is optional): the whole cast is one subsumption skip.
+    let ctx = CastContext::new(&v1, &v2, &ab);
+    let (out, stats) = ctx.validate_with_stats(&doc);
+    assert!(out.is_valid());
+    assert_eq!(stats.nodes_visited, 1);
+
+    // The reverse direction requires checking (notes may be present) but
+    // still accepts note-free documents.
+    let ctx_rev = CastContext::new(&v2, &v1, &ab);
+    assert!(ctx_rev.validate(&doc).is_valid());
+}
+
+#[test]
+fn deep_documents_validate_without_issue() {
+    let mut ab = Alphabet::new();
+    let v1 = outline_schema(&mut ab, false);
+    let v2 = outline_schema(&mut ab, true);
+    // 20,000 levels deep: the full and cast validators are iterative, so
+    // document depth never consumes call-stack frames.
+    let doc = deep_outline(&mut ab, 20_000, 0);
+    assert!(FullValidator::new(&v1).validate(&doc).is_valid());
+    let ctx = CastContext::new(&v2, &v1, &ab);
+    assert!(ctx.validate(&doc).is_valid());
+    // A deep failure is found too (break the innermost title).
+    let mut broken = deep_outline(&mut ab, 20_000, 0);
+    let bogus = ab.intern("bogus");
+    // Walk to the deepest section and relabel its title.
+    let mut cur = broken.root();
+    loop {
+        let next = broken
+            .children(cur)
+            .iter()
+            .copied()
+            .find(|&c| broken.label(c) == ab.lookup("section"));
+        match next {
+            Some(n) => cur = n,
+            None => break,
+        }
+    }
+    let title = broken.children(cur)[0];
+    broken.set_label(title, bogus);
+    assert!(!FullValidator::new(&v1).validate(&broken).is_valid());
+    assert!(!ctx.validate(&broken).is_valid());
+}
+
+#[test]
+fn ambiguous_content_models_are_supported() {
+    // (a, c) | (a, d): 1-ambiguous (two a-positions reachable first) —
+    // illegal in real XML/DTD, fine for the abstract formalism.
+    let mut ab = Alphabet::new();
+    let mk = |ab: &mut Alphabet, with_d: bool| {
+        let mut b = SchemaBuilder::new(ab);
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        let root = b.declare("Root").unwrap();
+        let model = if with_d { "(a, c) | (a, d)" } else { "(a, c)" };
+        b.complex(root, model, &[("a", text), ("c", text), ("d", text)])
+            .unwrap();
+        b.root("r", root);
+        b.finish().unwrap()
+    };
+    let source = mk(&mut ab, true);
+    let target = mk(&mut ab, false);
+
+    // The compiled type is flagged non-deterministic but fully functional.
+    let root_ty = source.type_by_name("Root").unwrap();
+    assert!(!source.type_def(root_ty).as_complex().unwrap().deterministic);
+
+    let r = ab.lookup("r").unwrap();
+    let a = ab.lookup("a").unwrap();
+    let c = ab.lookup("c").unwrap();
+    let d = ab.lookup("d").unwrap();
+    let build = |labels: &[schemacast::regex::Sym], ab: &Alphabet| {
+        let _ = ab;
+        let mut doc = Doc::new(r);
+        for &l in labels {
+            let e = doc.add_element(doc.root(), l);
+            doc.add_text(e, "v");
+        }
+        doc
+    };
+    let ac = build(&[a, c], &ab);
+    let ad = build(&[a, d], &ab);
+    assert!(source.accepts_document(&ac));
+    assert!(source.accepts_document(&ad));
+
+    let ctx = CastContext::new(&source, &target, &ab);
+    assert!(ctx.validate(&ac).is_valid());
+    assert!(!ctx.validate(&ad).is_valid());
+    // And the decisions agree with ground truth.
+    assert!(target.accepts_document(&ac));
+    assert!(!target.accepts_document(&ad));
+}

@@ -1,0 +1,89 @@
+//! Property tests for automatic document repair: on random schema
+//! evolutions and source-valid documents, `Repairer::repair` always
+//! produces a target-valid document, makes no changes when none are
+//! needed, and is idempotent.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use schemacast::core::{CastContext, Repairer};
+use schemacast::regex::Alphabet;
+use schemacast::workload::synth::{random_schema, sample_document, SynthConfig};
+
+fn scenario(
+    schema_seed: u64,
+    evolve_steps: usize,
+    doc_seed: u64,
+) -> Option<(
+    schemacast::schema::AbstractSchema,
+    schemacast::schema::AbstractSchema,
+    Alphabet,
+    schemacast::tree::Doc,
+)> {
+    let mut rng = SmallRng::seed_from_u64(schema_seed);
+    let mut synth = random_schema(&SynthConfig::default(), &mut rng);
+    let original = synth.clone();
+    for _ in 0..evolve_steps {
+        synth.evolve(&mut rng);
+    }
+    let mut ab = Alphabet::new();
+    let source = original.build(&mut ab);
+    let target = synth.build(&mut ab);
+    let mut doc_rng = SmallRng::seed_from_u64(doc_seed);
+    let doc = sample_document(&source, &mut ab, &mut doc_rng, 4)?;
+    Some((source, target, ab, doc))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn repaired_documents_are_target_valid(
+        schema_seed in 0u64..4000,
+        evolve_steps in 0usize..4,
+        doc_seed in 0u64..4000,
+    ) {
+        let Some((source, target, ab, doc)) = scenario(schema_seed, evolve_steps, doc_seed)
+        else { return Ok(()); };
+        let ctx = CastContext::new(&source, &target, &ab);
+        let repairer = Repairer::new(&ctx, &ab);
+        match repairer.repair(&doc) {
+            Ok((fixed, actions)) => {
+                prop_assert!(
+                    target.accepts_document(&fixed),
+                    "repaired document is not target-valid (actions: {:?})", actions
+                );
+                // No-op repairs iff the document was already valid.
+                let was_valid = target.accepts_document(&doc);
+                prop_assert_eq!(actions.is_empty(), was_valid);
+                // Idempotence.
+                let (fixed2, actions2) = repairer.repair(&fixed).expect("second pass");
+                prop_assert!(actions2.is_empty(), "second pass: {:?}", actions2);
+                prop_assert!(target.accepts_document(&fixed2));
+            }
+            Err(e) => {
+                // Repair may only fail when some required type is
+                // genuinely unsatisfiable — never for our productive
+                // synthetic schemas.
+                prop_assert!(false, "repair failed on productive schema: {e}");
+            }
+        }
+    }
+
+    /// Repair preserves already-valid content byte for byte.
+    #[test]
+    fn valid_documents_round_trip(schema_seed in 0u64..4000, doc_seed in 0u64..4000) {
+        let Some((source, _target, ab, doc)) = scenario(schema_seed, 0, doc_seed)
+        else { return Ok(()); };
+        // Source == target (no evolution): document is valid.
+        let ctx = CastContext::new(&source, &source, &ab);
+        let repairer = Repairer::new(&ctx, &ab);
+        let (fixed, actions) = repairer.repair(&doc).expect("repairs");
+        prop_assert!(actions.is_empty());
+        prop_assert_eq!(fixed.node_count(), doc.node_count());
+        // Structural equality via serialization.
+        let a = schemacast::xml::to_string(&doc.to_xml(&ab));
+        let b = schemacast::xml::to_string(&fixed.to_xml(&ab));
+        prop_assert_eq!(a, b);
+    }
+}
