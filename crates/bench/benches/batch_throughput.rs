@@ -1,0 +1,59 @@
+//! Batch revalidation throughput at 1, 2, 4, and max worker threads.
+//!
+//! The workload is the paper's Experiment 1 shape: a stream of
+//! purchase-order documents, each valid for the Figure 1a source schema
+//! (`billTo` optional), revalidated against the Figure 2 target
+//! (`billTo` required) through one shared [`CastContext`]. Throughput is
+//! reported in documents per second; on multicore hardware the 4-thread
+//! run should exceed 2x the 1-thread run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use schemacast_core::CastContext;
+use schemacast_engine::{default_workers, BatchEngine};
+use schemacast_schema::Session;
+use schemacast_workload::purchase_order as po;
+use std::hint::black_box;
+
+const BATCH: usize = 500;
+const ITEMS_PER_DOC: usize = 40;
+
+fn thread_counts() -> Vec<usize> {
+    let max = default_workers().get();
+    let mut counts = vec![1, 2, 4, max];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn bench(c: &mut Criterion) {
+    let mut session = Session::new();
+    let source = session.parse_xsd(&po::source_xsd()).expect("source schema");
+    let target = session.parse_xsd(&po::target_xsd()).expect("target schema");
+    let docs: Vec<_> = (0..BATCH)
+        .map(|i| po::generate_document(&mut session.alphabet, ITEMS_PER_DOC, i % 3 != 0))
+        .collect();
+    let texts: Vec<_> = (0..BATCH)
+        .map(|_| po::document_xml(&mut session.alphabet, ITEMS_PER_DOC))
+        .collect();
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    // Pay the one-off product-IDA construction outside the timed region.
+    BatchEngine::new(&ctx).warm_up();
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for workers in thread_counts() {
+        let engine = BatchEngine::with_workers(&ctx, workers);
+        group.bench_with_input(BenchmarkId::new("tree_docs", workers), &docs, |b, docs| {
+            b.iter(|| black_box(engine.validate_docs(docs)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("streaming_xml", workers),
+            &texts,
+            |b, texts| b.iter(|| black_box(engine.validate_xml(texts, &session.alphabet))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -54,9 +54,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("with_mods_hinted", name),
             new,
-            |bch, new| {
-                bch.iter(|| black_box(cast.revalidate_with_mods_hinted(&old, new, *p, *k)))
-            },
+            |bch, new| bch.iter(|| black_box(cast.revalidate_with_mods_hinted(&old, new, *p, *k))),
         );
         group.bench_with_input(
             BenchmarkId::new("with_mods_rediscover", name),

@@ -13,14 +13,14 @@
 //! is subsumed and failing fast on disjoint pairs.
 
 use crate::full::{validate_simple_content, FullValidator};
+use crate::idacache::ShardedIdaCache;
 use crate::relations::TypeRelations;
 use crate::stats::{CastOutcome, ValidationStats};
 use schemacast_automata::{IdaOutcome, ProductIda};
 use schemacast_regex::{Alphabet, Sym};
 use schemacast_schema::{AbstractSchema, ComplexType, TypeDef, TypeId};
 use schemacast_tree::{Doc, NodeId};
-use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Feature toggles for ablation studies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,12 +65,17 @@ impl CastOptions {
 }
 
 /// A preprocessed schema pair, ready to revalidate many documents.
+///
+/// A `&CastContext` is `Sync`: the lazily filled IDA cache is sharded and
+/// never holds a lock while constructing an automaton, so worker threads
+/// validating different documents (the batch engine's shape) do not
+/// serialize behind each other.
 pub struct CastContext<'a> {
     source: &'a AbstractSchema,
     target: &'a AbstractSchema,
     relations: TypeRelations,
     options: CastOptions,
-    ida_cache: RwLock<HashMap<(TypeId, TypeId), Arc<ProductIda>>>,
+    ida_cache: ShardedIdaCache,
 }
 
 impl<'a> CastContext<'a> {
@@ -96,7 +101,7 @@ impl<'a> CastContext<'a> {
             target,
             relations,
             options,
-            ida_cache: RwLock::new(HashMap::new()),
+            ida_cache: ShardedIdaCache::new(),
         }
     }
 
@@ -267,47 +272,42 @@ impl<'a> CastContext<'a> {
     }
 
     /// The cached product IDA for a (source, target) complex type pair.
-    pub(crate) fn product_ida(&self, src: TypeId, tgt: TypeId) -> Arc<ProductIda> {
-        if let Some(ida) = self
-            .ida_cache
-            .read()
-            .expect("lock poisoned")
-            .get(&(src, tgt))
-        {
-            return Arc::clone(ida);
-        }
-        let a = &self
-            .source
-            .type_def(src)
-            .as_complex()
-            .expect("product IDA requires complex source")
-            .dfa;
-        let b = &self
-            .target
-            .type_def(tgt)
-            .as_complex()
-            .expect("product IDA requires complex target")
-            .dfa;
-        let ida = Arc::new(ProductIda::new(a, b));
-        self.ida_cache
-            .write()
-            .expect("lock poisoned")
-            .insert((src, tgt), Arc::clone(&ida));
-        ida
+    ///
+    /// On a miss the automaton is constructed with no cache lock held;
+    /// racing callers all receive clones of the single published `Arc`.
+    pub fn product_ida(&self, src: TypeId, tgt: TypeId) -> Arc<ProductIda> {
+        self.ida_cache.get_or_insert_with((src, tgt), || {
+            let a = &self
+                .source
+                .type_def(src)
+                .as_complex()
+                .expect("product IDA requires complex source")
+                .dfa;
+            let b = &self
+                .target
+                .type_def(tgt)
+                .as_complex()
+                .expect("product IDA requires complex target")
+                .dfa;
+            ProductIda::new(a, b)
+        })
     }
 
-    /// Eagerly builds the product IDAs of every type pair *reachable* from
-    /// a shared root label (the pairs the validator can actually encounter),
-    /// so that no first-validation latency remains. Returns the number of
-    /// IDAs materialized.
-    ///
-    /// Reachability: starting from `(ℛ(σ), ℛ'(σ))` for every label σ rooted
-    /// in both schemas, follow matching child labels of complex pairs that
-    /// are neither subsumed nor disjoint (others are never content-checked).
-    pub fn warm_up(&self) -> usize {
+    /// Number of product IDAs currently cached.
+    pub fn cached_ida_count(&self) -> usize {
+        self.ida_cache.len()
+    }
+
+    /// The (source, target) type pairs whose content models the validator
+    /// can actually run an IDA over: starting from `(ℛ(σ), ℛ'(σ))` for
+    /// every label σ rooted in both schemas, follow matching child labels of
+    /// complex pairs that are neither subsumed nor disjoint (others are
+    /// never content-checked). Deterministic order.
+    pub fn reachable_pairs(&self) -> Vec<(TypeId, TypeId)> {
         let mut seen: std::collections::HashSet<(TypeId, TypeId)> =
             std::collections::HashSet::new();
         let mut stack: Vec<(TypeId, TypeId)> = Vec::new();
+        let mut out: Vec<(TypeId, TypeId)> = Vec::new();
         for (label, s) in self.source.roots() {
             if let Some(t) = self.target.root_type(label) {
                 if seen.insert((s, t)) {
@@ -315,7 +315,6 @@ impl<'a> CastContext<'a> {
                 }
             }
         }
-        let mut built = 0;
         while let Some((s, t)) = stack.pop() {
             if self.options.use_subsumption && self.relations.subsumed(s, t) {
                 continue;
@@ -329,10 +328,7 @@ impl<'a> CastContext<'a> {
             ) else {
                 continue;
             };
-            if self.options.use_ida {
-                let _ = self.product_ida(s, t);
-                built += 1;
-            }
+            out.push((s, t));
             for (&label, &child_s) in &cs.child_types {
                 if let Some(child_t) = ct.child_type(label) {
                     if seen.insert((child_s, child_t)) {
@@ -341,7 +337,22 @@ impl<'a> CastContext<'a> {
                 }
             }
         }
-        built
+        out
+    }
+
+    /// Eagerly builds the product IDAs of every type pair *reachable* from
+    /// a shared root label (the pairs the validator can actually encounter),
+    /// so that no first-validation latency remains. Returns the number of
+    /// IDAs materialized. (The batch engine exposes a parallel variant.)
+    pub fn warm_up(&self) -> usize {
+        if !self.options.use_ida {
+            return 0;
+        }
+        let pairs = self.reachable_pairs();
+        for &(s, t) in &pairs {
+            let _ = self.product_ida(s, t);
+        }
+        pairs.len()
     }
 }
 

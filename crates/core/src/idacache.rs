@@ -1,0 +1,162 @@
+//! Sharded, contention-free cache of [`ProductIda`]s.
+//!
+//! [`crate::CastContext`] builds one product IDA per (source, target)
+//! complex-type pair, lazily, the first time the validator meets the pair.
+//! Under the original single `RwLock<HashMap>` every builder held the
+//! *whole* cache write lock while constructing its automaton, serializing
+//! all other pairs behind it — exactly the wrong shape for the batch engine,
+//! where many worker threads hit the cache at once.
+//!
+//! This cache fixes both problems:
+//!
+//! * **Sharding** — the key hashes to one of [`SHARD_COUNT`] independent
+//!   shards, so lookups of different pairs rarely touch the same lock.
+//! * **Build outside the lock** — on a miss the shard lock is *released*
+//!   during IDA construction and reacquired only to publish. Two racing
+//!   builders may both construct, but `entry().or_insert` makes the first
+//!   publication win: every caller receives a clone of the same `Arc`, so
+//!   at most one IDA per pair is ever observable (asserted by tests).
+
+use schemacast_automata::ProductIda;
+use schemacast_schema::TypeId;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Number of shards. A modest power of two: enough that a worker pool on
+/// typical hardware rarely collides, small enough to stay cache-friendly.
+const SHARD_COUNT: usize = 16;
+
+type Shard = Mutex<HashMap<(TypeId, TypeId), Arc<ProductIda>>>;
+
+/// A concurrent map from (source, target) type pairs to their product IDA.
+#[derive(Default)]
+pub(crate) struct ShardedIdaCache {
+    shards: [Shard; SHARD_COUNT],
+}
+
+/// Fibonacci-style mix of the pair into a shard index.
+#[inline]
+fn shard_index(key: (TypeId, TypeId)) -> usize {
+    let packed = ((key.0 .0 as u64) << 32) | key.1 .0 as u64;
+    (packed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 59) as usize % SHARD_COUNT
+}
+
+impl ShardedIdaCache {
+    /// Creates an empty cache.
+    pub(crate) fn new() -> ShardedIdaCache {
+        ShardedIdaCache::default()
+    }
+
+    /// The cached IDA for `key`, if already published.
+    #[cfg(test)]
+    pub(crate) fn get(&self, key: (TypeId, TypeId)) -> Option<Arc<ProductIda>> {
+        self.shards[shard_index(key)]
+            .lock()
+            .expect("ida cache shard poisoned")
+            .get(&key)
+            .map(Arc::clone)
+    }
+
+    /// The IDA for `key`, building it with `build` on a miss.
+    ///
+    /// `build` runs with **no** lock held; racing callers converge on the
+    /// first published `Arc` (a losing builder's automaton is dropped).
+    pub(crate) fn get_or_insert_with(
+        &self,
+        key: (TypeId, TypeId),
+        build: impl FnOnce() -> ProductIda,
+    ) -> Arc<ProductIda> {
+        let shard = &self.shards[shard_index(key)];
+        if let Some(ida) = shard
+            .lock()
+            .expect("ida cache shard poisoned")
+            .get(&key)
+            .map(Arc::clone)
+        {
+            return ida;
+        }
+        let built = Arc::new(build());
+        Arc::clone(
+            shard
+                .lock()
+                .expect("ida cache shard poisoned")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
+
+    /// Number of cached IDAs.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("ida cache shard poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_automata::Dfa;
+    use schemacast_regex::{Regex, Sym};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tiny_ida() -> ProductIda {
+        let a = Dfa::from_regex(&Regex::sym(Sym(0)), 1).expect("compiles");
+        ProductIda::new(&a, &a)
+    }
+
+    #[test]
+    fn get_or_insert_publishes_once() {
+        let cache = ShardedIdaCache::new();
+        let builds = AtomicUsize::new(0);
+        let key = (TypeId(3), TypeId(7));
+        let first = cache.get_or_insert_with(key, || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            tiny_ida()
+        });
+        let second = cache.get_or_insert_with(key, || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            tiny_ida()
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "hit must not rebuild");
+        assert!(Arc::ptr_eq(&first, &second));
+        assert!(Arc::ptr_eq(&first, &cache.get(key).expect("cached")));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn racing_builders_converge_on_one_arc() {
+        let cache = ShardedIdaCache::new();
+        let key = (TypeId(1), TypeId(2));
+        let published: Vec<Arc<ProductIda>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = &cache;
+                    s.spawn(move || cache.get_or_insert_with(key, tiny_ida))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for ida in &published {
+            assert!(
+                Arc::ptr_eq(ida, &published[0]),
+                "two different IDAs published for one pair"
+            );
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_pairs_do_not_collide_logically() {
+        let cache = ShardedIdaCache::new();
+        for i in 0..64u32 {
+            cache.get_or_insert_with((TypeId(i), TypeId(i + 1)), tiny_ida);
+        }
+        assert_eq!(cache.len(), 64);
+        for i in 0..64u32 {
+            assert!(cache.get((TypeId(i), TypeId(i + 1))).is_some());
+        }
+        assert!(cache.get((TypeId(99), TypeId(100))).is_none());
+    }
+}

@@ -23,6 +23,7 @@ pub mod cast;
 pub mod dtdcast;
 pub mod explain;
 pub mod full;
+mod idacache;
 pub mod mods;
 pub mod relations;
 pub mod repair;

@@ -90,6 +90,24 @@ impl TypeRelations {
         }
 
         // ---- R_nondis: least fixpoint. ----
+        // The P bitset must have room for every label either schema can
+        // mention. Normally `alphabet.len()` covers that, but if the caller
+        // hands a stale alphabet snapshot (schemas compiled against a later
+        // interning state), sizing from the alphabet alone would drop labels
+        // from P — silently shrinking `P*` and over-approximating
+        // disjointness into wrong rejections. Size from both sources and
+        // assert the invariant instead of skipping.
+        let mut label_capacity = alphabet.len();
+        for schema in [source, target] {
+            for t in schema.type_ids() {
+                if let TypeDef::Complex(c) = schema.type_def(t) {
+                    for &label in c.child_types.keys() {
+                        label_capacity = label_capacity.max(label.index() + 1);
+                    }
+                }
+            }
+        }
+
         // Seed: simple pairs that share a value; simple/complex pairs that
         // share the childless element.
         for s in source.type_ids() {
@@ -123,12 +141,16 @@ impl TypeRelations {
                         continue;
                     };
                     // P = labels whose child-type pair is already nondis.
-                    let mut allowed = BitSet::new(alphabet.len());
+                    let mut allowed = BitSet::new(label_capacity);
                     for (&label, &child_s) in &a.child_types {
                         if let Some(child_t) = b.child_type(label) {
-                            if nondis[child_s.index()].contains(child_t.index())
-                                && label.index() < allowed.capacity()
-                            {
+                            if nondis[child_s.index()].contains(child_t.index()) {
+                                debug_assert!(
+                                    label.index() < allowed.capacity(),
+                                    "label {} outside the sized alphabet ({})",
+                                    label.index(),
+                                    allowed.capacity()
+                                );
                                 allowed.insert(label.index());
                             }
                         }
@@ -332,6 +354,33 @@ mod tests {
         let s = source.type_by_name("Root").unwrap();
         let t = target.type_by_name("Root").unwrap();
         assert!(rel.disjoint(s, t));
+    }
+
+    #[test]
+    fn stale_alphabet_snapshot_does_not_weaken_disjointness() {
+        // Regression: the P bitset used to be sized from the caller's
+        // alphabet and labels beyond its capacity were silently skipped,
+        // which shrank P* and flipped non-disjoint pairs to disjoint. An
+        // empty alphabet snapshot is the extreme case: every label would
+        // have been dropped.
+        let (source, target, full_ab) = figure1();
+        let stale_ab = Alphabet::new();
+        let fresh = TypeRelations::compute(&source, &target, &full_ab);
+        let stale = TypeRelations::compute(&source, &target, &stale_ab);
+        for s in source.type_ids() {
+            for t in target.type_ids() {
+                assert_eq!(
+                    fresh.disjoint(s, t),
+                    stale.disjoint(s, t),
+                    "disjointness of ({s:?}, {t:?}) depends on alphabet snapshot"
+                );
+                assert_eq!(fresh.subsumed(s, t), stale.subsumed(s, t));
+            }
+        }
+        // And the paper's Figure 1 pair stays correctly non-disjoint.
+        let s_po = source.type_by_name("POType1").unwrap();
+        let t_po = target.type_by_name("POType2").unwrap();
+        assert!(!stale.disjoint(s_po, t_po));
     }
 
     #[test]

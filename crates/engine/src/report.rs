@@ -1,0 +1,116 @@
+//! Batch results: per-item verdicts in input order plus folded totals.
+
+use schemacast_core::{CastOutcome, ValidationStats};
+use std::time::Duration;
+
+/// The verdict for one batch item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemOutcome {
+    /// Valid with respect to the target schema.
+    Valid,
+    /// Not valid with respect to the target schema.
+    Invalid,
+    /// The raw XML input was not well-formed (streaming inputs only).
+    MalformedXml(String),
+}
+
+impl ItemOutcome {
+    pub(crate) fn from_cast(outcome: CastOutcome) -> ItemOutcome {
+        if outcome.is_valid() {
+            ItemOutcome::Valid
+        } else {
+            ItemOutcome::Invalid
+        }
+    }
+
+    /// Whether the item validated.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, ItemOutcome::Valid)
+    }
+}
+
+/// Verdict and cost counters for one batch item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemReport {
+    /// The verdict.
+    pub outcome: ItemOutcome,
+    /// The validator's cost counters for this item alone.
+    pub stats: ValidationStats,
+}
+
+/// The result of one batch run.
+///
+/// `items` is in input order regardless of how work was scheduled, and
+/// `totals` is folded from `items` in input order — so two runs of the same
+/// batch agree on everything except `elapsed`, whatever the worker counts.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-item reports, in input order.
+    pub items: Vec<ItemReport>,
+    /// Sum of all per-item stats.
+    pub totals: ValidationStats,
+    /// Number of [`ItemOutcome::Valid`] items.
+    pub valid: usize,
+    /// Number of [`ItemOutcome::Invalid`] items.
+    pub invalid: usize,
+    /// Number of [`ItemOutcome::MalformedXml`] items.
+    pub malformed: usize,
+    /// Worker count the batch ran with.
+    pub workers: usize,
+    /// Wall-clock time of the batch (excluded from determinism guarantees).
+    pub elapsed: Duration,
+}
+
+impl BatchReport {
+    pub(crate) fn from_items(
+        items: Vec<ItemReport>,
+        workers: usize,
+        elapsed: Duration,
+    ) -> BatchReport {
+        let mut totals = ValidationStats::default();
+        let (mut valid, mut invalid, mut malformed) = (0, 0, 0);
+        for item in &items {
+            totals += item.stats;
+            match item.outcome {
+                ItemOutcome::Valid => valid += 1,
+                ItemOutcome::Invalid => invalid += 1,
+                ItemOutcome::MalformedXml(_) => malformed += 1,
+            }
+        }
+        BatchReport {
+            items,
+            totals,
+            valid,
+            invalid,
+            malformed,
+            workers,
+            elapsed,
+        }
+    }
+
+    /// Whether every item validated.
+    pub fn all_valid(&self) -> bool {
+        self.valid == self.items.len()
+    }
+
+    /// Documents per second of wall-clock time.
+    pub fn docs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.items.len() as f64 / secs
+    }
+
+    /// The deterministic portion of the report (everything except timing
+    /// and worker count) — what batch-identity tests should compare.
+    pub fn deterministic_view(&self) -> (&[ItemReport], &ValidationStats, usize, usize, usize) {
+        (
+            &self.items,
+            &self.totals,
+            self.valid,
+            self.invalid,
+            self.malformed,
+        )
+    }
+}

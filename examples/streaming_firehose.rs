@@ -28,7 +28,9 @@ fn main() {
     let sc = StreamingCast::new(&ctx);
 
     let t0 = Instant::now();
-    let (out, stats) = sc.validate_str(&text, &session.alphabet).expect("well-formed");
+    let (out, stats) = sc
+        .validate_str(&text, &session.alphabet)
+        .expect("well-formed");
     let elapsed = t0.elapsed();
     println!(
         "streaming cast: {} in {:.2} ms ({:.0} MB/s), {} nodes entered, {} subtrees skipped",
@@ -41,9 +43,13 @@ fn main() {
 
     // Early rejection: break the document near the start (drop billTo by
     // renaming it) and watch the scan stop almost immediately.
-    let broken = text.replacen("<billTo>", "<billTwo>", 1).replacen("</billTo>", "</billTwo>", 1);
+    let broken = text
+        .replacen("<billTo>", "<billTwo>", 1)
+        .replacen("</billTo>", "</billTwo>", 1);
     let t1 = Instant::now();
-    let (out, stats) = sc.validate_str(&broken, &session.alphabet).expect("well-formed");
+    let (out, stats) = sc
+        .validate_str(&broken, &session.alphabet)
+        .expect("well-formed");
     let elapsed_broken = t1.elapsed();
     println!(
         "broken document: {} in {:.3} ms after entering {} nodes (early abort)",

@@ -3,6 +3,7 @@
 //! ```text
 //! schemacast validate --schema S.xsd doc.xml [doc2.xml ...]
 //! schemacast cast --source S.xsd --target T.xsd [--stream] [--stats] doc.xml ...
+//! schemacast batch --source S.xsd --target T.xsd [--threads N] [--warm-up] doc.xml ...
 //! schemacast repair --source S.xsd --target T.xsd --out fixed.xml doc.xml
 //! schemacast inspect --source S.xsd --target T.xsd
 //! ```
@@ -12,6 +13,7 @@
 //! 1 = some invalid, 2 = usage/parse error.
 
 use schemacast::core::{CastContext, FullValidator, Repairer, StreamingCast};
+use schemacast::engine::{BatchEngine, ItemOutcome};
 use schemacast::schema::{AbstractSchema, Session};
 use schemacast::tree::{Doc, WhitespaceMode};
 use schemacast::xml::parse_document;
@@ -24,8 +26,10 @@ struct Options {
     target: Option<String>,
     root: Option<String>,
     out: Option<String>,
+    threads: Option<usize>,
     stream: bool,
     stats: bool,
+    warm_up: bool,
     docs: Vec<String>,
 }
 
@@ -33,6 +37,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  schemacast validate --schema S.xsd doc.xml...\n  \
          schemacast cast --source S.xsd --target T.xsd [--stream] [--stats] doc.xml...\n  \
+         schemacast batch --source S.xsd --target T.xsd [--threads N] [--stream] \
+         [--warm-up] [--stats] doc.xml...\n  \
          schemacast repair --source S.xsd --target T.xsd [--out fixed.xml] doc.xml\n  \
          schemacast inspect --source S.xsd --target T.xsd\n  \
          (use .dtd schema files with optional --root NAME)"
@@ -50,8 +56,10 @@ fn parse_args() -> Result<Options, ExitCode> {
         target: None,
         root: None,
         out: None,
+        threads: None,
         stream: false,
         stats: false,
+        warm_up: false,
         docs: Vec::new(),
     };
     while let Some(a) = args.next() {
@@ -61,8 +69,16 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--target" => opts.target = args.next(),
             "--root" => opts.root = args.next(),
             "--out" => opts.out = args.next(),
+            "--threads" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--threads requires a number");
+                    return Err(usage());
+                };
+                opts.threads = Some(n);
+            }
             "--stream" => opts.stream = true,
             "--stats" => opts.stats = true,
+            "--warm-up" => opts.warm_up = true,
             "--help" | "-h" => return Err(usage()),
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
@@ -195,6 +211,99 @@ fn main() -> ExitCode {
                 println!("{:<28} {:<28} {}", name, target.type_name(t_id), relation);
             }
             return ExitCode::SUCCESS;
+        }
+        "batch" => {
+            let (Some(src_path), Some(tgt_path)) = (opts.source.as_deref(), opts.target.as_deref())
+            else {
+                eprintln!("batch requires --source and --target");
+                return usage();
+            };
+            let source = match load_schema(src_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let target = match load_schema(tgt_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            // In tree mode documents are parsed up front (interning labels
+            // into the shared alphabet); in --stream mode the raw text is
+            // validated inside the pool and malformed inputs become
+            // per-item outcomes instead of hard errors.
+            let mut docs: Vec<Doc> = Vec::new();
+            let mut texts: Vec<String> = Vec::new();
+            for path in &opts.docs {
+                if opts.stream {
+                    match std::fs::read_to_string(path) {
+                        Ok(text) => texts.push(text),
+                        Err(e) => {
+                            eprintln!("cannot read {path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                } else {
+                    match load_doc(path, &mut session) {
+                        Ok((doc, _)) => docs.push(doc),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+            }
+            let ctx = CastContext::new(&source, &target, &session.alphabet);
+            let engine = BatchEngine::with_workers(&ctx, opts.threads.unwrap_or(0));
+            if opts.warm_up {
+                let built = engine.warm_up();
+                println!("warm-up: {built} product IDA(s) precomputed");
+            }
+            let report = if opts.stream {
+                engine.validate_xml(&texts, &session.alphabet)
+            } else {
+                engine.validate_docs(&docs)
+            };
+            let mut any_malformed = false;
+            for (path, item) in opts.docs.iter().zip(&report.items) {
+                match &item.outcome {
+                    ItemOutcome::Valid => println!("{path}: valid"),
+                    ItemOutcome::Invalid => {
+                        println!("{path}: INVALID");
+                        any_invalid = true;
+                    }
+                    ItemOutcome::MalformedXml(e) => {
+                        println!("{path}: MALFORMED ({e})");
+                        any_malformed = true;
+                    }
+                }
+            }
+            println!(
+                "batch: {} doc(s) on {} worker(s) in {:.1?}  ({:.0} docs/sec)  \
+                 valid {} / invalid {} / malformed {}",
+                report.items.len(),
+                report.workers,
+                report.elapsed,
+                report.docs_per_sec(),
+                report.valid,
+                report.invalid,
+                report.malformed
+            );
+            if opts.stats {
+                println!(
+                    "  nodes visited: {}   subsumed skips: {}   value checks: {}",
+                    report.totals.nodes_visited,
+                    report.totals.subsumed_skips,
+                    report.totals.value_checks
+                );
+            }
+            if any_malformed {
+                return ExitCode::from(2);
+            }
         }
         "cast" | "repair" => {
             let (Some(src_path), Some(tgt_path)) = (opts.source.as_deref(), opts.target.as_deref())

@@ -20,6 +20,8 @@
 //!   XSD front-ends.
 //! * [`core`] — the schema-cast validators and the `R_sub`/`R_dis`
 //!   relations (§3).
+//! * [`engine`] — the parallel batch revalidation engine (one shared
+//!   [`core::CastContext`], a scoped worker pool, deterministic reports).
 //! * [`workload`] — generators reproducing the paper's experiments.
 //!
 //! ## Quick start
@@ -44,6 +46,7 @@
 
 pub use schemacast_automata as automata;
 pub use schemacast_core as core;
+pub use schemacast_engine as engine;
 pub use schemacast_regex as regex;
 pub use schemacast_schema as schema;
 pub use schemacast_tree as tree;

@@ -1,0 +1,357 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal harness exposing the API surface the bench suite uses
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`Throughput`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros). Measurement is a plain
+//! calibrate-then-sample loop reporting median ns/iter and derived
+//! throughput — adequate for the relative comparisons the bench suite
+//! makes, with none of criterion's statistics.
+//!
+//! `cargo test` / `--test` runs execute every benchmark exactly once so the
+//! suite doubles as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Work-per-iteration annotation used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes of decimal output per iteration (reported like bytes).
+    BytesDecimal(u64),
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("series", 100)` → `series/100`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id with only a parameter component.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    measurement_time: Duration,
+    sample_count: u32,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            measurement_time: Duration::from_millis(400),
+            sample_count: 12,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Honours the arguments cargo passes to bench binaries: `--test`
+    /// (run once, no timing), `--bench` (ignored), and a positional filter.
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "-n" | "--noplot" => {}
+                _ if arg.starts_with('-') => {}
+                _ => c.filter = Some(arg),
+            }
+        }
+        c
+    }
+
+    /// Total sampling time per benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Criterion {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_count = n.max(2) as u32;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.run_one(&name, None, &mut f);
+        self
+    }
+
+    fn run_one<F>(&self, full_id: &str, throughput: Option<Throughput>, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                mode: Mode::TestOnce,
+                total: Duration::ZERO,
+                iters_done: 0,
+            };
+            f(&mut b);
+            println!("test {full_id} ... ok");
+            return;
+        }
+        // Calibrate: find an iteration count that fills one sample slot.
+        let sample_budget = self.measurement_time / self.sample_count;
+        let mut iters_per_sample = 1u64;
+        loop {
+            let mut b = Bencher {
+                mode: Mode::Measure(iters_per_sample),
+                total: Duration::ZERO,
+                iters_done: 0,
+            };
+            f(&mut b);
+            if b.total >= sample_budget || b.total >= Duration::from_millis(50) {
+                break;
+            }
+            if b.total.is_zero() {
+                iters_per_sample = iters_per_sample.saturating_mul(100);
+            } else {
+                let scale = sample_budget.as_nanos() as f64 / b.total.as_nanos().max(1) as f64;
+                let next = ((iters_per_sample as f64) * scale * 1.1).ceil() as u64;
+                if next <= iters_per_sample {
+                    break;
+                }
+                iters_per_sample = next.min(iters_per_sample.saturating_mul(1000));
+            }
+        }
+        // Sample.
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_count as usize);
+        for _ in 0..self.sample_count {
+            let mut b = Bencher {
+                mode: Mode::Measure(iters_per_sample),
+                total: Duration::ZERO,
+                iters_done: 0,
+            };
+            f(&mut b);
+            per_iter_ns.push(b.total.as_nanos() as f64 / b.iters_done.max(1) as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let best = per_iter_ns[0];
+        let worst = per_iter_ns[per_iter_ns.len() - 1];
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("  {:>14}", format_rate(n, median, "elem/s")),
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                format!("  {:>14}", format_rate(n, median, "B/s"))
+            }
+        });
+        println!(
+            "{full_id:<50} time: [{} {} {}]{}",
+            format_ns(best),
+            format_ns(median),
+            format_ns(worst),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_iter: u64, ns_per_iter: f64, unit: &str) -> String {
+    let rate = per_iter as f64 / (ns_per_iter / 1_000_000_000.0);
+    if rate >= 1_000_000_000.0 {
+        format!("{:.2} G{unit}", rate / 1_000_000_000.0)
+    } else if rate >= 1_000_000.0 {
+        format!("{:.2} M{unit}", rate / 1_000_000.0)
+    } else if rate >= 1_000.0 {
+        format!("{:.2} K{unit}", rate / 1_000.0)
+    } else {
+        format!("{rate:.2} {unit}")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration used for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted and ignored (compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (compatibility).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op beyond parity with criterion).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    TestOnce,
+    Measure(u64),
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+                self.iters_done += 1;
+            }
+            Mode::Measure(iters) => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.total += start.elapsed();
+                self.iters_done += iters;
+            }
+        }
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_formatting() {
+        assert_eq!(BenchmarkId::new("series", 100).to_string(), "series/100");
+        assert_eq!(format_ns(12.3), "12.30 ns");
+        assert_eq!(format_ns(4_500.0), "4.50 µs");
+        assert!(format_rate(1000, 1000.0, "elem/s").contains("Gelem/s"));
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            mode: Mode::Measure(10),
+            total: Duration::ZERO,
+            iters_done: 0,
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 10);
+        assert_eq!(b.iters_done, 10);
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! subset of proptest its property tests actually use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`Strategy`] with `prop_map` / `prop_recursive`, boxed strategies,
+//! * range, tuple, [`Just`], [`prop_oneof!`], `any::<T>()` and
+//!   `prop::collection::vec` strategies,
+//! * `prop_assert!` / `prop_assert_eq!` (plain panicking asserts here).
+//!
+//! Failing cases are reported with their case number and **are not shrunk**
+//! — rerun with the printed case seed to reproduce. Generation is
+//! deterministic per test name, so a red run is always reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Runner configuration (only the `cases` knob is vendored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Test-runner internals used by the generated code.
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+    use super::*;
+
+    /// The deterministic RNG driving value generation.
+    pub struct TestRng(pub(crate) SmallRng);
+
+    impl TestRng {
+        /// A generator seeded from the test name (stable across runs).
+        pub fn deterministic(test_name: &str) -> TestRng {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(SmallRng::seed_from_u64(seed))
+        }
+
+        /// Derives the per-case generator so cases are independent.
+        pub fn case_rng(&mut self, case: u32) -> TestRng {
+            let base: u64 = self.0.gen_range(0..=u64::MAX);
+            TestRng(SmallRng::seed_from_u64(
+                base ^ (case as u64).rotate_left(17),
+            ))
+        }
+
+        pub(crate) fn inner(&mut self) -> &mut SmallRng {
+            &mut self.0
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Error type carried by `prop_assert!` in real proptest; the vendored
+/// asserts panic instead, so this only exists to keep signatures compiling.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// `any::<T>()` — the standard strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical strategy.
+pub trait Arbitrary {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyBool
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = core::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, 2..4)` — vectors of 2 or 3 elements.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            use rand::Rng;
+            let n = rng.inner().gen_range(self.len.clone());
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u64..100, v in prop::collection::vec(0u32..3, 2..4)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    // One test fn, then recurse on the rest.
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let mut case_rng = rng.case_rng(case);
+                let ($($arg,)+) =
+                    $crate::Strategy::gen_value(&strategies, &mut case_rng);
+                // Property bodies may `return Ok(())` early, mirroring real
+                // proptest's `Result<(), TestCaseError>` runner signature.
+                let run = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                if let ::core::result::Result::Err(e) = run() {
+                    panic!("property {} failed at case {case}: {e:?}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// Panicking stand-in for proptest's recorded assertion.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Panicking stand-in for proptest's recorded equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Panicking stand-in for proptest's recorded inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::uniform(vec![
+            $($crate::Strategy::boxed($strat),)+
+        ])
+    };
+}

@@ -1,0 +1,262 @@
+//! Value-generation strategies (no shrinking in the vendored build).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Generates random values of an associated type.
+///
+/// Unlike real proptest there is no value tree: `gen_value` produces the
+/// final value directly and failures are not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies can be mixed.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.gen_value(rng)))
+    }
+
+    /// Builds recursive values: `self` is the leaf strategy and `branch`
+    /// wraps an inner strategy into the recursive cases. `depth` bounds the
+    /// nesting; the size hints of real proptest are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branched = branch(current).boxed();
+            let leaf = leaf.clone();
+            // Mix in leaves at every level so shallow values stay likely
+            // and expected size stays bounded.
+            current = BoxedStrategy(Arc::new(move |rng: &mut TestRng| {
+                if rng.inner().gen_bool(0.25) {
+                    leaf.gen_value(rng)
+                } else {
+                    branched.gen_value(rng)
+                }
+            }));
+        }
+        current
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Strategy of `any::<bool>()`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut TestRng) -> bool {
+        rng.inner().gen_bool(0.5)
+    }
+}
+
+/// The strategy behind [`crate::prop_oneof!`].
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Uniform choice between the arms.
+    pub fn uniform(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        Self::weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice between the arms.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        OneOf { arms, total_weight }
+    }
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf {
+            arms: self.arms.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.inner().gen_range(0..self.total_weight);
+        for (weight, strat) in &self.arms {
+            if pick < *weight as u64 {
+                return strat.gen_value(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.inner().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.inner().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_oneof_generate_in_domain() {
+        let mut rng = TestRng::deterministic("strategy_smoke");
+        let s = (0u32..5, crate::prop_oneof![Just(10u32), Just(20u32)]);
+        for _ in 0..500 {
+            let (a, b) = s.gen_value(&mut rng);
+            assert!(a < 5);
+            assert!(b == 10 || b == 20);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_vec_compose() {
+        let mut rng = TestRng::deterministic("map_vec");
+        let s = crate::collection::vec((0u32..3).prop_map(|x| x * 2), 2..4);
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!(v.len() == 2 || v.len() == 3);
+            assert!(v.iter().all(|&x| x % 2 == 0 && x < 6));
+        }
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = Just(T::Leaf).prop_recursive(3, 24, 3, |inner| {
+            crate::collection::vec(inner, 2..4).prop_map(T::Node)
+        });
+        let mut rng = TestRng::deterministic("recursion");
+        let mut saw_node = false;
+        for _ in 0..300 {
+            let t = s.gen_value(&mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, T::Node(_));
+        }
+        assert!(saw_node);
+    }
+}
