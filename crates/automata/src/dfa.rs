@@ -238,6 +238,24 @@ impl Dfa {
         !self.coaccessible().contains(self.start as usize)
     }
 
+    /// Symbols that occur in at least one accepted string: `s` is useful iff
+    /// some reachable state has an `s`-transition into a co-accessible state.
+    /// The result is a bitset over symbol indices `0..alphabet_len`.
+    pub fn useful_symbols(&self) -> BitSet {
+        let reach = self.reachable();
+        let live = self.coaccessible();
+        let mut useful = BitSet::new(self.alphabet_len);
+        for q in reach.iter() {
+            for s in 0..self.alphabet_len {
+                let t = self.trans[q * self.alphabet_len + s];
+                if live.contains(t as usize) {
+                    useful.insert(s);
+                }
+            }
+        }
+        useful
+    }
+
     /// Whether `L(self) = Σ*` (every reachable state accepting).
     pub fn is_universal(&self) -> bool {
         self.reachable().iter().all(|q| self.finals[q])

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Finite-automata substrate for schema-cast revalidation.
 //!
@@ -24,6 +25,7 @@ pub mod minimize;
 pub mod nfa;
 pub mod product;
 pub mod revalidate;
+pub mod safety;
 
 pub use bitset::BitSet;
 pub use checks::{
@@ -37,3 +39,4 @@ pub use minimize::minimize;
 pub use nfa::Nfa;
 pub use product::Product;
 pub use revalidate::{Decision, Strategy, StringCast};
+pub use safety::{EditWordAnalysis, SafetyVerdict};

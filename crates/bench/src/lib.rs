@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Shared fixtures for the benchmark suite and the `paper_report` binary.
 //!

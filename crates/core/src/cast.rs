@@ -13,8 +13,9 @@
 //! is subsumed and failing fast on disjoint pairs.
 
 use crate::full::{validate_simple_content, FullValidator};
-use crate::idacache::ShardedIdaCache;
+use crate::idacache::{ShardedCache, ShardedIdaCache};
 use crate::relations::TypeRelations;
+use crate::safety::{Exemptions, PairSafety};
 use crate::stats::{CastOutcome, ValidationStats};
 use schemacast_automata::{IdaOutcome, ProductIda};
 use schemacast_regex::{Alphabet, Sym};
@@ -76,6 +77,9 @@ pub struct CastContext<'a> {
     relations: TypeRelations,
     options: CastOptions,
     ida_cache: ShardedIdaCache,
+    /// Interned static edit-safety analyses, cached per type pair alongside
+    /// the IDA cache (same sharded publish-once discipline).
+    pub(crate) safety_cache: ShardedCache<PairSafety>,
 }
 
 impl<'a> CastContext<'a> {
@@ -102,6 +106,7 @@ impl<'a> CastContext<'a> {
             relations,
             options,
             ida_cache: ShardedIdaCache::new(),
+            safety_cache: ShardedCache::new(),
         }
     }
 
@@ -165,6 +170,39 @@ impl<'a> CastContext<'a> {
         tgt: TypeId,
         stats: &mut ValidationStats,
     ) -> bool {
+        self.cast_validate_inner(doc, node, src, tgt, stats, None)
+    }
+
+    /// [`CastContext::cast_validate`] with exemption sets from the static
+    /// update-safety analyzer: `skip` subtrees are counted valid without
+    /// inspection (the analyzer proved every edited site subtree
+    /// target-valid), and `unpruned` nodes — the root→site ancestor paths —
+    /// run with subsumption skips *and* disjointness rejects disabled,
+    /// because their subtrees contain an edit and are therefore not
+    /// source-valid, which is the precondition both prunings rest on.
+    /// Content-model checks on unpruned nodes are still sound: an ancestor's
+    /// own child word is untouched by edits below it.
+    pub(crate) fn cast_validate_exempt(
+        &self,
+        doc: &Doc,
+        node: NodeId,
+        src: TypeId,
+        tgt: TypeId,
+        stats: &mut ValidationStats,
+        exemptions: &Exemptions,
+    ) -> bool {
+        self.cast_validate_inner(doc, node, src, tgt, stats, Some(exemptions))
+    }
+
+    fn cast_validate_inner(
+        &self,
+        doc: &Doc,
+        node: NodeId,
+        src: TypeId,
+        tgt: TypeId,
+        stats: &mut ValidationStats,
+        exemptions: Option<&Exemptions>,
+    ) -> bool {
         enum Work {
             /// Parallel validation against both schemas.
             Cast(NodeId, TypeId, TypeId),
@@ -183,12 +221,18 @@ impl<'a> CastContext<'a> {
                 }
                 Work::Cast(node, src, tgt) => (node, src, tgt),
             };
+            if let Some(ex) = exemptions {
+                if ex.skip.contains(&node) {
+                    continue;
+                }
+            }
             stats.nodes_visited += 1;
-            if self.options.use_subsumption && self.relations.subsumed(src, tgt) {
+            let prune = exemptions.is_none_or(|ex| !ex.unpruned.contains(&node));
+            if prune && self.options.use_subsumption && self.relations.subsumed(src, tgt) {
                 stats.subsumed_skips += 1;
                 continue;
             }
-            if self.options.use_disjointness && self.relations.disjoint(src, tgt) {
+            if prune && self.options.use_disjointness && self.relations.disjoint(src, tgt) {
                 stats.disjoint_rejects += 1;
                 return false;
             }

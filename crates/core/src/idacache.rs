@@ -1,21 +1,30 @@
-//! Sharded, contention-free cache of [`ProductIda`]s.
+//! Sharded, contention-free caches keyed by (source, target) type pairs.
 //!
-//! [`crate::CastContext`] builds one product IDA per (source, target)
-//! complex-type pair, lazily, the first time the validator meets the pair.
+//! [`crate::CastContext`] interns two kinds of per-pair artifacts lazily, the
+//! first time the validator (or the static analyzer) meets the pair: the
+//! product IDA of §4, and the static edit-safety analysis derived from it.
 //! Under the original single `RwLock<HashMap>` every builder held the
 //! *whole* cache write lock while constructing its automaton, serializing
 //! all other pairs behind it — exactly the wrong shape for the batch engine,
 //! where many worker threads hit the cache at once.
 //!
-//! This cache fixes both problems:
+//! [`ShardedCache`] fixes both problems. Its invariants:
 //!
 //! * **Sharding** — the key hashes to one of [`SHARD_COUNT`] independent
-//!   shards, so lookups of different pairs rarely touch the same lock.
+//!   shards (a fixed Fibonacci mix, so a key's shard never changes), and a
+//!   lock only ever guards its own shard's map: lookups of different pairs
+//!   rarely touch the same lock and never block on another pair's build.
 //! * **Build outside the lock** — on a miss the shard lock is *released*
-//!   during IDA construction and reacquired only to publish. Two racing
-//!   builders may both construct, but `entry().or_insert` makes the first
-//!   publication win: every caller receives a clone of the same `Arc`, so
-//!   at most one IDA per pair is ever observable (asserted by tests).
+//!   during construction and reacquired only to publish. No lock is ever
+//!   held across `build`, so builds of colliding keys proceed in parallel
+//!   and a panicking builder cannot poison a shard.
+//! * **Publish-once** — two racing builders may both construct, but
+//!   `entry().or_insert` makes the first publication win and later callers
+//!   (including the losing builder itself) receive a clone of that same
+//!   `Arc`. At most one value per key is ever observable: once any caller
+//!   has seen an `Arc` for a key, every subsequent caller sees a pointer to
+//!   the same allocation, forever (asserted by the interleaving stress test
+//!   below with `Arc::ptr_eq`).
 
 use schemacast_automata::ProductIda;
 use schemacast_schema::TypeId;
@@ -26,12 +35,22 @@ use std::sync::{Arc, Mutex};
 /// typical hardware rarely collides, small enough to stay cache-friendly.
 const SHARD_COUNT: usize = 16;
 
-type Shard = Mutex<HashMap<(TypeId, TypeId), Arc<ProductIda>>>;
+type Shard<V> = Mutex<HashMap<(TypeId, TypeId), Arc<V>>>;
 
-/// A concurrent map from (source, target) type pairs to their product IDA.
-#[derive(Default)]
-pub(crate) struct ShardedIdaCache {
-    shards: [Shard; SHARD_COUNT],
+/// A concurrent map from (source, target) type pairs to shared values.
+pub(crate) struct ShardedCache<V> {
+    shards: [Shard<V>; SHARD_COUNT],
+}
+
+/// The product-IDA instance of the cache (the original use).
+pub(crate) type ShardedIdaCache = ShardedCache<ProductIda>;
+
+impl<V> Default for ShardedCache<V> {
+    fn default() -> Self {
+        ShardedCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
 }
 
 /// Fibonacci-style mix of the pair into a shard index.
@@ -41,55 +60,55 @@ fn shard_index(key: (TypeId, TypeId)) -> usize {
     (packed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 59) as usize % SHARD_COUNT
 }
 
-impl ShardedIdaCache {
+impl<V> ShardedCache<V> {
     /// Creates an empty cache.
-    pub(crate) fn new() -> ShardedIdaCache {
-        ShardedIdaCache::default()
+    pub(crate) fn new() -> ShardedCache<V> {
+        ShardedCache::default()
     }
 
-    /// The cached IDA for `key`, if already published.
+    /// The cached value for `key`, if already published.
     #[cfg(test)]
-    pub(crate) fn get(&self, key: (TypeId, TypeId)) -> Option<Arc<ProductIda>> {
+    pub(crate) fn get(&self, key: (TypeId, TypeId)) -> Option<Arc<V>> {
         self.shards[shard_index(key)]
             .lock()
-            .expect("ida cache shard poisoned")
+            .expect("cache shard poisoned")
             .get(&key)
             .map(Arc::clone)
     }
 
-    /// The IDA for `key`, building it with `build` on a miss.
+    /// The value for `key`, building it with `build` on a miss.
     ///
     /// `build` runs with **no** lock held; racing callers converge on the
-    /// first published `Arc` (a losing builder's automaton is dropped).
+    /// first published `Arc` (a losing builder's value is dropped).
     pub(crate) fn get_or_insert_with(
         &self,
         key: (TypeId, TypeId),
-        build: impl FnOnce() -> ProductIda,
-    ) -> Arc<ProductIda> {
+        build: impl FnOnce() -> V,
+    ) -> Arc<V> {
         let shard = &self.shards[shard_index(key)];
-        if let Some(ida) = shard
+        if let Some(v) = shard
             .lock()
-            .expect("ida cache shard poisoned")
+            .expect("cache shard poisoned")
             .get(&key)
             .map(Arc::clone)
         {
-            return ida;
+            return v;
         }
         let built = Arc::new(build());
         Arc::clone(
             shard
                 .lock()
-                .expect("ida cache shard poisoned")
+                .expect("cache shard poisoned")
                 .entry(key)
                 .or_insert(built),
         )
     }
 
-    /// Number of cached IDAs.
+    /// Number of cached values.
     pub(crate) fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("ida cache shard poisoned").len())
+            .map(|s| s.lock().expect("cache shard poisoned").len())
             .sum()
     }
 }
@@ -100,6 +119,7 @@ mod tests {
     use schemacast_automata::Dfa;
     use schemacast_regex::{Regex, Sym};
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
 
     fn tiny_ida() -> ProductIda {
         let a = Dfa::from_regex(&Regex::sym(Sym(0)), 1).expect("compiles");
@@ -145,6 +165,60 @@ mod tests {
             );
         }
         assert_eq!(cache.len(), 1);
+    }
+
+    /// Deterministic-interleaving stress: 16 builders are held at a barrier
+    /// *inside* `build`, guaranteeing all of them miss the first lookup and
+    /// every one of them constructs a candidate value concurrently. The
+    /// publish-once invariant must still collapse all 16 candidates into a
+    /// single observable `Arc`, and the cache must record exactly one build
+    /// as the published value while the other 15 are dropped.
+    #[test]
+    fn sixteen_racing_builders_publish_once() {
+        const BUILDERS: usize = 16;
+        for round in 0..8u32 {
+            let cache: ShardedCache<usize> = ShardedCache::new();
+            let key = (TypeId(round), TypeId(round.wrapping_mul(7)));
+            let gate = Barrier::new(BUILDERS);
+            let builds = AtomicUsize::new(0);
+
+            let published: Vec<Arc<usize>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..BUILDERS)
+                    .map(|id| {
+                        let (cache, gate, builds) = (&cache, &gate, &builds);
+                        s.spawn(move || {
+                            cache.get_or_insert_with(key, || {
+                                // Every builder reaches this point before any
+                                // is allowed to publish: the interleaving is
+                                // forced, not left to scheduler luck.
+                                gate.wait();
+                                builds.fetch_add(1, Ordering::SeqCst);
+                                id
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+            assert_eq!(
+                builds.load(Ordering::SeqCst),
+                BUILDERS,
+                "the barrier must force every builder to construct"
+            );
+            for v in &published {
+                assert!(
+                    Arc::ptr_eq(v, &published[0]),
+                    "round {round}: a second value became observable"
+                );
+            }
+            // Losing candidates are dropped: the published Arc holds one
+            // strong count per returned clone plus the cache's own.
+            drop(published);
+            let survivor = cache.get(key).expect("published value retained");
+            assert_eq!(Arc::strong_count(&survivor), 2);
+            assert_eq!(cache.len(), 1);
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Schema-cast revalidation of XML — the paper's core contribution (§3).
 //!
@@ -14,6 +15,10 @@
 //! * [`mods::ModsValidator`] — schema-cast with modifications (§3.3) over
 //!   Δ-encoded edited trees, using the `modified(v)` trie and the
 //!   string-revalidation-with-mods machinery (§4.3).
+//! * [`safety::PairSafety`] — the static update-safety analysis: per
+//!   (type pair, edit kind, label) Safe/Unsafe/Dynamic verdicts computed
+//!   from the product IDAs, enabling revalidation that never touches the
+//!   document for statically decided edit scripts.
 //! * [`dtdcast::DtdCastValidator`] — the label-indexed DTD optimization
 //!   (§3.4).
 //! * [`full::FullValidator`] — the Xerces-style baseline the paper compares
@@ -27,6 +32,7 @@ mod idacache;
 pub mod mods;
 pub mod relations;
 pub mod repair;
+pub mod safety;
 pub mod stats;
 pub mod stream;
 
@@ -37,5 +43,6 @@ pub use full::FullValidator;
 pub use mods::ModsValidator;
 pub use relations::TypeRelations;
 pub use repair::{RepairAction, RepairError, Repairer};
+pub use safety::{MatrixEntry, PairSafety, SafetyMatrix, Verdict};
 pub use stats::{CastOutcome, ValidationStats};
 pub use stream::{validate_xml_stream, StreamingCast};

@@ -145,7 +145,15 @@ impl TypeRelations {
                     for (&label, &child_s) in &a.child_types {
                         if let Some(child_t) = b.child_type(label) {
                             if nondis[child_s.index()].contains(child_t.index()) {
-                                debug_assert!(
+                                // Checked in release builds too: a label
+                                // beyond the bitset would be silently
+                                // dropped from P, shrinking `P*` and turning
+                                // non-disjoint pairs into wrong rejections
+                                // (the PR 1 out-of-range-label regression).
+                                // `label_capacity` is sized from both
+                                // schemas above, so a violation here is a
+                                // sizing bug worth an immediate abort.
+                                assert!(
                                     label.index() < allowed.capacity(),
                                     "label {} outside the sized alphabet ({})",
                                     label.index(),
@@ -381,6 +389,35 @@ mod tests {
         let s_po = source.type_by_name("POType1").unwrap();
         let t_po = target.type_by_name("POType2").unwrap();
         assert!(!stale.disjoint(s_po, t_po));
+    }
+
+    #[test]
+    fn out_of_range_labels_hit_the_checked_guard_not_silent_truncation() {
+        // Regression companion to the stale-alphabet test: labels whose
+        // indices lie far beyond the caller's alphabet snapshot must still
+        // land inside the P bitset (the guard in `compute` is a hard
+        // `assert!` now, not a debug-only check). Interning a pile of
+        // unrelated symbols first pushes the schema's own labels to high
+        // indices; an empty snapshot then maximizes the out-of-range gap.
+        let mut ab = Alphabet::new();
+        for i in 0..500 {
+            ab.intern(&format!("padding{i}"));
+        }
+        let mut b = SchemaBuilder::new(&mut ab);
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        let root = b.declare("Root").unwrap();
+        b.complex(root, "(hi, lo?)", &[("hi", text), ("lo", text)])
+            .unwrap();
+        b.root("r", root);
+        let schema = b.finish().unwrap();
+
+        let stale_ab = Alphabet::new();
+        let rel = TypeRelations::compute(&schema, &schema, &stale_ab);
+        let r = schema.type_by_name("Root").unwrap();
+        // With the truncation bug, `hi`/`lo` (indices ≥ 500) fell out of P,
+        // P* became empty, and the self-pair flipped to disjoint.
+        assert!(!rel.disjoint(r, r));
+        assert!(rel.subsumed(r, r));
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct ValidationStats {
     pub full_validations: usize,
     /// Simple values checked against facets.
     pub value_checks: usize,
+    /// Edited documents accepted by the static fast path (all edits
+    /// statically `Safe`; the edited subtrees were never inspected).
+    pub static_skips: usize,
+    /// Edited documents rejected by the static fast path (some edit
+    /// statically `Unsafe`; the document was never inspected).
+    pub static_rejects: usize,
 }
 
 impl AddAssign for ValidationStats {
@@ -36,6 +42,8 @@ impl AddAssign for ValidationStats {
         self.ida_early_rejects += rhs.ida_early_rejects;
         self.full_validations += rhs.full_validations;
         self.value_checks += rhs.value_checks;
+        self.static_skips += rhs.static_skips;
+        self.static_rejects += rhs.static_rejects;
     }
 }
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Parallel batch revalidation engine.
 //!
@@ -15,7 +16,8 @@
 //!   work counter; workers claim contiguous chunks of the input, so cores
 //!   stay busy even when per-document cost is skewed.
 //! * **Deterministic output** — [`BatchReport::items`] is in input order
-//!   and per-item [`ValidationStats`] are exact, whatever the scheduling;
+//!   and per-item [`schemacast_core::ValidationStats`] are exact, whatever
+//!   the scheduling;
 //!   batch totals are folded in input order. Identical batches give
 //!   byte-identical reports at any worker count (asserted by tests).
 //! * **Contention-free warm-up** — [`BatchEngine::warm_up`] precomputes the
@@ -27,9 +29,9 @@ mod report;
 
 pub use report::{BatchReport, ItemOutcome, ItemReport};
 
-use schemacast_core::{CastContext, StreamingCast};
+use schemacast_core::{CastContext, ModsValidator, StreamingCast};
 use schemacast_regex::Alphabet;
-use schemacast_tree::Doc;
+use schemacast_tree::{DeltaDoc, Doc, Edit};
 use std::borrow::Borrow;
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -50,6 +52,7 @@ pub enum BatchItem<'d> {
 pub struct BatchEngine<'c, 's> {
     ctx: &'c CastContext<'s>,
     workers: NonZeroUsize,
+    static_fastpath: bool,
 }
 
 impl<'c, 's> BatchEngine<'c, 's> {
@@ -61,7 +64,21 @@ impl<'c, 's> BatchEngine<'c, 's> {
     /// An engine with an explicit worker count (`0` means the default).
     pub fn with_workers(ctx: &'c CastContext<'s>, workers: usize) -> BatchEngine<'c, 's> {
         let workers = NonZeroUsize::new(workers).unwrap_or_else(default_workers);
-        BatchEngine { ctx, workers }
+        BatchEngine {
+            ctx,
+            workers,
+            static_fastpath: true,
+        }
+    }
+
+    /// Enables or disables the static update-safety fast path used by
+    /// [`BatchEngine::validate_edited`] (on by default). With it off every
+    /// edited item takes the dynamic Δ-revalidation path — useful for
+    /// benchmarking the fast path's contribution and for differential
+    /// testing.
+    pub fn with_static_fastpath(mut self, enabled: bool) -> BatchEngine<'c, 's> {
+        self.static_fastpath = enabled;
+        self
     }
 
     /// The configured worker count.
@@ -116,6 +133,50 @@ impl<'c, 's> BatchEngine<'c, 's> {
         self.run(items.len(), |i| match items[i] {
             BatchItem::Doc(doc) => self.validate_one_doc(doc),
             BatchItem::Xml(text) => self.validate_one_xml(text, alphabet),
+        })
+    }
+
+    /// Revalidates a batch of *edited* documents: each item is an original
+    /// document (valid for the source schema) plus an edit script, and the
+    /// verdict is for the edited result against the target schema.
+    ///
+    /// When the static fast path is enabled (the default), each script is
+    /// first run through the update-safety analyzer
+    /// ([`CastContext::validate_edited_static`]): scripts whose edits are
+    /// all statically decided never apply the edits at all — the document
+    /// is accepted via an edit-site-exempt cast (`static_skips`) or
+    /// rejected outright (`static_rejects`). Everything else falls back to
+    /// Δ-encoding the edits and running the schema-cast-with-modifications
+    /// validator; scripts that fail to apply become
+    /// [`ItemOutcome::EditFailed`] items.
+    pub fn validate_edited<D>(&self, items: &[(D, Vec<Edit>)]) -> BatchReport
+    where
+        D: Borrow<Doc> + Sync,
+    {
+        let mods = ModsValidator::new(self.ctx);
+        self.run(items.len(), |i| {
+            let (doc, edits) = &items[i];
+            let doc = doc.borrow();
+            if self.static_fastpath {
+                if let Some((outcome, stats)) = self.ctx.validate_edited_static(doc, edits) {
+                    return ItemReport {
+                        outcome: ItemOutcome::from_cast(outcome),
+                        stats,
+                    };
+                }
+            }
+            let mut dd = DeltaDoc::new(doc.clone());
+            if let Err(e) = dd.apply_all(edits) {
+                return ItemReport {
+                    outcome: ItemOutcome::EditFailed(e.to_string()),
+                    stats: Default::default(),
+                };
+            }
+            let (outcome, stats) = mods.validate_with_stats(&dd);
+            ItemReport {
+                outcome: ItemOutcome::from_cast(outcome),
+                stats,
+            }
         })
     }
 

@@ -12,6 +12,9 @@ pub enum ItemOutcome {
     Invalid,
     /// The raw XML input was not well-formed (streaming inputs only).
     MalformedXml(String),
+    /// The edit script could not be applied to the document (edited
+    /// batches only).
+    EditFailed(String),
 }
 
 impl ItemOutcome {
@@ -55,6 +58,8 @@ pub struct BatchReport {
     pub invalid: usize,
     /// Number of [`ItemOutcome::MalformedXml`] items.
     pub malformed: usize,
+    /// Number of [`ItemOutcome::EditFailed`] items.
+    pub edit_failed: usize,
     /// Worker count the batch ran with.
     pub workers: usize,
     /// Wall-clock time of the batch (excluded from determinism guarantees).
@@ -68,13 +73,14 @@ impl BatchReport {
         elapsed: Duration,
     ) -> BatchReport {
         let mut totals = ValidationStats::default();
-        let (mut valid, mut invalid, mut malformed) = (0, 0, 0);
+        let (mut valid, mut invalid, mut malformed, mut edit_failed) = (0, 0, 0, 0);
         for item in &items {
             totals += item.stats;
             match item.outcome {
                 ItemOutcome::Valid => valid += 1,
                 ItemOutcome::Invalid => invalid += 1,
                 ItemOutcome::MalformedXml(_) => malformed += 1,
+                ItemOutcome::EditFailed(_) => edit_failed += 1,
             }
         }
         BatchReport {
@@ -83,6 +89,7 @@ impl BatchReport {
             valid,
             invalid,
             malformed,
+            edit_failed,
             workers,
             elapsed,
         }
@@ -104,13 +111,16 @@ impl BatchReport {
 
     /// The deterministic portion of the report (everything except timing
     /// and worker count) — what batch-identity tests should compare.
-    pub fn deterministic_view(&self) -> (&[ItemReport], &ValidationStats, usize, usize, usize) {
+    pub fn deterministic_view(
+        &self,
+    ) -> (&[ItemReport], &ValidationStats, usize, usize, usize, usize) {
         (
             &self.items,
             &self.totals,
             self.valid,
             self.invalid,
             self.malformed,
+            self.edit_failed,
         )
     }
 }

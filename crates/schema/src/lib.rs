@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Abstract XML Schemas: the paper's `(Σ, 𝒯, ρ, ℛ)` formalism, with DTD and
 //! XSD front-ends and a simple-type system with facets.

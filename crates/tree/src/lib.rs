@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Ordered labeled trees, Dewey numbers, edits, and Δ-encoding.
 //!
@@ -13,9 +14,11 @@
 
 pub mod edit;
 pub mod modtrie;
+pub mod shapes;
 pub mod tree;
 
 pub use edit::{DeltaDoc, DeltaState, Edit, EditError, ProjLabel};
 pub use modtrie::{ModTrie, TrieCursor};
 pub use schemacast_regex::{Alphabet, Sym};
+pub use shapes::{extract_shapes, EditShape, EditShapeKind};
 pub use tree::{Doc, NodeId, NodeKind, WhitespaceMode};

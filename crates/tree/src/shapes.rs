@@ -1,0 +1,297 @@
+//! Edit-kind extraction from Δ scripts (static-analysis front end).
+//!
+//! The static update-safety analyzer classifies edits by *shape*: which
+//! node's child list changes (the **site**), and whether the change is an
+//! insert, delete, or relabel of one element label. [`extract_shapes`]
+//! recovers those shapes from a plain [`Edit`] script against the original
+//! (pre-edit) document — without applying anything — and enforces the
+//! conditions under which the engine's static fast path is sound:
+//!
+//! * every edit's shape is supported (element insert/delete/relabel; text
+//!   edits and root relabels are not),
+//! * every edit would apply cleanly (positions in range, deletes target
+//!   childless non-root elements, nodes pre-exist in the document),
+//! * one edit per site (two edits on the same child list compose into a
+//!   multi-symbol rewrite the per-edit verdicts don't cover), and
+//! * sites are non-nested (no site inside another site's subtree — the
+//!   fast path treats each edited subtree as an independent unit).
+//!
+//! Any violation yields `None`, sending the script down the dynamic
+//! Δ-revalidation path, which handles every case (including edits that
+//! error when applied).
+
+use crate::edit::Edit;
+use crate::tree::{Doc, NodeId, NodeKind};
+use schemacast_regex::Sym;
+
+/// The shape of one edit, abstracted from positions to labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditShapeKind {
+    /// A new element leaf labeled `ℓ` enters the site's child list.
+    Insert(Sym),
+    /// An element leaf labeled `ℓ` leaves the site's child list.
+    Delete(Sym),
+    /// A child's tag changes `from → to`; its subtree stays.
+    Relabel {
+        /// The pre-edit tag.
+        from: Sym,
+        /// The post-edit tag.
+        to: Sym,
+    },
+}
+
+/// One edit reduced to its site and shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditShape {
+    /// The node whose child list the edit modifies.
+    pub site: NodeId,
+    /// What happens to that child list.
+    pub kind: EditShapeKind,
+}
+
+/// Whether `node` exists in `doc` and is an element.
+fn live_element(doc: &Doc, node: NodeId) -> bool {
+    node.index() < doc.node_count() && matches!(doc.kind(node), NodeKind::Element(_))
+}
+
+/// Reduces an edit script over `doc` to one [`EditShape`] per edit, or
+/// `None` if any edit is unsupported or the script breaks the
+/// one-edit-per-site / non-nested-sites conditions (see module docs).
+pub fn extract_shapes(doc: &Doc, edits: &[Edit]) -> Option<Vec<EditShape>> {
+    let mut shapes: Vec<EditShape> = Vec::with_capacity(edits.len());
+    for edit in edits {
+        let shape = match edit {
+            Edit::Relabel { node, label } => {
+                if !live_element(doc, *node) {
+                    return None;
+                }
+                // Relabeling the root changes ℛ-typing, not a content word.
+                let site = doc.parent(*node)?;
+                EditShape {
+                    site,
+                    kind: EditShapeKind::Relabel {
+                        from: doc.label(*node)?,
+                        to: *label,
+                    },
+                }
+            }
+            Edit::InsertElement {
+                parent,
+                position,
+                label,
+            } => {
+                if !live_element(doc, *parent) || *position > doc.children(*parent).len() {
+                    return None;
+                }
+                EditShape {
+                    site: *parent,
+                    kind: EditShapeKind::Insert(*label),
+                }
+            }
+            Edit::DeleteLeaf { node } => {
+                // Only true element leaves: a text child (even whitespace)
+                // would make the dynamic apply fail, and deleting text is
+                // outside the word model anyway.
+                if !live_element(doc, *node) || !doc.children(*node).is_empty() {
+                    return None;
+                }
+                let site = doc.parent(*node)?;
+                EditShape {
+                    site,
+                    kind: EditShapeKind::Delete(doc.label(*node)?),
+                }
+            }
+            Edit::InsertText { .. } | Edit::SetText { .. } => return None,
+        };
+        shapes.push(shape);
+    }
+
+    // One edit per site.
+    let mut sites: Vec<NodeId> = shapes.iter().map(|s| s.site).collect();
+    sites.sort_unstable();
+    if sites.windows(2).any(|w| w[0] == w[1]) {
+        return None;
+    }
+    // Non-nested: no site has another site as a strict ancestor. With sites
+    // deduplicated above, walking each site's parent chain suffices.
+    let site_set: std::collections::HashSet<NodeId> = sites.iter().copied().collect();
+    for &site in &sites {
+        let mut cur = site;
+        while let Some(p) = doc.parent(cur) {
+            if site_set.contains(&p) {
+                return None;
+            }
+            cur = p;
+        }
+    }
+    Some(shapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_regex::Alphabet;
+
+    fn sample() -> (Doc, Alphabet, Vec<NodeId>) {
+        let mut ab = Alphabet::new();
+        let root = ab.intern("root");
+        let branch = ab.intern("branch");
+        let leaf = ab.intern("leaf");
+        let mut doc = Doc::new(root);
+        let b0 = doc.add_element(doc.root(), branch);
+        let b1 = doc.add_element(doc.root(), branch);
+        let l0 = doc.add_element(b0, leaf);
+        let l1 = doc.add_element(b1, leaf);
+        let nodes = vec![doc.root(), b0, b1, l0, l1];
+        (doc, ab, nodes)
+    }
+
+    #[test]
+    fn supported_script_extracts_sites_and_kinds() {
+        let (doc, mut ab, n) = sample();
+        let extra = ab.intern("extra");
+        let leaf = ab.lookup("leaf").unwrap();
+        let shapes = extract_shapes(
+            &doc,
+            &[
+                Edit::InsertElement {
+                    parent: n[1],
+                    position: 0,
+                    label: extra,
+                },
+                Edit::DeleteLeaf { node: n[4] },
+            ],
+        )
+        .expect("supported");
+        assert_eq!(
+            shapes,
+            vec![
+                EditShape {
+                    site: n[1],
+                    kind: EditShapeKind::Insert(extra)
+                },
+                EditShape {
+                    site: n[2],
+                    kind: EditShapeKind::Delete(leaf)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn relabel_site_is_the_parent() {
+        let (doc, mut ab, n) = sample();
+        let renamed = ab.intern("renamed");
+        let branch = ab.lookup("branch").unwrap();
+        let shapes = extract_shapes(
+            &doc,
+            &[Edit::Relabel {
+                node: n[1],
+                label: renamed,
+            }],
+        )
+        .expect("supported");
+        assert_eq!(shapes[0].site, n[0]);
+        assert_eq!(
+            shapes[0].kind,
+            EditShapeKind::Relabel {
+                from: branch,
+                to: renamed
+            }
+        );
+    }
+
+    #[test]
+    fn unsupported_edits_bail() {
+        let (doc, mut ab, n) = sample();
+        let x = ab.intern("x");
+        // Root relabel.
+        assert!(extract_shapes(
+            &doc,
+            &[Edit::Relabel {
+                node: n[0],
+                label: x
+            }]
+        )
+        .is_none());
+        // Text edit.
+        assert!(extract_shapes(
+            &doc,
+            &[Edit::InsertText {
+                parent: n[1],
+                position: 0,
+                text: "t".into()
+            }]
+        )
+        .is_none());
+        // Delete of a non-leaf.
+        assert!(extract_shapes(&doc, &[Edit::DeleteLeaf { node: n[1] }]).is_none());
+        // Out-of-range position.
+        assert!(extract_shapes(
+            &doc,
+            &[Edit::InsertElement {
+                parent: n[1],
+                position: 5,
+                label: x
+            }]
+        )
+        .is_none());
+        // Node id beyond the arena.
+        assert!(extract_shapes(&doc, &[Edit::DeleteLeaf { node: NodeId(99) }]).is_none());
+    }
+
+    #[test]
+    fn one_edit_per_site_enforced() {
+        let (doc, mut ab, n) = sample();
+        let x = ab.intern("x");
+        let two_on_same_site = [
+            Edit::InsertElement {
+                parent: n[1],
+                position: 0,
+                label: x,
+            },
+            Edit::DeleteLeaf { node: n[3] },
+        ];
+        assert!(extract_shapes(&doc, &two_on_same_site).is_none());
+    }
+
+    #[test]
+    fn nested_sites_rejected() {
+        let (doc, mut ab, n) = sample();
+        let x = ab.intern("x");
+        // Site n[0] (root) is an ancestor of site n[1].
+        let nested = [
+            Edit::InsertElement {
+                parent: n[0],
+                position: 0,
+                label: x,
+            },
+            Edit::InsertElement {
+                parent: n[1],
+                position: 0,
+                label: x,
+            },
+        ];
+        assert!(extract_shapes(&doc, &nested).is_none());
+        // Disjoint subtrees are fine.
+        let disjoint = [
+            Edit::InsertElement {
+                parent: n[1],
+                position: 0,
+                label: x,
+            },
+            Edit::InsertElement {
+                parent: n[2],
+                position: 0,
+                label: x,
+            },
+        ];
+        assert!(extract_shapes(&doc, &disjoint).is_some());
+    }
+
+    #[test]
+    fn empty_script_is_trivially_supported() {
+        let (doc, _ab, _) = sample();
+        assert_eq!(extract_shapes(&doc, &[]), Some(vec![]));
+    }
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! Workload generators for the EDBT 2004 experiments and beyond.
 //!

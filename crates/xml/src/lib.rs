@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! A from-scratch XML 1.0 parser and serializer.
 //!

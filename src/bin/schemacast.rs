@@ -6,12 +6,14 @@
 //! schemacast batch --source S.xsd --target T.xsd [--threads N] [--warm-up] doc.xml ...
 //! schemacast repair --source S.xsd --target T.xsd --out fixed.xml doc.xml
 //! schemacast inspect --source S.xsd --target T.xsd
+//! schemacast analyze S.xsd Sprime.xsd [--json]
 //! ```
 //!
 //! Schemas ending in `.dtd` are parsed as DTDs (root taken from the first
 //! document's DOCTYPE, or `--root NAME`). Exit code 0 = all valid,
 //! 1 = some invalid, 2 = usage/parse error.
 
+use schemacast::analysis;
 use schemacast::core::{CastContext, FullValidator, Repairer, StreamingCast};
 use schemacast::engine::{BatchEngine, ItemOutcome};
 use schemacast::schema::{AbstractSchema, Session};
@@ -30,6 +32,7 @@ struct Options {
     stream: bool,
     stats: bool,
     warm_up: bool,
+    json: bool,
     docs: Vec<String>,
 }
 
@@ -41,6 +44,7 @@ fn usage() -> ExitCode {
          [--warm-up] [--stats] doc.xml...\n  \
          schemacast repair --source S.xsd --target T.xsd [--out fixed.xml] doc.xml\n  \
          schemacast inspect --source S.xsd --target T.xsd\n  \
+         schemacast analyze S.xsd Sprime.xsd [--json]\n  \
          (use .dtd schema files with optional --root NAME)"
     );
     ExitCode::from(2)
@@ -60,6 +64,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         stream: false,
         stats: false,
         warm_up: false,
+        json: false,
         docs: Vec::new(),
     };
     while let Some(a) = args.next() {
@@ -79,6 +84,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--stream" => opts.stream = true,
             "--stats" => opts.stats = true,
             "--warm-up" => opts.warm_up = true,
+            "--json" => opts.json = true,
             "--help" | "-h" => return Err(usage()),
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
@@ -86,6 +92,14 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
             _ => opts.docs.push(a),
         }
+    }
+    // `analyze` takes its two schemas as positional arguments.
+    if opts.command == "analyze" {
+        if opts.docs.len() != 2 {
+            eprintln!("analyze requires exactly two schema files");
+            return Err(usage());
+        }
+        return Ok(opts);
     }
     if opts.docs.is_empty() && opts.command != "inspect" {
         eprintln!("no documents given");
@@ -280,6 +294,10 @@ fn main() -> ExitCode {
                         println!("{path}: MALFORMED ({e})");
                         any_malformed = true;
                     }
+                    ItemOutcome::EditFailed(e) => {
+                        println!("{path}: EDIT FAILED ({e})");
+                        any_malformed = true;
+                    }
                 }
             }
             println!(
@@ -394,6 +412,30 @@ fn main() -> ExitCode {
                     }
                     any_invalid |= !out.is_valid();
                 }
+            }
+        }
+        "analyze" => {
+            let (src_path, tgt_path) = (&opts.docs[0], &opts.docs[1]);
+            let source = match load_schema(src_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let target = match load_schema(tgt_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let ctx = CastContext::new(&source, &target, &session.alphabet);
+            let report = analysis::analyze(&ctx, &session.alphabet);
+            if opts.json {
+                println!("{}", analysis::render_json(&report));
+            } else {
+                print!("{}", analysis::render_text(&report));
             }
         }
         other => {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 //! # schemacast
 //!
@@ -22,6 +23,8 @@
 //!   relations (§3).
 //! * [`engine`] — the parallel batch revalidation engine (one shared
 //!   [`core::CastContext`], a scoped worker pool, deterministic reports).
+//! * [`analysis`] — static update-safety reports: which edits are
+//!   SAFE/UNSAFE/DYNAMIC for a schema pair, before touching any document.
 //! * [`workload`] — generators reproducing the paper's experiments.
 //!
 //! ## Quick start
@@ -44,6 +47,7 @@
 //! assert_eq!(ctx.validate(&doc), CastOutcome::Valid);
 //! ```
 
+pub use schemacast_analysis as analysis;
 pub use schemacast_automata as automata;
 pub use schemacast_core as core;
 pub use schemacast_engine as engine;
