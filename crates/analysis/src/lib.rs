@@ -17,6 +17,20 @@
 //! * [`render_json`] — the machine-readable form behind `--json`
 //!   (hand-rolled serialization; the workspace takes no external
 //!   dependencies).
+//!
+//! The [`lint`] module adds the `schemacast lint` subsystem — single-schema
+//! hygiene diagnostics and schema-pair incompatibility findings with
+//! minimal witness documents — and [`sarif`] renders its reports as SARIF
+//! 2.1.0 for CI gates.
+
+pub mod lint;
+pub mod sarif;
+
+pub use lint::{
+    lint_pair, lint_schema, render_lint_json, render_lint_text, rule, rule_index, LintReport, Rule,
+    RULES,
+};
+pub use sarif::render_sarif;
 
 use schemacast_core::{CastContext, Verdict};
 use schemacast_regex::Alphabet;
@@ -338,7 +352,7 @@ pub fn render_json(report: &AnalysisReport) -> String {
 
 /// Appends `s` as a JSON string literal (quotes, backslashes, and control
 /// characters escaped).
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

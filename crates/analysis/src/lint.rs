@@ -1,0 +1,587 @@
+//! Schema and schema-pair lint: incompatibility diagnostics with witnesses.
+//!
+//! Two entry points, both producing [`Diagnostic`]s from the shared
+//! `schemacast-core` model:
+//!
+//! * [`lint_schema`] — single-schema hygiene: non-productive types
+//!   (`SC0101`), unreachable types (`SC0102`), dead ρ labels (`SC0103`),
+//!   one-unambiguity violations surfaced from `schemacast_regex::glushkov`
+//!   (`SC0104`), and unsatisfiable roots (`SC0105`).
+//! * [`lint_pair`] — evolution compatibility: for every reachable type pair
+//!   that is neither subsumed nor disjoint, a `SC0201` diagnostic carrying
+//!   a **minimal witness document** (valid under the source schema, invalid
+//!   under the target — synthesized by `schemacast_core::WitnessSynth` and
+//!   re-checked against both schemas before it is attached), plus `SC0202`
+//!   for disjoint pairs and `SC0203` for removed roots.
+//!
+//! Diagnostics anchor to schema files via [`SchemaSpans`] when the caller
+//! provides them. Output layers: [`render_lint_text`], [`render_lint_json`],
+//! and SARIF 2.1.0 in [`crate::sarif`].
+
+use crate::json_string;
+use schemacast_core::{
+    reachable_pairs_with_paths, CastContext, Diagnostic, DivergenceKind, Severity, WitnessSynth,
+};
+use schemacast_regex::Alphabet;
+use schemacast_schema::{AbstractSchema, SchemaSpans, TypeDef, TypeId};
+use std::collections::HashSet;
+
+/// One entry of the lint rule registry.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable id (`SC01xx` schema, `SC02xx` pair, `SC03xx` document).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line description (shown in SARIF rule metadata).
+    pub description: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+}
+
+/// The full rule registry, in id order. SARIF `ruleIndex` values index
+/// into this slice.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "SC0101",
+        name: "non-productive-type",
+        description: "The type admits no finite document: its content model only terminates through types that never do.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0102",
+        name: "unreachable-type",
+        description: "The type is declared but not reachable from any root declaration.",
+        severity: Severity::Warning,
+    },
+    Rule {
+        id: "SC0103",
+        name: "dead-particle-label",
+        description: "The label is mapped to a child type but never occurs in any accepted children sequence.",
+        severity: Severity::Warning,
+    },
+    Rule {
+        id: "SC0104",
+        name: "ambiguous-content-model",
+        description: "The content model is not one-unambiguous (violates the XSD Unique Particle Attribution constraint).",
+        severity: Severity::Warning,
+    },
+    Rule {
+        id: "SC0105",
+        name: "unsatisfiable-root",
+        description: "The root element's type is non-productive: no valid document with this root exists.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0201",
+        name: "incompatible-type-pair",
+        description: "A reachable type pair is neither subsumed nor disjoint: some source-valid documents become invalid.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0202",
+        name: "disjoint-type-pair",
+        description: "A reachable type pair is disjoint: every source-valid element at this position is invalid in the target.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0203",
+        name: "root-removed",
+        description: "A source root element is not declared in the target schema.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0301",
+        name: "root-not-allowed",
+        description: "The document root element is not declared in the target schema.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0302",
+        name: "content-model-violation",
+        description: "The element's children do not match the target content model.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0303",
+        name: "disjoint-types",
+        description: "The element's source and target types are disjoint.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0304",
+        name: "invalid-value",
+        description: "A simple value violates the target simple type's facets.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0305",
+        name: "text-in-element-content",
+        description: "Character data appears inside element-only content.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0306",
+        name: "not-simple-content",
+        description: "Simple (text-only) content was expected.",
+        severity: Severity::Error,
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// The index of a rule id within [`RULES`] (the SARIF `ruleIndex`).
+pub fn rule_index(id: &str) -> Option<usize> {
+    RULES.iter().position(|r| r.id == id)
+}
+
+/// A lint run's findings.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All diagnostics, in deterministic rule/type order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// `(errors, warnings, notes)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Note => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// The most severe finding, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Whether any finding is at or above `threshold` — the `--fail-on`
+    /// exit-code gate.
+    pub fn fails(&self, threshold: Severity) -> bool {
+        self.max_severity().is_some_and(|s| s >= threshold)
+    }
+
+    /// Merges another report's findings into this one.
+    pub fn extend(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+}
+
+fn anchored(
+    d: Diagnostic,
+    file: Option<&str>,
+    spans: Option<&SchemaSpans>,
+    type_name: &str,
+    particle: Option<&str>,
+) -> Diagnostic {
+    let d = match file {
+        Some(f) => d.with_file(f),
+        None => d,
+    };
+    match spans.and_then(|s| s.anchor(type_name, particle)) {
+        Some((line, col)) => d.with_position(line, col),
+        None => d,
+    }
+}
+
+/// Lints a single schema: productivity, reachability, dead labels, UPA.
+///
+/// Non-productive schemas are accepted here by design —
+/// `SchemaBuilder::finish` does not enforce productivity, and surfacing it
+/// is exactly this function's job.
+pub fn lint_schema(
+    schema: &AbstractSchema,
+    alphabet: &Alphabet,
+    file: Option<&str>,
+    spans: Option<&SchemaSpans>,
+) -> LintReport {
+    let mut diagnostics = Vec::new();
+    let productive = schema.productive(alphabet);
+
+    // Reachability from the roots through the ρ maps.
+    let mut reachable: HashSet<TypeId> = HashSet::new();
+    let mut stack: Vec<TypeId> = schema.roots().map(|(_, t)| t).collect();
+    while let Some(t) = stack.pop() {
+        if !reachable.insert(t) {
+            continue;
+        }
+        if let TypeDef::Complex(c) = schema.type_def(t) {
+            stack.extend(c.child_types.values().copied());
+        }
+    }
+
+    for t in schema.type_ids() {
+        let name = schema.type_name(t);
+        if !productive[t.index()] {
+            diagnostics.push(anchored(
+                Diagnostic::new(
+                    "SC0101",
+                    Severity::Error,
+                    format!("type `{name}` is non-productive: it admits no finite document"),
+                )
+                .with_type_name(name),
+                file,
+                spans,
+                name,
+                None,
+            ));
+        }
+        if !reachable.contains(&t) {
+            diagnostics.push(anchored(
+                Diagnostic::new(
+                    "SC0102",
+                    Severity::Warning,
+                    format!("type `{name}` is declared but unreachable from any root"),
+                )
+                .with_type_name(name),
+                file,
+                spans,
+                name,
+                None,
+            ));
+        }
+        let TypeDef::Complex(c) = schema.type_def(t) else {
+            continue;
+        };
+        let useful = c.dfa.useful_symbols();
+        let mut labels: Vec<_> = c.child_types.keys().copied().collect();
+        labels.sort_by_key(|l| l.index());
+        for label in labels {
+            if !useful.contains(label.index()) {
+                let lname = alphabet.name(label);
+                diagnostics.push(anchored(
+                    Diagnostic::new(
+                        "SC0103",
+                        Severity::Warning,
+                        format!(
+                            "label `{lname}` is mapped in type `{name}` but never occurs \
+                             in an accepted children sequence"
+                        ),
+                    )
+                    .with_type_name(name)
+                    .with_particle(lname),
+                    file,
+                    spans,
+                    name,
+                    Some(lname),
+                ));
+            }
+        }
+        if !c.deterministic {
+            diagnostics.push(anchored(
+                Diagnostic::new(
+                    "SC0104",
+                    Severity::Warning,
+                    format!(
+                        "content model of type `{name}` is not one-unambiguous \
+                         (unique particle attribution violation)"
+                    ),
+                )
+                .with_type_name(name),
+                file,
+                spans,
+                name,
+                None,
+            ));
+        }
+    }
+
+    let mut roots: Vec<_> = schema.roots().collect();
+    roots.sort_by_key(|&(label, _)| label.index());
+    for (label, t) in roots {
+        if !productive[t.index()] {
+            let lname = alphabet.name(label);
+            let name = schema.type_name(t);
+            diagnostics.push(anchored(
+                Diagnostic::new(
+                    "SC0105",
+                    Severity::Error,
+                    format!(
+                        "root element `{lname}` has non-productive type `{name}`: \
+                         no valid document with this root exists"
+                    ),
+                )
+                .with_type_name(name)
+                .with_particle(lname),
+                file,
+                spans,
+                name,
+                Some(lname),
+            ));
+        }
+    }
+
+    LintReport { diagnostics }
+}
+
+/// File name and spans of one side of a pair lint.
+pub type FileInfo<'a> = (&'a str, &'a SchemaSpans);
+
+/// Lints a schema evolution: every reachable type pair that is not
+/// subsumed becomes a diagnostic, incompatible pairs with a synthesized,
+/// re-validated minimal witness document. Diagnostics anchor into the
+/// *target* schema file (the side whose change broke compatibility).
+pub fn lint_pair(
+    ctx: &CastContext<'_>,
+    alphabet: &Alphabet,
+    target_info: Option<FileInfo<'_>>,
+) -> LintReport {
+    let mut diagnostics = Vec::new();
+    let (file, spans) = match target_info {
+        Some((f, s)) => (Some(f), Some(s)),
+        None => (None, None),
+    };
+
+    let mut removed: Vec<_> = ctx
+        .source()
+        .roots()
+        .filter(|&(label, _)| ctx.target().root_type(label).is_none())
+        .collect();
+    removed.sort_by_key(|&(label, _)| label.index());
+    for (label, t) in removed {
+        let lname = alphabet.name(label);
+        diagnostics.push(
+            match file {
+                Some(f) => Diagnostic::new(
+                    "SC0203",
+                    Severity::Error,
+                    format!("root element `{lname}` is not declared in the target schema"),
+                )
+                .with_file(f),
+                None => Diagnostic::new(
+                    "SC0203",
+                    Severity::Error,
+                    format!("root element `{lname}` is not declared in the target schema"),
+                ),
+            }
+            .with_type_name(ctx.source().type_name(t))
+            .with_particle(lname),
+        );
+    }
+
+    let synth = WitnessSynth::new(ctx, alphabet);
+    for pair in reachable_pairs_with_paths(ctx) {
+        let s_name = ctx.source().type_name(pair.source);
+        let t_name = ctx.target().type_name(pair.target);
+        let via: Vec<&str> = pair.via.iter().map(|&l| alphabet.name(l)).collect();
+        let at = format!("/{}", via.join("/"));
+        let witness = synth.witness(&pair).filter(|w| {
+            // Never attach an unchecked witness: it must round-trip.
+            ctx.source().accepts_document(&w.doc) && !ctx.target().accepts_document(&w.doc)
+        });
+
+        let disjoint = ctx.relations().disjoint(pair.source, pair.target);
+        let mut d = if disjoint {
+            Diagnostic::new(
+                "SC0202",
+                Severity::Error,
+                format!(
+                    "source type `{s_name}` and target type `{t_name}` (reached at {at}) \
+                     are disjoint: every source-valid element there is invalid in the target"
+                ),
+            )
+        } else {
+            let detail = match witness.as_ref().map(|w| w.kind) {
+                Some(DivergenceKind::ContentModel { position }) => format!(
+                    "the target content model rejects a source-valid children sequence \
+                     (diverging at child position {position})"
+                ),
+                Some(DivergenceKind::Value) => {
+                    "the source value space admits values the target facets reject".to_owned()
+                }
+                Some(DivergenceKind::Structure) => {
+                    "simple and element-only content disagree between the schemas".to_owned()
+                }
+                Some(DivergenceKind::Disjoint) => {
+                    "a descendant lands on a disjoint type pair".to_owned()
+                }
+                None => "some source-valid documents become invalid".to_owned(),
+            };
+            Diagnostic::new(
+                "SC0201",
+                Severity::Error,
+                format!(
+                    "type pair `{s_name}` → `{t_name}` (reached at {at}) is incompatible: \
+                     {detail}"
+                ),
+            )
+        };
+        d = d.with_type_name(t_name);
+        let particle = witness.as_ref().and_then(|w| w.particle.clone());
+        if let Some(p) = &particle {
+            d = d.with_particle(p.clone());
+        }
+        if let Some(w) = witness {
+            d = d
+                .with_path(w.path)
+                .with_witness(schemacast_xml::to_string(&w.doc.to_xml(alphabet)));
+        }
+        diagnostics.push(anchored(d, file, spans, t_name, particle.as_deref()));
+    }
+
+    LintReport { diagnostics }
+}
+
+/// Renders a lint report as human-readable text (one `file:line:col:
+/// severity[rule]: message` line per finding, witnesses indented below).
+pub fn render_lint_text(report: &LintReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{d}");
+        if let Some(w) = &d.witness {
+            let _ = writeln!(out, "  witness: {w}");
+        }
+    }
+    let (errors, warnings, notes) = report.counts();
+    let _ = writeln!(
+        out,
+        "{} finding(s): {errors} error(s), {warnings} warning(s), {notes} note(s)",
+        report.diagnostics.len()
+    );
+    out
+}
+
+/// Renders a lint report as JSON (stable key order, nulls omitted).
+pub fn render_lint_json(report: &LintReport) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":\"");
+        out.push_str(d.rule_id);
+        out.push_str("\",\"severity\":\"");
+        out.push_str(d.severity.as_str());
+        out.push_str("\",\"message\":");
+        json_string(&mut out, &d.message);
+        if let Some(f) = &d.file {
+            out.push_str(",\"file\":");
+            json_string(&mut out, f);
+            if d.line > 0 {
+                use std::fmt::Write;
+                let _ = write!(out, ",\"line\":{},\"column\":{}", d.line, d.column);
+            }
+        }
+        if let Some(t) = &d.type_name {
+            out.push_str(",\"type\":");
+            json_string(&mut out, t);
+        }
+        if let Some(p) = &d.particle {
+            out.push_str(",\"particle\":");
+            json_string(&mut out, p);
+        }
+        if let Some(p) = &d.path {
+            out.push_str(",\"path\":");
+            json_string(&mut out, p);
+        }
+        if let Some(w) = &d.witness {
+            out.push_str(",\"witness\":");
+            json_string(&mut out, w);
+        }
+        out.push('}');
+    }
+    let (errors, warnings, notes) = report.counts();
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "],\"summary\":{{\"errors\":{errors},\"warnings\":{warnings},\"notes\":{notes}}}}}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_schema::Session;
+    use schemacast_workload::purchase_order as po;
+
+    fn po_ctx() -> (
+        schemacast_schema::AbstractSchema,
+        schemacast_schema::AbstractSchema,
+        Session,
+    ) {
+        let mut session = Session::new();
+        let source = session
+            .parse_xsd(&po::source_maxex200_xsd())
+            .expect("source");
+        let target = session.parse_xsd(&po::target_xsd()).expect("target");
+        (source, target, session)
+    }
+
+    #[test]
+    fn pair_lint_finds_witnessed_incompatibilities() {
+        let (source, target, session) = po_ctx();
+        let ctx = CastContext::new(&source, &target, &session.alphabet);
+        let report = lint_pair(&ctx, &session.alphabet, None);
+        assert!(!report.diagnostics.is_empty());
+        assert!(report.fails(Severity::Error));
+        let witnessed: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.witness.is_some())
+            .collect();
+        assert!(!witnessed.is_empty(), "at least one witness expected");
+        for d in &report.diagnostics {
+            assert!(d.rule_id.starts_with("SC02"), "{}", d.rule_id);
+            assert!(rule(d.rule_id).is_some(), "{} registered", d.rule_id);
+        }
+    }
+
+    #[test]
+    fn clean_pair_lints_clean() {
+        let mut session = Session::new();
+        let xsd = po::target_xsd();
+        let source = session.parse_xsd(&xsd).expect("source");
+        let target = session.parse_xsd(&xsd).expect("target");
+        let ctx = CastContext::new(&source, &target, &session.alphabet);
+        let report = lint_pair(&ctx, &session.alphabet, None);
+        assert!(
+            report.diagnostics.is_empty(),
+            "identical schemas must not lint: {:?}",
+            report.diagnostics
+        );
+        assert!(!report.fails(Severity::Warning));
+    }
+
+    #[test]
+    fn schema_lint_is_clean_on_the_fixture() {
+        let (source, _, session) = po_ctx();
+        let report = lint_schema(&source, &session.alphabet, Some("po.xsd"), None);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn renderings_cover_every_diagnostic() {
+        let (source, target, session) = po_ctx();
+        let ctx = CastContext::new(&source, &target, &session.alphabet);
+        let report = lint_pair(&ctx, &session.alphabet, None);
+        let text = render_lint_text(&report);
+        let json = render_lint_json(&report);
+        for d in &report.diagnostics {
+            assert!(text.contains(d.rule_id));
+            assert!(json.contains(d.rule_id));
+        }
+        assert!(text.contains("finding(s):"));
+        assert!(json.contains("\"summary\":"));
+        assert!(json.contains("\"witness\":"));
+    }
+
+    #[test]
+    fn rule_registry_is_sorted_and_unique() {
+        for w in RULES.windows(2) {
+            assert!(w[0].id < w[1].id, "{} < {}", w[0].id, w[1].id);
+        }
+        assert_eq!(rule_index("SC0101"), Some(0));
+        assert!(rule("SC9999").is_none());
+    }
+}

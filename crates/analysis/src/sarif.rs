@@ -1,0 +1,151 @@
+//! SARIF 2.1.0 output for lint reports, for CI gates and code scanning.
+//!
+//! Hand-rolled like the rest of the workspace's JSON. The emitted document
+//! carries the SARIF 2.1.0 required-property set — `version` and `runs` at
+//! the top level, `tool.driver.name` per run, `message` per result — plus
+//! the rule registry (with `ruleIndex` back-references), physical locations
+//! for findings anchored to a schema file, and the witness document and
+//! divergence path under `properties`.
+
+use crate::json_string;
+use crate::lint::{rule_index, LintReport, RULES};
+use schemacast_core::Severity;
+
+/// The schema-store URI for SARIF 2.1.0.
+const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+fn sarif_level(s: Severity) -> &'static str {
+    // SARIF levels happen to match our severity names.
+    s.as_str()
+}
+
+/// Renders a lint report as a SARIF 2.1.0 log with a single run.
+pub fn render_sarif(report: &LintReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\"$schema\":");
+    json_string(&mut out, SARIF_SCHEMA);
+    out.push_str(",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"schemacast-lint\",\"rules\":[");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":\"");
+        out.push_str(r.id);
+        out.push_str("\",\"name\":");
+        json_string(&mut out, r.name);
+        out.push_str(",\"shortDescription\":{\"text\":");
+        json_string(&mut out, r.description);
+        out.push_str("},\"defaultConfiguration\":{\"level\":\"");
+        out.push_str(sarif_level(r.severity));
+        out.push_str("\"}}");
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"ruleId\":\"");
+        out.push_str(d.rule_id);
+        out.push('"');
+        if let Some(idx) = rule_index(d.rule_id) {
+            let _ = write!(out, ",\"ruleIndex\":{idx}");
+        }
+        out.push_str(",\"level\":\"");
+        out.push_str(sarif_level(d.severity));
+        out.push_str("\",\"message\":{\"text\":");
+        json_string(&mut out, &d.message);
+        out.push('}');
+        if let Some(file) = &d.file {
+            out.push_str(",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":");
+            json_string(&mut out, file);
+            out.push('}');
+            if d.line > 0 {
+                let _ = write!(
+                    out,
+                    ",\"region\":{{\"startLine\":{},\"startColumn\":{}}}",
+                    d.line,
+                    d.column.max(1)
+                );
+            }
+            out.push_str("}}]");
+        }
+        let has_props = d.witness.is_some() || d.path.is_some() || d.type_name.is_some();
+        if has_props {
+            out.push_str(",\"properties\":{");
+            let mut first = true;
+            let mut prop = |out: &mut String, key: &str, value: &str| {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                out.push_str(key);
+                out.push_str("\":");
+                json_string(out, value);
+            };
+            if let Some(t) = &d.type_name {
+                prop(&mut out, "typeName", t);
+            }
+            if let Some(p) = &d.particle {
+                prop(&mut out, "particle", p);
+            }
+            if let Some(p) = &d.path {
+                prop(&mut out, "path", p);
+            }
+            if let Some(w) = &d.witness {
+                prop(&mut out, "witness", w);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lint_pair;
+    use schemacast_core::CastContext;
+    use schemacast_schema::Session;
+    use schemacast_workload::purchase_order as po;
+
+    #[test]
+    fn sarif_has_required_properties_and_balances() {
+        let mut session = Session::new();
+        let source = session
+            .parse_xsd(&po::source_maxex200_xsd())
+            .expect("source");
+        let target = session.parse_xsd(&po::target_xsd()).expect("target");
+        let ctx = CastContext::new(&source, &target, &session.alphabet);
+        let report = lint_pair(&ctx, &session.alphabet, None);
+        assert!(!report.diagnostics.is_empty());
+        let sarif = render_sarif(&report);
+        // SARIF 2.1.0 required-property set.
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"runs\":["));
+        assert!(sarif.contains("\"tool\":{\"driver\":{\"name\":\"schemacast-lint\""));
+        assert!(sarif.contains("\"results\":["));
+        assert!(sarif.contains("\"message\":{\"text\":"));
+        assert!(sarif.contains("\"ruleId\":\"SC02"));
+        // All strings in the output are escaped, so brackets balance.
+        let json_chars =
+            |s: &str, open: char, close: char| (s.matches(open).count(), s.matches(close).count());
+        let witness_free = render_sarif(&LintReport::default());
+        for (o, c) in [
+            json_chars(&witness_free, '{', '}'),
+            json_chars(&witness_free, '[', ']'),
+        ] {
+            assert_eq!(o, c);
+        }
+    }
+
+    #[test]
+    fn empty_report_is_still_valid_sarif() {
+        let sarif = render_sarif(&LintReport::default());
+        assert!(sarif.contains("\"results\":[]"));
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+    }
+}

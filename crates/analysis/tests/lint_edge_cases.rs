@@ -1,0 +1,101 @@
+//! Lint × prune edge cases: schemas with non-productive roots and schemas
+//! whose one-unambiguity changes under pruning. The linter must report both
+//! situations without panicking, and re-linting the pruned schema must show
+//! the findings resolved.
+
+use schemacast_analysis::{lint_schema, LintReport};
+use schemacast_core::Severity;
+use schemacast_regex::Alphabet;
+use schemacast_schema::{prune_nonproductive, SchemaBuilder, SimpleType};
+
+fn rule_ids(report: &LintReport) -> Vec<&'static str> {
+    report.diagnostics.iter().map(|d| d.rule_id).collect()
+}
+
+#[test]
+fn non_productive_root_type_lints_and_prunes() {
+    // The root's type requires itself forever: no finite document exists.
+    let mut ab = Alphabet::new();
+    let mut b = SchemaBuilder::new(&mut ab);
+    let bad = b.declare("BadLoop").unwrap();
+    b.complex(bad, "(x)", &[("x", bad)]).unwrap();
+    b.root("r", bad);
+    let schema = b.finish().unwrap();
+
+    let report = lint_schema(&schema, &ab, Some("bad.xsd"), None);
+    let ids = rule_ids(&report);
+    assert!(ids.contains(&"SC0101"), "non-productive type: {ids:?}");
+    assert!(ids.contains(&"SC0105"), "unsatisfiable root: {ids:?}");
+    assert!(report.fails(Severity::Error));
+
+    // Pruning the same schema must not panic, and the pruned schema (which
+    // drops the type and its root declaration) lints clean.
+    let pruned = prune_nonproductive(&schema, &ab);
+    assert!(pruned.assert_productive(&ab).is_ok());
+    let after = lint_schema(&pruned, &ab, Some("bad.xsd"), None);
+    assert!(
+        after.diagnostics.is_empty(),
+        "pruned schema still lints: {:?}",
+        after.diagnostics
+    );
+}
+
+#[test]
+fn pruning_can_restore_one_unambiguity() {
+    // `(a, c) | (a, b)` is not one-unambiguous (two competing `a`
+    // positions). The `c` branch leads to a non-productive type, so pruning
+    // restricts the model to `(a, b)` — which *is* one-unambiguous. The
+    // linter must report both the ambiguity and the productivity hole
+    // before pruning, and neither afterwards.
+    let mut ab = Alphabet::new();
+    let mut b = SchemaBuilder::new(&mut ab);
+    let text = b.simple("Text", SimpleType::string()).unwrap();
+    let dead = b.declare("Dead").unwrap();
+    b.complex(dead, "(x)", &[("x", dead)]).unwrap();
+    let root = b.declare("Root").unwrap();
+    b.complex(
+        root,
+        "(a, c) | (a, b)",
+        &[("a", text), ("b", text), ("c", dead)],
+    )
+    .unwrap();
+    b.root("r", root);
+    let schema = b.finish().unwrap();
+
+    let before = lint_schema(&schema, &ab, None, None);
+    let ids = rule_ids(&before);
+    assert!(ids.contains(&"SC0104"), "UPA violation: {ids:?}");
+    assert!(ids.contains(&"SC0101"), "non-productive `Dead`: {ids:?}");
+
+    let pruned = prune_nonproductive(&schema, &ab);
+    let after = lint_schema(&pruned, &ab, None, None);
+    let ids = rule_ids(&after);
+    assert!(
+        !ids.contains(&"SC0104") && !ids.contains(&"SC0101"),
+        "pruning should resolve both findings: {ids:?}"
+    );
+    assert!(
+        after.diagnostics.is_empty(),
+        "pruned schema lints clean: {:?}",
+        after.diagnostics
+    );
+}
+
+#[test]
+fn dead_particle_label_is_reported() {
+    // `b` is mapped in ρ but the content model never mentions it.
+    let mut ab = Alphabet::new();
+    let mut b = SchemaBuilder::new(&mut ab);
+    let text = b.simple("Text", SimpleType::string()).unwrap();
+    let root = b.declare("Root").unwrap();
+    b.complex(root, "a*", &[("a", text), ("b", text)]).unwrap();
+    b.root("r", root);
+    let schema = b.finish().unwrap();
+
+    let report = lint_schema(&schema, &ab, None, None);
+    let ids = rule_ids(&report);
+    assert!(ids.contains(&"SC0103"), "dead label: {ids:?}");
+    // A warning alone passes --fail-on error but fails --fail-on warn.
+    assert!(!report.fails(Severity::Error));
+    assert!(report.fails(Severity::Warning));
+}

@@ -26,6 +26,7 @@ pub mod nfa;
 pub mod product;
 pub mod revalidate;
 pub mod safety;
+pub mod witness;
 
 pub use bitset::BitSet;
 pub use checks::{
@@ -40,3 +41,6 @@ pub use nfa::Nfa;
 pub use product::Product;
 pub use revalidate::{Decision, Strategy, StringCast};
 pub use safety::{EditWordAnalysis, SafetyVerdict};
+pub use witness::{
+    shortest_accepted, shortest_accepted_nonempty, shortest_accepted_through, shortest_in_a_not_b,
+};

@@ -1,0 +1,219 @@
+//! Shortest-word witness extraction over DFAs and DFA pairs.
+//!
+//! The lint subsystem (`schemacast-analysis`) explains *why* a type pair is
+//! incompatible by exhibiting a concrete word: the shortest member of
+//! `L(a) ∖ L(b)` is a children sequence valid for the source content model
+//! and invalid for the target one, and the position at which the product
+//! automaton enters an immediately-rejecting state maps back to the
+//! offending particle. All searches here are breadth-first with parent
+//! pointers, so returned words are length-minimal (ties broken by smallest
+//! symbol index), and all accept an optional symbol restriction — witness
+//! words may only use labels whose child types can actually be instantiated
+//! as finite subtrees.
+
+use crate::bitset::BitSet;
+use crate::dfa::{Dfa, StateId};
+use schemacast_regex::Sym;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+fn allows(allowed: Option<&BitSet>, s: usize) -> bool {
+    match allowed {
+        Some(p) => s < p.capacity() && p.contains(s),
+        None => true,
+    }
+}
+
+/// Reconstructs the word leading to `q` from the BFS parent pointers.
+fn unwind<K: std::hash::Hash + Eq + Copy>(
+    parent: &HashMap<K, (K, Sym)>,
+    start: K,
+    mut q: K,
+) -> Vec<Sym> {
+    let mut word = Vec::new();
+    while q != start {
+        let (p, s) = parent[&q];
+        word.push(s);
+        q = p;
+    }
+    word.reverse();
+    word
+}
+
+/// The shortest word of `L(d) ∩ P*`, if any (`allowed = None` means `P = Σ`).
+pub fn shortest_accepted(d: &Dfa, allowed: Option<&BitSet>) -> Option<Vec<Sym>> {
+    shortest_accepted_from(d, d.start(), allowed, true)
+}
+
+/// The shortest *nonempty* word of `L(d) ∩ P*`, if any.
+pub fn shortest_accepted_nonempty(d: &Dfa, allowed: Option<&BitSet>) -> Option<Vec<Sym>> {
+    shortest_accepted_from(d, d.start(), allowed, false)
+}
+
+fn shortest_accepted_from(
+    d: &Dfa,
+    start: StateId,
+    allowed: Option<&BitSet>,
+    accept_empty: bool,
+) -> Option<Vec<Sym>> {
+    if accept_empty && d.is_final(start) {
+        return Some(Vec::new());
+    }
+    let mut parent: HashMap<StateId, (StateId, Sym)> = HashMap::new();
+    let mut seen = BitSet::new(d.state_count());
+    seen.insert(start as usize);
+    let mut queue: VecDeque<StateId> = VecDeque::from([start]);
+    while let Some(q) = queue.pop_front() {
+        for s in 0..d.alphabet_len() {
+            if !allows(allowed, s) {
+                continue;
+            }
+            let sym = Sym(s as u32);
+            let t = d.step(q, sym);
+            if d.is_final(t) {
+                let mut word = unwind(&parent, start, q);
+                word.push(sym);
+                return Some(word);
+            }
+            if seen.insert(t as usize) {
+                parent.insert(t, (q, sym));
+                queue.push_back(t);
+            }
+        }
+    }
+    None
+}
+
+/// The shortest word of `L(a) ∖ L(b)` over the permitted symbols, if any —
+/// BFS over the pair graph to a `(final-in-a, non-final-in-b)` pair, the
+/// state that seeds the product IDA's `IR` set.
+pub fn shortest_in_a_not_b(a: &Dfa, b: &Dfa, allowed: Option<&BitSet>) -> Option<Vec<Sym>> {
+    let start = (a.start(), b.start());
+    let goal = |(qa, qb): (StateId, StateId)| a.is_final(qa) && !b.is_final(qb);
+    if goal(start) {
+        return Some(Vec::new());
+    }
+    let mut parent: HashMap<(StateId, StateId), ((StateId, StateId), Sym)> = HashMap::new();
+    let mut seen: HashSet<(StateId, StateId)> = HashSet::from([start]);
+    let mut queue: VecDeque<(StateId, StateId)> = VecDeque::from([start]);
+    // Symbols at or beyond a's table width step `a` into its absorbing,
+    // non-final sink, from which the goal is unreachable — skip them.
+    while let Some((qa, qb)) = queue.pop_front() {
+        for s in 0..a.alphabet_len() {
+            if !allows(allowed, s) {
+                continue;
+            }
+            let sym = Sym(s as u32);
+            let next = (a.step(qa, sym), b.step(qb, sym));
+            if goal(next) {
+                let mut word = unwind(&parent, start, (qa, qb));
+                word.push(sym);
+                return Some(word);
+            }
+            if seen.insert(next) {
+                parent.insert(next, ((qa, qb), sym));
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// The shortest word of `L(d) ∩ P*` containing at least one occurrence of
+/// `via` (which is permitted regardless of `allowed`), if any. BFS over
+/// `(state, seen-via)` pairs.
+pub fn shortest_accepted_through(d: &Dfa, via: Sym, allowed: Option<&BitSet>) -> Option<Vec<Sym>> {
+    type Node = (StateId, bool);
+    let start: Node = (d.start(), false);
+    let mut parent: HashMap<Node, (Node, Sym)> = HashMap::new();
+    let mut seen: HashSet<Node> = HashSet::from([start]);
+    let mut queue: VecDeque<Node> = VecDeque::from([start]);
+    while let Some((q, used)) = queue.pop_front() {
+        for s in 0..d.alphabet_len() {
+            let sym = Sym(s as u32);
+            if sym != via && !allows(allowed, s) {
+                continue;
+            }
+            let next: Node = (d.step(q, sym), used || sym == via);
+            if next.1 && d.is_final(next.0) {
+                let mut word = unwind(&parent, start, (q, used));
+                word.push(sym);
+                return Some(word);
+            }
+            if seen.insert(next) {
+                parent.insert(next, ((q, used), sym));
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_regex::{parse_regex, Alphabet};
+
+    fn compile(text: &str, ab: &mut Alphabet) -> Dfa {
+        let r = parse_regex(text, ab).expect("parse");
+        Dfa::from_regex(&r, ab.len()).expect("compile")
+    }
+
+    #[test]
+    fn shortest_accepted_is_minimal() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a, b, c) | (a, c)", &mut ab);
+        let w = shortest_accepted(&d, None).expect("nonempty");
+        assert_eq!(w.len(), 2);
+        assert!(d.accepts(&w));
+    }
+
+    #[test]
+    fn empty_language_has_no_witness() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a, b)", &mut ab);
+        let a = ab.lookup("a").unwrap();
+        let mut only_a = BitSet::new(ab.len());
+        only_a.insert(a.index());
+        assert_eq!(shortest_accepted(&d, Some(&only_a)), None);
+    }
+
+    #[test]
+    fn nonempty_variant_skips_epsilon() {
+        let mut ab = Alphabet::new();
+        let d = compile("a*", &mut ab);
+        assert_eq!(shortest_accepted(&d, None), Some(vec![]));
+        let w = shortest_accepted_nonempty(&d, None).expect("a exists");
+        assert_eq!(w.len(), 1);
+        assert!(d.accepts(&w));
+    }
+
+    #[test]
+    fn difference_witness_figure1() {
+        // billTo optional vs. required: shortest distinguishing word drops it.
+        let mut ab = Alphabet::new();
+        let source = compile("(shipTo, billTo?, items)", &mut ab);
+        let target = compile("(shipTo, billTo, items)", &mut ab);
+        let w = shortest_in_a_not_b(&source, &target, None).expect("not subsumed");
+        assert!(source.accepts(&w));
+        assert!(!target.accepts(&w));
+        assert_eq!(w.len(), 2); // shipTo, items
+                                // The other direction is subsumed: no witness.
+        assert_eq!(shortest_in_a_not_b(&target, &source, None), None);
+    }
+
+    #[test]
+    fn through_requires_the_symbol() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a | b), c?", &mut ab);
+        let c = ab.lookup("c").unwrap();
+        let w = shortest_accepted_through(&d, c, None).expect("c reachable");
+        assert!(d.accepts(&w));
+        assert!(w.contains(&c));
+        // `via` is exempt from the restriction, the rest is not.
+        let a = ab.lookup("a").unwrap();
+        let mut only_a = BitSet::new(ab.len());
+        only_a.insert(a.index());
+        let w2 = shortest_accepted_through(&d, c, Some(&only_a)).expect("a then c");
+        assert_eq!(w2, vec![a, c]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Throughput of the schema-pair linter (`lint_pair`: reachable-pair
+//! enumeration, witness synthesis, and the round-trip self-check) on
+//! synthetic wide and deep schema pairs from `schemacast-workload`.
+//!
+//! Wide schemas stress the per-type work (many parts per content model);
+//! deep schemas stress the pair-graph traversal and spine construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use schemacast_analysis::lint_pair;
+use schemacast_core::CastContext;
+use schemacast_regex::Alphabet;
+use schemacast_schema::AbstractSchema;
+use schemacast_workload::synth::{random_schema, SynthConfig};
+use std::hint::black_box;
+
+fn synth_pair(cfg: &SynthConfig, seed: u64) -> (AbstractSchema, AbstractSchema, Alphabet) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let original = random_schema(cfg, &mut rng);
+    let mut evolved = original.clone();
+    for _ in 0..3 {
+        evolved.evolve(&mut rng);
+    }
+    let mut alphabet = Alphabet::new();
+    let source = original.build(&mut alphabet);
+    let target = evolved.build(&mut alphabet);
+    (source, target, alphabet)
+}
+
+fn bench(c: &mut Criterion) {
+    let shapes = [
+        (
+            "wide",
+            SynthConfig {
+                n_complex: 8,
+                max_parts: 8,
+                choice_prob: 0.3,
+            },
+        ),
+        (
+            "deep",
+            SynthConfig {
+                n_complex: 16,
+                max_parts: 2,
+                choice_prob: 0.1,
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("lint_throughput");
+    for (shape, cfg) in shapes {
+        let (source, target, alphabet) = synth_pair(&cfg, 0x5EED);
+        let ctx = CastContext::new(&source, &target, &alphabet);
+        // The pair must actually exercise the linter, not early-out clean.
+        let report = lint_pair(&ctx, &alphabet, None);
+        group.bench_with_input(
+            BenchmarkId::new("lint_pair", shape),
+            &(ctx, &alphabet),
+            |bch, (ctx, alphabet)| bch.iter(|| black_box(lint_pair(ctx, alphabet, None))),
+        );
+        drop(report);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! The shared diagnostic model: one type for document-validation failures
+//! ([`mod@crate::explain`]) and schema/pair lint findings (`schemacast-analysis`).
+//!
+//! Every diagnostic carries a stable rule id so that CI gates, SARIF
+//! consumers, and tests can match on findings without parsing message text:
+//!
+//! * `SC01xx` — single-schema rules (non-productive types, dead labels,
+//!   ambiguous content models, …),
+//! * `SC02xx` — schema-pair rules (incompatible or disjoint reachable type
+//!   pairs, removed roots),
+//! * `SC03xx` — per-document validation failures (the [`mod@crate::explain`]
+//!   namespace).
+//!
+//! The slash-path helpers here are the single implementation of the
+//! `/root/child[i]` document-path syntax that both the explainer and the
+//! witness synthesizer emit.
+
+use std::fmt;
+
+/// How serious a diagnostic is. Ordered: `Note < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never fails a gate.
+    Note,
+    /// Suspicious but not necessarily wrong.
+    Warning,
+    /// A definite defect.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case machine name (also the SARIF `level` value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a rule id, a severity, a message, and optional anchors
+/// (schema file position, type/particle names, document path, witness).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id (`SC01xx` / `SC02xx` / `SC03xx`).
+    pub rule_id: &'static str,
+    /// Severity of this instance (usually the rule's default).
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// The schema file the finding anchors to, if known.
+    pub file: Option<String>,
+    /// 1-based line in `file` (0 = unknown).
+    pub line: u32,
+    /// 1-based column in `file` (0 = unknown).
+    pub column: u32,
+    /// The schema type the finding is about, if any.
+    pub type_name: Option<String>,
+    /// The offending content-model particle (child label), if any.
+    pub particle: Option<String>,
+    /// Slash path (with sibling indices) into a document, if any.
+    pub path: Option<String>,
+    /// A minimal witness document (serialized XML), if one was synthesized.
+    pub witness: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no anchors; attach them with the `with_*` methods.
+    pub fn new(
+        rule_id: &'static str,
+        severity: Severity,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule_id,
+            severity,
+            message: message.into(),
+            file: None,
+            line: 0,
+            column: 0,
+            type_name: None,
+            particle: None,
+            path: None,
+            witness: None,
+        }
+    }
+
+    /// Anchors the diagnostic to a schema file.
+    pub fn with_file(mut self, file: impl Into<String>) -> Diagnostic {
+        self.file = Some(file.into());
+        self
+    }
+
+    /// Anchors the diagnostic to a (1-based) line/column position.
+    pub fn with_position(mut self, line: u32, column: u32) -> Diagnostic {
+        self.line = line;
+        self.column = column;
+        self
+    }
+
+    /// Names the schema type the finding is about.
+    pub fn with_type_name(mut self, name: impl Into<String>) -> Diagnostic {
+        self.type_name = Some(name.into());
+        self
+    }
+
+    /// Names the offending content-model particle.
+    pub fn with_particle(mut self, label: impl Into<String>) -> Diagnostic {
+        self.particle = Some(label.into());
+        self
+    }
+
+    /// Attaches a document path.
+    pub fn with_path(mut self, path: impl Into<String>) -> Diagnostic {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Attaches a serialized witness document.
+    pub fn with_witness(mut self, xml: impl Into<String>) -> Diagnostic {
+        self.witness = Some(xml.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(file) = &self.file {
+            write!(f, "{file}:")?;
+            if self.line > 0 {
+                write!(f, "{}:{}:", self.line, self.column.max(1))?;
+            }
+            write!(f, " ")?;
+        }
+        write!(f, "{}[{}]: {}", self.severity, self.rule_id, self.message)?;
+        if let Some(path) = &self.path {
+            write!(f, " (at {path})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The path of a document root labeled `label`: `/label`.
+pub fn root_path(label: &str) -> String {
+    format!("/{label}")
+}
+
+/// Appends the segment for child number `index` (0-based, across all
+/// children) labeled `label`: `/label[index]`. Returns the previous length,
+/// to be restored with [`pop_segment`] when backtracking.
+pub fn push_segment(path: &mut String, label: &str, index: usize) -> usize {
+    use std::fmt::Write;
+    let len = path.len();
+    let _ = write!(path, "/{label}[{index}]");
+    len
+}
+
+/// Restores a path to the length returned by [`push_segment`].
+pub fn pop_segment(path: &mut String, len: usize) {
+    path.truncate(len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_for_fail_on_gates() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.as_str(), "error");
+    }
+
+    #[test]
+    fn path_helpers_roundtrip() {
+        let mut p = root_path("po");
+        assert_eq!(p, "/po");
+        let mark = push_segment(&mut p, "item", 1);
+        let inner = push_segment(&mut p, "qty", 0);
+        assert_eq!(p, "/po/item[1]/qty[0]");
+        pop_segment(&mut p, inner);
+        assert_eq!(p, "/po/item[1]");
+        pop_segment(&mut p, mark);
+        assert_eq!(p, "/po");
+    }
+
+    #[test]
+    fn display_includes_anchors() {
+        let d = Diagnostic::new("SC0201", Severity::Error, "incompatible pair")
+            .with_file("s.xsd")
+            .with_position(3, 7)
+            .with_path("/po/item[0]");
+        let text = d.to_string();
+        assert!(text.contains("s.xsd:3:7:"));
+        assert!(text.contains("error[SC0201]"));
+        assert!(text.contains("/po/item[0]"));
+    }
+}

@@ -7,6 +7,7 @@
 //! document order.
 
 use crate::cast::CastContext;
+use crate::diag::{pop_segment, push_segment, root_path, Diagnostic, Severity};
 use crate::stats::ValidationStats;
 use schemacast_regex::{Alphabet, Sym};
 use schemacast_schema::{TypeDef, TypeId};
@@ -56,6 +57,33 @@ pub enum FailureKind {
     TextInElementContent,
     /// Simple content with more than one child / an element child.
     NotSimpleContent,
+}
+
+impl ValidationFailure {
+    /// Stable rule id in the `SC03xx` (document validation) namespace.
+    pub fn rule_id(&self) -> &'static str {
+        match self.kind {
+            FailureKind::RootNotAllowed { .. } => "SC0301",
+            FailureKind::ContentModel { .. } => "SC0302",
+            FailureKind::DisjointTypes { .. } => "SC0303",
+            FailureKind::InvalidValue { .. } => "SC0304",
+            FailureKind::TextInElementContent => "SC0305",
+            FailureKind::NotSimpleContent => "SC0306",
+        }
+    }
+
+    /// Converts the failure into the shared [`Diagnostic`] model used by the
+    /// lint subsystem, preserving the path and naming the target type.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let d = Diagnostic::new(self.rule_id(), Severity::Error, self.to_string())
+            .with_path(self.path.clone());
+        match &self.kind {
+            FailureKind::ContentModel { type_name, .. }
+            | FailureKind::InvalidValue { type_name, .. } => d.with_type_name(type_name.clone()),
+            FailureKind::DisjointTypes { target_type, .. } => d.with_type_name(target_type.clone()),
+            _ => d,
+        }
+    }
 }
 
 impl fmt::Display for ValidationFailure {
@@ -118,14 +146,14 @@ pub fn explain(
     };
     let Some(tgt) = ctx.target().root_type(label) else {
         return Err(ValidationFailure {
-            path: format!("/{}", alphabet.name(label)),
+            path: root_path(alphabet.name(label)),
             kind: FailureKind::RootNotAllowed {
                 label: alphabet.name(label).to_owned(),
             },
         });
     };
     let src = ctx.source().root_type(label);
-    let mut path = format!("/{}", alphabet.name(label));
+    let mut path = root_path(alphabet.name(label));
     explain_node(ctx, doc, root, src, tgt, alphabet, &mut path)
 }
 
@@ -228,12 +256,9 @@ fn explain_node(
                     });
                 };
                 let child_src = src_complex.and_then(|c| c.child_type(label));
-                let len = path.len();
-                path.push('/');
-                path.push_str(alphabet.name(label));
-                path.push_str(&format!("[{i}]"));
+                let len = push_segment(path, alphabet.name(label), i);
                 explain_node(ctx, doc, *child, child_src, child_tgt, alphabet, path)?;
-                path.truncate(len);
+                pop_segment(path, len);
             }
             Ok(())
         }
@@ -355,6 +380,19 @@ mod tests {
         let doc = build(&mut ab, &["1", "99"]);
         assert!(explain(&ctx, &doc, &ab).is_ok());
         assert!(validate_explained(&ctx, &doc, &ab).is_ok());
+    }
+
+    #[test]
+    fn failures_convert_to_shared_diagnostics() {
+        let (source, target, mut ab) = schemas();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let doc = build(&mut ab, &["150"]);
+        let err = explain(&ctx, &doc, &ab).unwrap_err();
+        let d = err.to_diagnostic();
+        assert_eq!(d.rule_id, "SC0304");
+        assert_eq!(d.severity, crate::diag::Severity::Error);
+        assert_eq!(d.path.as_deref(), Some("/po/item[0]/qty[1]"));
+        assert_eq!(d.type_name.as_deref(), Some("Qty"));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //!   against, instrumented identically.
 
 pub mod cast;
+pub mod diag;
 pub mod dtdcast;
 pub mod explain;
 pub mod full;
@@ -35,8 +36,10 @@ pub mod repair;
 pub mod safety;
 pub mod stats;
 pub mod stream;
+pub mod witness;
 
 pub use cast::{CastContext, CastOptions};
+pub use diag::{Diagnostic, Severity};
 pub use dtdcast::{DtdCastValidator, LabelIndex, LabelPlan, NotDtdStyle};
 pub use explain::{explain, validate_explained, FailureKind, ValidationFailure};
 pub use full::FullValidator;
@@ -46,3 +49,6 @@ pub use repair::{RepairAction, RepairError, Repairer};
 pub use safety::{MatrixEntry, PairSafety, SafetyMatrix, Verdict};
 pub use stats::{CastOutcome, ValidationStats};
 pub use stream::{validate_xml_stream, StreamingCast};
+pub use witness::{
+    reachable_pairs_with_paths, DivergenceKind, PairWitness, ReachablePair, WitnessSynth,
+};

@@ -1,0 +1,814 @@
+//! Minimal witness-document synthesis for incompatible type pairs.
+//!
+//! The pair lint (see `schemacast-analysis`) reports every reachable type
+//! pair `(s, t)` that is neither subsumed nor disjoint. A report is only
+//! actionable with evidence, so this module unfolds each such pair into a
+//! complete document that is **valid under the source schema and invalid
+//! under the target schema**:
+//!
+//! 1. [`reachable_pairs_with_paths`] walks the shared roots downward and
+//!    records, for every non-subsumed pair, the shortest label path that
+//!    reaches it (the spine of the future witness).
+//! 2. [`WitnessSynth`] computes, per source type, the minimal realizable
+//!    subtree height (a fixpoint: a complex type is realizable once its
+//!    content model accepts some word over labels whose child types are
+//!    already realizable). The heights both prune unrealizable labels from
+//!    witness words and guarantee termination of minimal-subtree filling on
+//!    recursive types.
+//! 3. For the divergent pair itself a [`Plan`](PairWitness) is synthesized:
+//!    a shortest word of `L(source) ∖ L(target)` when the content models
+//!    differ (via [`schemacast_automata::shortest_in_a_not_b`]), a
+//!    distinguishing simple value when facets differ, or a recursion into
+//!    the first divergent child pair otherwise. The plan is executed into a
+//!    [`Doc`], and the diverging position is mapped back to the offending
+//!    content-model particle of the target type.
+
+use crate::cast::CastContext;
+use crate::diag::{push_segment, root_path};
+use schemacast_automata::{
+    shortest_accepted, shortest_accepted_nonempty, shortest_accepted_through, shortest_in_a_not_b,
+    BitSet,
+};
+use schemacast_regex::{Alphabet, Sym};
+use schemacast_schema::{BoundValue, ComplexType, SimpleType, TypeDef, TypeId};
+use schemacast_tree::{Doc, NodeId};
+use std::collections::{HashSet, VecDeque};
+
+/// A type pair reachable from a shared root, with the shortest label path
+/// (root label first, then child labels) that reaches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachablePair {
+    /// The source-schema type.
+    pub source: TypeId,
+    /// The target-schema type.
+    pub target: TypeId,
+    /// Labels from a shared root down to the element typed by this pair.
+    pub via: Vec<Sym>,
+}
+
+/// Every reachable, non-subsumed `(source, target)` type pair, each with the
+/// shortest root-to-pair label path, in deterministic (BFS, label-sorted)
+/// order.
+///
+/// The walk descends only through *changed* complex–complex pairs: below a
+/// subsumed pair no document can fail, and below a disjoint pair every
+/// document already fails at the pair itself.
+pub fn reachable_pairs_with_paths(ctx: &CastContext<'_>) -> Vec<ReachablePair> {
+    let rel = ctx.relations();
+    let mut out = Vec::new();
+    let mut seen: HashSet<(TypeId, TypeId)> = HashSet::new();
+    let mut queue: VecDeque<(TypeId, TypeId, Vec<Sym>)> = VecDeque::new();
+
+    let mut roots: Vec<(Sym, TypeId, TypeId)> = ctx
+        .source()
+        .roots()
+        .filter_map(|(label, s)| ctx.target().root_type(label).map(|t| (label, s, t)))
+        .collect();
+    roots.sort_by_key(|&(label, _, _)| label.index());
+    for (label, s, t) in roots {
+        if seen.insert((s, t)) {
+            queue.push_back((s, t, vec![label]));
+        }
+    }
+
+    while let Some((s, t, via)) = queue.pop_front() {
+        if rel.subsumed(s, t) {
+            continue;
+        }
+        out.push(ReachablePair {
+            source: s,
+            target: t,
+            via: via.clone(),
+        });
+        if rel.disjoint(s, t) {
+            continue;
+        }
+        let (Some(sc), Some(tc)) = (
+            ctx.source().type_def(s).as_complex(),
+            ctx.target().type_def(t).as_complex(),
+        ) else {
+            continue;
+        };
+        let mut labels: Vec<Sym> = sc
+            .child_types
+            .keys()
+            .copied()
+            .filter(|&l| tc.child_type(l).is_some())
+            .collect();
+        labels.sort_by_key(|l| l.index());
+        for label in labels {
+            let cs = sc.child_type(label).expect("filtered");
+            let ct = tc.child_type(label).expect("filtered");
+            if seen.insert((cs, ct)) {
+                let mut child_via = via.clone();
+                child_via.push(label);
+                queue.push_back((cs, ct, child_via));
+            }
+        }
+    }
+    out
+}
+
+/// Where and how a synthesized witness diverges from the target schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The children word leaves the target content model at `position`.
+    ContentModel {
+        /// 0-based child index at which the target model rejects (the word
+        /// length when the model rejects only at end-of-children).
+        position: usize,
+    },
+    /// A simple value satisfies the source facets but not the target's.
+    Value,
+    /// Text content meets element-only content (or vice versa).
+    Structure,
+    /// The subtree lands on a disjoint type pair: no source-valid subtree
+    /// can satisfy the target type.
+    Disjoint,
+}
+
+/// A synthesized witness document for one incompatible type pair.
+#[derive(Debug, Clone)]
+pub struct PairWitness {
+    /// The document: valid under the source schema, invalid under the
+    /// target schema.
+    pub doc: Doc,
+    /// Slash path (with sibling indices) to the diverging element.
+    pub path: String,
+    /// The offending content-model particle (child label) in the target
+    /// type, when the divergence is a content-model rejection.
+    pub particle: Option<String>,
+    /// What kind of divergence the witness exhibits.
+    pub kind: DivergenceKind,
+}
+
+/// How to make the divergent node fail target validation while staying
+/// source-valid. Plans are synthesized side-effect-free, then executed into
+/// a [`Doc`] — a failed recursion never leaves a half-built subtree behind.
+#[derive(Debug, Clone)]
+enum Plan {
+    /// Simple/simple: text distinguishing the two value spaces.
+    Value(String),
+    /// Simple source vs. complex target: nonempty source-valid text, which
+    /// is character data inside element-only content for the target.
+    TextInComplex(String),
+    /// Complex source vs. simple target: element children where the target
+    /// expects text-only content.
+    ChildrenIntoSimple(Vec<Sym>),
+    /// An empty element that the source accepts and the target rejects.
+    Empty(DivergenceKind),
+    /// Complex/complex: a children word in `L(source) ∖ L(target)`;
+    /// `blame` is the position/label at which the product IDA rejects.
+    BadWord {
+        word: Vec<Sym>,
+        blame: Option<(usize, Sym)>,
+    },
+    /// A children word accepted by both models, with a divergent child
+    /// plan at position `at`.
+    Child {
+        word: Vec<Sym>,
+        at: usize,
+        plan: Box<Plan>,
+    },
+    /// A children word whose child at `at` lands on a disjoint pair — any
+    /// minimal source-valid subtree there fails the target.
+    DisjointChild { word: Vec<Sym>, at: usize },
+    /// The pair itself is disjoint: any minimal source-valid subtree fails.
+    MinTree,
+}
+
+/// The divergence an executed plan produced.
+struct Divergence {
+    path: String,
+    particle: Option<String>,
+    kind: DivergenceKind,
+}
+
+/// Witness-document synthesizer for one `(source, target)` schema pair.
+pub struct WitnessSynth<'a> {
+    ctx: &'a CastContext<'a>,
+    alphabet: &'a Alphabet,
+    /// Per source type: round at which a finite valid subtree first becomes
+    /// constructible (`None` = unrealizable).
+    heights: Vec<Option<u32>>,
+    /// Per source type: the labels of its realizable children (complex
+    /// types only; `None` elsewhere).
+    realizable: Vec<Option<BitSet>>,
+}
+
+impl<'a> WitnessSynth<'a> {
+    /// Prepares the synthesizer: runs the realizability-height fixpoint
+    /// over the source schema.
+    pub fn new(ctx: &'a CastContext<'a>, alphabet: &'a Alphabet) -> WitnessSynth<'a> {
+        let source = ctx.source();
+        let n = source.type_count();
+        let mut heights: Vec<Option<u32>> = vec![None; n];
+        for t in source.type_ids() {
+            if let TypeDef::Simple(s) = source.type_def(t) {
+                if s.example_value().is_some() {
+                    heights[t.index()] = Some(1);
+                }
+            }
+        }
+        let mut round = 1u32;
+        loop {
+            let mut changed = false;
+            for t in source.type_ids() {
+                if heights[t.index()].is_some() {
+                    continue;
+                }
+                let TypeDef::Complex(c) = source.type_def(t) else {
+                    continue;
+                };
+                let allowed = realized_labels(c, &heights, alphabet.len());
+                if shortest_accepted(&c.dfa, Some(&allowed)).is_some() {
+                    heights[t.index()] = Some(round + 1);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            round += 1;
+        }
+        let realizable = source
+            .type_ids()
+            .map(|t| {
+                source
+                    .type_def(t)
+                    .as_complex()
+                    .map(|c| realized_labels(c, &heights, alphabet.len()))
+            })
+            .collect();
+        WitnessSynth {
+            ctx,
+            alphabet,
+            heights,
+            realizable,
+        }
+    }
+
+    /// Whether a finite tree valid for source type `t` exists at all.
+    pub fn realizable(&self, t: TypeId) -> bool {
+        self.heights[t.index()].is_some()
+    }
+
+    /// Synthesizes the witness for a reachable pair: a document valid under
+    /// the source schema and invalid under the target schema, diverging at
+    /// the element the pair's `via` path reaches. `None` when no such
+    /// finite document exists (e.g. every distinguishing word needs an
+    /// unrealizable label).
+    pub fn witness(&self, pair: &ReachablePair) -> Option<PairWitness> {
+        let source = self.ctx.source();
+        let target = self.ctx.target();
+        let rel = self.ctx.relations();
+        let root_label = *pair.via.first()?;
+        let mut s = source.root_type(root_label)?;
+        let mut t = target.root_type(root_label)?;
+
+        // Plan the divergent subtree first — side-effect-free, so a failure
+        // here costs nothing.
+        let plan = if rel.disjoint(pair.source, pair.target) {
+            if !self.realizable(pair.source) {
+                return None;
+            }
+            Plan::MinTree
+        } else {
+            let mut visiting = HashSet::new();
+            self.plan(pair.source, pair.target, &mut visiting)?
+        };
+
+        // Build the spine: at each level, a source-valid children word that
+        // passes through the next spine label; siblings get minimal
+        // source-valid subtrees.
+        let mut doc = Doc::new(root_label);
+        let mut node = doc.root();
+        let mut path = root_path(self.alphabet.name(root_label));
+        for &label in &pair.via[1..] {
+            let sc = source.type_def(s).as_complex()?;
+            let tc = target.type_def(t).as_complex()?;
+            let allowed = self.realizable[s.index()].as_ref()?;
+            let word = shortest_accepted_through(&sc.dfa, label, Some(allowed))?;
+            let at = word.iter().position(|&l| l == label)?;
+            let spine_child_src = sc.child_type(label)?;
+            // `via` is exempt from the realizability restriction; extra
+            // occurrences would need minimal filling we cannot provide.
+            if !self.realizable(spine_child_src) && word.iter().filter(|&&l| l == label).count() > 1
+            {
+                return None;
+            }
+            let mut spine_node = None;
+            for (i, &l) in word.iter().enumerate() {
+                let child = doc.add_element(node, l);
+                if i == at {
+                    spine_node = Some(child);
+                } else {
+                    self.fill_min(&mut doc, child, sc.child_type(l)?);
+                }
+            }
+            push_segment(&mut path, self.alphabet.name(label), at);
+            node = spine_node?;
+            s = spine_child_src;
+            t = tc.child_type(label)?;
+        }
+
+        let div = self.exec(&plan, &mut doc, node, s, path);
+        Some(PairWitness {
+            doc,
+            path: div.path,
+            particle: div.particle,
+            kind: div.kind,
+        })
+    }
+
+    /// Plans the divergent subtree for a *changed* (neither subsumed nor
+    /// disjoint) pair. `visiting` guards against cycles through recursive
+    /// type pairs.
+    fn plan(&self, s: TypeId, t: TypeId, visiting: &mut HashSet<(TypeId, TypeId)>) -> Option<Plan> {
+        if !visiting.insert((s, t)) {
+            return None;
+        }
+        let plan = self.plan_inner(s, t, visiting);
+        visiting.remove(&(s, t));
+        plan
+    }
+
+    fn plan_inner(
+        &self,
+        s: TypeId,
+        t: TypeId,
+        visiting: &mut HashSet<(TypeId, TypeId)>,
+    ) -> Option<Plan> {
+        let source = self.ctx.source();
+        let target = self.ctx.target();
+        match (source.type_def(s), target.type_def(t)) {
+            (TypeDef::Simple(ss), TypeDef::Simple(ts)) => {
+                distinguishing_value(ss, ts).map(Plan::Value)
+            }
+            (TypeDef::Simple(ss), TypeDef::Complex(tc)) => {
+                if let Some(v) = nonempty_example(ss) {
+                    Some(Plan::TextInComplex(v))
+                } else if ss.validate("") && !tc.dfa.accepts(&[]) {
+                    Some(Plan::Empty(DivergenceKind::ContentModel { position: 0 }))
+                } else {
+                    None
+                }
+            }
+            (TypeDef::Complex(sc), TypeDef::Simple(ts)) => {
+                let allowed = self.realizable[s.index()].as_ref()?;
+                if let Some(word) = shortest_accepted_nonempty(&sc.dfa, Some(allowed)) {
+                    Some(Plan::ChildrenIntoSimple(word))
+                } else if sc.dfa.accepts(&[]) && !ts.validate("") {
+                    Some(Plan::Empty(DivergenceKind::Value))
+                } else {
+                    None
+                }
+            }
+            (TypeDef::Complex(sc), TypeDef::Complex(tc)) => {
+                self.plan_complex(s, sc, t, tc, visiting)
+            }
+        }
+    }
+
+    fn plan_complex(
+        &self,
+        s: TypeId,
+        sc: &ComplexType,
+        t: TypeId,
+        tc: &ComplexType,
+        visiting: &mut HashSet<(TypeId, TypeId)>,
+    ) -> Option<Plan> {
+        let rel = self.ctx.relations();
+        let allowed = self.realizable[s.index()].as_ref()?;
+
+        // Case 1: the content models themselves differ over realizable
+        // labels — a bad children word is the whole witness.
+        if let Some(word) = shortest_in_a_not_b(&sc.dfa, &tc.dfa, Some(allowed)) {
+            let outcome = self.ctx.product_ida(s, t).run(&word);
+            let blame = if !outcome.accepted() && outcome.early() && outcome.consumed() > 0 {
+                let i = outcome.consumed() - 1;
+                Some((i, word[i]))
+            } else {
+                None
+            };
+            return Some(Plan::BadWord { word, blame });
+        }
+
+        // Case 2: every realizable source word is also a target word; the
+        // divergence must come from a child pair. Try labels in sorted
+        // order for determinism.
+        let mut labels: Vec<Sym> = sc.child_types.keys().copied().collect();
+        labels.sort_by_key(|l| l.index());
+        for label in labels {
+            let cs = sc.child_type(label).expect("own key");
+            if !self.realizable(cs) {
+                continue;
+            }
+            let Some(word) = shortest_accepted_through(&sc.dfa, label, Some(allowed)) else {
+                continue;
+            };
+            let at = word.iter().position(|&l| l == label).expect("through");
+            match tc.child_type(label) {
+                // A missing target child type cannot occur on a word both
+                // models accept (builder invariant), but stay sound.
+                None => return Some(Plan::DisjointChild { word, at }),
+                Some(ct) => {
+                    if rel.subsumed(cs, ct) {
+                        continue;
+                    }
+                    if rel.disjoint(cs, ct) {
+                        return Some(Plan::DisjointChild { word, at });
+                    }
+                    if let Some(inner) = self.plan(cs, ct, visiting) {
+                        return Some(Plan::Child {
+                            word,
+                            at,
+                            plan: Box::new(inner),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Executes a plan at `node` (an element with source type `s`),
+    /// returning where and how the result diverges from the target.
+    fn exec(
+        &self,
+        plan: &Plan,
+        doc: &mut Doc,
+        node: NodeId,
+        s: TypeId,
+        path: String,
+    ) -> Divergence {
+        let source = self.ctx.source();
+        match plan {
+            Plan::Value(v) => {
+                if !v.is_empty() {
+                    doc.add_text(node, v);
+                }
+                Divergence {
+                    path,
+                    particle: None,
+                    kind: DivergenceKind::Value,
+                }
+            }
+            Plan::TextInComplex(v) => {
+                doc.add_text(node, v);
+                Divergence {
+                    path,
+                    particle: None,
+                    kind: DivergenceKind::Structure,
+                }
+            }
+            Plan::Empty(kind) => Divergence {
+                path,
+                particle: None,
+                kind: *kind,
+            },
+            Plan::ChildrenIntoSimple(word) => {
+                let sc = source.type_def(s).as_complex().expect("complex source");
+                for &l in word {
+                    let child = doc.add_element(node, l);
+                    self.fill_min(doc, child, sc.child_type(l).expect("word label"));
+                }
+                Divergence {
+                    path,
+                    particle: None,
+                    kind: DivergenceKind::Structure,
+                }
+            }
+            Plan::BadWord { word, blame } => {
+                let sc = source.type_def(s).as_complex().expect("complex source");
+                for &l in word {
+                    let child = doc.add_element(node, l);
+                    self.fill_min(doc, child, sc.child_type(l).expect("word label"));
+                }
+                Divergence {
+                    path,
+                    particle: blame.map(|(_, sym)| self.alphabet.name(sym).to_owned()),
+                    kind: DivergenceKind::ContentModel {
+                        position: blame.map_or(word.len(), |(i, _)| i),
+                    },
+                }
+            }
+            Plan::Child { word, at, plan } => {
+                let sc = source.type_def(s).as_complex().expect("complex source");
+                let mut div = None;
+                for (i, &l) in word.iter().enumerate() {
+                    let child = doc.add_element(node, l);
+                    let cs = sc.child_type(l).expect("word label");
+                    if i == *at {
+                        let mut child_path = path.clone();
+                        push_segment(&mut child_path, self.alphabet.name(l), i);
+                        div = Some(self.exec(plan, doc, child, cs, child_path));
+                    } else {
+                        self.fill_min(doc, child, cs);
+                    }
+                }
+                div.expect("`at` is a position in `word`")
+            }
+            Plan::DisjointChild { word, at } => {
+                let sc = source.type_def(s).as_complex().expect("complex source");
+                let mut child_path = path;
+                for (i, &l) in word.iter().enumerate() {
+                    let child = doc.add_element(node, l);
+                    self.fill_min(doc, child, sc.child_type(l).expect("word label"));
+                    if i == *at {
+                        push_segment(&mut child_path, self.alphabet.name(l), i);
+                    }
+                }
+                Divergence {
+                    path: child_path,
+                    particle: word.get(*at).map(|&l| self.alphabet.name(l).to_owned()),
+                    kind: DivergenceKind::Disjoint,
+                }
+            }
+            Plan::MinTree => {
+                self.fill_min(doc, node, s);
+                Divergence {
+                    path,
+                    particle: None,
+                    kind: DivergenceKind::Disjoint,
+                }
+            }
+        }
+    }
+
+    /// Fills `node` with a minimal tree valid for source type `t`. Only
+    /// called on realizable types; the strict height descent (children must
+    /// have strictly smaller realization round) terminates on recursive
+    /// types.
+    fn fill_min(&self, doc: &mut Doc, node: NodeId, t: TypeId) {
+        let source = self.ctx.source();
+        match source.type_def(t) {
+            TypeDef::Simple(simple) => {
+                let v = simple.example_value().expect("realizable simple type");
+                if !v.is_empty() {
+                    doc.add_text(node, &v);
+                }
+            }
+            TypeDef::Complex(c) => {
+                let h = self.heights[t.index()].expect("realizable complex type");
+                let mut strict = BitSet::new(self.alphabet.len());
+                for (&label, &child) in &c.child_types {
+                    if matches!(self.heights[child.index()], Some(ch) if ch < h) {
+                        strict.insert(label.index());
+                    }
+                }
+                let word = shortest_accepted(&c.dfa, Some(&strict))
+                    .expect("realization round implies a word over smaller heights");
+                for &l in &word {
+                    let child = doc.add_element(node, l);
+                    self.fill_min(doc, child, c.child_type(l).expect("word label"));
+                }
+            }
+        }
+    }
+}
+
+/// The labels of `c` whose child types are already realized.
+fn realized_labels(c: &ComplexType, heights: &[Option<u32>], alphabet_len: usize) -> BitSet {
+    let mut allowed = BitSet::new(alphabet_len);
+    for (&label, &child) in &c.child_types {
+        if heights[child.index()].is_some() {
+            allowed.insert(label.index());
+        }
+    }
+    allowed
+}
+
+/// A nonempty value accepted by the simple type, if one exists.
+fn nonempty_example(s: &SimpleType) -> Option<String> {
+    match s.example_value() {
+        Some(v) if !v.is_empty() => Some(v),
+        _ => PROBES
+            .iter()
+            .find(|v| !v.is_empty() && s.validate(v))
+            .map(|v| (*v).to_string()),
+    }
+}
+
+/// Fixed probe values covering every [`schemacast_schema::AtomicKind`].
+const PROBES: &[&str] = &[
+    "value",
+    "",
+    "x",
+    "xxxxx",
+    "xxxxxxxxxx",
+    "true",
+    "false",
+    "2004-03-14",
+    "1970-01-01",
+    "2099-12-31",
+    "0",
+    "1",
+    "2",
+    "5",
+    "10",
+    "42",
+    "50",
+    "99",
+    "100",
+    "101",
+    "150",
+    "199",
+    "200",
+    "1000",
+    "-1",
+    "0.5",
+];
+
+fn bound_str(b: &BoundValue) -> String {
+    match b {
+        BoundValue::Num(d) => d.to_string(),
+        BoundValue::Date(d) => d.to_string(),
+    }
+}
+
+/// A value valid for `src` and invalid for `tgt`, if the probe set finds
+/// one. Probes the enumerations and facet bounds of both types (a value
+/// sitting exactly on the target's exclusive bound is the classic
+/// facet-tightening witness) plus fixed per-kind candidates.
+fn distinguishing_value(src: &SimpleType, tgt: &SimpleType) -> Option<String> {
+    let mut candidates: Vec<String> = Vec::new();
+    if let Some(e) = &src.facets.enumeration {
+        candidates.extend(e.iter().cloned());
+    }
+    for facets in [&src.facets, &tgt.facets] {
+        for bound in [
+            facets.min_inclusive,
+            facets.max_inclusive,
+            facets.min_exclusive,
+            facets.max_exclusive,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            candidates.push(bound_str(&bound));
+        }
+    }
+    candidates.extend(src.example_value());
+    candidates.extend(PROBES.iter().map(|p| (*p).to_string()));
+    candidates
+        .into_iter()
+        .find(|v| src.validate(v) && !tgt.validate(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_schema::{AbstractSchema, AtomicKind, Decimal, SchemaBuilder};
+
+    /// The Figure 1 purchase-order pair: billTo optional→required,
+    /// quantity maxExclusive 200→100.
+    fn po_pair() -> (AbstractSchema, AbstractSchema, Alphabet) {
+        let mut ab = Alphabet::new();
+        let mk = |ab: &mut Alphabet, bill_optional: bool, max: i64| {
+            let mut b = SchemaBuilder::new(ab);
+            let text = b.simple("Text", SimpleType::string()).unwrap();
+            let mut qt = SimpleType::of(AtomicKind::PositiveInteger);
+            qt.facets.max_exclusive = Some(BoundValue::Num(Decimal::from_i64(max)));
+            let qty = b.simple("Qty", qt).unwrap();
+            let item = b.declare("Item").unwrap();
+            b.complex(item, "(name, qty)", &[("name", text), ("qty", qty)])
+                .unwrap();
+            let addr = b.declare("Addr").unwrap();
+            b.complex(addr, "(street, city)", &[("street", text), ("city", text)])
+                .unwrap();
+            let po = b.declare("PO").unwrap();
+            let model = if bill_optional {
+                "(shipTo, billTo?, item*)"
+            } else {
+                "(shipTo, billTo, item*)"
+            };
+            b.complex(
+                po,
+                model,
+                &[("shipTo", addr), ("billTo", addr), ("item", item)],
+            )
+            .unwrap();
+            b.root("po", po);
+            b.finish().unwrap()
+        };
+        let source = mk(&mut ab, true, 200);
+        let target = mk(&mut ab, false, 100);
+        (source, target, ab)
+    }
+
+    #[test]
+    fn reachable_pairs_cover_structure_and_value_changes() {
+        let (source, target, ab) = po_pair();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let pairs = reachable_pairs_with_paths(&ctx);
+        assert!(!pairs.is_empty());
+        let names: Vec<(&str, &str)> = pairs
+            .iter()
+            .map(|p| (source.type_name(p.source), target.type_name(p.target)))
+            .collect();
+        assert!(names.contains(&("PO", "PO")), "{names:?}");
+        assert!(names.contains(&("Qty", "Qty")), "{names:?}");
+        let qty = pairs
+            .iter()
+            .find(|p| source.type_name(p.source) == "Qty")
+            .unwrap();
+        let path: Vec<&str> = qty.via.iter().map(|&l| ab.name(l)).collect();
+        assert_eq!(path, ["po", "item", "qty"]);
+    }
+
+    #[test]
+    fn witnesses_are_source_valid_and_target_invalid() {
+        let (source, target, ab) = po_pair();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let synth = WitnessSynth::new(&ctx, &ab);
+        let pairs = reachable_pairs_with_paths(&ctx);
+        let mut produced = 0;
+        for pair in &pairs {
+            let Some(w) = synth.witness(pair) else {
+                continue;
+            };
+            produced += 1;
+            assert!(
+                source.accepts_document(&w.doc),
+                "witness for {} not source-valid",
+                source.type_name(pair.source)
+            );
+            assert!(
+                !target.accepts_document(&w.doc),
+                "witness for {} not target-invalid",
+                source.type_name(pair.source)
+            );
+            assert!(w.path.starts_with("/po"), "{}", w.path);
+        }
+        assert_eq!(produced, pairs.len(), "every changed pair gets a witness");
+    }
+
+    #[test]
+    fn content_model_witness_blames_the_particle() {
+        let (source, target, ab) = po_pair();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let synth = WitnessSynth::new(&ctx, &ab);
+        let pairs = reachable_pairs_with_paths(&ctx);
+        let po = pairs
+            .iter()
+            .find(|p| source.type_name(p.source) == "PO")
+            .unwrap();
+        let w = synth.witness(po).unwrap();
+        // The shortest distinguishing word drops the now-required billTo.
+        assert!(matches!(w.kind, DivergenceKind::ContentModel { .. }));
+        assert_eq!(w.path, "/po");
+    }
+
+    #[test]
+    fn value_witness_sits_on_the_tightened_bound() {
+        let (source, target, ab) = po_pair();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let synth = WitnessSynth::new(&ctx, &ab);
+        let pairs = reachable_pairs_with_paths(&ctx);
+        let qty = pairs
+            .iter()
+            .find(|p| source.type_name(p.source) == "Qty")
+            .unwrap();
+        let w = synth.witness(qty).unwrap();
+        assert_eq!(w.kind, DivergenceKind::Value);
+        // Spine word through `item` is (shipTo, item): item at child index 1.
+        assert_eq!(w.path, "/po/item[1]/qty[1]");
+    }
+
+    #[test]
+    fn recursive_types_terminate() {
+        // section ::= (title, section*) with a tightened title in S'.
+        let mut ab = Alphabet::new();
+        let mk = |ab: &mut Alphabet, max_len: Option<usize>| {
+            let mut b = SchemaBuilder::new(ab);
+            let mut title = SimpleType::string();
+            title.facets.max_length = max_len;
+            let title = b.simple("Title", title).unwrap();
+            let section = b.declare("Section").unwrap();
+            b.complex(
+                section,
+                "(title, section*)",
+                &[("title", title), ("section", section)],
+            )
+            .unwrap();
+            b.root("doc", section);
+            b.finish().unwrap()
+        };
+        let source = mk(&mut ab, None);
+        let target = mk(&mut ab, Some(3));
+        let ctx = CastContext::new(&source, &target, &ab);
+        let synth = WitnessSynth::new(&ctx, &ab);
+        let pairs = reachable_pairs_with_paths(&ctx);
+        assert!(!pairs.is_empty());
+        let mut produced = 0;
+        for pair in &pairs {
+            if let Some(w) = synth.witness(pair) {
+                produced += 1;
+                assert!(source.accepts_document(&w.doc));
+                assert!(!target.accepts_document(&w.doc));
+            }
+        }
+        assert!(produced >= 1);
+    }
+}

@@ -20,6 +20,7 @@ pub mod builder;
 pub mod dtd;
 pub mod prune;
 pub mod simple;
+pub mod spans;
 pub mod xsd;
 
 pub use abstract_schema::{AbstractSchema, ComplexType, TypeDef, TypeId, UnproductiveTypes};
@@ -27,6 +28,7 @@ pub use builder::{BuildError, SchemaBuilder};
 pub use dtd::{parse_dtd, DtdError};
 pub use prune::prune_nonproductive;
 pub use simple::{AtomicKind, BoundValue, Date, Decimal, Facets, SimpleType};
+pub use spans::SchemaSpans;
 pub use xsd::XsdError;
 
 use schemacast_regex::Alphabet;

@@ -1,0 +1,264 @@
+//! Source positions for XSD constructs, for diagnostics.
+//!
+//! The abstract schema deliberately forgets where its types came from; lint
+//! diagnostics want to annotate the *schema file*. [`SchemaSpans`] is a
+//! lightweight lexical pass over the XSD text — independent of the real
+//! parser, tolerant of anything it does not recognize — that records the
+//! line/column of:
+//!
+//! * each **named type** declaration (`<xsd:complexType name="T">`,
+//!   `<xsd:simpleType name="T">`),
+//! * each **particle** (an `<xsd:element>` with a `name` or `ref` inside a
+//!   named type), keyed by `(type name, element label)`,
+//! * each **global element** declaration (the ℛ roots).
+//!
+//! Positions are 1-based; a missing entry simply leaves the diagnostic
+//! without a file anchor.
+
+use std::collections::HashMap;
+
+/// Line/column positions of XSD constructs, keyed by name.
+#[derive(Debug, Default, Clone)]
+pub struct SchemaSpans {
+    types: HashMap<String, (u32, u32)>,
+    particles: HashMap<(String, String), (u32, u32)>,
+    roots: HashMap<String, (u32, u32)>,
+}
+
+impl SchemaSpans {
+    /// Scans XSD text. Never fails: malformed input yields fewer spans.
+    pub fn scan(text: &str) -> SchemaSpans {
+        let mut spans = SchemaSpans::default();
+        let line_starts = line_starts(text);
+        // Stack of open elements: (local tag name, name attr of named types).
+        let mut stack: Vec<(String, Option<String>)> = Vec::new();
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while let Some(off) = find(bytes, i, b'<') {
+            // Skip comments, processing instructions, and doctype-ish tags.
+            if text[off..].starts_with("<!--") {
+                i = match text[off..].find("-->") {
+                    Some(e) => off + e + 3,
+                    None => break,
+                };
+                continue;
+            }
+            if text[off..].starts_with("<?") || text[off..].starts_with("<!") {
+                i = match find(bytes, off, b'>') {
+                    Some(e) => e + 1,
+                    None => break,
+                };
+                continue;
+            }
+            let Some(end) = find(bytes, off, b'>') else {
+                break;
+            };
+            let tag = &text[off + 1..end];
+            i = end + 1;
+            if let Some(rest) = tag.strip_prefix('/') {
+                let closed = local_name(rest.trim());
+                if stack.last().is_some_and(|(t, _)| t == &closed) {
+                    stack.pop();
+                }
+                continue;
+            }
+            let self_closing = tag.ends_with('/');
+            let tag = tag.trim_end_matches('/');
+            let name = local_name(tag);
+            let pos = position(&line_starts, off);
+            match name.as_str() {
+                "complexType" | "simpleType" => {
+                    let type_name = attr(tag, "name");
+                    if let Some(n) = &type_name {
+                        spans.types.entry(n.clone()).or_insert(pos);
+                    }
+                    if !self_closing {
+                        stack.push((name, type_name));
+                    }
+                }
+                "element" => {
+                    let label = attr(tag, "name").or_else(|| attr(tag, "ref"));
+                    if let Some(label) = label {
+                        match enclosing_type(&stack) {
+                            Some(t) => {
+                                spans
+                                    .particles
+                                    .entry((t.to_owned(), label.clone()))
+                                    .or_insert(pos);
+                            }
+                            None => {
+                                // Only a truly top-level element is a root:
+                                // elements inside *anonymous* types have no
+                                // named home but are not roots either.
+                                let nested = stack.iter().any(|(t, _)| {
+                                    matches!(
+                                        t.as_str(),
+                                        "complexType" | "simpleType" | "element" | "group"
+                                    )
+                                });
+                                if !nested {
+                                    spans.roots.entry(label.clone()).or_insert(pos);
+                                }
+                            }
+                        }
+                    }
+                    if !self_closing {
+                        stack.push((name, None));
+                    }
+                }
+                _ => {
+                    if !self_closing {
+                        stack.push((name, None));
+                    }
+                }
+            }
+        }
+        spans
+    }
+
+    /// Position of the declaration of named type `name`.
+    pub fn type_pos(&self, name: &str) -> Option<(u32, u32)> {
+        self.types.get(name).copied()
+    }
+
+    /// Position of the `label` particle inside named type `type_name`.
+    pub fn particle_pos(&self, type_name: &str, label: &str) -> Option<(u32, u32)> {
+        self.particles
+            .get(&(type_name.to_owned(), label.to_owned()))
+            .copied()
+    }
+
+    /// Position of the global element declaration for `label`.
+    pub fn root_pos(&self, label: &str) -> Option<(u32, u32)> {
+        self.roots.get(label).copied()
+    }
+
+    /// Best anchor for a diagnostic about `type_name`, optionally at the
+    /// `particle` label inside it: the particle position when known, else
+    /// the type position, else the root declaration of `particle`.
+    pub fn anchor(&self, type_name: &str, particle: Option<&str>) -> Option<(u32, u32)> {
+        if let Some(label) = particle {
+            if let Some(p) = self.particle_pos(type_name, label) {
+                return Some(p);
+            }
+        }
+        self.type_pos(type_name)
+            .or_else(|| particle.and_then(|l| self.root_pos(l)))
+    }
+}
+
+/// The innermost enclosing *named* type on the open-element stack.
+fn enclosing_type(stack: &[(String, Option<String>)]) -> Option<&str> {
+    stack.iter().rev().find_map(|(_, name)| name.as_deref())
+}
+
+fn find(bytes: &[u8], from: usize, needle: u8) -> Option<usize> {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| from + p)
+}
+
+/// Byte offsets at which each line starts.
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based (line, column) of a byte offset.
+fn position(line_starts: &[usize], off: usize) -> (u32, u32) {
+    let line = line_starts.partition_point(|&s| s <= off);
+    let col = off - line_starts[line - 1] + 1;
+    (line as u32, col as u32)
+}
+
+/// The tag name with any namespace prefix stripped.
+fn local_name(tag: &str) -> String {
+    let name = tag.split_whitespace().next().unwrap_or("");
+    name.rsplit(':').next().unwrap_or(name).to_owned()
+}
+
+/// The value of attribute `key` in raw tag text, if present.
+fn attr(tag: &str, key: &str) -> Option<String> {
+    let mut rest = tag;
+    while let Some(p) = rest.find(key) {
+        let before_ok = p == 0 || rest.as_bytes()[p - 1].is_ascii_whitespace();
+        let after = &rest[p + key.len()..];
+        let after_trim = after.trim_start();
+        if before_ok && after_trim.starts_with('=') {
+            let v = after_trim[1..].trim_start();
+            let quote = v.chars().next()?;
+            if quote == '"' || quote == '\'' {
+                let body = &v[1..];
+                let end = body.find(quote)?;
+                return Some(body[..end].to_owned());
+            }
+        }
+        rest = &rest[p + key.len()..];
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XSD: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType"/>
+  <xsd:complexType name="POType">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress" minOccurs="0"/>
+      <xsd:element ref="items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:simpleType name="Qty">
+    <xsd:restriction base="xsd:positiveInteger">
+      <xsd:maxExclusive value="100"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+</xsd:schema>"#;
+
+    #[test]
+    fn finds_types_particles_and_roots() {
+        let spans = SchemaSpans::scan(XSD);
+        assert_eq!(spans.type_pos("POType"), Some((3, 3)));
+        assert_eq!(spans.type_pos("Qty"), Some((10, 3)));
+        assert_eq!(spans.particle_pos("POType", "billTo"), Some((6, 7)));
+        assert_eq!(spans.particle_pos("POType", "items"), Some((7, 7)));
+        assert_eq!(spans.root_pos("purchaseOrder"), Some((2, 3)));
+        assert_eq!(spans.particle_pos("POType", "nope"), None);
+    }
+
+    #[test]
+    fn anchor_prefers_particle_then_type_then_root() {
+        let spans = SchemaSpans::scan(XSD);
+        assert_eq!(spans.anchor("POType", Some("billTo")), Some((6, 7)));
+        assert_eq!(spans.anchor("POType", Some("zzz")), Some((3, 3)));
+        assert_eq!(spans.anchor("Missing", Some("purchaseOrder")), Some((2, 3)));
+        assert_eq!(spans.anchor("Missing", None), None);
+    }
+
+    #[test]
+    fn tolerates_anonymous_types_and_comments() {
+        let text = r#"<schema>
+  <!-- a comment with <element name="fake"/> inside -->
+  <element name="root">
+    <complexType><sequence>
+      <element name="child" type="string"/>
+    </sequence></complexType>
+  </element>
+</schema>"#;
+        let spans = SchemaSpans::scan(text);
+        // Anonymous complexType has no name: child has no named-type home,
+        // and must NOT be misfiled as a root.
+        assert_eq!(spans.root_pos("root"), Some((3, 3)));
+        assert_eq!(spans.root_pos("fake"), None);
+        assert_eq!(spans.root_pos("child"), None);
+    }
+}

@@ -7,6 +7,7 @@
 //! schemacast repair --source S.xsd --target T.xsd --out fixed.xml doc.xml
 //! schemacast inspect --source S.xsd --target T.xsd
 //! schemacast analyze S.xsd Sprime.xsd [--json]
+//! schemacast lint S.xsd [Sprime.xsd] [--json | --sarif] [--fail-on warn|error]
 //! ```
 //!
 //! Schemas ending in `.dtd` are parsed as DTDs (root taken from the first
@@ -14,9 +15,9 @@
 //! 1 = some invalid, 2 = usage/parse error.
 
 use schemacast::analysis;
-use schemacast::core::{CastContext, FullValidator, Repairer, StreamingCast};
+use schemacast::core::{CastContext, FullValidator, Repairer, Severity, StreamingCast};
 use schemacast::engine::{BatchEngine, ItemOutcome};
-use schemacast::schema::{AbstractSchema, Session};
+use schemacast::schema::{AbstractSchema, SchemaSpans, Session};
 use schemacast::tree::{Doc, WhitespaceMode};
 use schemacast::xml::parse_document;
 use std::process::ExitCode;
@@ -33,6 +34,8 @@ struct Options {
     stats: bool,
     warm_up: bool,
     json: bool,
+    sarif: bool,
+    fail_on: Option<String>,
     docs: Vec<String>,
 }
 
@@ -45,6 +48,7 @@ fn usage() -> ExitCode {
          schemacast repair --source S.xsd --target T.xsd [--out fixed.xml] doc.xml\n  \
          schemacast inspect --source S.xsd --target T.xsd\n  \
          schemacast analyze S.xsd Sprime.xsd [--json]\n  \
+         schemacast lint S.xsd [Sprime.xsd] [--json | --sarif] [--fail-on warn|error]\n  \
          (use .dtd schema files with optional --root NAME)"
     );
     ExitCode::from(2)
@@ -65,6 +69,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         stats: false,
         warm_up: false,
         json: false,
+        sarif: false,
+        fail_on: None,
         docs: Vec::new(),
     };
     while let Some(a) = args.next() {
@@ -85,6 +91,8 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--stats" => opts.stats = true,
             "--warm-up" => opts.warm_up = true,
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
+            "--fail-on" => opts.fail_on = args.next(),
             "--help" | "-h" => return Err(usage()),
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
@@ -98,6 +106,25 @@ fn parse_args() -> Result<Options, ExitCode> {
         if opts.docs.len() != 2 {
             eprintln!("analyze requires exactly two schema files");
             return Err(usage());
+        }
+        return Ok(opts);
+    }
+    // `lint` takes one schema (hygiene) or two (evolution compatibility).
+    if opts.command == "lint" {
+        if opts.docs.is_empty() || opts.docs.len() > 2 {
+            eprintln!("lint requires one or two schema files");
+            return Err(usage());
+        }
+        if opts.json && opts.sarif {
+            eprintln!("--json and --sarif are mutually exclusive");
+            return Err(usage());
+        }
+        match opts.fail_on.as_deref() {
+            None | Some("warn" | "error") => {}
+            Some(other) => {
+                eprintln!("--fail-on must be `warn` or `error`, got {other:?}");
+                return Err(usage());
+            }
         }
         return Ok(opts);
     }
@@ -413,6 +440,69 @@ fn main() -> ExitCode {
                     any_invalid |= !out.is_valid();
                 }
             }
+        }
+        "lint" => {
+            // Parse every schema and keep the raw text: the span scanner
+            // anchors diagnostics to file positions the parser discards.
+            let mut parsed: Vec<(String, AbstractSchema, Option<SchemaSpans>)> = Vec::new();
+            for path in &opts.docs {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let (schema, spans) = if path.ends_with(".dtd") {
+                    match session.parse_dtd(&text, opts.root.as_deref()) {
+                        Ok(s) => (s, None),
+                        Err(e) => {
+                            eprintln!("{path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                } else {
+                    match session.parse_xsd(&text) {
+                        Ok(s) => (s, Some(SchemaSpans::scan(&text))),
+                        Err(e) => {
+                            eprintln!("{path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                };
+                parsed.push((path.clone(), schema, spans));
+            }
+            let mut report = analysis::LintReport::default();
+            for (path, schema, spans) in &parsed {
+                report.extend(analysis::lint_schema(
+                    schema,
+                    &session.alphabet,
+                    Some(path),
+                    spans.as_ref(),
+                ));
+            }
+            if let [_, (tgt_path, target, tgt_spans)] = parsed.as_slice() {
+                let source = &parsed[0].1;
+                let ctx = CastContext::new(source, target, &session.alphabet);
+                let target_info = tgt_spans.as_ref().map(|s| (tgt_path.as_str(), s));
+                report.extend(analysis::lint_pair(&ctx, &session.alphabet, target_info));
+            }
+            if opts.sarif {
+                println!("{}", analysis::render_sarif(&report));
+            } else if opts.json {
+                println!("{}", analysis::render_lint_json(&report));
+            } else {
+                print!("{}", analysis::render_lint_text(&report));
+            }
+            let threshold = match opts.fail_on.as_deref() {
+                Some("warn") => Severity::Warning,
+                _ => Severity::Error,
+            };
+            return if report.fails(threshold) {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            };
         }
         "analyze" => {
             let (src_path, tgt_path) = (&opts.docs[0], &opts.docs[1]);

@@ -1,0 +1,118 @@
+//! Integration tests for `schemacast lint`: the exit-code contract
+//! (0 clean / 1 findings / 2 usage error), the JSON witness guarantee of
+//! the acceptance criteria, and the SARIF 2.1.0 required-property set.
+
+use schemacast::core::CastContext;
+use schemacast::schema::Session;
+use schemacast::tree::{Doc, WhitespaceMode};
+use schemacast::xml::parse_document;
+use std::process::{Command, Output};
+
+const SOURCE: &str = "tests/fixtures/po_source.xsd";
+const TARGET: &str = "tests/fixtures/po_target.xsd";
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_schemacast"))
+        .arg("lint")
+        .args(args)
+        .output()
+        .expect("run schemacast")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+#[test]
+fn clean_schema_exits_zero() {
+    let out = lint(&[TARGET]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    // Same schema on both sides: nothing changed, still clean.
+    let out = lint(&[TARGET, TARGET, "--fail-on", "warn"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn incompatible_pair_exits_one() {
+    let out = lint(&[SOURCE, TARGET]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SC0201"), "{text}");
+    assert!(text.contains("witness:"), "{text}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // No schemas at all.
+    assert_eq!(exit_code(&lint(&[])), 2);
+    // Three positional schemas.
+    assert_eq!(exit_code(&lint(&["a.xsd", "b.xsd", "c.xsd"])), 2);
+    // Bad --fail-on value.
+    assert_eq!(exit_code(&lint(&[TARGET, "--fail-on", "bogus"])), 2);
+    // Mutually exclusive output modes.
+    assert_eq!(exit_code(&lint(&[SOURCE, TARGET, "--json", "--sarif"])), 2);
+    // Unreadable schema file.
+    assert_eq!(exit_code(&lint(&["no-such-file.xsd"])), 2);
+}
+
+#[test]
+fn json_witness_round_trips_against_cast_context() {
+    let out = lint(&[SOURCE, TARGET, "--json"]);
+    assert_eq!(exit_code(&out), 1);
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(json.contains("\"diagnostics\":["), "{json}");
+    assert!(json.contains("\"rule\":\"SC0201\""), "{json}");
+
+    // Pull every witness value back out of the JSON (our own encoder is
+    // hand-rolled; decode the two escapes the XML can contain).
+    let mut witnesses = Vec::new();
+    let mut rest = json.as_str();
+    while let Some(p) = rest.find("\"witness\":\"") {
+        let body = &rest[p + 11..];
+        let end = body.find('"').expect("terminated string");
+        witnesses.push(body[..end].replace("\\\"", "\"").replace("\\\\", "\\"));
+        rest = &body[end..];
+    }
+    assert!(!witnesses.is_empty(), "at least one witness in {json}");
+
+    let mut session = Session::new();
+    let source = session
+        .parse_xsd(&std::fs::read_to_string(SOURCE).unwrap())
+        .expect("source");
+    let target = session
+        .parse_xsd(&std::fs::read_to_string(TARGET).unwrap())
+        .expect("target");
+    for w in &witnesses {
+        let xml = parse_document(w).expect("witness parses");
+        let doc = Doc::from_xml(&xml.root, &mut session.alphabet, WhitespaceMode::Trim);
+        assert!(source.accepts_document(&doc), "valid in S: {w}");
+        assert!(!target.accepts_document(&doc), "invalid in S': {w}");
+    }
+    // The CastContext fast path must agree with the reference oracle.
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    for w in &witnesses {
+        let xml = parse_document(w).expect("witness parses");
+        let doc = Doc::from_xml(&xml.root, &mut session.alphabet, WhitespaceMode::Trim);
+        assert!(!ctx.validate(&doc).is_valid(), "cast rejects: {w}");
+    }
+}
+
+#[test]
+fn sarif_output_carries_required_properties() {
+    let out = lint(&[SOURCE, TARGET, "--sarif"]);
+    assert_eq!(exit_code(&out), 1);
+    let sarif = String::from_utf8(out.stdout).expect("utf8");
+    for required in [
+        "\"version\":\"2.1.0\"",
+        "\"runs\":[",
+        "\"tool\":{\"driver\":{\"name\":\"schemacast-lint\"",
+        "\"rules\":[",
+        "\"results\":[",
+        "\"ruleId\":\"SC02",
+        "\"message\":{\"text\":",
+        "\"physicalLocation\":",
+        "\"artifactLocation\":{\"uri\":",
+    ] {
+        assert!(sarif.contains(required), "missing {required} in {sarif}");
+    }
+}
