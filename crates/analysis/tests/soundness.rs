@@ -45,7 +45,7 @@ fn scenario(
 /// shared alphabet. May produce edits the analyzer refuses or that fail to
 /// apply — both paths must handle them identically.
 fn random_edit(doc: &Doc, ab: &Alphabet, rng: &mut SmallRng) -> Option<Edit> {
-    let nodes: Vec<NodeId> = doc.preorder();
+    let nodes: Vec<NodeId> = doc.preorder_iter().collect();
     let node = nodes[rng.gen_range(0..nodes.len())];
     let label = ab.symbols().nth(rng.gen_range(0..ab.len()))?;
     match rng.gen_range(0..3) {

@@ -1,0 +1,89 @@
+//! Streaming hot-path throughput (MB/s) on skip-heavy vs. skip-free
+//! corpora — the perf trajectory bench behind `BENCH_4.json`.
+//!
+//! Corpora:
+//!
+//! * **skip-heavy** — purchase-order documents validated with subsumption
+//!   on: almost every subtree's `(source, target)` type pair is in `R_sub`,
+//!   so the validator's cost is dominated by how cheaply it can *skip*.
+//!   With lexical skipping this is a raw byte scan to the matching end tag.
+//! * **skip-free** — the same bytes with subsumption (and disjointness)
+//!   disabled: every event is tokenized and fed to the content-model
+//!   automata, so this measures the zero-copy tokenizer itself.
+//!
+//! Paths:
+//!
+//! * `lexical_skip` — [`StreamingCast::validate_str`], the production fast
+//!   path (borrowed events, lexer-interned labels, raw-byte subtree skip).
+//! * `event_skip` — [`StreamingCast::validate_events`] over the same pull
+//!   parser: the generic depth-counting path that tokenizes every event
+//!   inside skipped subtrees (zero-copy "off" for skipping; also the
+//!   oracle the property tests compare against).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use schemacast_core::{CastContext, CastOptions, StreamingCast};
+use schemacast_regex::Alphabet;
+use schemacast_workload::purchase_order as po;
+use schemacast_xml::PullParser;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut alphabet = Alphabet::new();
+    let source =
+        schemacast_schema::xsd::parse_xsd(&po::source_xsd(), &mut alphabet).expect("source");
+    let target =
+        schemacast_schema::xsd::parse_xsd(&po::target_xsd(), &mut alphabet).expect("target");
+
+    let mut group = c.benchmark_group("stream_throughput");
+    for &n in &[1000usize] {
+        let text = po::document_xml(&mut alphabet, n);
+
+        let skip_on =
+            CastContext::with_options(&source, &target, &alphabet, CastOptions::default());
+        let skip_off = CastContext::with_options(
+            &source,
+            &target,
+            &alphabet,
+            CastOptions {
+                use_subsumption: false,
+                use_disjointness: false,
+                ..CastOptions::default()
+            },
+        );
+
+        // Sanity: all paths agree the corpus is valid.
+        for ctx in [&skip_on, &skip_off] {
+            let (out, _) = StreamingCast::new(ctx)
+                .validate_str(&text, &alphabet)
+                .expect("well-formed");
+            assert!(out.is_valid());
+        }
+
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        for (corpus, ctx) in [("skip_heavy", &skip_on), ("skip_free", &skip_off)] {
+            let streaming = StreamingCast::new(ctx);
+            group.bench_with_input(
+                BenchmarkId::new(&format!("lexical_skip/{corpus}"), n),
+                &text,
+                |b, t| b.iter(|| black_box(streaming.validate_str(t, &alphabet).expect("ok"))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(&format!("event_skip/{corpus}"), n),
+                &text,
+                |b, t| {
+                    b.iter(|| {
+                        black_box(
+                            streaming
+                                .validate_events(PullParser::new(t), &alphabet)
+                                .expect("ok"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

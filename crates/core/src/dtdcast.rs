@@ -26,7 +26,7 @@ impl LabelIndex {
     /// Builds the index in one pre-order pass.
     pub fn build(doc: &Doc) -> LabelIndex {
         let mut buckets: HashMap<Sym, Vec<NodeId>> = HashMap::new();
-        for node in doc.preorder() {
+        for node in doc.preorder_iter() {
             if let Some(label) = doc.label(node) {
                 buckets.entry(label).or_default().push(node);
             }

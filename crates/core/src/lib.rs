@@ -48,7 +48,7 @@ pub use relations::TypeRelations;
 pub use repair::{RepairAction, RepairError, Repairer};
 pub use safety::{MatrixEntry, PairSafety, SafetyMatrix, Verdict};
 pub use stats::{CastOutcome, ValidationStats};
-pub use stream::{validate_xml_stream, StreamingCast};
+pub use stream::{validate_xml_stream, StreamScratch, StreamingCast};
 pub use witness::{
     reachable_pairs_with_paths, DivergenceKind, PairWitness, ReachablePair, WitnessSynth,
 };

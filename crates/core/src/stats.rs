@@ -30,6 +30,17 @@ pub struct ValidationStats {
     /// Edited documents rejected by the static fast path (some edit
     /// statically `Unsafe`; the document was never inspected).
     pub static_rejects: usize,
+    /// Raw bytes the streaming validator scanned past without tokenization
+    /// (lexical subtree skipping). Tree validators and the depth-counting
+    /// event path leave this 0 — the bytes of a skipped subtree are still
+    /// *read* by the scanner's state machine, but never lexed into names,
+    /// attributes, or entity-resolved text.
+    pub bytes_skipped: usize,
+    /// Start/end tag events that were never tokenized because the subtree
+    /// containing them was skipped lexically. A self-closing tag counts as
+    /// two (the `Start`/`End` pair it would have produced); the skipped
+    /// element's own end tag is included.
+    pub events_avoided: usize,
 }
 
 impl AddAssign for ValidationStats {
@@ -44,6 +55,8 @@ impl AddAssign for ValidationStats {
         self.value_checks += rhs.value_checks;
         self.static_skips += rhs.static_skips;
         self.static_rejects += rhs.static_rejects;
+        self.bytes_skipped += rhs.bytes_skipped;
+        self.events_avoided += rhs.events_avoided;
     }
 }
 

@@ -8,16 +8,36 @@
 //! — state is one frame per open element (O(depth)) plus the preprocessed
 //! schema-pair structures.
 //!
-//! Subsumed subtrees are skipped by depth counting (events are consumed but
-//! no work is done); disjoint pairs and immediate-reject automaton states
-//! abort the scan at the earliest event the decision procedure permits.
+//! Two execution paths share the frame machinery:
+//!
+//! * [`StreamingCast::validate_pull`] (and [`validate_str`] on top of it) —
+//!   the production fast path. It drives the zero-copy pull parser
+//!   directly: element labels arrive pre-interned as dense [`NameId`]s and
+//!   are resolved to schema symbols through a reusable
+//!   [`SymCache`] (one alphabet hash per *distinct* name per document), and
+//!   a subsumed subtree (`(source, target) ∈ R_sub`) is skipped
+//!   **lexically** with [`PullParser::skip_subtree`] — a raw byte scan to
+//!   the matching end tag, no tokenization. The bytes and tag events so
+//!   avoided are recorded in [`ValidationStats::bytes_skipped`] /
+//!   [`ValidationStats::events_avoided`].
+//! * [`StreamingCast::validate_events`] — the generic path over any event
+//!   iterator (sockets, replay logs, tests). Subsumed subtrees are skipped
+//!   by depth counting: events are consumed but no work is done. This is
+//!   also the oracle the property tests compare the lexical path against.
+//!
+//! Disjoint pairs and immediate-reject automaton states abort the scan at
+//! the earliest event the decision procedure permits on both paths.
+//!
+//! [`validate_str`]: StreamingCast::validate_str
+//! [`NameId`]: schemacast_xml::NameId
 
 use crate::cast::CastContext;
 use crate::stats::{CastOutcome, ValidationStats};
 use schemacast_automata::{ProductIda, StateId};
-use schemacast_regex::Alphabet;
+use schemacast_regex::{Alphabet, Sym, SymCache};
 use schemacast_schema::{TypeDef, TypeId};
 use schemacast_xml::{PullEvent, PullParser, XmlError};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// A streaming validator over a preprocessed [`CastContext`].
@@ -25,9 +45,25 @@ pub struct StreamingCast<'a, 'b> {
     ctx: &'a CastContext<'b>,
 }
 
-enum Frame {
+/// Reusable per-worker scratch state for the streaming fast path.
+///
+/// Holds the lifetime-free [`SymCache`] so batch workers resolve labels
+/// with zero steady-state allocation across documents. Create one per
+/// worker (or per call site) and pass it to
+/// [`StreamingCast::validate_str_with`] / [`StreamingCast::validate_pull`].
+#[derive(Debug, Default)]
+pub struct StreamScratch {
+    syms: SymCache,
+}
+
+/// One open element's validation state. Borrows simple-typed character data
+/// from the document (`'t`) until a second run forces an owned buffer.
+enum Frame<'t> {
     /// Target type is simple: accumulate character data.
-    Simple { tgt: TypeId, text: String },
+    Simple {
+        tgt: TypeId,
+        text: Option<Cow<'t, str>>,
+    },
     /// Target type is complex: run the content model as children arrive.
     Complex {
         src: Option<TypeId>,
@@ -49,13 +85,24 @@ enum Content {
     Dfa { q: StateId },
 }
 
+/// What a `Start` event did to the frame stack.
+enum StartAction {
+    /// A frame was pushed (or the content model absorbed it); keep going.
+    Entered,
+    /// The child's type pair is subsumed: skip its whole subtree.
+    Skip,
+    /// The document is invalid; stop.
+    Invalid,
+}
+
 impl<'a, 'b> StreamingCast<'a, 'b> {
     /// Wraps a cast context.
     pub fn new(ctx: &'a CastContext<'b>) -> Self {
         StreamingCast { ctx }
     }
 
-    /// Validates XML text end to end (parse + cast in one streaming pass).
+    /// Validates XML text end to end (parse + cast in one streaming pass)
+    /// using the zero-copy fast path with lexical subtree skipping.
     ///
     /// # Errors
     /// Returns `Err` only for malformed XML; validity verdicts are in the
@@ -65,23 +112,104 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
         text: &str,
         alphabet: &Alphabet,
     ) -> Result<(CastOutcome, ValidationStats), XmlError> {
-        self.validate_events(PullParser::new(text), alphabet)
+        let mut scratch = StreamScratch::default();
+        self.validate_str_with(text, alphabet, &mut scratch)
     }
 
-    /// Validates a pull-event stream.
+    /// [`validate_str`](StreamingCast::validate_str) with caller-provided
+    /// scratch state — the batch engine passes one [`StreamScratch`] per
+    /// worker so repeated documents share allocations.
+    ///
+    /// # Errors
+    /// Returns `Err` only for malformed XML.
+    pub fn validate_str_with(
+        &self,
+        text: &str,
+        alphabet: &Alphabet,
+        scratch: &mut StreamScratch,
+    ) -> Result<(CastOutcome, ValidationStats), XmlError> {
+        self.validate_pull(&mut PullParser::new(text), alphabet, scratch)
+    }
+
+    /// Validates by driving a pull parser directly — the production fast
+    /// path.
+    ///
+    /// Compared to [`validate_events`](StreamingCast::validate_events),
+    /// this path (a) resolves labels through the parser's lexer-level
+    /// interner plus a dense [`SymCache`] instead of hashing every start
+    /// tag, and (b) skips subsumed subtrees *lexically* via
+    /// [`PullParser::skip_subtree`], so the skipped bytes are never
+    /// tokenized at all. Outcomes and decision counters are identical to
+    /// the generic path (property-tested); only
+    /// [`ValidationStats::bytes_skipped`] and
+    /// [`ValidationStats::events_avoided`] differ (the generic path leaves
+    /// them 0).
+    ///
+    /// # Errors
+    /// Returns `Err` only for malformed XML.
+    pub fn validate_pull<'t>(
+        &self,
+        parser: &mut PullParser<'t>,
+        alphabet: &Alphabet,
+        scratch: &mut StreamScratch,
+    ) -> Result<(CastOutcome, ValidationStats), XmlError> {
+        scratch.syms.begin();
+        let mut stats = ValidationStats::default();
+        let mut stack: Vec<Frame<'t>> = Vec::new();
+        let mut seen_root = false;
+
+        while let Some(event) = parser.next() {
+            match event? {
+                PullEvent::Doctype { .. } => {}
+                PullEvent::Start { name, id, .. } => {
+                    let sym = scratch.syms.resolve(alphabet, id.index(), name);
+                    match self.on_start(sym, &mut stack, &mut seen_root, &mut stats) {
+                        StartAction::Entered => {}
+                        StartAction::Skip => {
+                            let skipped = parser.skip_subtree()?;
+                            stats.bytes_skipped += skipped.bytes;
+                            stats.events_avoided += skipped.events;
+                        }
+                        StartAction::Invalid => return Ok((CastOutcome::Invalid, stats)),
+                    }
+                }
+                PullEvent::Text(t) => {
+                    if !on_text(&mut stack, t) {
+                        return Ok((CastOutcome::Invalid, stats));
+                    }
+                }
+                PullEvent::End { .. } => {
+                    let frame = stack.pop().expect("balanced events");
+                    if !self.on_end(frame, &mut stats) {
+                        return Ok((CastOutcome::Invalid, stats));
+                    }
+                }
+            }
+        }
+        if !seen_root || !stack.is_empty() {
+            return Ok((CastOutcome::Invalid, stats));
+        }
+        Ok((CastOutcome::Valid, stats))
+    }
+
+    /// Validates a pull-event stream from any iterator — the generic path,
+    /// and the depth-counting oracle for the lexical fast path.
     ///
     /// The stream is consumed until a verdict is reached; on early rejection
-    /// the remaining events are not pulled (useful over sockets).
-    pub fn validate_events<I>(
+    /// the remaining events are not pulled (useful over sockets). Subsumed
+    /// subtrees are skipped by depth counting: their events are still
+    /// tokenized and consumed, so [`ValidationStats::bytes_skipped`] /
+    /// [`ValidationStats::events_avoided`] stay 0 on this path.
+    pub fn validate_events<'t, I>(
         &self,
         events: I,
         alphabet: &Alphabet,
     ) -> Result<(CastOutcome, ValidationStats), XmlError>
     where
-        I: IntoIterator<Item = Result<PullEvent, XmlError>>,
+        I: IntoIterator<Item = Result<PullEvent<'t>, XmlError>>,
     {
         let mut stats = ValidationStats::default();
-        let mut stack: Vec<Frame> = Vec::new();
+        let mut stack: Vec<Frame<'t>> = Vec::new();
         let mut skip_depth: usize = 0;
         let mut seen_root = false;
 
@@ -93,110 +221,19 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
                         skip_depth += 1;
                         continue;
                     }
-                    let Some(sym) = alphabet.lookup(&name) else {
-                        // A label neither schema has ever seen cannot be
-                        // admitted by the target.
-                        return Ok((CastOutcome::Invalid, stats));
-                    };
-                    if stack.is_empty() {
-                        if seen_root {
-                            return Ok((CastOutcome::Invalid, stats));
-                        }
-                        seen_root = true;
-                        let Some(tgt) = self.ctx.target().root_type(sym) else {
-                            return Ok((CastOutcome::Invalid, stats));
-                        };
-                        let src = self.ctx.source().root_type(sym);
-                        match self.enter(src, tgt, &mut stats) {
-                            Entered::Frame(f) => stack.push(f),
-                            Entered::Skip => skip_depth = 1,
-                            Entered::Reject => return Ok((CastOutcome::Invalid, stats)),
-                        }
-                    } else {
-                        let top = stack.last_mut().expect("non-empty");
-                        match top {
-                            Frame::Simple { .. } => {
-                                // Element content inside a simple type.
-                                return Ok((CastOutcome::Invalid, stats));
-                            }
-                            Frame::Complex { src, tgt, content } => {
-                                // Step the content model.
-                                match content {
-                                    Content::Ida {
-                                        ida,
-                                        q,
-                                        accepted_early,
-                                    } => {
-                                        if !*accepted_early {
-                                            stats.content_symbols_scanned += 1;
-                                            *q = ida.ida().dfa().step(*q, sym);
-                                            if ida.ida().is_ir(*q) {
-                                                stats.ida_early_rejects += 1;
-                                                return Ok((CastOutcome::Invalid, stats));
-                                            }
-                                            if ida.ida().is_ia(*q) {
-                                                stats.ida_early_accepts += 1;
-                                                *accepted_early = true;
-                                            }
-                                        }
-                                    }
-                                    Content::Dfa { q } => {
-                                        stats.content_symbols_scanned += 1;
-                                        let dfa = &self
-                                            .ctx
-                                            .target()
-                                            .type_def(*tgt)
-                                            .as_complex()
-                                            .expect("complex frame")
-                                            .dfa;
-                                        *q = dfa.step(*q, sym);
-                                        if *q == dfa.sink() {
-                                            return Ok((CastOutcome::Invalid, stats));
-                                        }
-                                    }
-                                }
-                                // Type the child.
-                                let tgt_def = self
-                                    .ctx
-                                    .target()
-                                    .type_def(*tgt)
-                                    .as_complex()
-                                    .expect("complex frame");
-                                let Some(child_tgt) = tgt_def.child_type(sym) else {
-                                    return Ok((CastOutcome::Invalid, stats));
-                                };
-                                let child_src = src.and_then(|s| {
-                                    self.ctx
-                                        .source()
-                                        .type_def(s)
-                                        .as_complex()
-                                        .and_then(|c| c.child_type(sym))
-                                });
-                                match self.enter(child_src, child_tgt, &mut stats) {
-                                    Entered::Frame(f) => stack.push(f),
-                                    Entered::Skip => skip_depth = 1,
-                                    Entered::Reject => return Ok((CastOutcome::Invalid, stats)),
-                                }
-                            }
-                        }
+                    let sym = alphabet.lookup(name);
+                    match self.on_start(sym, &mut stack, &mut seen_root, &mut stats) {
+                        StartAction::Entered => {}
+                        StartAction::Skip => skip_depth = 1,
+                        StartAction::Invalid => return Ok((CastOutcome::Invalid, stats)),
                     }
                 }
                 PullEvent::Text(t) => {
                     if skip_depth > 0 {
                         continue;
                     }
-                    match stack.last_mut() {
-                        Some(Frame::Simple { text, .. }) => text.push_str(&t),
-                        Some(Frame::Complex { .. }) => {
-                            if !t.chars().all(char::is_whitespace) {
-                                return Ok((CastOutcome::Invalid, stats));
-                            }
-                        }
-                        None => {
-                            if !t.chars().all(char::is_whitespace) {
-                                return Ok((CastOutcome::Invalid, stats));
-                            }
-                        }
+                    if !on_text(&mut stack, t) {
+                        return Ok((CastOutcome::Invalid, stats));
                     }
                 }
                 PullEvent::End { .. } => {
@@ -205,44 +242,7 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
                         continue;
                     }
                     let frame = stack.pop().expect("balanced events");
-                    let ok = match frame {
-                        Frame::Simple { tgt, text } => {
-                            stats.value_checks += 1;
-                            let simple = self
-                                .ctx
-                                .target()
-                                .type_def(tgt)
-                                .as_simple()
-                                .expect("simple frame");
-                            // Whitespace-only content is treated as the
-                            // empty value, matching the tree validators
-                            // (Doc::validation_children drops ignorable
-                            // whitespace before simple-value checks).
-                            if text.chars().all(char::is_whitespace) {
-                                simple.validate("")
-                            } else {
-                                simple.validate(&text)
-                            }
-                        }
-                        Frame::Complex { content, tgt, .. } => match content {
-                            Content::Ida {
-                                ida,
-                                q,
-                                accepted_early,
-                            } => accepted_early || ida.ida().dfa().is_final(q),
-                            Content::Dfa { q } => {
-                                let dfa = &self
-                                    .ctx
-                                    .target()
-                                    .type_def(tgt)
-                                    .as_complex()
-                                    .expect("complex frame")
-                                    .dfa;
-                                dfa.is_final(q)
-                            }
-                        },
-                    };
-                    if !ok {
+                    if !self.on_end(frame, &mut stats) {
                         return Ok((CastOutcome::Invalid, stats));
                     }
                 }
@@ -254,8 +254,159 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
         Ok((CastOutcome::Valid, stats))
     }
 
+    /// Handles a start tag: types the element, steps the enclosing content
+    /// model, and decides whether to descend, skip, or reject.
+    fn on_start<'t>(
+        &self,
+        sym: Option<Sym>,
+        stack: &mut Vec<Frame<'t>>,
+        seen_root: &mut bool,
+        stats: &mut ValidationStats,
+    ) -> StartAction {
+        let Some(sym) = sym else {
+            // A label neither schema has ever seen cannot be admitted by
+            // the target.
+            return StartAction::Invalid;
+        };
+        if stack.is_empty() {
+            if *seen_root {
+                return StartAction::Invalid;
+            }
+            *seen_root = true;
+            let Some(tgt) = self.ctx.target().root_type(sym) else {
+                return StartAction::Invalid;
+            };
+            let src = self.ctx.source().root_type(sym);
+            match self.enter(src, tgt, stats) {
+                Entered::Frame(f) => {
+                    stack.push(f);
+                    StartAction::Entered
+                }
+                Entered::Skip => StartAction::Skip,
+                Entered::Reject => StartAction::Invalid,
+            }
+        } else {
+            let top = stack.last_mut().expect("non-empty");
+            match top {
+                Frame::Simple { .. } => {
+                    // Element content inside a simple type.
+                    StartAction::Invalid
+                }
+                Frame::Complex { src, tgt, content } => {
+                    // Step the content model.
+                    match content {
+                        Content::Ida {
+                            ida,
+                            q,
+                            accepted_early,
+                        } => {
+                            if !*accepted_early {
+                                stats.content_symbols_scanned += 1;
+                                *q = ida.ida().dfa().step(*q, sym);
+                                if ida.ida().is_ir(*q) {
+                                    stats.ida_early_rejects += 1;
+                                    return StartAction::Invalid;
+                                }
+                                if ida.ida().is_ia(*q) {
+                                    stats.ida_early_accepts += 1;
+                                    *accepted_early = true;
+                                }
+                            }
+                        }
+                        Content::Dfa { q } => {
+                            stats.content_symbols_scanned += 1;
+                            let dfa = &self
+                                .ctx
+                                .target()
+                                .type_def(*tgt)
+                                .as_complex()
+                                .expect("complex frame")
+                                .dfa;
+                            *q = dfa.step(*q, sym);
+                            if *q == dfa.sink() {
+                                return StartAction::Invalid;
+                            }
+                        }
+                    }
+                    // Type the child.
+                    let tgt_def = self
+                        .ctx
+                        .target()
+                        .type_def(*tgt)
+                        .as_complex()
+                        .expect("complex frame");
+                    let Some(child_tgt) = tgt_def.child_type(sym) else {
+                        return StartAction::Invalid;
+                    };
+                    let child_src = src.and_then(|s| {
+                        self.ctx
+                            .source()
+                            .type_def(s)
+                            .as_complex()
+                            .and_then(|c| c.child_type(sym))
+                    });
+                    match self.enter(child_src, child_tgt, stats) {
+                        Entered::Frame(f) => {
+                            stack.push(f);
+                            StartAction::Entered
+                        }
+                        Entered::Skip => StartAction::Skip,
+                        Entered::Reject => StartAction::Invalid,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes a frame: final simple-value / content-model acceptance check.
+    /// Returns whether the element was valid.
+    fn on_end(&self, frame: Frame<'_>, stats: &mut ValidationStats) -> bool {
+        match frame {
+            Frame::Simple { tgt, text } => {
+                stats.value_checks += 1;
+                let simple = self
+                    .ctx
+                    .target()
+                    .type_def(tgt)
+                    .as_simple()
+                    .expect("simple frame");
+                let text = text.as_deref().unwrap_or("");
+                // Whitespace-only content is treated as the empty value,
+                // matching the tree validators (Doc::validation_children
+                // drops ignorable whitespace before simple-value checks).
+                if text.chars().all(char::is_whitespace) {
+                    simple.validate("")
+                } else {
+                    simple.validate(text)
+                }
+            }
+            Frame::Complex { content, tgt, .. } => match content {
+                Content::Ida {
+                    ida,
+                    q,
+                    accepted_early,
+                } => accepted_early || ida.ida().dfa().is_final(q),
+                Content::Dfa { q } => {
+                    let dfa = &self
+                        .ctx
+                        .target()
+                        .type_def(tgt)
+                        .as_complex()
+                        .expect("complex frame")
+                        .dfa;
+                    dfa.is_final(q)
+                }
+            },
+        }
+    }
+
     /// Decides how to process an element with type pair `(src?, tgt)`.
-    fn enter(&self, src: Option<TypeId>, tgt: TypeId, stats: &mut ValidationStats) -> Entered {
+    fn enter<'t>(
+        &self,
+        src: Option<TypeId>,
+        tgt: TypeId,
+        stats: &mut ValidationStats,
+    ) -> Entered<'t> {
         stats.nodes_visited += 1;
         let opts = self.ctx.options();
         if let Some(s) = src {
@@ -271,10 +422,7 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
             stats.full_validations += 1;
         }
         match self.ctx.target().type_def(tgt) {
-            TypeDef::Simple(_) => Entered::Frame(Frame::Simple {
-                tgt,
-                text: String::new(),
-            }),
+            TypeDef::Simple(_) => Entered::Frame(Frame::Simple { tgt, text: None }),
             TypeDef::Complex(c) => {
                 let src_complex =
                     src.filter(|&s| self.ctx.source().type_def(s).as_complex().is_some());
@@ -305,8 +453,24 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
     }
 }
 
-enum Entered {
-    Frame(Frame),
+/// Handles character data against the innermost frame. Returns whether the
+/// text is admissible. The first run of a simple value stays borrowed; only
+/// a second run (CDATA boundary, comment split) forces an owned buffer.
+fn on_text<'t>(stack: &mut [Frame<'t>], t: Cow<'t, str>) -> bool {
+    match stack.last_mut() {
+        Some(Frame::Simple { text, .. }) => {
+            match text {
+                None => *text = Some(t),
+                Some(prev) => prev.to_mut().push_str(&t),
+            }
+            true
+        }
+        Some(Frame::Complex { .. }) | None => t.chars().all(char::is_whitespace),
+    }
+}
+
+enum Entered<'t> {
+    Frame(Frame<'t>),
     Skip,
     Reject,
 }
@@ -376,6 +540,9 @@ mod tests {
         // ship/bill/items pairs are subsumed: their subtrees were skipped.
         assert!(stats.subsumed_skips >= 3);
         assert!(stats.nodes_visited <= 4);
+        // And skipped *lexically*: bytes inside them were never tokenized.
+        assert!(stats.bytes_skipped > 0);
+        assert!(stats.events_avoided > 0);
     }
 
     #[test]
@@ -417,6 +584,34 @@ mod tests {
     }
 
     #[test]
+    fn lexical_path_agrees_with_depth_counting_oracle() {
+        let (source, target, ab) = schemas();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let sc = StreamingCast::new(&ctx);
+        for text in [
+            VALID,
+            NO_BILL,
+            "<po><items/></po>",
+            "<other/>",
+            "<po>stray<ship/></po>",
+        ] {
+            let (fast_out, fast_stats) = sc.validate_str(text, &ab).expect("well-formed");
+            let (oracle_out, oracle_stats) = sc
+                .validate_events(PullParser::new(text), &ab)
+                .expect("well-formed");
+            assert_eq!(fast_out, oracle_out, "outcome on {text}");
+            // Decision counters are identical; only the lexical counters
+            // differ (the oracle tokenizes everything).
+            let mut fast_cmp = fast_stats;
+            fast_cmp.bytes_skipped = 0;
+            fast_cmp.events_avoided = 0;
+            assert_eq!(fast_cmp, oracle_stats, "stats on {text}");
+            assert_eq!(oracle_stats.bytes_skipped, 0);
+            assert_eq!(oracle_stats.events_avoided, 0);
+        }
+    }
+
+    #[test]
     fn streaming_checks_simple_values() {
         let mut ab = Alphabet::new();
         let mk = |ab: &mut Alphabet, max: i64| {
@@ -452,6 +647,9 @@ mod tests {
         let ctx = CastContext::new(&source, &target, &ab);
         let sc = StreamingCast::new(&ctx);
         assert!(sc.validate_str("<po><ship></po>", &ab).is_err());
+        assert!(sc
+            .validate_events(PullParser::new("<po><ship></po>"), &ab)
+            .is_err());
     }
 
     #[test]
@@ -463,5 +661,23 @@ mod tests {
             .validate_str("<po>stray text<ship/><bill/><items/></po>", &ab)
             .expect("well-formed");
         assert!(!out.is_valid());
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_documents() {
+        let (source, target, ab) = schemas();
+        let ctx = CastContext::new(&source, &target, &ab);
+        let sc = StreamingCast::new(&ctx);
+        let mut scratch = StreamScratch::default();
+        for _ in 0..3 {
+            let (out, _) = sc
+                .validate_str_with(VALID, &ab, &mut scratch)
+                .expect("well-formed");
+            assert!(out.is_valid());
+            let (out, _) = sc
+                .validate_str_with("<other/>", &ab, &mut scratch)
+                .expect("well-formed");
+            assert!(!out.is_valid());
+        }
     }
 }

@@ -29,7 +29,7 @@ mod report;
 
 pub use report::{BatchReport, ItemOutcome, ItemReport};
 
-use schemacast_core::{CastContext, ModsValidator, StreamingCast};
+use schemacast_core::{CastContext, ModsValidator, StreamScratch, StreamingCast};
 use schemacast_regex::Alphabet;
 use schemacast_tree::{DeltaDoc, Doc, Edit};
 use std::borrow::Borrow;
@@ -119,20 +119,27 @@ impl<'c, 's> BatchEngine<'c, 's> {
 
     /// Revalidates a batch of raw XML texts in streaming mode (no document
     /// trees are built; memory per worker is O(depth)).
+    ///
+    /// Each worker drives the zero-copy pull parser through a private
+    /// reusable [`StreamScratch`], so label resolution allocates once per
+    /// worker rather than once per document; subsumed subtrees are skipped
+    /// lexically, and the bytes/events so avoided are surfaced in the batch
+    /// report's folded [`schemacast_core::ValidationStats`]
+    /// (`bytes_skipped` / `events_avoided`).
     pub fn validate_xml<S>(&self, texts: &[S], alphabet: &Alphabet) -> BatchReport
     where
         S: AsRef<str> + Sync,
     {
-        self.run(texts.len(), |i| {
-            self.validate_one_xml(texts[i].as_ref(), alphabet)
+        self.run_with_scratch(texts.len(), |scratch, i| {
+            self.validate_one_xml(texts[i].as_ref(), alphabet, scratch)
         })
     }
 
     /// Revalidates a mixed batch of documents and raw XML.
     pub fn validate_items(&self, items: &[BatchItem<'_>], alphabet: &Alphabet) -> BatchReport {
-        self.run(items.len(), |i| match items[i] {
+        self.run_with_scratch(items.len(), |scratch, i| match items[i] {
             BatchItem::Doc(doc) => self.validate_one_doc(doc),
-            BatchItem::Xml(text) => self.validate_one_xml(text, alphabet),
+            BatchItem::Xml(text) => self.validate_one_xml(text, alphabet, scratch),
         })
     }
 
@@ -188,8 +195,13 @@ impl<'c, 's> BatchEngine<'c, 's> {
         }
     }
 
-    fn validate_one_xml(&self, text: &str, alphabet: &Alphabet) -> ItemReport {
-        match StreamingCast::new(self.ctx).validate_str(text, alphabet) {
+    fn validate_one_xml(
+        &self,
+        text: &str,
+        alphabet: &Alphabet,
+        scratch: &mut StreamScratch,
+    ) -> ItemReport {
+        match StreamingCast::new(self.ctx).validate_str_with(text, alphabet, scratch) {
             Ok((outcome, stats)) => ItemReport {
                 outcome: ItemOutcome::from_cast(outcome),
                 stats,
@@ -205,6 +217,19 @@ impl<'c, 's> BatchEngine<'c, 's> {
     fn run(&self, n: usize, produce: impl Fn(usize) -> ItemReport + Sync) -> BatchReport {
         let started = Instant::now();
         let items = pool::collect_indexed(self.workers.get(), n, produce);
+        BatchReport::from_items(items, self.workers.get(), started.elapsed())
+    }
+
+    /// [`run`](Self::run) with a per-worker [`StreamScratch`] threaded
+    /// through every call, for the streaming paths.
+    fn run_with_scratch(
+        &self,
+        n: usize,
+        produce: impl Fn(&mut StreamScratch, usize) -> ItemReport + Sync,
+    ) -> BatchReport {
+        let started = Instant::now();
+        let items =
+            pool::collect_indexed_with(self.workers.get(), n, StreamScratch::default, produce);
         BatchReport::from_items(items, self.workers.get(), started.elapsed())
     }
 }

@@ -151,6 +151,9 @@ pub struct DeltaDoc {
     doc: Doc,
     delta: Vec<DeltaState>,
     trie: ModTrie,
+    /// Reusable Dewey-path buffer: edits mark the trie by path, and a long
+    /// script would otherwise allocate one `Vec` per edit.
+    path_buf: Vec<u32>,
 }
 
 impl DeltaDoc {
@@ -162,7 +165,14 @@ impl DeltaDoc {
             doc,
             delta,
             trie: ModTrie::new(),
+            path_buf: Vec::new(),
         }
+    }
+
+    /// Marks `node`'s Dewey path in the trie through the reusable buffer.
+    fn mark_node(&mut self, node: NodeId) {
+        self.doc.dewey_into(node, &mut self.path_buf);
+        self.trie.mark(&self.path_buf);
     }
 
     /// The edited tree (deleted placeholders included).
@@ -274,7 +284,7 @@ impl DeltaDoc {
             DeltaState::Relabeled { old: orig } => DeltaState::Relabeled { old: orig },
             _ => DeltaState::Relabeled { old },
         };
-        self.trie.mark(&self.doc.dewey(node));
+        self.mark_node(node);
         Ok(())
     }
 
@@ -289,7 +299,7 @@ impl DeltaDoc {
         if !matches!(self.delta(node), DeltaState::Inserted) {
             self.delta[node.index()] = DeltaState::TextChanged;
         }
-        self.trie.mark(&self.doc.dewey(node));
+        self.mark_node(node);
         Ok(())
     }
 
@@ -355,14 +365,15 @@ impl DeltaDoc {
             // by removing the subtree's trie branch (all its nodes are
             // Inserted and physically removed below).
             for desc in self.subtree_nodes(node) {
-                self.trie.unmark(&self.doc.dewey(desc));
+                self.doc.dewey_into(desc, &mut self.path_buf);
+                self.trie.unmark(&self.path_buf);
             }
             self.remove_subtree(node);
             self.trie.shift_children(&parent_path, pos + 1, -1);
             return Ok(());
         }
         self.delta[node.index()] = DeltaState::Deleted;
-        self.trie.mark(&self.doc.dewey(node));
+        self.mark_node(node);
         Ok(())
     }
 

@@ -21,4 +21,4 @@ pub use edit::{DeltaDoc, DeltaState, Edit, EditError, ProjLabel};
 pub use modtrie::{ModTrie, TrieCursor};
 pub use schemacast_regex::{Alphabet, Sym};
 pub use shapes::{extract_shapes, EditShape, EditShapeKind};
-pub use tree::{Doc, NodeId, NodeKind, WhitespaceMode};
+pub use tree::{Doc, NodeId, NodeKind, Preorder, WhitespaceMode};

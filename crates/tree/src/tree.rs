@@ -155,13 +155,20 @@ impl Doc {
     /// root (the root's number is the empty path).
     pub fn dewey(&self, id: NodeId) -> Vec<u32> {
         let mut path = Vec::new();
+        self.dewey_into(id, &mut path);
+        path
+    }
+
+    /// [`dewey`](Self::dewey) into a caller-provided buffer (cleared
+    /// first), so hot loops can compute many paths with one allocation.
+    pub fn dewey_into(&self, id: NodeId, path: &mut Vec<u32>) {
+        path.clear();
         let mut cur = id;
         while let Some(p) = self.parent(cur) {
             path.push(self.child_index(cur) as u32);
             cur = p;
         }
         path.reverse();
-        path
     }
 
     /// Appends a child element to `parent`, returning its id.
@@ -246,17 +253,22 @@ impl Doc {
         self.nodes[id.index()].parent = None;
     }
 
-    /// Pre-order traversal from the root.
+    /// Pre-order traversal from the root, materialized.
+    ///
+    /// Prefer [`preorder_iter`](Self::preorder_iter) where the ids are only
+    /// walked once — it visits lazily with O(depth) state instead of
+    /// allocating an O(n) buffer.
     pub fn preorder(&self) -> Vec<NodeId> {
-        let mut out = Vec::with_capacity(self.nodes.len());
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            out.push(id);
-            for &c in self.children(id).iter().rev() {
-                stack.push(c);
-            }
+        self.preorder_iter().collect()
+    }
+
+    /// Lazy pre-order traversal from the root (O(depth) state, no O(n)
+    /// buffer).
+    pub fn preorder_iter(&self) -> Preorder<'_> {
+        Preorder {
+            doc: self,
+            stack: vec![self.root],
         }
-        out
     }
 
     /// Number of nodes in the subtree rooted at `id` (inclusive).
@@ -294,6 +306,26 @@ impl Doc {
             }
         }
         e
+    }
+}
+
+/// Lazy pre-order traversal over a [`Doc`], from
+/// [`Doc::preorder_iter`]. Holds a stack of pending siblings (O(depth ×
+/// fanout) worst case, O(depth) typical) instead of materializing all ids.
+pub struct Preorder<'d> {
+    doc: &'d Doc,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        for &c in self.doc.children(id).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
     }
 }
 
@@ -381,6 +413,25 @@ mod tests {
                 let pi = order.iter().position(|&x| x == p).unwrap();
                 assert!(pi < i);
             }
+        }
+    }
+
+    #[test]
+    fn preorder_iter_matches_materialized_order() {
+        let (doc, _) = sample();
+        let lazy: Vec<NodeId> = doc.preorder_iter().collect();
+        assert_eq!(lazy, doc.preorder());
+        // And it is restartable/independent per call.
+        assert_eq!(doc.preorder_iter().count(), doc.node_count());
+    }
+
+    #[test]
+    fn dewey_into_reuses_buffer() {
+        let (doc, _) = sample();
+        let mut buf = vec![9, 9, 9, 9];
+        for id in doc.preorder_iter() {
+            doc.dewey_into(id, &mut buf);
+            assert_eq!(buf, doc.dewey(id), "node {id:?}");
         }
     }
 

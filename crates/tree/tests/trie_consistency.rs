@@ -40,8 +40,7 @@ fn random_deltadoc(seed: u64, n: usize, k: usize) -> (DeltaDoc, Alphabet) {
     for _ in 0..k {
         let all: Vec<NodeId> = dd
             .doc()
-            .preorder()
-            .into_iter()
+            .preorder_iter()
             .filter(|&x| !matches!(dd.delta(x), DeltaState::Deleted))
             .collect();
         let node = all[rng.gen_range(0..all.len())];
@@ -83,8 +82,9 @@ proptest! {
     #[test]
     fn trie_matches_naive_modified(seed in 0u64..5_000, n in 2usize..30, k in 0usize..12) {
         let (dd, _ab) = random_deltadoc(seed, n, k);
-        for node in dd.doc().preorder() {
-            let dewey = dd.doc().dewey(node);
+        let mut dewey = Vec::new();
+        for node in dd.doc().preorder_iter() {
+            dd.doc().dewey_into(node, &mut dewey);
             let via_trie = dd.trie().subtree_modified(&dewey);
             let via_naive = naive_modified(&dd, node);
             prop_assert_eq!(
@@ -121,8 +121,10 @@ proptest! {
         let (doc, _ab) = random_tree(seed, n);
         let dd = DeltaDoc::new(doc.clone());
         prop_assert!(!dd.any_modifications());
-        for node in doc.preorder() {
-            prop_assert!(!dd.trie().subtree_modified(&doc.dewey(node)));
+        let mut dewey = Vec::new();
+        for node in doc.preorder_iter() {
+            doc.dewey_into(node, &mut dewey);
+            prop_assert!(!dd.trie().subtree_modified(&dewey));
         }
         prop_assert_eq!(dd.committed().node_count(), doc.node_count());
     }

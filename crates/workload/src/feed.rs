@@ -286,8 +286,7 @@ mod tests {
             // an entry actually exceeded 5.
             let cat = session.alphabet.lookup("category").unwrap();
             let max_cats = crowded
-                .preorder()
-                .into_iter()
+                .preorder_iter()
                 .filter(|&n| crowded.label(n) == session.alphabet.lookup("entry"))
                 .map(|e| {
                     crowded

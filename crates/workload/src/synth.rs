@@ -494,8 +494,7 @@ pub fn random_edits(
     for _ in 0..n {
         let nodes: Vec<NodeId> = dd
             .doc()
-            .preorder()
-            .into_iter()
+            .preorder_iter()
             .filter(|&id| !matches!(dd.delta(id), schemacast_tree::DeltaState::Deleted))
             .collect();
         if nodes.is_empty() {

@@ -18,5 +18,5 @@ pub mod serialize;
 
 pub use error::XmlError;
 pub use parser::{parse_document, XmlDocument, XmlElement, XmlNode};
-pub use pull::{PullEvent, PullParser};
+pub use pull::{NameId, PullEvent, PullParser, SubtreeSkip};
 pub use serialize::{escape_attr, escape_text, to_pretty_string, to_string};

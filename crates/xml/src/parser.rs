@@ -1,4 +1,4 @@
-//! A from-scratch, dependency-free XML 1.0 parser.
+//! The DOM front-end of the from-scratch, dependency-free XML 1.0 parser.
 //!
 //! Covers the subset needed by the revalidation system and its experiments:
 //! elements, attributes, character data, CDATA sections, comments,
@@ -7,8 +7,14 @@
 //! five predefined entities and numeric character references. Namespaces are
 //! carried through as prefixed names (the paper's model is structural and
 //! prefix-agnostic).
+//!
+//! There is exactly one tokenizer in the workspace: [`parse_document`] is a
+//! thin tree-building loop over the zero-copy [`PullParser`]
+//! events, so the streaming validator and the DOM builder share one set of
+//! conformance behaviors.
 
 use crate::error::XmlError;
+use crate::pull::{PullEvent, PullParser};
 
 /// A parsed XML node: an element or a run of character data.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,359 +102,59 @@ pub struct XmlDocument {
 /// assert_eq!(item.text(), "widget");
 /// ```
 pub fn parse_document(input: &str) -> Result<XmlDocument, XmlError> {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-    };
-    p.skip_prolog()?;
-    let doctype = p.maybe_doctype()?;
-    p.skip_misc();
-    let root = p.element()?;
-    p.skip_misc();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("content after document element"));
+    let parser = PullParser::new(input);
+    let mut doctype_name: Option<String> = None;
+    let mut internal_dtd: Option<String> = None;
+    let mut stack: Vec<XmlElement> = Vec::new();
+    let mut root: Option<XmlElement> = None;
+    for event in parser {
+        match event? {
+            PullEvent::Doctype { name, internal } => {
+                doctype_name = Some(name.to_owned());
+                internal_dtd = internal.map(str::to_owned);
+            }
+            PullEvent::Start {
+                name, attributes, ..
+            } => {
+                let mut element = XmlElement::new(name);
+                element.attributes = attributes
+                    .into_iter()
+                    .map(|(n, v)| (n.to_owned(), v.into_owned()))
+                    .collect();
+                stack.push(element);
+            }
+            PullEvent::End { .. } => {
+                let element = stack.pop().expect("pull parser balances tags");
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(XmlNode::Element(element)),
+                    None => root = Some(element),
+                }
+            }
+            PullEvent::Text(text) => {
+                // The pull parser only emits text inside an element.
+                let parent = stack.last_mut().expect("text is inside an element");
+                // Coalesce adjacent runs (CDATA boundaries split events).
+                if let Some(XmlNode::Text(prev)) = parent.children.last_mut() {
+                    prev.push_str(&text);
+                } else if !text.is_empty() {
+                    parent.children.push(XmlNode::Text(text.into_owned()));
+                }
+            }
+        }
     }
-    let (doctype_name, internal_dtd) = match doctype {
-        Some((n, d)) => (Some(n), d),
-        None => (None, None),
-    };
+    // The pull parser errors on missing/duplicate roots before returning
+    // `None`, so `root` is always set on the success path.
+    let root = root.ok_or_else(|| XmlError {
+        offset: 0,
+        line: 1,
+        column: 1,
+        message: "expected a document element".to_owned(),
+    })?;
     Ok(XmlDocument {
         root,
         internal_dtd,
         doctype_name,
     })
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, message: &str) -> XmlError {
-        let mut line = 1;
-        let mut col = 1;
-        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
-            if b == b'\n' {
-                line += 1;
-                col = 1;
-            } else {
-                col += 1;
-            }
-        }
-        XmlError {
-            offset: self.pos,
-            line,
-            column: col,
-            message: message.to_owned(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn starts_with(&self, s: &str) -> bool {
-        self.bytes[self.pos..].starts_with(s.as_bytes())
-    }
-
-    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
-        if self.starts_with(s) {
-            self.pos += s.len();
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected {s:?}")))
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .peek()
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn skip_prolog(&mut self) -> Result<(), XmlError> {
-        self.skip_ws();
-        if self.starts_with("<?xml") {
-            let end = find_from(self.bytes, self.pos, b"?>")
-                .ok_or_else(|| self.err("unterminated XML declaration"))?;
-            self.pos = end + 2;
-        }
-        Ok(())
-    }
-
-    /// Skips comments, PIs, and whitespace between top-level constructs.
-    fn skip_misc(&mut self) {
-        loop {
-            self.skip_ws();
-            if self.starts_with("<!--") {
-                if let Some(end) = find_from(self.bytes, self.pos + 4, b"-->") {
-                    self.pos = end + 3;
-                    continue;
-                }
-                return;
-            }
-            if self.starts_with("<?") {
-                if let Some(end) = find_from(self.bytes, self.pos + 2, b"?>") {
-                    self.pos = end + 2;
-                    continue;
-                }
-                return;
-            }
-            return;
-        }
-    }
-
-    fn maybe_doctype(&mut self) -> Result<Option<(String, Option<String>)>, XmlError> {
-        self.skip_misc();
-        if !self.starts_with("<!DOCTYPE") {
-            return Ok(None);
-        }
-        self.pos += "<!DOCTYPE".len();
-        self.skip_ws();
-        let name = self.name()?;
-        // Scan to the closing '>', capturing an internal subset if present.
-        let mut internal: Option<String> = None;
-        loop {
-            self.skip_ws();
-            match self.peek() {
-                Some(b'[') => {
-                    self.pos += 1;
-                    let start = self.pos;
-                    let end = self.bytes[self.pos..]
-                        .iter()
-                        .position(|&b| b == b']')
-                        .map(|i| self.pos + i)
-                        .ok_or_else(|| self.err("unterminated internal DTD subset"))?;
-                    internal = Some(
-                        std::str::from_utf8(&self.bytes[start..end])
-                            .map_err(|_| self.err("non-UTF-8 DTD subset"))?
-                            .to_owned(),
-                    );
-                    self.pos = end + 1;
-                }
-                Some(b'>') => {
-                    self.pos += 1;
-                    return Ok(Some((name, internal)));
-                }
-                Some(_) => self.pos += 1, // SYSTEM/PUBLIC identifiers
-                None => return Err(self.err("unterminated DOCTYPE")),
-            }
-        }
-    }
-
-    fn name(&mut self) -> Result<String, XmlError> {
-        let start = self.pos;
-        if !self.peek().is_some_and(is_name_start) {
-            return Err(self.err("expected a name"));
-        }
-        while self.peek().is_some_and(is_name_char) {
-            self.pos += 1;
-        }
-        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("non-UTF-8 name"))?
-            .to_owned())
-    }
-
-    fn element(&mut self) -> Result<XmlElement, XmlError> {
-        self.expect("<")?;
-        let name = self.name()?;
-        let mut element = XmlElement::new(name);
-        loop {
-            self.skip_ws();
-            match self.peek() {
-                Some(b'/') => {
-                    self.expect("/>")?;
-                    return Ok(element);
-                }
-                Some(b'>') => {
-                    self.pos += 1;
-                    self.content(&mut element)?;
-                    return Ok(element);
-                }
-                Some(b) if is_name_start(b) => {
-                    let attr_name = self.name()?;
-                    self.skip_ws();
-                    self.expect("=")?;
-                    self.skip_ws();
-                    let value = self.attribute_value()?;
-                    if element.attributes.iter().any(|(n, _)| *n == attr_name) {
-                        return Err(self.err(&format!("duplicate attribute {attr_name:?}")));
-                    }
-                    element.attributes.push((attr_name, value));
-                }
-                _ => return Err(self.err("malformed start tag")),
-            }
-        }
-    }
-
-    fn attribute_value(&mut self) -> Result<String, XmlError> {
-        let quote = match self.peek() {
-            Some(q @ (b'"' | b'\'')) => q,
-            _ => return Err(self.err("expected quoted attribute value")),
-        };
-        self.pos += 1;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(q) if q == quote => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'<') => return Err(self.err("'<' in attribute value")),
-                Some(b'&') => out.push_str(&self.entity()?),
-                Some(b) => {
-                    push_byte(&mut out, self.bytes, &mut self.pos, b)?;
-                    continue;
-                }
-                None => return Err(self.err("unterminated attribute value")),
-            }
-        }
-    }
-
-    fn content(&mut self, element: &mut XmlElement) -> Result<(), XmlError> {
-        let mut text = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unexpected end of input inside element")),
-                Some(b'<') => {
-                    if self.starts_with("</") {
-                        flush_text(&mut text, element);
-                        self.pos += 2;
-                        let close = self.name()?;
-                        if close != element.name {
-                            return Err(self.err(&format!(
-                                "mismatched end tag: expected </{}>, found </{}>",
-                                element.name, close
-                            )));
-                        }
-                        self.skip_ws();
-                        self.expect(">")?;
-                        return Ok(());
-                    } else if self.starts_with("<!--") {
-                        let end = find_from(self.bytes, self.pos + 4, b"-->")
-                            .ok_or_else(|| self.err("unterminated comment"))?;
-                        self.pos = end + 3;
-                    } else if self.starts_with("<![CDATA[") {
-                        let start = self.pos + 9;
-                        let end = find_from(self.bytes, start, b"]]>")
-                            .ok_or_else(|| self.err("unterminated CDATA section"))?;
-                        text.push_str(
-                            std::str::from_utf8(&self.bytes[start..end])
-                                .map_err(|_| self.err("non-UTF-8 CDATA"))?,
-                        );
-                        self.pos = end + 3;
-                    } else if self.starts_with("<?") {
-                        let end = find_from(self.bytes, self.pos + 2, b"?>")
-                            .ok_or_else(|| self.err("unterminated processing instruction"))?;
-                        self.pos = end + 2;
-                    } else {
-                        flush_text(&mut text, element);
-                        let child = self.element()?;
-                        element.children.push(XmlNode::Element(child));
-                    }
-                }
-                Some(b'&') => text.push_str(&self.entity()?),
-                Some(b) => {
-                    push_byte(&mut text, self.bytes, &mut self.pos, b)?;
-                }
-            }
-        }
-    }
-
-    fn entity(&mut self) -> Result<String, XmlError> {
-        debug_assert_eq!(self.peek(), Some(b'&'));
-        self.pos += 1;
-        let end = self.bytes[self.pos..]
-            .iter()
-            .position(|&b| b == b';')
-            .map(|i| self.pos + i)
-            .ok_or_else(|| self.err("unterminated entity reference"))?;
-        let name = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| self.err("non-UTF-8 entity"))?;
-        let resolved = match name {
-            "amp" => "&".to_owned(),
-            "lt" => "<".to_owned(),
-            "gt" => ">".to_owned(),
-            "apos" => "'".to_owned(),
-            "quot" => "\"".to_owned(),
-            _ if name.starts_with("#x") || name.starts_with("#X") => {
-                let code = u32::from_str_radix(&name[2..], 16)
-                    .map_err(|_| self.err("bad hexadecimal character reference"))?;
-                char::from_u32(code)
-                    .map(String::from)
-                    .ok_or_else(|| self.err("character reference out of range"))?
-            }
-            _ if name.starts_with('#') => {
-                let code: u32 = name[1..]
-                    .parse()
-                    .map_err(|_| self.err("bad decimal character reference"))?;
-                char::from_u32(code)
-                    .map(String::from)
-                    .ok_or_else(|| self.err("character reference out of range"))?
-            }
-            _ => return Err(self.err(&format!("unknown entity &{name};"))),
-        };
-        self.pos = end + 1;
-        Ok(resolved)
-    }
-}
-
-/// Appends the UTF-8 character starting at `pos` to `out`, advancing `pos`.
-fn push_byte(out: &mut String, bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), XmlError> {
-    if b < 0x80 {
-        out.push(b as char);
-        *pos += 1;
-        return Ok(());
-    }
-    // Multi-byte UTF-8: decode the full character.
-    let len = match b {
-        0xC0..=0xDF => 2,
-        0xE0..=0xEF => 3,
-        0xF0..=0xF7 => 4,
-        _ => 1,
-    };
-    let end = (*pos + len).min(bytes.len());
-    match std::str::from_utf8(&bytes[*pos..end]) {
-        Ok(s) => {
-            out.push_str(s);
-            *pos = end;
-            Ok(())
-        }
-        Err(_) => Err(XmlError {
-            offset: *pos,
-            line: 0,
-            column: 0,
-            message: "invalid UTF-8".into(),
-        }),
-    }
-}
-
-fn flush_text(text: &mut String, element: &mut XmlElement) {
-    if !text.is_empty() {
-        element.children.push(XmlNode::Text(std::mem::take(text)));
-    }
-}
-
-fn find_from(bytes: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
-    if from > bytes.len() {
-        return None;
-    }
-    bytes[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|i| from + i)
-}
-
-fn is_name_start(b: u8) -> bool {
-    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
-}
-
-fn is_name_char(b: u8) -> bool {
-    is_name_start(b) || b.is_ascii_digit() || matches!(b, b'.' | b'-')
 }
 
 #[cfg(test)]
@@ -509,6 +215,12 @@ mod tests {
         let doc = parse_document("<a>\n  <b/>\n</a>").expect("parse");
         assert_eq!(doc.root.children.len(), 3);
         assert!(matches!(&doc.root.children[0], XmlNode::Text(t) if t == "\n  "));
+    }
+
+    #[test]
+    fn empty_cdata_produces_no_text_node() {
+        let doc = parse_document("<a><![CDATA[]]></a>").expect("parse");
+        assert!(doc.root.children.is_empty());
     }
 
     #[test]

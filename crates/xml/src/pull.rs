@@ -1,44 +1,100 @@
-//! A pull (streaming) XML parser.
+//! A zero-copy pull (streaming) XML parser.
 //!
-//! Yields [`PullEvent`]s one at a time with O(depth) memory — the substrate
-//! for streaming schema-cast validation, which realizes the paper's claim
-//! that "the memory requirement of our algorithm does not vary with the
-//! size of the document, but depends solely on the sizes of the schemas".
+//! Yields borrowed [`PullEvent`]s one at a time with O(depth) memory — the
+//! substrate for streaming schema-cast validation, which realizes the
+//! paper's claim that "the memory requirement of our algorithm does not vary
+//! with the size of the document, but depends solely on the sizes of the
+//! schemas".
 //!
-//! The DOM parser in [`crate::parser`] accepts the same language; the two
-//! are cross-checked by tests.
+//! Three properties make this the hot-path tokenizer:
+//!
+//! * **Borrowed events.** Element and attribute names are `&str` slices of
+//!   the input; text runs and attribute values are [`Cow`]s that stay
+//!   borrowed unless entity resolution forces an owned buffer. On the
+//!   no-entity path the parser performs **zero** per-event string
+//!   allocations (asserted by `tests/zero_copy.rs`).
+//! * **Lexer-level label interning.** Every distinct element name is
+//!   assigned a dense per-document [`NameId`] by a fast FNV-1a table, so
+//!   downstream consumers (the streaming cast, the tree builder) hash each
+//!   *distinct* name once and afterwards work with integer ids.
+//! * **Lexical subtree skipping.** [`PullParser::skip_subtree`] scans raw
+//!   bytes from just-after a start tag to the matching end tag with a
+//!   quote/comment/CDATA-aware state machine — no name, attribute, or
+//!   entity tokenization — and reports how many bytes and tag events were
+//!   never lexed. This is what makes the paper's `R_sub` skip *lexical*
+//!   rather than merely semantic.
+//!
+//! The DOM parser in [`crate::parser`] is a thin loop over these events;
+//! there is exactly one tokenizer in the workspace.
 
 use crate::error::XmlError;
+use std::borrow::Cow;
 
-/// One parsing event.
+/// A dense per-document id for a distinct element name.
+///
+/// Ids are assigned by the parser's internal interner in first-appearance
+/// order and are stable for the lifetime of the parser; `NameId(0)` is the
+/// first distinct tag name seen. Use [`PullParser::name_of`] to recover the
+/// string and [`PullParser::name_count`] for the table size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+impl NameId {
+    /// The dense index of this name.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One parsing event, borrowing from the input document.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PullEvent {
+pub enum PullEvent<'a> {
     /// The `<!DOCTYPE name [internal]>` declaration, if present (at most
     /// once, before the root element).
     Doctype {
         /// The document-type name.
-        name: String,
+        name: &'a str,
         /// The raw internal subset, if any.
-        internal: Option<String>,
+        internal: Option<&'a str>,
     },
     /// A start tag (or the opening half of a self-closing tag).
     Start {
-        /// Tag name.
-        name: String,
-        /// Attributes in document order.
-        attributes: Vec<(String, String)>,
+        /// Tag name — a slice of the input.
+        name: &'a str,
+        /// The name's dense per-document id from the lexer interner.
+        id: NameId,
+        /// Attributes in document order. Values are borrowed unless entity
+        /// resolution forced an owned buffer.
+        attributes: Vec<(&'a str, Cow<'a, str>)>,
     },
     /// An end tag (self-closing tags produce `Start` then `End`).
     End {
-        /// Tag name.
-        name: String,
+        /// Tag name — a slice of the input.
+        name: &'a str,
+        /// The same id the matching [`PullEvent::Start`] carried.
+        id: NameId,
     },
-    /// Character data (entities resolved; adjacent runs may be split at
-    /// CDATA boundaries).
-    Text(String),
+    /// Character data. Borrowed unless entity resolution forced an owned
+    /// buffer; adjacent runs may be split at CDATA boundaries.
+    Text(Cow<'a, str>),
+}
+
+/// What [`PullParser::skip_subtree`] skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubtreeSkip {
+    /// Raw bytes scanned past without tokenization.
+    pub bytes: usize,
+    /// Start/end tag events that were never tokenized (self-closing tags
+    /// count as two, matching the event stream they replace; the skipped
+    /// element's own end tag is included).
+    pub events: usize,
 }
 
 /// A streaming parser over an in-memory UTF-8 document.
+///
+/// Cloning a parser forks the stream: both copies independently continue
+/// from the same position (used by the skip-oracle property tests).
 ///
 /// # Examples
 /// ```
@@ -47,20 +103,25 @@ pub enum PullEvent {
 /// let events: Result<Vec<_>, _> = p.collect();
 /// let events = events.unwrap();
 /// assert_eq!(events.len(), 5); // <a>, <b>, </b>, "hi", </a>
-/// assert!(matches!(&events[0], PullEvent::Start { name, .. } if name == "a"));
+/// assert!(matches!(&events[0], PullEvent::Start { name, .. } if *name == "a"));
 /// ```
+#[derive(Clone)]
 pub struct PullParser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
-    stack: Vec<String>,
+    /// Byte offset of the markup (or text run) of the last event returned.
+    event_start: usize,
+    stack: Vec<NameId>,
+    names: NameTable<'a>,
     state: State,
     /// Queued event (self-closing tags emit two events).
-    queued: Option<PullEvent>,
+    queued: Option<PullEvent<'a>>,
     /// Whether the document element has already been seen.
     seen_root: bool,
 }
 
-#[derive(PartialEq)]
+#[derive(Clone, Copy, PartialEq)]
 enum State {
     Prolog,
     InDocument,
@@ -72,9 +133,12 @@ impl<'a> PullParser<'a> {
     /// Creates a parser over `input`.
     pub fn new(input: &'a str) -> PullParser<'a> {
         PullParser {
+            text: input,
             bytes: input.as_bytes(),
             pos: 0,
+            event_start: 0,
             stack: Vec::new(),
+            names: NameTable::default(),
             state: State::Prolog,
             queued: None,
             seen_root: false,
@@ -86,10 +150,38 @@ impl<'a> PullParser<'a> {
         self.stack.len()
     }
 
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Byte offset where the most recently returned event's markup (or text
+    /// run) began.
+    pub fn last_event_offset(&self) -> usize {
+        self.event_start
+    }
+
+    /// Number of distinct element names interned so far.
+    pub fn name_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The string for an interned name id.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this parser.
+    pub fn name_of(&self, id: NameId) -> &'a str {
+        self.names.get(id)
+    }
+
     fn err(&self, message: &str) -> XmlError {
+        self.err_at(self.pos, message)
+    }
+
+    fn err_at(&self, offset: usize, message: &str) -> XmlError {
         let mut line = 1;
         let mut col = 1;
-        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+        for &b in &self.bytes[..offset.min(self.bytes.len())] {
             if b == b'\n' {
                 line += 1;
                 col = 1;
@@ -98,7 +190,7 @@ impl<'a> PullParser<'a> {
             }
         }
         XmlError {
-            offset: self.pos,
+            offset,
             line,
             column: col,
             message: message.to_owned(),
@@ -132,7 +224,18 @@ impl<'a> PullParser<'a> {
             .map(|i| from + i)
     }
 
-    fn name(&mut self) -> Result<String, XmlError> {
+    /// Position of the next `byte` at or after `from`.
+    fn find_byte(&self, from: usize, byte: u8) -> Option<usize> {
+        self.bytes
+            .get(from..)?
+            .iter()
+            .position(|&b| b == byte)
+            .map(|i| from + i)
+    }
+
+    /// Lexes a name as a borrowed slice (boundaries are ASCII delimiters,
+    /// so slicing the `str` is always at char boundaries).
+    fn name(&mut self) -> Result<&'a str, XmlError> {
         let start = self.pos;
         if !self.peek().is_some_and(is_name_start) {
             return Err(self.err("expected a name"));
@@ -140,90 +243,122 @@ impl<'a> PullParser<'a> {
         while self.peek().is_some_and(is_name_char) {
             self.pos += 1;
         }
-        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("non-UTF-8 name"))?
-            .to_owned())
+        Ok(&self.text[start..self.pos])
     }
 
-    fn entity(&mut self) -> Result<String, XmlError> {
+    /// Resolves the entity reference at `pos` (on `&`), appending the
+    /// replacement text to `out`.
+    fn append_entity(&mut self, out: &mut String) -> Result<(), XmlError> {
         self.pos += 1; // '&'
-        let end = self.bytes[self.pos..]
-            .iter()
-            .position(|&b| b == b';')
-            .map(|i| self.pos + i)
+        let end = self
+            .find_byte(self.pos, b';')
             .ok_or_else(|| self.err("unterminated entity reference"))?;
-        let name = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| self.err("non-UTF-8 entity"))?;
-        let out = match name {
-            "amp" => "&".to_owned(),
-            "lt" => "<".to_owned(),
-            "gt" => ">".to_owned(),
-            "apos" => "'".to_owned(),
-            "quot" => "\"".to_owned(),
+        let name = &self.text[self.pos..end];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
             _ if name.starts_with("#x") || name.starts_with("#X") => {
                 let code = u32::from_str_radix(&name[2..], 16)
                     .map_err(|_| self.err("bad hexadecimal character reference"))?;
-                char::from_u32(code)
-                    .map(String::from)
-                    .ok_or_else(|| self.err("character reference out of range"))?
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| self.err("character reference out of range"))?,
+                );
             }
             _ if name.starts_with('#') => {
                 let code: u32 = name[1..]
                     .parse()
                     .map_err(|_| self.err("bad decimal character reference"))?;
-                char::from_u32(code)
-                    .map(String::from)
-                    .ok_or_else(|| self.err("character reference out of range"))?
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| self.err("character reference out of range"))?,
+                );
             }
             _ => return Err(self.err(&format!("unknown entity &{name};"))),
-        };
+        }
         self.pos = end + 1;
+        Ok(())
+    }
+
+    /// Builds the owned expansion of `text[start..end]`, which is known to
+    /// contain at least one `&`.
+    fn expand_entities(&mut self, start: usize, end: usize) -> Result<String, XmlError> {
+        let mut out = String::with_capacity(end - start);
+        self.pos = start;
+        while self.pos < end {
+            match self.find_byte(self.pos, b'&') {
+                Some(amp) if amp < end => {
+                    out.push_str(&self.text[self.pos..amp]);
+                    self.pos = amp;
+                    self.append_entity(&mut out)?;
+                }
+                _ => {
+                    out.push_str(&self.text[self.pos..end]);
+                    self.pos = end;
+                }
+            }
+        }
         Ok(out)
     }
 
-    fn attribute_value(&mut self) -> Result<String, XmlError> {
+    fn attribute_value(&mut self) -> Result<Cow<'a, str>, XmlError> {
         let quote = match self.peek() {
             Some(q @ (b'"' | b'\'')) => q,
             _ => return Err(self.err("expected quoted attribute value")),
         };
         self.pos += 1;
-        let mut out = String::new();
+        let start = self.pos;
+        // First pass: find the closing quote, rejecting '<' and noting '&'.
+        let mut has_entity = false;
         loop {
             match self.peek() {
-                Some(q) if q == quote => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
+                Some(q) if q == quote => break,
                 Some(b'<') => return Err(self.err("'<' in attribute value")),
-                Some(b'&') => out.push_str(&self.entity()?),
-                Some(_) => self.push_char(&mut out)?,
+                Some(b'&') => {
+                    has_entity = true;
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
                 None => return Err(self.err("unterminated attribute value")),
             }
         }
-    }
-
-    fn push_char(&mut self, out: &mut String) -> Result<(), XmlError> {
-        let b = self.bytes[self.pos];
-        if b < 0x80 {
-            out.push(b as char);
-            self.pos += 1;
-            return Ok(());
-        }
-        let len = match b {
-            0xC0..=0xDF => 2,
-            0xE0..=0xEF => 3,
-            0xF0..=0xF7 => 4,
-            _ => 1,
+        let end = self.pos;
+        let value = if has_entity {
+            let expanded = self.expand_entities(start, end)?;
+            Cow::Owned(expanded)
+        } else {
+            Cow::Borrowed(&self.text[start..end])
         };
-        let end = (self.pos + len).min(self.bytes.len());
-        let s = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| self.err("invalid UTF-8"))?;
-        out.push_str(s);
-        self.pos = end;
-        Ok(())
+        self.pos = end + 1; // past the closing quote
+        Ok(value)
     }
 
-    fn prolog_event(&mut self) -> Result<Option<PullEvent>, XmlError> {
+    /// Lexes the character-data run starting at `pos` (ends at `<` or EOF).
+    fn text_run(&mut self) -> Result<Cow<'a, str>, XmlError> {
+        let start = self.pos;
+        let mut has_entity = false;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            if b == b'&' {
+                has_entity = true;
+            }
+            self.pos += 1;
+        }
+        let end = self.pos;
+        if !has_entity {
+            return Ok(Cow::Borrowed(&self.text[start..end]));
+        }
+        let expanded = self.expand_entities(start, end)?;
+        self.pos = end;
+        Ok(Cow::Owned(expanded))
+    }
+
+    fn prolog_event(&mut self) -> Result<Option<PullEvent<'a>>, XmlError> {
         loop {
             self.skip_ws();
             if self.starts_with("<?") {
@@ -237,6 +372,7 @@ impl<'a> PullParser<'a> {
                     .ok_or_else(|| self.err("unterminated comment"))?;
                 self.pos = end + 3;
             } else if self.starts_with("<!DOCTYPE") {
+                self.event_start = self.pos;
                 self.pos += "<!DOCTYPE".len();
                 self.skip_ws();
                 let name = self.name()?;
@@ -247,16 +383,10 @@ impl<'a> PullParser<'a> {
                         Some(b'[') => {
                             self.pos += 1;
                             let start = self.pos;
-                            let end = self.bytes[self.pos..]
-                                .iter()
-                                .position(|&b| b == b']')
-                                .map(|i| self.pos + i)
+                            let end = self
+                                .find_byte(self.pos, b']')
                                 .ok_or_else(|| self.err("unterminated internal DTD subset"))?;
-                            internal = Some(
-                                std::str::from_utf8(&self.bytes[start..end])
-                                    .map_err(|_| self.err("non-UTF-8 DTD subset"))?
-                                    .to_owned(),
-                            );
+                            internal = Some(&self.text[start..end]);
                             self.pos = end + 1;
                         }
                         Some(b'>') => {
@@ -275,7 +405,7 @@ impl<'a> PullParser<'a> {
         }
     }
 
-    fn document_event(&mut self) -> Result<Option<PullEvent>, XmlError> {
+    fn document_event(&mut self) -> Result<Option<PullEvent<'a>>, XmlError> {
         // Between events inside the document.
         if self.stack.is_empty() {
             // Only misc allowed outside the root; find the root start tag or
@@ -283,7 +413,7 @@ impl<'a> PullParser<'a> {
             self.skip_ws();
             if self.pos == self.bytes.len() {
                 if !self.seen_root {
-                    return Err(self.err("no document element"));
+                    return Err(self.err("expected a document element"));
                 }
                 self.state = State::Done;
                 return Ok(None);
@@ -293,8 +423,13 @@ impl<'a> PullParser<'a> {
             None => Err(self.err("unexpected end of input inside element")),
             Some(b'<') => {
                 if self.starts_with("</") {
+                    if self.stack.is_empty() {
+                        return Err(self.err("expected an element name, found an end tag"));
+                    }
+                    self.event_start = self.pos;
                     self.pos += 2;
-                    let close = self.name()?;
+                    let close_name = self.name()?;
+                    let close = self.names.intern(close_name);
                     self.skip_ws();
                     if self.peek() != Some(b'>') {
                         return Err(self.err("malformed end tag"));
@@ -304,12 +439,16 @@ impl<'a> PullParser<'a> {
                         Some(open) if open == close => {}
                         Some(open) => {
                             return Err(self.err(&format!(
-                                "mismatched end tag: expected </{open}>, found </{close}>"
+                                "mismatched end tag: expected </{}>, found </{close_name}>",
+                                self.names.get(open)
                             )))
                         }
                         None => return Err(self.err("end tag with no open element")),
                     }
-                    Ok(Some(PullEvent::End { name: close }))
+                    Ok(Some(PullEvent::End {
+                        name: close_name,
+                        id: close,
+                    }))
                 } else if self.starts_with("<!--") {
                     let end = self
                         .find_from(self.pos + 4, b"-->")
@@ -320,15 +459,14 @@ impl<'a> PullParser<'a> {
                     if self.stack.is_empty() {
                         return Err(self.err("character data outside the root element"));
                     }
+                    self.event_start = self.pos;
                     let start = self.pos + 9;
                     let end = self
                         .find_from(start, b"]]>")
                         .ok_or_else(|| self.err("unterminated CDATA section"))?;
-                    let text = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|_| self.err("non-UTF-8 CDATA"))?
-                        .to_owned();
+                    let text = &self.text[start..end];
                     self.pos = end + 3;
-                    Ok(Some(PullEvent::Text(text)))
+                    Ok(Some(PullEvent::Text(Cow::Borrowed(text))))
                 } else if self.starts_with("<?") {
                     let end = self
                         .find_from(self.pos + 2, b"?>")
@@ -343,9 +481,11 @@ impl<'a> PullParser<'a> {
                         }
                         self.seen_root = true;
                     }
+                    self.event_start = self.pos;
                     self.pos += 1;
                     let name = self.name()?;
-                    let mut attributes = Vec::new();
+                    let id = self.names.intern(name);
+                    let mut attributes: Vec<(&'a str, Cow<'a, str>)> = Vec::new();
                     loop {
                         self.skip_ws();
                         match self.peek() {
@@ -354,13 +494,21 @@ impl<'a> PullParser<'a> {
                                     return Err(self.err("malformed empty-element tag"));
                                 }
                                 self.pos += 2;
-                                self.queued = Some(PullEvent::End { name: name.clone() });
-                                return Ok(Some(PullEvent::Start { name, attributes }));
+                                self.queued = Some(PullEvent::End { name, id });
+                                return Ok(Some(PullEvent::Start {
+                                    name,
+                                    id,
+                                    attributes,
+                                }));
                             }
                             Some(b'>') => {
                                 self.pos += 1;
-                                self.stack.push(name.clone());
-                                return Ok(Some(PullEvent::Start { name, attributes }));
+                                self.stack.push(id);
+                                return Ok(Some(PullEvent::Start {
+                                    name,
+                                    id,
+                                    attributes,
+                                }));
                             }
                             Some(b) if is_name_start(b) => {
                                 let attr = self.name()?;
@@ -383,25 +531,18 @@ impl<'a> PullParser<'a> {
             }
             Some(_) => {
                 if self.stack.is_empty() {
-                    return Err(self.err("character data outside the root element"));
+                    return Err(
+                        self.err("expected markup, found character data outside the root element")
+                    );
                 }
-                let mut text = String::new();
-                while let Some(b) = self.peek() {
-                    if b == b'<' {
-                        break;
-                    }
-                    if b == b'&' {
-                        text.push_str(&self.entity()?);
-                    } else {
-                        self.push_char(&mut text)?;
-                    }
-                }
+                self.event_start = self.pos;
+                let text = self.text_run()?;
                 Ok(Some(PullEvent::Text(text)))
             }
         }
     }
 
-    fn advance(&mut self) -> Result<Option<PullEvent>, XmlError> {
+    fn advance(&mut self) -> Result<Option<PullEvent<'a>>, XmlError> {
         if let Some(e) = self.queued.take() {
             return Ok(Some(e));
         }
@@ -422,10 +563,111 @@ impl<'a> PullParser<'a> {
             }
         }
     }
+
+    /// Skips the content and end tag of the innermost open element by
+    /// scanning raw bytes — no name, attribute, or entity tokenization.
+    ///
+    /// Must be called *just after* the element's [`PullEvent::Start`] was
+    /// returned. The element's own end tag is consumed; the next event is
+    /// whatever follows it. Returns how many bytes and tag events were
+    /// skipped without lexing.
+    ///
+    /// The scanner is quote-aware inside start tags (`>` in attribute
+    /// values), and skips comments, CDATA sections, and processing
+    /// instructions wholesale, so `<child>` inside a comment or `]]>`
+    /// inside text cannot derail it. It intentionally does **not** check
+    /// that end-tag names match start-tag names inside the skipped region —
+    /// skipped subtrees trade well-formedness *checking* for speed, which
+    /// is exactly the paper's cost model (work proportional to the decided
+    /// part of the document). On well-formed input it lands byte-for-byte
+    /// where depth-counted event consumption would (property-tested).
+    ///
+    /// # Errors
+    /// Returns `Err` if the input ends before the subtree closes, if an
+    /// unterminated comment/CDATA/PI is encountered, or if no element is
+    /// open.
+    pub fn skip_subtree(&mut self) -> Result<SubtreeSkip, XmlError> {
+        if let Some(queued) = self.queued.take() {
+            // A self-closing element: its End event is already lexed and
+            // queued; consuming it is the whole skip.
+            debug_assert!(matches!(queued, PullEvent::End { .. }));
+            return Ok(SubtreeSkip::default());
+        }
+        if self.stack.is_empty() || self.state != State::InDocument {
+            return Err(self.err("skip_subtree called with no open element"));
+        }
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut events = 0usize;
+        while depth > 0 {
+            let lt = self.find_byte(self.pos, b'<').ok_or_else(|| {
+                self.err_at(self.bytes.len(), "unexpected end of input inside element")
+            })?;
+            self.pos = lt;
+            if self.starts_with("<!--") {
+                let end = self
+                    .find_from(self.pos + 4, b"-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
+                self.pos = end + 3;
+            } else if self.starts_with("<![CDATA[") {
+                let end = self
+                    .find_from(self.pos + 9, b"]]>")
+                    .ok_or_else(|| self.err("unterminated CDATA section"))?;
+                self.pos = end + 3;
+            } else if self.starts_with("<?") {
+                let end = self
+                    .find_from(self.pos + 2, b"?>")
+                    .ok_or_else(|| self.err("unterminated processing instruction"))?;
+                self.pos = end + 2;
+            } else if self.starts_with("</") {
+                let gt = self
+                    .find_byte(self.pos + 2, b'>')
+                    .ok_or_else(|| self.err("malformed end tag"))?;
+                self.pos = gt + 1;
+                depth -= 1;
+                events += 1;
+            } else {
+                // Start tag: scan to the closing '>' outside quotes,
+                // detecting self-closing tags.
+                self.pos += 1;
+                let mut quote: Option<u8> = None;
+                loop {
+                    let Some(&b) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unexpected end of input inside element"));
+                    };
+                    self.pos += 1;
+                    match quote {
+                        Some(q) => {
+                            if b == q {
+                                quote = None;
+                            }
+                        }
+                        None => match b {
+                            b'"' | b'\'' => quote = Some(b),
+                            b'>' => break,
+                            _ => {}
+                        },
+                    }
+                }
+                let self_closing = self.pos >= 2 && self.bytes[self.pos - 2] == b'/';
+                if self_closing {
+                    events += 2;
+                } else {
+                    depth += 1;
+                    events += 1;
+                }
+            }
+        }
+        self.stack.pop();
+        Ok(SubtreeSkip {
+            bytes: self.pos - start,
+            events,
+        })
+    }
 }
 
 impl<'a> Iterator for PullParser<'a> {
-    type Item = Result<PullEvent, XmlError>;
+    type Item = Result<PullEvent<'a>, XmlError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         match self.advance() {
@@ -447,12 +689,84 @@ fn is_name_char(b: u8) -> bool {
     is_name_start(b) || b.is_ascii_digit() || matches!(b, b'.' | b'-')
 }
 
+/// The lexer-level name interner: borrowed keys, dense ids, FNV-1a hashing
+/// with open addressing. One (cheap) hash per name occurrence, one id
+/// thereafter — consumers resolve each *distinct* name against heavier
+/// structures (e.g. the schema [`Alphabet`](../../schemacast_regex/struct.Alphabet.html))
+/// exactly once.
+#[derive(Clone, Default)]
+struct NameTable<'a> {
+    names: Vec<&'a str>,
+    /// Open-addressing buckets holding `index + 1` (`0` = empty).
+    buckets: Vec<u32>,
+}
+
+impl<'a> NameTable<'a> {
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    fn get(&self, id: NameId) -> &'a str {
+        self.names[id.index()]
+    }
+
+    fn intern(&mut self, name: &'a str) -> NameId {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; 16];
+        } else if (self.names.len() + 1) * 4 > self.buckets.len() * 3 {
+            self.grow();
+        }
+        let mask = self.buckets.len() - 1;
+        let mut slot = fnv1a(name.as_bytes()) as usize & mask;
+        loop {
+            match self.buckets[slot] {
+                0 => {
+                    let id = NameId(self.names.len() as u32);
+                    self.names.push(name);
+                    self.buckets[slot] = id.0 + 1;
+                    return id;
+                }
+                occupied => {
+                    let idx = (occupied - 1) as usize;
+                    if self.names[idx] == name {
+                        return NameId(occupied - 1);
+                    }
+                    slot = (slot + 1) & mask;
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        let mask = new_len - 1;
+        let mut buckets = vec![0u32; new_len];
+        for (idx, name) in self.names.iter().enumerate() {
+            let mut slot = fnv1a(name.as_bytes()) as usize & mask;
+            while buckets[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            buckets[slot] = idx as u32 + 1;
+        }
+        self.buckets = buckets;
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::parser::{parse_document, XmlElement, XmlNode};
 
-    fn events(input: &str) -> Vec<PullEvent> {
+    fn events(input: &str) -> Vec<PullEvent<'_>> {
         PullParser::new(input)
             .collect::<Result<Vec<_>, _>>()
             .expect("parses")
@@ -462,19 +776,28 @@ mod tests {
     fn basic_event_stream() {
         let ev = events("<a x=\"1\"><b/>hi &amp; bye</a>");
         assert_eq!(ev.len(), 5);
-        assert!(matches!(&ev[0], PullEvent::Start { name, attributes }
-            if name == "a" && attributes == &[("x".to_owned(), "1".to_owned())]));
-        assert!(matches!(&ev[1], PullEvent::Start { name, .. } if name == "b"));
-        assert!(matches!(&ev[2], PullEvent::End { name } if name == "b"));
+        match &ev[0] {
+            PullEvent::Start {
+                name, attributes, ..
+            } => {
+                assert_eq!(*name, "a");
+                assert_eq!(attributes.len(), 1);
+                assert_eq!(attributes[0].0, "x");
+                assert_eq!(attributes[0].1, "1");
+            }
+            other => panic!("expected Start, got {other:?}"),
+        }
+        assert!(matches!(&ev[1], PullEvent::Start { name, .. } if *name == "b"));
+        assert!(matches!(&ev[2], PullEvent::End { name, .. } if *name == "b"));
         assert!(matches!(&ev[3], PullEvent::Text(t) if t == "hi & bye"));
-        assert!(matches!(&ev[4], PullEvent::End { name } if name == "a"));
+        assert!(matches!(&ev[4], PullEvent::End { name, .. } if *name == "a"));
     }
 
     #[test]
     fn doctype_event() {
         let ev = events("<!DOCTYPE po [<!ELEMENT po EMPTY>]><po/>");
         assert!(matches!(&ev[0], PullEvent::Doctype { name, internal }
-            if name == "po" && internal.as_deref() == Some("<!ELEMENT po EMPTY>")));
+            if *name == "po" && *internal == Some("<!ELEMENT po EMPTY>")));
     }
 
     #[test]
@@ -483,6 +806,135 @@ mod tests {
             let r: Result<Vec<_>, _> = PullParser::new(bad).collect();
             assert!(r.is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn name_ids_are_dense_and_stable() {
+        let mut p = PullParser::new("<a><b/><b/><a/></a>");
+        let mut ids = Vec::new();
+        for ev in p.by_ref() {
+            if let PullEvent::Start { name, id, .. } = ev.expect("ok") {
+                ids.push((name, id));
+            }
+        }
+        assert_eq!(
+            ids,
+            vec![
+                ("a", NameId(0)),
+                ("b", NameId(1)),
+                ("b", NameId(1)),
+                ("a", NameId(0)),
+            ]
+        );
+        assert_eq!(p.name_count(), 2);
+        assert_eq!(p.name_of(NameId(0)), "a");
+        assert_eq!(p.name_of(NameId(1)), "b");
+    }
+
+    #[test]
+    fn borrowed_on_fast_path_owned_only_for_entities() {
+        let input = "<a k=\"plain\" e=\"x&amp;y\">text<![CDATA[raw]]>with &lt; entity</a>";
+        for ev in events(input) {
+            match ev {
+                PullEvent::Start { attributes, .. } => {
+                    for (n, v) in &attributes {
+                        match *n {
+                            "k" => assert!(matches!(v, Cow::Borrowed(_))),
+                            "e" => {
+                                assert!(matches!(v, Cow::Owned(_)));
+                                assert_eq!(v, "x&y");
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+                PullEvent::Text(t) => match &*t {
+                    "text" | "raw" => assert!(matches!(t, Cow::Borrowed(_))),
+                    "with < entity" => assert!(matches!(t, Cow::Owned(_))),
+                    other => panic!("unexpected text {other:?}"),
+                },
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_track_event_markup() {
+        let input = "<a><b>hi</b></a>";
+        let mut p = PullParser::new(input);
+        let mut offsets = Vec::new();
+        while let Some(ev) = p.next() {
+            ev.expect("ok");
+            offsets.push(p.last_event_offset());
+        }
+        // <a> at 0, <b> at 3, "hi" at 6, </b> at 8, </a> at 12.
+        assert_eq!(offsets, vec![0, 3, 6, 8, 12]);
+        assert_eq!(p.offset(), input.len());
+    }
+
+    #[test]
+    fn skip_subtree_lands_after_matching_end_tag() {
+        let input = "<r><skip a=\">\"><inner>]]&gt;</inner><!-- <fake> --><x/></skip><next/></r>";
+        let mut p = PullParser::new(input);
+        // <r>
+        assert!(matches!(p.next().unwrap().unwrap(), PullEvent::Start { name, .. } if name == "r"));
+        // <skip ...>
+        assert!(
+            matches!(p.next().unwrap().unwrap(), PullEvent::Start { name, .. } if name == "skip")
+        );
+        let skipped = p.skip_subtree().expect("skips");
+        assert!(skipped.bytes > 0);
+        assert_eq!(skipped.events, 5); // <inner>, </inner>, <x/> (×2), </skip>
+        assert!(
+            matches!(p.next().unwrap().unwrap(), PullEvent::Start { name, .. } if name == "next")
+        );
+    }
+
+    #[test]
+    fn skip_subtree_on_self_closing_consumes_queued_end() {
+        let mut p = PullParser::new("<r><leaf/><next/></r>");
+        p.next().unwrap().unwrap(); // <r>
+        assert!(
+            matches!(p.next().unwrap().unwrap(), PullEvent::Start { name, .. } if name == "leaf")
+        );
+        let skipped = p.skip_subtree().expect("skips");
+        assert_eq!(skipped, SubtreeSkip::default());
+        assert!(
+            matches!(p.next().unwrap().unwrap(), PullEvent::Start { name, .. } if name == "next")
+        );
+    }
+
+    #[test]
+    fn skip_subtree_handles_tricky_payloads() {
+        // ']]>' inside text, '>' inside attribute values, comments and CDATA
+        // containing tags.
+        let input =
+            "<r><s q='a>b'>x ]]> y<![CDATA[</s>]]><!-- </s> --><t u=\"/>\">z</t></s><after/></r>";
+        let mut p = PullParser::new(input);
+        p.next().unwrap().unwrap(); // <r>
+        p.next().unwrap().unwrap(); // <s>
+        p.skip_subtree().expect("skips");
+        assert!(
+            matches!(p.next().unwrap().unwrap(), PullEvent::Start { name, .. } if name == "after")
+        );
+    }
+
+    #[test]
+    fn skip_subtree_err_cases() {
+        let mut p = PullParser::new("<a><b>unclosed");
+        p.next().unwrap().unwrap(); // <a>
+        p.next().unwrap().unwrap(); // <b>
+        assert!(p.skip_subtree().is_err());
+
+        let mut p = PullParser::new("<a/>");
+        assert!(matches!(
+            p.next().unwrap().unwrap(),
+            PullEvent::Start { .. }
+        ));
+        // Queued end: fine.
+        assert!(p.skip_subtree().is_ok());
+        // Nothing open anymore.
+        assert!(p.skip_subtree().is_err());
     }
 
     /// Build a DOM from pull events and compare against the DOM parser on a
@@ -495,9 +947,14 @@ mod tests {
             for ev in PullParser::new(input) {
                 match ev? {
                     PullEvent::Doctype { .. } => {}
-                    PullEvent::Start { name, attributes } => {
+                    PullEvent::Start {
+                        name, attributes, ..
+                    } => {
                         let mut e = XmlElement::new(name);
-                        e.attributes = attributes;
+                        e.attributes = attributes
+                            .into_iter()
+                            .map(|(n, v)| (n.to_owned(), v.into_owned()))
+                            .collect();
                         stack.push(e);
                     }
                     PullEvent::End { .. } => {
@@ -512,8 +969,8 @@ mod tests {
                             // Coalesce adjacent text like the DOM parser.
                             if let Some(XmlNode::Text(prev)) = parent.children.last_mut() {
                                 prev.push_str(&t);
-                            } else {
-                                parent.children.push(XmlNode::Text(t));
+                            } else if !t.is_empty() {
+                                parent.children.push(XmlNode::Text(t.into_owned()));
                             }
                         }
                     }

@@ -345,6 +345,10 @@ fn main() -> ExitCode {
                     report.totals.subsumed_skips,
                     report.totals.value_checks
                 );
+                println!(
+                    "  bytes skipped lexically: {}   tag events avoided: {}",
+                    report.totals.bytes_skipped, report.totals.events_avoided
+                );
             }
             if any_malformed {
                 return ExitCode::from(2);
@@ -436,6 +440,14 @@ fn main() -> ExitCode {
                             stats.subsumed_skips,
                             stats.value_checks
                         );
+                        if opts.stream {
+                            println!(
+                                "  bytes skipped lexically: {} / {}   tag events avoided: {}",
+                                stats.bytes_skipped,
+                                text.len(),
+                                stats.events_avoided
+                            );
+                        }
                     }
                     any_invalid |= !out.is_valid();
                 }
