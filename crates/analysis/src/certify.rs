@@ -1,0 +1,151 @@
+//! Report rendering for the certifying-analysis layer
+//! (`schemacast certify` and the `--certify` flags).
+//!
+//! The certification itself lives in `schemacast-core`
+//! ([`schemacast_core::certify::certify_context`]); this module turns a
+//! [`CertificationRun`] into the human-readable summary and the `--json`
+//! machine form, following the same hand-rolled-serializer discipline as
+//! the analyze/lint renderers.
+
+use crate::json_string;
+use schemacast_core::certify::CertificationRun;
+use std::fmt::Write;
+
+/// Renders a certification run as a human-readable summary: per-kind
+/// certificate counts, the checker verdict, and any `SC04xx` diagnostics.
+pub fn render_certify_text(run: &CertificationRun) -> String {
+    let b = &run.bundle;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "certificates: {} emitted, {} objects checked in {} us",
+        run.certs_emitted, run.certs_checked, run.check_micros
+    );
+    let _ = writeln!(
+        out,
+        "  {} dfa table(s), {} sub, {} dis, {} nondis, {} ida, {} path, {} safety",
+        b.dfas.len(),
+        b.subs.len(),
+        b.diss.len(),
+        b.nondis.len(),
+        b.idas.len(),
+        b.paths.len(),
+        b.safety.len()
+    );
+    if run.all_certified() {
+        let _ = writeln!(out, "verdict: all claims certified");
+    } else {
+        let _ = writeln!(
+            out,
+            "verdict: NOT certified ({} failure(s))",
+            run.diagnostics.len()
+        );
+        for d in &run.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+    }
+    out
+}
+
+/// Renders a certification run as JSON (stable key order, no external
+/// serializer).
+pub fn render_certify_json(run: &CertificationRun) -> String {
+    let b = &run.bundle;
+    let mut out = String::from("{\"certified\":");
+    out.push_str(if run.all_certified() { "true" } else { "false" });
+    let _ = write!(
+        out,
+        ",\"emitted\":{},\"checked\":{},\"check_micros\":{}",
+        run.certs_emitted, run.certs_checked, run.check_micros
+    );
+    let _ = write!(
+        out,
+        ",\"counts\":{{\"dfas\":{},\"subs\":{},\"diss\":{},\"nondis\":{},\
+         \"idas\":{},\"paths\":{},\"safety\":{}}}",
+        b.dfas.len(),
+        b.subs.len(),
+        b.diss.len(),
+        b.nondis.len(),
+        b.idas.len(),
+        b.paths.len(),
+        b.safety.len()
+    );
+    out.push_str(",\"failures\":[");
+    for (i, d) in run.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":\"");
+        out.push_str(d.rule_id);
+        out.push_str("\",\"message\":");
+        json_string(&mut out, &d.message);
+        if let Some(t) = &d.type_name {
+            out.push_str(",\"type\":");
+            json_string(&mut out, t);
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_core::certify::certify_context;
+    use schemacast_core::CastContext;
+    use schemacast_regex::Alphabet;
+    use schemacast_schema::{AbstractSchema, SchemaBuilder, SimpleType};
+
+    fn schema(ab: &mut Alphabet, model: &str) -> AbstractSchema {
+        let mut b = SchemaBuilder::new(ab);
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        let root = b.declare("Root").unwrap();
+        b.complex(root, model, &[("a", text), ("b", text)]).unwrap();
+        b.root("r", root);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn renders_certified_run_both_ways() {
+        let mut ab = Alphabet::new();
+        let source = schema(&mut ab, "(a, b?)");
+        let target = schema(&mut ab, "(a, b*)");
+        let ctx = CastContext::new(&source, &target, &ab);
+        let run = certify_context(&ctx);
+        assert!(run.all_certified());
+
+        let text = render_certify_text(&run);
+        assert!(text.contains("all claims certified"), "{text}");
+        assert!(text.contains("emitted"));
+
+        let json = render_certify_json(&run);
+        assert!(json.starts_with("{\"certified\":true"), "{json}");
+        assert!(json.contains("\"failures\":[]"));
+        assert!(json.contains("\"counts\":{\"dfas\":"));
+    }
+
+    #[test]
+    fn renders_failures_with_rule_ids() {
+        use schemacast_core::{Diagnostic, Severity};
+        let mut ab = Alphabet::new();
+        let source = schema(&mut ab, "(a, b?)");
+        let target = schema(&mut ab, "(a, b*)");
+        let ctx = CastContext::new(&source, &target, &ab);
+        let mut run = certify_context(&ctx);
+        run.diagnostics.push(
+            Diagnostic::new("SC0402", Severity::Error, "injected \"failure\"")
+                .with_type_name("Root"),
+        );
+
+        let text = render_certify_text(&run);
+        assert!(text.contains("NOT certified"), "{text}");
+        assert!(text.contains("SC0402"));
+
+        let json = render_certify_json(&run);
+        assert!(json.starts_with("{\"certified\":false"), "{json}");
+        assert!(json.contains("\"rule\":\"SC0402\""));
+        assert!(json.contains("injected \\\"failure\\\""));
+        assert!(json.contains("\"type\":\"Root\""));
+    }
+}

@@ -21,11 +21,15 @@
 //! The [`lint`] module adds the `schemacast lint` subsystem — single-schema
 //! hygiene diagnostics and schema-pair incompatibility findings with
 //! minimal witness documents — and [`sarif`] renders its reports as SARIF
-//! 2.1.0 for CI gates.
+//! 2.1.0 for CI gates. The [`certify`] module renders certification runs
+//! (`schemacast certify`, `--certify`) produced by
+//! [`schemacast_core::certify::certify_context`].
 
+pub mod certify;
 pub mod lint;
 pub mod sarif;
 
+pub use certify::{render_certify_json, render_certify_text};
 pub use lint::{
     lint_pair, lint_schema, render_lint_json, render_lint_text, rule, rule_index, LintReport, Rule,
     RULES,

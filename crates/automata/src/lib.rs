@@ -17,6 +17,7 @@
 //!   append-heavy edits.
 
 pub mod bitset;
+pub mod certify;
 pub mod checks;
 pub mod dfa;
 pub mod editdist;
@@ -29,6 +30,9 @@ pub mod safety;
 pub mod witness;
 
 pub use bitset::BitSet;
+pub use certify::{
+    difference_path_cert, ida_cert, raw_dfa, restricted_pair_invariant, simulation_relation,
+};
 pub use checks::{
     equivalent, intersection_nonempty_restricted, language_subset, languages_disjoint,
     nonempty_restricted,
@@ -42,5 +46,6 @@ pub use product::Product;
 pub use revalidate::{Decision, Strategy, StringCast};
 pub use safety::{EditWordAnalysis, SafetyVerdict};
 pub use witness::{
-    shortest_accepted, shortest_accepted_nonempty, shortest_accepted_through, shortest_in_a_not_b,
+    pair_trace, shortest_accepted, shortest_accepted_nonempty, shortest_accepted_through,
+    shortest_in_a_not_b, shortest_in_both,
 };

@@ -5,16 +5,19 @@
 //! `L(a) ∖ L(b)` is a children sequence valid for the source content model
 //! and invalid for the target one, and the position at which the product
 //! automaton enters an immediately-rejecting state maps back to the
-//! offending particle. All searches here are breadth-first with parent
-//! pointers, so returned words are length-minimal (ties broken by smallest
-//! symbol index), and all accept an optional symbol restriction — witness
-//! words may only use labels whose child types can actually be instantiated
-//! as finite subtrees.
+//! offending particle. The certificate layer (`crate::certify`) reuses the
+//! same searches to extract witness words for `R_nondis` proofs and
+//! difference paths, so all searches share one parent-pointer frontier
+//! (the private `Bfs`): returned words are length-minimal (ties broken by smallest
+//! symbol index), and every search accepts an optional symbol restriction —
+//! witness words may only use labels whose child types can actually be
+//! instantiated as finite subtrees.
 
 use crate::bitset::BitSet;
 use crate::dfa::{Dfa, StateId};
 use schemacast_regex::Sym;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 
 fn allows(allowed: Option<&BitSet>, s: usize) -> bool {
     match allowed {
@@ -23,20 +26,51 @@ fn allows(allowed: Option<&BitSet>, s: usize) -> bool {
     }
 }
 
-/// Reconstructs the word leading to `q` from the BFS parent pointers.
-fn unwind<K: std::hash::Hash + Eq + Copy>(
-    parent: &HashMap<K, (K, Sym)>,
+/// A breadth-first frontier with parent pointers, generic over the node
+/// key — single states, state pairs, or `(state, flag)` products. All
+/// witness searches differ only in their node type, successor function and
+/// goal predicate; the queue/seen/unwind machinery lives here once.
+struct Bfs<K> {
     start: K,
-    mut q: K,
-) -> Vec<Sym> {
-    let mut word = Vec::new();
-    while q != start {
-        let (p, s) = parent[&q];
-        word.push(s);
-        q = p;
+    parent: HashMap<K, (K, Sym)>,
+    queue: VecDeque<K>,
+}
+
+impl<K: Hash + Eq + Copy> Bfs<K> {
+    fn new(start: K) -> Self {
+        let mut parent = HashMap::new();
+        // The start's sentinel parent marks it seen; `word_to` stops there.
+        parent.insert(start, (start, Sym(u32::MAX)));
+        Bfs {
+            start,
+            parent,
+            queue: VecDeque::from([start]),
+        }
     }
-    word.reverse();
-    word
+
+    fn pop(&mut self) -> Option<K> {
+        self.queue.pop_front()
+    }
+
+    /// Enqueues `to` (reached from `from` via `sym`) unless already seen.
+    fn offer(&mut self, from: K, sym: Sym, to: K) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.parent.entry(to) {
+            e.insert((from, sym));
+            self.queue.push_back(to);
+        }
+    }
+
+    /// Reconstructs the word leading from the start to `q`, then `last`.
+    fn word_through(&self, mut q: K, last: Sym) -> Vec<Sym> {
+        let mut word = vec![last];
+        while q != self.start {
+            let (p, s) = self.parent[&q];
+            word.push(s);
+            q = p;
+        }
+        word.reverse();
+        word
+    }
 }
 
 /// The shortest word of `L(d) ∩ P*`, if any (`allowed = None` means `P = Σ`).
@@ -58,11 +92,8 @@ fn shortest_accepted_from(
     if accept_empty && d.is_final(start) {
         return Some(Vec::new());
     }
-    let mut parent: HashMap<StateId, (StateId, Sym)> = HashMap::new();
-    let mut seen = BitSet::new(d.state_count());
-    seen.insert(start as usize);
-    let mut queue: VecDeque<StateId> = VecDeque::from([start]);
-    while let Some(q) = queue.pop_front() {
+    let mut bfs = Bfs::new(start);
+    while let Some(q) = bfs.pop() {
         for s in 0..d.alphabet_len() {
             if !allows(allowed, s) {
                 continue;
@@ -70,14 +101,9 @@ fn shortest_accepted_from(
             let sym = Sym(s as u32);
             let t = d.step(q, sym);
             if d.is_final(t) {
-                let mut word = unwind(&parent, start, q);
-                word.push(sym);
-                return Some(word);
+                return Some(bfs.word_through(q, sym));
             }
-            if seen.insert(t as usize) {
-                parent.insert(t, (q, sym));
-                queue.push_back(t);
-            }
+            bfs.offer(q, sym, t);
         }
     }
     None
@@ -87,35 +113,68 @@ fn shortest_accepted_from(
 /// BFS over the pair graph to a `(final-in-a, non-final-in-b)` pair, the
 /// state that seeds the product IDA's `IR` set.
 pub fn shortest_in_a_not_b(a: &Dfa, b: &Dfa, allowed: Option<&BitSet>) -> Option<Vec<Sym>> {
-    let start = (a.start(), b.start());
     let goal = |(qa, qb): (StateId, StateId)| a.is_final(qa) && !b.is_final(qb);
+    // Symbols at or beyond a's table width step `a` into its absorbing,
+    // non-final sink, from which the goal is unreachable — skip them.
+    shortest_pair_word(a, b, a.alphabet_len(), allowed, &goal)
+}
+
+/// The shortest word of `L(a) ∩ L(b)` over the permitted symbols, if any —
+/// the same pair-graph BFS aimed at a jointly final pair. This is the
+/// witness extractor for `R_nondis` certificates: a children sequence both
+/// content models accept.
+pub fn shortest_in_both(a: &Dfa, b: &Dfa, allowed: Option<&BitSet>) -> Option<Vec<Sym>> {
+    let goal = |(qa, qb): (StateId, StateId)| a.is_final(qa) && b.is_final(qb);
+    // A goal needs both components final, so symbols beyond either table's
+    // width (which sink that side) can never be on a shortest path.
+    let width = a.alphabet_len().min(b.alphabet_len());
+    shortest_pair_word(a, b, width, allowed, &goal)
+}
+
+/// Shared pair-graph search behind [`shortest_in_a_not_b`] and
+/// [`shortest_in_both`].
+fn shortest_pair_word(
+    a: &Dfa,
+    b: &Dfa,
+    width: usize,
+    allowed: Option<&BitSet>,
+    goal: &dyn Fn((StateId, StateId)) -> bool,
+) -> Option<Vec<Sym>> {
+    let start = (a.start(), b.start());
     if goal(start) {
         return Some(Vec::new());
     }
-    let mut parent: HashMap<(StateId, StateId), ((StateId, StateId), Sym)> = HashMap::new();
-    let mut seen: HashSet<(StateId, StateId)> = HashSet::from([start]);
-    let mut queue: VecDeque<(StateId, StateId)> = VecDeque::from([start]);
-    // Symbols at or beyond a's table width step `a` into its absorbing,
-    // non-final sink, from which the goal is unreachable — skip them.
-    while let Some((qa, qb)) = queue.pop_front() {
-        for s in 0..a.alphabet_len() {
+    let mut bfs = Bfs::new(start);
+    while let Some((qa, qb)) = bfs.pop() {
+        for s in 0..width {
             if !allows(allowed, s) {
                 continue;
             }
             let sym = Sym(s as u32);
             let next = (a.step(qa, sym), b.step(qb, sym));
             if goal(next) {
-                let mut word = unwind(&parent, start, (qa, qb));
-                word.push(sym);
-                return Some(word);
+                return Some(bfs.word_through((qa, qb), sym));
             }
-            if seen.insert(next) {
-                parent.insert(next, ((qa, qb), sym));
-                queue.push_back(next);
-            }
+            bfs.offer((qa, qb), sym, next);
         }
     }
     None
+}
+
+/// The pair-state trace `word` induces on `(a, b)` from the start pair:
+/// `word.len() + 1` entries, one per prefix. Used to build path
+/// certificates — the checker replays the same steps on its own tables.
+pub fn pair_trace(a: &Dfa, b: &Dfa, word: &[Sym]) -> Vec<(StateId, StateId)> {
+    let mut states = Vec::with_capacity(word.len() + 1);
+    let mut qa = a.start();
+    let mut qb = b.start();
+    states.push((qa, qb));
+    for &s in word {
+        qa = a.step(qa, s);
+        qb = b.step(qb, s);
+        states.push((qa, qb));
+    }
+    states
 }
 
 /// The shortest word of `L(d) ∩ P*` containing at least one occurrence of
@@ -124,10 +183,8 @@ pub fn shortest_in_a_not_b(a: &Dfa, b: &Dfa, allowed: Option<&BitSet>) -> Option
 pub fn shortest_accepted_through(d: &Dfa, via: Sym, allowed: Option<&BitSet>) -> Option<Vec<Sym>> {
     type Node = (StateId, bool);
     let start: Node = (d.start(), false);
-    let mut parent: HashMap<Node, (Node, Sym)> = HashMap::new();
-    let mut seen: HashSet<Node> = HashSet::from([start]);
-    let mut queue: VecDeque<Node> = VecDeque::from([start]);
-    while let Some((q, used)) = queue.pop_front() {
+    let mut bfs = Bfs::new(start);
+    while let Some((q, used)) = bfs.pop() {
         for s in 0..d.alphabet_len() {
             let sym = Sym(s as u32);
             if sym != via && !allows(allowed, s) {
@@ -135,14 +192,9 @@ pub fn shortest_accepted_through(d: &Dfa, via: Sym, allowed: Option<&BitSet>) ->
             }
             let next: Node = (d.step(q, sym), used || sym == via);
             if next.1 && d.is_final(next.0) {
-                let mut word = unwind(&parent, start, (q, used));
-                word.push(sym);
-                return Some(word);
+                return Some(bfs.word_through((q, used), sym));
             }
-            if seen.insert(next) {
-                parent.insert(next, ((q, used), sym));
-                queue.push_back(next);
-            }
+            bfs.offer((q, used), sym, next);
         }
     }
     None
@@ -199,6 +251,43 @@ mod tests {
         assert_eq!(w.len(), 2); // shipTo, items
                                 // The other direction is subsumed: no witness.
         assert_eq!(shortest_in_a_not_b(&target, &source, None), None);
+    }
+
+    #[test]
+    fn intersection_witness() {
+        let mut ab = Alphabet::new();
+        let a = compile("(x, y?, z)", &mut ab);
+        let b = compile("(x, y, z) | (x, w)", &mut ab);
+        let w = shortest_in_both(&a, &b, None).expect("xyz shared");
+        assert!(a.accepts(&w));
+        assert!(b.accepts(&w));
+        assert_eq!(w.len(), 3);
+        // Restricting away `y` empties the intersection.
+        let y = ab.lookup("y").unwrap();
+        let mut no_y = BitSet::new(ab.len());
+        for s in 0..ab.len() {
+            if s != y.index() {
+                no_y.insert(s);
+            }
+        }
+        assert_eq!(shortest_in_both(&a, &b, Some(&no_y)), None);
+    }
+
+    #[test]
+    fn pair_trace_replays_word() {
+        let mut ab = Alphabet::new();
+        let a = compile("(x, y)", &mut ab);
+        let b = compile("(x, y?)", &mut ab);
+        let w = shortest_in_both(&a, &b, None).expect("xy shared");
+        let trace = pair_trace(&a, &b, &w);
+        assert_eq!(trace.len(), w.len() + 1);
+        assert_eq!(trace[0], (a.start(), b.start()));
+        let (fa, fb) = *trace.last().unwrap();
+        assert!(a.is_final(fa) && b.is_final(fb));
+        for (i, &s) in w.iter().enumerate() {
+            let (qa, qb) = trace[i];
+            assert_eq!(trace[i + 1], (a.step(qa, s), b.step(qb, s)));
+        }
     }
 
     #[test]

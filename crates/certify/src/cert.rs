@@ -1,0 +1,331 @@
+//! Certificate data model.
+//!
+//! A [`CertBundle`] is plain data: a pool of [`RawDfa`]
+//! tables plus one vector per certificate kind, cross-referenced by index.
+//! Producers build bundles; [`check_bundle`](crate::check_bundle) validates
+//! them; nothing here has behavior beyond counting.
+//!
+//! Type identities (`source_type` / `target_type`) and symbols are bare
+//! `u32` indices — the checker never interprets them, it only cross-checks
+//! that references agree on them, which is what makes a bundle a connected
+//! proof instead of a pile of unrelated facts.
+
+use crate::dfa::RawDfa;
+
+/// Index into [`CertBundle::dfas`].
+pub type DfaRef = u32;
+
+/// Certificate for `L(a) ⊆ L(b)`: a simulation relation over state pairs.
+///
+/// Valid iff the relation contains the start pair, is closed under every
+/// symbol, and never pairs an `a`-final state with a `b`-non-final one.
+/// Producers emit the *reachable* pair set (the minimal such relation), so
+/// removing any element breaks either start membership or closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationCert {
+    /// The included (source) DFA.
+    pub a: DfaRef,
+    /// The including (target) DFA.
+    pub b: DfaRef,
+    /// The simulation relation as `(q_a, q_b)` pairs.
+    pub relation: Vec<(u32, u32)>,
+}
+
+/// One per-label obligation of an `R_sub` certificate: the child type pair
+/// reached through `symbol` must itself be certified subsumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubObligation {
+    /// The label (symbol index) this obligation covers.
+    pub symbol: u32,
+    /// The source child type reached through `symbol` (trusted mapping).
+    pub child_source: u32,
+    /// The target child type reached through `symbol` (trusted mapping).
+    pub child_target: u32,
+    /// Index into [`CertBundle::subs`] of the child pair's certificate.
+    pub child_ref: u32,
+}
+
+/// The body of an `R_sub` certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubBody {
+    /// Simple × simple value-space subsumption — a trusted axiom leaf.
+    SimpleAxiom,
+    /// Complex × complex: language inclusion plus child obligations
+    /// covering **exactly** the useful symbols of `a` (every symbol that
+    /// can occur in an accepted children sequence).
+    Complex {
+        /// The content-model language inclusion.
+        simulation: SimulationCert,
+        /// One obligation per useful symbol of the source DFA.
+        obligations: Vec<SubObligation>,
+    },
+}
+
+/// Certificate that a type pair is in `R_sub` (Definition 4).
+///
+/// Coinductive: child references may form cycles — `R_sub` is a greatest
+/// fixpoint, so circular justification is sound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubCert {
+    /// Source type index.
+    pub source_type: u32,
+    /// Target type index.
+    pub target_type: u32,
+    /// The evidence.
+    pub body: SubBody,
+}
+
+/// A symbol excluded from a disjointness invariant's closure obligation,
+/// with the reason the exclusion is sound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockedSymbol {
+    /// Both schemas type the label, and the child pair is disjoint: no
+    /// common tree can contain this label here. Coinductive reference into
+    /// [`CertBundle::diss`].
+    DisjointChild {
+        /// The blocked label.
+        symbol: u32,
+        /// Source child type (trusted mapping).
+        child_source: u32,
+        /// Target child type (trusted mapping).
+        child_target: u32,
+        /// Index of the child pair's disjointness certificate.
+        dis_ref: u32,
+    },
+    /// At least one schema has no child typing for the label, so no valid
+    /// tree on that side contains it — a trusted axiom leaf (the builder
+    /// rejects content models mentioning untyped labels).
+    Untyped {
+        /// The blocked label.
+        symbol: u32,
+    },
+}
+
+impl BlockedSymbol {
+    /// The blocked label.
+    pub fn symbol(&self) -> u32 {
+        match *self {
+            BlockedSymbol::DisjointChild { symbol, .. } | BlockedSymbol::Untyped { symbol } => {
+                symbol
+            }
+        }
+    }
+}
+
+/// The body of an `R_dis` certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisBody {
+    /// Value-space disjointness or childless-element reasoning involving a
+    /// simple type — a trusted axiom leaf.
+    SimpleAxiom,
+    /// Complex × complex: a product-pair invariant that contains the start
+    /// pair, contains no (final, final) pair, and is closed under every
+    /// symbol not blocked. Any common word would have to stay inside the
+    /// invariant (or use a blocked label, impossible by its reason) and end
+    /// in a (final, final) pair — contradiction.
+    Complex {
+        /// The source content DFA.
+        a: DfaRef,
+        /// The target content DFA.
+        b: DfaRef,
+        /// The invariant pair set (the reachable set under permitted
+        /// symbols, so every element is load-bearing).
+        invariant: Vec<(u32, u32)>,
+        /// Symbols exempt from closure, each with a soundness reason.
+        blocked: Vec<BlockedSymbol>,
+    },
+}
+
+/// Certificate that a type pair is in `R_dis` (Definition 5 complement).
+/// Coinductive, like [`SubCert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisCert {
+    /// Source type index.
+    pub source_type: u32,
+    /// Target type index.
+    pub target_type: u32,
+    /// The evidence.
+    pub body: DisBody,
+}
+
+/// One position of an `R_nondis` witness word: the child pair instantiated
+/// at that position, certified non-disjoint by an earlier bundle entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NondisChild {
+    /// Source child type (trusted mapping for the word's symbol).
+    pub child_source: u32,
+    /// Target child type (trusted mapping for the word's symbol).
+    pub child_target: u32,
+    /// Index into [`CertBundle::nondis`] — must be **strictly smaller**
+    /// than the referencing certificate's own index (well-foundedness of
+    /// the least fixpoint).
+    pub nondis_ref: u32,
+}
+
+/// The body of an `R_nondis` certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NondisBody {
+    /// Shared simple value or shared childless element — trusted axiom.
+    SimpleAxiom,
+    /// Complex × complex: a children word accepted by both content models,
+    /// with each position's child pair certified non-disjoint earlier in
+    /// the bundle. Flattening the paper's witness *tree*: the word is one
+    /// node's children, the references are its certified subtrees.
+    Complex {
+        /// The source content DFA.
+        a: DfaRef,
+        /// The target content DFA.
+        b: DfaRef,
+        /// The witness children sequence (symbol indices).
+        word: Vec<u32>,
+        /// Exactly one entry per word position.
+        children: Vec<NondisChild>,
+    },
+}
+
+/// Certificate that a type pair is **not** disjoint. Inductive: circular
+/// justification would be unsound for a least fixpoint, so references must
+/// strictly decrease.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NondisCert {
+    /// Source type index.
+    pub source_type: u32,
+    /// Target type index.
+    pub target_type: u32,
+    /// The evidence.
+    pub body: NondisBody,
+}
+
+/// Exactness certificate for one product IDA (Definitions 7–8).
+///
+/// All six vectors index the `|Q_a| × |Q_b|` grid as `q_a · |Q_b| + q_b`.
+/// `safe` claims the exact set of pairs that cannot reach a *bad* pair
+/// (`a`-final, `b`-non-final); `dead` the exact set that cannot reach a
+/// (final, final) pair. Soundness of each set is a closure check
+/// (coinductive); **exactness** is witnessed by the rank vectors: a
+/// non-member's rank is its distance to a bad/final pair, checked to be
+/// strictly decreasing along some edge — so flipping any bit in either
+/// direction is caught. The published decision sets are then tied down
+/// pointwise: `ia = safe ∖ dead`, `ir = dead` (the producer resolves the
+/// overlap in favour of rejection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdaCert {
+    /// Source type index.
+    pub source_type: u32,
+    /// Target type index.
+    pub target_type: u32,
+    /// The source content DFA.
+    pub a: DfaRef,
+    /// The target content DFA.
+    pub b: DfaRef,
+    /// Exact "cannot reach a bad pair" set.
+    pub safe: Vec<bool>,
+    /// For non-`safe` pairs: distance to a bad pair (0 ⇒ the pair itself
+    /// is bad). Ignored (producer writes 0) for members.
+    pub safe_rank: Vec<u32>,
+    /// Exact "cannot reach a (final, final) pair" set.
+    pub dead: Vec<bool>,
+    /// For non-`dead` pairs: distance to a (final, final) pair.
+    pub dead_rank: Vec<u32>,
+    /// The published immediate-accept set, exactly as the engine uses it.
+    pub ia: Vec<bool>,
+    /// The published immediate-reject set, exactly as the engine uses it.
+    pub ir: Vec<bool>,
+}
+
+/// Certificate for a difference witness `w ∈ L(a) ∖ L(b)`: the word plus
+/// the product-state trace its run induces, ending in an (`a`-final,
+/// `b`-non-final) pair. Minimality of `w` is *not* certified — only
+/// membership in the difference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathCert {
+    /// Source type index.
+    pub source_type: u32,
+    /// Target type index.
+    pub target_type: u32,
+    /// The source content DFA.
+    pub a: DfaRef,
+    /// The target content DFA.
+    pub b: DfaRef,
+    /// The witness word (symbol indices).
+    pub word: Vec<u32>,
+    /// The trace: `word.len() + 1` pairs, starting at the start pair.
+    pub states: Vec<(u32, u32)>,
+}
+
+/// A relabel fact consulted by the safety analyzer: relabelling `from → to`
+/// moves the kept subtree from `child_source`'s typing to `child_target`'s,
+/// and the referenced certificate proves the relation used by the verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelabelLink {
+    /// The original label.
+    pub from: u32,
+    /// The new label.
+    pub to: u32,
+    /// Source child type of `from` (trusted mapping).
+    pub child_source: u32,
+    /// Target child type of `to` (trusted mapping).
+    pub child_target: u32,
+    /// Index into [`CertBundle::subs`] or [`CertBundle::diss`], depending
+    /// on which vector this link lives in.
+    pub cert_ref: u32,
+}
+
+/// Certificate trace for one `SafetyMatrix` row: every static fact the
+/// pair's Safe/Unsafe verdicts consumed, resolved to a checked certificate.
+/// This is what makes an engine `static_skips`/`static_rejects` decision
+/// auditable end to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyCert {
+    /// Source type index.
+    pub source_type: u32,
+    /// Target type index.
+    pub target_type: u32,
+    /// The word-level evidence: index into [`CertBundle::idas`] for this
+    /// pair's product IDA (whose `IA`/`IR` sets decide every insert/delete/
+    /// relabel word verdict).
+    pub ida_ref: u32,
+    /// `Some` iff the analyzer claimed `child_sub_stable`: one obligation
+    /// per useful source symbol, each resolving to a checked `R_sub`
+    /// certificate — the condition under which untouched sibling subtrees
+    /// stay target-valid.
+    pub stable: Option<Vec<SubObligation>>,
+    /// Relabel pairs whose `Safe` verdicts consulted `R_sub`.
+    pub sub_links: Vec<RelabelLink>,
+    /// Relabel pairs whose `Unsafe` verdicts consulted `R_dis`.
+    pub dis_links: Vec<RelabelLink>,
+}
+
+/// Everything a producer claims about one schema pair, cross-referenced by
+/// index. See the [crate docs](crate) for the proof structure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CertBundle {
+    /// The DFA pool all certificates reference.
+    pub dfas: Vec<RawDfa>,
+    /// `R_sub` certificates (unordered, may reference cyclically).
+    pub subs: Vec<SubCert>,
+    /// `R_dis` certificates (unordered, may reference cyclically).
+    pub diss: Vec<DisCert>,
+    /// `R_nondis` certificates in well-founded order: entry `i` may only
+    /// reference entries `< i`.
+    pub nondis: Vec<NondisCert>,
+    /// Product-IDA exactness certificates.
+    pub idas: Vec<IdaCert>,
+    /// Difference-witness path certificates.
+    pub paths: Vec<PathCert>,
+    /// Safety-matrix trace certificates.
+    pub safety: Vec<SafetyCert>,
+}
+
+impl CertBundle {
+    /// Total number of checkable objects (DFA tables + certificates).
+    pub fn object_count(&self) -> usize {
+        self.dfas.len()
+            + self.subs.len()
+            + self.diss.len()
+            + self.nondis.len()
+            + self.idas.len()
+            + self.paths.len()
+            + self.safety.len()
+    }
+}

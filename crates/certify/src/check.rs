@@ -1,0 +1,1221 @@
+//! The certificate checker: linear-time validation of a [`CertBundle`].
+//!
+//! Every check here is a *local* verification — membership tests, closure
+//! sweeps, word runs, rank comparisons — never a re-run of the producer's
+//! fixpoint. The checker steps raw transition tables directly and treats a
+//! product pair `(q_a, q_b)` as two independent steps, so a bug in the
+//! producer's product construction cannot hide from it.
+
+use std::collections::HashSet;
+
+use crate::cert::{
+    BlockedSymbol, CertBundle, DisBody, DisCert, IdaCert, NondisBody, NondisCert, PathCert,
+    SafetyCert, SimulationCert, SubBody, SubCert, SubObligation,
+};
+use crate::dfa::RawDfa;
+
+/// Which vector of the bundle a failure points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CertKind {
+    /// [`CertBundle::dfas`]
+    Dfa,
+    /// [`CertBundle::subs`]
+    Sub,
+    /// [`CertBundle::diss`]
+    Dis,
+    /// [`CertBundle::nondis`]
+    Nondis,
+    /// [`CertBundle::idas`]
+    Ida,
+    /// [`CertBundle::paths`]
+    Path,
+    /// [`CertBundle::safety`]
+    Safety,
+}
+
+impl CertKind {
+    /// Stable lowercase name, used in reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CertKind::Dfa => "dfa",
+            CertKind::Sub => "sub",
+            CertKind::Dis => "dis",
+            CertKind::Nondis => "nondis",
+            CertKind::Ida => "ida",
+            CertKind::Path => "path",
+            CertKind::Safety => "safety",
+        }
+    }
+}
+
+/// One rejected object: which vector, which index, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckFailure {
+    /// The bundle vector the failing object lives in.
+    pub kind: CertKind,
+    /// Its index within that vector.
+    pub index: usize,
+    /// Human-readable reason the check failed.
+    pub reason: String,
+}
+
+/// The outcome of [`check_bundle`]: how many objects were examined and
+/// every failure found (the checker does not stop at the first).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Objects examined (DFA tables + certificates of every kind).
+    pub checked: usize,
+    /// All rejections, in bundle order.
+    pub failures: Vec<CheckFailure>,
+}
+
+impl CheckReport {
+    /// True iff every object in the bundle passed.
+    pub fn all_valid(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Per-bundle context threaded through the individual checks.
+struct Ctx<'a> {
+    bundle: &'a CertBundle,
+    /// DFAs whose shape validation failed; certificates referencing one
+    /// fail with a reference error instead of panicking.
+    bad_dfas: Vec<bool>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Resolves a DFA reference, rejecting out-of-range and malformed ones.
+    fn dfa(&self, r: u32) -> Result<&'a RawDfa, String> {
+        let i = r as usize;
+        match self.bundle.dfas.get(i) {
+            None => Err(format!("dfa ref {r} out of range")),
+            Some(_) if self.bad_dfas[i] => Err(format!("dfa ref {r} failed shape validation")),
+            Some(d) => Ok(d),
+        }
+    }
+
+    /// The sub certificate at `r`, if any — used to cross-check that a
+    /// reference resolves to a certificate *for the claimed type pair*.
+    fn sub(&self, r: u32) -> Result<&'a SubCert, String> {
+        self.bundle
+            .subs
+            .get(r as usize)
+            .ok_or_else(|| format!("sub ref {r} out of range"))
+    }
+
+    fn dis(&self, r: u32) -> Result<&'a DisCert, String> {
+        self.bundle
+            .diss
+            .get(r as usize)
+            .ok_or_else(|| format!("dis ref {r} out of range"))
+    }
+
+    fn nondis(&self, r: u32) -> Result<&'a NondisCert, String> {
+        self.bundle
+            .nondis
+            .get(r as usize)
+            .ok_or_else(|| format!("nondis ref {r} out of range"))
+    }
+}
+
+/// Validates every object in the bundle. Runs in time linear in the total
+/// size of the certificates (each pair set, word, and grid is swept a
+/// constant number of times).
+pub fn check_bundle(bundle: &CertBundle) -> CheckReport {
+    let mut report = CheckReport {
+        checked: bundle.object_count(),
+        failures: Vec::new(),
+    };
+    let mut bad_dfas = vec![false; bundle.dfas.len()];
+    for (i, d) in bundle.dfas.iter().enumerate() {
+        if let Err(reason) = d.validate_shape() {
+            bad_dfas[i] = true;
+            report.failures.push(CheckFailure {
+                kind: CertKind::Dfa,
+                index: i,
+                reason,
+            });
+        }
+    }
+    let ctx = Ctx { bundle, bad_dfas };
+    for (i, c) in bundle.subs.iter().enumerate() {
+        if let Err(reason) = check_sub(&ctx, c) {
+            report.failures.push(CheckFailure {
+                kind: CertKind::Sub,
+                index: i,
+                reason,
+            });
+        }
+    }
+    for (i, c) in bundle.diss.iter().enumerate() {
+        if let Err(reason) = check_dis(&ctx, c) {
+            report.failures.push(CheckFailure {
+                kind: CertKind::Dis,
+                index: i,
+                reason,
+            });
+        }
+    }
+    for (i, c) in bundle.nondis.iter().enumerate() {
+        if let Err(reason) = check_nondis(&ctx, c, i) {
+            report.failures.push(CheckFailure {
+                kind: CertKind::Nondis,
+                index: i,
+                reason,
+            });
+        }
+    }
+    for (i, c) in bundle.idas.iter().enumerate() {
+        if let Err(reason) = check_ida(&ctx, c) {
+            report.failures.push(CheckFailure {
+                kind: CertKind::Ida,
+                index: i,
+                reason,
+            });
+        }
+    }
+    for (i, c) in bundle.paths.iter().enumerate() {
+        if let Err(reason) = check_path(&ctx, c) {
+            report.failures.push(CheckFailure {
+                kind: CertKind::Path,
+                index: i,
+                reason,
+            });
+        }
+    }
+    for (i, c) in bundle.safety.iter().enumerate() {
+        if let Err(reason) = check_safety(&ctx, c) {
+            report.failures.push(CheckFailure {
+                kind: CertKind::Safety,
+                index: i,
+                reason,
+            });
+        }
+    }
+    report
+}
+
+/// Core simulation check: the relation contains the start pair, never pairs
+/// an `a`-final with a `b`-non-final state, and is closed under every
+/// symbol up to the wider alphabet.
+fn check_simulation(ctx: &Ctx<'_>, sim: &SimulationCert) -> Result<(), String> {
+    let a = ctx.dfa(sim.a)?;
+    let b = ctx.dfa(sim.b)?;
+    let rel: HashSet<(u32, u32)> = sim.relation.iter().copied().collect();
+    if !rel.contains(&(a.start, b.start)) {
+        return Err("simulation relation misses the start pair".into());
+    }
+    let width = a.alphabet_len.max(b.alphabet_len);
+    for &(qa, qb) in &sim.relation {
+        if qa as usize >= a.state_count() || qb as usize >= b.state_count() {
+            return Err(format!("simulation pair ({qa},{qb}) out of range"));
+        }
+        if a.is_final(qa) && !b.is_final(qb) {
+            return Err(format!(
+                "simulation pair ({qa},{qb}) pairs a final source state with a non-final target state"
+            ));
+        }
+        for s in 0..width {
+            let next = (a.step(qa, s), b.step(qb, s));
+            if !rel.contains(&next) {
+                return Err(format!(
+                    "simulation relation not closed: ({qa},{qb}) --{s}--> ({},{}) missing",
+                    next.0, next.1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates the obligation list of a complex `R_sub` or stability claim:
+/// obligations must cover *exactly* `useful` (the recomputed useful symbols
+/// of the source DFA), and each must resolve to a sub certificate for the
+/// claimed child pair. Exact coverage is what makes dropping an obligation
+/// a guaranteed-caught mutation.
+fn check_obligations(
+    ctx: &Ctx<'_>,
+    obligations: &[SubObligation],
+    useful: &[bool],
+) -> Result<(), String> {
+    let mut covered = vec![false; useful.len()];
+    for ob in obligations {
+        let s = ob.symbol as usize;
+        if s >= useful.len() || !useful[s] {
+            return Err(format!("obligation for symbol {s} which is not useful"));
+        }
+        if covered[s] {
+            return Err(format!("duplicate obligation for symbol {s}"));
+        }
+        covered[s] = true;
+        let child = ctx.sub(ob.child_ref)?;
+        if child.source_type != ob.child_source || child.target_type != ob.child_target {
+            return Err(format!(
+                "obligation for symbol {s} references a sub certificate for pair ({},{}) but claims ({},{})",
+                child.source_type, child.target_type, ob.child_source, ob.child_target
+            ));
+        }
+    }
+    if let Some(s) = useful.iter().enumerate().find(|&(s, &u)| u && !covered[s]) {
+        return Err(format!("useful symbol {} has no obligation", s.0));
+    }
+    Ok(())
+}
+
+fn check_sub(ctx: &Ctx<'_>, cert: &SubCert) -> Result<(), String> {
+    match &cert.body {
+        SubBody::SimpleAxiom => Ok(()),
+        SubBody::Complex {
+            simulation,
+            obligations,
+        } => {
+            check_simulation(ctx, simulation)?;
+            let a = ctx.dfa(simulation.a)?;
+            check_obligations(ctx, obligations, &a.useful_symbols())
+        }
+    }
+}
+
+fn check_dis(ctx: &Ctx<'_>, cert: &DisCert) -> Result<(), String> {
+    match &cert.body {
+        DisBody::SimpleAxiom => Ok(()),
+        DisBody::Complex {
+            a,
+            b,
+            invariant,
+            blocked,
+        } => {
+            let da = ctx.dfa(*a)?;
+            let db = ctx.dfa(*b)?;
+            let width = da.alphabet_len.max(db.alphabet_len);
+            let mut is_blocked = vec![false; width as usize];
+            for bs in blocked {
+                let s = bs.symbol() as usize;
+                if s >= width as usize {
+                    return Err(format!("blocked symbol {s} beyond alphabet width {width}"));
+                }
+                if is_blocked[s] {
+                    return Err(format!("symbol {s} blocked twice"));
+                }
+                is_blocked[s] = true;
+                match bs {
+                    BlockedSymbol::DisjointChild {
+                        child_source,
+                        child_target,
+                        dis_ref,
+                        ..
+                    } => {
+                        let child = ctx.dis(*dis_ref)?;
+                        if child.source_type != *child_source || child.target_type != *child_target
+                        {
+                            return Err(format!(
+                                "blocked symbol {s} references a dis certificate for pair ({},{}) but claims ({},{})",
+                                child.source_type,
+                                child.target_type,
+                                child_source,
+                                child_target
+                            ));
+                        }
+                    }
+                    // An untyped label is absent from every valid tree on
+                    // the side lacking the typing — an extraction-layer
+                    // axiom (the schema builder rejects content models
+                    // mentioning untyped labels).
+                    BlockedSymbol::Untyped { .. } => {}
+                }
+            }
+            let inv: HashSet<(u32, u32)> = invariant.iter().copied().collect();
+            if !inv.contains(&(da.start, db.start)) {
+                return Err("disjointness invariant misses the start pair".into());
+            }
+            for &(qa, qb) in invariant {
+                if qa as usize >= da.state_count() || qb as usize >= db.state_count() {
+                    return Err(format!("invariant pair ({qa},{qb}) out of range"));
+                }
+                if da.is_final(qa) && db.is_final(qb) {
+                    return Err(format!(
+                        "invariant contains a jointly final pair ({qa},{qb})"
+                    ));
+                }
+                for s in 0..width {
+                    if is_blocked[s as usize] {
+                        continue;
+                    }
+                    let next = (da.step(qa, s), db.step(qb, s));
+                    if !inv.contains(&next) {
+                        return Err(format!(
+                            "invariant not closed: ({qa},{qb}) --{s}--> ({},{}) missing",
+                            next.0, next.1
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_nondis(ctx: &Ctx<'_>, cert: &NondisCert, own_index: usize) -> Result<(), String> {
+    match &cert.body {
+        NondisBody::SimpleAxiom => Ok(()),
+        NondisBody::Complex {
+            a,
+            b,
+            word,
+            children,
+        } => {
+            let da = ctx.dfa(*a)?;
+            let db = ctx.dfa(*b)?;
+            if !da.accepts(word) {
+                return Err("witness word rejected by the source content model".into());
+            }
+            if !db.accepts(word) {
+                return Err("witness word rejected by the target content model".into());
+            }
+            if children.len() != word.len() {
+                return Err(format!(
+                    "witness has {} positions but {} child references",
+                    word.len(),
+                    children.len()
+                ));
+            }
+            for (pos, child) in children.iter().enumerate() {
+                // Well-foundedness: a least-fixpoint fact may only rest on
+                // strictly earlier facts, or circular "witnesses" would
+                // justify themselves.
+                if child.nondis_ref as usize >= own_index {
+                    return Err(format!(
+                        "child at position {pos} references nondis certificate {} (not strictly earlier than {own_index})",
+                        child.nondis_ref
+                    ));
+                }
+                let referenced = ctx.nondis(child.nondis_ref)?;
+                if referenced.source_type != child.child_source
+                    || referenced.target_type != child.child_target
+                {
+                    return Err(format!(
+                        "child at position {pos} references a nondis certificate for pair ({},{}) but claims ({},{})",
+                        referenced.source_type,
+                        referenced.target_type,
+                        child.child_source,
+                        child.child_target
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks one exact-set claim over the product grid: `member` must be
+/// closed under all product steps (soundness: no member can ever reach a
+/// goal pair), and every non-member must carry a rank that is zero iff the
+/// pair *is* a goal, and otherwise strictly decreases along some edge
+/// (completeness: the pair really reaches a goal in `rank` steps).
+fn check_exact_set(
+    da: &RawDfa,
+    db: &RawDfa,
+    nb: usize,
+    member: &[bool],
+    rank: &[u32],
+    is_goal: &dyn Fn(u32, u32) -> bool,
+    what: &str,
+) -> Result<(), String> {
+    let width = da.alphabet_len.max(db.alphabet_len);
+    for qa in 0..da.state_count() as u32 {
+        for qb in 0..db.state_count() as u32 {
+            let q = qa as usize * nb + qb as usize;
+            if member[q] {
+                if is_goal(qa, qb) {
+                    return Err(format!("{what} set contains goal pair ({qa},{qb})"));
+                }
+                for s in 0..width {
+                    let t = da.step(qa, s) as usize * nb + db.step(qb, s) as usize;
+                    if !member[t] {
+                        return Err(format!(
+                            "{what} set not closed: ({qa},{qb}) --{s}--> non-member"
+                        ));
+                    }
+                }
+            } else if rank[q] == 0 {
+                if !is_goal(qa, qb) {
+                    return Err(format!(
+                        "pair ({qa},{qb}) outside the {what} set has rank 0 but is not a goal pair"
+                    ));
+                }
+            } else {
+                let r = rank[q];
+                let descends = (0..width).any(|s| {
+                    let t = da.step(qa, s) as usize * nb + db.step(qb, s) as usize;
+                    !member[t] && rank[t] < r
+                });
+                if !descends {
+                    return Err(format!(
+                        "pair ({qa},{qb}) outside the {what} set has rank {r} but no successor with a smaller rank"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_ida(ctx: &Ctx<'_>, cert: &IdaCert) -> Result<(), String> {
+    let da = ctx.dfa(cert.a)?;
+    let db = ctx.dfa(cert.b)?;
+    let na = da.state_count();
+    let nb = db.state_count();
+    let n = na * nb;
+    for (name, v) in [
+        ("safe", cert.safe.len()),
+        ("safe_rank", cert.safe_rank.len()),
+        ("dead", cert.dead.len()),
+        ("dead_rank", cert.dead_rank.len()),
+        ("ia", cert.ia.len()),
+        ("ir", cert.ir.len()),
+    ] {
+        if v != n {
+            return Err(format!("{name} vector has {v} entries, grid has {n}"));
+        }
+    }
+    // Bad pair: the source accepts here but the target does not — reaching
+    // one means a source-valid children word the target rejects.
+    check_exact_set(
+        da,
+        db,
+        nb,
+        &cert.safe,
+        &cert.safe_rank,
+        &|qa, qb| da.is_final(qa) && !db.is_final(qb),
+        "safe",
+    )?;
+    // Final pair: both accept — being unable to reach one means no word
+    // completes on both sides, so the target run can never succeed either.
+    check_exact_set(
+        da,
+        db,
+        nb,
+        &cert.dead,
+        &cert.dead_rank,
+        &|qa, qb| da.is_final(qa) && db.is_final(qb),
+        "dead",
+    )?;
+    // The published decision sets, pointwise: IA = safe ∖ dead (the
+    // producer resolves the overlap in favour of immediate rejection),
+    // IR = dead.
+    for q in 0..n {
+        if cert.ia[q] != (cert.safe[q] && !cert.dead[q]) {
+            return Err(format!(
+                "published IA disagrees with safe/dead sets at grid index {q}"
+            ));
+        }
+        if cert.ir[q] != cert.dead[q] {
+            return Err(format!(
+                "published IR disagrees with dead set at grid index {q}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_path(ctx: &Ctx<'_>, cert: &PathCert) -> Result<(), String> {
+    let da = ctx.dfa(cert.a)?;
+    let db = ctx.dfa(cert.b)?;
+    if cert.states.len() != cert.word.len() + 1 {
+        return Err(format!(
+            "trace has {} states for a {}-symbol word",
+            cert.states.len(),
+            cert.word.len()
+        ));
+    }
+    if cert.states[0] != (da.start, db.start) {
+        return Err("trace does not begin at the start pair".into());
+    }
+    for (i, &s) in cert.word.iter().enumerate() {
+        let (qa, qb) = cert.states[i];
+        if qa as usize >= da.state_count() || qb as usize >= db.state_count() {
+            return Err(format!("trace state ({qa},{qb}) out of range"));
+        }
+        let next = (da.step(qa, s), db.step(qb, s));
+        if cert.states[i + 1] != next {
+            return Err(format!(
+                "trace step {i} inconsistent: ({qa},{qb}) --{s}--> ({},{}) but trace says ({},{})",
+                next.0,
+                next.1,
+                cert.states[i + 1].0,
+                cert.states[i + 1].1
+            ));
+        }
+    }
+    let &(qa, qb) = cert.states.last().expect("non-empty by length check");
+    if qa as usize >= da.state_count() || qb as usize >= db.state_count() {
+        return Err(format!("trace state ({qa},{qb}) out of range"));
+    }
+    if !da.is_final(qa) {
+        return Err("witness word is not accepted by the source content model".into());
+    }
+    if db.is_final(qb) {
+        return Err("witness word is accepted by the target content model too".into());
+    }
+    Ok(())
+}
+
+fn check_safety(ctx: &Ctx<'_>, cert: &SafetyCert) -> Result<(), String> {
+    let ida = ctx
+        .bundle
+        .idas
+        .get(cert.ida_ref as usize)
+        .ok_or_else(|| format!("ida ref {} out of range", cert.ida_ref))?;
+    if ida.source_type != cert.source_type || ida.target_type != cert.target_type {
+        return Err(format!(
+            "ida ref {} certifies pair ({},{}) but this safety certificate is for ({},{})",
+            cert.ida_ref, ida.source_type, ida.target_type, cert.source_type, cert.target_type
+        ));
+    }
+    if let Some(stable) = &cert.stable {
+        let a = ctx.dfa(ida.a)?;
+        check_obligations(ctx, stable, &a.useful_symbols())
+            .map_err(|e| format!("child_sub_stable claim: {e}"))?;
+    }
+    for (i, link) in cert.sub_links.iter().enumerate() {
+        let sub = ctx
+            .sub(link.cert_ref)
+            .map_err(|e| format!("relabel sub link {i}: {e}"))?;
+        if sub.source_type != link.child_source || sub.target_type != link.child_target {
+            return Err(format!(
+                "relabel sub link {i} references a sub certificate for pair ({},{}) but claims ({},{})",
+                sub.source_type, sub.target_type, link.child_source, link.child_target
+            ));
+        }
+    }
+    for (i, link) in cert.dis_links.iter().enumerate() {
+        let dis = ctx
+            .dis(link.cert_ref)
+            .map_err(|e| format!("relabel dis link {i}: {e}"))?;
+        if dis.source_type != link.child_source || dis.target_type != link.child_target {
+            return Err(format!(
+                "relabel dis link {i} references a dis certificate for pair ({},{}) but claims ({},{})",
+                dis.source_type, dis.target_type, link.child_source, link.child_target
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{NondisChild, RelabelLink, SubBody};
+
+    /// `L = {ab}` over Σ = {a=0, b=1}.
+    fn ab_dfa() -> RawDfa {
+        RawDfa {
+            alphabet_len: 2,
+            start: 0,
+            trans: vec![1, 3, 3, 2, 3, 3, 3, 3],
+            finals: vec![false, false, true, false],
+            sink: 3,
+        }
+    }
+
+    /// `L = a·b·b*` over the same alphabet — a strict superset of `{ab}`.
+    fn abb_star_dfa() -> RawDfa {
+        RawDfa {
+            alphabet_len: 2,
+            start: 0,
+            trans: vec![1, 3, 3, 2, 3, 2, 3, 3],
+            finals: vec![false, false, true, false],
+            sink: 3,
+        }
+    }
+
+    /// `L = {ba}` — disjoint from `{ab}`.
+    fn ba_dfa() -> RawDfa {
+        RawDfa {
+            alphabet_len: 2,
+            start: 0,
+            trans: vec![3, 1, 2, 3, 3, 3, 3, 3],
+            finals: vec![false, false, true, false],
+            sink: 3,
+        }
+    }
+
+    /// The reachable pair set of `{ab} ⊆ a·b·b*`.
+    fn ab_in_abbstar_sim() -> SimulationCert {
+        SimulationCert {
+            a: 0,
+            b: 1,
+            relation: vec![(0, 0), (1, 1), (2, 2), (3, 3), (3, 2)],
+        }
+    }
+
+    fn two_dfa_bundle() -> CertBundle {
+        CertBundle {
+            dfas: vec![ab_dfa(), abb_star_dfa()],
+            ..CertBundle::default()
+        }
+    }
+
+    fn fail_reason(bundle: &CertBundle) -> String {
+        let report = check_bundle(bundle);
+        assert!(!report.all_valid(), "expected a failure");
+        report.failures[0].reason.clone()
+    }
+
+    #[test]
+    fn valid_sub_cert_passes() {
+        let mut bundle = two_dfa_bundle();
+        bundle.subs.push(SubCert {
+            source_type: 7,
+            target_type: 9,
+            body: SubBody::Complex {
+                simulation: ab_in_abbstar_sim(),
+                obligations: vec![
+                    SubObligation {
+                        symbol: 0,
+                        child_source: 1,
+                        child_target: 1,
+                        child_ref: 1,
+                    },
+                    SubObligation {
+                        symbol: 1,
+                        child_source: 2,
+                        child_target: 2,
+                        child_ref: 2,
+                    },
+                ],
+            },
+        });
+        bundle.subs.push(SubCert {
+            source_type: 1,
+            target_type: 1,
+            body: SubBody::SimpleAxiom,
+        });
+        bundle.subs.push(SubCert {
+            source_type: 2,
+            target_type: 2,
+            body: SubBody::SimpleAxiom,
+        });
+        let report = check_bundle(&bundle);
+        assert!(report.all_valid(), "{:?}", report.failures);
+        assert_eq!(report.checked, 5);
+    }
+
+    #[test]
+    fn sub_cert_failures() {
+        let base = |body: SubBody| {
+            let mut bundle = two_dfa_bundle();
+            bundle.subs.push(SubCert {
+                source_type: 0,
+                target_type: 0,
+                body,
+            });
+            bundle
+        };
+        // Wrong direction: a·b·b* ⊄ {ab} — the pair (2,2) steps on b to
+        // (2,3), pairing final with non-final (or missing from relation).
+        let mut sim = ab_in_abbstar_sim();
+        sim.a = 1;
+        sim.b = 0;
+        let bundle = base(SubBody::Complex {
+            simulation: sim,
+            obligations: vec![],
+        });
+        assert!(!check_bundle(&bundle).all_valid());
+
+        // Dropping any relation pair breaks start membership or closure.
+        for drop in 0..5 {
+            let mut sim = ab_in_abbstar_sim();
+            sim.relation.remove(drop);
+            let bundle = base(SubBody::Complex {
+                simulation: sim,
+                obligations: vec![],
+            });
+            let reason = fail_reason(&bundle);
+            assert!(
+                reason.contains("start pair") || reason.contains("not closed"),
+                "{reason}"
+            );
+        }
+
+        // Missing obligation for a useful symbol.
+        let bundle = base(SubBody::Complex {
+            simulation: ab_in_abbstar_sim(),
+            obligations: vec![],
+        });
+        assert!(fail_reason(&bundle).contains("no obligation"));
+
+        // Obligation whose child_ref points at the wrong pair.
+        let mut bundle = base(SubBody::Complex {
+            simulation: ab_in_abbstar_sim(),
+            obligations: vec![
+                SubObligation {
+                    symbol: 0,
+                    child_source: 5,
+                    child_target: 6,
+                    child_ref: 1,
+                },
+                SubObligation {
+                    symbol: 1,
+                    child_source: 5,
+                    child_target: 6,
+                    child_ref: 1,
+                },
+            ],
+        });
+        bundle.subs.push(SubCert {
+            source_type: 5,
+            target_type: 7, // mismatch with claimed (5,6)
+            body: SubBody::SimpleAxiom,
+        });
+        assert!(fail_reason(&bundle).contains("but claims"));
+
+        // Obligation child_ref out of range.
+        let bundle = base(SubBody::Complex {
+            simulation: ab_in_abbstar_sim(),
+            obligations: vec![
+                SubObligation {
+                    symbol: 0,
+                    child_source: 0,
+                    child_target: 0,
+                    child_ref: 99,
+                },
+                SubObligation {
+                    symbol: 1,
+                    child_source: 0,
+                    child_target: 0,
+                    child_ref: 99,
+                },
+            ],
+        });
+        assert!(fail_reason(&bundle).contains("out of range"));
+
+        // Obligation for a non-useful symbol.
+        let mut bundle = two_dfa_bundle();
+        bundle.subs.push(SubCert {
+            source_type: 0,
+            target_type: 0,
+            body: SubBody::Complex {
+                simulation: ab_in_abbstar_sim(),
+                obligations: vec![
+                    SubObligation {
+                        symbol: 0,
+                        child_source: 0,
+                        child_target: 0,
+                        child_ref: 1,
+                    },
+                    SubObligation {
+                        symbol: 1,
+                        child_source: 0,
+                        child_target: 0,
+                        child_ref: 1,
+                    },
+                    SubObligation {
+                        symbol: 5,
+                        child_source: 0,
+                        child_target: 0,
+                        child_ref: 1,
+                    },
+                ],
+            },
+        });
+        bundle.subs.push(SubCert {
+            source_type: 0,
+            target_type: 0,
+            body: SubBody::SimpleAxiom,
+        });
+        assert!(fail_reason(&bundle).contains("not useful"));
+    }
+
+    #[test]
+    fn valid_dis_cert_passes() {
+        // {ab} vs {ba}: reachable pairs never jointly final.
+        let mut bundle = CertBundle {
+            dfas: vec![ab_dfa(), ba_dfa()],
+            ..CertBundle::default()
+        };
+        bundle.diss.push(DisCert {
+            source_type: 0,
+            target_type: 1,
+            body: DisBody::Complex {
+                a: 0,
+                b: 1,
+                invariant: vec![(0, 0), (1, 3), (3, 1), (3, 2), (2, 3), (3, 3)],
+                blocked: vec![],
+            },
+        });
+        let report = check_bundle(&bundle);
+        assert!(report.all_valid(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn dis_cert_failures() {
+        let mk = |invariant: Vec<(u32, u32)>, blocked: Vec<BlockedSymbol>| {
+            let mut bundle = CertBundle {
+                dfas: vec![ab_dfa(), ba_dfa()],
+                ..CertBundle::default()
+            };
+            bundle.diss.push(DisCert {
+                source_type: 0,
+                target_type: 1,
+                body: DisBody::Complex {
+                    a: 0,
+                    b: 1,
+                    invariant,
+                    blocked,
+                },
+            });
+            bundle
+        };
+        // Dropping any invariant pair breaks start membership or closure.
+        let full = vec![(0, 0), (1, 3), (3, 1), (3, 2), (2, 3), (3, 3)];
+        for drop in 0..full.len() {
+            let mut inv = full.clone();
+            inv.remove(drop);
+            let reason = fail_reason(&mk(inv, vec![]));
+            assert!(
+                reason.contains("start pair") || reason.contains("not closed"),
+                "{reason}"
+            );
+        }
+        // Claiming {ab} disjoint from itself: the invariant would need the
+        // jointly final pair (2,2).
+        let mut bundle = CertBundle {
+            dfas: vec![ab_dfa(), ab_dfa()],
+            ..CertBundle::default()
+        };
+        bundle.diss.push(DisCert {
+            source_type: 0,
+            target_type: 0,
+            body: DisBody::Complex {
+                a: 0,
+                b: 1,
+                invariant: vec![(0, 0), (1, 1), (2, 2), (3, 3)],
+                blocked: vec![],
+            },
+        });
+        assert!(fail_reason(&bundle).contains("jointly final"));
+
+        // Blocking can exempt a symbol from closure, but the blocked
+        // reference must resolve to a dis certificate for the claimed pair.
+        let blocked_ok = vec![BlockedSymbol::DisjointChild {
+            symbol: 0,
+            child_source: 4,
+            child_target: 5,
+            dis_ref: 1,
+        }];
+        let mut bundle = mk(vec![(0, 0), (3, 1), (3, 2), (3, 3)], blocked_ok.clone());
+        bundle.diss.push(DisCert {
+            source_type: 4,
+            target_type: 5,
+            body: DisBody::SimpleAxiom,
+        });
+        let report = check_bundle(&bundle);
+        assert!(report.all_valid(), "{:?}", report.failures);
+
+        // Same but dangling reference.
+        let bundle = mk(vec![(0, 0), (3, 1), (3, 2), (3, 3)], blocked_ok);
+        assert!(fail_reason(&bundle).contains("out of range"));
+
+        // Untyped block needs no reference.
+        let bundle = mk(
+            vec![(0, 0), (3, 1), (3, 2), (3, 3)],
+            vec![BlockedSymbol::Untyped { symbol: 0 }],
+        );
+        assert!(check_bundle(&bundle).all_valid());
+
+        // Blocked symbol beyond the alphabet width.
+        let bundle = mk(
+            vec![(0, 0), (1, 3), (3, 1), (3, 2), (2, 3), (3, 3)],
+            vec![BlockedSymbol::Untyped { symbol: 9 }],
+        );
+        assert!(fail_reason(&bundle).contains("beyond alphabet width"));
+    }
+
+    #[test]
+    fn nondis_cert_checks() {
+        let mk = |word: Vec<u32>, children: Vec<NondisChild>| {
+            let mut bundle = CertBundle {
+                dfas: vec![ab_dfa(), abb_star_dfa()],
+                ..CertBundle::default()
+            };
+            bundle.nondis.push(NondisCert {
+                source_type: 10,
+                target_type: 11,
+                body: NondisBody::SimpleAxiom,
+            });
+            bundle.nondis.push(NondisCert {
+                source_type: 12,
+                target_type: 13,
+                body: NondisBody::SimpleAxiom,
+            });
+            bundle.nondis.push(NondisCert {
+                source_type: 0,
+                target_type: 1,
+                body: NondisBody::Complex {
+                    a: 0,
+                    b: 1,
+                    word,
+                    children,
+                },
+            });
+            bundle
+        };
+        let good_children = vec![
+            NondisChild {
+                child_source: 10,
+                child_target: 11,
+                nondis_ref: 0,
+            },
+            NondisChild {
+                child_source: 12,
+                child_target: 13,
+                nondis_ref: 1,
+            },
+        ];
+        assert!(check_bundle(&mk(vec![0, 1], good_children.clone())).all_valid());
+
+        // Word not in the intersection.
+        assert!(fail_reason(&mk(vec![0, 1, 1], good_children.clone()))
+            .contains("rejected by the source"));
+        assert!(fail_reason(&mk(vec![1, 0], good_children.clone())).contains("rejected"));
+
+        // Corrupted symbol out of the alphabet sinks both runs.
+        assert!(fail_reason(&mk(vec![0, 9], good_children.clone())).contains("rejected"));
+
+        // Truncated child list.
+        assert!(
+            fail_reason(&mk(vec![0, 1], good_children[..1].to_vec())).contains("child references")
+        );
+
+        // Forward (non-well-founded) reference.
+        let mut fwd = good_children.clone();
+        fwd[0].nondis_ref = 2;
+        assert!(fail_reason(&mk(vec![0, 1], fwd)).contains("strictly earlier"));
+
+        // Reference resolving to the wrong pair.
+        let mut wrong = good_children;
+        wrong[0].child_source = 99;
+        assert!(fail_reason(&mk(vec![0, 1], wrong)).contains("but claims"));
+    }
+
+    /// Hand-computed IDA grid for a = {ab}, b = a·b·b* (na = nb = 4).
+    /// Bad pairs (a-final, b-non-final): (2,0) (2,1) (2,3). Final: (2,2).
+    fn ida_fixture() -> IdaCert {
+        let na = 4;
+        let nb = 4;
+        let mut safe = vec![true; na * nb];
+        let mut safe_rank = vec![0u32; na * nb];
+        let mut dead = vec![true; na * nb];
+        let mut dead_rank = vec![0u32; na * nb];
+        let idx = |qa: usize, qb: usize| qa * nb + qb;
+        // Pairs that can reach a bad pair: the bad pairs themselves
+        // (rank 0); (1,0) and (1,3) step on b into a bad pair (rank 1);
+        // (0,1), (0,2), (0,3) step on a into (1,3) (rank 2). (1,1) and
+        // (1,2) step on b into safe (2,2); (0,0) only reaches safe pairs.
+        for (qa, qb, r) in [
+            (2, 0, 0),
+            (2, 1, 0),
+            (2, 3, 0),
+            (1, 0, 1),
+            (1, 3, 1),
+            (0, 1, 2),
+            (0, 2, 2),
+            (0, 3, 2),
+        ] {
+            safe[idx(qa, qb)] = false;
+            safe_rank[idx(qa, qb)] = r;
+        }
+        // Pairs that can reach the final pair (2,2): itself (rank 0);
+        // (1,1) and (1,2) via b (rank 1); (0,0) via a then b (rank 2).
+        // (2,2) on b goes to (3,2), from which nothing returns.
+        for (qa, qb, r) in [(2, 2, 0), (1, 1, 1), (1, 2, 1), (0, 0, 2)] {
+            dead[idx(qa, qb)] = false;
+            dead_rank[idx(qa, qb)] = r;
+        }
+        let ia: Vec<bool> = (0..na * nb).map(|q| safe[q] && !dead[q]).collect();
+        let ir: Vec<bool> = dead.clone();
+        IdaCert {
+            source_type: 0,
+            target_type: 1,
+            a: 0,
+            b: 1,
+            safe,
+            safe_rank,
+            dead,
+            dead_rank,
+            ia,
+            ir,
+        }
+    }
+
+    #[test]
+    fn ida_cert_checks() {
+        let mut bundle = two_dfa_bundle();
+        bundle.idas.push(ida_fixture());
+        let report = check_bundle(&bundle);
+        assert!(report.all_valid(), "{:?}", report.failures);
+
+        // Every single-bit flip of safe/dead/ia/ir is caught, as is any
+        // rank zeroing on a non-goal state.
+        let n = 16;
+        for q in 0..n {
+            for field in 0..4 {
+                let mut bundle = two_dfa_bundle();
+                let mut cert = ida_fixture();
+                let v = match field {
+                    0 => &mut cert.safe,
+                    1 => &mut cert.dead,
+                    2 => &mut cert.ia,
+                    _ => &mut cert.ir,
+                };
+                v[q] = !v[q];
+                bundle.idas.push(cert);
+                assert!(
+                    !check_bundle(&bundle).all_valid(),
+                    "flip of field {field} at {q} accepted"
+                );
+            }
+        }
+        // Zeroing a nonzero rank is caught.
+        let mut bundle = two_dfa_bundle();
+        let mut cert = ida_fixture();
+        cert.safe_rank[4] = 0; // (1,0) is not a bad pair
+        bundle.idas.push(cert);
+        assert!(fail_reason(&bundle).contains("rank 0"));
+
+        // Wrong-length vector is caught.
+        let mut bundle = two_dfa_bundle();
+        let mut cert = ida_fixture();
+        cert.ia.pop();
+        bundle.idas.push(cert);
+        assert!(fail_reason(&bundle).contains("entries"));
+    }
+
+    #[test]
+    fn path_cert_checks() {
+        // abb ∈ L(a·b·b*) ∖ L({ab}).
+        let mk = |word: Vec<u32>, states: Vec<(u32, u32)>| {
+            let mut bundle = CertBundle {
+                dfas: vec![abb_star_dfa(), ab_dfa()],
+                ..CertBundle::default()
+            };
+            bundle.paths.push(PathCert {
+                source_type: 1,
+                target_type: 0,
+                a: 0,
+                b: 1,
+                word,
+                states,
+            });
+            bundle
+        };
+        let good = vec![(0, 0), (1, 1), (2, 2), (2, 3)];
+        assert!(check_bundle(&mk(vec![0, 1, 1], good.clone())).all_valid());
+
+        // Flipping any trace state breaks start anchoring or stepwise
+        // consistency (determinism: the successor is unique).
+        for i in 0..good.len() {
+            let mut states = good.clone();
+            states[i].0 ^= 1;
+            assert!(!check_bundle(&mk(vec![0, 1, 1], states)).all_valid());
+        }
+        // Length mismatch.
+        assert!(fail_reason(&mk(vec![0, 1], good.clone())).contains("trace has"));
+        // Endpoint not in the difference: ab is in both languages.
+        assert!(fail_reason(&mk(vec![0, 1], vec![(0, 0), (1, 1), (2, 2)]))
+            .contains("accepted by the target"));
+        // Word not accepted by the source.
+        assert!(
+            fail_reason(&mk(vec![1], vec![(0, 0), (3, 3)])).contains("not accepted by the source")
+        );
+    }
+
+    #[test]
+    fn safety_cert_checks() {
+        let mk = |cert: SafetyCert, extra_subs: Vec<SubCert>, extra_diss: Vec<DisCert>| {
+            let mut bundle = two_dfa_bundle();
+            bundle.idas.push(ida_fixture());
+            bundle.subs = extra_subs;
+            bundle.diss = extra_diss;
+            bundle.safety.push(cert);
+            bundle
+        };
+        let link = RelabelLink {
+            from: 0,
+            to: 1,
+            child_source: 3,
+            child_target: 4,
+            cert_ref: 0,
+        };
+        let base = SafetyCert {
+            source_type: 0,
+            target_type: 1,
+            ida_ref: 0,
+            stable: None,
+            sub_links: vec![link.clone()],
+            dis_links: vec![],
+        };
+        let sub34 = SubCert {
+            source_type: 3,
+            target_type: 4,
+            body: SubBody::SimpleAxiom,
+        };
+        assert!(check_bundle(&mk(base.clone(), vec![sub34.clone()], vec![])).all_valid());
+
+        // Dangling ida reference.
+        let mut c = base.clone();
+        c.ida_ref = 9;
+        assert!(fail_reason(&mk(c, vec![sub34.clone()], vec![])).contains("out of range"));
+
+        // Ida certifies a different type pair.
+        let mut c = base.clone();
+        c.source_type = 5;
+        assert!(fail_reason(&mk(c, vec![sub34.clone()], vec![])).contains("safety certificate"));
+
+        // Sub link resolving to the wrong pair.
+        let wrong = SubCert {
+            source_type: 3,
+            target_type: 9,
+            body: SubBody::SimpleAxiom,
+        };
+        assert!(fail_reason(&mk(base.clone(), vec![wrong], vec![])).contains("but claims"));
+
+        // Dis link out of range.
+        let mut c = base.clone();
+        c.dis_links = vec![link.clone()];
+        assert!(fail_reason(&mk(c, vec![sub34.clone()], vec![])).contains("relabel dis link"));
+
+        // Stability claim must cover the useful symbols of the source DFA
+        // (both a and b are useful for {ab}).
+        let mut c = base.clone();
+        c.stable = Some(vec![SubObligation {
+            symbol: 0,
+            child_source: 3,
+            child_target: 4,
+            child_ref: 0,
+        }]);
+        assert!(fail_reason(&mk(c, vec![sub34], vec![])).contains("child_sub_stable"));
+    }
+
+    #[test]
+    fn malformed_dfa_poisons_referencing_certs() {
+        let mut bundle = two_dfa_bundle();
+        bundle.dfas[0].finals[3] = true; // break the sink
+        bundle.subs.push(SubCert {
+            source_type: 0,
+            target_type: 0,
+            body: SubBody::Complex {
+                simulation: ab_in_abbstar_sim(),
+                obligations: vec![],
+            },
+        });
+        let report = check_bundle(&bundle);
+        // Both the DFA itself and the certificate referencing it fail.
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(report.failures[0].kind, CertKind::Dfa);
+        assert_eq!(report.failures[1].kind, CertKind::Sub);
+        assert!(report.failures[1].reason.contains("shape validation"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The checker's own DFA: a raw transition table and the handful of sweeps
+//! the certificate checks need, implemented from scratch (no dependency on
+//! the producer's automata crate).
+
+/// A complete DFA as a raw, row-major transition table.
+///
+/// Semantics mirror the producer's dense DFAs so that certificates translate
+/// one-to-one: symbols at or beyond `alphabet_len` step to `sink`, and the
+/// sink must be absorbing and non-final — but unlike the producer, nothing
+/// here is trusted: [`RawDfa::validate_shape`] re-establishes every
+/// structural invariant before any certificate that references the table is
+/// checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDfa {
+    /// Number of symbols the table covers; columns are `0..alphabet_len`.
+    pub alphabet_len: u32,
+    /// The start state.
+    pub start: u32,
+    /// Row-major transitions: `trans[q * alphabet_len + s]`.
+    pub trans: Vec<u32>,
+    /// Per-state acceptance flags; `finals.len()` is the state count.
+    pub finals: Vec<bool>,
+    /// The absorbing, non-final dead state (validated, not trusted).
+    pub sink: u32,
+}
+
+impl RawDfa {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// Re-establishes the structural invariants: table dimensions, targets
+    /// in range, start in range, and the declared sink really absorbing and
+    /// non-final.
+    pub fn validate_shape(&self) -> Result<(), String> {
+        let n = self.state_count();
+        let w = self.alphabet_len as usize;
+        if n == 0 {
+            return Err("no states".into());
+        }
+        if self.trans.len() != n * w {
+            return Err(format!(
+                "transition table has {} entries, expected {} states x {} symbols",
+                self.trans.len(),
+                n,
+                w
+            ));
+        }
+        if let Some(&t) = self.trans.iter().find(|&&t| t as usize >= n) {
+            return Err(format!("transition target {t} out of range ({n} states)"));
+        }
+        if self.start as usize >= n {
+            return Err(format!("start state {} out of range", self.start));
+        }
+        let sink = self.sink as usize;
+        if sink >= n {
+            return Err(format!("sink state {} out of range", self.sink));
+        }
+        if self.finals[sink] {
+            return Err("declared sink is a final state".into());
+        }
+        if self.trans[sink * w..(sink + 1) * w]
+            .iter()
+            .any(|&t| t != self.sink)
+        {
+            return Err("declared sink is not absorbing".into());
+        }
+        Ok(())
+    }
+
+    /// One step; symbols outside the table go to the sink.
+    #[inline]
+    pub fn step(&self, q: u32, s: u32) -> u32 {
+        if s < self.alphabet_len {
+            self.trans[q as usize * self.alphabet_len as usize + s as usize]
+        } else {
+            self.sink
+        }
+    }
+
+    /// Whether `q` accepts.
+    #[inline]
+    pub fn is_final(&self, q: u32) -> bool {
+        self.finals[q as usize]
+    }
+
+    /// Whether the word (as symbol indices) is accepted from the start.
+    pub fn accepts(&self, word: &[u32]) -> bool {
+        let mut q = self.start;
+        for &s in word {
+            q = self.step(q, s);
+        }
+        self.is_final(q)
+    }
+
+    /// States reachable from the start (forward sweep).
+    pub fn reachable(&self) -> Vec<bool> {
+        let n = self.state_count();
+        let w = self.alphabet_len as usize;
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.start as usize];
+        seen[self.start as usize] = true;
+        while let Some(q) = stack.pop() {
+            for &t in &self.trans[q * w..(q + 1) * w] {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t as usize);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States from which some final state is reachable (backward sweep).
+    pub fn coaccessible(&self) -> Vec<bool> {
+        let n = self.state_count();
+        let w = self.alphabet_len as usize;
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for q in 0..n {
+            for &t in &self.trans[q * w..(q + 1) * w] {
+                rev[t as usize].push(q as u32);
+            }
+        }
+        let mut live = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        for (q, &f) in self.finals.iter().enumerate() {
+            if f {
+                live[q] = true;
+                stack.push(q as u32);
+            }
+        }
+        while let Some(q) = stack.pop() {
+            for &p in &rev[q as usize] {
+                if !live[p as usize] {
+                    live[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        live
+    }
+
+    /// Symbols occurring in at least one accepted word: `s` is useful iff
+    /// some reachable state has an `s`-edge into a co-accessible state.
+    pub fn useful_symbols(&self) -> Vec<bool> {
+        let reach = self.reachable();
+        let live = self.coaccessible();
+        let w = self.alphabet_len as usize;
+        let mut useful = vec![false; w];
+        for (q, &r) in reach.iter().enumerate() {
+            if !r {
+                continue;
+            }
+            for (s, u) in useful.iter_mut().enumerate() {
+                if live[self.trans[q * w + s] as usize] {
+                    *u = true;
+                }
+            }
+        }
+        useful
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `L = {ab}` over Σ = {a=0, b=1}: states 0 →a→ 1 →b→ 2(final), sink 3.
+    pub(crate) fn ab_dfa() -> RawDfa {
+        RawDfa {
+            alphabet_len: 2,
+            start: 0,
+            trans: vec![1, 3, 3, 2, 3, 3, 3, 3],
+            finals: vec![false, false, true, false],
+            sink: 3,
+        }
+    }
+
+    #[test]
+    fn shape_and_runs() {
+        let d = ab_dfa();
+        d.validate_shape().unwrap();
+        assert!(d.accepts(&[0, 1]));
+        assert!(!d.accepts(&[0]));
+        assert!(!d.accepts(&[1, 0]));
+        // Out-of-alphabet symbols sink.
+        assert!(!d.accepts(&[0, 7]));
+        assert_eq!(d.step(0, 9), d.sink);
+    }
+
+    #[test]
+    fn sweeps() {
+        let d = ab_dfa();
+        assert_eq!(d.reachable(), vec![true, true, true, true]);
+        assert_eq!(d.coaccessible(), vec![true, true, true, false]);
+        assert_eq!(d.useful_symbols(), vec![true, true]);
+    }
+
+    #[test]
+    fn shape_rejects_corruption() {
+        let mut d = ab_dfa();
+        d.finals[3] = true; // final sink
+        assert!(d.validate_shape().is_err());
+
+        let mut d = ab_dfa();
+        d.trans[6] = 0; // sink no longer absorbing
+        assert!(d.validate_shape().is_err());
+
+        let mut d = ab_dfa();
+        d.trans[0] = 9; // target out of range
+        assert!(d.validate_shape().is_err());
+
+        let mut d = ab_dfa();
+        d.start = 4;
+        assert!(d.validate_shape().is_err());
+
+        let mut d = ab_dfa();
+        d.trans.pop(); // dimension mismatch
+        assert!(d.validate_shape().is_err());
+    }
+}

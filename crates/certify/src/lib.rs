@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+//! Independent checker for schemacast's static-analysis certificates.
+//!
+//! The engine's fast paths rest on static facts: `(τ, τ') ∈ R_sub` lets a
+//! subtree be skipped, `(τ, τ') ∈ R_dis` rejects without looking, and the
+//! product IDA's `IA`/`IR` sets cut content-model scans short. A single bug
+//! in those fixpoints makes the validator silently accept invalid documents.
+//! This crate turns the analyses into *certifying algorithms*: the producers
+//! (`schemacast-automata`, `schemacast-core`) emit a [`CertBundle`] of
+//! machine-checkable evidence, and [`check_bundle`] validates every
+//! certificate in time linear in its size.
+//!
+//! # Independence
+//!
+//! The whole point of a certifying algorithm is that the checker does not
+//! trust the producer, so this crate depends on **nothing** — not
+//! `schemacast-automata`, not `schemacast-core`, not even the shared regex
+//! crate. It re-implements the minimal machinery it needs from scratch:
+//!
+//! * [`RawDfa`] — a self-contained transition table with its own `step`,
+//!   word runner, reachability/co-accessibility sweeps and useful-symbol
+//!   computation ([`dfa`]);
+//! * its own product stepping — a pair `(q_a, q_b)` is advanced by stepping
+//!   the two raw tables directly, never by trusting a producer-built
+//!   product table;
+//! * its own witness-tree walk for the `R_nondis` least-fixpoint
+//!   certificates (a well-foundedness check over bundle indices).
+//!
+//! # Certificate shapes
+//!
+//! | claim | certificate | check |
+//! |---|---|---|
+//! | `L(a) ⊆ L(b)` | simulation relation over pairs | closure + finality, coinductive |
+//! | `(τ,τ') ∈ R_sub` | simulation + per-label child obligations | obligations cover exactly the useful symbols |
+//! | `(τ,τ') ∈ R_dis` | closed invariant pair set + blocked symbols | no (final,final), closure under permitted symbols |
+//! | `(τ,τ') ∉ R_dis` | witness word + child references | word accepted by both raw DFAs, references strictly decreasing |
+//! | IDA `IA`/`IR` | exact safe/dead sets + rank functions | closure (soundness) and strictly decreasing ranks (completeness) |
+//! | `w ∈ L(a) ∖ L(b)` | product-state trace | stepwise consistency, endpoint (final, non-final) |
+//! | safety verdicts | references into the above | every consulted fact has a checked certificate |
+//!
+//! Greatest-fixpoint facts (`R_sub`, disjointness, `IA`/`IR` soundness) may
+//! justify each other *circularly* — a coinductive argument — so their
+//! references are unordered. Least-fixpoint facts (`R_nondis`) must be
+//! well-founded: each witness references only strictly earlier bundle
+//! entries, which the checker enforces.
+//!
+//! # Trust boundary
+//!
+//! The checker verifies the automata-theoretic content of every claim. What
+//! it cannot see, and therefore trusts, is the *extraction*: that each
+//! [`RawDfa`] faithfully mirrors the compiled content model, that the
+//! recorded `symbol → (child type, child type)` maps mirror the schemas'
+//! `types_τ`, and the simple-type axiom leaves (value-space subsumption /
+//! disjointness, childless-element acceptance). Those are direct
+//! transliterations of parsed schema data, not fixpoint outputs — the class
+//! of bug certificates exist to catch lives in the fixpoints and decision
+//! sets, all of which are covered. See DESIGN.md §8.
+
+pub mod cert;
+pub mod check;
+pub mod dfa;
+
+pub use cert::{
+    BlockedSymbol, CertBundle, DfaRef, DisBody, DisCert, IdaCert, NondisBody, NondisCert,
+    NondisChild, PathCert, RelabelLink, SafetyCert, SimulationCert, SubBody, SubCert,
+    SubObligation,
+};
+pub use check::{check_bundle, CertKind, CheckFailure, CheckReport};
+pub use dfa::RawDfa;

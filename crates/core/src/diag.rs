@@ -9,7 +9,11 @@
 //! * `SC02xx` — schema-pair rules (incompatible or disjoint reachable type
 //!   pairs, removed roots),
 //! * `SC03xx` — per-document validation failures (the [`mod@crate::explain`]
-//!   namespace).
+//!   namespace),
+//! * `SC04xx` — certification failures (the [`mod@crate::certify`]
+//!   namespace): `SC0401` = a static claim could not be certified (emission
+//!   failure), `SC0402` = an emitted certificate was rejected by the
+//!   independent checker.
 //!
 //! The slash-path helpers here are the single implementation of the
 //! `/root/child[i]` document-path syntax that both the explainer and the

@@ -21,10 +21,15 @@
 //!   document for statically decided edit scripts.
 //! * [`dtdcast::DtdCastValidator`] — the label-indexed DTD optimization
 //!   (§3.4).
+//! * [`certify::certify_context`] — the certifying-analysis layer: every
+//!   static claim above (relation memberships, IDA decision sets, safety
+//!   verdicts) packaged as a certificate and validated by the independent
+//!   `schemacast-certify` checker.
 //! * [`full::FullValidator`] — the Xerces-style baseline the paper compares
 //!   against, instrumented identically.
 
 pub mod cast;
+pub mod certify;
 pub mod diag;
 pub mod dtdcast;
 pub mod explain;
@@ -39,6 +44,7 @@ pub mod stream;
 pub mod witness;
 
 pub use cast::{CastContext, CastOptions};
+pub use certify::{certify_context, CertificationRun};
 pub use diag::{Diagnostic, Severity};
 pub use dtdcast::{DtdCastValidator, LabelIndex, LabelPlan, NotDtdStyle};
 pub use explain::{explain, validate_explained, FailureKind, ValidationFailure};

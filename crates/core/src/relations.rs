@@ -30,6 +30,12 @@ pub struct TypeRelations {
     sub: Vec<BitSet>,
     /// `nondis[τ]` = set of target types not disjoint from `τ`.
     nondis: Vec<BitSet>,
+    /// Insertion order of each nondis pair into the least fixpoint
+    /// (flattened `s · target_count + t`; `u32::MAX` = not nondis). The
+    /// certificate layer emits `R_nondis` witnesses in this order so every
+    /// witness references only strictly earlier pairs — the well-founded
+    /// structure the checker enforces.
+    nondis_order: Vec<u32>,
     target_count: usize,
 }
 
@@ -43,6 +49,8 @@ impl TypeRelations {
         let (n_src, n_tgt) = (source.type_count(), target.type_count());
         let mut sub: Vec<BitSet> = (0..n_src).map(|_| BitSet::new(n_tgt)).collect();
         let mut nondis: Vec<BitSet> = (0..n_src).map(|_| BitSet::new(n_tgt)).collect();
+        let mut nondis_order = vec![u32::MAX; n_src * n_tgt];
+        let mut order_counter: u32 = 0;
 
         // ---- R_sub: seed, then refine (greatest fixpoint). ----
         for s in source.type_ids() {
@@ -124,6 +132,8 @@ impl TypeRelations {
                 };
                 if seeded {
                     nondis[s.index()].insert(t.index());
+                    nondis_order[s.index() * n_tgt + t.index()] = order_counter;
+                    order_counter += 1;
                 }
             }
         }
@@ -165,6 +175,8 @@ impl TypeRelations {
                     }
                     if intersection_nonempty_restricted(&a.dfa, &b.dfa, Some(&allowed)) {
                         nondis[s.index()].insert(t.index());
+                        nondis_order[s.index() * n_tgt + t.index()] = order_counter;
+                        order_counter += 1;
                         changed = true;
                     }
                 }
@@ -177,8 +189,19 @@ impl TypeRelations {
         TypeRelations {
             sub,
             nondis,
+            nondis_order,
             target_count: n_tgt,
         }
+    }
+
+    /// The position at which `(s, t)` entered the `R_nondis` least
+    /// fixpoint, or `None` if the pair is disjoint. Monotone over the
+    /// fixpoint run: every pair's witness only rests on pairs with smaller
+    /// positions, which is the well-founded emission order for `R_nondis`
+    /// certificates.
+    pub fn nondis_order(&self, s: TypeId, t: TypeId) -> Option<u32> {
+        let o = self.nondis_order[s.index() * self.target_count + t.index()];
+        (o != u32::MAX).then_some(o)
     }
 
     /// `τ ≤ τ'`: every tree valid for the source type is valid for the
@@ -418,6 +441,24 @@ mod tests {
         // P* became empty, and the self-pair flipped to disjoint.
         assert!(!rel.disjoint(r, r));
         assert!(rel.subsumed(r, r));
+    }
+
+    #[test]
+    fn nondis_order_is_well_founded() {
+        let (source, target, ab) = figure1();
+        let rel = TypeRelations::compute(&source, &target, &ab);
+        for s in source.type_ids() {
+            for t in target.type_ids() {
+                assert_eq!(rel.nondis_order(s, t).is_some(), !rel.disjoint(s, t));
+            }
+        }
+        // A complex pair enters the fixpoint strictly after the child pairs
+        // its witness instantiates.
+        let s_po = source.type_by_name("POType1").unwrap();
+        let t_po = target.type_by_name("POType2").unwrap();
+        let s_addr = source.type_by_name("USAddress").unwrap();
+        let t_addr = target.type_by_name("USAddress").unwrap();
+        assert!(rel.nondis_order(s_addr, t_addr).unwrap() < rel.nondis_order(s_po, t_po).unwrap());
     }
 
     #[test]

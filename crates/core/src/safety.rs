@@ -361,6 +361,94 @@ impl<'a> CastContext<'a> {
         }
     }
 
+    /// Packages the certificate trace of one safety-matrix row: the static
+    /// facts its Safe/Unsafe verdicts consumed, resolved against the
+    /// already-assigned certificate indices. Returns `Err` when a consumed
+    /// fact has no certificate to point at — an emission failure the caller
+    /// reports as `SC0401` (the verdicts themselves are then uncertified
+    /// and `--certify` fails closed).
+    pub(crate) fn safety_certificate(
+        &self,
+        entry: &MatrixEntry,
+        ida_ref: u32,
+        sub_idx: &HashMap<(TypeId, TypeId), u32>,
+        dis_idx: &HashMap<(TypeId, TypeId), u32>,
+    ) -> Result<schemacast_certify::SafetyCert, String> {
+        use schemacast_certify::{RelabelLink, SafetyCert, SubObligation};
+        let (s, t) = (entry.source, entry.target);
+        let cs = self
+            .source()
+            .type_def(s)
+            .as_complex()
+            .ok_or("safety entry with simple source")?;
+        let ct = self
+            .target()
+            .type_def(t)
+            .as_complex()
+            .ok_or("safety entry with simple target")?;
+
+        // The stability claim: one R_sub obligation per useful source label.
+        let stable = if entry.safety.child_sub_stable() {
+            let mut obligations = Vec::new();
+            for i in cs.dfa.useful_symbols().iter() {
+                let sym = Sym(i as u32);
+                let (Some(a), Some(b)) = (cs.child_type(sym), ct.child_type(sym)) else {
+                    return Err(format!("stable label {i} lacks child typing"));
+                };
+                let child_ref = *sub_idx.get(&(a, b)).ok_or_else(|| {
+                    format!("stable label {i}: child pair has no sub certificate")
+                })?;
+                obligations.push(SubObligation {
+                    symbol: i as u32,
+                    child_source: a.index() as u32,
+                    child_target: b.index() as u32,
+                    child_ref,
+                });
+            }
+            Some(obligations)
+        } else {
+            None
+        };
+
+        // Every R_sub / R_dis fact a relabel verdict consulted.
+        let mut sub_links = Vec::new();
+        let mut dis_links = Vec::new();
+        for &from in entry.safety.labels() {
+            for &to in entry.safety.labels() {
+                let (Some(a), Some(b)) = (cs.child_type(from), ct.child_type(to)) else {
+                    continue;
+                };
+                let link = |cert_ref: u32| RelabelLink {
+                    from: from.0,
+                    to: to.0,
+                    child_source: a.index() as u32,
+                    child_target: b.index() as u32,
+                    cert_ref,
+                };
+                if self.relations().subsumed(a, b) {
+                    let r = *sub_idx
+                        .get(&(a, b))
+                        .ok_or("relabel pair lacks a sub certificate for its child types")?;
+                    sub_links.push(link(r));
+                }
+                if self.relations().disjoint(a, b) {
+                    let r = *dis_idx
+                        .get(&(a, b))
+                        .ok_or("relabel pair lacks a dis certificate for its child types")?;
+                    dis_links.push(link(r));
+                }
+            }
+        }
+        Ok(SafetyCert {
+            source_type: s.index() as u32,
+            target_type: t.index() as u32,
+            ida_ref,
+            stable,
+            sub_links,
+            dis_links,
+        })
+    }
+
     /// The (source, target) typing of `site` obtained by walking its root
     /// path through both schemas' `ℛ` and `types_τ` maps — the pair the
     /// validator would check the site against. `None` when the path does

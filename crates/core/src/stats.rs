@@ -41,6 +41,14 @@ pub struct ValidationStats {
     /// two (the `Start`/`End` pair it would have produced); the skipped
     /// element's own end tag is included.
     pub events_avoided: usize,
+    /// Certificates emitted by the certification pass (`--certify`): every
+    /// static claim packaged for the independent checker.
+    pub certs_emitted: usize,
+    /// Objects the independent checker examined (DFA tables plus
+    /// certificates of every kind).
+    pub certs_checked: usize,
+    /// Wall-clock microseconds the independent checker spent validating.
+    pub cert_check_micros: usize,
 }
 
 impl AddAssign for ValidationStats {
@@ -57,6 +65,9 @@ impl AddAssign for ValidationStats {
         self.static_rejects += rhs.static_rejects;
         self.bytes_skipped += rhs.bytes_skipped;
         self.events_avoided += rhs.events_avoided;
+        self.certs_emitted += rhs.certs_emitted;
+        self.certs_checked += rhs.certs_checked;
+        self.cert_check_micros += rhs.cert_check_micros;
     }
 }
 

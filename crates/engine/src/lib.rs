@@ -29,6 +29,7 @@ mod report;
 
 pub use report::{BatchReport, ItemOutcome, ItemReport};
 
+use schemacast_core::certify::{certify_context, CertificationRun};
 use schemacast_core::{CastContext, ModsValidator, StreamScratch, StreamingCast};
 use schemacast_regex::Alphabet;
 use schemacast_tree::{DeltaDoc, Doc, Edit};
@@ -104,6 +105,19 @@ impl<'c, 's> BatchEngine<'c, 's> {
             let _ = self.ctx.product_ida(s, t);
         });
         pairs.len()
+    }
+
+    /// Certifies every static claim the engine's fast paths rely on —
+    /// relation memberships, IDA decision sets, safety-matrix verdicts —
+    /// and validates the certificates with the independent checker. A
+    /// batch driver that calls this first (and checks
+    /// [`CertificationRun::all_certified`]) runs with proof-carrying
+    /// preprocessing: no `static_skips` / `static_rejects` decision rests
+    /// on an unchecked fixpoint. Certification is warm-up-shaped work
+    /// (per-pair, read-only), so it shares the context's IDA cache with
+    /// [`BatchEngine::warm_up`].
+    pub fn certify(&self) -> CertificationRun {
+        certify_context(self.ctx)
     }
 
     /// Revalidates a batch of parsed documents.

@@ -201,3 +201,24 @@ fn streaming_and_tree_agree_in_batch() {
         }
     }
 }
+
+#[test]
+fn certify_validates_the_preprocessing() {
+    let (session, source, target, _, _) = po_fixture();
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    let engine = BatchEngine::with_workers(&ctx, 4);
+    let run = engine.certify();
+    assert!(run.all_certified(), "diagnostics: {:#?}", run.diagnostics);
+    assert!(run.report.all_valid());
+    assert!(run.certs_emitted > 0);
+    // The counters fold into batch-style stats totals.
+    let mut totals = schemacast_core::ValidationStats::default();
+    totals += run.stats();
+    assert_eq!(totals.certs_emitted, run.certs_emitted);
+    assert_eq!(totals.certs_checked, run.certs_checked);
+    // Certification and warm-up share the IDA cache: re-certifying after
+    // warm-up gives the same bundle.
+    engine.warm_up();
+    let rerun = engine.certify();
+    assert_eq!(rerun.bundle, run.bundle);
+}

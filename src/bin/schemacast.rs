@@ -8,13 +8,21 @@
 //! schemacast inspect --source S.xsd --target T.xsd
 //! schemacast analyze S.xsd Sprime.xsd [--json]
 //! schemacast lint S.xsd [Sprime.xsd] [--json | --sarif] [--fail-on warn|error]
+//! schemacast certify S.xsd Sprime.xsd [--json]
 //! ```
 //!
 //! Schemas ending in `.dtd` are parsed as DTDs (root taken from the first
 //! document's DOCTYPE, or `--root NAME`). Exit code 0 = all valid,
 //! 1 = some invalid, 2 = usage/parse error.
+//!
+//! `certify` emits proof certificates for every static claim of the pair's
+//! preprocessing and validates them with the independent checker (exit 1 if
+//! any fails). `--certify` on `cast` / `batch` / `analyze` runs the same
+//! pass before any document is touched and fails closed (exit 2) unless
+//! every claim is certified.
 
 use schemacast::analysis;
+use schemacast::core::certify::{certify_context, CertificationRun};
 use schemacast::core::{CastContext, FullValidator, Repairer, Severity, StreamingCast};
 use schemacast::engine::{BatchEngine, ItemOutcome};
 use schemacast::schema::{AbstractSchema, SchemaSpans, Session};
@@ -33,6 +41,7 @@ struct Options {
     stream: bool,
     stats: bool,
     warm_up: bool,
+    certify: bool,
     json: bool,
     sarif: bool,
     fail_on: Option<String>,
@@ -42,13 +51,15 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  schemacast validate --schema S.xsd doc.xml...\n  \
-         schemacast cast --source S.xsd --target T.xsd [--stream] [--stats] doc.xml...\n  \
+         schemacast cast --source S.xsd --target T.xsd [--stream] [--stats] [--certify] \
+         doc.xml...\n  \
          schemacast batch --source S.xsd --target T.xsd [--threads N] [--stream] \
-         [--warm-up] [--stats] doc.xml...\n  \
+         [--warm-up] [--stats] [--certify] doc.xml...\n  \
          schemacast repair --source S.xsd --target T.xsd [--out fixed.xml] doc.xml\n  \
          schemacast inspect --source S.xsd --target T.xsd\n  \
-         schemacast analyze S.xsd Sprime.xsd [--json]\n  \
+         schemacast analyze S.xsd Sprime.xsd [--json] [--certify]\n  \
          schemacast lint S.xsd [Sprime.xsd] [--json | --sarif] [--fail-on warn|error]\n  \
+         schemacast certify S.xsd Sprime.xsd [--json]\n  \
          (use .dtd schema files with optional --root NAME)"
     );
     ExitCode::from(2)
@@ -68,6 +79,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         stream: false,
         stats: false,
         warm_up: false,
+        certify: false,
         json: false,
         sarif: false,
         fail_on: None,
@@ -90,6 +102,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--stream" => opts.stream = true,
             "--stats" => opts.stats = true,
             "--warm-up" => opts.warm_up = true,
+            "--certify" => opts.certify = true,
             "--json" => opts.json = true,
             "--sarif" => opts.sarif = true,
             "--fail-on" => opts.fail_on = args.next(),
@@ -101,10 +114,11 @@ fn parse_args() -> Result<Options, ExitCode> {
             _ => opts.docs.push(a),
         }
     }
-    // `analyze` takes its two schemas as positional arguments.
-    if opts.command == "analyze" {
+    // `analyze` and `certify` take their two schemas as positional
+    // arguments.
+    if opts.command == "analyze" || opts.command == "certify" {
         if opts.docs.len() != 2 {
-            eprintln!("analyze requires exactly two schema files");
+            eprintln!("{} requires exactly two schema files", opts.command);
             return Err(usage());
         }
         return Ok(opts);
@@ -157,6 +171,25 @@ fn load_doc(path: &str, session: &mut Session) -> Result<(Doc, String), String> 
         Doc::from_xml(&xml.root, &mut session.alphabet, WhitespaceMode::Trim),
         text,
     ))
+}
+
+/// The `--certify` gate: certifies the pair's preprocessing and fails
+/// closed unless every static claim passes the independent checker. On
+/// success returns the run so callers can surface the counters.
+fn certify_gate(ctx: &CastContext<'_>) -> Result<CertificationRun, ExitCode> {
+    let run = certify_context(ctx);
+    if run.all_certified() {
+        Ok(run)
+    } else {
+        for d in &run.diagnostics {
+            eprintln!("{d}");
+        }
+        eprintln!(
+            "certification failed: {} finding(s); refusing to proceed",
+            run.diagnostics.len()
+        );
+        Err(ExitCode::from(2))
+    }
 }
 
 fn main() -> ExitCode {
@@ -300,15 +333,26 @@ fn main() -> ExitCode {
             }
             let ctx = CastContext::new(&source, &target, &session.alphabet);
             let engine = BatchEngine::with_workers(&ctx, opts.threads.unwrap_or(0));
+            let cert_run = if opts.certify {
+                match certify_gate(&ctx) {
+                    Ok(run) => Some(run),
+                    Err(code) => return code,
+                }
+            } else {
+                None
+            };
             if opts.warm_up {
                 let built = engine.warm_up();
                 println!("warm-up: {built} product IDA(s) precomputed");
             }
-            let report = if opts.stream {
+            let mut report = if opts.stream {
                 engine.validate_xml(&texts, &session.alphabet)
             } else {
                 engine.validate_docs(&docs)
             };
+            if let Some(run) = &cert_run {
+                report.totals += run.stats();
+            }
             let mut any_malformed = false;
             for (path, item) in opts.docs.iter().zip(&report.items) {
                 match &item.outcome {
@@ -349,6 +393,14 @@ fn main() -> ExitCode {
                     "  bytes skipped lexically: {}   tag events avoided: {}",
                     report.totals.bytes_skipped, report.totals.events_avoided
                 );
+                if cert_run.is_some() {
+                    println!(
+                        "  certificates: {} emitted, {} checked in {} us",
+                        report.totals.certs_emitted,
+                        report.totals.certs_checked,
+                        report.totals.cert_check_micros
+                    );
+                }
             }
             if any_malformed {
                 return ExitCode::from(2);
@@ -387,6 +439,20 @@ fn main() -> ExitCode {
                 }
             }
             let ctx = CastContext::new(&source, &target, &session.alphabet);
+            let cert_run = if opts.certify {
+                match certify_gate(&ctx) {
+                    Ok(run) => Some(run),
+                    Err(code) => return code,
+                }
+            } else {
+                None
+            };
+            if let (true, Some(run)) = (opts.stats, &cert_run) {
+                println!(
+                    "certificates: {} emitted, {} checked in {} us",
+                    run.certs_emitted, run.certs_checked, run.check_micros
+                );
+            }
             if opts.command == "repair" {
                 let repairer = Repairer::new(&ctx, &session.alphabet);
                 for (path, (doc, _)) in &loaded {
@@ -533,12 +599,46 @@ fn main() -> ExitCode {
                 }
             };
             let ctx = CastContext::new(&source, &target, &session.alphabet);
+            if opts.certify {
+                if let Err(code) = certify_gate(&ctx) {
+                    return code;
+                }
+            }
             let report = analysis::analyze(&ctx, &session.alphabet);
             if opts.json {
                 println!("{}", analysis::render_json(&report));
             } else {
                 print!("{}", analysis::render_text(&report));
             }
+        }
+        "certify" => {
+            let (src_path, tgt_path) = (&opts.docs[0], &opts.docs[1]);
+            let source = match load_schema(src_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let target = match load_schema(tgt_path, opts.root.as_deref(), &mut session) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let ctx = CastContext::new(&source, &target, &session.alphabet);
+            let run = certify_context(&ctx);
+            if opts.json {
+                println!("{}", analysis::render_certify_json(&run));
+            } else {
+                print!("{}", analysis::render_certify_text(&run));
+            }
+            return if run.all_certified() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            };
         }
         other => {
             eprintln!("unknown command {other:?}");

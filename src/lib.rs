@@ -25,6 +25,10 @@
 //!   [`core::CastContext`], a scoped worker pool, deterministic reports).
 //! * [`analysis`] — static update-safety reports: which edits are
 //!   SAFE/UNSAFE/DYNAMIC for a schema pair, before touching any document.
+//! * [`certify`] — the independent certificate checker: a dependency-free
+//!   validator for the proof certificates `core::certify` emits for every
+//!   static claim (relation memberships, IDA decision sets, safety
+//!   verdicts).
 //! * [`workload`] — generators reproducing the paper's experiments.
 //!
 //! ## Quick start
@@ -49,6 +53,7 @@
 
 pub use schemacast_analysis as analysis;
 pub use schemacast_automata as automata;
+pub use schemacast_certify as certify;
 pub use schemacast_core as core;
 pub use schemacast_engine as engine;
 pub use schemacast_regex as regex;

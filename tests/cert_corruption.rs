@@ -1,0 +1,250 @@
+//! The negative half of the certifying analyzer's guarantee: the checker
+//! must reject every corrupted certificate — zero false accepts.
+//!
+//! Over the purchase-order fixture pair and a sweep of random schema
+//! evolutions, this suite certifies each pair, then deterministically
+//! enumerates guaranteed-breaking mutations (dropped simulation pairs and
+//! obligations, out-of-range certificate references, truncated witness
+//! children, flipped decision-set bits, zeroed ranks, broken witness
+//! traces) and asserts the independent checker catches every single one.
+//! Per-kind coverage counters keep the sweep honest: each certificate kind
+//! must actually have been attacked.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use schemacast::certify::{check_bundle, BlockedSymbol, CertBundle, DisBody, NondisBody, SubBody};
+use schemacast::core::certify::certify_context;
+use schemacast::core::CastContext;
+use schemacast::regex::Alphabet;
+use schemacast::workload::purchase_order as po;
+use schemacast::workload::synth::{random_schema, SynthConfig};
+
+/// Every guaranteed-breaking mutation applicable to `bundle`, with a label
+/// for failure messages and a kind tag for the coverage floor. Each entry
+/// is an independently corrupted clone.
+fn corruptions(bundle: &CertBundle) -> Vec<(&'static str, CertBundle)> {
+    let mut out: Vec<(&'static str, CertBundle)> = Vec::new();
+    let mut push = |label: &'static str, mutated: CertBundle| out.push((label, mutated));
+
+    for (i, cert) in bundle.subs.iter().enumerate() {
+        if let SubBody::Complex {
+            simulation,
+            obligations,
+        } = &cert.body
+        {
+            for k in 0..simulation.relation.len() {
+                let mut b = bundle.clone();
+                let SubBody::Complex { simulation, .. } = &mut b.subs[i].body else {
+                    unreachable!()
+                };
+                simulation.relation.remove(k);
+                push("sub: dropped simulation pair", b);
+            }
+            if !obligations.is_empty() {
+                let mut b = bundle.clone();
+                let SubBody::Complex { obligations, .. } = &mut b.subs[i].body else {
+                    unreachable!()
+                };
+                obligations.pop();
+                push("sub: dropped obligation", b);
+
+                let mut b = bundle.clone();
+                let SubBody::Complex { obligations, .. } = &mut b.subs[i].body else {
+                    unreachable!()
+                };
+                obligations[0].child_ref = bundle.subs.len() as u32;
+                push("sub: obligation ref out of range", b);
+            }
+        }
+    }
+
+    for (i, cert) in bundle.diss.iter().enumerate() {
+        if let DisBody::Complex {
+            invariant, blocked, ..
+        } = &cert.body
+        {
+            for k in 0..invariant.len() {
+                let mut b = bundle.clone();
+                let DisBody::Complex { invariant, .. } = &mut b.diss[i].body else {
+                    unreachable!()
+                };
+                invariant.remove(k);
+                push("dis: dropped invariant pair", b);
+            }
+            if let Some(k) = blocked
+                .iter()
+                .position(|s| matches!(s, BlockedSymbol::DisjointChild { .. }))
+            {
+                let mut b = bundle.clone();
+                let DisBody::Complex { blocked, .. } = &mut b.diss[i].body else {
+                    unreachable!()
+                };
+                let BlockedSymbol::DisjointChild { dis_ref, .. } = &mut blocked[k] else {
+                    unreachable!()
+                };
+                *dis_ref = bundle.diss.len() as u32;
+                push("dis: blocked-symbol ref out of range", b);
+            }
+        }
+    }
+
+    for (i, cert) in bundle.nondis.iter().enumerate() {
+        if let NondisBody::Complex { word, children, .. } = &cert.body {
+            if !word.is_empty() {
+                let mut b = bundle.clone();
+                let NondisBody::Complex { word, .. } = &mut b.nondis[i].body else {
+                    unreachable!()
+                };
+                word[0] = u32::MAX;
+                push("nondis: word symbol out of alphabet", b);
+
+                // Truncating the child list breaks the word/children length
+                // tie (truncating the *word* is not guaranteed-breaking: a
+                // prefix may be jointly accepted).
+                let mut b = bundle.clone();
+                let NondisBody::Complex { children, .. } = &mut b.nondis[i].body else {
+                    unreachable!()
+                };
+                children.pop();
+                push("nondis: truncated children", b);
+            }
+            if !children.is_empty() {
+                let mut b = bundle.clone();
+                let NondisBody::Complex { children, .. } = &mut b.nondis[i].body else {
+                    unreachable!()
+                };
+                children[0].nondis_ref = i as u32;
+                push("nondis: self-referential child (not well-founded)", b);
+            }
+        }
+    }
+
+    for (i, cert) in bundle.idas.iter().enumerate() {
+        for grid in ["ia", "ir", "safe", "dead"] {
+            let mut b = bundle.clone();
+            let c = &mut b.idas[i];
+            let v = match grid {
+                "ia" => &mut c.ia,
+                "ir" => &mut c.ir,
+                "safe" => &mut c.safe,
+                _ => &mut c.dead,
+            };
+            if v.is_empty() {
+                continue;
+            }
+            v[0] = !v[0];
+            push("ida: flipped decision bit", b);
+        }
+        // Zeroing a positive rank of a non-member breaks the rank-0 ⟺ goal
+        // law (only applicable when such an entry exists).
+        if let Some(k) = (0..cert.safe.len()).find(|&k| !cert.safe[k] && cert.safe_rank[k] > 0) {
+            let mut b = bundle.clone();
+            b.idas[i].safe_rank[k] = 0;
+            push("ida: zeroed safe rank", b);
+        }
+        if let Some(k) = (0..cert.dead.len()).find(|&k| !cert.dead[k] && cert.dead_rank[k] > 0) {
+            let mut b = bundle.clone();
+            b.idas[i].dead_rank[k] = 0;
+            push("ida: zeroed dead rank", b);
+        }
+    }
+
+    for (i, cert) in bundle.paths.iter().enumerate() {
+        let mut b = bundle.clone();
+        b.paths[i].states[0].0 = b.paths[i].states[0].0.wrapping_add(1);
+        push("path: broken start anchor", b);
+
+        if !cert.word.is_empty() {
+            let mut b = bundle.clone();
+            b.paths[i].word.push(0);
+            push("path: word/trace length mismatch", b);
+        }
+    }
+
+    for (i, cert) in bundle.safety.iter().enumerate() {
+        let mut b = bundle.clone();
+        b.safety[i].ida_ref = bundle.idas.len() as u32;
+        push("safety: ida ref out of range", b);
+
+        if cert.stable.as_ref().is_some_and(|s| !s.is_empty()) {
+            let mut b = bundle.clone();
+            b.safety[i].stable.as_mut().unwrap().pop();
+            push("safety: dropped stable obligation", b);
+        }
+        if !cert.sub_links.is_empty() {
+            let mut b = bundle.clone();
+            b.safety[i].sub_links[0].cert_ref = bundle.subs.len() as u32;
+            push("safety: sub link ref out of range", b);
+        }
+    }
+
+    out
+}
+
+/// Certifies `source -> target`, then asserts the checker rejects every
+/// applicable corruption. Returns per-label mutation counts.
+fn attack_pair(
+    source: &schemacast::schema::AbstractSchema,
+    target: &schemacast::schema::AbstractSchema,
+    alphabet: &Alphabet,
+    what: &str,
+) -> Vec<&'static str> {
+    let ctx = CastContext::new(source, target, alphabet);
+    let run = certify_context(&ctx);
+    assert!(
+        run.all_certified(),
+        "{what}: baseline not certified: {:#?}",
+        run.diagnostics
+    );
+    let mut labels = Vec::new();
+    for (label, mutated) in corruptions(&run.bundle) {
+        assert_ne!(
+            mutated, run.bundle,
+            "{what}: mutation {label:?} did not change the bundle"
+        );
+        let report = check_bundle(&mutated);
+        assert!(
+            !report.all_valid(),
+            "{what}: FALSE ACCEPT — checker passed corrupted bundle ({label})"
+        );
+        labels.push(label);
+    }
+    labels
+}
+
+#[test]
+fn checker_rejects_every_corruption_on_the_fixture_pair() {
+    let mut session = schemacast::schema::Session::new();
+    let source = session.parse_xsd(&po::source_xsd()).expect("source");
+    let target = session.parse_xsd(&po::target_xsd()).expect("target");
+    let labels = attack_pair(&source, &target, &session.alphabet, "po fixture");
+    assert!(!labels.is_empty());
+}
+
+#[test]
+fn checker_rejects_every_corruption_across_random_evolutions() {
+    let mut attacked: std::collections::BTreeMap<&str, usize> = Default::default();
+    for seed in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0DE + seed);
+        let original = random_schema(&SynthConfig::default(), &mut rng);
+        let mut evolved = original.clone();
+        for _ in 0..=(seed % 3) {
+            evolved.evolve(&mut rng);
+        }
+        let mut alphabet = Alphabet::new();
+        let source = original.build(&mut alphabet);
+        let target = evolved.build(&mut alphabet);
+        for label in attack_pair(&source, &target, &alphabet, &format!("seed {seed}")) {
+            *attacked.entry(label).or_default() += 1;
+        }
+    }
+    // Coverage floor: every certificate kind must actually have been
+    // attacked somewhere in the sweep, or the zero-false-accept claim is
+    // vacuous for that kind.
+    for kind in ["sub:", "dis:", "nondis:", "ida:", "path:", "safety:"] {
+        assert!(
+            attacked.keys().any(|l| l.starts_with(kind)),
+            "no {kind} mutations exercised across the sweep: {attacked:?}"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests for `schemacast certify` and the `--certify` gate:
+//! the exit-code contract (0 all certified / 1 checker failures / 2 usage
+//! error), the JSON shape, and the fail-closed behavior of `--certify` on
+//! `cast` / `analyze`.
+
+use std::process::{Command, Output};
+
+const SOURCE: &str = "tests/fixtures/po_source.xsd";
+const TARGET: &str = "tests/fixtures/po_target.xsd";
+
+fn schemacast(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_schemacast"))
+        .args(args)
+        .output()
+        .expect("run schemacast")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+#[test]
+fn fixture_pair_certifies_and_exits_zero() {
+    let out = schemacast(&["certify", SOURCE, TARGET]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("all claims certified"), "{text}");
+    assert!(text.contains("emitted"), "{text}");
+
+    // Both directions and the identity pair certify too.
+    assert_eq!(exit_code(&schemacast(&["certify", TARGET, SOURCE])), 0);
+    assert_eq!(exit_code(&schemacast(&["certify", SOURCE, SOURCE])), 0);
+}
+
+#[test]
+fn json_output_is_well_formed_and_complete() {
+    let out = schemacast(&["certify", SOURCE, TARGET, "--json"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(json.starts_with("{\"certified\":true"), "{json}");
+    for key in [
+        "\"emitted\":",
+        "\"checked\":",
+        "\"check_micros\":",
+        "\"counts\":{\"dfas\":",
+        "\"subs\":",
+        "\"diss\":",
+        "\"nondis\":",
+        "\"idas\":",
+        "\"paths\":",
+        "\"safety\":",
+        "\"failures\":[]",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // Wrong number of schemas.
+    assert_eq!(exit_code(&schemacast(&["certify"])), 2);
+    assert_eq!(exit_code(&schemacast(&["certify", SOURCE])), 2);
+    assert_eq!(
+        exit_code(&schemacast(&["certify", SOURCE, TARGET, SOURCE])),
+        2
+    );
+    // Unreadable schema file.
+    assert_eq!(
+        exit_code(&schemacast(&["certify", "no-such-file.xsd", TARGET])),
+        2
+    );
+}
+
+#[test]
+fn certify_gate_on_cast_and_analyze() {
+    // A source-valid document (billTo present, so also target-valid).
+    let addr = "<name>n</name><street>s</street><city>c</city>\
+                <state>NY</state><zip>10001</zip><country>US</country>";
+    let doc = format!(
+        "<purchaseOrder><shipTo>{addr}</shipTo><billTo>{addr}</billTo>\
+         <items><item><productName>p</productName><quantity>2</quantity>\
+         <USPrice>9.50</USPrice></item></items></purchaseOrder>"
+    );
+    let dir = std::env::temp_dir().join("schemacast-certify-cli");
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc_path = dir.join("po.xml");
+    std::fs::write(&doc_path, doc).unwrap();
+    let doc_path = doc_path.to_str().unwrap();
+
+    // cast --certify: certification passes, validation proceeds, and the
+    // counters surface under --stats.
+    let out = schemacast(&[
+        "cast",
+        "--source",
+        SOURCE,
+        "--target",
+        TARGET,
+        "--certify",
+        "--stats",
+        doc_path,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("certificates:"), "{text}");
+    assert!(text.contains("valid"), "{text}");
+
+    // batch --certify --stats: totals fold the certification counters in.
+    let out = schemacast(&[
+        "batch",
+        "--source",
+        SOURCE,
+        "--target",
+        TARGET,
+        "--certify",
+        "--stats",
+        doc_path,
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("certificates:"), "{text}");
+
+    // analyze --certify still prints the analysis report.
+    let out = schemacast(&["analyze", SOURCE, TARGET, "--certify"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("edit safety"), "{text}");
+}
