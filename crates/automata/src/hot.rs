@@ -1,0 +1,208 @@
+//! Branchless hot-path transition tables.
+//!
+//! [`Dfa::step`] carries a per-step branch (`sym.index() < alphabet_len`)
+//! to route symbols interned after the DFA was built to the sink, and the
+//! streaming validator's IDA path follows it with two bitset probes
+//! (`IA`/`IR` membership). [`HotDfa`] flattens all of that into data:
+//!
+//! * the transition table grows one extra **sink column**, and the column
+//!   index is clamped with `min` (a `cmov`, not a branch), so unknown
+//!   symbols take the same indexed load as known ones;
+//! * per-state facts (final / immediate-accept / immediate-reject) are
+//!   packed into one flag byte per state, so a decision probe is a single
+//!   byte load instead of two bitset word lookups.
+//!
+//! The inner validation loop becomes: one multiply, one clamped load, one
+//! byte load, one test — no data-dependent branches until a decision
+//! actually fires. `HotDfa` is a *view* derived from a [`Dfa`] (plus
+//! optional decision sets); the `Dfa` remains the source of truth for
+//! every offline algorithm.
+
+use crate::bitset::BitSet;
+use crate::dfa::{Dfa, StateId};
+
+/// State-flag bits of a [`HotDfa`].
+pub mod state_flags {
+    /// The state is accepting.
+    pub const FINAL: u8 = 1;
+    /// The state is immediate-accept (`IA`, Definition 6/7).
+    pub const IA: u8 = 2;
+    /// The state is immediate-reject (`IR`, Definition 6/7).
+    pub const IR: u8 = 4;
+}
+
+/// A dense, branchless transition table derived from a [`Dfa`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotDfa {
+    /// Columns per row: `alphabet_len + 1`; the last column is the sink
+    /// column every out-of-alphabet symbol clamps to.
+    width: usize,
+    /// Row-major `state_count × width` table.
+    trans: Vec<StateId>,
+    /// One flag byte per state ([`state_flags`]).
+    flags: Vec<u8>,
+    start: StateId,
+    sink: StateId,
+}
+
+impl HotDfa {
+    /// Builds the hot table of `d` with only [`state_flags::FINAL`] flags.
+    pub fn from_dfa(d: &Dfa) -> HotDfa {
+        Self::build(d, |_| 0)
+    }
+
+    /// Builds the hot table of `d` with `IA`/`IR` decision flags folded in
+    /// (the sets of an immediate decision automaton over `d`).
+    pub fn with_decisions(d: &Dfa, ia: &BitSet, ir: &BitSet) -> HotDfa {
+        Self::build(d, |q| {
+            let mut f = 0;
+            if ia.contains(q) {
+                f |= state_flags::IA;
+            }
+            if ir.contains(q) {
+                f |= state_flags::IR;
+            }
+            f
+        })
+    }
+
+    fn build(d: &Dfa, extra: impl Fn(usize) -> u8) -> HotDfa {
+        let n = d.state_count();
+        let alen = d.alphabet_len();
+        let width = alen + 1;
+        let mut trans = Vec::with_capacity(n * width);
+        let mut flags = Vec::with_capacity(n);
+        for q in 0..n {
+            trans.extend_from_slice(d.row(q as StateId));
+            trans.push(d.sink());
+            let mut f = extra(q);
+            if d.is_final(q as StateId) {
+                f |= state_flags::FINAL;
+            }
+            flags.push(f);
+        }
+        HotDfa {
+            width,
+            trans,
+            flags,
+            start: d.start(),
+            sink: d.sink(),
+        }
+    }
+
+    /// Columns per row (`alphabet_len + 1`).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The start state.
+    #[inline]
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The sink (dead) state.
+    #[inline]
+    pub fn sink(&self) -> StateId {
+        self.sink
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn state_count(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// One branchless transition step. `col` is the symbol's dense index;
+    /// out-of-range columns (symbols interned after the DFA was built)
+    /// clamp to the sink column, so the semantics match [`Dfa::step`]
+    /// without its range branch.
+    #[inline]
+    pub fn step(&self, q: StateId, col: usize) -> StateId {
+        self.trans[q as usize * self.width + col.min(self.width - 1)]
+    }
+
+    /// The flag byte of `q` ([`state_flags`]).
+    #[inline]
+    pub fn flags(&self, q: StateId) -> u8 {
+        self.flags[q as usize]
+    }
+
+    /// Whether `q` is accepting.
+    #[inline]
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.flags(q) & state_flags::FINAL != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ida::{Ida, ProductIda};
+    use schemacast_regex::{parse_regex, Alphabet, Sym};
+
+    fn compile(text: &str, ab: &mut Alphabet) -> Dfa {
+        let r = parse_regex(text, ab).expect("parse");
+        Dfa::from_regex(&r, ab.len()).expect("compile")
+    }
+
+    #[test]
+    fn hot_step_agrees_with_dfa_step_everywhere() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a | b)*, c, (a, c)?", &mut ab);
+        let hot = HotDfa::from_dfa(&d);
+        assert_eq!(hot.start(), d.start());
+        assert_eq!(hot.sink(), d.sink());
+        assert_eq!(hot.state_count(), d.state_count());
+        assert_eq!(hot.width(), d.alphabet_len() + 1);
+        for q in 0..d.state_count() as StateId {
+            assert_eq!(hot.is_final(q), d.is_final(q), "finality of {q}");
+            // In-alphabet columns, the sink column, and far-out-of-range
+            // columns (late-interned symbols) all agree with Dfa::step.
+            for col in 0..d.alphabet_len() + 4 {
+                assert_eq!(
+                    hot.step(q, col),
+                    d.step(q, Sym(col as u32)),
+                    "step({q}, {col})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decision_flags_mirror_the_ida_sets() {
+        let mut ab = Alphabet::new();
+        let a = compile("(shipTo, billTo?, items)", &mut ab);
+        let b = compile("(shipTo, billTo, items)", &mut ab);
+        let c = ProductIda::new(&a, &b);
+        let ida = c.ida();
+        let hot = ida.hot();
+        let mut saw_ia = false;
+        let mut saw_ir = false;
+        for q in 0..ida.dfa().state_count() as StateId {
+            let f = hot.flags(q);
+            assert_eq!(f & state_flags::IA != 0, ida.is_ia(q), "IA of {q}");
+            assert_eq!(f & state_flags::IR != 0, ida.is_ir(q), "IR of {q}");
+            assert_eq!(f & state_flags::FINAL != 0, ida.dfa().is_final(q));
+            saw_ia |= ida.is_ia(q);
+            saw_ir |= ida.is_ir(q);
+        }
+        assert!(saw_ia && saw_ir, "test DFA pair exercises both flag kinds");
+    }
+
+    #[test]
+    fn plain_ida_carries_final_flags_only_where_expected() {
+        let mut ab = Alphabet::new();
+        let d = compile("(a, b)", &mut ab);
+        let ida = Ida::from_dfa(&d);
+        let hot = ida.hot();
+        // The sink is IR; the flag byte says so in one load.
+        assert_eq!(
+            hot.flags(d.sink()) & state_flags::IR,
+            state_flags::IR,
+            "sink is immediate-reject"
+        );
+        assert_eq!(hot.flags(d.sink()) & state_flags::FINAL, 0);
+    }
+}

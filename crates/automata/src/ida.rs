@@ -26,6 +26,7 @@
 
 use crate::bitset::BitSet;
 use crate::dfa::{Dfa, StateId};
+use crate::hot::HotDfa;
 use crate::product::Product;
 use schemacast_regex::Sym;
 
@@ -75,6 +76,9 @@ pub struct Ida {
     dfa: Dfa,
     ia: BitSet,
     ir: BitSet,
+    /// Branchless hot table with the decision sets folded into per-state
+    /// flag bytes — what the streaming validator actually steps.
+    hot: HotDfa,
 }
 
 /// Computes `{q | L(q) = Σ*}`: states that cannot reach a non-final state.
@@ -111,11 +115,7 @@ impl Ida {
         let ia = universal_states(d);
         let mut ir = d.coaccessible();
         ir.invert();
-        Ida {
-            dfa: d.clone(),
-            ia,
-            ir,
-        }
+        Ida::from_sets(d.clone(), ia, ir)
     }
 
     /// Constructs an IDA with explicit `IA`/`IR` sets.
@@ -131,12 +131,20 @@ impl Ida {
         ia.intersect_with(&not_ir);
         debug_assert_eq!(ia.capacity(), dfa.state_count());
         debug_assert_eq!(ir.capacity(), dfa.state_count());
-        Ida { dfa, ia, ir }
+        let hot = HotDfa::with_decisions(&dfa, &ia, &ir);
+        Ida { dfa, ia, ir, hot }
     }
 
     /// The underlying DFA.
     pub fn dfa(&self) -> &Dfa {
         &self.dfa
+    }
+
+    /// The branchless hot table (transitions + `FINAL`/`IA`/`IR` flag
+    /// bytes) — the representation the streaming hot loop steps.
+    #[inline]
+    pub fn hot(&self) -> &HotDfa {
+        &self.hot
     }
 
     /// Whether `q` is an immediate-accept state.

@@ -12,6 +12,8 @@
 //!   intersection emptiness) that seed the paper's `R_sub`/`R_nondis`
 //!   fixpoints,
 //! * [immediate decision automata](ida) (`IA`/`IR` sets, Definitions 6–8),
+//! * branchless [hot transition tables](hot) (sink-column clamping +
+//!   per-state flag bytes) for the streaming validator's inner loop,
 //! * [string revalidation](revalidate) with and without modifications
 //!   (Theorem 3, Prop. 2), including the reverse-automaton strategy for
 //!   append-heavy edits.
@@ -21,6 +23,7 @@ pub mod certify;
 pub mod checks;
 pub mod dfa;
 pub mod editdist;
+pub mod hot;
 pub mod ida;
 pub mod minimize;
 pub mod nfa;
@@ -39,6 +42,7 @@ pub use checks::{
 };
 pub use dfa::{Dfa, StateId};
 pub use editdist::{apply_repair, repair_string, shortest_witness, StringRepairOp};
+pub use hot::HotDfa;
 pub use ida::{Ida, IdaOutcome, ProductIda};
 pub use minimize::minimize;
 pub use nfa::Nfa;

@@ -41,6 +41,18 @@ pub struct ValidationStats {
     /// two (the `Start`/`End` pair it would have produced); the skipped
     /// element's own end tag is included.
     pub events_avoided: usize,
+    /// Wall-clock microseconds spent building the stage-1 structural index
+    /// (the tape) before streaming validation. Paths that do not build a
+    /// tape (tree validators, the generic event path) leave this 0.
+    pub index_build_micros: usize,
+    /// Structural tape entries produced by the stage-1 indexer for the
+    /// validated document(s).
+    pub tape_events: usize,
+    /// Subtree skips served as O(1) tape hops (cursor jump to the matching
+    /// end tag's tape entry) rather than byte rescans. On the tape-fed
+    /// path every lexical skip is a hop; the scalar reference lexer and
+    /// the depth-counting event path leave this 0.
+    pub tape_skip_hops: usize,
     /// Certificates emitted by the certification pass (`--certify`): every
     /// static claim packaged for the independent checker.
     pub certs_emitted: usize,
@@ -65,6 +77,9 @@ impl AddAssign for ValidationStats {
         self.static_rejects += rhs.static_rejects;
         self.bytes_skipped += rhs.bytes_skipped;
         self.events_avoided += rhs.events_avoided;
+        self.index_build_micros += rhs.index_build_micros;
+        self.tape_events += rhs.tape_events;
+        self.tape_skip_hops += rhs.tape_skip_hops;
         self.certs_emitted += rhs.certs_emitted;
         self.certs_checked += rhs.certs_checked;
         self.cert_check_micros += rhs.cert_check_micros;

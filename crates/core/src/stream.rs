@@ -33,12 +33,14 @@
 
 use crate::cast::CastContext;
 use crate::stats::{CastOutcome, ValidationStats};
-use schemacast_automata::{ProductIda, StateId};
+use schemacast_automata::hot::state_flags;
+use schemacast_automata::{HotDfa, ProductIda, StateId};
 use schemacast_regex::{Alphabet, Sym, SymCache};
-use schemacast_schema::{TypeDef, TypeId};
-use schemacast_xml::{PullEvent, PullParser, XmlError};
+use schemacast_schema::{ComplexType, SimpleType, TypeDef, TypeId};
+use schemacast_xml::{PullEvent, PullParser, StructuralIndex, XmlError};
 use std::borrow::Cow;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A streaming validator over a preprocessed [`CastContext`].
 pub struct StreamingCast<'a, 'b> {
@@ -47,32 +49,76 @@ pub struct StreamingCast<'a, 'b> {
 
 /// Reusable per-worker scratch state for the streaming fast path.
 ///
-/// Holds the lifetime-free [`SymCache`] so batch workers resolve labels
-/// with zero steady-state allocation across documents. Create one per
-/// worker (or per call site) and pass it to
-/// [`StreamingCast::validate_str_with`] / [`StreamingCast::validate_pull`].
+/// Holds the lifetime-free [`SymCache`], the stage-1 structural tape
+/// buffer ([`StructuralIndex`], rebuilt in place per document), and the
+/// per-document product-IDA memo, so batch workers resolve labels, index
+/// documents, and fetch pair automata with zero steady-state allocation
+/// across documents. Create one per worker (or per call site) and pass it
+/// to [`StreamingCast::validate_str_with`] /
+/// [`StreamingCast::validate_pull`].
 #[derive(Debug, Default)]
 pub struct StreamScratch {
     syms: SymCache,
+    tape: StructuralIndex,
+    pairs: PairMemo,
+}
+
+/// Per-document memo of product IDAs by type pair. The context's sharded
+/// cache already dedups construction globally; this layer removes the
+/// mutex + hash lookup from the per-element path for pairs the current
+/// document has already used. [`TypeId`]s are small dense indices, so the
+/// memo is a `#source_types × #target_types` matrix — one indexed load
+/// per element, no hashing at all. Re-dimensioned (and cleared) at the
+/// start of every document so a scratch can safely move between contexts
+/// (type ids are per-schema).
+#[derive(Debug, Default)]
+struct PairMemo {
+    slots: Vec<Option<Arc<ProductIda>>>,
+    tgt_width: usize,
+}
+
+impl PairMemo {
+    /// Clears the memo and re-dimensions it for a schema pair.
+    fn begin(&mut self, src_types: usize, tgt_types: usize) {
+        self.slots.clear();
+        self.slots.resize(src_types * tgt_types, None);
+        self.tgt_width = tgt_types;
+    }
+
+    /// The memoized product IDA for `(s, t)`, building it on first use.
+    #[inline]
+    fn get_or_insert(
+        &mut self,
+        s: TypeId,
+        t: TypeId,
+        build: impl FnOnce() -> Arc<ProductIda>,
+    ) -> &Arc<ProductIda> {
+        self.slots[s.index() * self.tgt_width + t.index()].get_or_insert_with(build)
+    }
 }
 
 /// One open element's validation state. Borrows simple-typed character data
-/// from the document (`'t`) until a second run forces an owned buffer.
-enum Frame<'t> {
+/// from the document (`'t`) until a second run forces an owned buffer, and
+/// caches the schema-side definitions (`'a`) so the per-event hot loop
+/// never repeats a `type_def` lookup.
+enum Frame<'a, 't> {
     /// Target type is simple: accumulate character data.
     Simple {
-        tgt: TypeId,
+        simple: &'a SimpleType,
         text: Option<Cow<'t, str>>,
     },
     /// Target type is complex: run the content model as children arrive.
     Complex {
-        src: Option<TypeId>,
-        tgt: TypeId,
-        content: Content,
+        /// This element's *source* complex definition, if any — types the
+        /// children on the source side.
+        src_cx: Option<&'a ComplexType>,
+        /// This element's target complex definition.
+        tgt_cx: &'a ComplexType,
+        content: Content<'a>,
     },
 }
 
-enum Content {
+enum Content<'a> {
     /// Product IDA over (source, target) content models (§4 integration).
     Ida {
         ida: Arc<ProductIda>,
@@ -81,8 +127,9 @@ enum Content {
         /// Immediate rejects abort the whole scan instead.
         accepted_early: bool,
     },
-    /// Plain target-DFA scan (no source content model, or IDA disabled).
-    Dfa { q: StateId },
+    /// Plain target-DFA scan (no source content model, or IDA disabled),
+    /// stepped through the cached branchless hot table.
+    Dfa { hot: &'a HotDfa, q: StateId },
 }
 
 /// What a `Start` event did to the frame stack.
@@ -118,7 +165,10 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
 
     /// [`validate_str`](StreamingCast::validate_str) with caller-provided
     /// scratch state — the batch engine passes one [`StreamScratch`] per
-    /// worker so repeated documents share allocations.
+    /// worker so repeated documents share allocations, including the
+    /// structural tape buffer, which is rebuilt in place here (timed into
+    /// [`ValidationStats::index_build_micros`]) and fed to the parser by
+    /// reference.
     ///
     /// # Errors
     /// Returns `Err` only for malformed XML.
@@ -128,7 +178,17 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
         alphabet: &Alphabet,
         scratch: &mut StreamScratch,
     ) -> Result<(CastOutcome, ValidationStats), XmlError> {
-        self.validate_pull(&mut PullParser::new(text), alphabet, scratch)
+        // Destructure so the parser can borrow the tape while the driver
+        // mutably uses the other scratch parts.
+        let StreamScratch { syms, tape, pairs } = scratch;
+        let started = Instant::now();
+        tape.rebuild(text);
+        let index_build_micros =
+            usize::try_from(started.elapsed().as_micros()).unwrap_or(usize::MAX);
+        let mut parser = PullParser::with_index(text, tape);
+        let (outcome, mut stats) = self.validate_pull_inner(&mut parser, alphabet, syms, pairs)?;
+        stats.index_build_micros += index_build_micros;
+        Ok((outcome, stats))
     }
 
     /// Validates by driving a pull parser directly — the production fast
@@ -153,22 +213,40 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
         alphabet: &Alphabet,
         scratch: &mut StreamScratch,
     ) -> Result<(CastOutcome, ValidationStats), XmlError> {
-        scratch.syms.begin();
-        let mut stats = ValidationStats::default();
-        let mut stack: Vec<Frame<'t>> = Vec::new();
+        self.validate_pull_inner(parser, alphabet, &mut scratch.syms, &mut scratch.pairs)
+    }
+
+    fn validate_pull_inner<'t>(
+        &self,
+        parser: &mut PullParser<'t>,
+        alphabet: &Alphabet,
+        syms: &mut SymCache,
+        pairs: &mut PairMemo,
+    ) -> Result<(CastOutcome, ValidationStats), XmlError> {
+        syms.begin();
+        pairs.begin(
+            self.ctx.source().type_count(),
+            self.ctx.target().type_count(),
+        );
+        let mut stats = ValidationStats {
+            tape_events: parser.tape().len(),
+            ..ValidationStats::default()
+        };
+        let mut stack: Vec<Frame<'a, 't>> = Vec::new();
         let mut seen_root = false;
 
         while let Some(event) = parser.next() {
             match event? {
                 PullEvent::Doctype { .. } => {}
                 PullEvent::Start { name, id, .. } => {
-                    let sym = scratch.syms.resolve(alphabet, id.index(), name);
-                    match self.on_start(sym, &mut stack, &mut seen_root, &mut stats) {
+                    let sym = syms.resolve(alphabet, id.index(), name);
+                    match self.on_start(sym, &mut stack, &mut seen_root, pairs, &mut stats) {
                         StartAction::Entered => {}
                         StartAction::Skip => {
                             let skipped = parser.skip_subtree()?;
                             stats.bytes_skipped += skipped.bytes;
                             stats.events_avoided += skipped.events;
+                            stats.tape_skip_hops += skipped.hops;
                         }
                         StartAction::Invalid => return Ok((CastOutcome::Invalid, stats)),
                     }
@@ -209,9 +287,14 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
         I: IntoIterator<Item = Result<PullEvent<'t>, XmlError>>,
     {
         let mut stats = ValidationStats::default();
-        let mut stack: Vec<Frame<'t>> = Vec::new();
+        let mut stack: Vec<Frame<'a, 't>> = Vec::new();
         let mut skip_depth: usize = 0;
         let mut seen_root = false;
+        let mut pairs = PairMemo::default();
+        pairs.begin(
+            self.ctx.source().type_count(),
+            self.ctx.target().type_count(),
+        );
 
         for event in events {
             match event? {
@@ -222,7 +305,7 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
                         continue;
                     }
                     let sym = alphabet.lookup(name);
-                    match self.on_start(sym, &mut stack, &mut seen_root, &mut stats) {
+                    match self.on_start(sym, &mut stack, &mut seen_root, &mut pairs, &mut stats) {
                         StartAction::Entered => {}
                         StartAction::Skip => skip_depth = 1,
                         StartAction::Invalid => return Ok((CastOutcome::Invalid, stats)),
@@ -256,11 +339,17 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
 
     /// Handles a start tag: types the element, steps the enclosing content
     /// model, and decides whether to descend, skip, or reject.
+    ///
+    /// This is the per-element hot loop. Content models are stepped through
+    /// [`HotDfa`] tables — one multiply, one clamped (branchless) load, one
+    /// flag-byte test — and child types resolve through the dense
+    /// [`ComplexType::child_index`] instead of a hash map.
     fn on_start<'t>(
         &self,
         sym: Option<Sym>,
-        stack: &mut Vec<Frame<'t>>,
+        stack: &mut Vec<Frame<'a, 't>>,
         seen_root: &mut bool,
+        pairs: &mut PairMemo,
         stats: &mut ValidationStats,
     ) -> StartAction {
         let Some(sym) = sym else {
@@ -277,7 +366,7 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
                 return StartAction::Invalid;
             };
             let src = self.ctx.source().root_type(sym);
-            match self.enter(src, tgt, stats) {
+            match self.enter(src, tgt, pairs, stats) {
                 Entered::Frame(f) => {
                     stack.push(f);
                     StartAction::Entered
@@ -292,7 +381,11 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
                     // Element content inside a simple type.
                     StartAction::Invalid
                 }
-                Frame::Complex { src, tgt, content } => {
+                Frame::Complex {
+                    src_cx,
+                    tgt_cx,
+                    content,
+                } => {
                     // Step the content model.
                     match content {
                         Content::Ida {
@@ -302,50 +395,33 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
                         } => {
                             if !*accepted_early {
                                 stats.content_symbols_scanned += 1;
-                                *q = ida.ida().dfa().step(*q, sym);
-                                if ida.ida().is_ir(*q) {
+                                let hot = ida.ida().hot();
+                                *q = hot.step(*q, sym.index());
+                                let flags = hot.flags(*q);
+                                if flags & state_flags::IR != 0 {
                                     stats.ida_early_rejects += 1;
                                     return StartAction::Invalid;
                                 }
-                                if ida.ida().is_ia(*q) {
+                                if flags & state_flags::IA != 0 {
                                     stats.ida_early_accepts += 1;
                                     *accepted_early = true;
                                 }
                             }
                         }
-                        Content::Dfa { q } => {
+                        Content::Dfa { hot, q } => {
                             stats.content_symbols_scanned += 1;
-                            let dfa = &self
-                                .ctx
-                                .target()
-                                .type_def(*tgt)
-                                .as_complex()
-                                .expect("complex frame")
-                                .dfa;
-                            *q = dfa.step(*q, sym);
-                            if *q == dfa.sink() {
+                            *q = hot.step(*q, sym.index());
+                            if *q == hot.sink() {
                                 return StartAction::Invalid;
                             }
                         }
                     }
-                    // Type the child.
-                    let tgt_def = self
-                        .ctx
-                        .target()
-                        .type_def(*tgt)
-                        .as_complex()
-                        .expect("complex frame");
-                    let Some(child_tgt) = tgt_def.child_type(sym) else {
+                    // Type the child (dense index: no hashing).
+                    let Some(child_tgt) = tgt_cx.child_type_dense(sym) else {
                         return StartAction::Invalid;
                     };
-                    let child_src = src.and_then(|s| {
-                        self.ctx
-                            .source()
-                            .type_def(s)
-                            .as_complex()
-                            .and_then(|c| c.child_type(sym))
-                    });
-                    match self.enter(child_src, child_tgt, stats) {
+                    let child_src = src_cx.and_then(|c| c.child_type_dense(sym));
+                    match self.enter(child_src, child_tgt, pairs, stats) {
                         Entered::Frame(f) => {
                             stack.push(f);
                             StartAction::Entered
@@ -360,42 +436,27 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
 
     /// Closes a frame: final simple-value / content-model acceptance check.
     /// Returns whether the element was valid.
-    fn on_end(&self, frame: Frame<'_>, stats: &mut ValidationStats) -> bool {
+    fn on_end(&self, frame: Frame<'a, '_>, stats: &mut ValidationStats) -> bool {
         match frame {
-            Frame::Simple { tgt, text } => {
+            Frame::Simple { simple, text } => {
                 stats.value_checks += 1;
-                let simple = self
-                    .ctx
-                    .target()
-                    .type_def(tgt)
-                    .as_simple()
-                    .expect("simple frame");
                 let text = text.as_deref().unwrap_or("");
                 // Whitespace-only content is treated as the empty value,
                 // matching the tree validators (Doc::validation_children
                 // drops ignorable whitespace before simple-value checks).
-                if text.chars().all(char::is_whitespace) {
+                if all_xml_whitespace(text) {
                     simple.validate("")
                 } else {
                     simple.validate(text)
                 }
             }
-            Frame::Complex { content, tgt, .. } => match content {
+            Frame::Complex { content, .. } => match content {
                 Content::Ida {
                     ida,
                     q,
                     accepted_early,
-                } => accepted_early || ida.ida().dfa().is_final(q),
-                Content::Dfa { q } => {
-                    let dfa = &self
-                        .ctx
-                        .target()
-                        .type_def(tgt)
-                        .as_complex()
-                        .expect("complex frame")
-                        .dfa;
-                    dfa.is_final(q)
-                }
+                } => accepted_early || ida.ida().hot().is_final(q),
+                Content::Dfa { hot, q } => hot.is_final(q),
             },
         }
     }
@@ -405,8 +466,9 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
         &self,
         src: Option<TypeId>,
         tgt: TypeId,
+        pairs: &mut PairMemo,
         stats: &mut ValidationStats,
-    ) -> Entered<'t> {
+    ) -> Entered<'a, 't> {
         stats.nodes_visited += 1;
         let opts = self.ctx.options();
         if let Some(s) = src {
@@ -422,20 +484,23 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
             stats.full_validations += 1;
         }
         match self.ctx.target().type_def(tgt) {
-            TypeDef::Simple(_) => Entered::Frame(Frame::Simple { tgt, text: None }),
+            TypeDef::Simple(simple) => Entered::Frame(Frame::Simple { simple, text: None }),
             TypeDef::Complex(c) => {
-                let src_complex =
-                    src.filter(|&s| self.ctx.source().type_def(s).as_complex().is_some());
-                let content = match (opts.use_ida, src_complex) {
-                    (true, Some(s)) => {
-                        let ida = self.ctx.product_ida(s, tgt);
-                        let q = ida.ida().dfa().start();
+                let src_cx = src.and_then(|s| self.ctx.source().type_def(s).as_complex());
+                let content = match (opts.use_ida, src, src_cx) {
+                    (true, Some(s), Some(_)) => {
+                        let ida = pairs
+                            .get_or_insert(s, tgt, || self.ctx.product_ida(s, tgt))
+                            .clone();
+                        let hot = ida.ida().hot();
+                        let q = hot.start();
                         // The start state may already be decisive.
-                        if ida.ida().is_ir(q) {
+                        let flags = hot.flags(q);
+                        if flags & state_flags::IR != 0 {
                             stats.ida_early_rejects += 1;
                             return Entered::Reject;
                         }
-                        let accepted_early = ida.ida().is_ia(q);
+                        let accepted_early = flags & state_flags::IA != 0;
                         if accepted_early {
                             stats.ida_early_accepts += 1;
                         }
@@ -445,9 +510,16 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
                             accepted_early,
                         }
                     }
-                    _ => Content::Dfa { q: c.dfa.start() },
+                    _ => Content::Dfa {
+                        hot: &c.hot,
+                        q: c.hot.start(),
+                    },
                 };
-                Entered::Frame(Frame::Complex { src, tgt, content })
+                Entered::Frame(Frame::Complex {
+                    src_cx,
+                    tgt_cx: c,
+                    content,
+                })
             }
         }
     }
@@ -456,7 +528,7 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
 /// Handles character data against the innermost frame. Returns whether the
 /// text is admissible. The first run of a simple value stays borrowed; only
 /// a second run (CDATA boundary, comment split) forces an owned buffer.
-fn on_text<'t>(stack: &mut [Frame<'t>], t: Cow<'t, str>) -> bool {
+fn on_text<'t>(stack: &mut [Frame<'_, 't>], t: Cow<'t, str>) -> bool {
     match stack.last_mut() {
         Some(Frame::Simple { text, .. }) => {
             match text {
@@ -465,12 +537,24 @@ fn on_text<'t>(stack: &mut [Frame<'t>], t: Cow<'t, str>) -> bool {
             }
             true
         }
-        Some(Frame::Complex { .. }) | None => t.chars().all(char::is_whitespace),
+        Some(Frame::Complex { .. }) | None => all_xml_whitespace(&t),
     }
 }
 
-enum Entered<'t> {
-    Frame(Frame<'t>),
+/// Whether `s` is all whitespace, with a byte-wise fast path for the four
+/// ASCII whitespace characters (the overwhelmingly common case between
+/// element tags). The first clause decides every ASCII string — it fails
+/// on any non-whitespace ASCII byte — and only strings containing
+/// non-ASCII bytes fall through to the full Unicode check, preserving the
+/// `char::is_whitespace` semantics the tree validators use.
+#[inline]
+fn all_xml_whitespace(s: &str) -> bool {
+    s.bytes().all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        || (!s.is_ascii() && s.chars().all(char::is_whitespace))
+}
+
+enum Entered<'a, 't> {
+    Frame(Frame<'a, 't>),
     Skip,
     Reject,
 }
@@ -543,6 +627,10 @@ mod tests {
         // And skipped *lexically*: bytes inside them were never tokenized.
         assert!(stats.bytes_skipped > 0);
         assert!(stats.events_avoided > 0);
+        // Every non-self-closing skip was an O(1) tape hop — no rescans.
+        assert!(stats.tape_skip_hops >= 3);
+        // The tape-fed path records its stage-1 instrumentation.
+        assert!(stats.tape_events > 0);
     }
 
     #[test]
@@ -605,9 +693,15 @@ mod tests {
             let mut fast_cmp = fast_stats;
             fast_cmp.bytes_skipped = 0;
             fast_cmp.events_avoided = 0;
+            fast_cmp.index_build_micros = 0;
+            fast_cmp.tape_events = 0;
+            fast_cmp.tape_skip_hops = 0;
             assert_eq!(fast_cmp, oracle_stats, "stats on {text}");
             assert_eq!(oracle_stats.bytes_skipped, 0);
             assert_eq!(oracle_stats.events_avoided, 0);
+            assert_eq!(oracle_stats.tape_events, 0);
+            assert_eq!(oracle_stats.tape_skip_hops, 0);
+            assert!(fast_stats.tape_events > 0, "tape built on {text}");
         }
     }
 

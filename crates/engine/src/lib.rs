@@ -135,9 +135,10 @@ impl<'c, 's> BatchEngine<'c, 's> {
     /// trees are built; memory per worker is O(depth)).
     ///
     /// Each worker drives the zero-copy pull parser through a private
-    /// reusable [`StreamScratch`], so label resolution allocates once per
-    /// worker rather than once per document; subsumed subtrees are skipped
-    /// lexically, and the bytes/events so avoided are surfaced in the batch
+    /// reusable [`StreamScratch`], so label resolution, the stage-1
+    /// structural tape, and the per-document product-IDA memo all allocate
+    /// once per worker rather than once per document; subsumed subtrees are
+    /// skipped lexically, and the bytes/events so avoided are surfaced in the batch
     /// report's folded [`schemacast_core::ValidationStats`]
     /// (`bytes_skipped` / `events_avoided`).
     pub fn validate_xml<S>(&self, texts: &[S], alphabet: &Alphabet) -> BatchReport

@@ -111,12 +111,30 @@ impl BatchReport {
 
     /// The deterministic portion of the report (everything except timing
     /// and worker count) — what batch-identity tests should compare.
+    ///
+    /// Wall-clock counters *inside* the stats
+    /// ([`ValidationStats::index_build_micros`],
+    /// [`ValidationStats::cert_check_micros`]) are zeroed in the view: they
+    /// vary run to run by construction, like `elapsed`.
     pub fn deterministic_view(
         &self,
-    ) -> (&[ItemReport], &ValidationStats, usize, usize, usize, usize) {
+    ) -> (Vec<ItemReport>, ValidationStats, usize, usize, usize, usize) {
+        let strip = |mut s: ValidationStats| {
+            s.index_build_micros = 0;
+            s.cert_check_micros = 0;
+            s
+        };
+        let items = self
+            .items
+            .iter()
+            .map(|i| ItemReport {
+                outcome: i.outcome.clone(),
+                stats: strip(i.stats),
+            })
+            .collect();
         (
-            &self.items,
-            &self.totals,
+            items,
+            strip(self.totals),
             self.valid,
             self.invalid,
             self.malformed,

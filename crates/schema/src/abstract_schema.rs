@@ -11,7 +11,7 @@
 //! used as the ground truth oracle by validator property tests.
 
 use crate::simple::SimpleType;
-use schemacast_automata::{nonempty_restricted, BitSet, Dfa};
+use schemacast_automata::{nonempty_restricted, BitSet, Dfa, HotDfa};
 use schemacast_regex::{Alphabet, Regex, Sym};
 use schemacast_tree::{Doc, NodeId, NodeKind};
 use std::collections::HashMap;
@@ -41,12 +41,59 @@ pub struct ComplexType {
     /// Whether `regexp_τ` is one-unambiguous (true for all well-formed DTD
     /// and XSD content models; the DFA is correct either way).
     pub deterministic: bool,
+    /// Branchless hot table of `dfa` (derived; see [`HotDfa`]). Used by
+    /// the streaming validator's inner loop.
+    pub hot: HotDfa,
+    /// Dense mirror of `child_types`, indexed by `Sym::index()` with
+    /// `u32::MAX` marking absent labels — an O(1) array load where the
+    /// map would hash. Derived; kept in sync by [`ComplexType::new`].
+    pub child_index: Vec<u32>,
 }
 
 impl ComplexType {
+    /// Assembles a complex type, deriving the hot transition table and the
+    /// dense child-type index from the authoritative fields.
+    pub fn new(
+        regex: Regex,
+        dfa: Dfa,
+        child_types: HashMap<Sym, TypeId>,
+        deterministic: bool,
+    ) -> ComplexType {
+        let hot = HotDfa::from_dfa(&dfa);
+        let width = child_types
+            .keys()
+            .map(|s| s.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(dfa.alphabet_len());
+        let mut child_index = vec![u32::MAX; width];
+        for (&label, &t) in &child_types {
+            child_index[label.index()] = t.0;
+        }
+        ComplexType {
+            regex,
+            dfa,
+            child_types,
+            deterministic,
+            hot,
+            child_index,
+        }
+    }
+
     /// The child type for label `σ` (`types_τ(σ)`).
     pub fn child_type(&self, label: Sym) -> Option<TypeId> {
         self.child_types.get(&label).copied()
+    }
+
+    /// [`child_type`](Self::child_type) through the dense index: one array
+    /// load, no hashing. Labels past the index (interned after this type
+    /// was built) are absent by construction.
+    #[inline]
+    pub fn child_type_dense(&self, label: Sym) -> Option<TypeId> {
+        match self.child_index.get(label.index()) {
+            Some(&t) if t != u32::MAX => Some(TypeId(t)),
+            _ => None,
+        }
     }
 }
 

@@ -233,12 +233,12 @@ impl<'a> SchemaBuilder<'a> {
                         .map_err(|_| BuildError::RepeatTooLarge(name.clone()))?;
                     let deterministic = is_one_unambiguous(&regex)
                         .map_err(|_| BuildError::RepeatTooLarge(name.clone()))?;
-                    types.push(TypeDef::Complex(ComplexType {
+                    types.push(TypeDef::Complex(ComplexType::new(
                         regex,
                         dfa,
-                        child_types: mapped,
+                        mapped,
                         deterministic,
-                    }));
+                    )));
                 }
             }
         }

@@ -78,12 +78,7 @@ pub fn prune_nonproductive(schema: &AbstractSchema, alphabet: &Alphabet) -> Abst
                 .filter(|(_, t)| productive[t.index()])
                 .map(|(&l, t)| (l, remap[t]))
                 .collect();
-            *def = TypeDef::Complex(ComplexType {
-                regex,
-                dfa,
-                child_types,
-                deterministic,
-            });
+            *def = TypeDef::Complex(ComplexType::new(regex, dfa, child_types, deterministic));
         }
     }
     let roots = schema

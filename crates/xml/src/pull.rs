@@ -1,4 +1,5 @@
-//! A zero-copy pull (streaming) XML parser.
+//! A zero-copy pull (streaming) XML parser, fed by the stage-1 structural
+//! index.
 //!
 //! Yields borrowed [`PullEvent`]s one at a time with O(depth) memory — the
 //! substrate for streaming schema-cast validation, which realizes the
@@ -6,28 +7,41 @@
 //! with the size of the document, but depends solely on the sizes of the
 //! schemas".
 //!
-//! Three properties make this the hot-path tokenizer:
+//! Four properties make this the hot-path tokenizer:
 //!
+//! * **Tape-fed dispatch.** Construction runs the SWAR structural indexer
+//!   ([`crate::index::StructuralIndex`]) over the input once; `next()` is
+//!   then a walk over precomputed [`TapeEntry`]
+//!   records — no per-byte `position()` scans, no `starts_with` dispatch
+//!   chains, and comments/PIs are never visited at all. Only the *interiors*
+//!   of tags and entity-bearing text are lexed, inside spans whose
+//!   boundaries the tape already knows.
 //! * **Borrowed events.** Element and attribute names are `&str` slices of
 //!   the input; text runs and attribute values are [`Cow`]s that stay
 //!   borrowed unless entity resolution forces an owned buffer. On the
 //!   no-entity path the parser performs **zero** per-event string
 //!   allocations (asserted by `tests/zero_copy.rs`).
 //! * **Lexer-level label interning.** Every distinct element name is
-//!   assigned a dense per-document [`NameId`] by a fast FNV-1a table, so
+//!   assigned a dense per-document [`NameId`] by a fast hash table, so
 //!   downstream consumers (the streaming cast, the tree builder) hash each
 //!   *distinct* name once and afterwards work with integer ids.
-//! * **Lexical subtree skipping.** [`PullParser::skip_subtree`] scans raw
-//!   bytes from just-after a start tag to the matching end tag with a
-//!   quote/comment/CDATA-aware state machine — no name, attribute, or
-//!   entity tokenization — and reports how many bytes and tag events were
-//!   never lexed. This is what makes the paper's `R_sub` skip *lexical*
-//!   rather than merely semantic.
+//! * **O(1) subtree skipping.** The tape pairs every start tag with its
+//!   structurally matching end tag at build time, so
+//!   [`PullParser::skip_subtree`] is a single hop: set the cursor to the
+//!   recorded resume index and the byte position past the recorded `>`.
+//!   No byte between the tags is ever rescanned — this is what makes the
+//!   paper's `R_sub` skip *lexical* rather than merely semantic, and it is
+//!   measured by [`SubtreeSkip::hops`].
 //!
-//! The DOM parser in [`crate::parser`] is a thin loop over these events;
-//! there is exactly one tokenizer in the workspace.
+//! The scalar reference lexer this replaced lives on as
+//! [`crate::scalar::ScalarParser`]; a property suite
+//! (`tests/tape_props.rs`) holds the two to event-for-event, error-for-error
+//! equivalence. The DOM parser in [`crate::parser`] is a thin loop over
+//! these events; there is exactly one production tokenizer in the workspace.
 
 use crate::error::XmlError;
+use crate::index::{flags, EntryKind, StructuralIndex, TapeEntry};
+use crate::scan;
 use std::borrow::Cow;
 
 /// A dense per-document id for a distinct element name.
@@ -89,6 +103,29 @@ pub struct SubtreeSkip {
     /// count as two, matching the event stream they replace; the skipped
     /// element's own end tag is included).
     pub events: usize,
+    /// Tape hops the skip took: 1 on the O(1) indexed path, 0 when the
+    /// element was self-closing (its end event was already lexed). The
+    /// scalar reference parser always reports 0 — its skip rescans bytes.
+    pub hops: usize,
+}
+
+/// How the parser holds its structural tape: built and owned by
+/// [`PullParser::new`], or borrowed from a caller-managed reusable buffer
+/// via [`PullParser::with_index`] (the batch engine's per-worker scratch).
+#[derive(Clone)]
+enum TapeRef<'a> {
+    Owned(StructuralIndex),
+    Borrowed(&'a StructuralIndex),
+}
+
+/// An open element: its interned name plus the precomputed skip target.
+#[derive(Clone, Copy)]
+struct OpenElem {
+    id: NameId,
+    /// Tape index just past the matching close (`u32::MAX` if unmatched).
+    resume: u32,
+    /// Tag events within the subtree (including the matching end tag).
+    events: u32,
 }
 
 /// A streaming parser over an in-memory UTF-8 document.
@@ -109,10 +146,14 @@ pub struct SubtreeSkip {
 pub struct PullParser<'a> {
     text: &'a str,
     bytes: &'a [u8],
+    tape: TapeRef<'a>,
+    /// Next tape entry to consume.
+    cursor: usize,
+    /// Byte cursor for event-time lexing (tag interiors, entities).
     pos: usize,
     /// Byte offset of the markup (or text run) of the last event returned.
     event_start: usize,
-    stack: Vec<NameId>,
+    stack: Vec<OpenElem>,
     names: NameTable<'a>,
     state: State,
     /// Queued event (self-closing tags emit two events).
@@ -123,25 +164,47 @@ pub struct PullParser<'a> {
 
 #[derive(Clone, Copy, PartialEq)]
 enum State {
-    Prolog,
-    InDocument,
+    Active,
     Done,
     Failed,
 }
 
 impl<'a> PullParser<'a> {
-    /// Creates a parser over `input`.
+    /// Creates a parser over `input`, building its structural index.
     pub fn new(input: &'a str) -> PullParser<'a> {
+        PullParser::from_tape(input, TapeRef::Owned(StructuralIndex::build(input)))
+    }
+
+    /// Creates a parser over `input` running off a caller-provided index
+    /// (which must have been built — or rebuilt — for exactly this input).
+    /// Lets batch workers reuse one tape allocation across documents.
+    pub fn with_index(input: &'a str, index: &'a StructuralIndex) -> PullParser<'a> {
+        PullParser::from_tape(input, TapeRef::Borrowed(index))
+    }
+
+    fn from_tape(input: &'a str, tape: TapeRef<'a>) -> PullParser<'a> {
         PullParser {
             text: input,
             bytes: input.as_bytes(),
+            tape,
+            cursor: 0,
             pos: 0,
             event_start: 0,
             stack: Vec::new(),
             names: NameTable::default(),
-            state: State::Prolog,
+            state: State::Active,
             queued: None,
             seen_root: false,
+        }
+    }
+
+    /// The structural tape this parser runs off (owned or borrowed) —
+    /// consumers read its length for instrumentation.
+    #[inline]
+    pub fn tape(&self) -> &StructuralIndex {
+        match &self.tape {
+            TapeRef::Owned(ix) => ix,
+            TapeRef::Borrowed(ix) => ix,
         }
     }
 
@@ -179,22 +242,7 @@ impl<'a> PullParser<'a> {
     }
 
     fn err_at(&self, offset: usize, message: &str) -> XmlError {
-        let mut line = 1;
-        let mut col = 1;
-        for &b in &self.bytes[..offset.min(self.bytes.len())] {
-            if b == b'\n' {
-                line += 1;
-                col = 1;
-            } else {
-                col += 1;
-            }
-        }
-        XmlError {
-            offset,
-            line,
-            column: col,
-            message: message.to_owned(),
-        }
+        err_at(self.bytes, offset, message)
     }
 
     fn peek(&self) -> Option<u8> {
@@ -214,25 +262,6 @@ impl<'a> PullParser<'a> {
         }
     }
 
-    fn find_from(&self, from: usize, needle: &[u8]) -> Option<usize> {
-        if from > self.bytes.len() {
-            return None;
-        }
-        self.bytes[from..]
-            .windows(needle.len())
-            .position(|w| w == needle)
-            .map(|i| from + i)
-    }
-
-    /// Position of the next `byte` at or after `from`.
-    fn find_byte(&self, from: usize, byte: u8) -> Option<usize> {
-        self.bytes
-            .get(from..)?
-            .iter()
-            .position(|&b| b == byte)
-            .map(|i| from + i)
-    }
-
     /// Lexes a name as a borrowed slice (boundaries are ASCII delimiters,
     /// so slicing the `str` is always at char boundaries).
     fn name(&mut self) -> Result<&'a str, XmlError> {
@@ -250,8 +279,7 @@ impl<'a> PullParser<'a> {
     /// replacement text to `out`.
     fn append_entity(&mut self, out: &mut String) -> Result<(), XmlError> {
         self.pos += 1; // '&'
-        let end = self
-            .find_byte(self.pos, b';')
+        let end = scan::find_byte(self.bytes, self.pos, b';')
             .ok_or_else(|| self.err("unterminated entity reference"))?;
         let name = &self.text[self.pos..end];
         match name {
@@ -289,7 +317,7 @@ impl<'a> PullParser<'a> {
         let mut out = String::with_capacity(end - start);
         self.pos = start;
         while self.pos < end {
-            match self.find_byte(self.pos, b'&') {
+            match scan::find_byte(self.bytes, self.pos, b'&') {
                 Some(amp) if amp < end => {
                     out.push_str(&self.text[self.pos..amp]);
                     self.pos = amp;
@@ -336,255 +364,248 @@ impl<'a> PullParser<'a> {
         Ok(value)
     }
 
-    /// Lexes the character-data run starting at `pos` (ends at `<` or EOF).
-    fn text_run(&mut self) -> Result<Cow<'a, str>, XmlError> {
-        let start = self.pos;
-        let mut has_entity = false;
-        while let Some(b) = self.peek() {
-            if b == b'<' {
-                break;
+    /// Emits the event for an `Open` tape entry: lex the name and
+    /// attributes between the recorded `<` and `>`.
+    fn open_event(&mut self, entry: TapeEntry) -> Result<PullEvent<'a>, XmlError> {
+        let lt = entry.a as usize;
+        self.pos = lt;
+        if self.stack.is_empty() {
+            if self.seen_root {
+                return Err(self.err("content after document element"));
             }
-            if b == b'&' {
-                has_entity = true;
-            }
-            self.pos += 1;
+            self.seen_root = true;
         }
-        let end = self.pos;
-        if !has_entity {
-            return Ok(Cow::Borrowed(&self.text[start..end]));
-        }
-        let expanded = self.expand_entities(start, end)?;
-        self.pos = end;
-        Ok(Cow::Owned(expanded))
-    }
-
-    fn prolog_event(&mut self) -> Result<Option<PullEvent<'a>>, XmlError> {
+        self.event_start = lt;
+        self.pos = lt + 1;
+        let name = self.name()?;
+        let id = self.names.intern(name);
+        let mut attributes: Vec<(&'a str, Cow<'a, str>)> = Vec::new();
         loop {
             self.skip_ws();
-            if self.starts_with("<?") {
-                let end = self
-                    .find_from(self.pos + 2, b"?>")
-                    .ok_or_else(|| self.err("unterminated processing instruction"))?;
-                self.pos = end + 2;
-            } else if self.starts_with("<!--") {
-                let end = self
-                    .find_from(self.pos + 4, b"-->")
-                    .ok_or_else(|| self.err("unterminated comment"))?;
-                self.pos = end + 3;
-            } else if self.starts_with("<!DOCTYPE") {
-                self.event_start = self.pos;
-                self.pos += "<!DOCTYPE".len();
-                self.skip_ws();
-                let name = self.name()?;
-                let mut internal = None;
-                loop {
-                    self.skip_ws();
-                    match self.peek() {
-                        Some(b'[') => {
-                            self.pos += 1;
-                            let start = self.pos;
-                            let end = self
-                                .find_byte(self.pos, b']')
-                                .ok_or_else(|| self.err("unterminated internal DTD subset"))?;
-                            internal = Some(&self.text[start..end]);
-                            self.pos = end + 1;
-                        }
-                        Some(b'>') => {
-                            self.pos += 1;
-                            break;
-                        }
-                        Some(_) => self.pos += 1,
-                        None => return Err(self.err("unterminated DOCTYPE")),
+            match self.peek() {
+                Some(b'/') => {
+                    if !self.starts_with("/>") {
+                        return Err(self.err("malformed empty-element tag"));
                     }
+                    self.pos += 2;
+                    self.queued = Some(PullEvent::End { name, id });
+                    return Ok(PullEvent::Start {
+                        name,
+                        id,
+                        attributes,
+                    });
                 }
-                return Ok(Some(PullEvent::Doctype { name, internal }));
-            } else {
-                self.state = State::InDocument;
-                return Ok(None);
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.stack.push(OpenElem {
+                        id,
+                        resume: entry.c,
+                        events: entry.d,
+                    });
+                    return Ok(PullEvent::Start {
+                        name,
+                        id,
+                        attributes,
+                    });
+                }
+                Some(b) if is_name_start(b) => {
+                    let attr = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' after attribute name"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.attribute_value()?;
+                    if attributes.iter().any(|(n, _)| *n == attr) {
+                        return Err(self.err(&format!("duplicate attribute {attr:?}")));
+                    }
+                    attributes.push((attr, value));
+                }
+                _ => return Err(self.err("malformed start tag")),
             }
         }
     }
 
-    fn document_event(&mut self) -> Result<Option<PullEvent<'a>>, XmlError> {
-        // Between events inside the document.
+    /// Emits the event for a `Close` tape entry. The close name is compared
+    /// byte-for-byte against the open element's interned name — no second
+    /// intern, and matching names imply matching ids.
+    fn close_event(&mut self, entry: TapeEntry) -> Result<PullEvent<'a>, XmlError> {
+        let lt = entry.a as usize;
+        self.pos = lt;
         if self.stack.is_empty() {
-            // Only misc allowed outside the root; find the root start tag or
-            // the end of input.
+            return Err(self.err("expected an element name, found an end tag"));
+        }
+        self.event_start = lt;
+        // Fast path: the tape already recorded this tag's `>`, and on
+        // well-formed input the bytes between `</` and `>` are exactly the
+        // open element's name — one slice compare replaces the per-byte
+        // name scan. Any mismatch (trailing whitespace, wrong name,
+        // malformed tag) falls through to the scalar-identical slow path
+        // so errors keep exact parity.
+        if entry.flags & flags::UNCLOSED == 0 {
+            let open = *self.stack.last().expect("checked non-empty");
+            let open_name = self.names.get(open.id);
+            let gt = entry.b as usize;
+            if self.bytes.get(lt + 2..gt) == Some(open_name.as_bytes()) {
+                self.stack.pop();
+                self.pos = gt + 1;
+                return Ok(PullEvent::End {
+                    name: open_name,
+                    id: open.id,
+                });
+            }
+        }
+        self.pos = lt + 2;
+        let close_name = self.name()?;
+        self.skip_ws();
+        if self.peek() != Some(b'>') {
+            return Err(self.err("malformed end tag"));
+        }
+        self.pos += 1;
+        let open = self.stack.pop().expect("checked non-empty");
+        let open_name = self.names.get(open.id);
+        if open_name != close_name {
+            return Err(self.err(&format!(
+                "mismatched end tag: expected </{open_name}>, found </{close_name}>"
+            )));
+        }
+        Ok(PullEvent::End {
+            name: close_name,
+            id: open.id,
+        })
+    }
+
+    /// Emits the event for a `Doctype` tape entry, re-lexing the details
+    /// from the recorded span.
+    fn doctype_event(&mut self, entry: TapeEntry) -> Result<PullEvent<'a>, XmlError> {
+        let lt = entry.a as usize;
+        self.event_start = lt;
+        self.pos = lt + "<!DOCTYPE".len();
+        self.skip_ws();
+        let name = self.name()?;
+        let mut internal = None;
+        loop {
             self.skip_ws();
-            if self.pos == self.bytes.len() {
-                if !self.seen_root {
-                    return Err(self.err("expected a document element"));
+            match self.peek() {
+                Some(b'[') => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    let end = scan::find_byte(self.bytes, self.pos, b']')
+                        .ok_or_else(|| self.err("unterminated internal DTD subset"))?;
+                    internal = Some(&self.text[start..end]);
+                    self.pos = end + 1;
                 }
-                self.state = State::Done;
-                return Ok(None);
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(self.err("unterminated DOCTYPE")),
             }
         }
-        match self.peek() {
-            None => Err(self.err("unexpected end of input inside element")),
-            Some(b'<') => {
-                if self.starts_with("</") {
-                    if self.stack.is_empty() {
-                        return Err(self.err("expected an element name, found an end tag"));
-                    }
-                    self.event_start = self.pos;
-                    self.pos += 2;
-                    let close_name = self.name()?;
-                    let close = self.names.intern(close_name);
-                    self.skip_ws();
-                    if self.peek() != Some(b'>') {
-                        return Err(self.err("malformed end tag"));
-                    }
-                    self.pos += 1;
-                    match self.stack.pop() {
-                        Some(open) if open == close => {}
-                        Some(open) => {
-                            return Err(self.err(&format!(
-                                "mismatched end tag: expected </{}>, found </{close_name}>",
-                                self.names.get(open)
-                            )))
-                        }
-                        None => return Err(self.err("end tag with no open element")),
-                    }
-                    Ok(Some(PullEvent::End {
-                        name: close_name,
-                        id: close,
-                    }))
-                } else if self.starts_with("<!--") {
-                    let end = self
-                        .find_from(self.pos + 4, b"-->")
-                        .ok_or_else(|| self.err("unterminated comment"))?;
-                    self.pos = end + 3;
-                    self.document_event()
-                } else if self.starts_with("<![CDATA[") {
-                    if self.stack.is_empty() {
-                        return Err(self.err("character data outside the root element"));
-                    }
-                    self.event_start = self.pos;
-                    let start = self.pos + 9;
-                    let end = self
-                        .find_from(start, b"]]>")
-                        .ok_or_else(|| self.err("unterminated CDATA section"))?;
-                    let text = &self.text[start..end];
-                    self.pos = end + 3;
-                    Ok(Some(PullEvent::Text(Cow::Borrowed(text))))
-                } else if self.starts_with("<?") {
-                    let end = self
-                        .find_from(self.pos + 2, b"?>")
-                        .ok_or_else(|| self.err("unterminated processing instruction"))?;
-                    self.pos = end + 2;
-                    self.document_event()
-                } else {
-                    // Start tag.
-                    if self.stack.is_empty() {
-                        if self.seen_root {
-                            return Err(self.err("content after document element"));
-                        }
-                        self.seen_root = true;
-                    }
-                    self.event_start = self.pos;
-                    self.pos += 1;
-                    let name = self.name()?;
-                    let id = self.names.intern(name);
-                    let mut attributes: Vec<(&'a str, Cow<'a, str>)> = Vec::new();
-                    loop {
-                        self.skip_ws();
-                        match self.peek() {
-                            Some(b'/') => {
-                                if !self.starts_with("/>") {
-                                    return Err(self.err("malformed empty-element tag"));
-                                }
-                                self.pos += 2;
-                                self.queued = Some(PullEvent::End { name, id });
-                                return Ok(Some(PullEvent::Start {
-                                    name,
-                                    id,
-                                    attributes,
-                                }));
-                            }
-                            Some(b'>') => {
-                                self.pos += 1;
-                                self.stack.push(id);
-                                return Ok(Some(PullEvent::Start {
-                                    name,
-                                    id,
-                                    attributes,
-                                }));
-                            }
-                            Some(b) if is_name_start(b) => {
-                                let attr = self.name()?;
-                                self.skip_ws();
-                                if self.peek() != Some(b'=') {
-                                    return Err(self.err("expected '=' after attribute name"));
-                                }
-                                self.pos += 1;
-                                self.skip_ws();
-                                let value = self.attribute_value()?;
-                                if attributes.iter().any(|(n, _)| *n == attr) {
-                                    return Err(self.err(&format!("duplicate attribute {attr:?}")));
-                                }
-                                attributes.push((attr, value));
-                            }
-                            _ => return Err(self.err("malformed start tag")),
-                        }
-                    }
-                }
+        Ok(PullEvent::Doctype { name, internal })
+    }
+
+    /// The tape ran out: replay the builder's terminal scan error if there
+    /// is one, otherwise check document-level completeness.
+    fn end_of_tape(&mut self) -> Result<Option<PullEvent<'a>>, XmlError> {
+        if let Some(e) = self.tape().error() {
+            // One precedence nit the scalar lexer resolves the other way:
+            // outside the root it reports stray CDATA before noticing the
+            // section never closes.
+            if e.message == "unterminated CDATA section" && self.stack.is_empty() {
+                return Err(self.err_at(e.offset, "character data outside the root element"));
             }
-            Some(_) => {
-                if self.stack.is_empty() {
-                    return Err(
-                        self.err("expected markup, found character data outside the root element")
-                    );
-                }
-                self.event_start = self.pos;
-                let text = self.text_run()?;
-                Ok(Some(PullEvent::Text(text)))
-            }
+            return Err(self.err_at(e.offset, e.message));
         }
+        self.pos = self.bytes.len();
+        if !self.stack.is_empty() {
+            return Err(self.err("unexpected end of input inside element"));
+        }
+        if !self.seen_root {
+            return Err(self.err("expected a document element"));
+        }
+        self.state = State::Done;
+        Ok(None)
     }
 
     fn advance(&mut self) -> Result<Option<PullEvent<'a>>, XmlError> {
         if let Some(e) = self.queued.take() {
             return Ok(Some(e));
         }
-        if self.state == State::Prolog {
-            if let Some(e) = self.prolog_event()? {
-                self.state = State::InDocument;
-                return Ok(Some(e));
-            }
+        if self.state != State::Active {
+            return Ok(None);
         }
-        match self.state {
-            State::Done | State::Failed => Ok(None),
-            _ => {
-                let e = self.document_event()?;
-                if e.is_none() && self.state == State::Done && !self.stack.is_empty() {
-                    return Err(self.err("unclosed elements at end of input"));
+        loop {
+            let Some(&entry) = self.tape().entries().get(self.cursor) else {
+                return self.end_of_tape();
+            };
+            self.cursor += 1;
+            match entry.kind {
+                EntryKind::Text => {
+                    let (start, end) = (entry.a as usize, entry.b as usize);
+                    if self.stack.is_empty() {
+                        // Only whitespace is allowed outside the root.
+                        if let Some(i) = self.bytes[start..end]
+                            .iter()
+                            .position(|&b| !matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+                        {
+                            self.pos = start + i;
+                            return Err(self.err(
+                                "expected markup, found character data outside the root element",
+                            ));
+                        }
+                        self.pos = end;
+                        continue;
+                    }
+                    self.event_start = start;
+                    let text = if entry.flags & flags::HAS_AMP != 0 {
+                        Cow::Owned(self.expand_entities(start, end)?)
+                    } else {
+                        Cow::Borrowed(&self.text[start..end])
+                    };
+                    self.pos = end;
+                    return Ok(Some(PullEvent::Text(text)));
                 }
-                Ok(e)
+                EntryKind::Open => return self.open_event(entry).map(Some),
+                EntryKind::Close => return self.close_event(entry).map(Some),
+                EntryKind::Cdata => {
+                    let lt = entry.a as usize;
+                    if self.stack.is_empty() {
+                        self.pos = lt;
+                        return Err(self.err("character data outside the root element"));
+                    }
+                    self.event_start = lt;
+                    let content = &self.text[lt + 9..entry.b as usize];
+                    self.pos = entry.b as usize + 3;
+                    return Ok(Some(PullEvent::Text(Cow::Borrowed(content))));
+                }
+                EntryKind::Doctype => return self.doctype_event(entry).map(Some),
             }
         }
     }
 
-    /// Skips the content and end tag of the innermost open element by
-    /// scanning raw bytes — no name, attribute, or entity tokenization.
+    /// Skips the content and end tag of the innermost open element in O(1):
+    /// the structural index paired the tags at build time, so this is a
+    /// single hop to the recorded resume point — no byte in between is
+    /// rescanned (reported as [`SubtreeSkip::hops`]).
     ///
     /// Must be called *just after* the element's [`PullEvent::Start`] was
     /// returned. The element's own end tag is consumed; the next event is
     /// whatever follows it. Returns how many bytes and tag events were
     /// skipped without lexing.
     ///
-    /// The scanner is quote-aware inside start tags (`>` in attribute
-    /// values), and skips comments, CDATA sections, and processing
-    /// instructions wholesale, so `<child>` inside a comment or `]]>`
-    /// inside text cannot derail it. It intentionally does **not** check
-    /// that end-tag names match start-tag names inside the skipped region —
-    /// skipped subtrees trade well-formedness *checking* for speed, which
-    /// is exactly the paper's cost model (work proportional to the decided
-    /// part of the document). On well-formed input it lands byte-for-byte
-    /// where depth-counted event consumption would (property-tested).
+    /// It intentionally does **not** check that end-tag names match
+    /// start-tag names inside the skipped region — skipped subtrees trade
+    /// well-formedness *checking* for speed, which is exactly the paper's
+    /// cost model (work proportional to the decided part of the document).
+    /// On well-formed input it lands byte-for-byte where depth-counted
+    /// event consumption would (property-tested).
     ///
     /// # Errors
-    /// Returns `Err` if the input ends before the subtree closes, if an
-    /// unterminated comment/CDATA/PI is encountered, or if no element is
+    /// Returns `Err` if the input ends before the subtree closes, if the
+    /// scan found an unterminated comment/CDATA/PI, or if no element is
     /// open.
     pub fn skip_subtree(&mut self) -> Result<SubtreeSkip, XmlError> {
         if let Some(queued) = self.queued.take() {
@@ -593,75 +614,28 @@ impl<'a> PullParser<'a> {
             debug_assert!(matches!(queued, PullEvent::End { .. }));
             return Ok(SubtreeSkip::default());
         }
-        if self.stack.is_empty() || self.state != State::InDocument {
+        if self.stack.is_empty() || self.state != State::Active {
             return Err(self.err("skip_subtree called with no open element"));
         }
-        let start = self.pos;
-        let mut depth = 1usize;
-        let mut events = 0usize;
-        while depth > 0 {
-            let lt = self.find_byte(self.pos, b'<').ok_or_else(|| {
-                self.err_at(self.bytes.len(), "unexpected end of input inside element")
-            })?;
-            self.pos = lt;
-            if self.starts_with("<!--") {
-                let end = self
-                    .find_from(self.pos + 4, b"-->")
-                    .ok_or_else(|| self.err("unterminated comment"))?;
-                self.pos = end + 3;
-            } else if self.starts_with("<![CDATA[") {
-                let end = self
-                    .find_from(self.pos + 9, b"]]>")
-                    .ok_or_else(|| self.err("unterminated CDATA section"))?;
-                self.pos = end + 3;
-            } else if self.starts_with("<?") {
-                let end = self
-                    .find_from(self.pos + 2, b"?>")
-                    .ok_or_else(|| self.err("unterminated processing instruction"))?;
-                self.pos = end + 2;
-            } else if self.starts_with("</") {
-                let gt = self
-                    .find_byte(self.pos + 2, b'>')
-                    .ok_or_else(|| self.err("malformed end tag"))?;
-                self.pos = gt + 1;
-                depth -= 1;
-                events += 1;
-            } else {
-                // Start tag: scan to the closing '>' outside quotes,
-                // detecting self-closing tags.
-                self.pos += 1;
-                let mut quote: Option<u8> = None;
-                loop {
-                    let Some(&b) = self.bytes.get(self.pos) else {
-                        return Err(self.err("unexpected end of input inside element"));
-                    };
-                    self.pos += 1;
-                    match quote {
-                        Some(q) => {
-                            if b == q {
-                                quote = None;
-                            }
-                        }
-                        None => match b {
-                            b'"' | b'\'' => quote = Some(b),
-                            b'>' => break,
-                            _ => {}
-                        },
-                    }
-                }
-                let self_closing = self.pos >= 2 && self.bytes[self.pos - 2] == b'/';
-                if self_closing {
-                    events += 2;
-                } else {
-                    depth += 1;
-                    events += 1;
-                }
-            }
+        let open = *self.stack.last().expect("checked non-empty");
+        if open.resume == u32::MAX {
+            // The subtree never closes. Surface the builder's scan error if
+            // it recorded one; otherwise the input simply ran out.
+            return Err(match self.tape().error() {
+                Some(e) => self.err_at(e.offset, e.message),
+                None => self.err_at(self.bytes.len(), "unexpected end of input inside element"),
+            });
         }
+        let start = self.pos;
+        let close = self.tape().entries()[open.resume as usize - 1];
+        debug_assert_eq!(close.kind, EntryKind::Close);
+        self.cursor = open.resume as usize;
+        self.pos = close.b as usize + 1;
         self.stack.pop();
         Ok(SubtreeSkip {
             bytes: self.pos - start,
-            events,
+            events: open.events as usize,
+            hops: 1,
         })
     }
 }
@@ -681,43 +655,79 @@ impl<'a> Iterator for PullParser<'a> {
     }
 }
 
-fn is_name_start(b: u8) -> bool {
+/// Builds an [`XmlError`] at `offset`, computing line/column on demand.
+pub(crate) fn err_at(bytes: &[u8], offset: usize, message: &str) -> XmlError {
+    let mut line = 1;
+    let mut col = 1;
+    for &b in &bytes[..offset.min(bytes.len())] {
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    XmlError {
+        offset,
+        line,
+        column: col,
+        message: message.to_owned(),
+    }
+}
+
+#[inline]
+pub(crate) fn is_name_start(b: u8) -> bool {
     b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
 }
 
-fn is_name_char(b: u8) -> bool {
-    is_name_start(b) || b.is_ascii_digit() || matches!(b, b'.' | b'-')
+/// 256-entry classification table for name characters: the name scan runs
+/// once per tag, so each byte costs one indexed load instead of a chain of
+/// range compares.
+static NAME_CHAR: [bool; 256] = {
+    let mut table = [false; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let c = b as u8;
+        table[b] = c.is_ascii_alphanumeric() || c >= 0x80 || matches!(c, b'_' | b':' | b'.' | b'-');
+        b += 1;
+    }
+    table
+};
+
+#[inline]
+pub(crate) fn is_name_char(b: u8) -> bool {
+    NAME_CHAR[b as usize]
 }
 
-/// The lexer-level name interner: borrowed keys, dense ids, FNV-1a hashing
-/// with open addressing. One (cheap) hash per name occurrence, one id
+/// The lexer-level name interner: borrowed keys, dense ids, word-at-a-time
+/// hashing with open addressing. One (cheap) hash per name occurrence, one id
 /// thereafter — consumers resolve each *distinct* name against heavier
 /// structures (e.g. the schema [`Alphabet`](../../schemacast_regex/struct.Alphabet.html))
 /// exactly once.
 #[derive(Clone, Default)]
-struct NameTable<'a> {
+pub(crate) struct NameTable<'a> {
     names: Vec<&'a str>,
     /// Open-addressing buckets holding `index + 1` (`0` = empty).
     buckets: Vec<u32>,
 }
 
 impl<'a> NameTable<'a> {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.names.len()
     }
 
-    fn get(&self, id: NameId) -> &'a str {
+    pub(crate) fn get(&self, id: NameId) -> &'a str {
         self.names[id.index()]
     }
 
-    fn intern(&mut self, name: &'a str) -> NameId {
+    pub(crate) fn intern(&mut self, name: &'a str) -> NameId {
         if self.buckets.is_empty() {
             self.buckets = vec![0; 16];
         } else if (self.names.len() + 1) * 4 > self.buckets.len() * 3 {
             self.grow();
         }
         let mask = self.buckets.len() - 1;
-        let mut slot = fnv1a(name.as_bytes()) as usize & mask;
+        let mut slot = hash_name(name.as_bytes()) as usize & mask;
         loop {
             match self.buckets[slot] {
                 0 => {
@@ -742,7 +752,7 @@ impl<'a> NameTable<'a> {
         let mask = new_len - 1;
         let mut buckets = vec![0u32; new_len];
         for (idx, name) in self.names.iter().enumerate() {
-            let mut slot = fnv1a(name.as_bytes()) as usize & mask;
+            let mut slot = hash_name(name.as_bytes()) as usize & mask;
             while buckets[slot] != 0 {
                 slot = (slot + 1) & mask;
             }
@@ -752,11 +762,26 @@ impl<'a> NameTable<'a> {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// Hashes a name word-at-a-time: one load + multiply-mix per 8 bytes
+/// instead of a serially dependent multiply per byte (names are hashed on
+/// every start-tag occurrence, so this sits on the tokenizer hot path).
+fn hash_name(bytes: &[u8]) -> u64 {
+    const MIX: u64 = 0xff51_afd7_ed55_8ccd;
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15 ^ bytes.len() as u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in chunks.by_ref() {
+        let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = (h ^ w).wrapping_mul(MIX);
+        h ^= h >> 29;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = 0u64;
+        for (i, &b) in rem.iter().enumerate() {
+            w |= u64::from(b) << (8 * i);
+        }
+        h = (h ^ w).wrapping_mul(MIX);
+        h ^= h >> 29;
     }
     h
 }
@@ -885,6 +910,7 @@ mod tests {
         let skipped = p.skip_subtree().expect("skips");
         assert!(skipped.bytes > 0);
         assert_eq!(skipped.events, 5); // <inner>, </inner>, <x/> (×2), </skip>
+        assert_eq!(skipped.hops, 1); // one indexed hop, zero bytes rescanned
         assert!(
             matches!(p.next().unwrap().unwrap(), PullEvent::Start { name, .. } if name == "next")
         );
@@ -935,6 +961,21 @@ mod tests {
         assert!(p.skip_subtree().is_ok());
         // Nothing open anymore.
         assert!(p.skip_subtree().is_err());
+    }
+
+    #[test]
+    fn with_index_runs_off_a_reused_tape() {
+        let mut tape = StructuralIndex::new();
+        for doc in ["<a><b>hi</b></a>", "<x y='1'/>", "<r>&amp;</r>"] {
+            tape.rebuild(doc);
+            let borrowed: Vec<_> = PullParser::with_index(doc, &tape)
+                .collect::<Result<Vec<_>, _>>()
+                .expect("parses");
+            let owned: Vec<_> = PullParser::new(doc)
+                .collect::<Result<Vec<_>, _>>()
+                .expect("parses");
+            assert_eq!(borrowed, owned);
+        }
     }
 
     /// Build a DOM from pull events and compare against the DOM parser on a

@@ -393,6 +393,14 @@ fn main() -> ExitCode {
                     "  bytes skipped lexically: {}   tag events avoided: {}",
                     report.totals.bytes_skipped, report.totals.events_avoided
                 );
+                if report.totals.tape_events > 0 {
+                    println!(
+                        "  tape events: {}   tape skip hops: {}   index build: {} us",
+                        report.totals.tape_events,
+                        report.totals.tape_skip_hops,
+                        report.totals.index_build_micros
+                    );
+                }
                 if cert_run.is_some() {
                     println!(
                         "  certificates: {} emitted, {} checked in {} us",
@@ -512,6 +520,10 @@ fn main() -> ExitCode {
                                 stats.bytes_skipped,
                                 text.len(),
                                 stats.events_avoided
+                            );
+                            println!(
+                                "  tape events: {}   tape skip hops: {}   index build: {} us",
+                                stats.tape_events, stats.tape_skip_hops, stats.index_build_micros
                             );
                         }
                     }

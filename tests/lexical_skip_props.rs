@@ -59,12 +59,18 @@ proptest! {
             prop_assert_eq!(fast_out, oracle_out, "outcomes diverge");
 
             // Decision counters must be identical; only the lexical-skip
-            // telemetry may differ (the oracle never skips lexically).
+            // and stage-1 tape telemetry may differ (the oracle never
+            // skips lexically and builds no tape).
             let mut fast_stats = fast_stats;
             fast_stats.bytes_skipped = 0;
             fast_stats.events_avoided = 0;
+            fast_stats.index_build_micros = 0;
+            fast_stats.tape_events = 0;
+            fast_stats.tape_skip_hops = 0;
             prop_assert_eq!(oracle_stats.bytes_skipped, 0);
             prop_assert_eq!(oracle_stats.events_avoided, 0);
+            prop_assert_eq!(oracle_stats.tape_events, 0);
+            prop_assert_eq!(oracle_stats.tape_skip_hops, 0);
             prop_assert_eq!(fast_stats, oracle_stats, "decision stats diverge");
         }
     }
@@ -78,6 +84,7 @@ proptest! {
 fn skip_machinery_is_exercised_by_the_corpus() {
     let mut bytes = 0usize;
     let mut events = 0usize;
+    let mut hops = 0usize;
     for schema_seed in 0..40u64 {
         let mut rng = SmallRng::seed_from_u64(schema_seed);
         let synth = random_schema(&SynthConfig::default(), &mut rng);
@@ -94,11 +101,17 @@ fn skip_machinery_is_exercised_by_the_corpus() {
         let (_, stats) = sc.validate_str(&text, &ab).expect("well-formed");
         bytes += stats.bytes_skipped;
         events += stats.events_avoided;
+        hops += stats.tape_skip_hops;
     }
     assert!(
         bytes > 0 && events > 0,
         "identity casts over synth documents never skipped a subtree \
          lexically (bytes={bytes}, events={events}) — the oracle property \
          above would be vacuous"
+    );
+    assert!(
+        hops > 0,
+        "no skip was served as an O(1) tape hop (hops={hops}) — the \
+         tape-fed skip path is not being exercised"
     );
 }
