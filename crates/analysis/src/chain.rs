@@ -1,0 +1,327 @@
+//! Chain analysis reporting: `SC05xx` findings and renderers behind
+//! `schemacast chain`.
+//!
+//! [`analyze_chain`] folds a [`SchemaChain`]'s static layers into one
+//! report: composition statistics (how many endpoint facts the hop-by-hop
+//! composition derives versus the composed-pair fallback) and a
+//! [`LintReport`] in the `SC05xx` family:
+//!
+//! * `SC0501` — a reachable `(v_1, v_N)` type pair is neither subsumed nor
+//!   disjoint: some `v_1`-valid documents break consumers of `v_N`. Carries
+//!   a minimal witness document (synthesized against the endpoint pair and
+//!   re-checked) and names the first hop whose relation breaks.
+//! * `SC0502` — the pair is disjoint end to end, same witness treatment.
+//! * `SC0503` — a `v_1` root element disappears at some hop.
+//! * `SC0504` (note) — an endpoint fact the composition cannot derive; the
+//!   verdict rests on the composed-pair product construction, backed by the
+//!   endpoint certificates under `--certify`.
+
+use crate::json_string;
+use crate::lint::LintReport;
+use schemacast_core::{
+    reachable_pairs_with_paths, ChainRelation, ComposedVia, CompositionStats, Diagnostic,
+    SchemaChain, Severity, WitnessSynth,
+};
+use schemacast_regex::{Alphabet, Sym};
+use schemacast_schema::{AbstractSchema, TypeDef, TypeId};
+
+/// The `schemacast chain` report: chain shape, composition coverage, and
+/// the `SC05xx` findings.
+#[derive(Debug, Clone)]
+pub struct ChainAnalysisReport {
+    /// Number of schema versions in the chain.
+    pub versions: usize,
+    /// Endpoint facts decided by composition versus fallback.
+    pub composition: CompositionStats,
+    /// The `SC05xx` findings.
+    pub lint: LintReport,
+}
+
+/// Resolves the type a label path reaches in one schema version, following
+/// the root declaration and then the ρ child-type maps.
+fn type_along_path(schema: &AbstractSchema, via: &[Sym]) -> Option<TypeId> {
+    let (&root, rest) = via.split_first()?;
+    let mut t = schema.root_type(root)?;
+    for &label in rest {
+        let TypeDef::Complex(c) = schema.type_def(t) else {
+            return None;
+        };
+        t = c.child_type(label)?;
+    }
+    Some(t)
+}
+
+/// The first hop whose relation stops covering the pair reached at `via`:
+/// either the path stops resolving in the hop's target version, or the
+/// hop's type pair falls out of `R_sub`.
+fn breaking_hop(chain: &SchemaChain<'_>, via: &[Sym]) -> usize {
+    let schemas = chain.schemas();
+    for (i, hop) in chain.hops().iter().enumerate() {
+        let Some(s) = type_along_path(&schemas[i], via) else {
+            return i;
+        };
+        let Some(t) = type_along_path(&schemas[i + 1], via) else {
+            return i;
+        };
+        if !hop.relations().subsumed(s, t) {
+            return i;
+        }
+    }
+    chain.hop_count() - 1
+}
+
+/// Computes the full chain report: composition statistics plus the
+/// `SC05xx` lint findings over the endpoint pair's reachable type pairs.
+pub fn analyze_chain(chain: &SchemaChain<'_>, alphabet: &Alphabet) -> ChainAnalysisReport {
+    let mut diagnostics = Vec::new();
+    let schemas = chain.schemas();
+    let versions = schemas.len();
+    let endpoint = chain.endpoint();
+
+    // Roots that disappear somewhere along the chain.
+    let mut roots: Vec<_> = schemas[0].roots().collect();
+    roots.sort_by_key(|&(label, _)| label.index());
+    for (label, t) in roots {
+        let gone_at = (1..versions).find(|&v| schemas[v].root_type(label).is_none());
+        if let Some(v) = gone_at {
+            let lname = alphabet.name(label);
+            diagnostics.push(
+                Diagnostic::new(
+                    "SC0503",
+                    Severity::Error,
+                    format!(
+                        "root element `{lname}` disappears at hop {} (v{} → v{}): \
+                         every v1 document is invalid for consumers of v{versions}",
+                        v - 1,
+                        v,
+                        v + 1
+                    ),
+                )
+                .with_type_name(schemas[0].type_name(t))
+                .with_particle(lname),
+            );
+        }
+    }
+
+    // Endpoint pairs that break, with witnesses and the breaking hop.
+    let synth = WitnessSynth::new(endpoint, alphabet);
+    for pair in reachable_pairs_with_paths(endpoint) {
+        let s_name = schemas[0].type_name(pair.source);
+        let t_name = schemas[versions - 1].type_name(pair.target);
+        let via_names: Vec<&str> = pair.via.iter().map(|&l| alphabet.name(l)).collect();
+        let at = format!("/{}", via_names.join("/"));
+        let hop = breaking_hop(chain, &pair.via);
+        let witness = synth.witness(&pair).filter(|w| {
+            endpoint.source().accepts_document(&w.doc)
+                && !endpoint.target().accepts_document(&w.doc)
+        });
+
+        let disjoint = endpoint.relations().disjoint(pair.source, pair.target);
+        let mut d = if disjoint {
+            Diagnostic::new(
+                "SC0502",
+                Severity::Error,
+                format!(
+                    "chain pair `{s_name}` → `{t_name}` (reached at {at}) is disjoint: \
+                     every v1-valid element there is invalid for consumers of \
+                     v{versions}; the relation breaks at hop {hop} (v{} → v{})",
+                    hop + 1,
+                    hop + 2
+                ),
+            )
+        } else {
+            Diagnostic::new(
+                "SC0501",
+                Severity::Error,
+                format!(
+                    "chain pair `{s_name}` → `{t_name}` (reached at {at}) is incompatible: \
+                     this edit history breaks consumers of v{versions}; the relation \
+                     breaks at hop {hop} (v{} → v{})",
+                    hop + 1,
+                    hop + 2
+                ),
+            )
+        };
+        d = d.with_type_name(t_name);
+        if let Some(p) = witness.as_ref().and_then(|w| w.particle.clone()) {
+            d = d.with_particle(p);
+        }
+        if let Some(w) = witness {
+            d = d
+                .with_path(w.path)
+                .with_witness(schemacast_xml::to_string(&w.doc.to_xml(alphabet)));
+        }
+        diagnostics.push(d);
+    }
+
+    // Endpoint facts the composition cannot derive: informational, the
+    // verdict rests on the composed-pair construction.
+    let rel = endpoint.relations();
+    for s in schemas[0].type_ids() {
+        for t in schemas[versions - 1].type_ids() {
+            let held = rel.subsumed(s, t) || rel.disjoint(s, t);
+            if !held {
+                continue;
+            }
+            if let ChainRelation::Subsumed(ComposedVia::EndpointPair)
+            | ChainRelation::Disjoint(ComposedVia::EndpointPair) = chain.composed_relation(s, t)
+            {
+                diagnostics.push(
+                    Diagnostic::new(
+                        "SC0504",
+                        Severity::Note,
+                        format!(
+                            "hop relations do not compose for pair `{}` → `{}`: the chain \
+                             verdict rests on the composed-pair product construction",
+                            schemas[0].type_name(s),
+                            schemas[versions - 1].type_name(t)
+                        ),
+                    )
+                    .with_type_name(schemas[versions - 1].type_name(t)),
+                );
+            }
+        }
+    }
+
+    ChainAnalysisReport {
+        versions,
+        composition: chain.composition_stats(),
+        lint: LintReport { diagnostics },
+    }
+}
+
+/// Renders the chain report as human-readable text.
+pub fn render_chain_text(report: &ChainAnalysisReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let c = report.composition;
+    let _ = writeln!(
+        out,
+        "chain: {} versions, {} hop(s)",
+        report.versions,
+        report.versions - 1
+    );
+    let _ = writeln!(
+        out,
+        "composition: {} of {} subsumed and {} of {} disjoint endpoint fact(s) \
+         derived hop-by-hop; the rest fall back to the composed pair",
+        c.composed_sub,
+        c.composed_sub + c.fallback_sub,
+        c.composed_dis,
+        c.composed_dis + c.fallback_dis
+    );
+    out.push_str(&crate::lint::render_lint_text(&report.lint));
+    out
+}
+
+/// Renders the chain report as JSON (stable key order, no external
+/// serializer): the composition block followed by the lint report's
+/// `diagnostics`/`summary` keys.
+pub fn render_chain_json(report: &ChainAnalysisReport) -> String {
+    let c = report.composition;
+    let mut out = String::new();
+    out.push_str("{\"versions\":");
+    out.push_str(&report.versions.to_string());
+    out.push_str(",\"hops\":");
+    out.push_str(&(report.versions - 1).to_string());
+    out.push_str(",\"composition\":{");
+    for (i, (key, v)) in [
+        ("composed_sub", c.composed_sub),
+        ("fallback_sub", c.fallback_sub),
+        ("composed_dis", c.composed_dis),
+        ("fallback_dis", c.fallback_dis),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(&mut out, key);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},");
+    // Splice in the lint object's keys (diagnostics + summary).
+    let lint = crate::lint::render_lint_json(&report.lint);
+    out.push_str(&lint[1..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_schema::Session;
+    use schemacast_workload::purchase_order as po;
+
+    fn session_chain_sources() -> (Session, Vec<AbstractSchema>) {
+        let mut session = Session::new();
+        // target (billTo required) ⊑ source (billTo optional): a widening
+        // hop followed by an identical hop.
+        let v1 = session.parse_xsd(&po::target_xsd()).expect("v1");
+        let v2 = session.parse_xsd(&po::source_xsd()).expect("v2");
+        let v3 = session.parse_xsd(&po::source_xsd()).expect("v3");
+        (session, vec![v1, v2, v3])
+    }
+
+    #[test]
+    fn widening_chain_reports_clean() {
+        let (session, schemas) = session_chain_sources();
+        let chain = SchemaChain::new(&schemas, &session.alphabet).unwrap();
+        let report = analyze_chain(&chain, &session.alphabet);
+        assert_eq!(report.versions, 3);
+        assert!(
+            !report.lint.fails(Severity::Error),
+            "{:?}",
+            report.lint.diagnostics
+        );
+        assert!(report.composition.composed_sub > 0);
+    }
+
+    #[test]
+    fn narrowing_chain_breaks_with_witness_and_hop() {
+        let mut session = Session::new();
+        let v1 = session.parse_xsd(&po::source_xsd()).expect("v1");
+        let v2 = session.parse_xsd(&po::source_xsd()).expect("v2");
+        let v3 = session.parse_xsd(&po::target_xsd()).expect("v3");
+        let schemas = vec![v1, v2, v3];
+        let chain = SchemaChain::new(&schemas, &session.alphabet).unwrap();
+        let report = analyze_chain(&chain, &session.alphabet);
+        assert!(report.lint.fails(Severity::Error));
+        let broken: Vec<_> = report
+            .lint
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule_id == "SC0501")
+            .collect();
+        assert!(!broken.is_empty());
+        // The narrowing happens at hop 1 (v2 → v3); the findings must say
+        // so and at least one must carry a witness.
+        assert!(broken.iter().all(|d| d.message.contains("hop 1")));
+        assert!(broken.iter().any(|d| d.witness.is_some()));
+        for d in &report.lint.diagnostics {
+            assert!(
+                crate::lint::rule(d.rule_id).is_some(),
+                "{} registered",
+                d.rule_id
+            );
+        }
+    }
+
+    #[test]
+    fn renderings_cover_the_chain_report() {
+        let (session, schemas) = session_chain_sources();
+        let chain = SchemaChain::new(&schemas, &session.alphabet).unwrap();
+        let report = analyze_chain(&chain, &session.alphabet);
+        let text = render_chain_text(&report);
+        assert!(text.contains("chain: 3 versions"));
+        assert!(text.contains("composition:"));
+        let json = render_chain_json(&report);
+        assert!(json.starts_with("{\"versions\":3,\"hops\":2,"));
+        assert!(json.contains("\"composition\":{\"composed_sub\":"));
+        assert!(json.contains("\"summary\":"));
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+}

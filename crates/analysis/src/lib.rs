@@ -23,13 +23,17 @@
 //! minimal witness documents — and [`sarif`] renders its reports as SARIF
 //! 2.1.0 for CI gates. The [`certify`] module renders certification runs
 //! (`schemacast certify`, `--certify`) produced by
-//! [`schemacast_core::certify::certify_context`].
+//! [`schemacast_core::certify::certify_context`]. The [`chain`] module
+//! reports on schema-evolution chains (`schemacast chain`): composition
+//! coverage and the `SC05xx` finding family.
 
 pub mod certify;
+pub mod chain;
 pub mod lint;
 pub mod sarif;
 
 pub use certify::{render_certify_json, render_certify_text};
+pub use chain::{analyze_chain, render_chain_json, render_chain_text, ChainAnalysisReport};
 pub use lint::{
     lint_pair, lint_schema, render_lint_json, render_lint_text, rule, rule_index, LintReport, Rule,
     RULES,
@@ -145,6 +149,14 @@ impl AnalysisReport {
             counts[i] += 1;
         }
         counts
+    }
+
+    /// Whether the evolution is fully subsumption-stable: no type changed
+    /// incompatibly, went disjoint, or was removed. The `schemacast
+    /// analyze` exit-code gate (exit 1 when unstable).
+    pub fn is_stable(&self) -> bool {
+        let [_, changed, disjoint, removed, _] = self.diff_counts();
+        changed + disjoint + removed == 0
     }
 
     /// Total (safe, unsafe, dynamic) verdict counts across all pairs

@@ -29,7 +29,8 @@ use std::collections::HashSet;
 /// One entry of the lint rule registry.
 #[derive(Debug, Clone, Copy)]
 pub struct Rule {
-    /// Stable id (`SC01xx` schema, `SC02xx` pair, `SC03xx` document).
+    /// Stable id (`SC01xx` schema, `SC02xx` pair, `SC03xx` document,
+    /// `SC04xx` certification, `SC05xx` chain).
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
@@ -125,6 +126,48 @@ pub const RULES: &[Rule] = &[
         name: "not-simple-content",
         description: "Simple (text-only) content was expected.",
         severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0401",
+        name: "certificate-emission-failed",
+        description: "A static claim could not be packaged as a certificate.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0402",
+        name: "certificate-rejected",
+        description: "The independent checker rejected an emitted certificate.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0403",
+        name: "composition-certificate-rejected",
+        description: "A chain composition certificate could not be emitted or was rejected by the independent checker.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0501",
+        name: "chain-incompatible-type-pair",
+        description: "A reachable (v1, vN) type pair is neither subsumed nor disjoint across the evolution chain: some v1-valid documents break consumers of vN.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0502",
+        name: "chain-disjoint-type-pair",
+        description: "A reachable (v1, vN) type pair is disjoint across the evolution chain: every v1-valid element at this position is invalid for consumers of vN.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0503",
+        name: "chain-root-removed",
+        description: "A v1 root element disappears at some hop of the evolution chain.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0504",
+        name: "composition-fallback",
+        description: "The hop relations do not compose for this pair; the chain verdict rests on the composed-pair product construction.",
+        severity: Severity::Note,
     },
 ];
 
@@ -583,5 +626,24 @@ mod tests {
         }
         assert_eq!(rule_index("SC0101"), Some(0));
         assert!(rule("SC9999").is_none());
+    }
+
+    /// The registry is the single source of truth for every rule id the
+    /// workspace emits (schema hygiene, pair lint, document explain,
+    /// certification, chain analysis). Renumbering or dropping an id is a
+    /// breaking change for SARIF consumers — this list is append-only.
+    #[test]
+    fn rule_registry_is_stable() {
+        let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            [
+                "SC0101", "SC0102", "SC0103", "SC0104", "SC0105", "SC0201", "SC0202", "SC0203",
+                "SC0301", "SC0302", "SC0303", "SC0304", "SC0305", "SC0306", "SC0401", "SC0402",
+                "SC0403", "SC0501", "SC0502", "SC0503", "SC0504",
+            ]
+        );
+        let names: std::collections::HashSet<&str> = RULES.iter().map(|r| r.name).collect();
+        assert_eq!(names.len(), RULES.len(), "rule names must be unique too");
     }
 }

@@ -1,0 +1,223 @@
+//! Hop-by-hop composition of cast relations along a schema-evolution chain.
+//!
+//! A chain `v_1 → v_2 → … → v_N` carries one `(R_sub, R_dis)` relation pair
+//! per hop. This module computes the *end-to-end* relation from every
+//! version to the final one, using only the compositions that are sound:
+//!
+//! * **Subsumption composes transitively.** `L(τ_1) ⊆ L(τ_2)` and
+//!   `L(τ_2) ⊆ L(τ_3)` give `L(τ_1) ⊆ L(τ_3)` — a relational product of the
+//!   per-hop `R_sub` tables.
+//! * **Disjointness does not compose with itself.** `L(τ_1) ∩ L(τ_2) = ∅`
+//!   and `L(τ_2) ∩ L(τ_3) = ∅` say nothing about `τ_1` vs `τ_3` (the two
+//!   languages may be equal). The only sound transport is through a
+//!   subsumption prefix: `L(τ_1) ⊆ L(τ_k)` and `L(τ_k) ∩ L(τ_N) = ∅` give
+//!   `L(τ_1) ∩ L(τ_N) = ∅`. Hence a composed disjointness here is always
+//!   `sub* · dis` with the disjoint step on the final hop.
+//!
+//! Pairs the composition cannot decide are the caller's problem — the chain
+//! analyzer falls back to computing the relations (and the product IDA)
+//! directly over the composed `(v_1, v_N)` pair.
+//!
+//! Every composed membership records the *middle type* that witnessed it,
+//! so the full witness tuple `(τ_1, τ_2, …, τ_N)` can be recovered by
+//! following the per-level middles — that tuple is exactly what a
+//! composition certificate needs.
+
+use crate::bitset::BitSet;
+
+/// Sentinel middle type for the last level, where the composed relation is
+/// the hop relation itself and no middle type exists.
+pub const NO_MID: u32 = u32::MAX;
+
+/// One hop's relation tables: row `s` holds the target types `t` with
+/// `(s, t)` in the relation.
+#[derive(Debug, Clone)]
+pub struct HopRelations {
+    /// Source-side type count (row count).
+    pub rows: usize,
+    /// Target-side type count (bit width of each row).
+    pub cols: usize,
+    /// `R_sub` rows, one [`BitSet`] of width `cols` per source type.
+    pub sub: Vec<BitSet>,
+    /// `R_dis` rows, same layout.
+    pub dis: Vec<BitSet>,
+}
+
+/// The composed relation from one chain version to the final version, with
+/// per-pair middle-type witnesses. Grids are row-major: pair `(s, t)` lives
+/// at `s * cols + t`.
+#[derive(Debug, Clone)]
+pub struct ComposedLevel {
+    /// Type count of this level's version.
+    pub rows: usize,
+    /// Type count of the final version.
+    pub cols: usize,
+    /// Composed subsumption membership.
+    pub sub: Vec<bool>,
+    /// For composed-subsumed pairs: the witness middle type in the next
+    /// version ([`NO_MID`] on the last level, where the hop fact is direct).
+    pub sub_mid: Vec<u32>,
+    /// Composed disjointness membership (`sub* · dis` shape).
+    pub dis: Vec<bool>,
+    /// Middle-type witnesses for composed-disjoint pairs, as for `sub_mid`.
+    pub dis_mid: Vec<u32>,
+}
+
+impl ComposedLevel {
+    /// Whether `(s, t)` is in the composed subsumption relation.
+    pub fn subsumed(&self, s: usize, t: usize) -> bool {
+        self.sub[s * self.cols + t]
+    }
+
+    /// Whether `(s, t)` is in the composed disjointness relation.
+    pub fn disjoint(&self, s: usize, t: usize) -> bool {
+        self.dis[s * self.cols + t]
+    }
+}
+
+/// Composes a chain of per-hop relations into one [`ComposedLevel`] per
+/// version: `levels[i]` relates version `i`'s types to the final version's.
+///
+/// Computed backward: the last level is the last hop verbatim; level `i`
+/// joins hop `i`'s `R_sub` with level `i + 1` (subsumption with composed
+/// subsumption, and — soundly — subsumption with composed disjointness).
+///
+/// # Panics
+///
+/// Panics if `hops` is empty or adjacent hops disagree on the shared
+/// version's type count.
+pub fn compose_chain(hops: &[HopRelations]) -> Vec<ComposedLevel> {
+    assert!(!hops.is_empty(), "a chain needs at least one hop");
+    for w in hops.windows(2) {
+        assert_eq!(
+            w[0].cols, w[1].rows,
+            "adjacent hops disagree on the shared version's type count"
+        );
+    }
+    let final_cols = hops.last().expect("non-empty").cols;
+    let mut levels: Vec<ComposedLevel> = Vec::with_capacity(hops.len());
+
+    // Last level: the hop relation itself.
+    let last = hops.last().expect("non-empty");
+    let mut level = ComposedLevel {
+        rows: last.rows,
+        cols: final_cols,
+        sub: vec![false; last.rows * final_cols],
+        sub_mid: vec![NO_MID; last.rows * final_cols],
+        dis: vec![false; last.rows * final_cols],
+        dis_mid: vec![NO_MID; last.rows * final_cols],
+    };
+    for s in 0..last.rows {
+        for t in last.sub[s].iter() {
+            level.sub[s * final_cols + t] = true;
+        }
+        for t in last.dis[s].iter() {
+            level.dis[s * final_cols + t] = true;
+        }
+    }
+    levels.push(level);
+
+    // Earlier levels, back to front: join hop i's R_sub with level i + 1.
+    for hop in hops[..hops.len() - 1].iter().rev() {
+        let next = levels.last().expect("pushed above");
+        let mut level = ComposedLevel {
+            rows: hop.rows,
+            cols: final_cols,
+            sub: vec![false; hop.rows * final_cols],
+            sub_mid: vec![NO_MID; hop.rows * final_cols],
+            dis: vec![false; hop.rows * final_cols],
+            dis_mid: vec![NO_MID; hop.rows * final_cols],
+        };
+        for s in 0..hop.rows {
+            for m in hop.sub[s].iter() {
+                for t in 0..final_cols {
+                    let q = s * final_cols + t;
+                    if !level.sub[q] && next.sub[m * final_cols + t] {
+                        level.sub[q] = true;
+                        level.sub_mid[q] = m as u32;
+                    }
+                    if !level.dis[q] && next.dis[m * final_cols + t] {
+                        level.dis[q] = true;
+                        level.dis_mid[q] = m as u32;
+                    }
+                }
+            }
+        }
+        levels.push(level);
+    }
+
+    levels.reverse();
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(
+        rows: usize,
+        cols: usize,
+        sub: &[(usize, usize)],
+        dis: &[(usize, usize)],
+    ) -> HopRelations {
+        let mut h = HopRelations {
+            rows,
+            cols,
+            sub: vec![BitSet::new(cols); rows],
+            dis: vec![BitSet::new(cols); rows],
+        };
+        for &(s, t) in sub {
+            h.sub[s].insert(t);
+        }
+        for &(s, t) in dis {
+            h.dis[s].insert(t);
+        }
+        h
+    }
+
+    #[test]
+    fn sub_composes_transitively() {
+        // 0 ⊑ 1 (hop 1), 1 ⊑ 2 (hop 2) ⇒ 0 ⊑ 2 composed, middle = 1.
+        let hops = [hop(2, 3, &[(0, 1)], &[]), hop(3, 2, &[(1, 0)], &[])];
+        let levels = compose_chain(&hops);
+        assert_eq!(levels.len(), 2);
+        assert!(levels[0].subsumed(0, 0));
+        assert_eq!(levels[0].sub_mid[0], 1);
+        assert!(!levels[0].subsumed(1, 0));
+        // Last level is hop 2 verbatim, no middle.
+        assert!(levels[1].subsumed(1, 0));
+        // Row 1, column 0 of the 3×2 last level: `1 * cols + 0`.
+        assert_eq!(levels[1].sub_mid[2], NO_MID);
+    }
+
+    #[test]
+    fn dis_transports_only_through_a_sub_prefix() {
+        // dis·dis does NOT compose; sub·dis does.
+        let dis_dis = [hop(1, 1, &[], &[(0, 0)]), hop(1, 1, &[], &[(0, 0)])];
+        let levels = compose_chain(&dis_dis);
+        assert!(!levels[0].disjoint(0, 0), "dis after dis must not compose");
+
+        let sub_dis = [hop(1, 1, &[(0, 0)], &[]), hop(1, 1, &[], &[(0, 0)])];
+        let levels = compose_chain(&sub_dis);
+        assert!(levels[0].disjoint(0, 0));
+        assert_eq!(levels[0].dis_mid[0], 0);
+        assert!(!levels[0].subsumed(0, 0));
+    }
+
+    #[test]
+    fn three_hop_tuples_recover_through_mids() {
+        let hops = [
+            hop(1, 2, &[(0, 1)], &[]),
+            hop(2, 2, &[(1, 0)], &[]),
+            hop(2, 1, &[(0, 0)], &[]),
+        ];
+        let levels = compose_chain(&hops);
+        assert!(levels[0].subsumed(0, 0));
+        // Follow the mids: v1:0 → v2:1 → v3:0 → v4:0.
+        let m1 = levels[0].sub_mid[0] as usize;
+        assert_eq!(m1, 1);
+        let m2 = levels[1].sub_mid[m1 * levels[1].cols] as usize;
+        assert_eq!(m2, 0);
+        assert_eq!(levels[2].sub_mid[m2 * levels[2].cols], NO_MID);
+    }
+}

@@ -16,11 +16,15 @@
 //!   per-state flag bytes) for the streaming validator's inner loop,
 //! * [string revalidation](revalidate) with and without modifications
 //!   (Theorem 3, Prop. 2), including the reverse-automaton strategy for
-//!   append-heavy edits.
+//!   append-heavy edits,
+//! * [hop-relation composition](compose) along schema-evolution chains —
+//!   the sound end-to-end joins (`sub·sub`, `sub·dis`) with middle-type
+//!   witnesses for composition certificates.
 
 pub mod bitset;
 pub mod certify;
 pub mod checks;
+pub mod compose;
 pub mod dfa;
 pub mod editdist;
 pub mod hot;
@@ -40,6 +44,7 @@ pub use checks::{
     equivalent, intersection_nonempty_restricted, language_subset, languages_disjoint,
     nonempty_restricted,
 };
+pub use compose::{compose_chain, ComposedLevel, HopRelations, NO_MID};
 pub use dfa::{Dfa, StateId};
 pub use editdist::{apply_repair, repair_string, shortest_witness, StringRepairOp};
 pub use hot::HotDfa;

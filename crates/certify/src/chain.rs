@@ -1,0 +1,351 @@
+//! Composition certificates for schema-evolution chains.
+//!
+//! A chain `v_1 → v_2 → … → v_N` is certified as a [`ChainBundle`]: one
+//! ordinary per-hop [`CertBundle`], one [`CertBundle`] for the composed
+//! `(v_1, v_N)` endpoint pair (the product-IDA fallback's claims), and a
+//! vector of [`CompCert`]s — the *composed-relation* claims.
+//!
+//! A composition certificate is pure bookkeeping over already-certified
+//! facts: it names the witness tuple `(τ_1, τ_2, …, τ_N)` and, per hop, a
+//! reference into that hop bundle's certificate vector. The checker's
+//! obligations ([`check_chain_bundle`]) are:
+//!
+//! * one step per hop, steps adjacent (`step_i`'s target type is
+//!   `step_{i+1}`'s source type — both are types of version `i + 1`, so the
+//!   indices share one namespace);
+//! * the tuple's endpoints match the certificate's claimed `(v_1, v_N)`
+//!   pair;
+//! * every step resolves to a certificate **in its own hop's bundle** for
+//!   exactly the step's type pair — `R_sub` certificates for every step,
+//!   except that a [`CompClaim::Disjoint`] composition's *final* step
+//!   resolves to an `R_dis` certificate (`sub·sub` and `sub·dis` are the
+//!   only sound joins; `dis·dis` does not compose and no certificate shape
+//!   exists for it);
+//! * the hop bundles themselves pass [`check_bundle`] — a composition
+//!   resting on a rejected hop certificate fails with the hop, not
+//!   silently.
+//!
+//! Keeping the per-hop bundles separate (instead of concatenating them) is
+//! what makes the references unambiguous: type indices are per-schema, and
+//! only adjacent hops share a schema, so a step can never smuggle in a
+//! certificate from the wrong hop.
+
+use crate::cert::CertBundle;
+use crate::check::{check_bundle, CertKind, CheckFailure, CheckReport};
+
+/// What a composed-relation certificate claims about its `(v_1, v_N)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompClaim {
+    /// `L(τ_1) ⊆ L(τ_N)`: every step is an `R_sub` certificate.
+    Subsumed,
+    /// `L(τ_1) ∩ L(τ_N) = ∅`: a subsumption prefix transports the final
+    /// hop's `R_dis` fact to the chain start.
+    Disjoint,
+}
+
+impl CompClaim {
+    /// Stable lowercase name, used in reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompClaim::Subsumed => "subsumed",
+            CompClaim::Disjoint => "disjoint",
+        }
+    }
+}
+
+/// One hop step of a composition: the `(source, target)` type pair it
+/// crosses and the hop-bundle certificate that proves it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompStep {
+    /// Type index in the hop's source version.
+    pub source_type: u32,
+    /// Type index in the hop's target version.
+    pub target_type: u32,
+    /// Index into the hop bundle's `subs` vector — or its `diss` vector
+    /// for the final step of a [`CompClaim::Disjoint`] composition.
+    pub cert_ref: u32,
+}
+
+/// A composed-relation claim for one `(v_1, v_N)` type pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompCert {
+    /// Type index in the first version.
+    pub source_type: u32,
+    /// Type index in the final version.
+    pub target_type: u32,
+    /// Which relation is claimed.
+    pub claim: CompClaim,
+    /// One step per hop, in chain order.
+    pub steps: Vec<CompStep>,
+}
+
+/// Everything a producer claims about one evolution chain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChainBundle {
+    /// One ordinary bundle per hop, in chain order.
+    pub hops: Vec<CertBundle>,
+    /// The composed `(v_1, v_N)` endpoint pair's bundle — certificates for
+    /// every claim the product-IDA fallback relies on.
+    pub endpoint: CertBundle,
+    /// The composed-relation claims, referencing into `hops`.
+    pub compositions: Vec<CompCert>,
+}
+
+impl ChainBundle {
+    /// Total number of checkable objects across all parts.
+    pub fn object_count(&self) -> usize {
+        self.hops
+            .iter()
+            .map(CertBundle::object_count)
+            .sum::<usize>()
+            + self.endpoint.object_count()
+            + self.compositions.len()
+    }
+}
+
+/// The outcome of [`check_chain_bundle`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChainCheckReport {
+    /// Per-hop reports, in chain order.
+    pub hops: Vec<CheckReport>,
+    /// The endpoint pair's report.
+    pub endpoint: CheckReport,
+    /// Composition failures ([`CertKind::Comp`]), in bundle order.
+    pub failures: Vec<CheckFailure>,
+    /// Objects examined across all parts.
+    pub checked: usize,
+}
+
+impl ChainCheckReport {
+    /// True iff every hop bundle, the endpoint bundle, and every
+    /// composition certificate passed.
+    pub fn all_valid(&self) -> bool {
+        self.hops.iter().all(CheckReport::all_valid)
+            && self.endpoint.all_valid()
+            && self.failures.is_empty()
+    }
+}
+
+/// Validates a chain bundle: every hop bundle and the endpoint bundle via
+/// [`check_bundle`], then every composition certificate against the hop
+/// bundles it references.
+pub fn check_chain_bundle(bundle: &ChainBundle) -> ChainCheckReport {
+    let hops: Vec<CheckReport> = bundle.hops.iter().map(check_bundle).collect();
+    let endpoint = check_bundle(&bundle.endpoint);
+    let mut failures = Vec::new();
+    for (i, c) in bundle.compositions.iter().enumerate() {
+        if let Err(reason) = check_comp(bundle, c) {
+            failures.push(CheckFailure {
+                kind: CertKind::Comp,
+                index: i,
+                reason,
+            });
+        }
+    }
+    ChainCheckReport {
+        checked: bundle.object_count(),
+        hops,
+        endpoint,
+        failures,
+    }
+}
+
+fn check_comp(bundle: &ChainBundle, c: &CompCert) -> Result<(), String> {
+    let n = bundle.hops.len();
+    if n == 0 {
+        return Err("composition over a chain with no hop bundles".into());
+    }
+    if c.steps.len() != n {
+        return Err(format!(
+            "composition has {} step(s) for {n} hop(s)",
+            c.steps.len()
+        ));
+    }
+    let first = c.steps.first().expect("n >= 1");
+    let last = c.steps.last().expect("n >= 1");
+    if first.source_type != c.source_type {
+        return Err(format!(
+            "first step starts at type {} but the claim is about type {}",
+            first.source_type, c.source_type
+        ));
+    }
+    if last.target_type != c.target_type {
+        return Err(format!(
+            "last step ends at type {} but the claim is about type {}",
+            last.target_type, c.target_type
+        ));
+    }
+    for (i, w) in c.steps.windows(2).enumerate() {
+        if w[0].target_type != w[1].source_type {
+            return Err(format!(
+                "steps {i} and {} are not adjacent: {} != {}",
+                i + 1,
+                w[0].target_type,
+                w[1].source_type
+            ));
+        }
+    }
+    for (i, step) in c.steps.iter().enumerate() {
+        let hop = &bundle.hops[i];
+        let is_dis_step = i == n - 1 && c.claim == CompClaim::Disjoint;
+        let (claimed_source, claimed_target) = if is_dis_step {
+            let cert = hop
+                .diss
+                .get(step.cert_ref as usize)
+                .ok_or_else(|| format!("step {i}: dis ref {} out of range", step.cert_ref))?;
+            (cert.source_type, cert.target_type)
+        } else {
+            let cert = hop
+                .subs
+                .get(step.cert_ref as usize)
+                .ok_or_else(|| format!("step {i}: sub ref {} out of range", step.cert_ref))?;
+            (cert.source_type, cert.target_type)
+        };
+        if claimed_source != step.source_type || claimed_target != step.target_type {
+            return Err(format!(
+                "step {i} references a certificate for pair ({claimed_source},{claimed_target}) \
+                 but claims ({},{})",
+                step.source_type, step.target_type
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{DisBody, DisCert, SubBody, SubCert};
+
+    /// A two-hop chain with axiom-level sub/dis certificates:
+    /// v1:0 ⊑ v2:0 (hop 0), and hop 1 has v2:0 ⊑ v3:0 plus v2:0 dis v3:1.
+    fn two_hop_bundle() -> ChainBundle {
+        let sub = |s: u32, t: u32| SubCert {
+            source_type: s,
+            target_type: t,
+            body: SubBody::SimpleAxiom,
+        };
+        let dis = |s: u32, t: u32| DisCert {
+            source_type: s,
+            target_type: t,
+            body: DisBody::SimpleAxiom,
+        };
+        let hop0 = CertBundle {
+            subs: vec![sub(0, 0)],
+            ..Default::default()
+        };
+        let hop1 = CertBundle {
+            subs: vec![sub(0, 0)],
+            diss: vec![dis(0, 1)],
+            ..Default::default()
+        };
+        ChainBundle {
+            hops: vec![hop0, hop1],
+            endpoint: CertBundle::default(),
+            compositions: vec![
+                CompCert {
+                    source_type: 0,
+                    target_type: 0,
+                    claim: CompClaim::Subsumed,
+                    steps: vec![
+                        CompStep {
+                            source_type: 0,
+                            target_type: 0,
+                            cert_ref: 0,
+                        },
+                        CompStep {
+                            source_type: 0,
+                            target_type: 0,
+                            cert_ref: 0,
+                        },
+                    ],
+                },
+                CompCert {
+                    source_type: 0,
+                    target_type: 1,
+                    claim: CompClaim::Disjoint,
+                    steps: vec![
+                        CompStep {
+                            source_type: 0,
+                            target_type: 0,
+                            cert_ref: 0,
+                        },
+                        CompStep {
+                            source_type: 0,
+                            target_type: 1,
+                            cert_ref: 0,
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_chain_bundle_checks() {
+        let report = check_chain_bundle(&two_hop_bundle());
+        assert!(report.all_valid(), "{report:?}");
+        assert_eq!(report.checked, 5);
+    }
+
+    #[test]
+    fn broken_adjacency_is_rejected() {
+        let mut b = two_hop_bundle();
+        b.compositions[0].steps[1].source_type = 7;
+        let report = check_chain_bundle(&b);
+        assert!(!report.all_valid());
+        assert_eq!(report.failures[0].kind, CertKind::Comp);
+        assert!(report.failures[0].reason.contains("not adjacent"));
+    }
+
+    #[test]
+    fn wrong_step_count_and_endpoints_are_rejected() {
+        let mut b = two_hop_bundle();
+        b.compositions[0].steps.pop();
+        assert!(!check_chain_bundle(&b).all_valid());
+
+        let mut b = two_hop_bundle();
+        b.compositions[0].source_type = 9;
+        assert!(!check_chain_bundle(&b).all_valid());
+
+        let mut b = two_hop_bundle();
+        b.compositions[1].target_type = 9;
+        assert!(!check_chain_bundle(&b).all_valid());
+    }
+
+    #[test]
+    fn mismatched_certificate_pair_is_rejected() {
+        let mut b = two_hop_bundle();
+        // Point the dis step at the sub certificate's slot: out of range in
+        // diss.
+        b.compositions[1].steps[1].cert_ref = 5;
+        let report = check_chain_bundle(&b);
+        assert!(!report.all_valid());
+        assert!(report.failures[0].reason.contains("out of range"));
+
+        // A sub-claim composition whose step names a pair the referenced
+        // certificate is not about.
+        let mut b = two_hop_bundle();
+        b.hops[1].subs[0].target_type = 3;
+        b.compositions.truncate(1);
+        let report = check_chain_bundle(&b);
+        assert!(!report.all_valid());
+    }
+
+    #[test]
+    fn rejected_hop_certificate_fails_the_chain() {
+        let mut b = two_hop_bundle();
+        // An empty Complex body misses the start pair — hop check rejects.
+        b.hops[0].subs[0].body = SubBody::Complex {
+            simulation: crate::cert::SimulationCert {
+                a: 0,
+                b: 0,
+                relation: Vec::new(),
+            },
+            obligations: Vec::new(),
+        };
+        let report = check_chain_bundle(&b);
+        assert!(!report.all_valid());
+        assert!(!report.hops[0].all_valid());
+    }
+}

@@ -31,6 +31,8 @@ pub enum CertKind {
     Path,
     /// [`CertBundle::safety`]
     Safety,
+    /// [`crate::chain::ChainBundle::compositions`]
+    Comp,
 }
 
 impl CertKind {
@@ -44,6 +46,7 @@ impl CertKind {
             CertKind::Ida => "ida",
             CertKind::Path => "path",
             CertKind::Safety => "safety",
+            CertKind::Comp => "comp",
         }
     }
 }

@@ -39,6 +39,7 @@
 //! | IDA `IA`/`IR` | exact safe/dead sets + rank functions | closure (soundness) and strictly decreasing ranks (completeness) |
 //! | `w ∈ L(a) ∖ L(b)` | product-state trace | stepwise consistency, endpoint (final, non-final) |
 //! | safety verdicts | references into the above | every consulted fact has a checked certificate |
+//! | composed chain relation | per-hop certificate tuple | step adjacency + per-hop resolution ([`chain`]) |
 //!
 //! Greatest-fixpoint facts (`R_sub`, disjointness, `IA`/`IR` soundness) may
 //! justify each other *circularly* — a coinductive argument — so their
@@ -59,6 +60,7 @@
 //! sets, all of which are covered. See DESIGN.md §8.
 
 pub mod cert;
+pub mod chain;
 pub mod check;
 pub mod dfa;
 
@@ -67,5 +69,6 @@ pub use cert::{
     NondisChild, PathCert, RelabelLink, SafetyCert, SimulationCert, SubBody, SubCert,
     SubObligation,
 };
+pub use chain::{check_chain_bundle, ChainBundle, ChainCheckReport, CompCert, CompClaim, CompStep};
 pub use check::{check_bundle, CertKind, CheckFailure, CheckReport};
 pub use dfa::RawDfa;

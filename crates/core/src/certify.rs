@@ -235,6 +235,9 @@ fn failed_pair(bundle: &CertBundle, f: &CheckFailure) -> Option<(u32, u32)> {
             .safety
             .get(f.index)
             .map(|c| (c.source_type, c.target_type)),
+        // Composition certificates live in a ChainBundle, not a CertBundle;
+        // chain certification reports their pairs itself.
+        CertKind::Comp => None,
     }
 }
 

@@ -25,11 +25,16 @@
 //!   static claim above (relation memberships, IDA decision sets, safety
 //!   verdicts) packaged as a certificate and validated by the independent
 //!   `schemacast-certify` checker.
+//! * [`chain::SchemaChain`] — schema-evolution chains: composed end-to-end
+//!   relations, one-pass `(v_1, v_N)` validation, migration-script
+//!   verification, and composition certificates
+//!   ([`chain::certify_chain`]).
 //! * [`full::FullValidator`] — the Xerces-style baseline the paper compares
 //!   against, instrumented identically.
 
 pub mod cast;
 pub mod certify;
+pub mod chain;
 pub mod diag;
 pub mod dtdcast;
 pub mod explain;
@@ -45,6 +50,10 @@ pub mod witness;
 
 pub use cast::{CastContext, CastOptions};
 pub use certify::{certify_context, CertificationRun};
+pub use chain::{
+    certify_chain, ChainCertificationRun, ChainError, ChainRelation, ChainScriptReport,
+    ComposedVia, CompositionStats, HopReport, HopVerdict, SchemaChain,
+};
 pub use diag::{Diagnostic, Severity};
 pub use dtdcast::{DtdCastValidator, LabelIndex, LabelPlan, NotDtdStyle};
 pub use explain::{explain, validate_explained, FailureKind, ValidationFailure};

@@ -1,0 +1,110 @@
+//! Batch revalidation against a schema-evolution chain.
+//!
+//! [`ChainEngine`] is the chain-level sibling of
+//! [`BatchEngine`](crate::BatchEngine): it borrows a preprocessed
+//! [`SchemaChain`] and fans documents (or whole migration scripts) across
+//! the same scoped worker pool.
+//!
+//! * [`ChainEngine::validate_docs`] is the one-pass path: each
+//!   `v_1`-document gets its `v_N` verdict from the chain's *endpoint*
+//!   context — a single cast exploiting the chain-level subsumption skips
+//!   and disjointness rejects, never one revalidation per hop.
+//! * [`ChainEngine::validate_migrations`] verifies one migration script
+//!   (an edit batch per hop) per item, preferring the per-hop static
+//!   fast path; a script that fails mid-chain comes back as
+//!   [`ItemOutcome::ChainBroken`] naming the breaking hop.
+
+use crate::{default_workers, pool, BatchEngine, BatchReport, ItemOutcome, ItemReport};
+use schemacast_core::chain::{certify_chain, ChainCertificationRun, HopVerdict, SchemaChain};
+use schemacast_core::ValidationStats;
+use schemacast_tree::{Doc, Edit};
+use std::borrow::Borrow;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// A batch engine over one preprocessed schema-evolution chain.
+pub struct ChainEngine<'c, 's> {
+    chain: &'c SchemaChain<'s>,
+    workers: NonZeroUsize,
+}
+
+impl<'c, 's> ChainEngine<'c, 's> {
+    /// An engine using all available parallelism.
+    pub fn new(chain: &'c SchemaChain<'s>) -> ChainEngine<'c, 's> {
+        Self::with_workers(chain, default_workers().get())
+    }
+
+    /// An engine with an explicit worker count (`0` means the default).
+    pub fn with_workers(chain: &'c SchemaChain<'s>, workers: usize) -> ChainEngine<'c, 's> {
+        ChainEngine {
+            chain,
+            workers: NonZeroUsize::new(workers).unwrap_or_else(default_workers),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.get()
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &'c SchemaChain<'s> {
+        self.chain
+    }
+
+    /// Warms the endpoint pair's product-IDA cache in parallel (the cache
+    /// the one-pass path hits). Returns the number of IDAs materialized.
+    pub fn warm_up(&self) -> usize {
+        BatchEngine::with_workers(self.chain.endpoint(), self.workers.get()).warm_up()
+    }
+
+    /// Certifies the whole chain — per-hop bundles, the endpoint bundle,
+    /// and the composition certificates — via the independent checker.
+    pub fn certify(&self) -> ChainCertificationRun {
+        certify_chain(self.chain)
+    }
+
+    /// One-pass chain revalidation of a batch of `v_1`-documents: each
+    /// verdict is against `v_N`, computed by the endpoint cast alone.
+    pub fn validate_docs<D>(&self, docs: &[D]) -> BatchReport
+    where
+        D: Borrow<Doc> + Sync,
+    {
+        BatchEngine::with_workers(self.chain.endpoint(), self.workers.get()).validate_docs(docs)
+    }
+
+    /// Verifies a batch of migration scripts: each item is a `v_1`-valid
+    /// document plus one edit batch per hop, and the verdict is whether
+    /// the migration stays valid hop by hop (static fast path preferred —
+    /// see [`SchemaChain::verify_script`]). Per-item stats are the fold of
+    /// the hop stats, so chain-level `static_skips` / `static_rejects`
+    /// surface in the batch totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item's script length differs from
+    /// [`SchemaChain::hop_count`].
+    pub fn validate_migrations<D>(&self, items: &[(D, Vec<Vec<Edit>>)]) -> BatchReport
+    where
+        D: Borrow<Doc> + Sync,
+    {
+        let started = Instant::now();
+        let reports = pool::collect_indexed(self.workers.get(), items.len(), |i| {
+            let (doc, scripts) = &items[i];
+            let report = self.chain.verify_script(doc.borrow(), scripts);
+            let mut stats = ValidationStats::default();
+            for hop in &report.hops {
+                stats += hop.stats;
+            }
+            let outcome = match report.breaking_hop {
+                None => ItemOutcome::Valid,
+                Some(hop) => match &report.hops[report.hops.len() - 1].verdict {
+                    HopVerdict::EditFailed(e) => ItemOutcome::EditFailed(e.clone()),
+                    _ => ItemOutcome::ChainBroken { hop },
+                },
+            };
+            ItemReport { outcome, stats }
+        });
+        BatchReport::from_items(reports, self.workers.get(), started.elapsed())
+    }
+}

@@ -23,10 +23,16 @@
 //! * **Contention-free warm-up** — [`BatchEngine::warm_up`] precomputes the
 //!   reachable product IDAs in parallel at preprocessing time, leaning on
 //!   the sharded, build-outside-the-lock IDA cache in `schemacast-core`.
+//! * **Chain batches** — [`ChainEngine`] runs the same pool over a
+//!   preprocessed schema-evolution chain: one-pass `(v_1, v_N)` document
+//!   verdicts and per-item migration-script verification with chain-level
+//!   static skips/rejects folded into the batch totals.
 
+mod chain;
 mod pool;
 mod report;
 
+pub use chain::ChainEngine;
 pub use report::{BatchReport, ItemOutcome, ItemReport};
 
 use schemacast_core::certify::{certify_context, CertificationRun};

@@ -15,6 +15,12 @@ pub enum ItemOutcome {
     /// The edit script could not be applied to the document (edited
     /// batches only).
     EditFailed(String),
+    /// A migration script broke at this hop of a schema chain (chain
+    /// batches only; counted with the invalid items).
+    ChainBroken {
+        /// 0-based index of the first hop whose verdict failed.
+        hop: usize,
+    },
 }
 
 impl ItemOutcome {
@@ -78,7 +84,7 @@ impl BatchReport {
             totals += item.stats;
             match item.outcome {
                 ItemOutcome::Valid => valid += 1,
-                ItemOutcome::Invalid => invalid += 1,
+                ItemOutcome::Invalid | ItemOutcome::ChainBroken { .. } => invalid += 1,
                 ItemOutcome::MalformedXml(_) => malformed += 1,
                 ItemOutcome::EditFailed(_) => edit_failed += 1,
             }

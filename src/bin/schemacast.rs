@@ -9,21 +9,31 @@
 //! schemacast analyze S.xsd Sprime.xsd [--json]
 //! schemacast lint S.xsd [Sprime.xsd] [--json | --sarif] [--fail-on warn|error]
 //! schemacast certify S.xsd Sprime.xsd [--json]
+//! schemacast chain v1.xsd v2.xsd [v3.xsd ...] [--json | --sarif] [--certify]
 //! ```
 //!
 //! Schemas ending in `.dtd` are parsed as DTDs (root taken from the first
-//! document's DOCTYPE, or `--root NAME`). Exit code 0 = all valid,
-//! 1 = some invalid, 2 = usage/parse error.
+//! document's DOCTYPE, or `--root NAME`).
+//!
+//! Every verdict-bearing subcommand shares one exit contract:
+//! **0** = clean (all documents valid / no findings at the gate severity /
+//! every certificate checked / evolution fully stable), **1** = a negative
+//! verdict (some document invalid, a finding at or above `--fail-on`, a
+//! rejected certificate, an unstable `analyze` diff, a broken chain),
+//! **2** = usage, I/O, or parse error — the input never got a verdict.
 //!
 //! `certify` emits proof certificates for every static claim of the pair's
 //! preprocessing and validates them with the independent checker (exit 1 if
-//! any fails). `--certify` on `cast` / `batch` / `analyze` runs the same
-//! pass before any document is touched and fails closed (exit 2) unless
-//! every claim is certified.
+//! any fails). `--certify` on `cast` / `batch` / `analyze` / `chain` runs
+//! the same pass before any document is touched and fails closed (exit 2)
+//! unless every claim is certified; on `chain` it adds the composition
+//! certificates (the per-hop tuples behind every composed end-to-end fact).
 
 use schemacast::analysis;
 use schemacast::core::certify::{certify_context, CertificationRun};
-use schemacast::core::{CastContext, FullValidator, Repairer, Severity, StreamingCast};
+use schemacast::core::{
+    certify_chain, CastContext, FullValidator, Repairer, SchemaChain, Severity, StreamingCast,
+};
 use schemacast::engine::{BatchEngine, ItemOutcome};
 use schemacast::schema::{AbstractSchema, SchemaSpans, Session};
 use schemacast::tree::{Doc, WhitespaceMode};
@@ -60,6 +70,8 @@ fn usage() -> ExitCode {
          schemacast analyze S.xsd Sprime.xsd [--json] [--certify]\n  \
          schemacast lint S.xsd [Sprime.xsd] [--json | --sarif] [--fail-on warn|error]\n  \
          schemacast certify S.xsd Sprime.xsd [--json]\n  \
+         schemacast chain v1.xsd v2.xsd [v3.xsd ...] [--json | --sarif] [--certify] \
+         [--fail-on warn|error]\n  \
          (use .dtd schema files with optional --root NAME)"
     );
     ExitCode::from(2)
@@ -123,10 +135,15 @@ fn parse_args() -> Result<Options, ExitCode> {
         }
         return Ok(opts);
     }
-    // `lint` takes one schema (hygiene) or two (evolution compatibility).
-    if opts.command == "lint" {
-        if opts.docs.is_empty() || opts.docs.len() > 2 {
+    // `lint` takes one schema (hygiene) or two (evolution compatibility);
+    // `chain` takes the whole version sequence.
+    if opts.command == "lint" || opts.command == "chain" {
+        if opts.command == "lint" && (opts.docs.is_empty() || opts.docs.len() > 2) {
             eprintln!("lint requires one or two schema files");
+            return Err(usage());
+        }
+        if opts.command == "chain" && opts.docs.len() < 2 {
+            eprintln!("chain requires at least two schema files (v1 v2 [v3 ...])");
             return Err(usage());
         }
         if opts.json && opts.sarif {
@@ -368,6 +385,10 @@ fn main() -> ExitCode {
                     ItemOutcome::EditFailed(e) => {
                         println!("{path}: EDIT FAILED ({e})");
                         any_malformed = true;
+                    }
+                    ItemOutcome::ChainBroken { hop } => {
+                        println!("{path}: CHAIN BROKEN (hop {hop})");
+                        any_invalid = true;
                     }
                 }
             }
@@ -622,6 +643,14 @@ fn main() -> ExitCode {
             } else {
                 print!("{}", analysis::render_text(&report));
             }
+            // Exit contract: 0 only when the evolution is fully
+            // subsumption-stable (nothing changed, went disjoint, or was
+            // removed) — the same gate shape as `lint --fail-on error`.
+            return if report.is_stable() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            };
         }
         "certify" => {
             let (src_path, tgt_path) = (&opts.docs[0], &opts.docs[1]);
@@ -650,6 +679,58 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)
+            };
+        }
+        "chain" => {
+            let mut schemas = Vec::with_capacity(opts.docs.len());
+            for path in &opts.docs {
+                match load_schema(path, opts.root.as_deref(), &mut session) {
+                    Ok(s) => schemas.push(s),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let chain = match SchemaChain::new(&schemas, &session.alphabet) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if opts.certify {
+                let run = certify_chain(&chain);
+                if !run.all_certified() {
+                    for d in &run.diagnostics {
+                        eprintln!("{d}");
+                    }
+                    eprintln!(
+                        "chain certification failed: {} finding(s); refusing to proceed",
+                        run.diagnostics.len()
+                    );
+                    return ExitCode::from(2);
+                }
+                if opts.stats && !opts.json && !opts.sarif {
+                    println!("{}", run.stats());
+                }
+            }
+            let report = analysis::analyze_chain(&chain, &session.alphabet);
+            if opts.sarif {
+                println!("{}", analysis::render_sarif(&report.lint));
+            } else if opts.json {
+                println!("{}", analysis::render_chain_json(&report));
+            } else {
+                print!("{}", analysis::render_chain_text(&report));
+            }
+            let threshold = match opts.fail_on.as_deref() {
+                Some("warn") => Severity::Warning,
+                _ => Severity::Error,
+            };
+            return if report.lint.fails(threshold) {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
             };
         }
         other => {

@@ -12,9 +12,12 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use schemacast::certify::{check_bundle, BlockedSymbol, CertBundle, DisBody, NondisBody, SubBody};
+use schemacast::certify::{
+    check_bundle, check_chain_bundle, BlockedSymbol, CertBundle, ChainBundle, CompClaim, DisBody,
+    NondisBody, SubBody,
+};
 use schemacast::core::certify::certify_context;
-use schemacast::core::CastContext;
+use schemacast::core::{certify_chain, CastContext, SchemaChain};
 use schemacast::regex::Alphabet;
 use schemacast::workload::purchase_order as po;
 use schemacast::workload::synth::{random_schema, SynthConfig};
@@ -212,6 +215,126 @@ fn attack_pair(
     labels
 }
 
+/// Every guaranteed-breaking mutation of a chain bundle: per-hop and
+/// endpoint bundles are attacked with the pairwise mutations above, and
+/// the composition certificates with chain-specific ones (dangling step
+/// references, broken adjacency, dropped steps, retargeted endpoints,
+/// flipped claims).
+fn chain_corruptions(bundle: &ChainBundle) -> Vec<(&'static str, ChainBundle)> {
+    let mut out: Vec<(&'static str, ChainBundle)> = Vec::new();
+    let mut push = |label: &'static str, mutated: ChainBundle| out.push((label, mutated));
+
+    // A corrupted hop (or endpoint) bundle must fail the whole chain: the
+    // composition steps lean on exactly these per-hop certificates.
+    for h in 0..bundle.hops.len() {
+        for (_, mutated) in corruptions(&bundle.hops[h]) {
+            let mut b = bundle.clone();
+            b.hops[h] = mutated;
+            push("hop: corrupted per-hop bundle", b);
+        }
+    }
+    for (_, mutated) in corruptions(&bundle.endpoint) {
+        let mut b = bundle.clone();
+        b.endpoint = mutated;
+        push("hop: corrupted endpoint bundle", b);
+    }
+
+    for (i, comp) in bundle.compositions.iter().enumerate() {
+        let n = comp.steps.len();
+
+        // One step per hop is structural: dropping any step breaks it.
+        let mut b = bundle.clone();
+        b.compositions[i].steps.pop();
+        push("comp: dropped step", b);
+
+        // Dangling certificate reference, per step (the final step of a
+        // Disjoint claim resolves in the hop's dis list, the rest in sub).
+        for j in 0..n {
+            let pool_len = if j + 1 == n && matches!(comp.claim, CompClaim::Disjoint) {
+                bundle.hops[j].diss.len()
+            } else {
+                bundle.hops[j].subs.len()
+            };
+            let mut b = bundle.clone();
+            b.compositions[i].steps[j].cert_ref = pool_len as u32;
+            push("comp: step certificate ref dangling", b);
+        }
+
+        // Retargeting a middle step breaks either the adjacency law or the
+        // referenced certificate's pair — the resolved cert is unchanged.
+        if n >= 2 {
+            let mut b = bundle.clone();
+            b.compositions[i].steps[0].target_type = comp.steps[0].target_type.wrapping_add(1);
+            push("comp: broken step adjacency", b);
+        }
+
+        // The claim endpoints must match the first/last step.
+        let mut b = bundle.clone();
+        b.compositions[i].source_type = comp.source_type.wrapping_add(1);
+        push("comp: retargeted claim source", b);
+        let mut b = bundle.clone();
+        b.compositions[i].target_type = comp.target_type.wrapping_add(1);
+        push("comp: retargeted claim target", b);
+
+        // Flipping the claim reroutes the final step into the other
+        // certificate list. Only guaranteed-breaking when that list has no
+        // identically-paired certificate at the same index.
+        let last = comp.steps.last().expect("non-empty steps");
+        let hop = &bundle.hops[n - 1];
+        let (flipped, other) = match comp.claim {
+            CompClaim::Subsumed => (
+                CompClaim::Disjoint,
+                hop.diss
+                    .get(last.cert_ref as usize)
+                    .map(|c| (c.source_type, c.target_type)),
+            ),
+            CompClaim::Disjoint => (
+                CompClaim::Subsumed,
+                hop.subs
+                    .get(last.cert_ref as usize)
+                    .map(|c| (c.source_type, c.target_type)),
+            ),
+        };
+        if other != Some((last.source_type, last.target_type)) {
+            let mut b = bundle.clone();
+            b.compositions[i].claim = flipped;
+            push("comp: flipped claim", b);
+        }
+    }
+
+    out
+}
+
+/// Certifies a whole chain, then asserts the chain checker rejects every
+/// applicable corruption. Returns the attacked-mutation labels.
+fn attack_chain(
+    schemas: &[schemacast::schema::AbstractSchema],
+    alphabet: &Alphabet,
+    what: &str,
+) -> Vec<&'static str> {
+    let chain = SchemaChain::new(schemas, alphabet).expect("chain");
+    let run = certify_chain(&chain);
+    assert!(
+        run.all_certified(),
+        "{what}: baseline chain not certified: {:#?}",
+        run.diagnostics
+    );
+    let mut labels = Vec::new();
+    for (label, mutated) in chain_corruptions(&run.bundle) {
+        assert_ne!(
+            mutated, run.bundle,
+            "{what}: mutation {label:?} did not change the chain bundle"
+        );
+        let report = check_chain_bundle(&mutated);
+        assert!(
+            !report.all_valid(),
+            "{what}: FALSE ACCEPT — chain checker passed corrupted bundle ({label})"
+        );
+        labels.push(label);
+    }
+    labels
+}
+
 #[test]
 fn checker_rejects_every_corruption_on_the_fixture_pair() {
     let mut session = schemacast::schema::Session::new();
@@ -245,6 +368,57 @@ fn checker_rejects_every_corruption_across_random_evolutions() {
         assert!(
             attacked.keys().any(|l| l.starts_with(kind)),
             "no {kind} mutations exercised across the sweep: {attacked:?}"
+        );
+    }
+}
+
+#[test]
+fn chain_checker_rejects_every_corruption_on_the_fixture_chain() {
+    let mut session = schemacast::schema::Session::new();
+    let schemas: Vec<_> = ["po_v1", "po_v2", "po_v3"]
+        .iter()
+        .map(|v| {
+            let text = std::fs::read_to_string(format!("tests/fixtures/{v}.xsd")).expect("fixture");
+            session.parse_xsd(&text).expect("parse")
+        })
+        .collect();
+    let labels = attack_chain(&schemas, &session.alphabet, "po chain");
+    assert!(labels.iter().any(|l| l.starts_with("comp:")));
+    assert!(labels.iter().any(|l| l.starts_with("hop:")));
+}
+
+#[test]
+fn chain_checker_rejects_every_corruption_across_random_chains() {
+    let mut attacked: std::collections::BTreeMap<&str, usize> = Default::default();
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(0xCAB1E + seed);
+        let mut synth = random_schema(&SynthConfig::default(), &mut rng);
+        let mut alphabet = Alphabet::new();
+        let mut schemas = vec![synth.build(&mut alphabet)];
+        for _ in 0..=(seed % 2) {
+            synth.evolve(&mut rng);
+            schemas.push(synth.build(&mut alphabet));
+        }
+        for label in attack_chain(&schemas, &alphabet, &format!("chain seed {seed}")) {
+            *attacked.entry(label).or_default() += 1;
+        }
+    }
+    // Coverage floor: both the composition-specific mutations and the
+    // embedded per-hop attacks must have fired, and among the composition
+    // ones each labeled kind must appear.
+    for label in [
+        "hop: corrupted per-hop bundle",
+        "hop: corrupted endpoint bundle",
+        "comp: dropped step",
+        "comp: step certificate ref dangling",
+        "comp: broken step adjacency",
+        "comp: retargeted claim source",
+        "comp: retargeted claim target",
+        "comp: flipped claim",
+    ] {
+        assert!(
+            attacked.contains_key(label),
+            "no {label:?} mutations exercised across the sweep: {attacked:?}"
         );
     }
 }

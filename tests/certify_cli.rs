@@ -119,9 +119,11 @@ fn certify_gate_on_cast_and_analyze() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("certificates:"), "{text}");
 
-    // analyze --certify still prints the analysis report.
+    // analyze --certify still prints the analysis report; the pair is an
+    // incompatible evolution, so the verdict exit code is 1 (the unified
+    // 0/1/2 contract), not a certification failure (which would be 2).
     let out = schemacast(&["analyze", SOURCE, TARGET, "--certify"]);
-    assert_eq!(exit_code(&out), 0, "{out:?}");
+    assert_eq!(exit_code(&out), 1, "{out:?}");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("edit safety"), "{text}");
 }

@@ -1,0 +1,162 @@
+//! Integration tests for `schemacast chain` and the unified exit-code
+//! contract across every verdict-bearing subcommand: **0** clean verdict,
+//! **1** negative verdict, **2** usage / I/O / parse error.
+
+use std::process::{Command, Output};
+
+const V1: &str = "tests/fixtures/po_v1.xsd";
+const V2: &str = "tests/fixtures/po_v2.xsd";
+const V3: &str = "tests/fixtures/po_v3.xsd";
+const SOURCE: &str = "tests/fixtures/po_source.xsd";
+const TARGET: &str = "tests/fixtures/po_target.xsd";
+
+fn schemacast(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_schemacast"))
+        .args(args)
+        .output()
+        .expect("run schemacast")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+#[test]
+fn widening_chain_exits_zero() {
+    // v1 ⊑ v2 (billTo becomes optional): every v1 document remains valid,
+    // so the chain lints clean.
+    let out = schemacast(&["chain", V1, V2]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chain: 2 versions, 1 hop(s)"), "{text}");
+    assert!(text.contains("composition:"), "{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+}
+
+#[test]
+fn breaking_chain_exits_one_with_witness_and_hop() {
+    // v2 → v3 narrows Item/quantity (maxExclusive 200 → 100): consumers of
+    // v3 break, and the finding must say at which hop.
+    let out = schemacast(&["chain", V1, V2, V3]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SC0501"), "{text}");
+    assert!(text.contains("breaks at hop 1 (v2 → v3)"), "{text}");
+    assert!(text.contains("witness:"), "{text}");
+}
+
+#[test]
+fn json_output_carries_composition_and_findings() {
+    let out = schemacast(&["chain", V1, V2, V3, "--json"]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    for key in [
+        "\"versions\":3",
+        "\"hops\":2",
+        "\"composition\":{\"composed_sub\":",
+        "\"fallback_sub\":",
+        "\"composed_dis\":",
+        "\"fallback_dis\":",
+        "\"diagnostics\":[",
+        "\"rule\":\"SC0501\"",
+        "\"witness\":\"",
+        "\"summary\":{",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn sarif_output_carries_required_properties() {
+    let out = schemacast(&["chain", V1, V2, V3, "--sarif"]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let sarif = String::from_utf8(out.stdout).expect("utf8");
+    for required in [
+        "\"version\":\"2.1.0\"",
+        "\"runs\":[",
+        "\"tool\":{\"driver\":{\"name\":\"schemacast-lint\"",
+        "\"results\":[",
+        "\"ruleId\":\"SC0501\"",
+        "\"message\":{\"text\":",
+    ] {
+        assert!(sarif.contains(required), "missing {required} in {sarif}");
+    }
+}
+
+#[test]
+fn certify_gate_checks_composition_certificates() {
+    // Clean chain: certification passes and the verdict stays 0; --stats
+    // surfaces the chain-level certificate counters.
+    let out = schemacast(&["chain", V1, V2, "--certify", "--stats"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chain certificates:"), "{text}");
+    assert!(text.contains("0 rejected"), "{text}");
+
+    // Breaking chain: certification still passes (the certificates prove
+    // the *relations*, including disjointness), findings still gate exit 1.
+    let out = schemacast(&["chain", V1, V2, V3, "--certify"]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("refusing to proceed"), "{text}");
+}
+
+#[test]
+fn fail_on_threshold_is_respected() {
+    // The breaking findings are errors, so --fail-on warn also fails…
+    let out = schemacast(&["chain", V1, V2, V3, "--fail-on", "warn"]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    // …and a clean chain passes at any threshold.
+    let out = schemacast(&["chain", V1, V2, "--fail-on", "warn"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // Fewer than two schemas.
+    assert_eq!(exit_code(&schemacast(&["chain"])), 2);
+    assert_eq!(exit_code(&schemacast(&["chain", V1])), 2);
+    // Mutually exclusive output modes.
+    assert_eq!(
+        exit_code(&schemacast(&["chain", V1, V2, "--json", "--sarif"])),
+        2
+    );
+    // Bad --fail-on value.
+    assert_eq!(
+        exit_code(&schemacast(&["chain", V1, V2, "--fail-on", "bogus"])),
+        2
+    );
+    // Unreadable schema file.
+    assert_eq!(
+        exit_code(&schemacast(&["chain", V1, "no-such-file.xsd"])),
+        2
+    );
+}
+
+#[test]
+fn analyze_exit_contract_matches_the_verdict() {
+    // Identical pair: the edit-safety report is stable — exit 0.
+    let out = schemacast(&["analyze", TARGET, TARGET]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    // Incompatible evolution: changed/disjoint/removed pairs — exit 1.
+    let out = schemacast(&["analyze", SOURCE, TARGET]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("edit safety"), "{text}");
+    // Usage errors stay 2.
+    assert_eq!(exit_code(&schemacast(&["analyze", SOURCE])), 2);
+    assert_eq!(
+        exit_code(&schemacast(&["analyze", "no-such-file.xsd", TARGET])),
+        2
+    );
+}
+
+#[test]
+fn fixture_chain_pairs_also_certify_standalone() {
+    // The chain fixtures participate in the ordinary pairwise certifier
+    // (the CI certify-self job certifies every ordered fixture pair).
+    for (a, b) in [(V1, V2), (V2, V3), (V1, V3)] {
+        let out = schemacast(&["certify", a, b]);
+        assert_eq!(exit_code(&out), 0, "{a} -> {b}: {out:?}");
+    }
+}
