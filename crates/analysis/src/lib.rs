@@ -25,12 +25,16 @@
 //! (`schemacast certify`, `--certify`) produced by
 //! [`schemacast_core::certify::certify_context`]. The [`chain`] module
 //! reports on schema-evolution chains (`schemacast chain`): composition
-//! coverage and the `SC05xx` finding family.
+//! coverage and the `SC05xx` finding family. The [`script`] module reports
+//! on whole edit scripts (`schemacast analyze --script`): edit-script
+//! parsing, the script-level verdict from
+//! [`CastContext::script_analysis`], and the `SC06xx` finding family.
 
 pub mod certify;
 pub mod chain;
 pub mod lint;
 pub mod sarif;
+pub mod script;
 
 pub use certify::{render_certify_json, render_certify_text};
 pub use chain::{analyze_chain, render_chain_json, render_chain_text, ChainAnalysisReport};
@@ -39,6 +43,10 @@ pub use lint::{
     RULES,
 };
 pub use sarif::render_sarif;
+pub use script::{
+    analyze_script, parse_script, render_script_json, render_script_text, ScriptAnalysisReport,
+    ScriptOutcome,
+};
 
 use schemacast_core::{CastContext, Verdict};
 use schemacast_regex::Alphabet;

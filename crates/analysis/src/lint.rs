@@ -169,6 +169,24 @@ pub const RULES: &[Rule] = &[
         description: "The hop relations do not compose for this pair; the chain verdict rests on the composed-pair product construction.",
         severity: Severity::Note,
     },
+    Rule {
+        id: "SC0601",
+        name: "script-statically-rejected",
+        description: "The whole-script analyzer proved the edited document can never be target-valid: some site's net child word or child typing is irreparable.",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SC0602",
+        name: "script-decided-by-normalization",
+        description: "The script was statically decided only after edit-effect composition and normalization; the per-edit analyzer alone could not decide it.",
+        severity: Severity::Note,
+    },
+    Rule {
+        id: "SC0603",
+        name: "script-normalization-fallback",
+        description: "The whole-script analyzer could not decide the script (unsupported edit shape or undecided site); validation falls back to dynamic delta-revalidation.",
+        severity: Severity::Warning,
+    },
 ];
 
 /// Looks up a rule by id.
@@ -640,7 +658,7 @@ mod tests {
             [
                 "SC0101", "SC0102", "SC0103", "SC0104", "SC0105", "SC0201", "SC0202", "SC0203",
                 "SC0301", "SC0302", "SC0303", "SC0304", "SC0305", "SC0306", "SC0401", "SC0402",
-                "SC0403", "SC0501", "SC0502", "SC0503", "SC0504",
+                "SC0403", "SC0501", "SC0502", "SC0503", "SC0504", "SC0601", "SC0602", "SC0603",
             ]
         );
         let names: std::collections::HashSet<&str> = RULES.iter().map(|r| r.name).collect();

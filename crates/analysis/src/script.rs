@@ -1,0 +1,477 @@
+//! Whole-script static-analysis reporting: the `SC06xx` finding family
+//! behind `schemacast analyze --script`.
+//!
+//! The analysis itself lives in `schemacast-core`
+//! ([`CastContext::script_analysis`]): group an edit script by touched
+//! site, compose each site's edits into one net effect, normalize, and
+//! decide the script over the concrete child words. This module turns the
+//! result into a report:
+//!
+//! * [`parse_script`] — the edit-script file format (`insert` / `delete` /
+//!   `relabel` lines over child-index paths);
+//! * [`analyze_script`] — the verdict plus `SC0601` (statically rejected),
+//!   `SC0602` (decided only by normalization — the per-edit analyzer could
+//!   not), and `SC0603` (dynamic fallback) diagnostics;
+//! * [`render_script_text`] / [`render_script_json`] — the CLI output
+//!   layers; SARIF rides on [`crate::render_sarif`] over the embedded
+//!   lint report.
+//!
+//! # Script file format
+//!
+//! One edit per line; `#` starts a comment. Nodes are addressed by
+//! child-index paths from the document root: `.` is the root, `1/0` is the
+//! first child of the root's second child. Nodes the script itself inserts
+//! are addressed as `new:<k>` — the `k`-th `insert` line of the file
+//! (0-based) — which is what lets a script express the cancellation and
+//! overwrite patterns the normalizer exists for:
+//!
+//! ```text
+//! # net effect: nothing (insert cancelled by its delete)
+//! insert . 1 billTo
+//! delete new:0
+//! relabel 0/2 street
+//! ```
+
+use crate::lint::LintReport;
+use schemacast_core::script::{RejectReason, ScriptVerdict, SiteDecision};
+use schemacast_core::{CastContext, Diagnostic, Severity};
+use schemacast_regex::Alphabet;
+use schemacast_tree::{extract_shapes, Doc, Edit, NodeId};
+
+/// How the two static layers decided one script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptOutcome {
+    /// Statically accepted (site-level; untouched content still gets the
+    /// exemption walk at validation time).
+    Accepted,
+    /// Statically rejected: the edited document can never be target-valid.
+    Rejected,
+    /// Not statically decidable: dynamic Δ-revalidation must look.
+    Fallback,
+}
+
+impl ScriptOutcome {
+    /// Stable lowercase name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScriptOutcome::Accepted => "accepted",
+            ScriptOutcome::Rejected => "rejected",
+            ScriptOutcome::Fallback => "fallback",
+        }
+    }
+}
+
+/// The report behind `analyze --script`: per-script outcome, how much the
+/// normalizer contributed, and the `SC06xx` diagnostics.
+#[derive(Debug)]
+pub struct ScriptAnalysisReport {
+    /// Number of edits in the script.
+    pub edits: usize,
+    /// Touched sites the analyzer grouped (0 when it bailed).
+    pub sites: usize,
+    /// Sites whose net effect normalized to the identity.
+    pub identity_sites: usize,
+    /// Whether any site's trace contains a genuine rewrite (cancellation
+    /// or overwrite collapse).
+    pub normalized: bool,
+    /// Whether the PR 2 per-edit analyzer alone decides the script.
+    pub per_edit_decided: bool,
+    /// The script-level outcome.
+    pub outcome: ScriptOutcome,
+    /// The `SC06xx` findings.
+    pub lint: LintReport,
+}
+
+/// Parses the edit-script file format (see the module docs) against `doc`.
+/// Labels are interned into `alphabet`; unknown labels are legitimate
+/// edits (inserting a foreign element), not errors.
+pub fn parse_script(doc: &Doc, alphabet: &mut Alphabet, text: &str) -> Result<Vec<Edit>, String> {
+    let mut edits = Vec::new();
+    let mut inserted: Vec<NodeId> = Vec::new();
+    let mut next_id = doc.node_count() as u32;
+    let resolve = |node: &str, inserted: &Vec<NodeId>| -> Result<NodeId, String> {
+        if let Some(k) = node.strip_prefix("new:") {
+            let k: usize = k
+                .parse()
+                .map_err(|_| format!("bad insert index {node:?}"))?;
+            return inserted
+                .get(k)
+                .copied()
+                .ok_or_else(|| format!("{node:?} names an insert that does not exist (yet)"));
+        }
+        let mut cur = doc.root();
+        if node == "." {
+            return Ok(cur);
+        }
+        for part in node.split('/') {
+            let i: usize = part
+                .parse()
+                .map_err(|_| format!("bad path component {part:?} in {node:?}"))?;
+            cur = *doc
+                .children(cur)
+                .get(i)
+                .ok_or_else(|| format!("path {node:?}: child {i} out of range"))?;
+        }
+        Ok(cur)
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |why: String| format!("line {}: {why}", lineno + 1);
+        let mut words = line.split_whitespace();
+        let (cmd, a, b, c) = (words.next(), words.next(), words.next(), words.next());
+        if words.next().is_some() {
+            return Err(err(format!("trailing tokens in {line:?}")));
+        }
+        match (cmd, a, b, c) {
+            (Some("insert"), Some(parent), Some(pos), Some(label)) => {
+                let parent = resolve(parent, &inserted).map_err(err)?;
+                let position: usize = pos
+                    .parse()
+                    .map_err(|_| err(format!("bad position {pos:?}")))?;
+                edits.push(Edit::InsertElement {
+                    parent,
+                    position,
+                    label: alphabet.intern(label),
+                });
+                // DeltaDoc assigns inserted ids by arena append, in order.
+                inserted.push(NodeId(next_id));
+                next_id += 1;
+            }
+            (Some("delete"), Some(node), None, None) => {
+                let node = resolve(node, &inserted).map_err(err)?;
+                edits.push(Edit::DeleteLeaf { node });
+            }
+            (Some("relabel"), Some(node), Some(label), None) => {
+                let node = resolve(node, &inserted).map_err(err)?;
+                edits.push(Edit::Relabel {
+                    node,
+                    label: alphabet.intern(label),
+                });
+            }
+            _ => return Err(err(format!("unrecognized edit {line:?}"))),
+        }
+    }
+    Ok(edits)
+}
+
+/// Whether the per-edit (PR 2) fast path alone decides the script: some
+/// edit statically `Unsafe`, or every edit statically `Safe`.
+fn per_edit_decides(ctx: &CastContext<'_>, doc: &Doc, edits: &[Edit]) -> bool {
+    let Some(shapes) = extract_shapes(doc, edits) else {
+        return false;
+    };
+    let mut all_safe = true;
+    for shape in &shapes {
+        let Some((s, t)) = ctx.site_type_pair(doc, shape.site) else {
+            return false;
+        };
+        let Some(safety) = ctx.pair_safety(s, t) else {
+            return false;
+        };
+        match safety.verdict(shape.kind) {
+            schemacast_core::Verdict::Unsafe => return true,
+            schemacast_core::Verdict::Safe => {}
+            _ => all_safe = false,
+        }
+    }
+    all_safe
+}
+
+/// Runs the whole-script analyzer over one `(document, script)` pair and
+/// folds the result into diagnostics. `doc` must be source-valid.
+pub fn analyze_script(ctx: &CastContext<'_>, doc: &Doc, edits: &[Edit]) -> ScriptAnalysisReport {
+    let per_edit_decided = per_edit_decides(ctx, doc, edits);
+    let analysis = ctx.script_analysis(doc, edits);
+    let mut diagnostics = Vec::new();
+
+    let (outcome, sites, identity_sites, normalized) = match &analysis {
+        None => (ScriptOutcome::Fallback, 0, 0, false),
+        Some(a) => {
+            let outcome = match a.verdict {
+                ScriptVerdict::Accept => ScriptOutcome::Accepted,
+                ScriptVerdict::Reject => ScriptOutcome::Rejected,
+                ScriptVerdict::Undecided => ScriptOutcome::Fallback,
+            };
+            let identity = a
+                .sites
+                .iter()
+                .filter(|s| s.decision == SiteDecision::Identity)
+                .count();
+            (outcome, a.sites.len(), identity, a.normalized())
+        }
+    };
+
+    if let Some(a) = &analysis {
+        for site in &a.sites {
+            if let SiteDecision::Reject(reason) = site.decision {
+                let source = ctx.source();
+                let target = ctx.target();
+                let why = match reason {
+                    RejectReason::Membership => {
+                        "its net child word is outside the target content model".to_string()
+                    }
+                    RejectReason::FreshInvalid { pos } => format!(
+                        "the inserted child at net position {pos} cannot be valid without content"
+                    ),
+                    RejectReason::DisjointChild { pos } => format!(
+                        "the kept child at net position {pos} has disjoint source/target types"
+                    ),
+                };
+                diagnostics.push(
+                    Diagnostic::new(
+                        "SC0601",
+                        Severity::Error,
+                        format!(
+                            "script statically rejected at site pair ({}, {}): {}",
+                            source.type_name(site.source_type),
+                            target.type_name(site.target_type),
+                            why
+                        ),
+                    )
+                    .with_type_name(source.type_name(site.source_type)),
+                );
+            }
+        }
+    }
+    if outcome != ScriptOutcome::Fallback && !per_edit_decided {
+        diagnostics.push(Diagnostic::new(
+            "SC0602",
+            Severity::Note,
+            format!(
+                "script decided only at the script level ({} site(s), normalization {}): \
+                 the per-edit analyzer could not decide it",
+                sites,
+                if normalized {
+                    "rewrote the script"
+                } else {
+                    "left it as-is"
+                }
+            ),
+        ));
+    }
+    if outcome == ScriptOutcome::Fallback {
+        diagnostics.push(Diagnostic::new(
+            "SC0603",
+            Severity::Warning,
+            match &analysis {
+                None => "script falls outside the analyzable shape (text edits, nested sites, \
+                         or unresolvable typing); validation falls back to dynamic \
+                         delta-revalidation"
+                    .to_string(),
+                Some(_) => "some site is statically undecided; validation falls back to \
+                            dynamic delta-revalidation"
+                    .to_string(),
+            },
+        ));
+    }
+
+    ScriptAnalysisReport {
+        edits: edits.len(),
+        sites,
+        identity_sites,
+        normalized,
+        per_edit_decided,
+        outcome,
+        lint: LintReport { diagnostics },
+    }
+}
+
+/// Renders the script report as human-readable text.
+pub fn render_script_text(report: &ScriptAnalysisReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "script: {} edit(s) over {} site(s), verdict {}",
+        report.edits,
+        report.sites,
+        report.outcome.as_str()
+    );
+    let _ = writeln!(
+        out,
+        "normalization: {}{}; per-edit analyzer {}",
+        if report.normalized {
+            "rewrote the script"
+        } else {
+            "no rewrites"
+        },
+        if report.identity_sites > 0 {
+            format!(" ({} site(s) cancelled to identity)", report.identity_sites)
+        } else {
+            String::new()
+        },
+        if report.per_edit_decided {
+            "also decides it"
+        } else {
+            "cannot decide it"
+        }
+    );
+    out.push_str(&crate::lint::render_lint_text(&report.lint));
+    out
+}
+
+/// Renders the script report as JSON (stable key order, no external
+/// serializer): the script block followed by the lint report's
+/// `diagnostics`/`summary` keys.
+pub fn render_script_json(report: &ScriptAnalysisReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\"edits\":");
+    out.push_str(&report.edits.to_string());
+    out.push_str(",\"sites\":");
+    out.push_str(&report.sites.to_string());
+    out.push_str(",\"identity_sites\":");
+    out.push_str(&report.identity_sites.to_string());
+    out.push_str(",\"normalized\":");
+    out.push_str(if report.normalized { "true" } else { "false" });
+    out.push_str(",\"per_edit_decided\":");
+    out.push_str(if report.per_edit_decided {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str(",\"verdict\":\"");
+    out.push_str(report.outcome.as_str());
+    out.push_str("\",");
+    let lint = crate::lint::render_lint_json(&report.lint);
+    out.push_str(&lint[1..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_schema::{AbstractSchema, SchemaBuilder, SimpleType};
+
+    fn po_schema(ab: &mut Alphabet, bill_optional: bool) -> AbstractSchema {
+        let mut b = SchemaBuilder::new(ab);
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        let po = b.declare("PO").unwrap();
+        let model = if bill_optional {
+            "(shipTo, billTo?, items)"
+        } else {
+            "(shipTo, billTo, items)"
+        };
+        b.complex(
+            po,
+            model,
+            &[("shipTo", text), ("billTo", text), ("items", text)],
+        )
+        .unwrap();
+        b.root("po", po);
+        b.finish().unwrap()
+    }
+
+    fn po_doc(ab: &mut Alphabet, with_bill: bool) -> Doc {
+        let po = ab.intern("po");
+        let mut doc = Doc::new(po);
+        doc.add_element(doc.root(), ab.intern("shipTo"));
+        if with_bill {
+            doc.add_element(doc.root(), ab.intern("billTo"));
+        }
+        doc.add_element(doc.root(), ab.intern("items"));
+        doc
+    }
+
+    #[test]
+    fn parser_round_trips_paths_and_insert_references() {
+        let mut ab = Alphabet::new();
+        let doc = po_doc(&mut ab, true);
+        let text = "# add then cancel\ninsert . 1 note\ndelete new:0\nrelabel 0 shipTo\n";
+        let edits = parse_script(&doc, &mut ab, text).expect("parsed");
+        assert_eq!(edits.len(), 3);
+        let note = ab.lookup("note").unwrap();
+        assert_eq!(
+            edits[0],
+            Edit::InsertElement {
+                parent: doc.root(),
+                position: 1,
+                label: note
+            }
+        );
+        let inserted = NodeId(doc.node_count() as u32);
+        assert_eq!(edits[1], Edit::DeleteLeaf { node: inserted });
+        assert!(matches!(edits[2], Edit::Relabel { .. }));
+
+        assert!(parse_script(&doc, &mut ab, "delete new:3").is_err());
+        assert!(parse_script(&doc, &mut ab, "insert . x note").is_err());
+        assert!(parse_script(&doc, &mut ab, "frobnicate .").is_err());
+        assert!(parse_script(&doc, &mut ab, "delete 9").is_err());
+    }
+
+    #[test]
+    fn script_level_decision_reports_sc0602() {
+        // billTo optional → required: the per-edit analyzer says Dynamic,
+        // the script analyzer decides from the concrete word.
+        let mut ab = Alphabet::new();
+        let source = po_schema(&mut ab, true);
+        let target = po_schema(&mut ab, false);
+        let doc = po_doc(&mut ab, false);
+        let ctx = CastContext::new(&source, &target, &ab);
+        let edits = parse_script(&doc, &mut ab.clone(), "insert . 1 billTo").unwrap();
+        let report = analyze_script(&ctx, &doc, &edits);
+        assert_eq!(report.outcome, ScriptOutcome::Accepted);
+        assert!(!report.per_edit_decided);
+        let ids: Vec<&str> = report.lint.diagnostics.iter().map(|d| d.rule_id).collect();
+        assert_eq!(ids, ["SC0602"]);
+        for d in &report.lint.diagnostics {
+            assert!(crate::lint::rule(d.rule_id).is_some(), "unregistered rule");
+        }
+    }
+
+    #[test]
+    fn rejection_reports_sc0601_and_fallback_sc0603() {
+        let mut ab = Alphabet::new();
+        let source = po_schema(&mut ab, true);
+        let target = po_schema(&mut ab, false);
+        let doc = po_doc(&mut ab, false);
+        let ctx = CastContext::new(&source, &target, &ab);
+
+        let edits = parse_script(&doc, &mut ab.clone(), "insert . 0 billTo").unwrap();
+        let report = analyze_script(&ctx, &doc, &edits);
+        assert_eq!(report.outcome, ScriptOutcome::Rejected);
+        let ids: Vec<&str> = report.lint.diagnostics.iter().map(|d| d.rule_id).collect();
+        assert!(ids.contains(&"SC0601"));
+
+        // A text edit bails the whole analyzer.
+        let report = analyze_script(
+            &ctx,
+            &doc,
+            &[Edit::InsertText {
+                parent: doc.root(),
+                position: 0,
+                text: "x".into(),
+            }],
+        );
+        assert_eq!(report.outcome, ScriptOutcome::Fallback);
+        let ids: Vec<&str> = report.lint.diagnostics.iter().map(|d| d.rule_id).collect();
+        assert_eq!(ids, ["SC0603"]);
+    }
+
+    #[test]
+    fn renderers_are_balanced_and_carry_the_verdict() {
+        let mut ab = Alphabet::new();
+        let source = po_schema(&mut ab, true);
+        let target = po_schema(&mut ab, false);
+        let doc = po_doc(&mut ab, false);
+        let ctx = CastContext::new(&source, &target, &ab);
+        let edits = parse_script(&doc, &mut ab.clone(), "insert . 1 billTo").unwrap();
+        let report = analyze_script(&ctx, &doc, &edits);
+
+        let text = render_script_text(&report);
+        assert!(text.contains("verdict accepted"));
+        assert!(text.contains("cannot decide it"));
+
+        let json = render_script_json(&report);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"verdict\":\"accepted\""));
+        assert!(json.contains("\"per_edit_decided\":false"));
+        assert!(json.contains("\"diagnostics\":"));
+
+        // SARIF rides on the embedded lint report with registered rules.
+        let sarif = crate::render_sarif(&report.lint);
+        assert!(sarif.contains("SC0602"));
+    }
+}

@@ -1,0 +1,810 @@
+//! Edit-effect composition over content-model words.
+//!
+//! The per-edit analysis of [`crate::safety`] classifies *one* symbol edit
+//! universally — over every source word and position. A whole edit script,
+//! though, may touch one child list several times, and the verdict that
+//! matters is for the *net* effect: an insert later deleted never happened,
+//! a rename renamed again is one rename, a rename back to the original
+//! label is no edit at all. This module gives scripts a canonical form:
+//!
+//! * [`EffectOp`] — one primitive word edit in evolving-word coordinates
+//!   (positions index the *current* view, deleted placeholders included —
+//!   exactly the coordinates of `schemacast_tree::DeltaDoc`);
+//! * [`NetEffect::compose`] — replays a script over a view of the original
+//!   word, emitting one [`NormStep`] per op. The normalization laws
+//!   (insert/delete cancellation, rename/rename-back cancellation,
+//!   same-position overwrite collapse, commutation of position-disjoint
+//!   edits) are *emergent*: equivalent scripts converge to the same net
+//!   word and provenance, and each step is re-checkable from the view state
+//!   alone — which is what lets an independent checker replay the trace;
+//! * [`NetEffect::decide`] — membership of the net word in the target
+//!   model, run in lockstep with the source word so the product IDA's
+//!   `IA`/`IR` sets can settle the verdict as soon as the run passes the
+//!   last touched position (the remaining effect is the identity, so the
+//!   source suffix is guaranteed and the pair's decision set is decisive).
+//!
+//! Unlike the per-edit verdicts, the decision here is for a *concrete*
+//! word: the caller knows the child list being edited. That is why the
+//! script analyzer decides a strict superset of the per-edit fast path —
+//! `Dynamic` per-edit verdicts ("depends on the word") become definite once
+//! the word is in hand.
+
+use crate::dfa::Dfa;
+use crate::ida::ProductIda;
+use schemacast_regex::Sym;
+
+/// One primitive edit on a content-model word, in evolving-word
+/// coordinates: `pos` indexes the current view, *including* deleted
+/// placeholders (mirroring `DeltaDoc`'s child lists, where deleted nodes
+/// remain as placeholders and insert-then-deleted nodes vanish).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectOp {
+    /// Insert a fresh symbol at `pos` (`pos ≤ len`).
+    Insert {
+        /// Position in the current view.
+        pos: usize,
+        /// The inserted symbol.
+        sym: Sym,
+    },
+    /// Delete the entry at `pos` (`pos < len`, entry not already deleted).
+    Delete {
+        /// Position in the current view.
+        pos: usize,
+    },
+    /// Relabel the entry at `pos` to `sym`.
+    Relabel {
+        /// Position in the current view.
+        pos: usize,
+        /// The new symbol.
+        sym: Sym,
+    },
+}
+
+/// One normalization-trace step: what an op did to the view, stated in
+/// terms of the view state right before the op. A checker replaying the
+/// ops over its own view derives the same steps or rejects the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormStep {
+    /// An insert created a fresh entry.
+    InsertFresh {
+        /// View position of the new entry.
+        pos: usize,
+        /// Its symbol.
+        sym: Sym,
+    },
+    /// A delete removed an entry this script itself inserted — the
+    /// insert/delete pair cancels and the entry vanishes from the view.
+    CancelInserted {
+        /// View position of the cancelled entry.
+        pos: usize,
+        /// The symbol it carried when deleted.
+        sym: Sym,
+    },
+    /// A delete marked an original entry deleted (it stays as a
+    /// placeholder).
+    DeleteOriginal {
+        /// View position.
+        pos: usize,
+        /// Index in the original word.
+        origin: usize,
+    },
+    /// A relabel of an entry this script inserted — the earlier symbol is
+    /// overwritten and never survives (same-position overwrite collapse).
+    OverwriteInserted {
+        /// View position.
+        pos: usize,
+        /// Symbol before the op.
+        from: Sym,
+        /// Symbol after the op.
+        to: Sym,
+    },
+    /// A relabel restored an original entry's own label — the rename and
+    /// its rename-back cancel.
+    RenameBack {
+        /// View position.
+        pos: usize,
+        /// Index in the original word.
+        origin: usize,
+        /// The restored (original) symbol.
+        sym: Sym,
+    },
+    /// A relabel gave an original entry a non-original label. A later
+    /// relabel of the same entry overwrites this one (collapse).
+    RenameOriginal {
+        /// View position.
+        pos: usize,
+        /// Index in the original word.
+        origin: usize,
+        /// Symbol before the op.
+        from: Sym,
+        /// Symbol after the op.
+        to: Sym,
+    },
+}
+
+/// Where a net-word symbol came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Original symbol, label unchanged (its subtree is untouched).
+    Kept(usize),
+    /// Original position, label changed (its subtree is kept).
+    Renamed(usize),
+    /// Inserted by the script (a fresh, childless entry).
+    Fresh,
+}
+
+/// The fate of one original-word position under the net effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Survives with its own label.
+    Kept,
+    /// Survives under a new label.
+    Renamed(Sym),
+    /// Deleted.
+    Deleted,
+}
+
+/// How the IDA settled a decision early, if it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarlySettle {
+    /// Source-side state after consuming the touched prefix of the
+    /// original word (deleted positions included).
+    pub qa: u32,
+    /// Target-side state after consuming the touched prefix of the net
+    /// word.
+    pub qb: u32,
+    /// Net-word symbols consumed before the decision.
+    pub net_consumed: usize,
+    /// Original-word symbols consumed before the decision.
+    pub orig_consumed: usize,
+    /// `true` if the pair was in `IA` (accept), `false` if in `IR`.
+    pub ia: bool,
+}
+
+/// Outcome of deciding a net effect against a content-model pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EffectOutcome {
+    /// Whether the net word is in the target language.
+    pub accepted: bool,
+    /// The early IA/IR settle, when the decision sets cut the run short.
+    pub early: Option<EarlySettle>,
+}
+
+/// One view entry during replay.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    sym: Sym,
+    origin: Option<usize>,
+    deleted: bool,
+}
+
+/// The canonical form of a script's effect on one word: the net word with
+/// per-symbol provenance, plus the normalization trace that derived it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetEffect {
+    orig: Vec<Sym>,
+    ops: Vec<EffectOp>,
+    trace: Vec<NormStep>,
+    word: Vec<Sym>,
+    prov: Vec<Provenance>,
+}
+
+impl NetEffect {
+    /// Replays `ops` over `orig`, producing the canonical net effect, or
+    /// `None` if any op is invalid (position out of range, or editing an
+    /// already-deleted placeholder) — the cases where the dynamic apply
+    /// would error.
+    pub fn compose(orig: &[Sym], ops: &[EffectOp]) -> Option<NetEffect> {
+        let mut view: Vec<Entry> = orig
+            .iter()
+            .enumerate()
+            .map(|(i, &sym)| Entry {
+                sym,
+                origin: Some(i),
+                deleted: false,
+            })
+            .collect();
+        let mut trace = Vec::with_capacity(ops.len());
+        for op in ops {
+            let step = match *op {
+                EffectOp::Insert { pos, sym } => {
+                    if pos > view.len() {
+                        return None;
+                    }
+                    view.insert(
+                        pos,
+                        Entry {
+                            sym,
+                            origin: None,
+                            deleted: false,
+                        },
+                    );
+                    NormStep::InsertFresh { pos, sym }
+                }
+                EffectOp::Delete { pos } => {
+                    let e = *view.get(pos)?;
+                    if e.deleted {
+                        return None;
+                    }
+                    match e.origin {
+                        None => {
+                            view.remove(pos);
+                            NormStep::CancelInserted { pos, sym: e.sym }
+                        }
+                        Some(origin) => {
+                            view[pos].deleted = true;
+                            NormStep::DeleteOriginal { pos, origin }
+                        }
+                    }
+                }
+                EffectOp::Relabel { pos, sym } => {
+                    let e = *view.get(pos)?;
+                    if e.deleted {
+                        return None;
+                    }
+                    view[pos].sym = sym;
+                    match e.origin {
+                        None => NormStep::OverwriteInserted {
+                            pos,
+                            from: e.sym,
+                            to: sym,
+                        },
+                        Some(origin) if sym == orig[origin] => {
+                            NormStep::RenameBack { pos, origin, sym }
+                        }
+                        Some(origin) => NormStep::RenameOriginal {
+                            pos,
+                            origin,
+                            from: e.sym,
+                            to: sym,
+                        },
+                    }
+                }
+            };
+            trace.push(step);
+        }
+        let mut word = Vec::new();
+        let mut prov = Vec::new();
+        for e in &view {
+            if e.deleted {
+                continue;
+            }
+            word.push(e.sym);
+            prov.push(match e.origin {
+                None => Provenance::Fresh,
+                Some(o) if e.sym == orig[o] => Provenance::Kept(o),
+                Some(o) => Provenance::Renamed(o),
+            });
+        }
+        Some(NetEffect {
+            orig: orig.to_vec(),
+            ops: ops.to_vec(),
+            trace,
+            word,
+            prov,
+        })
+    }
+
+    /// The original word the effect was composed over.
+    pub fn orig(&self) -> &[Sym] {
+        &self.orig
+    }
+
+    /// The ops the effect was composed from.
+    pub fn ops(&self) -> &[EffectOp] {
+        &self.ops
+    }
+
+    /// The per-op normalization trace.
+    pub fn trace(&self) -> &[NormStep] {
+        &self.trace
+    }
+
+    /// The net word (the edited child word, placeholders dropped).
+    pub fn word(&self) -> &[Sym] {
+        &self.word
+    }
+
+    /// Per-net-symbol provenance, parallel to [`NetEffect::word`].
+    pub fn provenance(&self) -> &[Provenance] {
+        &self.prov
+    }
+
+    /// The fate of each original position.
+    pub fn fates(&self) -> Vec<Fate> {
+        let mut fates = vec![Fate::Deleted; self.orig.len()];
+        for (i, p) in self.prov.iter().enumerate() {
+            match *p {
+                Provenance::Kept(o) => fates[o] = Fate::Kept,
+                Provenance::Renamed(o) => fates[o] = Fate::Renamed(self.word[i]),
+                Provenance::Fresh => {}
+            }
+        }
+        fates
+    }
+
+    /// Whether the net effect is the identity: the net word is the
+    /// original word, position for position. (Provenance never reorders
+    /// originals, so all-kept at full length is exactly the identity.)
+    pub fn is_identity(&self) -> bool {
+        self.word.len() == self.orig.len()
+            && self.prov.iter().all(|p| matches!(p, Provenance::Kept(_)))
+    }
+
+    /// Whether normalization genuinely rewrote the script: some op
+    /// cancelled an earlier insert, restored an original label, or
+    /// overwrote an earlier symbol. Such scripts are exactly the ones
+    /// whose net effect has fewer primitive edits than the script.
+    pub fn normalized(&self) -> bool {
+        self.trace.iter().any(|s| {
+            matches!(
+                s,
+                NormStep::CancelInserted { .. }
+                    | NormStep::RenameBack { .. }
+                    | NormStep::OverwriteInserted { .. }
+            )
+        })
+    }
+
+    /// The boundary of the untouched suffix: the smallest `(net, orig)`
+    /// index pair such that every net entry from `net` on is `Kept` with
+    /// contiguous origins `orig..orig_len` — past it the effect is the
+    /// identity.
+    pub fn untouched_tail(&self) -> (usize, usize) {
+        let mut j = self.word.len();
+        let mut o = self.orig.len();
+        while j > 0 {
+            match self.prov[j - 1] {
+                Provenance::Kept(oo) if oo + 1 == o => {
+                    j -= 1;
+                    o -= 1;
+                }
+                _ => break,
+            }
+        }
+        (j, o)
+    }
+
+    /// Decides membership of the net word in `L(b)`, assuming the original
+    /// word is in `L(a)` (the caller's validity precondition).
+    ///
+    /// Runs `a` over the original word and `b` over the net word in
+    /// lockstep through the touched region (deleted originals advance the
+    /// source side only, fresh inserts the target side only). At the
+    /// untouched-tail boundary the remaining net suffix *is* the remaining
+    /// original suffix, which the precondition guarantees to be in
+    /// `L_a(q_a)` — so the product IDA's decision sets are decisive there:
+    /// `IA` accepts and `IR` rejects without scanning the tail. When
+    /// neither holds, the run finishes on the target side alone.
+    ///
+    /// `ida` must have been built from exactly `(a, b)`.
+    pub fn decide(&self, a: &Dfa, b: &Dfa, ida: &ProductIda) -> EffectOutcome {
+        debug_assert_eq!(ida.product().a_states(), a.state_count());
+        debug_assert_eq!(ida.product().b_states(), b.state_count());
+        let (tail_net, tail_orig) = self.untouched_tail();
+        let mut qa = a.start();
+        let mut qb = b.start();
+        let mut oi = 0usize;
+        for j in 0..tail_net {
+            match self.prov[j] {
+                Provenance::Fresh => {}
+                Provenance::Kept(o) | Provenance::Renamed(o) => {
+                    while oi < o {
+                        qa = a.step(qa, self.orig[oi]);
+                        oi += 1;
+                    }
+                    qa = a.step(qa, self.orig[oi]);
+                    oi += 1;
+                }
+            }
+            qb = b.step(qb, self.word[j]);
+        }
+        while oi < tail_orig {
+            qa = a.step(qa, self.orig[oi]);
+            oi += 1;
+        }
+        let p = ida.product().pair(qa, qb);
+        let settle = |ia| {
+            Some(EarlySettle {
+                qa,
+                qb,
+                net_consumed: tail_net,
+                orig_consumed: tail_orig,
+                ia,
+            })
+        };
+        if ida.ida().is_ia(p) {
+            return EffectOutcome {
+                accepted: true,
+                early: settle(true),
+            };
+        }
+        if ida.ida().is_ir(p) {
+            return EffectOutcome {
+                accepted: false,
+                early: settle(false),
+            };
+        }
+        for &sym in &self.word[tail_net..] {
+            qb = b.step(qb, sym);
+        }
+        EffectOutcome {
+            accepted: b.is_final(qb),
+            early: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemacast_regex::{parse_regex, Alphabet};
+
+    fn compile(text: &str, ab: &mut Alphabet) -> Dfa {
+        let r = parse_regex(text, ab).expect("parse");
+        Dfa::from_regex(&r, ab.len()).expect("compile")
+    }
+
+    fn syms(ids: &[u32]) -> Vec<Sym> {
+        ids.iter().map(|&i| Sym(i)).collect()
+    }
+
+    /// Oracle: apply ops the slow way over a `(Sym, inserted, deleted)`
+    /// list and return the surviving symbols.
+    fn apply_oracle(orig: &[Sym], ops: &[EffectOp]) -> Option<Vec<Sym>> {
+        let mut view: Vec<(Sym, bool, bool)> = orig.iter().map(|&s| (s, false, false)).collect();
+        for op in ops {
+            match *op {
+                EffectOp::Insert { pos, sym } => {
+                    if pos > view.len() {
+                        return None;
+                    }
+                    view.insert(pos, (sym, true, false));
+                }
+                EffectOp::Delete { pos } => {
+                    let &(_, inserted, deleted) = view.get(pos)?;
+                    if deleted {
+                        return None;
+                    }
+                    if inserted {
+                        view.remove(pos);
+                    } else {
+                        view[pos].2 = true;
+                    }
+                }
+                EffectOp::Relabel { pos, sym } => {
+                    let &(_, _, deleted) = view.get(pos)?;
+                    if deleted {
+                        return None;
+                    }
+                    view[pos].0 = sym;
+                }
+            }
+        }
+        Some(
+            view.iter()
+                .filter(|&&(_, _, d)| !d)
+                .map(|&(s, _, _)| s)
+                .collect(),
+        )
+    }
+
+    /// Deterministic op-script generator: enumerates scripts of length
+    /// `len` over a word of length `n` with `k` symbols via mixed-radix
+    /// counting on `seed`.
+    fn gen_script(orig_len: usize, k: u32, len: usize, mut seed: u64) -> Vec<EffectOp> {
+        let mut ops = Vec::with_capacity(len);
+        let mut cur_len = orig_len;
+        for _ in 0..len {
+            let kind = (seed % 3) as usize;
+            seed /= 3;
+            match kind {
+                0 => {
+                    let pos = (seed % (cur_len as u64 + 1)) as usize;
+                    seed /= cur_len as u64 + 1;
+                    let sym = Sym((seed % k as u64) as u32);
+                    seed /= k as u64;
+                    ops.push(EffectOp::Insert { pos, sym });
+                    cur_len += 1;
+                }
+                1 if cur_len > 0 => {
+                    let pos = (seed % cur_len as u64) as usize;
+                    seed /= cur_len as u64;
+                    ops.push(EffectOp::Delete { pos });
+                    // The view length only shrinks when the entry was
+                    // inserted; for generation purposes keep the bound
+                    // conservative (a placeholder stays in the view).
+                }
+                _ if cur_len > 0 => {
+                    let pos = (seed % cur_len as u64) as usize;
+                    seed /= cur_len as u64;
+                    let sym = Sym((seed % k as u64) as u32);
+                    seed /= k as u64;
+                    ops.push(EffectOp::Relabel { pos, sym });
+                }
+                _ => {}
+            }
+        }
+        ops
+    }
+
+    #[test]
+    fn compose_matches_apply_oracle() {
+        let orig = syms(&[0, 1, 0, 2]);
+        for len in 0..=4usize {
+            for seed in 0..2000u64 {
+                let ops = gen_script(orig.len(), 3, len, seed.wrapping_mul(2_654_435_761));
+                let net = NetEffect::compose(&orig, &ops);
+                let oracle = apply_oracle(&orig, &ops);
+                match (net, oracle) {
+                    (Some(n), Some(o)) => assert_eq!(n.word(), &o[..], "ops {ops:?}"),
+                    (None, None) => {}
+                    (n, o) => panic!("compose/oracle disagree on validity: {ops:?} {n:?} {o:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_then_delete_cancels_to_identity() {
+        let orig = syms(&[0, 1]);
+        let ops = [
+            EffectOp::Insert {
+                pos: 1,
+                sym: Sym(2),
+            },
+            EffectOp::Delete { pos: 1 },
+        ];
+        let net = NetEffect::compose(&orig, &ops).unwrap();
+        assert!(net.is_identity());
+        assert!(net.normalized());
+        assert_eq!(
+            net.trace(),
+            &[
+                NormStep::InsertFresh {
+                    pos: 1,
+                    sym: Sym(2)
+                },
+                NormStep::CancelInserted {
+                    pos: 1,
+                    sym: Sym(2)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn rename_and_rename_back_cancel() {
+        let orig = syms(&[0, 1]);
+        let ops = [
+            EffectOp::Relabel {
+                pos: 0,
+                sym: Sym(2),
+            },
+            EffectOp::Relabel {
+                pos: 0,
+                sym: Sym(0),
+            },
+        ];
+        let net = NetEffect::compose(&orig, &ops).unwrap();
+        assert!(net.is_identity());
+        assert!(net.normalized());
+        assert_eq!(net.fates(), vec![Fate::Kept, Fate::Kept]);
+    }
+
+    #[test]
+    fn same_position_overwrites_collapse() {
+        let orig = syms(&[0]);
+        // Two relabels: only the last symbol survives.
+        let ops = [
+            EffectOp::Relabel {
+                pos: 0,
+                sym: Sym(1),
+            },
+            EffectOp::Relabel {
+                pos: 0,
+                sym: Sym(2),
+            },
+        ];
+        let net = NetEffect::compose(&orig, &ops).unwrap();
+        assert_eq!(net.word(), &[Sym(2)]);
+        assert_eq!(net.fates(), vec![Fate::Renamed(Sym(2))]);
+        // Insert then relabel: the inserted symbol is overwritten.
+        let ops = [
+            EffectOp::Insert {
+                pos: 0,
+                sym: Sym(1),
+            },
+            EffectOp::Relabel {
+                pos: 0,
+                sym: Sym(2),
+            },
+        ];
+        let net = NetEffect::compose(&orig, &ops).unwrap();
+        assert_eq!(net.word(), &[Sym(2), Sym(0)]);
+        assert!(net.normalized());
+        assert_eq!(net.provenance(), &[Provenance::Fresh, Provenance::Kept(0)]);
+    }
+
+    #[test]
+    fn position_disjoint_edits_commute() {
+        let orig = syms(&[0, 1, 2, 0]);
+        // Delete at 3 and relabel at 1 touch different entries; either
+        // order yields the same net effect. (A delete keeps a placeholder,
+        // so later positions are stable across the swap.)
+        let ab_order = [
+            EffectOp::Delete { pos: 3 },
+            EffectOp::Relabel {
+                pos: 1,
+                sym: Sym(2),
+            },
+        ];
+        let ba_order = [
+            EffectOp::Relabel {
+                pos: 1,
+                sym: Sym(2),
+            },
+            EffectOp::Delete { pos: 3 },
+        ];
+        let n1 = NetEffect::compose(&orig, &ab_order).unwrap();
+        let n2 = NetEffect::compose(&orig, &ba_order).unwrap();
+        assert_eq!(n1.word(), n2.word());
+        assert_eq!(n1.provenance(), n2.provenance());
+        assert_eq!(n1.fates(), n2.fates());
+    }
+
+    #[test]
+    fn untouched_tail_is_the_identity_suffix() {
+        let orig = syms(&[0, 1, 2]);
+        let ops = [EffectOp::Relabel {
+            pos: 0,
+            sym: Sym(1),
+        }];
+        let net = NetEffect::compose(&orig, &ops).unwrap();
+        assert_eq!(net.untouched_tail(), (1, 1));
+        // Identity script: the whole word is tail.
+        let net = NetEffect::compose(&orig, &[]).unwrap();
+        assert!(net.is_identity());
+        assert_eq!(net.untouched_tail(), (0, 0));
+        // Trailing delete: the tail is empty.
+        let ops = [EffectOp::Delete { pos: 2 }];
+        let net = NetEffect::compose(&orig, &ops).unwrap();
+        assert_eq!(net.untouched_tail(), (2, 3));
+    }
+
+    /// All words of `L(a)` up to `max_len`, over the first `ab_len` symbols.
+    fn words_up_to(a: &Dfa, ab_len: usize, max_len: usize) -> Vec<Vec<Sym>> {
+        let mut all: Vec<Vec<Sym>> = vec![vec![]];
+        let mut frontier: Vec<Vec<Sym>> = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for base in &frontier {
+                for s in 0..ab_len {
+                    let mut w = base.clone();
+                    w.push(Sym(s as u32));
+                    next.push(w);
+                }
+            }
+            all.extend(next.iter().cloned());
+            frontier = next;
+        }
+        all.retain(|w| a.accepts(w));
+        all
+    }
+
+    #[test]
+    fn decide_agrees_with_membership_across_model_pairs() {
+        let models = [
+            "x*",
+            "(x, y?)",
+            "(x | y)*",
+            "(x, y, z)",
+            "(x?, (y | z)+)",
+            "((x, y) | z)*",
+        ];
+        let mut ab = Alphabet::new();
+        for s in ["x", "y", "z"] {
+            ab.intern(s);
+        }
+        let mut early_hits = 0usize;
+        let mut checked = 0usize;
+        for sa in &models {
+            for sb in &models {
+                let a = compile(sa, &mut ab);
+                let b = compile(sb, &mut ab);
+                let ida = ProductIda::new(&a, &b);
+                for w in words_up_to(&a, 3, 4) {
+                    for len in 0..=3usize {
+                        for seed in [0u64, 7, 91, 1234, 65537, 999_983] {
+                            let ops = gen_script(w.len(), 3, len, seed);
+                            let Some(net) = NetEffect::compose(&w, &ops) else {
+                                continue;
+                            };
+                            let out = net.decide(&a, &b, &ida);
+                            assert_eq!(
+                                out.accepted,
+                                b.accepts(net.word()),
+                                "{sa} -> {sb}, w={w:?}, ops={ops:?}"
+                            );
+                            checked += 1;
+                            early_hits += usize::from(out.early.is_some());
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 500, "anti-vacuity: ran {checked} decisions");
+        assert!(early_hits > 0, "anti-vacuity: IA/IR never settled early");
+    }
+
+    #[test]
+    fn identity_effect_settles_at_the_start_pair() {
+        let mut ab = Alphabet::new();
+        let a = compile("x*", &mut ab);
+        let b = compile("x*", &mut ab);
+        let ida = ProductIda::new(&a, &b);
+        let w = syms(&[0, 0, 0]);
+        let net = NetEffect::compose(&w, &[]).unwrap();
+        let out = net.decide(&a, &b, &ida);
+        assert!(out.accepted);
+        let early = out.early.expect("identical models settle immediately");
+        assert!(early.ia);
+        assert_eq!(early.net_consumed, 0);
+        assert_eq!(early.orig_consumed, 0);
+    }
+
+    #[test]
+    fn concrete_word_beats_universal_dynamic_verdict() {
+        // The per-edit analysis says inserting billTo into
+        // (shipTo, billTo?, items) -> (shipTo, billTo, items) is Dynamic:
+        // it depends on the position and the word. With the concrete word
+        // (shipTo, items) and the concrete position, the net effect
+        // decides.
+        let mut ab = Alphabet::new();
+        let a = compile("(shipTo, billTo?, items)", &mut ab);
+        let b = compile("(shipTo, billTo, items)", &mut ab);
+        let ida = ProductIda::new(&a, &b);
+        let ship = ab.lookup("shipTo").unwrap();
+        let bill = ab.lookup("billTo").unwrap();
+        let items = ab.lookup("items").unwrap();
+        let w = vec![ship, items];
+        // Insert billTo at position 1: accepted.
+        let good = NetEffect::compose(&w, &[EffectOp::Insert { pos: 1, sym: bill }]).unwrap();
+        assert!(good.decide(&a, &b, &ida).accepted);
+        // Insert billTo at position 0: rejected.
+        let bad = NetEffect::compose(&w, &[EffectOp::Insert { pos: 0, sym: bill }]).unwrap();
+        assert!(!bad.decide(&a, &b, &ida).accepted);
+    }
+
+    #[test]
+    fn invalid_ops_fail_composition() {
+        let orig = syms(&[0]);
+        assert!(NetEffect::compose(
+            &orig,
+            &[EffectOp::Insert {
+                pos: 2,
+                sym: Sym(1)
+            }]
+        )
+        .is_none());
+        assert!(NetEffect::compose(&orig, &[EffectOp::Delete { pos: 1 }]).is_none());
+        // Double delete of the same original: the placeholder is dead.
+        assert!(NetEffect::compose(
+            &orig,
+            &[EffectOp::Delete { pos: 0 }, EffectOp::Delete { pos: 0 }]
+        )
+        .is_none());
+        // Relabel of a deleted placeholder.
+        assert!(NetEffect::compose(
+            &orig,
+            &[
+                EffectOp::Delete { pos: 0 },
+                EffectOp::Relabel {
+                    pos: 0,
+                    sym: Sym(1)
+                }
+            ]
+        )
+        .is_none());
+    }
+}

@@ -12,6 +12,8 @@
 //!   intersection emptiness) that seed the paper's `R_sub`/`R_nondis`
 //!   fixpoints,
 //! * [immediate decision automata](ida) (`IA`/`IR` sets, Definitions 6–8),
+//! * [edit-effect composition](effect) — whole-script normalization to one
+//!   net effect per content word, decided with IA/IR early exit,
 //! * branchless [hot transition tables](hot) (sink-column clamping +
 //!   per-state flag bytes) for the streaming validator's inner loop,
 //! * [string revalidation](revalidate) with and without modifications
@@ -27,6 +29,7 @@ pub mod checks;
 pub mod compose;
 pub mod dfa;
 pub mod editdist;
+pub mod effect;
 pub mod hot;
 pub mod ida;
 pub mod minimize;
@@ -47,6 +50,7 @@ pub use checks::{
 pub use compose::{compose_chain, ComposedLevel, HopRelations, NO_MID};
 pub use dfa::{Dfa, StateId};
 pub use editdist::{apply_repair, repair_string, shortest_witness, StringRepairOp};
+pub use effect::{EarlySettle, EffectOp, EffectOutcome, Fate, NetEffect, NormStep, Provenance};
 pub use hot::HotDfa;
 pub use ida::{Ida, IdaOutcome, ProductIda};
 pub use minimize::minimize;

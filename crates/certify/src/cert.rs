@@ -296,6 +296,232 @@ pub struct SafetyCert {
     pub dis_links: Vec<RelabelLink>,
 }
 
+/// One edit operation of a script certificate, in evolving-word
+/// coordinates (positions index the current view, deleted placeholders
+/// included) — exactly the coordinates the Δ-document applies edits in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Insert a fresh childless element.
+    Insert {
+        /// View position.
+        pos: u32,
+        /// Its label.
+        sym: u32,
+    },
+    /// Delete the entry at `pos`.
+    Delete {
+        /// View position.
+        pos: u32,
+    },
+    /// Relabel the entry at `pos`.
+    Relabel {
+        /// View position.
+        pos: u32,
+        /// The new label.
+        sym: u32,
+    },
+}
+
+/// One normalization-trace step of a script certificate: what the op at
+/// the same index did to the view. The checker replays the ops over its
+/// own view and derives each step independently — every claimed step is
+/// re-checkable from the view state alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptStep {
+    /// An insert created a fresh entry.
+    InsertFresh {
+        /// View position.
+        pos: u32,
+        /// Its symbol.
+        sym: u32,
+    },
+    /// A delete removed a script-inserted entry — insert/delete cancel.
+    CancelInserted {
+        /// View position.
+        pos: u32,
+        /// The symbol it carried when deleted.
+        sym: u32,
+    },
+    /// A delete marked an original entry deleted (placeholder stays).
+    DeleteOriginal {
+        /// View position.
+        pos: u32,
+        /// Original-word index.
+        origin: u32,
+    },
+    /// A relabel overwrote a script-inserted entry's symbol (collapse).
+    OverwriteInserted {
+        /// View position.
+        pos: u32,
+        /// Symbol before.
+        from: u32,
+        /// Symbol after.
+        to: u32,
+    },
+    /// A relabel restored an original's own label — rename/rename-back
+    /// cancel.
+    RenameBack {
+        /// View position.
+        pos: u32,
+        /// Original-word index.
+        origin: u32,
+        /// The restored symbol.
+        sym: u32,
+    },
+    /// A relabel gave an original a non-original label.
+    RenameOriginal {
+        /// View position.
+        pos: u32,
+        /// Original-word index.
+        origin: u32,
+        /// Symbol before.
+        from: u32,
+        /// Symbol after.
+        to: u32,
+    },
+}
+
+/// Provenance of one net-word position of a script certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptProv {
+    /// Original symbol, unchanged.
+    Kept {
+        /// Original-word index.
+        origin: u32,
+    },
+    /// Original position under a new label.
+    Renamed {
+        /// Original-word index.
+        origin: u32,
+    },
+    /// Inserted by the script (childless).
+    Fresh,
+}
+
+/// A kept/renamed net-word position of an *accepted* site: the child type
+/// pair consulted, resolved to a checked `R_sub` certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildLink {
+    /// Net-word position.
+    pub pos: u32,
+    /// Source child type of the original label (trusted mapping).
+    pub child_source: u32,
+    /// Target child type of the net label (trusted mapping).
+    pub child_target: u32,
+    /// Index into [`CertBundle::subs`].
+    pub sub_ref: u32,
+}
+
+/// A fresh net-word position of an accepted site: the target child type
+/// accepts a childless element — a trusted axiom leaf (value-space /
+/// nullability reasoning, like [`SubBody::SimpleAxiom`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreshLeaf {
+    /// Net-word position.
+    pub pos: u32,
+    /// Target child type of the inserted label (trusted mapping).
+    pub child_target: u32,
+}
+
+/// The justification a rejected site claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteReason {
+    /// The net word is not accepted by the target content DFA (the checker
+    /// reruns the word).
+    Membership,
+    /// A fresh child's target type rejects a childless element — trusted
+    /// axiom over the claimed typing.
+    FreshInvalid {
+        /// Net-word position (must be `Fresh` in the derived provenance).
+        pos: u32,
+        /// Target child type of the inserted label (trusted mapping).
+        child_target: u32,
+    },
+    /// A kept/renamed child's type pair is disjoint, resolved to a checked
+    /// `R_dis` certificate.
+    DisjointChild {
+        /// Net-word position (must be `Kept`/`Renamed` in the derived
+        /// provenance).
+        pos: u32,
+        /// Source child type (trusted mapping).
+        child_source: u32,
+        /// Target child type (trusted mapping).
+        child_target: u32,
+        /// Index into [`CertBundle::diss`].
+        dis_ref: u32,
+    },
+}
+
+/// An optional claim that the membership run settled early at an `IA`/`IR`
+/// pair of the referenced product IDA. The checker replays both runs up to
+/// the claimed cut, confirms the pair and its decision-set membership, and
+/// confirms the remainder past the cut is the untouched identity suffix —
+/// the condition under which the early decision is sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarlyClaim {
+    /// Index into [`CertBundle::idas`] for this pair's product IDA.
+    pub ida_ref: u32,
+    /// Source-side state after `orig_consumed` symbols of the word.
+    pub pair_a: u32,
+    /// Target-side state after `net_consumed` symbols of the net word.
+    pub pair_b: u32,
+    /// Net-word symbols consumed before the decision.
+    pub net_consumed: u32,
+    /// Original-word symbols consumed before the decision.
+    pub orig_consumed: u32,
+    /// `true` ⇒ the pair is claimed in `IA` (site accepted), `false` ⇒ in
+    /// `IR` (site rejected).
+    pub ia: bool,
+}
+
+/// One touched site of a [`ScriptCert`]: the site's typing, original child
+/// word, the script's ops on it, the claimed normalization trace and net
+/// effect, and the evidence for its verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptSiteCert {
+    /// Source type index of the site.
+    pub source_type: u32,
+    /// Target type index of the site.
+    pub target_type: u32,
+    /// The source content DFA (the word must be accepted by it — the
+    /// script analyzer's source-validity precondition, made checkable).
+    pub a: DfaRef,
+    /// The target content DFA.
+    pub b: DfaRef,
+    /// The original child word (symbol indices).
+    pub word: Vec<u32>,
+    /// The site's edit ops, in script order.
+    pub ops: Vec<ScriptOp>,
+    /// The claimed normalization trace, one step per op.
+    pub trace: Vec<ScriptStep>,
+    /// The claimed net word.
+    pub net: Vec<u32>,
+    /// The claimed provenance, one entry per net position.
+    pub prov: Vec<ScriptProv>,
+    /// `true` ⇒ the site was accepted, `false` ⇒ rejected.
+    pub verdict: bool,
+    /// Accepted sites: every kept/renamed net position's `R_sub` link.
+    pub kept_links: Vec<ChildLink>,
+    /// Accepted sites: every fresh net position's childless-leaf axiom.
+    pub fresh_leaves: Vec<FreshLeaf>,
+    /// Rejected sites: the claimed reason.
+    pub reject: Option<SiteReason>,
+    /// Optional early-settle claim for the membership run.
+    pub early: Option<EarlyClaim>,
+}
+
+/// Certificate trace for one whole-script static decision: per-site
+/// normalization replays plus the folded verdict. This is what makes an
+/// engine `script_skips`/`script_rejects` decision auditable end to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptCert {
+    /// `true` ⇒ every site accepted (a `script_skips` decision), `false`
+    /// ⇒ at least one site rejected (a `script_rejects` decision).
+    pub accepted: bool,
+    /// One entry per touched, non-identity site.
+    pub sites: Vec<ScriptSiteCert>,
+}
+
 /// Everything a producer claims about one schema pair, cross-referenced by
 /// index. See the [crate docs](crate) for the proof structure.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -315,6 +541,8 @@ pub struct CertBundle {
     pub paths: Vec<PathCert>,
     /// Safety-matrix trace certificates.
     pub safety: Vec<SafetyCert>,
+    /// Whole-script decision certificates.
+    pub scripts: Vec<ScriptCert>,
 }
 
 impl CertBundle {
@@ -327,5 +555,6 @@ impl CertBundle {
             + self.idas.len()
             + self.paths.len()
             + self.safety.len()
+            + self.scripts.len()
     }
 }

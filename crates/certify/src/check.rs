@@ -10,7 +10,8 @@ use std::collections::HashSet;
 
 use crate::cert::{
     BlockedSymbol, CertBundle, DisBody, DisCert, IdaCert, NondisBody, NondisCert, PathCert,
-    SafetyCert, SimulationCert, SubBody, SubCert, SubObligation,
+    SafetyCert, ScriptCert, ScriptOp, ScriptProv, ScriptSiteCert, ScriptStep, SimulationCert,
+    SiteReason, SubBody, SubCert, SubObligation,
 };
 use crate::dfa::RawDfa;
 
@@ -31,6 +32,8 @@ pub enum CertKind {
     Path,
     /// [`CertBundle::safety`]
     Safety,
+    /// [`CertBundle::scripts`]
+    Script,
     /// [`crate::chain::ChainBundle::compositions`]
     Comp,
 }
@@ -46,6 +49,7 @@ impl CertKind {
             CertKind::Ida => "ida",
             CertKind::Path => "path",
             CertKind::Safety => "safety",
+            CertKind::Script => "script",
             CertKind::Comp => "comp",
         }
     }
@@ -191,6 +195,15 @@ pub fn check_bundle(bundle: &CertBundle) -> CheckReport {
         if let Err(reason) = check_safety(&ctx, c) {
             report.failures.push(CheckFailure {
                 kind: CertKind::Safety,
+                index: i,
+                reason,
+            });
+        }
+    }
+    for (i, c) in bundle.scripts.iter().enumerate() {
+        if let Err(reason) = check_script(&ctx, c) {
+            report.failures.push(CheckFailure {
+                kind: CertKind::Script,
                 index: i,
                 reason,
             });
@@ -602,6 +615,316 @@ fn check_safety(ctx: &Ctx<'_>, cert: &SafetyCert) -> Result<(), String> {
                 dis.source_type, dis.target_type, link.child_source, link.child_target
             ));
         }
+    }
+    Ok(())
+}
+
+/// One entry of the checker's own replay view (mirrors the producer's, but
+/// derived independently from the certificate's word and ops).
+#[derive(Clone, Copy)]
+struct ReplayEntry {
+    sym: u32,
+    origin: Option<u32>,
+    deleted: bool,
+}
+
+/// The checker's independently derived normalization trace, net word, and
+/// provenance for one site.
+type SiteReplay = (Vec<ScriptStep>, Vec<u32>, Vec<ScriptProv>);
+
+/// Replays `ops` over `word`, deriving the normalization trace, net word,
+/// and provenance from nothing but the certificate's trusted inputs.
+fn replay_site(word: &[u32], ops: &[ScriptOp]) -> Result<SiteReplay, String> {
+    let mut view: Vec<ReplayEntry> = word
+        .iter()
+        .enumerate()
+        .map(|(i, &sym)| ReplayEntry {
+            sym,
+            origin: Some(i as u32),
+            deleted: false,
+        })
+        .collect();
+    let mut trace = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        let step = match *op {
+            ScriptOp::Insert { pos, sym } => {
+                if pos as usize > view.len() {
+                    return Err(format!("op {i}: insert position {pos} out of range"));
+                }
+                view.insert(
+                    pos as usize,
+                    ReplayEntry {
+                        sym,
+                        origin: None,
+                        deleted: false,
+                    },
+                );
+                ScriptStep::InsertFresh { pos, sym }
+            }
+            ScriptOp::Delete { pos } => {
+                let e = *view
+                    .get(pos as usize)
+                    .ok_or_else(|| format!("op {i}: delete position {pos} out of range"))?;
+                if e.deleted {
+                    return Err(format!("op {i}: delete of an already-deleted entry"));
+                }
+                match e.origin {
+                    None => {
+                        view.remove(pos as usize);
+                        ScriptStep::CancelInserted { pos, sym: e.sym }
+                    }
+                    Some(origin) => {
+                        view[pos as usize].deleted = true;
+                        ScriptStep::DeleteOriginal { pos, origin }
+                    }
+                }
+            }
+            ScriptOp::Relabel { pos, sym } => {
+                let e = *view
+                    .get(pos as usize)
+                    .ok_or_else(|| format!("op {i}: relabel position {pos} out of range"))?;
+                if e.deleted {
+                    return Err(format!("op {i}: relabel of a deleted entry"));
+                }
+                view[pos as usize].sym = sym;
+                match e.origin {
+                    None => ScriptStep::OverwriteInserted {
+                        pos,
+                        from: e.sym,
+                        to: sym,
+                    },
+                    Some(origin) if sym == word[origin as usize] => {
+                        ScriptStep::RenameBack { pos, origin, sym }
+                    }
+                    Some(origin) => ScriptStep::RenameOriginal {
+                        pos,
+                        origin,
+                        from: e.sym,
+                        to: sym,
+                    },
+                }
+            }
+        };
+        trace.push(step);
+    }
+    let mut net = Vec::new();
+    let mut prov = Vec::new();
+    for e in &view {
+        if e.deleted {
+            continue;
+        }
+        net.push(e.sym);
+        prov.push(match e.origin {
+            None => ScriptProv::Fresh,
+            Some(o) if e.sym == word[o as usize] => ScriptProv::Kept { origin: o },
+            Some(o) => ScriptProv::Renamed { origin: o },
+        });
+    }
+    Ok((trace, net, prov))
+}
+
+/// Checks one site of a script certificate: replay, verdict evidence, and
+/// the optional early-settle claim.
+fn check_script_site(ctx: &Ctx<'_>, site: &ScriptSiteCert) -> Result<(), String> {
+    let a = ctx.dfa(site.a)?;
+    let b = ctx.dfa(site.b)?;
+    if !a.accepts(&site.word) {
+        return Err("original word is not accepted by the source DFA".into());
+    }
+    let (trace, net, prov) = replay_site(&site.word, &site.ops)?;
+    if trace != site.trace {
+        return Err("claimed normalization trace disagrees with the replay".into());
+    }
+    if net != site.net {
+        return Err("claimed net word disagrees with the replay".into());
+    }
+    if prov != site.prov {
+        return Err("claimed provenance disagrees with the replay".into());
+    }
+
+    if site.verdict {
+        if site.reject.is_some() {
+            return Err("accepted site carries a reject reason".into());
+        }
+        if !b.accepts(&net) {
+            return Err("accepted site's net word is rejected by the target DFA".into());
+        }
+        // Exact child coverage: every fresh position one leaf axiom, every
+        // kept/renamed position one R_sub link, nothing extra.
+        let mut fresh_seen = vec![false; net.len()];
+        for (i, leaf) in site.fresh_leaves.iter().enumerate() {
+            let p = leaf.pos as usize;
+            if p >= net.len() || prov[p] != ScriptProv::Fresh {
+                return Err(format!("fresh leaf {i} does not sit on a fresh position"));
+            }
+            if fresh_seen[p] {
+                return Err(format!("fresh leaf {i} duplicates position {p}"));
+            }
+            fresh_seen[p] = true;
+        }
+        let mut kept_seen = vec![false; net.len()];
+        for (i, link) in site.kept_links.iter().enumerate() {
+            let p = link.pos as usize;
+            if p >= net.len()
+                || !matches!(
+                    prov[p],
+                    ScriptProv::Kept { .. } | ScriptProv::Renamed { .. }
+                )
+            {
+                return Err(format!(
+                    "child link {i} does not sit on a kept/renamed position"
+                ));
+            }
+            if kept_seen[p] {
+                return Err(format!("child link {i} duplicates position {p}"));
+            }
+            kept_seen[p] = true;
+            let sub = ctx
+                .sub(link.sub_ref)
+                .map_err(|e| format!("child link {i}: {e}"))?;
+            if sub.source_type != link.child_source || sub.target_type != link.child_target {
+                return Err(format!(
+                    "child link {i} references a sub certificate for pair ({},{}) but claims ({},{})",
+                    sub.source_type, sub.target_type, link.child_source, link.child_target
+                ));
+            }
+        }
+        for (p, pv) in prov.iter().enumerate() {
+            let covered = match pv {
+                ScriptProv::Fresh => fresh_seen[p],
+                ScriptProv::Kept { .. } | ScriptProv::Renamed { .. } => kept_seen[p],
+            };
+            if !covered {
+                return Err(format!("net position {p} has no child evidence"));
+            }
+        }
+    } else {
+        if !site.kept_links.is_empty() || !site.fresh_leaves.is_empty() {
+            return Err("rejected site carries accept-side child evidence".into());
+        }
+        match site.reject {
+            None => return Err("rejected site carries no reason".into()),
+            Some(SiteReason::Membership) => {
+                if b.accepts(&net) {
+                    return Err(
+                        "membership rejection, but the target DFA accepts the net word".into(),
+                    );
+                }
+            }
+            Some(SiteReason::FreshInvalid { pos, .. }) => {
+                let p = pos as usize;
+                if p >= net.len() || prov[p] != ScriptProv::Fresh {
+                    return Err("fresh-invalid rejection does not sit on a fresh position".into());
+                }
+            }
+            Some(SiteReason::DisjointChild {
+                pos,
+                child_source,
+                child_target,
+                dis_ref,
+            }) => {
+                let p = pos as usize;
+                if p >= net.len()
+                    || !matches!(
+                        prov[p],
+                        ScriptProv::Kept { .. } | ScriptProv::Renamed { .. }
+                    )
+                {
+                    return Err(
+                        "disjoint-child rejection does not sit on a kept/renamed position".into(),
+                    );
+                }
+                let dis = ctx
+                    .dis(dis_ref)
+                    .map_err(|e| format!("disjoint-child rejection: {e}"))?;
+                if dis.source_type != child_source || dis.target_type != child_target {
+                    return Err(format!(
+                        "disjoint-child rejection references a dis certificate for pair ({},{}) but claims ({},{})",
+                        dis.source_type, dis.target_type, child_source, child_target
+                    ));
+                }
+            }
+        }
+    }
+
+    if let Some(early) = &site.early {
+        let ida = ctx
+            .bundle
+            .idas
+            .get(early.ida_ref as usize)
+            .ok_or_else(|| format!("early claim: ida ref {} out of range", early.ida_ref))?;
+        if ida.source_type != site.source_type || ida.target_type != site.target_type {
+            return Err(format!(
+                "early claim: ida ref {} certifies pair ({},{}) but this site is for ({},{})",
+                early.ida_ref, ida.source_type, ida.target_type, site.source_type, site.target_type
+            ));
+        }
+        if ida.a != site.a || ida.b != site.b {
+            return Err("early claim: ida certificate references different DFAs".into());
+        }
+        let oc = early.orig_consumed as usize;
+        let nc = early.net_consumed as usize;
+        if oc > site.word.len() || nc > net.len() {
+            return Err("early claim: cut out of range".into());
+        }
+        // The decision is only sound if everything past the cut is the
+        // untouched identity suffix: net = word there, position by
+        // position, so the source run's guarantee transfers to the target.
+        if net.len() - nc != site.word.len() - oc {
+            return Err("early claim: suffix lengths disagree".into());
+        }
+        for (k, pv) in prov[nc..].iter().enumerate() {
+            match *pv {
+                ScriptProv::Kept { origin } if origin as usize == oc + k => {}
+                _ => return Err("early claim: suffix is not the untouched identity".into()),
+            }
+        }
+        let mut qa = a.start;
+        for &s in &site.word[..oc] {
+            qa = a.step(qa, s);
+        }
+        let mut qb = b.start;
+        for &s in &net[..nc] {
+            qb = b.step(qb, s);
+        }
+        if qa != early.pair_a || qb != early.pair_b {
+            return Err("early claim: replayed states disagree with the claimed pair".into());
+        }
+        let grid = a.state_count() * b.state_count();
+        let idx = qa as usize * b.state_count() + qb as usize;
+        if ida.ia.len() != grid || ida.ir.len() != grid || idx >= grid {
+            return Err("early claim: decision grid shape mismatch".into());
+        }
+        if early.ia {
+            if !ida.ia[idx] {
+                return Err("early claim: pair is not in the certified IA set".into());
+            }
+            if !site.verdict {
+                return Err("early claim: IA pair on a rejected site".into());
+            }
+        } else {
+            if !ida.ir[idx] {
+                return Err("early claim: pair is not in the certified IR set".into());
+            }
+            if site.verdict {
+                return Err("early claim: IR pair on an accepted site".into());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks a whole-script certificate: each site, then the folded verdict.
+fn check_script(ctx: &Ctx<'_>, cert: &ScriptCert) -> Result<(), String> {
+    for (i, site) in cert.sites.iter().enumerate() {
+        check_script_site(ctx, site).map_err(|e| format!("site {i}: {e}"))?;
+    }
+    let all_ok = cert.sites.iter().all(|s| s.verdict);
+    if cert.accepted && !all_ok {
+        return Err("script claims acceptance but a site is rejected".into());
+    }
+    if !cert.accepted && all_ok {
+        return Err("script claims rejection but every site is accepted".into());
     }
     Ok(())
 }
@@ -1220,5 +1543,144 @@ mod tests {
         assert_eq!(report.failures[0].kind, CertKind::Dfa);
         assert_eq!(report.failures[1].kind, CertKind::Sub);
         assert!(report.failures[1].reason.contains("shape validation"));
+    }
+
+    /// `ab` edited to `abb` under `{ab} → a·b·b*`: insert `b` at the end,
+    /// keep both originals. Child evidence: two `R_sub` axioms + one fresh
+    /// leaf.
+    fn accept_script_bundle() -> CertBundle {
+        let mut bundle = two_dfa_bundle();
+        bundle.subs.push(SubCert {
+            source_type: 1,
+            target_type: 1,
+            body: SubBody::SimpleAxiom,
+        });
+        bundle.subs.push(SubCert {
+            source_type: 2,
+            target_type: 2,
+            body: SubBody::SimpleAxiom,
+        });
+        bundle.scripts.push(ScriptCert {
+            accepted: true,
+            sites: vec![ScriptSiteCert {
+                source_type: 7,
+                target_type: 9,
+                a: 0,
+                b: 1,
+                word: vec![0, 1],
+                ops: vec![ScriptOp::Insert { pos: 2, sym: 1 }],
+                trace: vec![ScriptStep::InsertFresh { pos: 2, sym: 1 }],
+                net: vec![0, 1, 1],
+                prov: vec![
+                    ScriptProv::Kept { origin: 0 },
+                    ScriptProv::Kept { origin: 1 },
+                    ScriptProv::Fresh,
+                ],
+                verdict: true,
+                kept_links: vec![
+                    crate::cert::ChildLink {
+                        pos: 0,
+                        child_source: 1,
+                        child_target: 1,
+                        sub_ref: 0,
+                    },
+                    crate::cert::ChildLink {
+                        pos: 1,
+                        child_source: 2,
+                        child_target: 2,
+                        sub_ref: 1,
+                    },
+                ],
+                fresh_leaves: vec![crate::cert::FreshLeaf {
+                    pos: 2,
+                    child_target: 2,
+                }],
+                reject: None,
+                early: None,
+            }],
+        });
+        bundle
+    }
+
+    #[test]
+    fn valid_script_accept_passes() {
+        let report = check_bundle(&accept_script_bundle());
+        assert!(report.all_valid(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn script_replay_catches_tampered_net_and_trace() {
+        let mut bundle = accept_script_bundle();
+        bundle.scripts[0].sites[0].net = vec![0, 1, 0];
+        assert!(fail_reason(&bundle).contains("net word disagrees"));
+
+        let mut bundle = accept_script_bundle();
+        bundle.scripts[0].sites[0].trace = vec![ScriptStep::InsertFresh { pos: 1, sym: 1 }];
+        assert!(fail_reason(&bundle).contains("trace disagrees"));
+
+        let mut bundle = accept_script_bundle();
+        bundle.scripts[0].sites[0].prov[2] = ScriptProv::Kept { origin: 1 };
+        assert!(fail_reason(&bundle).contains("provenance disagrees"));
+    }
+
+    #[test]
+    fn script_accept_needs_full_child_coverage() {
+        let mut bundle = accept_script_bundle();
+        bundle.scripts[0].sites[0].fresh_leaves.clear();
+        assert!(fail_reason(&bundle).contains("no child evidence"));
+
+        let mut bundle = accept_script_bundle();
+        bundle.scripts[0].sites[0].kept_links.pop();
+        assert!(fail_reason(&bundle).contains("no child evidence"));
+
+        // A link whose sub certificate certifies a different pair.
+        let mut bundle = accept_script_bundle();
+        bundle.scripts[0].sites[0].kept_links[0].child_source = 5;
+        assert!(fail_reason(&bundle).contains("but claims"));
+    }
+
+    #[test]
+    fn script_membership_rejection_is_rerun() {
+        // `ab` relabelled at position 0 to `b`: net `bb`, rejected by both.
+        let mut bundle = two_dfa_bundle();
+        bundle.scripts.push(ScriptCert {
+            accepted: false,
+            sites: vec![ScriptSiteCert {
+                source_type: 7,
+                target_type: 9,
+                a: 0,
+                b: 1,
+                word: vec![0, 1],
+                ops: vec![ScriptOp::Relabel { pos: 0, sym: 1 }],
+                trace: vec![ScriptStep::RenameOriginal {
+                    pos: 0,
+                    origin: 0,
+                    from: 0,
+                    to: 1,
+                }],
+                net: vec![1, 1],
+                prov: vec![
+                    ScriptProv::Renamed { origin: 0 },
+                    ScriptProv::Kept { origin: 1 },
+                ],
+                verdict: false,
+                kept_links: vec![],
+                fresh_leaves: vec![],
+                reject: Some(SiteReason::Membership),
+                early: None,
+            }],
+        });
+        let report = check_bundle(&bundle);
+        assert!(report.all_valid(), "{:?}", report.failures);
+
+        // Flipping the claimed verdict must not survive: the site stays
+        // rejected, so the folded acceptance is a lie.
+        bundle.scripts[0].accepted = true;
+        assert!(fail_reason(&bundle).contains("claims acceptance"));
+
+        // And claiming the site itself accepted fails the net-word rerun.
+        bundle.scripts[0].sites[0].verdict = true;
+        bundle.scripts[0].sites[0].reject = None;
+        assert!(fail_reason(&bundle).contains("rejected by the target DFA"));
     }
 }

@@ -39,6 +39,7 @@
 //! | IDA `IA`/`IR` | exact safe/dead sets + rank functions | closure (soundness) and strictly decreasing ranks (completeness) |
 //! | `w ∈ L(a) ∖ L(b)` | product-state trace | stepwise consistency, endpoint (final, non-final) |
 //! | safety verdicts | references into the above | every consulted fact has a checked certificate |
+//! | script verdicts | per-site word + ops + normalization trace | independent replay of the trace/net/provenance, net-word run, per-child `R_sub`/`R_dis` references, IA/IR early-settle replay |
 //! | composed chain relation | per-hop certificate tuple | step adjacency + per-hop resolution ([`chain`]) |
 //!
 //! Greatest-fixpoint facts (`R_sub`, disjointness, `IA`/`IR` soundness) may
@@ -65,8 +66,9 @@ pub mod check;
 pub mod dfa;
 
 pub use cert::{
-    BlockedSymbol, CertBundle, DfaRef, DisBody, DisCert, IdaCert, NondisBody, NondisCert,
-    NondisChild, PathCert, RelabelLink, SafetyCert, SimulationCert, SubBody, SubCert,
+    BlockedSymbol, CertBundle, ChildLink, DfaRef, DisBody, DisCert, EarlyClaim, FreshLeaf, IdaCert,
+    NondisBody, NondisCert, NondisChild, PathCert, RelabelLink, SafetyCert, ScriptCert, ScriptOp,
+    ScriptProv, ScriptSiteCert, ScriptStep, SimulationCert, SiteReason, SubBody, SubCert,
     SubObligation,
 };
 pub use chain::{check_chain_bundle, ChainBundle, ChainCheckReport, CompCert, CompClaim, CompStep};

@@ -29,20 +29,24 @@
 use crate::cast::CastContext;
 use crate::diag::{Diagnostic, Severity};
 use crate::relations::TypeRelations;
+use crate::script::{RejectReason, SiteDecision};
 use crate::stats::ValidationStats;
+use schemacast_automata::effect::{EffectOp, NormStep, Provenance};
 use schemacast_automata::{
     difference_path_cert, ida_cert, raw_dfa, restricted_pair_invariant, shortest_in_both,
     simulation_relation, BitSet,
 };
 use schemacast_regex::Sym;
 use schemacast_schema::{AbstractSchema, TypeDef, TypeId};
+use schemacast_tree::{Doc, Edit};
 use std::collections::HashMap;
 use std::time::Instant;
 
 pub use schemacast_certify::{
-    check_bundle, BlockedSymbol, CertBundle, CertKind, CheckFailure, CheckReport, DfaRef, DisBody,
-    DisCert, IdaCert, NondisBody, NondisCert, NondisChild, PathCert, RawDfa, RelabelLink,
-    SafetyCert, SimulationCert, SubBody, SubCert, SubObligation,
+    check_bundle, BlockedSymbol, CertBundle, CertKind, CheckFailure, CheckReport, ChildLink,
+    DfaRef, DisBody, DisCert, EarlyClaim, FreshLeaf, IdaCert, NondisBody, NondisCert, NondisChild,
+    PathCert, RawDfa, RelabelLink, SafetyCert, ScriptCert, ScriptOp, ScriptProv, ScriptSiteCert,
+    ScriptStep, SimulationCert, SiteReason, SubBody, SubCert, SubObligation,
 };
 
 /// The outcome of certifying one schema pair: the emitted bundle, the
@@ -128,6 +132,19 @@ impl<'a> Emitter<'a> {
 /// module docs for what is covered; the returned run carries the bundle,
 /// the check report, and any `SC04xx` diagnostics.
 pub fn certify_context(ctx: &CastContext<'_>) -> CertificationRun {
+    certify_context_with_scripts(ctx, &[])
+}
+
+/// Like [`certify_context`], additionally certifying the *script-level*
+/// static decision of each `(document, edit script)` item: every item the
+/// analyzer decides (accept or reject) becomes a [`ScriptCert`] — the
+/// per-site normalization trace plus its word-run, child-relation, and
+/// IA/IR evidence. Items the analyzer cannot decide (dynamic path) make no
+/// static claim and emit nothing.
+pub fn certify_context_with_scripts(
+    ctx: &CastContext<'_>,
+    scripts: &[(&Doc, &[Edit])],
+) -> CertificationRun {
     let source = ctx.source();
     let target = ctx.target();
     let mut em = Emitter {
@@ -163,6 +180,7 @@ pub fn certify_context(ctx: &CastContext<'_>) -> CertificationRun {
     emit_nondis(&mut em);
     emit_idas_and_paths(&mut em, ctx);
     emit_safety(&mut em, ctx);
+    emit_scripts(&mut em, ctx, scripts);
 
     let certs_emitted = em.bundle.object_count() - em.bundle.dfas.len();
     let started = Instant::now();
@@ -235,6 +253,9 @@ fn failed_pair(bundle: &CertBundle, f: &CheckFailure) -> Option<(u32, u32)> {
             .safety
             .get(f.index)
             .map(|c| (c.source_type, c.target_type)),
+        // A script certificate spans sites with different type pairs; its
+        // failure reasons name the offending site instead.
+        CertKind::Script => None,
         // Composition certificates live in a ChainBundle, not a CertBundle;
         // chain certification reports their pairs itself.
         CertKind::Comp => None,
@@ -566,6 +587,249 @@ fn emit_safety(em: &mut Emitter<'_>, ctx: &CastContext<'_>) {
     }
 }
 
+/// Whole-script decision certificates: one per statically decided item.
+///
+/// Accepted scripts emit every non-identity site with full child evidence
+/// (`R_sub` links + fresh-leaf axioms); rejected scripts emit only the
+/// rejecting sites (one suffices for the verdict, and undecided sites make
+/// no checkable claim). Missing relation certificates for a consumed fact
+/// are emission failures — the claim exists but cannot be packaged, so
+/// `--certify` fails closed.
+fn emit_scripts(em: &mut Emitter<'_>, ctx: &CastContext<'_>, scripts: &[(&Doc, &[Edit])]) {
+    use crate::script::ScriptVerdict;
+    for &(doc, edits) in scripts {
+        let Some(analysis) = ctx.script_analysis(doc, edits) else {
+            continue; // dynamic path: no static claim
+        };
+        let accepted = match analysis.verdict {
+            ScriptVerdict::Accept => true,
+            ScriptVerdict::Reject => false,
+            ScriptVerdict::Undecided => continue,
+        };
+        let mut sites = Vec::new();
+        let mut ok = true;
+        for site in &analysis.sites {
+            let verdict = match site.decision {
+                SiteDecision::Identity => continue,
+                SiteDecision::Accept => {
+                    if !accepted {
+                        continue; // rejecting scripts claim only the rejects
+                    }
+                    true
+                }
+                SiteDecision::Reject(_) => false,
+                SiteDecision::Undecided => continue,
+            };
+            let (s, t) = (site.source_type, site.target_type);
+            let (Some(&a_ref), Some(&b_ref)) = (em.src_dfa.get(&s), em.tgt_dfa.get(&t)) else {
+                em.emission_failure(s, t, "script verdict", "site type pair has no content DFA");
+                ok = false;
+                break;
+            };
+            let mut kept_links = Vec::new();
+            let mut fresh_leaves = Vec::new();
+            let mut reject = None;
+            if verdict {
+                for c in &site.kept {
+                    let Some(&sub_ref) = em.sub_idx.get(&(c.source, c.target)) else {
+                        em.emission_failure(
+                            c.source,
+                            c.target,
+                            "script verdict",
+                            "consumed R_sub fact has no certificate",
+                        );
+                        ok = false;
+                        break;
+                    };
+                    kept_links.push(ChildLink {
+                        pos: c.pos as u32,
+                        child_source: c.source.index() as u32,
+                        child_target: c.target.index() as u32,
+                        sub_ref,
+                    });
+                }
+                if !ok {
+                    break;
+                }
+                for f in &site.fresh {
+                    let Some(target) = f.target else {
+                        em.emission_failure(
+                            s,
+                            t,
+                            "script verdict",
+                            "accepted fresh child lacks target typing",
+                        );
+                        ok = false;
+                        break;
+                    };
+                    fresh_leaves.push(FreshLeaf {
+                        pos: f.pos as u32,
+                        child_target: target.index() as u32,
+                    });
+                }
+                if !ok {
+                    break;
+                }
+            } else {
+                reject = match site.decision {
+                    SiteDecision::Reject(RejectReason::Membership) => Some(SiteReason::Membership),
+                    SiteDecision::Reject(RejectReason::FreshInvalid { pos }) => {
+                        let Some(f) = site.fresh.iter().find(|f| f.pos == pos) else {
+                            em.emission_failure(
+                                s,
+                                t,
+                                "script verdict",
+                                "fresh reject lost its fact",
+                            );
+                            ok = false;
+                            break;
+                        };
+                        let Some(target) = f.target else {
+                            em.emission_failure(
+                                s,
+                                t,
+                                "script verdict",
+                                "fresh reject lacks typing",
+                            );
+                            ok = false;
+                            break;
+                        };
+                        Some(SiteReason::FreshInvalid {
+                            pos: pos as u32,
+                            child_target: target.index() as u32,
+                        })
+                    }
+                    SiteDecision::Reject(RejectReason::DisjointChild { pos }) => {
+                        let Some(c) = site.kept.iter().find(|c| c.pos == pos) else {
+                            em.emission_failure(
+                                s,
+                                t,
+                                "script verdict",
+                                "disjoint reject lost its fact",
+                            );
+                            ok = false;
+                            break;
+                        };
+                        let Some(&dis_ref) = em.dis_idx.get(&(c.source, c.target)) else {
+                            em.emission_failure(
+                                c.source,
+                                c.target,
+                                "script verdict",
+                                "consumed R_dis fact has no certificate",
+                            );
+                            ok = false;
+                            break;
+                        };
+                        Some(SiteReason::DisjointChild {
+                            pos: pos as u32,
+                            child_source: c.source.index() as u32,
+                            child_target: c.target.index() as u32,
+                            dis_ref,
+                        })
+                    }
+                    _ => unreachable!("verdict false only on Reject"),
+                };
+            }
+            // An early-settle claim is only attachable when its decision
+            // agrees with the site verdict (a rejected-by-child-fact site
+            // may still have word-accepted early) and this pair's IDA was
+            // certified. It is optional evidence either way.
+            let early = site.early.as_ref().and_then(|e| {
+                if e.ia != verdict {
+                    return None;
+                }
+                em.ida_idx.get(&(s, t)).map(|&ida_ref| EarlyClaim {
+                    ida_ref,
+                    pair_a: e.qa,
+                    pair_b: e.qb,
+                    net_consumed: e.net_consumed as u32,
+                    orig_consumed: e.orig_consumed as u32,
+                    ia: e.ia,
+                })
+            });
+            sites.push(ScriptSiteCert {
+                source_type: s.index() as u32,
+                target_type: t.index() as u32,
+                a: a_ref,
+                b: b_ref,
+                word: site.net.orig().iter().map(|s| s.0).collect(),
+                ops: site.net.ops().iter().map(script_op).collect(),
+                trace: site.net.trace().iter().map(script_step).collect(),
+                net: site.net.word().iter().map(|s| s.0).collect(),
+                prov: site.net.provenance().iter().map(script_prov).collect(),
+                verdict,
+                kept_links,
+                fresh_leaves,
+                reject,
+                early,
+            });
+        }
+        if ok {
+            em.bundle.scripts.push(ScriptCert { accepted, sites });
+        }
+    }
+}
+
+fn script_op(op: &EffectOp) -> ScriptOp {
+    match *op {
+        EffectOp::Insert { pos, sym } => ScriptOp::Insert {
+            pos: pos as u32,
+            sym: sym.0,
+        },
+        EffectOp::Delete { pos } => ScriptOp::Delete { pos: pos as u32 },
+        EffectOp::Relabel { pos, sym } => ScriptOp::Relabel {
+            pos: pos as u32,
+            sym: sym.0,
+        },
+    }
+}
+
+fn script_step(step: &NormStep) -> ScriptStep {
+    match *step {
+        NormStep::InsertFresh { pos, sym } => ScriptStep::InsertFresh {
+            pos: pos as u32,
+            sym: sym.0,
+        },
+        NormStep::CancelInserted { pos, sym } => ScriptStep::CancelInserted {
+            pos: pos as u32,
+            sym: sym.0,
+        },
+        NormStep::DeleteOriginal { pos, origin } => ScriptStep::DeleteOriginal {
+            pos: pos as u32,
+            origin: origin as u32,
+        },
+        NormStep::OverwriteInserted { pos, from, to } => ScriptStep::OverwriteInserted {
+            pos: pos as u32,
+            from: from.0,
+            to: to.0,
+        },
+        NormStep::RenameBack { pos, origin, sym } => ScriptStep::RenameBack {
+            pos: pos as u32,
+            origin: origin as u32,
+            sym: sym.0,
+        },
+        NormStep::RenameOriginal {
+            pos,
+            origin,
+            from,
+            to,
+        } => ScriptStep::RenameOriginal {
+            pos: pos as u32,
+            origin: origin as u32,
+            from: from.0,
+            to: to.0,
+        },
+    }
+}
+
+fn script_prov(p: &Provenance) -> ScriptProv {
+    match *p {
+        Provenance::Kept(o) => ScriptProv::Kept { origin: o as u32 },
+        Provenance::Renamed(o) => ScriptProv::Renamed { origin: o as u32 },
+        Provenance::Fresh => ScriptProv::Fresh,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,6 +915,54 @@ mod tests {
                 && matches!(c.body, DisBody::Complex { .. })
         });
         assert!(has_complex_dis);
+    }
+
+    #[test]
+    fn script_decisions_certify_end_to_end() {
+        use schemacast_tree::{Doc, Edit};
+        let mut ab = Alphabet::new();
+        let source = po_schema(&mut ab, true);
+        let target = po_schema(&mut ab, false);
+        let po = ab.lookup("purchaseOrder").unwrap();
+        let ship = ab.lookup("shipTo").unwrap();
+        let items = ab.lookup("items").unwrap();
+        let item = ab.lookup("item").unwrap();
+        let name = ab.lookup("name").unwrap();
+        let mut doc = Doc::new(po);
+        let ship_el = doc.add_element(doc.root(), ship);
+        for part in ["name", "street", "city"] {
+            let l = ab.lookup(part).unwrap();
+            doc.add_element(ship_el, l);
+        }
+        let items_el = doc.add_element(doc.root(), items);
+        doc.add_element(items_el, item);
+        doc.add_element(items_el, item);
+        assert!(source.accepts_document(&doc));
+        let ctx = CastContext::new(&source, &target, &ab);
+
+        // A third item keeps `item*` happy; a `name` in the item list can
+        // never be valid there.
+        let good: Vec<Edit> = vec![Edit::InsertElement {
+            parent: items_el,
+            position: 1,
+            label: item,
+        }];
+        let bad: Vec<Edit> = vec![Edit::InsertElement {
+            parent: items_el,
+            position: 0,
+            label: name,
+        }];
+        let items_vec: Vec<(&Doc, &[Edit])> = vec![(&doc, &good), (&doc, &bad)];
+        let run = certify_context_with_scripts(&ctx, &items_vec);
+        assert!(run.all_certified(), "diagnostics: {:#?}", run.diagnostics);
+        assert_eq!(run.bundle.scripts.len(), 2);
+        assert!(run.bundle.scripts[0].accepted);
+        assert!(!run.bundle.scripts[1].accepted);
+        // The accepted script's site carries full child evidence.
+        let site = &run.bundle.scripts[0].sites[0];
+        assert!(site.verdict);
+        assert_eq!(site.fresh_leaves.len(), 1);
+        assert_eq!(site.kept_links.len(), 2);
     }
 
     #[test]

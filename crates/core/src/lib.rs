@@ -25,6 +25,9 @@
 //!   static claim above (relation memberships, IDA decision sets, safety
 //!   verdicts) packaged as a certificate and validated by the independent
 //!   `schemacast-certify` checker.
+//! * [`script::ScriptAnalysis`] — the whole-script static analyzer: per-site
+//!   edit-effect composition and normalization, concrete-word IA/IR
+//!   decisions, and certified script-level verdicts.
 //! * [`chain::SchemaChain`] — schema-evolution chains: composed end-to-end
 //!   relations, one-pass `(v_1, v_N)` validation, migration-script
 //!   verification, and composition certificates
@@ -44,6 +47,7 @@ pub mod mods;
 pub mod relations;
 pub mod repair;
 pub mod safety;
+pub mod script;
 pub mod stats;
 pub mod stream;
 pub mod witness;
@@ -62,6 +66,9 @@ pub use mods::ModsValidator;
 pub use relations::TypeRelations;
 pub use repair::{RepairAction, RepairError, Repairer};
 pub use safety::{MatrixEntry, PairSafety, SafetyMatrix, Verdict};
+pub use script::{
+    ChildCheck, FreshCheck, RejectReason, ScriptAnalysis, ScriptSite, ScriptVerdict, SiteDecision,
+};
 pub use stats::{CastOutcome, ValidationStats};
 pub use stream::{validate_xml_stream, StreamScratch, StreamingCast};
 pub use witness::{

@@ -142,7 +142,7 @@ impl PairSafety {
 
 /// Whether a childless element is valid for `t` in `schema`: a simple type
 /// accepting the empty string, or a complex type with a nullable model.
-fn accepts_childless(schema: &AbstractSchema, t: TypeId) -> bool {
+pub(crate) fn accepts_childless(schema: &AbstractSchema, t: TypeId) -> bool {
     match schema.type_def(t) {
         TypeDef::Simple(s) => s.validate(""),
         TypeDef::Complex(c) => c.regex.nullable(),
@@ -564,6 +564,47 @@ impl<'a> CastContext<'a> {
         };
         let ok = self.cast_validate_exempt(doc, root, src_type, tgt_type, &mut stats, &exemptions);
         (CastOutcome::from_bool(ok), stats)
+    }
+
+    /// Tries to decide an edited document via the *script-level* analyzer
+    /// ([`CastContext::script_analysis`]): per-site net effects instead of
+    /// per-edit universal verdicts. Returns the outcome (crediting
+    /// `script_rejects` or `script_skips`) when the whole script is
+    /// decided, `None` when any site stays undecided or the script falls
+    /// outside the supported shape.
+    ///
+    /// Same precondition as [`CastContext::validate_edited_static`]; meant
+    /// to run *after* it (the per-edit path is cheaper and its counters
+    /// keep their meaning) and *before* dynamic Δ-revalidation.
+    ///
+    /// * Script `Reject` ⇒ `Invalid`: some site's net child word (or a
+    ///   child's typing) can never be target-valid, and no other
+    ///   (non-nested) site can repair it.
+    /// * Script `Accept` ⇒ the same exemption walk as the per-edit path,
+    ///   skipping decided non-identity sites; identity-effect sites are
+    ///   untouched and validated normally.
+    pub fn validate_edited_script(
+        &self,
+        doc: &Doc,
+        edits: &[Edit],
+    ) -> Option<(CastOutcome, ValidationStats)> {
+        let analysis = self.script_analysis(doc, edits)?;
+        match analysis.verdict {
+            crate::script::ScriptVerdict::Reject => {
+                let stats = ValidationStats {
+                    script_rejects: 1,
+                    ..Default::default()
+                };
+                Some((CastOutcome::Invalid, stats))
+            }
+            crate::script::ScriptVerdict::Accept => {
+                let sites = analysis.exempt_sites();
+                let (outcome, mut stats) = self.validate_with_exemptions(doc, &sites);
+                stats.script_skips += 1;
+                Some((outcome, stats))
+            }
+            crate::script::ScriptVerdict::Undecided => None,
+        }
     }
 }
 

@@ -30,6 +30,13 @@ pub struct ValidationStats {
     /// Edited documents rejected by the static fast path (some edit
     /// statically `Unsafe`; the document was never inspected).
     pub static_rejects: usize,
+    /// Edited documents accepted by the *script-level* analyzer: the
+    /// whole script's net effect per touched site was statically decided
+    /// valid, after normalization, without applying the edits.
+    pub script_skips: usize,
+    /// Edited documents rejected by the script-level analyzer: some
+    /// site's net child word can never be target-valid.
+    pub script_rejects: usize,
     /// Raw bytes the streaming validator scanned past without tokenization
     /// (lexical subtree skipping). Tree validators and the depth-counting
     /// event path leave this 0 — the bytes of a skipped subtree are still
@@ -75,6 +82,8 @@ impl AddAssign for ValidationStats {
         self.value_checks += rhs.value_checks;
         self.static_skips += rhs.static_skips;
         self.static_rejects += rhs.static_rejects;
+        self.script_skips += rhs.script_skips;
+        self.script_rejects += rhs.script_rejects;
         self.bytes_skipped += rhs.bytes_skipped;
         self.events_avoided += rhs.events_avoided;
         self.index_build_micros += rhs.index_build_micros;

@@ -173,10 +173,14 @@ impl<'c, 's> BatchEngine<'c, 's> {
     /// ([`CastContext::validate_edited_static`]): scripts whose edits are
     /// all statically decided never apply the edits at all — the document
     /// is accepted via an edit-site-exempt cast (`static_skips`) or
-    /// rejected outright (`static_rejects`). Everything else falls back to
-    /// Δ-encoding the edits and running the schema-cast-with-modifications
-    /// validator; scripts that fail to apply become
-    /// [`ItemOutcome::EditFailed`] items.
+    /// rejected outright (`static_rejects`). Scripts the per-edit analyzer
+    /// cannot decide then go through the *script-level* analyzer
+    /// ([`CastContext::validate_edited_script`]): the edits on each touched
+    /// site are composed into one net effect, normalized, and judged over
+    /// the site's concrete child word (`script_skips`/`script_rejects`).
+    /// Everything else falls back to Δ-encoding the edits and running the
+    /// schema-cast-with-modifications validator; scripts that fail to
+    /// apply become [`ItemOutcome::EditFailed`] items.
     pub fn validate_edited<D>(&self, items: &[(D, Vec<Edit>)]) -> BatchReport
     where
         D: Borrow<Doc> + Sync,
@@ -187,6 +191,12 @@ impl<'c, 's> BatchEngine<'c, 's> {
             let doc = doc.borrow();
             if self.static_fastpath {
                 if let Some((outcome, stats)) = self.ctx.validate_edited_static(doc, edits) {
+                    return ItemReport {
+                        outcome: ItemOutcome::from_cast(outcome),
+                        stats,
+                    };
+                }
+                if let Some((outcome, stats)) = self.ctx.validate_edited_script(doc, edits) {
                     return ItemReport {
                         outcome: ItemOutcome::from_cast(outcome),
                         stats,

@@ -78,9 +78,12 @@ pub enum PullEvent<'a> {
         name: &'a str,
         /// The name's dense per-document id from the lexer interner.
         id: NameId,
-        /// Attributes in document order. Values are borrowed unless entity
-        /// resolution forced an owned buffer.
-        attributes: Vec<(&'a str, Cow<'a, str>)>,
+        /// Lazy view of the attributes in document order. The tag was
+        /// validated when the event was produced, but nothing is
+        /// materialized up front — iterating re-lexes the (already
+        /// validated) span, and values stay borrowed unless entity
+        /// resolution forces an owned buffer.
+        attributes: Attrs<'a>,
     },
     /// An end tag (self-closing tags produce `Start` then `End`).
     End {
@@ -92,6 +95,247 @@ pub enum PullEvent<'a> {
     /// Character data. Borrowed unless entity resolution forced an owned
     /// buffer; adjacent runs may be split at CDATA boundaries.
     Text(Cow<'a, str>),
+}
+
+/// A lazy, allocation-free view of a start tag's attributes.
+///
+/// The producing lexer has already validated the span (syntax, duplicate
+/// names, entity references), so iteration cannot fail and nothing is
+/// heap-allocated until a value containing an entity reference is actually
+/// read. Compares and prints by content, so parity suites that hold two
+/// parsers to event-for-event equality keep working unchanged.
+#[derive(Clone, Copy)]
+pub struct Attrs<'a> {
+    text: &'a str,
+    /// Byte offset of the attribute region (just after the tag name).
+    start: usize,
+    /// Attribute count, recorded by the validating lexer.
+    count: usize,
+}
+
+impl<'a> Attrs<'a> {
+    /// A view over a *validated* attribute region starting at `start` and
+    /// holding `count` attributes.
+    pub(crate) fn from_span(text: &'a str, start: usize, count: usize) -> Attrs<'a> {
+        Attrs { text, start, count }
+    }
+
+    /// Number of attributes on the tag.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the tag has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates `(name, value)` pairs in document order, lexing on demand.
+    pub fn iter(&self) -> AttrIter<'a> {
+        AttrIter {
+            text: self.text,
+            pos: self.start,
+            remaining: self.count,
+        }
+    }
+
+    /// The value of the attribute named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<Cow<'a, str>> {
+        self.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+
+    /// Whether any of the (validated) attributes is named `name` — the
+    /// lexers' duplicate check. Scans names only; never expands values.
+    pub(crate) fn names_contain(&self, name: &str) -> bool {
+        let mut pos = self.start;
+        for _ in 0..self.count {
+            let raw = scan_attr(self.text, pos);
+            if raw.name == name {
+                return true;
+            }
+            pos = raw.next;
+        }
+        false
+    }
+}
+
+impl std::fmt::Debug for Attrs<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for Attrs<'_> {
+    fn eq(&self, other: &Attrs<'_>) -> bool {
+        self.count == other.count && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Attrs<'_> {}
+
+impl<'a> IntoIterator for Attrs<'a> {
+    type Item = (&'a str, Cow<'a, str>);
+    type IntoIter = AttrIter<'a>;
+    fn into_iter(self) -> AttrIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &Attrs<'a> {
+    type Item = (&'a str, Cow<'a, str>);
+    type IntoIter = AttrIter<'a>;
+    fn into_iter(self) -> AttrIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a validated attribute region (see [`Attrs`]).
+#[derive(Clone)]
+pub struct AttrIter<'a> {
+    text: &'a str,
+    pos: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for AttrIter<'a> {
+    type Item = (&'a str, Cow<'a, str>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let raw = scan_attr(self.text, self.pos);
+        self.pos = raw.next;
+        let value = if raw.has_entity {
+            match expand_entities_span(self.text, raw.value_start, raw.value_end) {
+                Ok(s) => Cow::Owned(s),
+                // Unreachable: the producing lexer validated every entity
+                // reference in the span. Fall back to the raw slice rather
+                // than panic.
+                Err(_) => Cow::Borrowed(&self.text[raw.value_start..raw.value_end]),
+            }
+        } else {
+            Cow::Borrowed(&self.text[raw.value_start..raw.value_end])
+        };
+        Some((raw.name, value))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for AttrIter<'_> {}
+
+/// One lexed attribute from a validated region.
+struct RawAttr<'a> {
+    name: &'a str,
+    value_start: usize,
+    value_end: usize,
+    has_entity: bool,
+    /// Byte offset just past the closing quote.
+    next: usize,
+}
+
+/// Lexes the attribute at `pos` in a region the producing parser already
+/// validated (so every delimiter it expects is present).
+fn scan_attr(text: &str, mut pos: usize) -> RawAttr<'_> {
+    let bytes = text.as_bytes();
+    let ws = |b: u8| matches!(b, b' ' | b'\t' | b'\r' | b'\n');
+    while ws(bytes[pos]) {
+        pos += 1;
+    }
+    let name_start = pos;
+    while is_name_char(bytes[pos]) {
+        pos += 1;
+    }
+    let name = &text[name_start..pos];
+    while ws(bytes[pos]) {
+        pos += 1;
+    }
+    debug_assert_eq!(bytes[pos], b'=');
+    pos += 1;
+    while ws(bytes[pos]) {
+        pos += 1;
+    }
+    let quote = bytes[pos];
+    debug_assert!(matches!(quote, b'"' | b'\''));
+    pos += 1;
+    let value_start = pos;
+    let mut has_entity = false;
+    loop {
+        let b = bytes[pos];
+        if b == quote {
+            break;
+        }
+        has_entity |= b == b'&';
+        pos += 1;
+    }
+    RawAttr {
+        name,
+        value_start,
+        value_end: pos,
+        has_entity,
+        next: pos + 1,
+    }
+}
+
+/// Expands the entity references in `text[start..end]`. Errors carry the
+/// byte offset and message the streaming lexers report (both delegate
+/// here, which is what keeps their error behavior identical).
+pub(crate) fn expand_entities_span(
+    text: &str,
+    start: usize,
+    end: usize,
+) -> Result<String, (usize, String)> {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(end - start);
+    let mut pos = start;
+    while pos < end {
+        match scan::find_byte(bytes, pos, b'&') {
+            Some(amp) if amp < end => {
+                out.push_str(&text[pos..amp]);
+                pos = amp + 1;
+                let semi = scan::find_byte(bytes, pos, b';')
+                    .ok_or_else(|| (pos, "unterminated entity reference".to_owned()))?;
+                let name = &text[pos..semi];
+                match name {
+                    "amp" => out.push('&'),
+                    "lt" => out.push('<'),
+                    "gt" => out.push('>'),
+                    "apos" => out.push('\''),
+                    "quot" => out.push('"'),
+                    _ if name.starts_with("#x") || name.starts_with("#X") => {
+                        let code = u32::from_str_radix(&name[2..], 16)
+                            .map_err(|_| (pos, "bad hexadecimal character reference".to_owned()))?;
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| {
+                                (pos, "character reference out of range".to_owned())
+                            })?,
+                        );
+                    }
+                    _ if name.starts_with('#') => {
+                        let code: u32 = name[1..]
+                            .parse()
+                            .map_err(|_| (pos, "bad decimal character reference".to_owned()))?;
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| {
+                                (pos, "character reference out of range".to_owned())
+                            })?,
+                        );
+                    }
+                    _ => return Err((pos, format!("unknown entity &{name};"))),
+                }
+                pos = semi + 1;
+            }
+            _ => {
+                out.push_str(&text[pos..end]);
+                pos = end;
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// What [`PullParser::skip_subtree`] skipped.
@@ -275,61 +519,11 @@ impl<'a> PullParser<'a> {
         Ok(&self.text[start..self.pos])
     }
 
-    /// Resolves the entity reference at `pos` (on `&`), appending the
-    /// replacement text to `out`.
-    fn append_entity(&mut self, out: &mut String) -> Result<(), XmlError> {
-        self.pos += 1; // '&'
-        let end = scan::find_byte(self.bytes, self.pos, b';')
-            .ok_or_else(|| self.err("unterminated entity reference"))?;
-        let name = &self.text[self.pos..end];
-        match name {
-            "amp" => out.push('&'),
-            "lt" => out.push('<'),
-            "gt" => out.push('>'),
-            "apos" => out.push('\''),
-            "quot" => out.push('"'),
-            _ if name.starts_with("#x") || name.starts_with("#X") => {
-                let code = u32::from_str_radix(&name[2..], 16)
-                    .map_err(|_| self.err("bad hexadecimal character reference"))?;
-                out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| self.err("character reference out of range"))?,
-                );
-            }
-            _ if name.starts_with('#') => {
-                let code: u32 = name[1..]
-                    .parse()
-                    .map_err(|_| self.err("bad decimal character reference"))?;
-                out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| self.err("character reference out of range"))?,
-                );
-            }
-            _ => return Err(self.err(&format!("unknown entity &{name};"))),
-        }
-        self.pos = end + 1;
-        Ok(())
-    }
-
     /// Builds the owned expansion of `text[start..end]`, which is known to
-    /// contain at least one `&`.
+    /// contain at least one `&` (shared kernel; errors carry the exact
+    /// offsets the old inline lexer reported).
     fn expand_entities(&mut self, start: usize, end: usize) -> Result<String, XmlError> {
-        let mut out = String::with_capacity(end - start);
-        self.pos = start;
-        while self.pos < end {
-            match scan::find_byte(self.bytes, self.pos, b'&') {
-                Some(amp) if amp < end => {
-                    out.push_str(&self.text[self.pos..amp]);
-                    self.pos = amp;
-                    self.append_entity(&mut out)?;
-                }
-                _ => {
-                    out.push_str(&self.text[self.pos..end]);
-                    self.pos = end;
-                }
-            }
-        }
-        Ok(out)
+        expand_entities_span(self.text, start, end).map_err(|(o, m)| self.err_at(o, &m))
     }
 
     fn attribute_value(&mut self) -> Result<Cow<'a, str>, XmlError> {
@@ -379,7 +573,12 @@ impl<'a> PullParser<'a> {
         self.pos = lt + 1;
         let name = self.name()?;
         let id = self.names.intern(name);
-        let mut attributes: Vec<(&'a str, Cow<'a, str>)> = Vec::new();
+        // Validate-and-count pass: each attribute is fully checked (syntax,
+        // quoting, entities, duplicates) but nothing is materialized — the
+        // returned `Attrs` view re-lexes the already-validated span on
+        // demand, so documents whose attributes are never read pay nothing.
+        let attr_start = self.pos;
+        let mut count = 0usize;
         loop {
             self.skip_ws();
             match self.peek() {
@@ -387,6 +586,7 @@ impl<'a> PullParser<'a> {
                     if !self.starts_with("/>") {
                         return Err(self.err("malformed empty-element tag"));
                     }
+                    let attributes = Attrs::from_span(self.text, attr_start, count);
                     self.pos += 2;
                     self.queued = Some(PullEvent::End { name, id });
                     return Ok(PullEvent::Start {
@@ -396,6 +596,7 @@ impl<'a> PullParser<'a> {
                     });
                 }
                 Some(b'>') => {
+                    let attributes = Attrs::from_span(self.text, attr_start, count);
                     self.pos += 1;
                     self.stack.push(OpenElem {
                         id,
@@ -416,11 +617,11 @@ impl<'a> PullParser<'a> {
                     }
                     self.pos += 1;
                     self.skip_ws();
-                    let value = self.attribute_value()?;
-                    if attributes.iter().any(|(n, _)| *n == attr) {
+                    self.attribute_value()?;
+                    if Attrs::from_span(self.text, attr_start, count).names_contain(attr) {
                         return Err(self.err(&format!("duplicate attribute {attr:?}")));
                     }
-                    attributes.push((attr, value));
+                    count += 1;
                 }
                 _ => return Err(self.err("malformed start tag")),
             }
@@ -807,8 +1008,9 @@ mod tests {
             } => {
                 assert_eq!(*name, "a");
                 assert_eq!(attributes.len(), 1);
-                assert_eq!(attributes[0].0, "x");
-                assert_eq!(attributes[0].1, "1");
+                let pairs: Vec<_> = attributes.iter().collect();
+                assert_eq!(pairs[0].0, "x");
+                assert_eq!(pairs[0].1, "1");
             }
             other => panic!("expected Start, got {other:?}"),
         }
@@ -863,7 +1065,7 @@ mod tests {
             match ev {
                 PullEvent::Start { attributes, .. } => {
                     for (n, v) in &attributes {
-                        match *n {
+                        match n {
                             "k" => assert!(matches!(v, Cow::Borrowed(_))),
                             "e" => {
                                 assert!(matches!(v, Cow::Owned(_)));

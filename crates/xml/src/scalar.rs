@@ -15,7 +15,9 @@
 //! [`crate::PullParser`].
 
 use crate::error::XmlError;
-use crate::pull::{err_at, is_name_char, is_name_start, NameId, NameTable, PullEvent, SubtreeSkip};
+use crate::pull::{
+    err_at, is_name_char, is_name_start, Attrs, NameId, NameTable, PullEvent, SubtreeSkip,
+};
 use crate::scan;
 use std::borrow::Cow;
 
@@ -138,62 +140,12 @@ impl<'a> ScalarParser<'a> {
         Ok(&self.text[start..self.pos])
     }
 
-    /// Resolves the entity reference at `pos` (on `&`), appending the
-    /// replacement text to `out`.
-    fn append_entity(&mut self, out: &mut String) -> Result<(), XmlError> {
-        self.pos += 1; // '&'
-        let end = self
-            .find_byte(self.pos, b';')
-            .ok_or_else(|| self.err("unterminated entity reference"))?;
-        let name = &self.text[self.pos..end];
-        match name {
-            "amp" => out.push('&'),
-            "lt" => out.push('<'),
-            "gt" => out.push('>'),
-            "apos" => out.push('\''),
-            "quot" => out.push('"'),
-            _ if name.starts_with("#x") || name.starts_with("#X") => {
-                let code = u32::from_str_radix(&name[2..], 16)
-                    .map_err(|_| self.err("bad hexadecimal character reference"))?;
-                out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| self.err("character reference out of range"))?,
-                );
-            }
-            _ if name.starts_with('#') => {
-                let code: u32 = name[1..]
-                    .parse()
-                    .map_err(|_| self.err("bad decimal character reference"))?;
-                out.push(
-                    char::from_u32(code)
-                        .ok_or_else(|| self.err("character reference out of range"))?,
-                );
-            }
-            _ => return Err(self.err(&format!("unknown entity &{name};"))),
-        }
-        self.pos = end + 1;
-        Ok(())
-    }
-
     /// Builds the owned expansion of `text[start..end]`, which is known to
-    /// contain at least one `&`.
+    /// contain at least one `&` (shared kernel; errors carry the exact
+    /// offsets the old inline lexer reported).
     fn expand_entities(&mut self, start: usize, end: usize) -> Result<String, XmlError> {
-        let mut out = String::with_capacity(end - start);
-        self.pos = start;
-        while self.pos < end {
-            match self.find_byte(self.pos, b'&') {
-                Some(amp) if amp < end => {
-                    out.push_str(&self.text[self.pos..amp]);
-                    self.pos = amp;
-                    self.append_entity(&mut out)?;
-                }
-                _ => {
-                    out.push_str(&self.text[self.pos..end]);
-                    self.pos = end;
-                }
-            }
-        }
-        Ok(out)
+        crate::pull::expand_entities_span(self.text, start, end)
+            .map_err(|(o, m)| self.err_at(o, &m))
     }
 
     fn attribute_value(&mut self) -> Result<Cow<'a, str>, XmlError> {
@@ -377,7 +329,11 @@ impl<'a> ScalarParser<'a> {
                     self.pos += 1;
                     let name = self.name()?;
                     let id = self.names.intern(name);
-                    let mut attributes: Vec<(&'a str, Cow<'a, str>)> = Vec::new();
+                    // Validate-and-count pass mirroring the tape-fed lexer:
+                    // attributes are checked in place and handed out as a
+                    // lazy `Attrs` view over the validated span.
+                    let attr_start = self.pos;
+                    let mut count = 0usize;
                     loop {
                         self.skip_ws();
                         match self.peek() {
@@ -385,6 +341,7 @@ impl<'a> ScalarParser<'a> {
                                 if !self.starts_with("/>") {
                                     return Err(self.err("malformed empty-element tag"));
                                 }
+                                let attributes = Attrs::from_span(self.text, attr_start, count);
                                 self.pos += 2;
                                 self.queued = Some(PullEvent::End { name, id });
                                 return Ok(Some(PullEvent::Start {
@@ -394,6 +351,7 @@ impl<'a> ScalarParser<'a> {
                                 }));
                             }
                             Some(b'>') => {
+                                let attributes = Attrs::from_span(self.text, attr_start, count);
                                 self.pos += 1;
                                 self.stack.push(id);
                                 return Ok(Some(PullEvent::Start {
@@ -410,11 +368,13 @@ impl<'a> ScalarParser<'a> {
                                 }
                                 self.pos += 1;
                                 self.skip_ws();
-                                let value = self.attribute_value()?;
-                                if attributes.iter().any(|(n, _)| *n == attr) {
+                                self.attribute_value()?;
+                                if Attrs::from_span(self.text, attr_start, count)
+                                    .names_contain(attr)
+                                {
                                     return Err(self.err(&format!("duplicate attribute {attr:?}")));
                                 }
-                                attributes.push((attr, value));
+                                count += 1;
                             }
                             _ => return Err(self.err("malformed start tag")),
                         }

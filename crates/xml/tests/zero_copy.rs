@@ -120,7 +120,7 @@ proptest! {
                     assert!(is_subslice(&input, name), "name {name:?}");
                     for (attr, value) in &attributes {
                         assert!(is_subslice(&input, attr), "attr name {attr:?}");
-                        assert_borrowed(&input, value, "attribute value");
+                        assert_borrowed(&input, &value, "attribute value");
                     }
                 }
                 PullEvent::End { name, .. } => {
@@ -147,13 +147,13 @@ fn entities_force_owned_only_where_they_occur() {
         match event.expect("well-formed") {
             PullEvent::Start { attributes, .. } => {
                 for (name, value) in &attributes {
-                    match (*name, value) {
+                    match (name, value) {
                         ("a", Cow::Owned(v)) => {
                             assert_eq!(v, "x&y");
                             owned += 1;
                         }
                         ("b", Cow::Borrowed(v)) => {
-                            assert_eq!(*v, "plain");
+                            assert_eq!(v, "plain");
                             borrowed += 1;
                         }
                         other => panic!("unexpected attribute {other:?}"),

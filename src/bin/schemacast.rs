@@ -30,7 +30,7 @@
 //! certificates (the per-hop tuples behind every composed end-to-end fact).
 
 use schemacast::analysis;
-use schemacast::core::certify::{certify_context, CertificationRun};
+use schemacast::core::certify::{certify_context, certify_context_with_scripts, CertificationRun};
 use schemacast::core::{
     certify_chain, CastContext, FullValidator, Repairer, SchemaChain, Severity, StreamingCast,
 };
@@ -55,6 +55,7 @@ struct Options {
     json: bool,
     sarif: bool,
     fail_on: Option<String>,
+    script: Option<String>,
     docs: Vec<String>,
 }
 
@@ -68,6 +69,8 @@ fn usage() -> ExitCode {
          schemacast repair --source S.xsd --target T.xsd [--out fixed.xml] doc.xml\n  \
          schemacast inspect --source S.xsd --target T.xsd\n  \
          schemacast analyze S.xsd Sprime.xsd [--json] [--certify]\n  \
+         schemacast analyze S.xsd Sprime.xsd doc.xml --script edits.txt \
+         [--json | --sarif] [--certify]\n  \
          schemacast lint S.xsd [Sprime.xsd] [--json | --sarif] [--fail-on warn|error]\n  \
          schemacast certify S.xsd Sprime.xsd [--json]\n  \
          schemacast chain v1.xsd v2.xsd [v3.xsd ...] [--json | --sarif] [--certify] \
@@ -95,6 +98,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         json: false,
         sarif: false,
         fail_on: None,
+        script: None,
         docs: Vec::new(),
     };
     while let Some(a) = args.next() {
@@ -118,6 +122,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--json" => opts.json = true,
             "--sarif" => opts.sarif = true,
             "--fail-on" => opts.fail_on = args.next(),
+            "--script" => opts.script = args.next(),
             "--help" | "-h" => return Err(usage()),
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag {a}");
@@ -129,8 +134,22 @@ fn parse_args() -> Result<Options, ExitCode> {
     // `analyze` and `certify` take their two schemas as positional
     // arguments.
     if opts.command == "analyze" || opts.command == "certify" {
-        if opts.docs.len() != 2 {
-            eprintln!("{} requires exactly two schema files", opts.command);
+        // `analyze --script` adds a document positional after the schemas.
+        let want = if opts.command == "analyze" && opts.script.is_some() {
+            3
+        } else {
+            2
+        };
+        if opts.docs.len() != want {
+            if want == 3 {
+                eprintln!("analyze --script requires two schema files and one document");
+            } else {
+                eprintln!("{} requires exactly two schema files", opts.command);
+            }
+            return Err(usage());
+        }
+        if opts.json && opts.sarif {
+            eprintln!("--json and --sarif are mutually exclusive");
             return Err(usage());
         }
         return Ok(opts);
@@ -631,6 +650,66 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            if let Some(script_path) = &opts.script {
+                // Whole-script mode: judge one (document, edit script) pair.
+                let (doc, _) = match load_doc(&opts.docs[2], &mut session) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let script_text = match std::fs::read_to_string(script_path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {script_path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                // Script labels are interned before the context borrows the
+                // alphabet; late symbols land in each DFA's sink state.
+                let edits = match analysis::parse_script(&doc, &mut session.alphabet, &script_text)
+                {
+                    Ok(e) => e,
+                    Err(e) => {
+                        eprintln!("{script_path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let ctx = CastContext::new(&source, &target, &session.alphabet);
+                if !source.accepts_document(&doc) {
+                    eprintln!("{}: document is not valid against {src_path}", opts.docs[2]);
+                    return ExitCode::from(2);
+                }
+                if opts.certify {
+                    let run = certify_context_with_scripts(&ctx, &[(&doc, &edits)]);
+                    if !run.all_certified() {
+                        for d in &run.diagnostics {
+                            eprintln!("{d}");
+                        }
+                        eprintln!(
+                            "certification failed: {} finding(s); refusing to proceed",
+                            run.diagnostics.len()
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+                let report = analysis::analyze_script(&ctx, &doc, &edits);
+                if opts.sarif {
+                    println!("{}", analysis::render_sarif(&report.lint));
+                } else if opts.json {
+                    println!("{}", analysis::render_script_json(&report));
+                } else {
+                    print!("{}", analysis::render_script_text(&report));
+                }
+                // Exit contract: statically rejected scripts fail the gate;
+                // accepted and fallback scripts are not errors.
+                return if report.outcome == analysis::ScriptOutcome::Rejected {
+                    ExitCode::from(1)
+                } else {
+                    ExitCode::SUCCESS
+                };
+            }
             let ctx = CastContext::new(&source, &target, &session.alphabet);
             if opts.certify {
                 if let Err(code) = certify_gate(&ctx) {

@@ -14,11 +14,13 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use schemacast::certify::{
     check_bundle, check_chain_bundle, BlockedSymbol, CertBundle, ChainBundle, CompClaim, DisBody,
-    NondisBody, SubBody,
+    NondisBody, ScriptProv, ScriptStep, SiteReason, SubBody,
 };
-use schemacast::core::certify::certify_context;
+use schemacast::core::certify::{certify_context, certify_context_with_scripts};
 use schemacast::core::{certify_chain, CastContext, SchemaChain};
 use schemacast::regex::Alphabet;
+use schemacast::schema::{AbstractSchema, SchemaBuilder, SimpleType};
+use schemacast::tree::{Doc, Edit};
 use schemacast::workload::purchase_order as po;
 use schemacast::workload::synth::{random_schema, SynthConfig};
 
@@ -181,6 +183,89 @@ fn corruptions(bundle: &CertBundle) -> Vec<(&'static str, CertBundle)> {
         }
     }
 
+    out
+}
+
+/// Every guaranteed-breaking mutation of the script certificates in
+/// `bundle`: tampered replay inputs (net word, trace, provenance), dropped
+/// or dangling child evidence, flipped site and script verdicts, cleared
+/// rejection reasons, and tampered early-settle claims.
+fn site_at(b: &mut CertBundle, s: usize, i: usize) -> &mut schemacast::certify::ScriptSiteCert {
+    &mut b.scripts[s].sites[i]
+}
+
+fn script_corruptions(bundle: &CertBundle) -> Vec<(&'static str, CertBundle)> {
+    let mut out: Vec<(&'static str, CertBundle)> = Vec::new();
+    let mut push = |label: &'static str, mutated: CertBundle| out.push((label, mutated));
+
+    for (s, script) in bundle.scripts.iter().enumerate() {
+        let mut b = bundle.clone();
+        b.scripts[s].accepted = !script.accepted;
+        push("script: flipped script verdict", b);
+
+        for (i, site) in script.sites.iter().enumerate() {
+            if !site.net.is_empty() {
+                let mut b = bundle.clone();
+                site_at(&mut b, s, i).net[0] = u32::MAX;
+                push("script: tampered net word", b);
+            }
+            // A bogus extra trace step always breaks replay equality.
+            let mut b = bundle.clone();
+            site_at(&mut b, s, i).trace.push(ScriptStep::InsertFresh {
+                pos: 0,
+                sym: u32::MAX,
+            });
+            push("script: tampered trace", b);
+
+            if let Some(k) = site
+                .prov
+                .iter()
+                .position(|p| !matches!(p, ScriptProv::Fresh))
+            {
+                let mut b = bundle.clone();
+                site_at(&mut b, s, i).prov[k] = ScriptProv::Fresh;
+                push("script: tampered provenance", b);
+            }
+
+            let mut b = bundle.clone();
+            site_at(&mut b, s, i).verdict = !site.verdict;
+            if !site.verdict {
+                // A rejected site recast as accepted must also shed its
+                // reason to probe the deepest accept-side checks.
+                site_at(&mut b, s, i).reject = None;
+            }
+            push("script: flipped site verdict", b);
+
+            if !site.kept_links.is_empty() {
+                let mut b = bundle.clone();
+                site_at(&mut b, s, i).kept_links.pop();
+                push("script: dropped kept child link", b);
+
+                let mut b = bundle.clone();
+                site_at(&mut b, s, i).kept_links[0].sub_ref = bundle.subs.len() as u32;
+                push("script: kept link sub ref dangling", b);
+            }
+            if !site.fresh_leaves.is_empty() {
+                let mut b = bundle.clone();
+                site_at(&mut b, s, i).fresh_leaves.pop();
+                push("script: dropped fresh leaf", b);
+            }
+            if site.reject.is_some() {
+                let mut b = bundle.clone();
+                site_at(&mut b, s, i).reject = None;
+                push("script: cleared rejection reason", b);
+            }
+            if let Some(early) = &site.early {
+                let mut b = bundle.clone();
+                site_at(&mut b, s, i).early.as_mut().unwrap().pair_a = early.pair_a.wrapping_add(1);
+                push("script: tampered early-settle state", b);
+
+                let mut b = bundle.clone();
+                site_at(&mut b, s, i).early.as_mut().unwrap().ida_ref = bundle.idas.len() as u32;
+                push("script: early-settle ida ref dangling", b);
+            }
+        }
+    }
     out
 }
 
@@ -368,6 +453,105 @@ fn checker_rejects_every_corruption_across_random_evolutions() {
         assert!(
             attacked.keys().any(|l| l.starts_with(kind)),
             "no {kind} mutations exercised across the sweep: {attacked:?}"
+        );
+    }
+}
+
+/// `po -> (shipTo, billTo?, items)` / `(shipTo, billTo, items)` with
+/// simple-text children: small enough that script certificates carry every
+/// evidence kind (kept links, fresh leaves, early claims, rejections).
+fn script_po_schema(ab: &mut Alphabet, bill_optional: bool) -> AbstractSchema {
+    let mut b = SchemaBuilder::new(ab);
+    let text = b.simple("Text", SimpleType::string()).unwrap();
+    let po_t = b.declare("PO").unwrap();
+    let model = if bill_optional {
+        "(shipTo, billTo?, items)"
+    } else {
+        "(shipTo, billTo, items)"
+    };
+    b.complex(
+        po_t,
+        model,
+        &[("shipTo", text), ("billTo", text), ("items", text)],
+    )
+    .unwrap();
+    b.root("po", po_t);
+    b.finish().unwrap()
+}
+
+#[test]
+fn checker_rejects_every_script_cert_corruption() {
+    let mut ab = Alphabet::new();
+    let source = script_po_schema(&mut ab, true);
+    let target = script_po_schema(&mut ab, false);
+    let po_sym = ab.lookup("po").unwrap();
+    let ship = ab.lookup("shipTo").unwrap();
+    let bill = ab.lookup("billTo").unwrap();
+    let items = ab.lookup("items").unwrap();
+
+    let mut doc = Doc::new(po_sym);
+    doc.add_element(doc.root(), ship);
+    doc.add_element(doc.root(), items);
+    let ctx = CastContext::new(&source, &target, &ab);
+
+    // One statically accepted script (fresh insert at the right position)
+    // and one statically rejected one (same insert at the wrong position).
+    let accept = [Edit::InsertElement {
+        parent: doc.root(),
+        position: 1,
+        label: bill,
+    }];
+    let reject = [Edit::InsertElement {
+        parent: doc.root(),
+        position: 0,
+        label: bill,
+    }];
+    let run = certify_context_with_scripts(&ctx, &[(&doc, &accept[..]), (&doc, &reject[..])]);
+    assert!(
+        run.all_certified(),
+        "baseline not certified: {:#?}",
+        run.diagnostics
+    );
+
+    // Evidence-kind floors: the baseline must actually carry every kind of
+    // claim the sweep below attacks, or zero-false-accepts is vacuous.
+    let sites: Vec<_> = run.bundle.scripts.iter().flat_map(|c| &c.sites).collect();
+    assert!(sites.iter().any(|s| !s.kept_links.is_empty()));
+    assert!(sites.iter().any(|s| !s.fresh_leaves.is_empty()));
+    assert!(sites
+        .iter()
+        .any(|s| matches!(s.reject, Some(SiteReason::Membership))));
+    assert!(run.bundle.scripts.iter().any(|c| c.accepted));
+    assert!(run.bundle.scripts.iter().any(|c| !c.accepted));
+
+    let mut attacked: std::collections::BTreeMap<&str, usize> = Default::default();
+    for (label, mutated) in script_corruptions(&run.bundle) {
+        assert_ne!(
+            mutated, run.bundle,
+            "mutation {label:?} did not change the bundle"
+        );
+        let report = check_bundle(&mutated);
+        assert!(
+            !report.all_valid(),
+            "FALSE ACCEPT — checker passed corrupted script bundle ({label})"
+        );
+        *attacked.entry(label).or_default() += 1;
+    }
+    // Per-kind coverage floor over the script-specific mutations.
+    for label in [
+        "script: flipped script verdict",
+        "script: tampered net word",
+        "script: tampered trace",
+        "script: tampered provenance",
+        "script: flipped site verdict",
+        "script: dropped kept child link",
+        "script: kept link sub ref dangling",
+        "script: dropped fresh leaf",
+        "script: cleared rejection reason",
+    ] {
+        assert!(
+            attacked.contains_key(label),
+            "no {label:?} mutations exercised: {attacked:?}"
         );
     }
 }

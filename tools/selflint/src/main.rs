@@ -1,0 +1,318 @@
+//! Workspace self-lint: source-level invariants that rustc and clippy do
+//! not express, run as a CI gate.
+//!
+//! Three rules, all over the workspace's own library sources (`crates/*/src`
+//! plus the root `src/lib.rs`; vendored dependency shims under `vendor/` and
+//! this tool itself are out of scope):
+//!
+//! 1. **Panic ratchet** — `.unwrap()` / `.expect(` in library code outside
+//!    `#[cfg(test)]` must not grow. Existing sites are grandfathered in
+//!    `baseline.txt`; any file exceeding its baseline (or a new file with
+//!    any site at all) fails. Shrink the baseline with `--write-baseline`
+//!    when sites are removed — never hand-edit it upward.
+//! 2. **Hot-path collections** — `HashMap` is banned in the streaming
+//!    hot-path modules (`stream.rs`, `hot.rs`, `index.rs`): SipHash per
+//!    lookup is exactly the per-event cost those modules exist to avoid.
+//!    Use the interned-symbol dense tables that the rest of the hot path
+//!    already uses.
+//! 3. **Unsafe gate** — every crate root must carry `#![deny(unsafe_code)]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// File names (anywhere under `crates/*/src`) whose bodies may not name
+/// `HashMap`.
+const HOT_PATH_FILES: &[&str] = &["stream.rs", "hot.rs", "index.rs"];
+
+fn main() -> ExitCode {
+    let mut write_baseline = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("selflint: unknown argument {other:?}");
+                eprintln!("usage: selflint [--write-baseline]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match repo_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("selflint: cannot locate the workspace root");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&root, write_baseline) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(n) => {
+            eprintln!("selflint: {n} violation(s)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("selflint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root is two levels above this tool's manifest directory.
+fn repo_root() -> Option<PathBuf> {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest.parent()?.parent()?;
+    Some(root.to_path_buf())
+}
+
+fn run(root: &Path, write_baseline: bool) -> Result<usize, String> {
+    let files = library_sources(root)?;
+    let counts = panic_site_counts(root, &files)?;
+    if write_baseline {
+        let path = baseline_path();
+        fs::write(&path, render_baseline(&counts))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("selflint: baseline rewritten ({} files)", counts.len());
+        return Ok(0);
+    }
+    let mut violations = 0;
+    violations += check_panic_ratchet(&counts)?;
+    violations += check_hot_path_collections(root, &files)?;
+    violations += check_unsafe_gate(root)?;
+    if violations == 0 {
+        println!(
+            "selflint: {} library files clean (panic ratchet, hot-path collections, unsafe gate)",
+            files.len()
+        );
+    }
+    Ok(violations)
+}
+
+/// All `.rs` files under each `crates/*/src`, plus the root crate's
+/// `src/lib.rs`. Sorted for deterministic reports.
+fn library_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("reading {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", crates.display()))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    let root_lib = root.join("src/lib.rs");
+    if root_lib.is_file() {
+        files.push(root_lib);
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: panic ratchet.
+// ---------------------------------------------------------------------------
+
+fn panic_site_counts(root: &Path, files: &[PathBuf]) -> Result<BTreeMap<String, usize>, String> {
+    let mut counts = BTreeMap::new();
+    for path in files {
+        let body = strip_non_library(&read(path)?);
+        let n = count_occurrences(&body, ".unwrap()") + count_occurrences(&body, ".expect(");
+        if n > 0 {
+            counts.insert(rel(root, path), n);
+        }
+    }
+    Ok(counts)
+}
+
+fn check_panic_ratchet(counts: &BTreeMap<String, usize>) -> Result<usize, String> {
+    let baseline = load_baseline()?;
+    let mut violations = 0;
+    for (file, &n) in counts {
+        let allowed = baseline.get(file).copied().unwrap_or(0);
+        if n > allowed {
+            violations += 1;
+            eprintln!(
+                "selflint[panic-ratchet]: {file}: {n} unwrap/expect site(s) in non-test \
+                 library code, baseline allows {allowed} — handle the error or push the \
+                 panic into #[cfg(test)]"
+            );
+        } else if n < allowed {
+            println!(
+                "selflint[panic-ratchet]: {file}: {n} site(s), baseline {allowed} — \
+                 run `cargo run -p selflint -- --write-baseline` to ratchet down"
+            );
+        }
+    }
+    Ok(violations)
+}
+
+fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("baseline.txt")
+}
+
+fn load_baseline() -> Result<BTreeMap<String, usize>, String> {
+    let path = baseline_path();
+    let text = read(&path)?;
+    let mut map = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (file, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("{}:{}: expected `<path> <count>`", path.display(), i + 1))?;
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("{}:{}: bad count {count:?}", path.display(), i + 1))?;
+        map.insert(file.trim().to_string(), count);
+    }
+    Ok(map)
+}
+
+fn render_baseline(counts: &BTreeMap<String, usize>) -> String {
+    use std::fmt::Write;
+    let mut out = String::from(
+        "# Grandfathered unwrap()/expect() sites in non-test library code.\n\
+         # Regenerate with `cargo run -p selflint -- --write-baseline`.\n\
+         # This file may only shrink: never hand-edit a count upward.\n",
+    );
+    for (file, n) in counts {
+        let _ = writeln!(out, "{file} {n}");
+    }
+    out
+}
+
+/// Removes `#[cfg(test)]`-gated items (by brace matching from the attribute)
+/// and `//` line comments, leaving only the code the lint rules apply to.
+fn strip_non_library(src: &str) -> String {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            // Skip the attribute plus the item it gates, tracking brace
+            // depth until the item's block closes.
+            let mut depth: i64 = 0;
+            let mut started = false;
+            while i < lines.len() {
+                for b in lines[i].bytes() {
+                    match b {
+                        b'{' => {
+                            depth += 1;
+                            started = true;
+                        }
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                i += 1;
+                if started && depth <= 0 {
+                    break;
+                }
+            }
+            continue;
+        }
+        let code = match line.find("//") {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        out.push_str(code);
+        out.push('\n');
+        i += 1;
+    }
+    out
+}
+
+fn count_occurrences(haystack: &str, needle: &str) -> usize {
+    haystack.matches(needle).count()
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: hot-path collections.
+// ---------------------------------------------------------------------------
+
+fn check_hot_path_collections(root: &Path, files: &[PathBuf]) -> Result<usize, String> {
+    let mut violations = 0;
+    for path in files {
+        let is_hot = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| HOT_PATH_FILES.contains(&n));
+        if !is_hot {
+            continue;
+        }
+        let body = strip_non_library(&read(path)?);
+        let hits = count_occurrences(&body, "HashMap");
+        if hits > 0 {
+            violations += 1;
+            eprintln!(
+                "selflint[hot-path]: {}: {hits} HashMap reference(s) in a hot-path \
+                 module — use an interned-symbol dense table instead",
+                rel(root, path)
+            );
+        }
+    }
+    Ok(violations)
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: unsafe gate.
+// ---------------------------------------------------------------------------
+
+fn check_unsafe_gate(root: &Path) -> Result<usize, String> {
+    let mut roots = Vec::new();
+    let crates = root.join("crates");
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("reading {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", crates.display()))?;
+        let lib = entry.path().join("src/lib.rs");
+        if lib.is_file() {
+            roots.push(lib);
+        }
+    }
+    roots.push(root.join("src/lib.rs"));
+    roots.sort();
+    let mut violations = 0;
+    for path in &roots {
+        if !read(path)?.contains("#![deny(unsafe_code)]") {
+            violations += 1;
+            eprintln!(
+                "selflint[unsafe-gate]: {}: crate root is missing #![deny(unsafe_code)]",
+                rel(root, path)
+            );
+        }
+    }
+    Ok(violations)
+}
