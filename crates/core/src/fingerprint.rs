@@ -1,0 +1,277 @@
+//! Deterministic fingerprints of compiled cast state, for cache keys.
+//!
+//! The corpus verdict cache (`crates/engine/cache.rs`) keys every entry on
+//! *what the verdict depends on*: the document's content hash plus a
+//! fingerprint of the compiled [`CastContext`]. Everything downstream of
+//! the context — the `TypeRelations` fixpoints, the safety matrix, the
+//! product IDAs, the certificate bundle — is a deterministic function of
+//! the two schemas and the cast options, so the fingerprint folds in:
+//!
+//! * a format version (bump it to flush every cache in the world);
+//! * both schemas, structurally: type names, kinds, facets, content-model
+//!   regexes (printed against the alphabet, so symbol identity is by
+//!   *name*, not by interning order), child-label typing, determinism
+//!   flags, root bindings;
+//! * the [`CastOptions`](crate::CastOptions) bits (an ablation run must never reuse a
+//!   full-algorithm verdict);
+//! * the computed relations themselves — redundant given the schemas, but
+//!   it means a future change to the fixpoint algorithm (or a bug fix
+//!   that alters `R_sub`/`R_dis`) flushes stale verdicts even if nobody
+//!   remembers to bump the version.
+//!
+//! The hash is FNV-1a 64 over a length-prefixed field stream. It is a
+//! cache key, not a security boundary: an adversary who can write the
+//! cache file can write verdicts directly.
+
+use crate::cast::CastContext;
+use crate::certify::CertificationRun;
+use schemacast_regex::display::regex_to_string;
+use schemacast_regex::Alphabet;
+use schemacast_schema::{AbstractSchema, TypeDef};
+
+/// Bump on any change to what the fingerprint covers or how it is
+/// serialized; old cache files then read as cold.
+pub const FINGERPRINT_VERSION: u64 = 1;
+
+/// FNV-1a 64: tiny, dependency-free, and stable across platforms.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Folds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a little-endian u64.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a length-prefixed string (prefixing prevents field-boundary
+    /// ambiguity: `("ab","c")` must not collide with `("a","bc")`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Structural fingerprint of one schema. Symbols are folded by *name* via
+/// `alphabet`, so two sessions that intern labels in different orders
+/// still agree.
+pub fn schema_fingerprint(schema: &AbstractSchema, alphabet: &Alphabet) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(schema.type_count() as u64);
+    h.write_u64(u64::from(schema.is_dtd_style()));
+    for t in schema.type_ids() {
+        h.write_str(schema.type_name(t));
+        match schema.type_def(t) {
+            TypeDef::Simple(s) => {
+                h.write_u64(1);
+                // Kind + every facet, via the derived Debug rendering —
+                // one stable-within-a-version line instead of a hand
+                // serializer that silently misses the next facet added.
+                h.write_str(&format!("{s:?}"));
+            }
+            TypeDef::Complex(c) => {
+                h.write_u64(2);
+                h.write_str(&regex_to_string(&c.regex, alphabet));
+                h.write_u64(u64::from(c.deterministic));
+                // HashMap iteration order is nondeterministic: sort the
+                // child typing by label name before folding.
+                let mut children: Vec<(&str, &str)> = c
+                    .child_types
+                    .iter()
+                    .map(|(&sym, &ty)| (alphabet.name(sym), schema.type_name(ty)))
+                    .collect();
+                children.sort_unstable();
+                h.write_u64(children.len() as u64);
+                for (label, ty) in children {
+                    h.write_str(label);
+                    h.write_str(ty);
+                }
+            }
+        }
+    }
+    let mut roots: Vec<(&str, &str)> = schema
+        .roots()
+        .map(|(sym, ty)| (alphabet.name(sym), schema.type_name(ty)))
+        .collect();
+    roots.sort_unstable();
+    h.write_u64(roots.len() as u64);
+    for (label, ty) in roots {
+        h.write_str(label);
+        h.write_str(ty);
+    }
+    h.finish()
+}
+
+/// Fingerprint of a compiled [`CastContext`]: schemas, options, and the
+/// computed relation fixpoints. Any difference in any of them yields (with
+/// overwhelming probability) a different value — and therefore a cold
+/// cache.
+pub fn context_fingerprint(ctx: &CastContext<'_>, alphabet: &Alphabet) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(FINGERPRINT_VERSION);
+    h.write_u64(schema_fingerprint(ctx.source(), alphabet));
+    h.write_u64(schema_fingerprint(ctx.target(), alphabet));
+    let o = ctx.options();
+    h.write_u64(
+        u64::from(o.use_subsumption)
+            | u64::from(o.use_disjointness) << 1
+            | u64::from(o.use_ida) << 2,
+    );
+    // The full R_sub/R_dis matrices, packed 32 pairs per word.
+    let rel = ctx.relations();
+    let (ns, nt) = (ctx.source().type_count(), ctx.target().type_count());
+    let mut word = 0u64;
+    let mut bits = 0u32;
+    for s in ctx.source().type_ids() {
+        for t in ctx.target().type_ids() {
+            word |= u64::from(rel.subsumed(s, t)) << bits;
+            word |= u64::from(rel.disjoint(s, t)) << (bits + 1);
+            bits += 2;
+            if bits == 64 {
+                h.write_u64(word);
+                word = 0;
+                bits = 0;
+            }
+        }
+    }
+    if bits > 0 {
+        h.write_u64(word);
+    }
+    h.write_u64((ns * nt) as u64);
+    h.finish()
+}
+
+/// Digest binding a certification run to the context it certified.
+///
+/// Certificates are themselves a deterministic function of the compiled
+/// context, so this digest exists for *trust scoping*, not extra entropy:
+/// a cache file records it when (and only when) its verdicts were written
+/// under a fully certified context, and a `--certify` run refuses to warm
+/// from a file whose digest does not match its own freshly certified run
+/// — covering both "the bundle changed" and "the bundle never certified".
+pub fn certification_digest(context_fp: u64, run: &CertificationRun) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(0x6365_7274); // "cert" domain tag
+    h.write_u64(context_fp);
+    h.write_u64(run.certs_emitted as u64);
+    h.write_u64(run.certs_checked as u64);
+    h.write_u64(u64::from(run.all_certified()));
+    h.write_u64(run.diagnostics.len() as u64);
+    h.finish()
+}
+
+impl CastContext<'_> {
+    /// See [`context_fingerprint`].
+    pub fn fingerprint(&self, alphabet: &Alphabet) -> u64 {
+        context_fingerprint(self, alphabet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cast::CastOptions;
+    use schemacast_schema::{SchemaBuilder, SimpleType};
+
+    fn schema(ab: &mut Alphabet, model: &str) -> AbstractSchema {
+        let mut b = SchemaBuilder::new(ab);
+        let text = b.simple("Text", SimpleType::string()).unwrap();
+        let item = b.declare("Item").unwrap();
+        b.complex(item, "(title)", &[("title", text)]).unwrap();
+        let root = b.declare("Root").unwrap();
+        b.complex(root, model, &[("item", item), ("note", text)])
+            .unwrap();
+        b.root("root", root);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn identical_pairs_agree_and_any_change_diverges() {
+        let mut ab = Alphabet::new();
+        let s1 = schema(&mut ab, "(item | note)*");
+        let s2 = schema(&mut ab, "(item | note)*");
+        let t_wider = schema(&mut ab, "(item, note*)");
+        assert_eq!(schema_fingerprint(&s1, &ab), schema_fingerprint(&s2, &ab));
+
+        let ctx_a = CastContext::new(&s1, &s2, &ab);
+        let ctx_b = CastContext::new(&s2, &s1, &ab);
+        assert_eq!(ctx_a.fingerprint(&ab), ctx_b.fingerprint(&ab));
+
+        // Different target schema ⇒ different fingerprint.
+        let ctx_w = CastContext::new(&s1, &t_wider, &ab);
+        assert_ne!(ctx_a.fingerprint(&ab), ctx_w.fingerprint(&ab));
+
+        // Different options ⇒ different fingerprint (same schemas).
+        let ctx_abl = CastContext::with_options(&s1, &s2, &ab, CastOptions::paper_prototype());
+        assert_ne!(ctx_a.fingerprint(&ab), ctx_abl.fingerprint(&ab));
+    }
+
+    #[test]
+    fn facet_changes_flush() {
+        let mut ab = Alphabet::new();
+        let plain = schema(&mut ab, "(item)*");
+        let faceted = {
+            let mut b = SchemaBuilder::new(&mut ab);
+            let mut ty = SimpleType::string();
+            ty.facets.max_length = Some(10);
+            let text = b.simple("Text", ty).unwrap();
+            let item = b.declare("Item").unwrap();
+            b.complex(item, "(title)", &[("title", text)]).unwrap();
+            let root = b.declare("Root").unwrap();
+            b.complex(root, "(item)*", &[("item", item), ("note", text)])
+                .unwrap();
+            b.root("root", root);
+            b.finish().unwrap()
+        };
+        assert_ne!(
+            schema_fingerprint(&plain, &ab),
+            schema_fingerprint(&faceted, &ab)
+        );
+    }
+
+    #[test]
+    fn certification_digest_is_deterministic_and_context_bound() {
+        let mut ab = Alphabet::new();
+        let s = schema(&mut ab, "(item | note)*");
+        let t = schema(&mut ab, "(item)*");
+        let ctx = CastContext::new(&s, &t, &ab);
+        let fp = ctx.fingerprint(&ab);
+        let run1 = crate::certify::certify_context(&ctx);
+        let run2 = crate::certify::certify_context(&ctx);
+        assert_eq!(
+            certification_digest(fp, &run1),
+            certification_digest(fp, &run2)
+        );
+        assert_ne!(
+            certification_digest(fp, &run1),
+            certification_digest(fp ^ 1, &run1),
+            "digest must be bound to the context fingerprint"
+        );
+    }
+}

@@ -41,6 +41,7 @@ pub mod chain;
 pub mod diag;
 pub mod dtdcast;
 pub mod explain;
+pub mod fingerprint;
 pub mod full;
 mod idacache;
 pub mod mods;
@@ -61,6 +62,7 @@ pub use chain::{
 pub use diag::{Diagnostic, Severity};
 pub use dtdcast::{DtdCastValidator, LabelIndex, LabelPlan, NotDtdStyle};
 pub use explain::{explain, validate_explained, FailureKind, ValidationFailure};
+pub use fingerprint::{certification_digest, context_fingerprint, schema_fingerprint, Fnv64};
 pub use full::FullValidator;
 pub use mods::ModsValidator;
 pub use relations::TypeRelations;

@@ -252,7 +252,10 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
                     }
                 }
                 PullEvent::Text(t) => {
-                    if !on_text(&mut stack, t) {
+                    // The tape classified whitespace-only spans at build
+                    // time; the flag settles them without re-scanning.
+                    let known_ws = parser.last_text_all_ws();
+                    if !on_text(&mut stack, t, known_ws) {
                         return Ok((CastOutcome::Invalid, stats));
                     }
                 }
@@ -315,7 +318,7 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
                     if skip_depth > 0 {
                         continue;
                     }
-                    if !on_text(&mut stack, t) {
+                    if !on_text(&mut stack, t, false) {
                         return Ok((CastOutcome::Invalid, stats));
                     }
                 }
@@ -528,7 +531,12 @@ impl<'a, 'b> StreamingCast<'a, 'b> {
 /// Handles character data against the innermost frame. Returns whether the
 /// text is admissible. The first run of a simple value stays borrowed; only
 /// a second run (CDATA boundary, comment split) forces an owned buffer.
-fn on_text<'t>(stack: &mut [Frame<'_, 't>], t: Cow<'t, str>) -> bool {
+///
+/// `known_ws` is the tape's build-time classification: `true` proves the
+/// run is all ASCII whitespace (so mixed-content admissibility needs no
+/// re-scan), `false` means unknown and the full check runs — which also
+/// covers Unicode whitespace the tape never classifies.
+fn on_text<'t>(stack: &mut [Frame<'_, 't>], t: Cow<'t, str>, known_ws: bool) -> bool {
     match stack.last_mut() {
         Some(Frame::Simple { text, .. }) => {
             match text {
@@ -537,7 +545,7 @@ fn on_text<'t>(stack: &mut [Frame<'_, 't>], t: Cow<'t, str>) -> bool {
             }
             true
         }
-        Some(Frame::Complex { .. }) | None => all_xml_whitespace(&t),
+        Some(Frame::Complex { .. }) | None => known_ws || all_xml_whitespace(&t),
     }
 }
 

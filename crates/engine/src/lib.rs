@@ -27,12 +27,22 @@
 //!   preprocessed schema-evolution chain: one-pass `(v_1, v_N)` document
 //!   verdicts and per-item migration-script verification with chain-level
 //!   static skips/rejects folded into the batch totals.
+//! * **Corpus scale** — [`BatchEngine::validate_corpus`] streams an
+//!   on-disk tree or manifest through a bounded path queue with memory
+//!   O(workers), mmap-or-read adaptive I/O, and a persistent
+//!   content-hash [`VerdictCache`] so a re-run after editing k of n
+//!   files revalidates exactly k documents (see [`corpus`] and
+//!   [`cache`]).
 
+pub mod cache;
 mod chain;
+pub mod corpus;
 mod pool;
 mod report;
 
+pub use cache::{content_hash, CacheEntry, CacheLoad, ColdReason, VerdictCache};
 pub use chain::ChainEngine;
+pub use corpus::{CorpusItem, CorpusOptions, CorpusReport, CorpusSource, CorpusView};
 pub use report::{BatchReport, ItemOutcome, ItemReport};
 
 use schemacast_core::certify::{certify_context, CertificationRun};

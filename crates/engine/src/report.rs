@@ -21,6 +21,11 @@ pub enum ItemOutcome {
         /// 0-based index of the first hop whose verdict failed.
         hop: usize,
     },
+    /// The input file could not be read at all (corpus/file batches only):
+    /// missing, permission denied, or an I/O error mid-read. Unlike
+    /// [`ItemOutcome::MalformedXml`] this says nothing about the content,
+    /// so it is transient — the verdict cache never records it.
+    ReadFailed(String),
 }
 
 impl ItemOutcome {
@@ -66,6 +71,8 @@ pub struct BatchReport {
     pub malformed: usize,
     /// Number of [`ItemOutcome::EditFailed`] items.
     pub edit_failed: usize,
+    /// Number of [`ItemOutcome::ReadFailed`] items.
+    pub read_failed: usize,
     /// Worker count the batch ran with.
     pub workers: usize,
     /// Wall-clock time of the batch (excluded from determinism guarantees).
@@ -79,7 +86,8 @@ impl BatchReport {
         elapsed: Duration,
     ) -> BatchReport {
         let mut totals = ValidationStats::default();
-        let (mut valid, mut invalid, mut malformed, mut edit_failed) = (0, 0, 0, 0);
+        let (mut valid, mut invalid, mut malformed, mut edit_failed, mut read_failed) =
+            (0, 0, 0, 0, 0);
         for item in &items {
             totals += item.stats;
             match item.outcome {
@@ -87,6 +95,7 @@ impl BatchReport {
                 ItemOutcome::Invalid | ItemOutcome::ChainBroken { .. } => invalid += 1,
                 ItemOutcome::MalformedXml(_) => malformed += 1,
                 ItemOutcome::EditFailed(_) => edit_failed += 1,
+                ItemOutcome::ReadFailed(_) => read_failed += 1,
             }
         }
         BatchReport {
@@ -96,6 +105,7 @@ impl BatchReport {
             invalid,
             malformed,
             edit_failed,
+            read_failed,
             workers,
             elapsed,
         }
@@ -122,9 +132,18 @@ impl BatchReport {
     /// ([`ValidationStats::index_build_micros`],
     /// [`ValidationStats::cert_check_micros`]) are zeroed in the view: they
     /// vary run to run by construction, like `elapsed`.
+    #[allow(clippy::type_complexity)]
     pub fn deterministic_view(
         &self,
-    ) -> (Vec<ItemReport>, ValidationStats, usize, usize, usize, usize) {
+    ) -> (
+        Vec<ItemReport>,
+        ValidationStats,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+    ) {
         let strip = |mut s: ValidationStats| {
             s.index_build_micros = 0;
             s.cert_check_micros = 0;
@@ -145,6 +164,7 @@ impl BatchReport {
             self.invalid,
             self.malformed,
             self.edit_failed,
+            self.read_failed,
         )
     }
 }

@@ -63,6 +63,14 @@ pub mod flags {
     /// The tag's `>` was never found; its `b` offset is the end of input.
     /// Event-time lexing reproduces the scalar lexer's error for it.
     pub const UNCLOSED: u8 = 4;
+    /// Every byte of the text span is XML whitespace (space, tab, CR, LF) —
+    /// set on [`super::EntryKind::Text`]. The validator uses this as a
+    /// *sound hint*: set means definitely ignorable between elements with
+    /// no re-scan; clear means "unknown" (the span may still be Unicode
+    /// whitespace, which the slow path re-checks). Entity-bearing spans
+    /// never carry it: `&` is not whitespace, and what an entity expands
+    /// to is event-time knowledge.
+    pub const ALL_WS: u8 = 8;
 }
 
 /// One record on the structural tape. 20 bytes, plain data.
@@ -364,19 +372,24 @@ impl Builder<'_, '_> {
     fn text(&mut self, start: usize, end: usize, has_amp: bool) {
         debug_assert!(start < end);
         debug_assert_eq!(has_amp, scan::contains_byte(self.bytes, start, end, b'&'));
-        if self.in_prolog
-            && self.bytes[start..end]
-                .iter()
-                .any(|&b| !matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
-        {
+        // One SWAR pass classifies the whole span as whitespace-only (or
+        // not) at build time, so the validator never re-scans ignorable
+        // text. Entity-bearing spans can never be all-whitespace (`&` is
+        // not whitespace), so they skip the scan. This also subsumes the
+        // prolog check — "still in the prolog" means exactly "nothing but
+        // whitespace text so far", over the same four bytes.
+        let ws_only = !has_amp && scan::all_ws(self.bytes, start, end);
+        if self.in_prolog && !ws_only {
             self.in_prolog = false;
         }
-        self.push_flagged(
-            EntryKind::Text,
-            if has_amp { flags::HAS_AMP } else { 0 },
-            start,
-            end,
-        );
+        let mut entry_flags = 0;
+        if has_amp {
+            entry_flags |= flags::HAS_AMP;
+        }
+        if ws_only {
+            entry_flags |= flags::ALL_WS;
+        }
+        self.push_flagged(EntryKind::Text, entry_flags, start, end);
     }
 
     fn push(&mut self, kind: EntryKind, entry_flags: u8, a: usize, b: usize) {
@@ -479,6 +492,24 @@ mod tests {
         let text = ix.entries()[1];
         assert_eq!(text.kind, EntryKind::Text);
         assert_ne!(text.flags & flags::HAS_AMP, 0);
+    }
+
+    #[test]
+    fn whitespace_only_text_classification() {
+        let ix = StructuralIndex::build("<a>\n  <b/> \t\r\n x <c/>&#32;</a>");
+        let texts: Vec<u8> = ix
+            .entries()
+            .iter()
+            .filter(|e| e.kind == EntryKind::Text)
+            .map(|e| e.flags)
+            .collect();
+        assert_eq!(texts.len(), 3);
+        assert_ne!(texts[0] & flags::ALL_WS, 0, "newline+indent before <b/>");
+        assert_eq!(texts[1] & flags::ALL_WS, 0, "\" \\t\\r\\n x \" has content");
+        // The entity-bearing span never carries ALL_WS even though it
+        // expands to a space: expansion is event-time knowledge.
+        assert_ne!(texts[2] & flags::HAS_AMP, 0);
+        assert_eq!(texts[2] & flags::ALL_WS, 0);
     }
 
     #[test]

@@ -404,6 +404,10 @@ pub struct PullParser<'a> {
     queued: Option<PullEvent<'a>>,
     /// Whether the document element has already been seen.
     seen_root: bool,
+    /// Whether the most recent [`PullEvent::Text`] came from a tape span
+    /// classified [`flags::ALL_WS`] at build time (see
+    /// [`last_text_all_ws`](Self::last_text_all_ws)).
+    last_text_all_ws: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -439,6 +443,7 @@ impl<'a> PullParser<'a> {
             state: State::Active,
             queued: None,
             seen_root: false,
+            last_text_all_ws: false,
         }
     }
 
@@ -466,6 +471,19 @@ impl<'a> PullParser<'a> {
     /// run) began.
     pub fn last_event_offset(&self) -> usize {
         self.event_start
+    }
+
+    /// Whether the most recently returned [`PullEvent::Text`] is *known*
+    /// to be all XML whitespace, straight off the structural tape's
+    /// build-time classification — no re-scan.
+    ///
+    /// This is a sound hint, not a complete one: `true` means every byte
+    /// of the span is space/tab/CR/LF; `false` means unknown (CDATA
+    /// sections and entity-bearing spans always report `false`, and the
+    /// caller must re-check if it cares about Unicode whitespace).
+    #[inline]
+    pub fn last_text_all_ws(&self) -> bool {
+        self.last_text_all_ws
     }
 
     /// Number of distinct element names interned so far.
@@ -747,15 +765,18 @@ impl<'a> PullParser<'a> {
                 EntryKind::Text => {
                     let (start, end) = (entry.a as usize, entry.b as usize);
                     if self.stack.is_empty() {
-                        // Only whitespace is allowed outside the root.
-                        if let Some(i) = self.bytes[start..end]
-                            .iter()
-                            .position(|&b| !matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
-                        {
-                            self.pos = start + i;
-                            return Err(self.err(
-                                "expected markup, found character data outside the root element",
-                            ));
+                        // Only whitespace is allowed outside the root. The
+                        // tape flag settles clean spans with no re-scan.
+                        if entry.flags & flags::ALL_WS == 0 {
+                            if let Some(i) = self.bytes[start..end]
+                                .iter()
+                                .position(|&b| !matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+                            {
+                                self.pos = start + i;
+                                return Err(self.err(
+                                    "expected markup, found character data outside the root element",
+                                ));
+                            }
                         }
                         self.pos = end;
                         continue;
@@ -767,6 +788,7 @@ impl<'a> PullParser<'a> {
                         Cow::Borrowed(&self.text[start..end])
                     };
                     self.pos = end;
+                    self.last_text_all_ws = entry.flags & flags::ALL_WS != 0;
                     return Ok(Some(PullEvent::Text(text)));
                 }
                 EntryKind::Open => return self.open_event(entry).map(Some),
@@ -780,6 +802,8 @@ impl<'a> PullParser<'a> {
                     self.event_start = lt;
                     let content = &self.text[lt + 9..entry.b as usize];
                     self.pos = entry.b as usize + 3;
+                    // CDATA content is never classified on the tape.
+                    self.last_text_all_ws = false;
                     return Ok(Some(PullEvent::Text(Cow::Borrowed(content))));
                 }
                 EntryKind::Doctype => return self.doctype_event(entry).map(Some),

@@ -40,6 +40,55 @@ fn first_lane(mask: u64) -> usize {
     (mask.trailing_zeros() / 8) as usize
 }
 
+/// A word whose high bit is set in every lane of `x` that is **non-zero**.
+///
+/// Unlike [`zero_lanes`] this is exact per lane: `(x & 0x7F..) + 0x7F..`
+/// carries into bit 7 of a lane iff any of its low seven bits are set, and
+/// the carry cannot cross lanes (`0x7F + 0x7F = 0xFE`). OR-ing `x` back in
+/// covers lanes whose only set bit is bit 7. `zero_lanes`' borrow can flag
+/// lanes *after* the first zero — fine for "find the first match", fatal
+/// for "does every lane match", which is what [`all_ws`] needs.
+#[inline]
+fn nonzero_lanes_exact(x: u64) -> u64 {
+    (((x & !HI) + !HI) | x) & HI
+}
+
+/// Whether every byte of `hay[from..to]` is XML whitespace (space, tab,
+/// CR, LF). Empty and out-of-range spans are vacuously all-whitespace.
+///
+/// This is the tape builder's text-span classification: one pass at build
+/// time lets the validator skip whitespace-only text events without ever
+/// re-scanning the span.
+#[inline]
+pub fn all_ws(hay: &[u8], from: usize, to: usize) -> bool {
+    let to = to.min(hay.len());
+    if from >= to {
+        return true;
+    }
+    let span = &hay[from..to];
+    let (sp, tab, lf, cr) = (splat(b' '), splat(b'\t'), splat(b'\n'), splat(b'\r'));
+    let mut chunks = span.chunks_exact(8);
+    for chunk in chunks.by_ref() {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(chunk);
+        let w = u64::from_le_bytes(bytes);
+        // High bit per lane iff the lane matches at least one of the four
+        // whitespace bytes; all eight must match.
+        let ws = (!nonzero_lanes_exact(w ^ sp)
+            | !nonzero_lanes_exact(w ^ tab)
+            | !nonzero_lanes_exact(w ^ lf)
+            | !nonzero_lanes_exact(w ^ cr))
+            & HI;
+        if ws != HI {
+            return false;
+        }
+    }
+    chunks
+        .remainder()
+        .iter()
+        .all(|&b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+}
+
 /// Position of the first `byte` at or after `from`, or `None`.
 #[inline]
 pub fn find_byte(hay: &[u8], from: usize, byte: u8) -> Option<usize> {
@@ -225,6 +274,55 @@ mod tests {
         assert_eq!(find_seq(hay, 3, b""), Some(3));
         // Needle longer than the tail.
         assert_eq!(find_seq(b"xy", 0, b"xyz"), None);
+    }
+
+    #[test]
+    fn all_ws_agrees_with_naive_scan() {
+        fn naive(hay: &[u8], from: usize, to: usize) -> bool {
+            hay[from..to.min(hay.len())]
+                .iter()
+                .all(|&b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        }
+        // Whitespace runs with a single interloper at every position and
+        // every alignment, including chunk boundaries.
+        for len in 0..40 {
+            let mut hay = vec![b' '; len];
+            for (i, b) in [b'\t', b'\n', b'\r'].iter().enumerate() {
+                if i < len {
+                    hay[i] = *b;
+                }
+            }
+            for from in 0..=len {
+                for to in from..=len + 1 {
+                    assert!(all_ws(&hay, from, to), "ws run len={len} {from}..{to}");
+                }
+            }
+            for at in 0..len {
+                let saved = hay[at];
+                hay[at] = b'x';
+                for from in 0..=len {
+                    for to in from..=len {
+                        assert_eq!(
+                            all_ws(&hay, from, to),
+                            naive(&hay, from, to),
+                            "len={len} interloper@{at} {from}..{to}"
+                        );
+                    }
+                }
+                hay[at] = saved;
+            }
+        }
+        // High-bit bytes must not read as whitespace (NBSP et al. are
+        // handled by the validator's slow path, never the tape flag).
+        let tricky = [0x80u8, 0xFF, 0xA0, 0x00, 0x1F, 0x7F, b' ', b' '];
+        for from in 0..tricky.len() {
+            assert_eq!(
+                all_ws(&tricky, from, tricky.len()),
+                tricky[from..]
+                    .iter()
+                    .all(|&b| matches!(b, b' ' | b'\t' | b'\n' | b'\r')),
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! schemacast validate --schema S.xsd doc.xml [doc2.xml ...]
 //! schemacast cast --source S.xsd --target T.xsd [--stream] [--stats] doc.xml ...
 //! schemacast batch --source S.xsd --target T.xsd [--threads N] [--warm-up] doc.xml ...
+//! schemacast batch --source S.xsd --target T.xsd --dir CORPUS/ [--cache verdicts.scvc]
+//! schemacast batch --source S.xsd --target T.xsd --manifest files.txt [--cache ...]
 //! schemacast repair --source S.xsd --target T.xsd --out fixed.xml doc.xml
 //! schemacast inspect --source S.xsd --target T.xsd
 //! schemacast analyze S.xsd Sprime.xsd [--json]
@@ -11,6 +13,17 @@
 //! schemacast certify S.xsd Sprime.xsd [--json]
 //! schemacast chain v1.xsd v2.xsd [v3.xsd ...] [--json | --sarif] [--certify]
 //! ```
+//!
+//! `batch` with `--dir`, `--manifest`, or `--stream` runs the
+//! bounded-memory corpus pipeline: paths stream through a bounded queue
+//! to the workers, documents are memory-mapped and validated off the
+//! tape without ever materializing the corpus in memory, and per-file
+//! read failures become per-item verdicts instead of aborting the run.
+//! `--cache PATH` adds the persistent content-hash verdict cache: hits
+//! replay recorded verdicts, and the cache goes cold automatically when
+//! the schema pair, cast options, or computed relations change. With
+//! `--certify`, only entries recorded under the same certified
+//! fingerprint are trusted.
 //!
 //! Schemas ending in `.dtd` are parsed as DTDs (root taken from the first
 //! document's DOCTYPE, or `--root NAME`).
@@ -30,14 +43,16 @@
 //! certificates (the per-hop tuples behind every composed end-to-end fact).
 
 use schemacast::analysis;
+use schemacast::core::certification_digest;
 use schemacast::core::certify::{certify_context, certify_context_with_scripts, CertificationRun};
 use schemacast::core::{
     certify_chain, CastContext, FullValidator, Repairer, SchemaChain, Severity, StreamingCast,
 };
-use schemacast::engine::{BatchEngine, ItemOutcome};
+use schemacast::engine::{BatchEngine, CorpusOptions, CorpusSource, ItemOutcome, VerdictCache};
 use schemacast::schema::{AbstractSchema, SchemaSpans, Session};
 use schemacast::tree::{Doc, WhitespaceMode};
 use schemacast::xml::parse_document;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Options {
@@ -48,6 +63,9 @@ struct Options {
     root: Option<String>,
     out: Option<String>,
     threads: Option<usize>,
+    dir: Option<String>,
+    manifest: Option<String>,
+    cache: Option<String>,
     stream: bool,
     stats: bool,
     warm_up: bool,
@@ -66,6 +84,8 @@ fn usage() -> ExitCode {
          doc.xml...\n  \
          schemacast batch --source S.xsd --target T.xsd [--threads N] [--stream] \
          [--warm-up] [--stats] [--certify] doc.xml...\n  \
+         schemacast batch --source S.xsd --target T.xsd (--dir DIR | --manifest FILE) \
+         [--cache PATH] [--threads N] [--stats] [--certify]\n  \
          schemacast repair --source S.xsd --target T.xsd [--out fixed.xml] doc.xml\n  \
          schemacast inspect --source S.xsd --target T.xsd\n  \
          schemacast analyze S.xsd Sprime.xsd [--json] [--certify]\n  \
@@ -91,6 +111,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         root: None,
         out: None,
         threads: None,
+        dir: None,
+        manifest: None,
+        cache: None,
         stream: false,
         stats: false,
         warm_up: false,
@@ -115,6 +138,9 @@ fn parse_args() -> Result<Options, ExitCode> {
                 };
                 opts.threads = Some(n);
             }
+            "--dir" => opts.dir = args.next(),
+            "--manifest" => opts.manifest = args.next(),
+            "--cache" => opts.cache = args.next(),
             "--stream" => opts.stream = true,
             "--stats" => opts.stats = true,
             "--warm-up" => opts.warm_up = true,
@@ -177,6 +203,20 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
         }
         return Ok(opts);
+    }
+    // `batch --dir` / `--manifest` name their corpus via the flag; the
+    // two sources (and a positional file list) are mutually exclusive.
+    if opts.command == "batch" {
+        let sources = usize::from(opts.dir.is_some())
+            + usize::from(opts.manifest.is_some())
+            + usize::from(!opts.docs.is_empty());
+        if sources > 1 {
+            eprintln!("--dir, --manifest, and a positional file list are mutually exclusive");
+            return Err(usage());
+        }
+        if sources == 1 {
+            return Ok(opts);
+        }
     }
     if opts.docs.is_empty() && opts.command != "inspect" {
         eprintln!("no documents given");
@@ -342,22 +382,25 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            // In tree mode documents are parsed up front (interning labels
-            // into the shared alphabet); in --stream mode the raw text is
-            // validated inside the pool and malformed inputs become
-            // per-item outcomes instead of hard errors.
+            // `--dir` / `--manifest` / `--stream` all run the streaming
+            // corpus pipeline: bounded memory, mmap'd documents, per-file
+            // read failures as per-item verdicts. Plain positional batches
+            // keep the tree path (documents parsed up front, interning
+            // labels into the shared alphabet).
+            let corpus_source = if let Some(dir) = &opts.dir {
+                Some(CorpusSource::Dir(PathBuf::from(dir)))
+            } else if let Some(man) = &opts.manifest {
+                Some(CorpusSource::Manifest(PathBuf::from(man)))
+            } else if opts.stream {
+                Some(CorpusSource::Paths(
+                    opts.docs.iter().map(PathBuf::from).collect(),
+                ))
+            } else {
+                None
+            };
             let mut docs: Vec<Doc> = Vec::new();
-            let mut texts: Vec<String> = Vec::new();
-            for path in &opts.docs {
-                if opts.stream {
-                    match std::fs::read_to_string(path) {
-                        Ok(text) => texts.push(text),
-                        Err(e) => {
-                            eprintln!("cannot read {path}: {e}");
-                            return ExitCode::from(2);
-                        }
-                    }
-                } else {
+            if corpus_source.is_none() {
+                for path in &opts.docs {
                     match load_doc(path, &mut session) {
                         Ok((doc, _)) => docs.push(doc),
                         Err(e) => {
@@ -381,77 +424,178 @@ fn main() -> ExitCode {
                 let built = engine.warm_up();
                 println!("warm-up: {built} product IDA(s) precomputed");
             }
-            let mut report = if opts.stream {
-                engine.validate_xml(&texts, &session.alphabet)
+
+            if let Some(corpus) = corpus_source {
+                // The cache trusts an existing file only under the same
+                // context fingerprint — and, when certifying, the same
+                // certification digest.
+                let fp = ctx.fingerprint(&session.alphabet);
+                let cert_digest = cert_run
+                    .as_ref()
+                    .map_or(0, |run| certification_digest(fp, run));
+                let mut cache = opts
+                    .cache
+                    .as_deref()
+                    .map(|p| VerdictCache::load(Path::new(p), fp, cert_digest));
+                let mut report = match engine.validate_corpus(
+                    &corpus,
+                    &session.alphabet,
+                    cache.as_mut(),
+                    &CorpusOptions::default(),
+                ) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("batch: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                if let (Some(cache), Some(path)) = (&cache, opts.cache.as_deref()) {
+                    if let Err(e) = cache.save(Path::new(path)) {
+                        eprintln!("warning: cannot save cache {path}: {e}");
+                    }
+                }
+                if let Some(run) = &cert_run {
+                    report.totals += run.stats();
+                }
+                let mut any_malformed = false;
+                for item in &report.items {
+                    let path = item.path.display();
+                    match &item.outcome {
+                        ItemOutcome::Valid => println!("{path}: valid"),
+                        ItemOutcome::Invalid | ItemOutcome::ChainBroken { .. } => {
+                            println!("{path}: INVALID");
+                            any_invalid = true;
+                        }
+                        ItemOutcome::MalformedXml(e) => {
+                            println!("{path}: MALFORMED ({e})");
+                            any_malformed = true;
+                        }
+                        ItemOutcome::ReadFailed(e) | ItemOutcome::EditFailed(e) => {
+                            println!("{path}: READ FAILED ({e})");
+                            any_malformed = true;
+                        }
+                    }
+                }
+                println!(
+                    "batch: {} doc(s) on {} worker(s) in {:.1?}  ({:.0} docs/sec)  \
+                     valid {} / invalid {} / malformed {} / read-failed {}",
+                    report.items.len(),
+                    report.workers,
+                    report.elapsed,
+                    report.docs_per_sec(),
+                    report.valid,
+                    report.invalid,
+                    report.malformed,
+                    report.read_failed
+                );
+                if opts.stats {
+                    println!(
+                        "  nodes visited: {}   subsumed skips: {}   value checks: {}",
+                        report.totals.nodes_visited,
+                        report.totals.subsumed_skips,
+                        report.totals.value_checks
+                    );
+                    println!(
+                        "  bytes skipped lexically: {}   tag events avoided: {}",
+                        report.totals.bytes_skipped, report.totals.events_avoided
+                    );
+                    if report.totals.tape_events > 0 {
+                        println!(
+                            "  tape events: {}   tape skip hops: {}   index build: {} us",
+                            report.totals.tape_events,
+                            report.totals.tape_skip_hops,
+                            report.totals.index_build_micros
+                        );
+                    }
+                    println!(
+                        "  cache hits: {}   cache misses: {}",
+                        report.cache_hits, report.cache_misses
+                    );
+                    println!(
+                        "  bytes mmapped: {}   bytes read: {}",
+                        report.bytes_mmapped, report.bytes_read
+                    );
+                    if cert_run.is_some() {
+                        println!(
+                            "  certificates: {} emitted, {} checked in {} us",
+                            report.totals.certs_emitted,
+                            report.totals.certs_checked,
+                            report.totals.cert_check_micros
+                        );
+                    }
+                }
+                if any_malformed {
+                    return ExitCode::from(2);
+                }
             } else {
-                engine.validate_docs(&docs)
-            };
-            if let Some(run) = &cert_run {
-                report.totals += run.stats();
-            }
-            let mut any_malformed = false;
-            for (path, item) in opts.docs.iter().zip(&report.items) {
-                match &item.outcome {
-                    ItemOutcome::Valid => println!("{path}: valid"),
-                    ItemOutcome::Invalid => {
-                        println!("{path}: INVALID");
-                        any_invalid = true;
-                    }
-                    ItemOutcome::MalformedXml(e) => {
-                        println!("{path}: MALFORMED ({e})");
-                        any_malformed = true;
-                    }
-                    ItemOutcome::EditFailed(e) => {
-                        println!("{path}: EDIT FAILED ({e})");
-                        any_malformed = true;
-                    }
-                    ItemOutcome::ChainBroken { hop } => {
-                        println!("{path}: CHAIN BROKEN (hop {hop})");
-                        any_invalid = true;
+                let mut report = engine.validate_docs(&docs);
+                if let Some(run) = &cert_run {
+                    report.totals += run.stats();
+                }
+                let mut any_malformed = false;
+                for (path, item) in opts.docs.iter().zip(&report.items) {
+                    match &item.outcome {
+                        ItemOutcome::Valid => println!("{path}: valid"),
+                        ItemOutcome::Invalid => {
+                            println!("{path}: INVALID");
+                            any_invalid = true;
+                        }
+                        ItemOutcome::MalformedXml(e) => {
+                            println!("{path}: MALFORMED ({e})");
+                            any_malformed = true;
+                        }
+                        ItemOutcome::EditFailed(e) | ItemOutcome::ReadFailed(e) => {
+                            println!("{path}: EDIT FAILED ({e})");
+                            any_malformed = true;
+                        }
+                        ItemOutcome::ChainBroken { hop } => {
+                            println!("{path}: CHAIN BROKEN (hop {hop})");
+                            any_invalid = true;
+                        }
                     }
                 }
-            }
-            println!(
-                "batch: {} doc(s) on {} worker(s) in {:.1?}  ({:.0} docs/sec)  \
-                 valid {} / invalid {} / malformed {}",
-                report.items.len(),
-                report.workers,
-                report.elapsed,
-                report.docs_per_sec(),
-                report.valid,
-                report.invalid,
-                report.malformed
-            );
-            if opts.stats {
                 println!(
-                    "  nodes visited: {}   subsumed skips: {}   value checks: {}",
-                    report.totals.nodes_visited,
-                    report.totals.subsumed_skips,
-                    report.totals.value_checks
+                    "batch: {} doc(s) on {} worker(s) in {:.1?}  ({:.0} docs/sec)  \
+                     valid {} / invalid {} / malformed {}",
+                    report.items.len(),
+                    report.workers,
+                    report.elapsed,
+                    report.docs_per_sec(),
+                    report.valid,
+                    report.invalid,
+                    report.malformed
                 );
-                println!(
-                    "  bytes skipped lexically: {}   tag events avoided: {}",
-                    report.totals.bytes_skipped, report.totals.events_avoided
-                );
-                if report.totals.tape_events > 0 {
+                if opts.stats {
                     println!(
-                        "  tape events: {}   tape skip hops: {}   index build: {} us",
-                        report.totals.tape_events,
-                        report.totals.tape_skip_hops,
-                        report.totals.index_build_micros
+                        "  nodes visited: {}   subsumed skips: {}   value checks: {}",
+                        report.totals.nodes_visited,
+                        report.totals.subsumed_skips,
+                        report.totals.value_checks
                     );
-                }
-                if cert_run.is_some() {
                     println!(
-                        "  certificates: {} emitted, {} checked in {} us",
-                        report.totals.certs_emitted,
-                        report.totals.certs_checked,
-                        report.totals.cert_check_micros
+                        "  bytes skipped lexically: {}   tag events avoided: {}",
+                        report.totals.bytes_skipped, report.totals.events_avoided
                     );
+                    if report.totals.tape_events > 0 {
+                        println!(
+                            "  tape events: {}   tape skip hops: {}   index build: {} us",
+                            report.totals.tape_events,
+                            report.totals.tape_skip_hops,
+                            report.totals.index_build_micros
+                        );
+                    }
+                    if cert_run.is_some() {
+                        println!(
+                            "  certificates: {} emitted, {} checked in {} us",
+                            report.totals.certs_emitted,
+                            report.totals.certs_checked,
+                            report.totals.cert_check_micros
+                        );
+                    }
                 }
-            }
-            if any_malformed {
-                return ExitCode::from(2);
+                if any_malformed {
+                    return ExitCode::from(2);
+                }
             }
         }
         "cast" | "repair" => {

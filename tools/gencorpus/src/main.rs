@@ -1,0 +1,170 @@
+//! `gencorpus` — deterministic on-disk corpus generator for the
+//! corpus-scale batch pipeline (CI smoke jobs, benchmarks, BENCH runs).
+//!
+//! ```text
+//! gencorpus --out DIR --count N [--items K]     # generate N documents
+//! gencorpus --out DIR --edit K --tag STR        # rewrite the first K docs
+//! ```
+//!
+//! Generation writes purchase-order documents valid for the bundled
+//! source schema (`po_source.xsd` / `po_target.xsd` are dropped next to
+//! them), sharded 1000 per subdirectory so directory walks stay cheap.
+//! Every document embeds its index in a trailing comment, so all N files
+//! have pairwise-distinct content hashes.
+//!
+//! `--edit` deterministically rewrites the first K documents with fresh
+//! content (the tag is embedded, so repeated edits with different tags
+//! keep changing the bytes) — the "touch k files, expect exactly k cache
+//! misses" half of the incremental story. Documents keep the same verdict
+//! class, so cold and warm runs must print identical per-item reports.
+//!
+//! Exit codes: 0 on success, 2 on usage or I/O error.
+
+use schemacast_regex::Alphabet;
+use schemacast_workload::purchase_order as po;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files per subdirectory shard.
+const SHARD: usize = 1000;
+
+struct Options {
+    out: PathBuf,
+    count: usize,
+    items: usize,
+    edit: usize,
+    tag: String,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  gencorpus --out DIR --count N [--items K]\n  \
+         gencorpus --out DIR --edit K --tag STR [--items K]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut out = None;
+    let mut count = 0usize;
+    let mut items = 8usize;
+    let mut edit = 0usize;
+    let mut tag = String::from("1");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let number = |name: &str, args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| {
+                    eprintln!("{name} requires a number");
+                    usage()
+                })
+        };
+        match a.as_str() {
+            "--out" => out = args.next().map(PathBuf::from),
+            "--count" => count = number("--count", &mut args)?,
+            "--items" => items = number("--items", &mut args)?,
+            "--edit" => edit = number("--edit", &mut args)?,
+            "--tag" => tag = args.next().unwrap_or_default(),
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return Err(usage());
+            }
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("--out is required");
+        return Err(usage());
+    };
+    if count == 0 && edit == 0 {
+        eprintln!("one of --count or --edit is required");
+        return Err(usage());
+    }
+    Ok(Options {
+        out,
+        count,
+        items,
+        edit,
+        tag,
+    })
+}
+
+/// `DIR/d003/doc003456.xml` for index 3456.
+fn doc_path(out: &Path, i: usize) -> PathBuf {
+    out.join(format!("d{:03}", i / SHARD))
+        .join(format!("doc{i:06}.xml"))
+}
+
+/// One document's bytes: index-dependent shape plus an identifying
+/// comment, so content hashes are pairwise distinct and editing with a
+/// new tag always changes the bytes.
+fn doc_bytes(alphabet: &mut Alphabet, i: usize, items: usize, tag: &str) -> String {
+    let n_items = 1 + (i + items) % (2 * items);
+    let xml = po::document_xml(alphabet, n_items);
+    format!("{xml}<!-- doc {i} tag {tag} -->")
+}
+
+fn run(opts: &Options) -> std::io::Result<()> {
+    let mut alphabet = Alphabet::new();
+    if opts.count > 0 {
+        std::fs::create_dir_all(&opts.out)?;
+        std::fs::write(opts.out.join("po_source.xsd"), po::source_xsd())?;
+        std::fs::write(opts.out.join("po_target.xsd"), po::target_xsd())?;
+        // The Experiment-1 target (quantity maxExclusive=200): casting to
+        // it defeats subsumption for Item subtrees, so every item's
+        // content is actually validated — the workload for measuring
+        // cache wins against real validation cost.
+        std::fs::write(opts.out.join("po_maxex200.xsd"), po::source_maxex200_xsd())?;
+        for i in 0..opts.count {
+            let path = doc_path(&opts.out, i);
+            if i % SHARD == 0 {
+                if let Some(shard) = path.parent() {
+                    std::fs::create_dir_all(shard)?;
+                }
+            }
+            std::fs::write(&path, doc_bytes(&mut alphabet, i, opts.items, "gen"))?;
+        }
+        println!(
+            "generated {} document(s) under {}",
+            opts.count,
+            opts.out.display()
+        );
+    }
+    if opts.edit > 0 {
+        for i in 0..opts.edit {
+            let path = doc_path(&opts.out, i);
+            if !path.is_file() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("{} does not exist — generate first", path.display()),
+                ));
+            }
+            // A different item count than generation used, plus the tag,
+            // guarantees fresh bytes while staying schema-valid.
+            let xml = po::document_xml(&mut alphabet, 1 + (i + opts.items + 1) % 11);
+            std::fs::write(&path, format!("{xml}<!-- edited {i} tag {} -->", opts.tag))?;
+        }
+        println!(
+            "edited {} document(s) under {} (tag {})",
+            opts.edit,
+            opts.out.display(),
+            opts.tag
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gencorpus: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
