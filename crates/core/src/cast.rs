@@ -17,11 +17,11 @@ use crate::idacache::{ShardedCache, ShardedIdaCache};
 use crate::relations::TypeRelations;
 use crate::safety::{Exemptions, PairSafety};
 use crate::stats::{CastOutcome, ValidationStats};
+use loomlite::sync::Arc;
 use schemacast_automata::{IdaOutcome, ProductIda};
 use schemacast_regex::{Alphabet, Sym};
 use schemacast_schema::{AbstractSchema, ComplexType, TypeDef, TypeId};
 use schemacast_tree::{Doc, NodeId};
-use std::sync::Arc;
 
 /// Feature toggles for ablation studies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

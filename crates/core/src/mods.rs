@@ -10,20 +10,21 @@
 
 use crate::cast::CastContext;
 use crate::full::FullValidator;
+use crate::idacache::ShardedCache;
 use crate::stats::{CastOutcome, ValidationStats};
+use loomlite::sync::Arc;
 use schemacast_automata::StringCast;
 use schemacast_regex::Sym;
 use schemacast_schema::{TypeDef, TypeId};
 use schemacast_tree::{DeltaDoc, DeltaState, NodeId, ProjLabel, TrieCursor};
-use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
 
 /// Validator for edited documents over a preprocessed [`CastContext`].
 pub struct ModsValidator<'a, 'b> {
     ctx: &'a CastContext<'b>,
     /// Per type pair: preprocessed string-cast machinery (with reverse
-    /// automata) for content-model revalidation after edits.
-    string_casts: RwLock<HashMap<(TypeId, TypeId), Arc<StringCast>>>,
+    /// automata) for content-model revalidation after edits, in the same
+    /// sharded publish-once cache the product IDAs use.
+    string_casts: ShardedCache<StringCast>,
 }
 
 impl<'a, 'b> ModsValidator<'a, 'b> {
@@ -31,7 +32,7 @@ impl<'a, 'b> ModsValidator<'a, 'b> {
     pub fn new(ctx: &'a CastContext<'b>) -> Self {
         ModsValidator {
             ctx,
-            string_casts: RwLock::new(HashMap::new()),
+            string_casts: ShardedCache::new(),
         }
     }
 
@@ -195,36 +196,25 @@ impl<'a, 'b> ModsValidator<'a, 'b> {
     }
 
     fn string_cast(&self, src: TypeId, tgt: TypeId) -> Arc<StringCast> {
-        if let Some(sc) = self
-            .string_casts
-            .read()
-            .expect("lock poisoned")
-            .get(&(src, tgt))
-        {
-            return Arc::clone(sc);
-        }
-        let a = self
-            .ctx
-            .source()
-            .type_def(src)
-            .as_complex()
-            .expect("string cast requires complex source")
-            .dfa
-            .clone();
-        let b = self
-            .ctx
-            .target()
-            .type_def(tgt)
-            .as_complex()
-            .expect("string cast requires complex target")
-            .dfa
-            .clone();
-        let sc = Arc::new(StringCast::new(a, b).with_reverse());
-        self.string_casts
-            .write()
-            .expect("lock poisoned")
-            .insert((src, tgt), Arc::clone(&sc));
-        sc
+        self.string_casts.get_or_insert_with((src, tgt), || {
+            let a = self
+                .ctx
+                .source()
+                .type_def(src)
+                .as_complex()
+                .expect("string cast requires complex source")
+                .dfa
+                .clone();
+            let b = self
+                .ctx
+                .target()
+                .type_def(tgt)
+                .as_complex()
+                .expect("string cast requires complex target")
+                .dfa
+                .clone();
+            StringCast::new(a, b).with_reverse()
+        })
     }
 }
 

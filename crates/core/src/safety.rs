@@ -36,13 +36,13 @@
 
 use crate::cast::CastContext;
 use crate::stats::{CastOutcome, ValidationStats};
+use loomlite::sync::Arc;
 use schemacast_automata::safety::EditWordAnalysis;
 use schemacast_regex::Sym;
 use schemacast_schema::{AbstractSchema, TypeDef, TypeId};
 use schemacast_tree::shapes::{extract_shapes, EditShape, EditShapeKind};
 use schemacast_tree::{Doc, Edit, NodeId};
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 
 pub use schemacast_automata::safety::SafetyVerdict as Verdict;
 

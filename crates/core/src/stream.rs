@@ -33,13 +33,13 @@
 
 use crate::cast::CastContext;
 use crate::stats::{CastOutcome, ValidationStats};
+use loomlite::sync::Arc;
 use schemacast_automata::hot::state_flags;
 use schemacast_automata::{HotDfa, ProductIda, StateId};
 use schemacast_regex::{Alphabet, Sym, SymCache};
 use schemacast_schema::{ComplexType, SimpleType, TypeDef, TypeId};
 use schemacast_xml::{PullEvent, PullParser, StructuralIndex, XmlError};
 use std::borrow::Cow;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// A streaming validator over a preprocessed [`CastContext`].

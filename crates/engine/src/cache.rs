@@ -30,7 +30,7 @@ use crate::report::ItemOutcome;
 use schemacast_core::{Fnv64, ValidationStats};
 use std::collections::HashMap;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Magic + format version; bump the digit to orphan every existing file.
 const MAGIC: &[u8; 8] = b"SCVC0001";
@@ -302,10 +302,34 @@ impl VerdictCache {
         check.write(&buf);
         push_u64(&mut buf, check.finish());
 
-        let tmp = path.with_extension("tmp");
+        // The temp name must be unique per saver: with a fixed name, two
+        // concurrent saves interleave write/rename on the same temp file
+        // and can publish a torn cache (found by the loomlite cache-save
+        // model; see tests/conc_model.rs).
+        let tmp = unique_tmp_path(path);
         std::fs::write(&tmp, &buf)?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
+}
+
+/// A sibling temp path no concurrent saver collides with: process id
+/// plus a process-global counter. Two threads saving the same cache get
+/// distinct temp files, and the final rename decides the winner — the
+/// published file is always one complete save.
+fn unique_tmp_path(path: &Path) -> PathBuf {
+    use loomlite::sync::atomic::{AtomicU64, Ordering};
+    static SAVE_IDS: AtomicU64 = AtomicU64::new(0);
+    // ordering: Relaxed — the counter only needs uniqueness (RMWs form a
+    // single total order per location); nothing else is published.
+    let n = SAVE_IDS.fetch_add(1, Ordering::Relaxed);
+    let mut name = path
+        .file_name()
+        .map(|s| s.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".{}.{n}.tmp", std::process::id()));
+    path.with_file_name(name)
 }
 
 fn push_u64(buf: &mut Vec<u8>, v: u64) {

@@ -29,14 +29,15 @@
 use crate::cache::{content_hash, CacheEntry, VerdictCache};
 use crate::report::ItemOutcome;
 use crate::BatchEngine;
+use loomlite::sync::mpsc::SyncSender;
+use loomlite::sync::Mutex;
+use loomlite::thread;
 use mmapio::Mmap;
 use schemacast_core::ValidationStats;
 use schemacast_regex::Alphabet;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc::SyncSender;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Where a corpus comes from.
@@ -263,6 +264,17 @@ struct Work {
 /// record, carried out of the worker scope and applied afterwards.
 type PendingInsert = Option<((u64, u64), CacheEntry)>;
 
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
 impl<'c, 's> BatchEngine<'c, 's> {
     /// Revalidates a corpus with bounded memory, streaming paths from
     /// `source` through a bounded queue to the worker pool.
@@ -298,14 +310,14 @@ impl<'c, 's> BatchEngine<'c, 's> {
         let mut producer = Producer::open(source)?;
 
         let cache_snapshot: Option<&VerdictCache> = cache.as_deref();
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Work>(capacity);
+        let (tx, rx) = loomlite::sync::mpsc::sync_channel::<Work>(capacity);
         let rx = Mutex::new(rx);
 
         // Workers return their private result piles; inserts discovered
         // on misses ride along and are applied to the cache after the
         // scope ends (the snapshot borrow is read-only inside).
         type Pile = Vec<(usize, CorpusItem, PendingInsert)>;
-        let piles: Vec<Pile> = std::thread::scope(|scope| {
+        let piles: Vec<Pile> = thread::scope(|scope| {
             scope.spawn(move || producer.feed(tx));
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -317,24 +329,60 @@ impl<'c, 's> BatchEngine<'c, 's> {
                         let mut buffer: Vec<u8> = Vec::new();
                         let mut pile: Pile = Vec::new();
                         loop {
-                            // A poisoned lock means a sibling worker
-                            // panicked mid-recv; stop and let the scope
-                            // join surface the panic.
+                            // The receiver lock is released before any
+                            // document is touched, and process_one below
+                            // never unwinds past its catch, so a poisoned
+                            // lock cannot happen on this path; the branch
+                            // stays as defense in depth.
                             let work = match rx.lock() {
                                 Ok(guard) => guard.recv(),
                                 Err(_) => break,
                             };
                             let Ok(work) = work else { break };
-                            let (item, insert) = self.process_one(
-                                work,
-                                alphabet,
-                                cache_snapshot,
-                                use_mmap,
-                                mmap_threshold,
-                                &mut buffer,
-                                &mut scratch,
-                            );
-                            pile.push((item.0, item.1, insert));
+                            let (idx, path) = (work.idx, work.path.clone());
+                            // One bad document must cost one item, not
+                            // the corpus: a panicking validator yields a
+                            // per-item failure and the worker keeps
+                            // draining. Unwind safety: the only shared
+                            // structures process_one touches are the
+                            // publish-once caches, whose locks never
+                            // guard user code mid-panic; the per-worker
+                            // scratch and buffer are replaced wholesale
+                            // below.
+                            let caught =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    self.process_one(
+                                        work,
+                                        alphabet,
+                                        cache_snapshot,
+                                        use_mmap,
+                                        mmap_threshold,
+                                        &mut buffer,
+                                        &mut scratch,
+                                    )
+                                }));
+                            match caught {
+                                Ok((item, insert)) => pile.push((item.0, item.1, insert)),
+                                Err(payload) => {
+                                    scratch = schemacast_core::StreamScratch::default();
+                                    buffer = Vec::new();
+                                    let msg = panic_message(payload.as_ref());
+                                    pile.push((
+                                        idx,
+                                        CorpusItem {
+                                            path,
+                                            outcome: ItemOutcome::ReadFailed(format!(
+                                                "validator panicked: {msg}"
+                                            )),
+                                            stats: ValidationStats::default(),
+                                            cached: false,
+                                            bytes: 0,
+                                            mapped: false,
+                                        },
+                                        None,
+                                    ));
+                                }
+                            }
                         }
                         pile
                     })
@@ -428,6 +476,15 @@ impl<'c, 's> BatchEngine<'c, 's> {
             }
             (&buffer[..], false)
         };
+
+        // Debug-only fault injection for the panic-drain regression test:
+        // a document opening with this marker panics the validator before
+        // anything is hashed or cached.
+        #[cfg(debug_assertions)]
+        assert!(
+            !bytes.starts_with(b"<!--corpus-panic-inject-->"),
+            "injected corpus fault"
+        );
 
         let hash = content_hash(bytes);
         let len = bytes.len() as u64;

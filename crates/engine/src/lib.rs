@@ -277,5 +277,5 @@ impl<'c, 's> BatchEngine<'c, 's> {
 
 /// `available_parallelism`, defaulting to 1 where it is unobservable.
 pub fn default_workers() -> NonZeroUsize {
-    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+    loomlite::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
 }

@@ -1,0 +1,177 @@
+//! Anti-vacuity: prove the model checker actually *finds* concurrency
+//! bugs in these structures, not just that the real code passes.
+//!
+//! Each test seeds a known bug into a mutated copy of a real workspace
+//! structure — the sharded publish-once cache, the pool's claim counter,
+//! the pipeline's ready-gate — and asserts that loomlite (a) detects it,
+//! (b) prints a schedule seed, and (c) deterministically reproduces the
+//! same failure when that seed is replayed. If a refactor ever blinds
+//! the checker (a shim op that stops yielding, a scheduler that stops
+//! exploring), these tests go red before the real suites go vacuous.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loomlite"`: in a normal build
+//! `loomlite::model` runs a single schedule, which has no obligation to
+//! hit a seeded race.
+#![cfg(loomlite)]
+
+use loomlite::sync::atomic::{AtomicUsize, Ordering};
+use loomlite::sync::{Arc, Condvar, Mutex};
+use loomlite::thread;
+use std::collections::HashMap;
+
+/// Runs `f` under the model checker expecting a failure containing
+/// `needle`, extracts the printed schedule seed, and replays it —
+/// asserting the replay reproduces the same failure deterministically.
+fn expect_found_and_replayable<F>(f: F, needle: &str)
+where
+    F: Fn() + Copy + std::panic::RefUnwindSafe + 'static,
+{
+    let err = std::panic::catch_unwind(|| loomlite::model(f))
+        .expect_err("the model checker missed the seeded bug (vacuous suite!)");
+    let msg = panic_text(err.as_ref());
+    assert!(
+        msg.contains(needle),
+        "model failed for the wrong reason: {msg}"
+    );
+    let seed = loomlite::seed_from_failure(&msg)
+        .unwrap_or_else(|| panic!("no replayable seed in failure: {msg}"));
+    let err = std::panic::catch_unwind(|| loomlite::replay(&seed, f))
+        .expect_err("the recorded seed did not reproduce the failure");
+    let msg = panic_text(err.as_ref());
+    assert!(
+        msg.contains(needle),
+        "replay failed for a different reason: {msg}"
+    );
+}
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+/// `idacache::ShardedCache` with the publish-once `entry().or_insert`
+/// replaced by a check-then-act `insert` — the exact bug the real
+/// structure's design rules out. Two racing builders can now both
+/// publish, and callers observe two different `Arc`s for one key.
+struct RacyPublishCache {
+    shard: Mutex<HashMap<u32, Arc<usize>>>,
+}
+
+impl RacyPublishCache {
+    fn get_or_insert_with(&self, key: u32, build: impl FnOnce() -> usize) -> Arc<usize> {
+        if let Some(v) = self.shard.lock().unwrap().get(&key) {
+            return Arc::clone(v);
+        }
+        let built = Arc::new(build());
+        // Seeded bug: last writer wins instead of first publication.
+        self.shard.lock().unwrap().insert(key, Arc::clone(&built));
+        built
+    }
+}
+
+#[test]
+fn finds_double_publish_in_mutated_cache() {
+    expect_found_and_replayable(
+        || {
+            let cache = RacyPublishCache {
+                shard: Mutex::new(HashMap::new()),
+            };
+            let published: Vec<Arc<usize>> = thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|id| {
+                        let cache = &cache;
+                        s.spawn(move || cache.get_or_insert_with(7, move || id))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert!(
+                Arc::ptr_eq(&published[0], &published[1]),
+                "two values observable for one key"
+            );
+        },
+        "two values observable",
+    );
+}
+
+/// The pool's claim counter with its `fetch_add` torn into a separate
+/// load and store — the lost-update mutation. Two workers can claim the
+/// same index, so some index is produced twice and another never.
+#[test]
+fn finds_lost_update_in_mutated_claim_counter() {
+    expect_found_and_replayable(
+        || {
+            const N: usize = 2;
+            let next = AtomicUsize::new(0);
+            let parts: Vec<Vec<usize>> = thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let next = &next;
+                        s.spawn(move || {
+                            let mut claimed = Vec::new();
+                            loop {
+                                // Seeded bug: non-atomic claim (the real
+                                // pool uses one fetch_add RMW).
+                                let i = next.load(Ordering::SeqCst);
+                                if i >= N {
+                                    break;
+                                }
+                                next.store(i + 1, Ordering::SeqCst);
+                                claimed.push(i);
+                            }
+                            claimed
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut seen = vec![0usize; N];
+            for i in parts.into_iter().flatten() {
+                seen[i] += 1;
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "an index was lost or claimed twice: {seen:?}"
+            );
+        },
+        "lost or claimed twice",
+    );
+}
+
+/// The pipeline's ready-gate with the predicate check moved outside the
+/// condvar's mutex: the producer's notify can land in the gap between
+/// the worker's check and its wait, and the wait never wakes. The model
+/// scheduler reports this as a deadlock.
+#[test]
+fn finds_lost_wakeup_in_mutated_ready_gate() {
+    expect_found_and_replayable(
+        || {
+            let gate = Arc::new((Mutex::new(false), Condvar::new()));
+            let worker = {
+                let gate = Arc::clone(&gate);
+                thread::spawn(move || {
+                    let (ready, cv) = &*gate;
+                    // Seeded bug: check, drop the lock, then re-lock to
+                    // wait. The real pattern holds one guard across the
+                    // `while !*ready` loop.
+                    if !*ready.lock().unwrap() {
+                        let guard = ready.lock().unwrap();
+                        let _unused = cv.wait(guard).unwrap();
+                    }
+                })
+            };
+            {
+                let (ready, cv) = &*gate;
+                *ready.lock().unwrap() = true;
+                cv.notify_all();
+            }
+            worker.join().unwrap();
+        },
+        "deadlock",
+    );
+}

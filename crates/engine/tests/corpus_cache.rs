@@ -114,6 +114,75 @@ fn warm_rerun_validates_exactly_the_edited_files() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// One panicking document must cost one item, not the corpus: the worker
+/// catches the unwind, reports the file as a per-item failure, replaces
+/// its scratch state, and keeps draining the queue. Before the catch was
+/// added, the panic killed the worker, poisoned the shared receiver lock,
+/// and took the whole run down with it. The injected fault (a marker the
+/// validator panics on before hashing) exists only in debug builds, so
+/// this regression test is debug-only too.
+#[cfg(debug_assertions)]
+#[test]
+fn panicking_validator_costs_one_item_not_the_corpus() {
+    let (mut session, source, target) = fixture();
+    let dir = tmpdir("panic-drain");
+    let n = 12;
+    let paths = write_corpus(&dir, &mut session, n);
+    let victim = 5;
+    assert!(victim > 0 && victim < n - 1, "fault must sit mid-corpus");
+    std::fs::write(&paths[victim], "<!--corpus-panic-inject-->").expect("inject fault");
+
+    let ctx = CastContext::new(&source, &target, &session.alphabet);
+    let engine = BatchEngine::with_workers(&ctx, 4);
+    let report = run(&engine, &session, &CorpusSource::Dir(dir.clone()), None);
+
+    assert_eq!(report.items.len(), n, "the run must survive the panic");
+    assert_eq!(report.read_failed, 1);
+    for (i, item) in report.items.iter().enumerate() {
+        assert_eq!(item.path, paths[i], "input order must be preserved");
+        if i == victim {
+            match &item.outcome {
+                ItemOutcome::ReadFailed(msg) => assert!(
+                    msg.contains("validator panicked") && msg.contains("injected corpus fault"),
+                    "victim message: {msg}"
+                ),
+                other => panic!("victim reported {other:?}"),
+            }
+            assert_eq!(item.bytes, 0, "no content-derived data for the victim");
+        } else {
+            assert!(
+                !matches!(item.outcome, ItemOutcome::ReadFailed(_)),
+                "{} must get a real verdict",
+                item.path.display()
+            );
+        }
+    }
+
+    // The panic item is transient, never cached: a warm rerun records
+    // verdicts for everything else and re-hits the fault.
+    let fp = ctx.fingerprint(&session.alphabet);
+    let cache_path = dir.join("verdicts.scvc");
+    let mut cache = VerdictCache::load(&cache_path, fp, 0);
+    let cold = run(
+        &engine,
+        &session,
+        &CorpusSource::Dir(dir.clone()),
+        Some(&mut cache),
+    );
+    assert_eq!((cold.cache_hits, cold.cache_misses), (0, n - 1));
+    cache.save(&cache_path).expect("save");
+    let mut cache = VerdictCache::load(&cache_path, fp, 0);
+    let warm = run(
+        &engine,
+        &session,
+        &CorpusSource::Dir(dir.clone()),
+        Some(&mut cache),
+    );
+    assert_eq!((warm.cache_hits, warm.cache_misses), (n - 1, 0));
+    assert_eq!(warm.read_failed, 1, "the fault re-fires on the warm run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn context_change_flushes_everything() {
     let (mut session, source, target) = fixture();

@@ -1,0 +1,410 @@
+//! A token-level view of one Rust source file, built for lint rules.
+//!
+//! The old selflint matched regex-ish substrings against raw lines, which
+//! breaks in all the classic ways: a `HashMap` inside a string literal or
+//! a doc comment fired the hot-path rule, and `#[cfg(test)]` stripping by
+//! counting every `{` byte miscounted braces inside strings. This lexer
+//! classifies every character as code, string/char-literal content, or
+//! comment — honoring escapes, raw strings (`r#"…"#`), byte strings, and
+//! nested block comments — and then resolves `#[cfg(test)]`-gated regions
+//! by brace-matching over the *code* channel only.
+//!
+//! Rules consume the result per line: `code` has comments removed and
+//! literal contents blanked (delimiters kept, so `.expect(` still reads
+//! as a call), `comment` carries the comment text (so rules about
+//! comments, like the `// ordering:` justification, can see it), and
+//! `in_test` marks lines inside test-gated items.
+
+/// One source line, split by channel.
+#[derive(Debug)]
+pub struct Line {
+    /// Code with comments stripped and literal contents blanked.
+    pub code: String,
+    /// The comment text carried on this line (markers included).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Whether this is a crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+    /// Lines, in order (index 0 is line 1).
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Lines that lint rules for library code apply to: `(1-based line
+    /// number, code channel)` outside test-gated regions.
+    pub fn library_code(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.in_test)
+            .map(|(i, l)| (i + 1, l.code.as_str()))
+    }
+}
+
+/// Lexer state between characters.
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* … */`.
+    BlockComment(usize),
+    /// Inside `"…"`; `true` after a backslash.
+    Str(bool),
+    /// Inside `r##"…"##` with this many hashes.
+    RawStr(usize),
+}
+
+/// Lexes one file into per-line channels.
+pub fn lex(rel: &str, is_crate_root: bool, src: &str) -> SourceFile {
+    let bytes = src.as_bytes();
+    let mut lines: Vec<(String, String)> = Vec::new();
+    let (mut code, mut comment) = (String::new(), String::new());
+    let mut state = State::Code;
+    let mut i = 0;
+
+    macro_rules! flush_line {
+        () => {{
+            lines.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                // Raw (and byte/raw-byte) string start: optional `b`, `r`,
+                // hashes, quote — with the `r` not glued to an identifier.
+                if let Some((hashes, len)) = raw_string_start(bytes, i) {
+                    for _ in 0..len {
+                        code.push(bytes[i] as char);
+                        i += 1;
+                    }
+                    let _ = hashes;
+                    state = State::RawStr(hashes);
+                    continue;
+                }
+                match b {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        state = State::LineComment;
+                        comment.push_str("//");
+                        i += 2;
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        state = State::BlockComment(1);
+                        comment.push_str("/*");
+                        i += 2;
+                    }
+                    b'"' => {
+                        code.push('"');
+                        state = State::Str(false);
+                        i += 1;
+                    }
+                    b'\'' => {
+                        // Char literal vs lifetime. `'\…'` and `'x'` are
+                        // literals; `'ident` (no closing quote right
+                        // after one char) is a lifetime.
+                        if bytes.get(i + 1) == Some(&b'\\') {
+                            code.push('\'');
+                            i += 2; // consume the backslash
+                            while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+                                code.push(' ');
+                                i += 1;
+                            }
+                            if bytes.get(i) == Some(&b'\'') {
+                                code.push('\'');
+                                i += 1;
+                            }
+                        } else if char_literal_len(bytes, i).is_some() {
+                            let end = char_literal_len(bytes, i).unwrap();
+                            code.push('\'');
+                            for _ in i + 1..end {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i = end + 1;
+                        } else {
+                            code.push('\''); // lifetime tick
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+            State::LineComment => {
+                comment.push(b as char);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    comment.push_str("*/");
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    comment.push_str("/*");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    comment.push(b as char);
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    code.push(' ');
+                    state = State::Str(false);
+                } else if b == b'\\' {
+                    code.push(' ');
+                    state = State::Str(true);
+                } else if b == b'"' {
+                    code.push('"');
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    code.push('"');
+                    i += 1;
+                    for _ in 0..hashes {
+                        code.push('#');
+                        i += 1;
+                    }
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_line!();
+
+    let in_test = test_regions(&lines);
+    SourceFile {
+        rel: rel.to_string(),
+        is_crate_root,
+        lines: lines
+            .into_iter()
+            .zip(in_test)
+            .map(|((code, comment), in_test)| Line {
+                code,
+                comment,
+                in_test,
+            })
+            .collect(),
+    }
+}
+
+/// If a raw-string literal starts at `i`, returns `(hash_count,
+/// prefix_len_including_quote)`.
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let prev_is_ident = i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+    if prev_is_ident {
+        return None;
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((hashes, j + 1 - i))
+    } else {
+        None
+    }
+}
+
+/// Whether the `"` at `i` is followed by enough `#`s to close a raw
+/// string with `hashes` hashes.
+fn closes_raw(bytes: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// If a simple (non-escape) char literal starts at `i`, returns the index
+/// of its closing quote. Multi-byte scalars count as their UTF-8 bytes.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    // `'` + one UTF-8 scalar + `'`.
+    let first = *bytes.get(i + 1)?;
+    let width = match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    };
+    (bytes.get(i + 1 + width) == Some(&b'\'')).then_some(i + 1 + width)
+}
+
+/// Marks the lines covered by `#[cfg(test)]`-gated items: the attribute
+/// line itself plus everything through the gated item's closing brace
+/// (or its `;` for brace-less items), brace-matched over the code
+/// channel so braces in literals cannot desynchronize the scan.
+fn test_regions(lines: &[(String, String)]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].0.trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        while i < lines.len() {
+            in_test[i] = true;
+            let mut done = false;
+            for b in lines[i].0.bytes() {
+                match b {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => {
+                        depth -= 1;
+                        if opened && depth <= 0 {
+                            done = true;
+                        }
+                    }
+                    // A brace-less gated item (a `use`, a `const`) ends
+                    // at the first top-level semicolon.
+                    b';' if !opened && depth == 0 => done = true,
+                    _ => {}
+                }
+            }
+            i += 1;
+            if done {
+                break;
+            }
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        lex("t.rs", false, src)
+            .lines
+            .iter()
+            .map(|l| l.code.clone())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn comments_leave_the_code_channel() {
+        let f = lex(
+            "t.rs",
+            false,
+            "let x = 1; // HashMap here\n/* and\nhere */ let y = 2;\n",
+        );
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap"));
+        assert!(!f.lines[1].code.contains("here"));
+        assert!(f.lines[2].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_delimited() {
+        let c = code_of(r#"let s = "HashMap { unwrap() }"; s.len();"#);
+        assert!(!c.contains("HashMap"));
+        assert!(!c.contains("unwrap"));
+        assert!(c.contains(r#"let s = ""#));
+        assert!(c.contains("s.len();"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let c = code_of(r#"let s = "a\"b HashMap"; let t = 3;"#);
+        assert!(!c.contains("HashMap"));
+        assert!(c.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let c = code_of("let s = r#\"std::sync::Mutex \"quoted\" more\"#; done();");
+        assert!(!c.contains("std::sync"));
+        assert!(c.contains("done();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let c = code_of("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; g(x, c, d); }");
+        // The `{` inside the char literal is blanked; braces still pair.
+        assert_eq!(c.matches('{').count(), 1);
+        assert!(c.contains("<'a>"));
+        assert!(c.contains("g(x, c, d);"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let c = code_of("/* outer /* inner */ still comment */ let x = 1;");
+        assert!(!c.contains("comment"));
+        assert!(c.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); let s = \"}\"; }\n\
+                   }\n\
+                   fn lib2() {}\n";
+        let f = lex("t.rs", false, src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags[..6], [false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_items_end_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::sync::Barrier;\nfn lib() {}\n";
+        let f = lex("t.rs", false, src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags[..3], [true, true, false]);
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_skew_test_regions() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       const S: &str = \"}}}\";\n\
+                   }\n\
+                   fn lib() { z.unwrap(); }\n";
+        let f = lex("t.rs", false, src);
+        assert!(!f.lines[4].in_test, "library fn marked as test");
+    }
+}

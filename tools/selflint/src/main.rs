@@ -1,41 +1,45 @@
 //! Workspace self-lint: source-level invariants that rustc and clippy do
 //! not express, run as a CI gate.
 //!
-//! Three rules, all over the workspace's own library sources (`crates/*/src`
-//! plus the root `src/lib.rs`; vendored dependency shims under `vendor/` and
-//! this tool itself are out of scope):
+//! selflint is a small static-analysis driver: it lexes every library
+//! source into token channels (code with literal contents blanked,
+//! comment text, `#[cfg(test)]` region flags — see [`lexer`]) and runs
+//! the `SL`-prefixed rule registry (see [`rules`]) over the result. Rules
+//! therefore cannot be fooled by a `HashMap` in a string literal, a
+//! `std::sync` mention in a doc comment, or braces inside `"…"`.
 //!
-//! 1. **Panic ratchet** — `.unwrap()` / `.expect(` in library code outside
-//!    `#[cfg(test)]` must not grow. Existing sites are grandfathered in
-//!    `baseline.txt`; any file exceeding its baseline (or a new file with
-//!    any site at all) fails. Shrink the baseline with `--write-baseline`
-//!    when sites are removed — never hand-edit it upward.
-//! 2. **Hot-path collections** — `HashMap` is banned in the streaming
-//!    hot-path modules (`stream.rs`, `hot.rs`, `index.rs`): SipHash per
-//!    lookup is exactly the per-event cost those modules exist to avoid.
-//!    Use the interned-symbol dense tables that the rest of the hot path
-//!    already uses.
-//! 3. **Unsafe gate** — every crate root must carry `#![deny(unsafe_code)]`.
+//! Scope: `crates/*/src` plus the root `src/lib.rs`. Vendored shims under
+//! `vendor/` and the tools themselves are out of scope (loomlite *is* the
+//! std wrapper the std-sync ban points at).
+//!
+//! Usage: `selflint [--write-baseline] [--json]`.
+//!
+//! * `--write-baseline` regenerates the panic-ratchet baseline from the
+//!   current tree (only ever run it to ratchet *down*).
+//! * `--json` emits machine-readable findings on stdout for CI artifacts.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
+mod lexer;
+mod rules;
+
+use lexer::SourceFile;
+use rules::{Violation, Workspace};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// File names (anywhere under `crates/*/src`) whose bodies may not name
-/// `HashMap`.
-const HOT_PATH_FILES: &[&str] = &["stream.rs", "hot.rs", "index.rs"];
-
 fn main() -> ExitCode {
     let mut write_baseline = false;
+    let mut json = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--write-baseline" => write_baseline = true,
+            "--json" => json = true,
             other => {
                 eprintln!("selflint: unknown argument {other:?}");
-                eprintln!("usage: selflint [--write-baseline]");
+                eprintln!("usage: selflint [--write-baseline] [--json]");
                 return ExitCode::from(2);
             }
         }
@@ -47,7 +51,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(&root, write_baseline) {
+    match run(&root, write_baseline, json) {
         Ok(0) => ExitCode::SUCCESS,
         Ok(n) => {
             eprintln!("selflint: {n} violation(s)");
@@ -67,33 +71,64 @@ fn repo_root() -> Option<PathBuf> {
     Some(root.to_path_buf())
 }
 
-fn run(root: &Path, write_baseline: bool) -> Result<usize, String> {
-    let files = library_sources(root)?;
-    let counts = panic_site_counts(root, &files)?;
+fn run(root: &Path, write_baseline: bool, json: bool) -> Result<usize, String> {
+    let files = load_sources(root)?;
     if write_baseline {
+        let counts = rules::panic_counts(&files);
         let path = baseline_path();
         fs::write(&path, render_baseline(&counts))
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         println!("selflint: baseline rewritten ({} files)", counts.len());
         return Ok(0);
     }
-    let mut violations = 0;
-    violations += check_panic_ratchet(&counts)?;
-    violations += check_hot_path_collections(root, &files)?;
-    violations += check_unsafe_gate(root)?;
-    if violations == 0 {
-        println!(
-            "selflint: {} library files clean (panic ratchet, hot-path collections, unsafe gate)",
-            files.len()
-        );
+    let baseline = load_baseline()?;
+    let violations = rules::run_all(&Workspace {
+        files: &files,
+        baseline: &baseline,
+    });
+    if json {
+        println!("{}", render_json(&files, &violations));
+    } else {
+        for v in &violations {
+            if v.line == 0 {
+                eprintln!("selflint[{} {}]: {}: {}", v.rule, v.name, v.file, v.message);
+            } else {
+                eprintln!(
+                    "selflint[{} {}]: {}:{}: {}",
+                    v.rule, v.name, v.file, v.line, v.message
+                );
+            }
+        }
+        report_ratchet_slack(&files, &baseline);
+        if violations.is_empty() {
+            println!(
+                "selflint: {} library files clean across {} rules",
+                files.len(),
+                rules::RULES.len()
+            );
+        }
     }
-    Ok(violations)
+    Ok(violations.len())
 }
 
-/// All `.rs` files under each `crates/*/src`, plus the root crate's
-/// `src/lib.rs`. Sorted for deterministic reports.
-fn library_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
-    let mut files = Vec::new();
+/// Points out baseline entries that can ratchet down (informational).
+fn report_ratchet_slack(files: &[SourceFile], baseline: &BTreeMap<String, usize>) {
+    let counts = rules::panic_counts(files);
+    for (file, &allowed) in baseline {
+        let n = counts.get(file).copied().unwrap_or(0);
+        if n < allowed {
+            println!(
+                "selflint[SL0001 panic-ratchet]: {file}: {n} site(s), baseline {allowed} — \
+                 run `cargo run -p selflint -- --write-baseline` to ratchet down"
+            );
+        }
+    }
+}
+
+/// Collects and lexes all `.rs` files under each `crates/*/src`, plus the
+/// root crate's `src/lib.rs`. Sorted for deterministic reports.
+fn load_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
     let crates = root.join("crates");
     let entries =
         fs::read_dir(&crates).map_err(|e| format!("reading {}: {e}", crates.display()))?;
@@ -101,15 +136,30 @@ fn library_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
         let entry = entry.map_err(|e| format!("reading {}: {e}", crates.display()))?;
         let src = entry.path().join("src");
         if src.is_dir() {
-            collect_rs(&src, &mut files)?;
+            collect_rs(&src, &mut paths)?;
         }
     }
     let root_lib = root.join("src/lib.rs");
     if root_lib.is_file() {
-        files.push(root_lib);
+        paths.push(root_lib);
     }
-    files.sort();
-    Ok(files)
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let is_crate_root = rel.ends_with("src/lib.rs");
+            Ok(lexer::lex(&rel, is_crate_root, &text))
+        })
+        .collect()
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -126,54 +176,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-fn read(path: &Path) -> Result<String, String> {
-    fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
-}
-
-fn rel(root: &Path, path: &Path) -> String {
-    path.strip_prefix(root)
-        .unwrap_or(path)
-        .display()
-        .to_string()
-}
-
 // ---------------------------------------------------------------------------
-// Rule 1: panic ratchet.
+// Panic-ratchet baseline I/O.
 // ---------------------------------------------------------------------------
-
-fn panic_site_counts(root: &Path, files: &[PathBuf]) -> Result<BTreeMap<String, usize>, String> {
-    let mut counts = BTreeMap::new();
-    for path in files {
-        let body = strip_non_library(&read(path)?);
-        let n = count_occurrences(&body, ".unwrap()") + count_occurrences(&body, ".expect(");
-        if n > 0 {
-            counts.insert(rel(root, path), n);
-        }
-    }
-    Ok(counts)
-}
-
-fn check_panic_ratchet(counts: &BTreeMap<String, usize>) -> Result<usize, String> {
-    let baseline = load_baseline()?;
-    let mut violations = 0;
-    for (file, &n) in counts {
-        let allowed = baseline.get(file).copied().unwrap_or(0);
-        if n > allowed {
-            violations += 1;
-            eprintln!(
-                "selflint[panic-ratchet]: {file}: {n} unwrap/expect site(s) in non-test \
-                 library code, baseline allows {allowed} — handle the error or push the \
-                 panic into #[cfg(test)]"
-            );
-        } else if n < allowed {
-            println!(
-                "selflint[panic-ratchet]: {file}: {n} site(s), baseline {allowed} — \
-                 run `cargo run -p selflint -- --write-baseline` to ratchet down"
-            );
-        }
-    }
-    Ok(violations)
-}
 
 fn baseline_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("baseline.txt")
@@ -181,7 +186,7 @@ fn baseline_path() -> PathBuf {
 
 fn load_baseline() -> Result<BTreeMap<String, usize>, String> {
     let path = baseline_path();
-    let text = read(&path)?;
+    let text = fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let mut map = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -212,107 +217,55 @@ fn render_baseline(counts: &BTreeMap<String, usize>) -> String {
     out
 }
 
-/// Removes `#[cfg(test)]`-gated items (by brace matching from the attribute)
-/// and `//` line comments, leaving only the code the lint rules apply to.
-fn strip_non_library(src: &str) -> String {
-    let lines: Vec<&str> = src.lines().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut i = 0;
-    while i < lines.len() {
-        let line = lines[i];
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            // Skip the attribute plus the item it gates, tracking brace
-            // depth until the item's block closes.
-            let mut depth: i64 = 0;
-            let mut started = false;
-            while i < lines.len() {
-                for b in lines[i].bytes() {
-                    match b {
-                        b'{' => {
-                            depth += 1;
-                            started = true;
-                        }
-                        b'}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                i += 1;
-                if started && depth <= 0 {
-                    break;
-                }
-            }
-            continue;
+// ---------------------------------------------------------------------------
+// JSON report (hand-rolled: the workspace carries no serde).
+// ---------------------------------------------------------------------------
+
+fn render_json(files: &[SourceFile], violations: &[Violation]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{");
+    let _ = write!(out, "\"files_scanned\":{},", files.len());
+    let _ = write!(
+        out,
+        "\"rules\":[{}],",
+        rules::RULES
+            .iter()
+            .map(|r| format!("{{\"id\":\"{}\",\"name\":\"{}\"}}", r.id, r.name))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    out.push_str("\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
         }
-        let code = match line.find("//") {
-            Some(pos) => &line[..pos],
-            None => line,
-        };
-        out.push_str(code);
-        out.push('\n');
-        i += 1;
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"name\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            v.rule,
+            v.name,
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.message)
+        );
     }
+    out.push_str("]}");
     out
 }
 
-fn count_occurrences(haystack: &str, needle: &str) -> usize {
-    haystack.matches(needle).count()
-}
-
-// ---------------------------------------------------------------------------
-// Rule 2: hot-path collections.
-// ---------------------------------------------------------------------------
-
-fn check_hot_path_collections(root: &Path, files: &[PathBuf]) -> Result<usize, String> {
-    let mut violations = 0;
-    for path in files {
-        let is_hot = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .is_some_and(|n| HOT_PATH_FILES.contains(&n));
-        if !is_hot {
-            continue;
-        }
-        let body = strip_non_library(&read(path)?);
-        let hits = count_occurrences(&body, "HashMap");
-        if hits > 0 {
-            violations += 1;
-            eprintln!(
-                "selflint[hot-path]: {}: {hits} HashMap reference(s) in a hot-path \
-                 module — use an interned-symbol dense table instead",
-                rel(root, path)
-            );
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
         }
     }
-    Ok(violations)
-}
-
-// ---------------------------------------------------------------------------
-// Rule 3: unsafe gate.
-// ---------------------------------------------------------------------------
-
-fn check_unsafe_gate(root: &Path) -> Result<usize, String> {
-    let mut roots = Vec::new();
-    let crates = root.join("crates");
-    let entries =
-        fs::read_dir(&crates).map_err(|e| format!("reading {}: {e}", crates.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("reading {}: {e}", crates.display()))?;
-        let lib = entry.path().join("src/lib.rs");
-        if lib.is_file() {
-            roots.push(lib);
-        }
-    }
-    roots.push(root.join("src/lib.rs"));
-    roots.sort();
-    let mut violations = 0;
-    for path in &roots {
-        if !read(path)?.contains("#![deny(unsafe_code)]") {
-            violations += 1;
-            eprintln!(
-                "selflint[unsafe-gate]: {}: crate root is missing #![deny(unsafe_code)]",
-                rel(root, path)
-            );
-        }
-    }
-    Ok(violations)
+    out
 }

@@ -1,0 +1,245 @@
+//! loomlite — a zero-dependency deterministic-interleaving model
+//! checker in the loom/shuttle school, sized for this workspace.
+//!
+//! Code is written once against `loomlite::sync` / `loomlite::thread`:
+//!
+//! - **Normal builds** compile those modules to pure `std::sync` /
+//!   `std::thread` re-exports — zero cost, byte-for-byte std behavior —
+//!   and [`model`] simply runs the closure once (a smoke execution).
+//! - **Under `--cfg loomlite`** the same paths resolve to shim types
+//!   driven by a virtual scheduler. [`model`] then runs the closure
+//!   under *every* schedule (DFS over context-switch and relaxed-load
+//!   visibility choices, preemption-bounded), and any panic, deadlock,
+//!   or assertion failure is reported together with a **seed** such as
+//!   `ll1:0.2.1` that [`replay`] (or the `LOOMLITE_REPLAY` environment
+//!   variable) turns back into the exact failing interleaving.
+//!
+//! Model closures must create their shared state inside the closure
+//! (each execution is independent), keep models small (≤ 4 threads, a
+//! handful of operations), and must not touch real time or real I/O on
+//! modeled paths.
+//!
+//! The checker is exhaustive *for the model*, not for the real memory
+//! system: `SeqCst` loads and all read-modify-writes read the newest
+//! store in modification order, so some exotic non-SeqCst behaviors are
+//! under-approximated; see DESIGN.md §14 for the full soundness notes.
+
+/// Exploration limits for [`model_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum number of involuntary context switches per execution
+    /// (`None` = unbounded). Two preemptions catch almost every real
+    /// bug (the CHESS observation) at a fraction of the schedule count.
+    pub preemption_bound: Option<usize>,
+    /// Hard ceiling on explored executions; exceeding it fails the test
+    /// rather than burning CI time.
+    pub max_executions: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: Some(2),
+            max_executions: 100_000,
+        }
+    }
+}
+
+/// Extracts the replay seed from a [`model`] failure message (panic
+/// payload), if one is present.
+pub fn seed_from_failure(msg: &str) -> Option<String> {
+    let at = msg.find("schedule seed: ")?;
+    let rest = &msg[at + "schedule seed: ".len()..];
+    let seed: String = rest.chars().take_while(|c| !c.is_whitespace()).collect();
+    seed.starts_with("ll1:").then_some(seed)
+}
+
+#[cfg(not(loomlite))]
+mod facade {
+    /// `true` when built with `--cfg loomlite` (exhaustive mode).
+    pub const MODEL_CHECKING_ENABLED: bool = false;
+
+    /// Drop-in for `std::sync`, re-exported verbatim in normal builds.
+    pub mod sync {
+        pub use std::sync::{
+            Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard,
+            RwLockWriteGuard, TryLockError, TryLockResult, Weak,
+        };
+
+        /// Drop-in for `std::sync::atomic`.
+        pub mod atomic {
+            pub use std::sync::atomic::*;
+        }
+
+        /// Drop-in for `std::sync::mpsc`.
+        pub mod mpsc {
+            pub use std::sync::mpsc::*;
+        }
+    }
+
+    /// Drop-in for `std::thread`, re-exported verbatim in normal builds.
+    pub mod thread {
+        pub use std::thread::*;
+    }
+
+    /// Runs the closure once (a smoke execution). Under `--cfg
+    /// loomlite` this same call explores every schedule.
+    pub fn model<F: Fn()>(f: F) {
+        f();
+    }
+
+    /// [`model`] with explicit limits (ignored in normal builds).
+    pub fn model_with<F: Fn()>(_cfg: super::Config, f: F) {
+        f();
+    }
+
+    /// Replays a recorded schedule. In normal builds the schedule is
+    /// meaningless, so the closure just runs once.
+    pub fn replay<F: Fn()>(_seed: &str, f: F) {
+        f();
+    }
+}
+
+#[cfg(loomlite)]
+mod msync;
+#[cfg(loomlite)]
+mod mthread;
+#[cfg(loomlite)]
+mod rt;
+
+#[cfg(loomlite)]
+mod facade {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    use crate::rt;
+
+    /// `true` when built with `--cfg loomlite` (exhaustive mode).
+    pub const MODEL_CHECKING_ENABLED: bool = true;
+
+    /// Model-checked drop-in for `std::sync`.
+    pub mod sync {
+        pub use crate::msync::{
+            Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+        };
+        pub use std::sync::{Arc, LockResult, PoisonError, TryLockError, TryLockResult, Weak};
+
+        /// Model-checked drop-in for `std::sync::atomic`.
+        pub mod atomic {
+            pub use crate::msync::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+            pub use std::sync::atomic::Ordering;
+        }
+
+        /// Model-checked drop-in for `std::sync::mpsc`.
+        pub mod mpsc {
+            pub use crate::msync::{sync_channel, Iter, Receiver, SyncSender};
+            pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+        }
+    }
+
+    /// Model-checked drop-in for `std::thread`.
+    pub mod thread {
+        pub use crate::mthread::{
+            available_parallelism, scope, spawn, yield_now, JoinHandle, Result, Scope,
+            ScopedJoinHandle,
+        };
+    }
+
+    impl From<super::Config> for rt::RtConfig {
+        fn from(c: super::Config) -> rt::RtConfig {
+            rt::RtConfig {
+                preemption_bound: c.preemption_bound,
+            }
+        }
+    }
+
+    /// Runs `f` under every schedule (DFS, preemption-bounded) and
+    /// panics with a replayable seed on the first failing one.
+    pub fn model<F: Fn()>(f: F) {
+        model_with(super::Config::default(), f);
+    }
+
+    /// [`model`] with explicit exploration limits. Honors the
+    /// `LOOMLITE_REPLAY` environment variable by replaying that seed
+    /// instead of exploring.
+    pub fn model_with<F: Fn()>(cfg: super::Config, f: F) {
+        if let Ok(seed) = std::env::var("LOOMLITE_REPLAY") {
+            replay_with(cfg, &seed, &f);
+            return;
+        }
+        let mut path = rt::Path::default();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            if executions > cfg.max_executions {
+                panic!(
+                    "loomlite: {} executions without exhausting the schedule \
+                     space; shrink the model or raise Config::max_executions",
+                    cfg.max_executions
+                );
+            }
+            let (next, failure) = run_one(cfg, path, &f);
+            path = next;
+            if let Some(msg) = failure {
+                path.truncate_to_cursor();
+                panic!(
+                    "loomlite: model failure on execution {executions}: {msg}\n  \
+                     schedule seed: {seed}\n  \
+                     replay with loomlite::replay(\"{seed}\", ...) or \
+                     LOOMLITE_REPLAY={seed}",
+                    seed = path.seed()
+                );
+            }
+            if !path.advance() {
+                break;
+            }
+        }
+    }
+
+    /// Replays one recorded schedule; panics if it still fails (the
+    /// expected outcome when diagnosing) and returns quietly otherwise.
+    pub fn replay<F: Fn()>(seed: &str, f: F) {
+        replay_with(super::Config::default(), seed, &f);
+    }
+
+    fn replay_with<F: Fn()>(cfg: super::Config, seed: &str, f: &F) {
+        let path = rt::Path::from_seed(seed)
+            .unwrap_or_else(|| panic!("loomlite: malformed schedule seed {seed:?}"));
+        let (mut path, failure) = run_one(cfg, path, f);
+        if let Some(msg) = failure {
+            path.truncate_to_cursor();
+            panic!(
+                "loomlite: replayed failure: {msg}\n  schedule seed: {}",
+                path.seed()
+            );
+        }
+    }
+
+    /// One execution of `f` along `path`. Returns the as-executed path
+    /// and the failure, if any.
+    fn run_one<F: Fn()>(cfg: super::Config, path: rt::Path, f: &F) -> (rt::Path, Option<String>) {
+        let sched = Arc::new(rt::Sched::new(cfg.into(), path));
+        rt::set_ctx(Some(rt::Ctx {
+            sched: sched.clone(),
+            tid: 0,
+        }));
+        let out = catch_unwind(AssertUnwindSafe(f));
+        if let Err(p) = &out {
+            let root = if p.is::<rt::Aborted>() {
+                None
+            } else {
+                Some(format!(
+                    "main model thread panicked: {}",
+                    rt::payload_msg(p.as_ref() as &(dyn std::any::Any + Send))
+                ))
+            };
+            sched.abort_execution(root);
+        }
+        sched.drive_to_completion();
+        rt::set_ctx(None);
+        let (path, failure, _preemptions) = sched.take_result();
+        (path, failure)
+    }
+}
+
+pub use facade::*;

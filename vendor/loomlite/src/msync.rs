@@ -1,0 +1,715 @@
+//! Model-mode shim types for `std::sync`. Only compiled under
+//! `--cfg loomlite`.
+//!
+//! Every type embeds its real `std` counterpart so that, when an
+//! operation runs *outside* a [`crate::model`] execution (no thread-local
+//! scheduler context), it degrades gracefully to plain std behavior.
+//! Inside a model execution the operation first reports to the virtual
+//! scheduler (choice point, blocking, happens-before bookkeeping) and
+//! only then touches the std object, which by construction is always
+//! uncontended at that instant.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{RecvError, SendError};
+use std::sync::{Arc, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+use crate::rt::{ctx, fresh_object_id, ChanVerdict, Ctx, Sched};
+
+// ---------------------------------------------------------------------------
+// Mutex.
+// ---------------------------------------------------------------------------
+
+/// Model-checked drop-in for [`std::sync::Mutex`].
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Mutex<T> {
+        Mutex {
+            id: fresh_object_id(),
+            inner: StdMutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = ctx();
+        if let Some(c) = &model {
+            c.sched.lock_acquire(c.tid, self.id);
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                model,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+                model,
+            })),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model lock (waking contenders) on
+/// drop, after the embedded std guard.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    /// The scheduler context captured at acquisition; `None` when the
+    /// lock was taken outside a model execution.
+    model: Option<Ctx>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(c) = self.model.take() {
+            c.sched.lock_release(c.tid, self.lock.id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock.
+// ---------------------------------------------------------------------------
+
+/// Model-checked drop-in for [`std::sync::RwLock`].
+pub struct RwLock<T: ?Sized> {
+    id: u64,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(t: T) -> RwLock<T> {
+        RwLock {
+            id: fresh_object_id(),
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let model = ctx();
+        if let Some(c) = &model {
+            c.sched.rwlock_acquire(c.tid, self.id, false);
+        }
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                lock_id: self.id,
+                inner: Some(g),
+                model,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                lock_id: self.id,
+                inner: Some(p.into_inner()),
+                model,
+            })),
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let model = ctx();
+        if let Some(c) = &model {
+            c.sched.rwlock_acquire(c.tid, self.id, true);
+        }
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                lock_id: self.id,
+                inner: Some(g),
+                model,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                lock_id: self.id,
+                inner: Some(p.into_inner()),
+                model,
+            })),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Shared-access guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock_id: u64,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: Option<Ctx>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(c) = self.model.take() {
+            c.sched.rwlock_release(c.tid, self.lock_id, false);
+        }
+    }
+}
+
+/// Exclusive-access guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock_id: u64,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: Option<Ctx>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(c) = self.model.take() {
+            c.sched.rwlock_release(c.tid, self.lock_id, true);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar.
+// ---------------------------------------------------------------------------
+
+/// Model-checked drop-in for [`std::sync::Condvar`]. Notifications with
+/// no waiter are lost, exactly like the real thing — which is what the
+/// lost-wakeup suites rely on.
+pub struct Condvar {
+    id: u64,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            id: fresh_object_id(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.take() {
+            None => {
+                let std_g = guard.inner.take().expect("guard present");
+                let lock = guard.lock;
+                drop(guard); // disarmed: no model release
+                match self.inner.wait(std_g) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(p.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some(c) => {
+                // Dissolve the guard (std unlock now; the model release
+                // happens atomically with parking inside condvar_wait).
+                let lock = guard.lock;
+                drop(guard.inner.take());
+                drop(guard);
+                c.sched.condvar_wait(c.tid, self.id, lock.id);
+                // Reacquire: model first, then the (uncontended) std lock.
+                c.sched.lock_acquire(c.tid, lock.id);
+                match lock.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model: Some(c),
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(p.into_inner()),
+                        model: Some(c),
+                    })),
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match ctx() {
+            None => self.inner.notify_one(),
+            Some(c) => c.sched.condvar_notify(c.tid, self.id, false),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match ctx() {
+            None => self.inner.notify_all(),
+            Some(c) => c.sched.condvar_notify(c.tid, self.id, true),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics.
+// ---------------------------------------------------------------------------
+
+/// Generates a model-checked drop-in for one std integer atomic.
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Model-checked drop-in for the std atomic of the same name.
+        /// The embedded std atomic mirrors the newest value so fallback
+        /// (non-model) use and lazy model registration stay coherent.
+        pub struct $name {
+            id: std::sync::OnceLock<u64>,
+            std: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> $name {
+                $name {
+                    id: std::sync::OnceLock::new(),
+                    std: <$std>::new(v),
+                }
+            }
+
+            fn res(&self) -> u64 {
+                *self.id.get_or_init(fresh_object_id)
+            }
+
+            pub fn load(&self, ord: Ordering) -> $prim {
+                match ctx() {
+                    None => self.std.load(ord),
+                    Some(c) => {
+                        let init = self.std.load(Ordering::Relaxed) as u64;
+                        c.sched.atomic_load(c.tid, self.res(), ord, init) as $prim
+                    }
+                }
+            }
+
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                match ctx() {
+                    None => self.std.store(val, ord),
+                    Some(c) => {
+                        let init = self.std.load(Ordering::Relaxed) as u64;
+                        c.sched
+                            .atomic_store(c.tid, self.res(), ord, init, val as u64);
+                        self.std.store(val, Ordering::Relaxed);
+                    }
+                }
+            }
+
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, |_| val, |s| s.swap(val, ord))
+            }
+
+            pub fn fetch_add(&self, val: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, |o| o.wrapping_add(val), |s| s.fetch_add(val, ord))
+            }
+
+            pub fn fetch_sub(&self, val: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, |o| o.wrapping_sub(val), |s| s.fetch_sub(val, ord))
+            }
+
+            pub fn fetch_or(&self, val: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, |o| o | val, |s| s.fetch_or(val, ord))
+            }
+
+            pub fn fetch_and(&self, val: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, |o| o & val, |s| s.fetch_and(val, ord))
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match ctx() {
+                    None => self.std.compare_exchange(current, new, success, failure),
+                    Some(c) => {
+                        let init = self.std.load(Ordering::Relaxed) as u64;
+                        // The failure ordering is subsumed by modeling the
+                        // miss as a plain load of the newest store.
+                        let r = c.sched.atomic_cas(
+                            c.tid,
+                            self.res(),
+                            success,
+                            init,
+                            current as u64,
+                            new as u64,
+                        );
+                        if r.is_ok() {
+                            self.std.store(new, Ordering::Relaxed);
+                        }
+                        r.map(|v| v as $prim).map_err(|v| v as $prim)
+                    }
+                }
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                // Spurious failures are not modeled; correct code must
+                // already loop, and the strong semantics are a subset.
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            fn rmw(
+                &self,
+                ord: Ordering,
+                model_op: impl Fn($prim) -> $prim,
+                std_op: impl FnOnce(&$std) -> $prim,
+            ) -> $prim {
+                match ctx() {
+                    None => std_op(&self.std),
+                    Some(c) => {
+                        let init = self.std.load(Ordering::Relaxed) as u64;
+                        let (old, new) =
+                            c.sched.atomic_rmw(c.tid, self.res(), ord, init, &mut |o| {
+                                model_op(o as $prim) as u64
+                            });
+                        self.std.store(new as $prim, Ordering::Relaxed);
+                        old as $prim
+                    }
+                }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(<$prim>::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.std.fmt(f)
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+/// Model-checked drop-in for [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    id: std::sync::OnceLock<u64>,
+    std: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            id: std::sync::OnceLock::new(),
+            std: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn res(&self) -> u64 {
+        *self.id.get_or_init(fresh_object_id)
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        match ctx() {
+            None => self.std.load(ord),
+            Some(c) => {
+                let init = self.std.load(Ordering::Relaxed) as u64;
+                c.sched.atomic_load(c.tid, self.res(), ord, init) != 0
+            }
+        }
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        match ctx() {
+            None => self.std.store(val, ord),
+            Some(c) => {
+                let init = self.std.load(Ordering::Relaxed) as u64;
+                c.sched
+                    .atomic_store(c.tid, self.res(), ord, init, val as u64);
+                self.std.store(val, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        match ctx() {
+            None => self.std.swap(val, ord),
+            Some(c) => {
+                let init = self.std.load(Ordering::Relaxed) as u64;
+                let (old, new) = c
+                    .sched
+                    .atomic_rmw(c.tid, self.res(), ord, init, &mut |_| val as u64);
+                self.std.store(new != 0, Ordering::Relaxed);
+                old != 0
+            }
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match ctx() {
+            None => self.std.compare_exchange(current, new, success, failure),
+            Some(c) => {
+                let init = self.std.load(Ordering::Relaxed) as u64;
+                let r = c.sched.atomic_cas(
+                    c.tid,
+                    self.res(),
+                    success,
+                    init,
+                    current as u64,
+                    new as u64,
+                );
+                if r.is_ok() {
+                    self.std.store(new, Ordering::Relaxed);
+                }
+                r.map(|v| v != 0).map_err(|v| v != 0)
+            }
+        }
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.std.fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded channel (std::sync::mpsc::sync_channel).
+// ---------------------------------------------------------------------------
+
+struct ModelChan<T> {
+    id: u64,
+    sched: Arc<Sched>,
+    q: StdMutex<VecDeque<T>>,
+}
+
+impl<T> ModelChan<T> {
+    fn q(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match self.q.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+enum SInner<T> {
+    Std(std::sync::mpsc::SyncSender<T>),
+    Model(Arc<ModelChan<T>>),
+}
+
+enum RInner<T> {
+    Std(std::sync::mpsc::Receiver<T>),
+    Model(Arc<ModelChan<T>>),
+}
+
+/// Model-checked drop-in for [`std::sync::mpsc::SyncSender`].
+pub struct SyncSender<T>(SInner<T>);
+
+/// Model-checked drop-in for [`std::sync::mpsc::Receiver`].
+pub struct Receiver<T>(RInner<T>);
+
+/// Model-checked drop-in for [`std::sync::mpsc::sync_channel`]. The
+/// channel mode is fixed at creation: created inside a model execution,
+/// it is scheduler-driven; otherwise it is a plain std channel.
+pub fn sync_channel<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+    match ctx() {
+        None => {
+            let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+            (SyncSender(SInner::Std(tx)), Receiver(RInner::Std(rx)))
+        }
+        Some(c) => {
+            if cap == 0 {
+                c.sched
+                    .fail_now("loomlite: rendezvous (capacity 0) channels are not modeled".into());
+            }
+            let id = fresh_object_id();
+            c.sched.chan_register(id, cap);
+            let chan = Arc::new(ModelChan {
+                id,
+                sched: c.sched.clone(),
+                q: StdMutex::new(VecDeque::new()),
+            });
+            (
+                SyncSender(SInner::Model(chan.clone())),
+                Receiver(RInner::Model(chan)),
+            )
+        }
+    }
+}
+
+impl<T> SyncSender<T> {
+    pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            SInner::Std(tx) => tx.send(t),
+            SInner::Model(chan) => {
+                let Some(c) = ctx() else {
+                    // Model channel used outside the execution (teardown
+                    // stragglers): the receiver is unreachable for real.
+                    return Err(SendError(t));
+                };
+                match chan.sched.chan_send(c.tid, chan.id) {
+                    ChanVerdict::Ok => {
+                        chan.q().push_back(t);
+                        Ok(())
+                    }
+                    ChanVerdict::Disconnected => Err(SendError(t)),
+                }
+            }
+        }
+    }
+}
+
+impl<T> Clone for SyncSender<T> {
+    fn clone(&self) -> SyncSender<T> {
+        match &self.0 {
+            SInner::Std(tx) => SyncSender(SInner::Std(tx.clone())),
+            SInner::Model(chan) => {
+                chan.sched.chan_sender_cloned(chan.id);
+                SyncSender(SInner::Model(chan.clone()))
+            }
+        }
+    }
+}
+
+impl<T> Drop for SyncSender<T> {
+    fn drop(&mut self) {
+        if let SInner::Model(chan) = &self.0 {
+            chan.sched.chan_sender_dropped(chan.id);
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        match &self.0 {
+            RInner::Std(rx) => rx.recv(),
+            RInner::Model(chan) => {
+                let Some(c) = ctx() else {
+                    return Err(RecvError);
+                };
+                match chan.sched.chan_recv(c.tid, chan.id) {
+                    ChanVerdict::Ok => chan.q().pop_front().ok_or(RecvError),
+                    ChanVerdict::Disconnected => Err(RecvError),
+                }
+            }
+        }
+    }
+
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+/// Blocking iterator over received values, ending at disconnect.
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if let RInner::Model(chan) = &self.0 {
+            chan.sched.chan_receiver_dropped(chan.id);
+        }
+    }
+}

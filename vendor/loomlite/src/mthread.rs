@@ -1,0 +1,224 @@
+//! Model-mode shims for `std::thread`. Only compiled under
+//! `--cfg loomlite`.
+//!
+//! Model threads are real OS threads gated by the virtual scheduler: at
+//! most one runs between choice points, so the interleaving is exactly
+//! the one the DFS path dictates. Spawned outside a model execution,
+//! everything degrades to plain `std::thread`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rt::{ctx, payload_msg, set_ctx, Aborted, Ctx, Sched};
+
+pub use std::thread::{available_parallelism, Result};
+
+/// Runs `f` as model thread `tid`: installs the context, waits for the
+/// first schedule, and reports normal or panicked completion.
+fn run_model<T>(sched: Arc<Sched>, tid: usize, f: impl FnOnce() -> T) -> T {
+    set_ctx(Some(Ctx {
+        sched: sched.clone(),
+        tid,
+    }));
+    sched.first_schedule(tid);
+    let out = catch_unwind(AssertUnwindSafe(f));
+    set_ctx(None);
+    match out {
+        Ok(v) => {
+            sched.finish_thread(tid);
+            v
+        }
+        Err(p) => {
+            let root = if p.is::<Aborted>() {
+                None
+            } else {
+                Some(payload_msg(p.as_ref()))
+            };
+            sched.finish_thread_panicked(tid, root);
+            resume_unwind(p)
+        }
+    }
+}
+
+/// Model-checked drop-in for [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    std: std::thread::JoinHandle<T>,
+    model: Option<(Arc<Sched>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> Result<T> {
+        if let Some((sched, tid)) = &self.model {
+            match ctx() {
+                Some(c) => sched.join_thread(c.tid, *tid),
+                None => sched.join_finished_raw(*tid),
+            }
+        }
+        self.std.join()
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.std.is_finished()
+    }
+}
+
+/// Model-checked drop-in for [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match ctx() {
+        None => JoinHandle {
+            std: std::thread::spawn(f),
+            model: None,
+        },
+        Some(c) => {
+            let tid = c.sched.register_thread(c.tid);
+            let sched = c.sched.clone();
+            let std = std::thread::spawn(move || run_model(sched, tid, f));
+            // The spawn is a choice point, but only now that the OS
+            // thread backing the new model thread actually exists.
+            c.sched.yield_point(c.tid);
+            JoinHandle {
+                std,
+                model: Some((c.sched, tid)),
+            }
+        }
+    }
+}
+
+/// Model-checked drop-in for [`std::thread::yield_now`]: a pure choice
+/// point inside a model execution.
+pub fn yield_now() {
+    match ctx() {
+        None => std::thread::yield_now(),
+        Some(c) => c.sched.yield_point(c.tid),
+    }
+}
+
+/// Model-checked drop-in for [`std::thread::Scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    model: Option<ScopeModel>,
+}
+
+struct ScopeModel {
+    sched: Arc<Sched>,
+    owner: usize,
+    children: std::sync::Mutex<Vec<usize>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.model {
+            None => ScopedJoinHandle {
+                std: self.std.spawn(f),
+                model: None,
+            },
+            Some(m) => {
+                let me = ctx().map_or(m.owner, |c| c.tid);
+                let tid = m.sched.register_thread(me);
+                m.children
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(tid);
+                let sched = m.sched.clone();
+                let std = self.std.spawn(move || run_model(sched, tid, f));
+                m.sched.yield_point(me);
+                ScopedJoinHandle {
+                    std,
+                    model: Some((m.sched.clone(), tid)),
+                }
+            }
+        }
+    }
+}
+
+/// Model-checked drop-in for [`std::thread::ScopedJoinHandle`].
+pub struct ScopedJoinHandle<'scope, T> {
+    std: std::thread::ScopedJoinHandle<'scope, T>,
+    model: Option<(Arc<Sched>, usize)>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> Result<T> {
+        if let Some((sched, tid)) = &self.model {
+            match ctx() {
+                Some(c) => sched.join_thread(c.tid, *tid),
+                None => sched.join_finished_raw(*tid),
+            }
+        }
+        self.std.join()
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.std.is_finished()
+    }
+}
+
+/// Model-checked drop-in for [`std::thread::scope`]. Before std's
+/// implicit join of still-running children, every child is model-joined
+/// (normal exit) or the execution is aborted and children are waited out
+/// (owner unwinding) — otherwise the implicit join would deadlock the
+/// scheduler.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    match ctx() {
+        None => std::thread::scope(|s| {
+            f(&Scope {
+                std: s,
+                model: None,
+            })
+        }),
+        Some(c) => std::thread::scope(|s| {
+            let sc = Scope {
+                std: s,
+                model: Some(ScopeModel {
+                    sched: c.sched.clone(),
+                    owner: c.tid,
+                    children: std::sync::Mutex::new(Vec::new()),
+                }),
+            };
+            let out = catch_unwind(AssertUnwindSafe(|| f(&sc)));
+            let m = sc.model.as_ref().expect("model scope");
+            let children: Vec<usize> = {
+                let g = m
+                    .children
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                g.clone()
+            };
+            match out {
+                Ok(v) => {
+                    for tid in children {
+                        m.sched.join_thread(m.owner, tid);
+                    }
+                    v
+                }
+                Err(p) => {
+                    let root = if p.is::<Aborted>() {
+                        None
+                    } else {
+                        Some(format!(
+                            "scope owner (thread {}) panicked: {}",
+                            m.owner,
+                            payload_msg(p.as_ref())
+                        ))
+                    };
+                    m.sched.abort_execution(root);
+                    for tid in children {
+                        m.sched.join_finished_raw(tid);
+                    }
+                    resume_unwind(p)
+                }
+            }
+        }),
+    }
+}

@@ -1,0 +1,1141 @@
+//! The virtual scheduler: one-at-a-time execution of model threads with a
+//! DFS over scheduling (and relaxed-load visibility) choices.
+//!
+//! Only compiled under `--cfg loomlite`. Every shim operation reports to
+//! this module: the running thread hits a *choice point* before each
+//! effect, the scheduler consults the current [`Path`] (the DFS cursor
+//! into the interleaving tree), and either lets the thread continue or
+//! context-switches. Blocking operations park the thread on a resource
+//! id; releases wake parked threads (wake ≠ run — a woken thread still
+//! competes at the next choice point). When no thread can run and at
+//! least one is parked, the execution is a deadlock and the failure is
+//! reported with a replayable schedule seed.
+//!
+//! Memory orderings are modeled per atomic location: every store is kept
+//! in modification order with the storer's vector clock, and a
+//! non-SeqCst load may read any store that is neither behind the
+//! loader's coherence floor nor superseded by a store that
+//! happened-before the load. Acquire loads of Release stores join
+//! clocks. `SeqCst` loads and all read-modify-writes read the newest
+//! store (a sound simplification documented in DESIGN.md §14).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Hard ceiling on model threads per execution (keep models small).
+pub(crate) const MAX_THREADS: usize = 8;
+/// Soft cap on retained stores per atomic before dead-store pruning.
+const ATOMIC_SOFT_CAP: usize = 16;
+/// Hard cap: a model retaining this many live stores on one atomic is
+/// too large to check and fails loudly rather than thrashing.
+const ATOMIC_HARD_CAP: usize = 256;
+
+/// Process-global object-id allocator. Ids only key per-execution state,
+/// so their absolute values never affect replay determinism.
+static OBJECT_IDS: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_object_id() -> u64 {
+    OBJECT_IDS.fetch_add(1, StdOrdering::Relaxed)
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's identity within the active model execution.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) sched: Arc<Sched>,
+    pub(crate) tid: usize,
+}
+
+pub(crate) fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(new: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = new);
+}
+
+/// Panic payload used to tear an execution down after a failure; never
+/// reported as the root cause itself.
+pub(crate) struct Aborted;
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(Aborted)
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks.
+// ---------------------------------------------------------------------------
+
+/// A per-thread vector clock (indexed by model thread id).
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub(crate) struct Vc(Vec<u32>);
+
+impl Vc {
+    fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &Vc) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.iter().all(|&v| v == 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The DFS path: the position in the interleaving tree.
+// ---------------------------------------------------------------------------
+
+/// The sequence of choices (with arities) defining one execution. The
+/// seed string round-trips through [`Path::seed`]/[`Path::from_seed`].
+#[derive(Clone, Default, Debug)]
+pub(crate) struct Path {
+    arity: Vec<u32>,
+    chosen: Vec<u32>,
+    cursor: usize,
+}
+
+impl Path {
+    /// Takes the next choice among `arity` alternatives. Unary points
+    /// are not recorded (they cannot branch), keeping seeds short.
+    fn next(&mut self, arity: u32) -> u32 {
+        debug_assert!(arity >= 1);
+        if arity == 1 {
+            return 0;
+        }
+        let at = self.cursor;
+        self.cursor += 1;
+        if at < self.chosen.len() {
+            // Replaying a prefix (or a full seed). Clamp defensively so a
+            // stale seed degrades to *an* execution rather than an index
+            // panic; exact traces require an unchanged model.
+            self.arity[at] = arity;
+            self.chosen[at] = self.chosen[at].min(arity - 1);
+            self.chosen[at]
+        } else {
+            self.arity.push(arity);
+            self.chosen.push(0);
+            0
+        }
+    }
+
+    /// Advances to the lexicographically next schedule. Returns `false`
+    /// once the tree is exhausted.
+    pub(crate) fn advance(&mut self) -> bool {
+        while let Some((&a, &c)) = self.arity.last().zip(self.chosen.last()) {
+            if c + 1 < a {
+                *self.chosen.last_mut().expect("nonempty") += 1;
+                self.cursor = 0;
+                return true;
+            }
+            self.arity.pop();
+            self.chosen.pop();
+        }
+        false
+    }
+
+    /// Resets the replay cursor for a fresh execution of this path.
+    pub(crate) fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Drops planned choices the execution never reached (after an early
+    /// failure), so seeds describe exactly the consumed schedule.
+    pub(crate) fn truncate_to_cursor(&mut self) {
+        self.arity.truncate(self.cursor);
+        self.chosen.truncate(self.cursor);
+    }
+
+    /// Encodes the schedule as a replayable seed string.
+    pub(crate) fn seed(&self) -> String {
+        let digits: Vec<String> = self.chosen.iter().map(|c| c.to_string()).collect();
+        format!("ll1:{}", digits.join("."))
+    }
+
+    /// Decodes a seed produced by [`Path::seed`].
+    pub(crate) fn from_seed(seed: &str) -> Option<Path> {
+        let body = seed.trim().strip_prefix("ll1:")?;
+        let mut chosen = Vec::new();
+        if !body.is_empty() {
+            for part in body.split('.') {
+                chosen.push(part.parse().ok()?);
+            }
+        }
+        Some(Path {
+            arity: vec![u32::MAX; chosen.len()],
+            chosen,
+            cursor: 0,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state.
+// ---------------------------------------------------------------------------
+
+/// Exploration limits. See [`crate::Config`] for the public face (the
+/// execution-count ceiling is enforced by the exploration driver, not
+/// here).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RtConfig {
+    pub(crate) preemption_bound: Option<usize>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(u64),
+    Finished,
+}
+
+struct ThreadSt {
+    status: Status,
+    vc: Vc,
+    /// Resource id joiners block on until this thread finishes.
+    finish_res: u64,
+}
+
+/// One store in an atomic location's modification order.
+struct AtomicStore {
+    val: u64,
+    tid: usize,
+    /// The storer's full clock at the store (for happened-before tests).
+    vc_at: Vc,
+    /// The clock transferred to acquire loads (set by release stores and
+    /// carried along release sequences through read-modify-writes).
+    rel: Option<Vc>,
+}
+
+enum Resource {
+    Lock {
+        held: bool,
+        release_vc: Vc,
+    },
+    RwLock {
+        readers: usize,
+        writer: bool,
+        release_vc: Vc,
+    },
+    Chan {
+        len: usize,
+        cap: usize,
+        senders: usize,
+        recv_alive: bool,
+        msg_vc: VecDeque<Vc>,
+    },
+    Condvar {
+        notify_vc: Vc,
+    },
+    Atomic {
+        stores: Vec<AtomicStore>,
+        /// Per-thread coherence floor: the oldest store index the thread
+        /// may still read.
+        floor: Vec<usize>,
+    },
+    // Finished-thread markers (ThreadSt::finish_res) are bare resource
+    // ids threads park on; they never get a Resource entry.
+}
+
+struct State {
+    threads: Vec<ThreadSt>,
+    active: usize,
+    path: Path,
+    preemptions: usize,
+    aborted: bool,
+    failure: Option<String>,
+    resources: HashMap<u64, Resource>,
+}
+
+/// The per-execution scheduler shared by every model thread.
+pub(crate) struct Sched {
+    m: StdMutex<State>,
+    cv: StdCondvar,
+    cfg: RtConfig,
+}
+
+/// What [`Sched::chan_send`] / [`Sched::chan_recv`] observed.
+pub(crate) enum ChanVerdict {
+    Ok,
+    Disconnected,
+}
+
+impl Sched {
+    pub(crate) fn new(cfg: RtConfig, mut path: Path) -> Sched {
+        path.rewind();
+        let main = ThreadSt {
+            status: Status::Runnable,
+            vc: Vc::default(),
+            finish_res: fresh_object_id(),
+        };
+        Sched {
+            m: StdMutex::new(State {
+                threads: vec![main],
+                active: 0,
+                path,
+                preemptions: 0,
+                aborted: false,
+                failure: None,
+                resources: HashMap::new(),
+            }),
+            cv: StdCondvar::new(),
+            cfg,
+        }
+    }
+
+    fn state(&self) -> StdMutexGuard<'_, State> {
+        // The scheduler's own lock is never held across user code, so it
+        // can only be poisoned by a bug in this module; propagate.
+        match self.m.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        }
+    }
+
+    /// Records the first failure of the execution and tears it down.
+    fn fail(&self, st: &mut State, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// Public entry for shim-level failures (e.g. model-size overflow).
+    pub(crate) fn fail_now(&self, msg: String) -> ! {
+        let mut st = self.state();
+        self.fail(&mut st, msg);
+        drop(st);
+        panic_abort()
+    }
+
+    /// Tears the execution down from a thread that must keep control
+    /// (e.g. a scope owner unwinding with unscheduled children): records
+    /// the root cause, wakes everything, and returns without panicking.
+    pub(crate) fn abort_execution(&self, root_cause: Option<String>) {
+        let mut st = self.state();
+        if let Some(msg) = root_cause {
+            self.fail(&mut st, msg);
+        } else {
+            st.aborted = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Waits for `tid` to finish without scheduling or abort panics —
+    /// teardown-safe (the target finishes by unwinding on its own).
+    pub(crate) fn join_finished_raw(&self, tid: usize) {
+        let mut st = self.state();
+        while st.threads[tid].status != Status::Finished {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+        }
+    }
+
+    pub(crate) fn take_result(&self) -> (Path, Option<String>, usize) {
+        let mut st = self.state();
+        let path = std::mem::take(&mut st.path);
+        (path, st.failure.take(), st.preemptions)
+    }
+
+    // -- core scheduling --------------------------------------------------
+
+    /// Picks the next active thread after `me` stopped, blocked, or hit a
+    /// choice point. Must be called with the state lock held.
+    fn pick_next(&self, st: &mut State, me: usize) {
+        if st.aborted {
+            return;
+        }
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].status == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            let blocked: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| matches!(st.threads[t].status, Status::Blocked(_)))
+                .collect();
+            if !blocked.is_empty() {
+                self.fail(
+                    st,
+                    format!("deadlock: thread(s) {blocked:?} blocked with no runnable thread"),
+                );
+            }
+            // All finished: execution complete; waiters see it via status.
+            self.cv.notify_all();
+            return;
+        }
+        let me_runnable = st.threads[me].status == Status::Runnable;
+        let budget_left = self
+            .cfg
+            .preemption_bound
+            .map_or(true, |b| st.preemptions < b);
+        let chosen = if me_runnable && !budget_left {
+            me
+        } else {
+            // Candidate order: the current thread first (choice 0 = "no
+            // preemption"), then the others by id, so seeds are stable.
+            let mut candidates = Vec::with_capacity(runnable.len());
+            if me_runnable {
+                candidates.push(me);
+            }
+            candidates.extend(runnable.iter().copied().filter(|&t| t != me));
+            let pick = st.path.next(candidates.len() as u32) as usize;
+            candidates[pick]
+        };
+        if chosen != me && me_runnable {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Parks until this thread is both runnable and active.
+    fn wait_active<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, State>,
+        me: usize,
+    ) -> StdMutexGuard<'a, State> {
+        loop {
+            if st.aborted {
+                if std::thread::panicking() {
+                    // Already unwinding (teardown drop handler): never
+                    // double-panic; degrade to free-running teardown.
+                    return st;
+                }
+                drop(st);
+                panic_abort();
+            }
+            if st.active == me && st.threads[me].status == Status::Runnable {
+                return st;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+        }
+    }
+
+    /// The choice point before every shim effect: may context-switch.
+    pub(crate) fn yield_point(&self, me: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = self.state();
+        if st.aborted {
+            drop(st);
+            panic_abort();
+        }
+        self.pick_next(&mut st, me);
+        let st = self.wait_active(st, me);
+        drop(st);
+    }
+
+    /// Parks `me` on `res` until a wake, then reschedules. The state
+    /// guard is consumed so block decisions stay atomic with the check
+    /// that led to them.
+    fn block_on<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, State>,
+        me: usize,
+        res: u64,
+    ) -> StdMutexGuard<'a, State> {
+        st.threads[me].status = Status::Blocked(res);
+        self.pick_next(&mut st, me);
+        self.wait_active(st, me)
+    }
+
+    fn wake_all(st: &mut State, res: u64) {
+        for t in &mut st.threads {
+            if t.status == Status::Blocked(res) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    fn wake_one(st: &mut State, res: u64) {
+        for t in &mut st.threads {
+            if t.status == Status::Blocked(res) {
+                t.status = Status::Runnable;
+                return;
+            }
+        }
+    }
+
+    // -- threads ----------------------------------------------------------
+
+    /// Registers a child thread of `parent`; the child starts runnable
+    /// but does not run until scheduled. The caller must hit a choice
+    /// point (`yield_point`) only *after* the backing OS thread exists,
+    /// or the scheduler could hand the token to a thread nobody runs.
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.state();
+        if st.threads.len() >= MAX_THREADS {
+            let msg = format!("model spawned more than {MAX_THREADS} threads");
+            self.fail(&mut st, msg);
+            drop(st);
+            panic_abort();
+        }
+        st.threads[parent].vc.tick(parent);
+        let vc = st.threads[parent].vc.clone();
+        let tid = st.threads.len();
+        st.threads.push(ThreadSt {
+            status: Status::Runnable,
+            vc,
+            finish_res: fresh_object_id(),
+        });
+        tid
+    }
+
+    /// First schedule gate for a freshly spawned model thread.
+    pub(crate) fn first_schedule(&self, me: usize) {
+        let st = self.state();
+        let st = self.wait_active(st, me);
+        drop(st);
+    }
+
+    /// Marks `me` finished (normal return) and hands the token on.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.state();
+        st.threads[me].status = Status::Finished;
+        let res = st.threads[me].finish_res;
+        Self::wake_all(&mut st, res);
+        if !st.aborted {
+            self.pick_next(&mut st, me);
+        } else {
+            // Raw condvar waiters (teardown joins) still need the nudge.
+            self.cv.notify_all();
+        }
+    }
+
+    /// Marks `me` finished after a panic. A non-[`Aborted`] payload is
+    /// the execution's root-cause failure.
+    pub(crate) fn finish_thread_panicked(&self, me: usize, root_cause: Option<String>) {
+        let mut st = self.state();
+        st.threads[me].status = Status::Finished;
+        let res = st.threads[me].finish_res;
+        Self::wake_all(&mut st, res);
+        if let Some(msg) = root_cause {
+            self.fail(&mut st, format!("thread {me} panicked: {msg}"));
+        }
+        if !st.aborted {
+            self.pick_next(&mut st, me);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks `me` until `tid` finishes (join). Tolerates abort mode,
+    /// where the joined thread finishes by unwinding on its own.
+    pub(crate) fn join_thread(&self, me: usize, tid: usize) {
+        self.yield_point(me);
+        let mut st = self.state();
+        loop {
+            if st.threads[tid].status == Status::Finished {
+                let vc = st.threads[tid].vc.clone();
+                st.threads[me].vc.join(&vc);
+                return;
+            }
+            if st.aborted {
+                // The child will finish by panicking once woken; wait on
+                // the raw condvar without scheduling.
+                st = match self.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(e) => e.into_inner(),
+                };
+                continue;
+            }
+            let res = st.threads[tid].finish_res;
+            st = self.block_on(st, me, res);
+        }
+    }
+
+    /// Drives the execution to completion after the model closure
+    /// returned (or unwound): marks the main thread finished and waits
+    /// for every other thread to finish.
+    pub(crate) fn drive_to_completion(&self) {
+        let mut st = self.state();
+        if st.threads[0].status != Status::Finished {
+            st.threads[0].status = Status::Finished;
+            let res = st.threads[0].finish_res;
+            Self::wake_all(&mut st, res);
+            if !st.aborted {
+                self.pick_next(&mut st, 0);
+            } else {
+                self.cv.notify_all();
+            }
+        }
+        while !st.threads.iter().all(|t| t.status == Status::Finished) {
+            // In abort mode threads finish by unwinding; otherwise
+            // pick_next has already handed the token to a runnable thread
+            // (or declared a deadlock, which sets abort mode).
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+        }
+    }
+
+    // -- locks ------------------------------------------------------------
+
+    pub(crate) fn lock_acquire(&self, me: usize, res: u64) {
+        self.yield_point(me);
+        let mut st = self.state();
+        loop {
+            if st.aborted {
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic_abort();
+            }
+            let r = st.resources.entry(res).or_insert(Resource::Lock {
+                held: false,
+                release_vc: Vc::default(),
+            });
+            let Resource::Lock { held, release_vc } = r else {
+                unreachable!("resource kind mismatch");
+            };
+            if !*held {
+                *held = true;
+                let vc = release_vc.clone();
+                st.threads[me].vc.join(&vc);
+                return;
+            }
+            st = self.block_on(st, me, res);
+        }
+    }
+
+    pub(crate) fn lock_release(&self, me: usize, res: u64) {
+        let mut st = self.state();
+        st.threads[me].vc.tick(me);
+        let vc = st.threads[me].vc.clone();
+        if let Some(Resource::Lock { held, release_vc }) = st.resources.get_mut(&res) {
+            *held = false;
+            release_vc.join(&vc);
+        }
+        Self::wake_all(&mut st, res);
+    }
+
+    pub(crate) fn rwlock_acquire(&self, me: usize, res: u64, write: bool) {
+        self.yield_point(me);
+        let mut st = self.state();
+        loop {
+            if st.aborted {
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic_abort();
+            }
+            let r = st.resources.entry(res).or_insert(Resource::RwLock {
+                readers: 0,
+                writer: false,
+                release_vc: Vc::default(),
+            });
+            let Resource::RwLock {
+                readers,
+                writer,
+                release_vc,
+            } = r
+            else {
+                unreachable!("resource kind mismatch");
+            };
+            let free = if write {
+                !*writer && *readers == 0
+            } else {
+                !*writer
+            };
+            if free {
+                if write {
+                    *writer = true;
+                } else {
+                    *readers += 1;
+                }
+                let vc = release_vc.clone();
+                st.threads[me].vc.join(&vc);
+                return;
+            }
+            st = self.block_on(st, me, res);
+        }
+    }
+
+    pub(crate) fn rwlock_release(&self, me: usize, res: u64, write: bool) {
+        let mut st = self.state();
+        st.threads[me].vc.tick(me);
+        let vc = st.threads[me].vc.clone();
+        if let Some(Resource::RwLock {
+            readers,
+            writer,
+            release_vc,
+        }) = st.resources.get_mut(&res)
+        {
+            if write {
+                *writer = false;
+            } else {
+                *readers = readers.saturating_sub(1);
+            }
+            release_vc.join(&vc);
+        }
+        Self::wake_all(&mut st, res);
+    }
+
+    // -- condition variables ----------------------------------------------
+
+    /// Atomically releases `lock_res` and parks on `cv_res`; the caller
+    /// reacquires the lock afterwards.
+    pub(crate) fn condvar_wait(&self, me: usize, cv_res: u64, lock_res: u64) {
+        self.yield_point(me);
+        let mut st = self.state();
+        st.threads[me].vc.tick(me);
+        let vc = st.threads[me].vc.clone();
+        if let Some(Resource::Lock { held, release_vc }) = st.resources.get_mut(&lock_res) {
+            *held = false;
+            release_vc.join(&vc);
+        }
+        Self::wake_all(&mut st, lock_res);
+        st.resources.entry(cv_res).or_insert(Resource::Condvar {
+            notify_vc: Vc::default(),
+        });
+        let mut st = self.block_on(st, me, cv_res);
+        if let Some(Resource::Condvar { notify_vc }) = st.resources.get(&cv_res) {
+            let vc = notify_vc.clone();
+            st.threads[me].vc.join(&vc);
+        }
+    }
+
+    pub(crate) fn condvar_notify(&self, me: usize, cv_res: u64, all: bool) {
+        self.yield_point(me);
+        let mut st = self.state();
+        st.threads[me].vc.tick(me);
+        let vc = st.threads[me].vc.clone();
+        let entry = st.resources.entry(cv_res).or_insert(Resource::Condvar {
+            notify_vc: Vc::default(),
+        });
+        if let Resource::Condvar { notify_vc } = entry {
+            notify_vc.join(&vc);
+        }
+        // A notification with no waiter is lost — exactly the std
+        // semantics the lost-wakeup suite exercises.
+        if all {
+            Self::wake_all(&mut st, cv_res);
+        } else {
+            Self::wake_one(&mut st, cv_res);
+        }
+    }
+
+    // -- bounded channels --------------------------------------------------
+
+    pub(crate) fn chan_register(&self, res: u64, cap: usize) {
+        let mut st = self.state();
+        st.resources.entry(res).or_insert(Resource::Chan {
+            len: 0,
+            cap,
+            senders: 1,
+            recv_alive: true,
+            msg_vc: VecDeque::new(),
+        });
+    }
+
+    /// Blocks while the queue is full; `Disconnected` once the receiver
+    /// is gone. On `Ok` the caller must push the value into the typed
+    /// queue before its next choice point.
+    pub(crate) fn chan_send(&self, me: usize, res: u64) -> ChanVerdict {
+        self.yield_point(me);
+        let mut st = self.state();
+        loop {
+            if st.aborted {
+                drop(st);
+                if std::thread::panicking() {
+                    return ChanVerdict::Disconnected;
+                }
+                panic_abort();
+            }
+            let Some(Resource::Chan {
+                len,
+                cap,
+                recv_alive,
+                msg_vc,
+                ..
+            }) = st.resources.get_mut(&res)
+            else {
+                return ChanVerdict::Disconnected;
+            };
+            if !*recv_alive {
+                return ChanVerdict::Disconnected;
+            }
+            if *len < *cap {
+                *len += 1;
+                let _ = msg_vc;
+                st.threads[me].vc.tick(me);
+                let vc = st.threads[me].vc.clone();
+                if let Some(Resource::Chan { msg_vc, .. }) = st.resources.get_mut(&res) {
+                    msg_vc.push_back(vc);
+                }
+                Self::wake_all(&mut st, res);
+                return ChanVerdict::Ok;
+            }
+            st = self.block_on(st, me, res);
+        }
+    }
+
+    /// Blocks while the queue is empty; `Disconnected` once every sender
+    /// is gone *and* the queue drained. On `Ok` the caller pops the
+    /// typed queue before its next choice point.
+    pub(crate) fn chan_recv(&self, me: usize, res: u64) -> ChanVerdict {
+        self.yield_point(me);
+        let mut st = self.state();
+        loop {
+            if st.aborted {
+                drop(st);
+                if std::thread::panicking() {
+                    return ChanVerdict::Disconnected;
+                }
+                panic_abort();
+            }
+            let Some(Resource::Chan {
+                len,
+                senders,
+                msg_vc,
+                ..
+            }) = st.resources.get_mut(&res)
+            else {
+                return ChanVerdict::Disconnected;
+            };
+            if *len > 0 {
+                *len -= 1;
+                let vc = msg_vc.pop_front().unwrap_or_default();
+                st.threads[me].vc.join(&vc);
+                Self::wake_all(&mut st, res);
+                return ChanVerdict::Ok;
+            }
+            if *senders == 0 {
+                return ChanVerdict::Disconnected;
+            }
+            st = self.block_on(st, me, res);
+        }
+    }
+
+    pub(crate) fn chan_sender_cloned(&self, res: u64) {
+        let mut st = self.state();
+        if let Some(Resource::Chan { senders, .. }) = st.resources.get_mut(&res) {
+            *senders += 1;
+        }
+    }
+
+    pub(crate) fn chan_sender_dropped(&self, res: u64) {
+        let mut st = self.state();
+        if let Some(Resource::Chan { senders, .. }) = st.resources.get_mut(&res) {
+            *senders = senders.saturating_sub(1);
+            if *senders == 0 {
+                Self::wake_all(&mut st, res);
+            }
+        }
+    }
+
+    pub(crate) fn chan_receiver_dropped(&self, res: u64) {
+        let mut st = self.state();
+        if let Some(Resource::Chan { recv_alive, .. }) = st.resources.get_mut(&res) {
+            *recv_alive = false;
+            Self::wake_all(&mut st, res);
+        }
+    }
+
+    // -- atomics -----------------------------------------------------------
+
+    fn atomic_entry<'a>(
+        st: &'a mut State,
+        res: u64,
+        init: u64,
+    ) -> (&'a mut Vec<AtomicStore>, &'a mut Vec<usize>) {
+        let r = st.resources.entry(res).or_insert_with(|| Resource::Atomic {
+            stores: vec![AtomicStore {
+                val: init,
+                tid: 0,
+                vc_at: Vc::default(),
+                rel: None,
+            }],
+            floor: Vec::new(),
+        });
+        let Resource::Atomic { stores, floor } = r else {
+            unreachable!("resource kind mismatch");
+        };
+        (stores, floor)
+    }
+
+    fn floor_of(floor: &mut Vec<usize>, tid: usize) -> usize {
+        if floor.len() <= tid {
+            floor.resize(tid + 1, 0);
+        }
+        floor[tid]
+    }
+
+    /// Whether `stores[j]` happened before the current point of `me`.
+    fn store_hb(stores: &[AtomicStore], j: usize, me_vc: &Vc) -> bool {
+        let s = &stores[j];
+        // The initial store (empty clock) happened before everything.
+        s.vc_at.is_empty() || s.vc_at.get(s.tid) <= me_vc.get(s.tid)
+    }
+
+    /// A load with ordering `ord`: SeqCst reads the newest store; weaker
+    /// orderings may read any coherent, non-superseded store (a DFS
+    /// choice when several qualify).
+    pub(crate) fn atomic_load(
+        &self,
+        me: usize,
+        res: u64,
+        ord: std::sync::atomic::Ordering,
+        init: u64,
+    ) -> u64 {
+        use std::sync::atomic::Ordering::*;
+        self.yield_point(me);
+        let mut st = self.state();
+        let me_vc = st.threads[me].vc.clone();
+        let (stores, floor) = Self::atomic_entry(&mut st, res, init);
+        let newest = stores.len() - 1;
+        let lo = Self::floor_of(floor, me);
+        let chosen = if matches!(ord, SeqCst) {
+            newest
+        } else {
+            // Candidates newest-first so choice 0 (the first schedule
+            // explored) behaves sequentially consistently.
+            let mut candidates: Vec<usize> = Vec::new();
+            'cand: for i in (lo..=newest).rev() {
+                for j in (i + 1)..=newest {
+                    if Self::store_hb(stores, j, &me_vc) {
+                        continue 'cand; // superseded: j hb the load
+                    }
+                }
+                candidates.push(i);
+            }
+            debug_assert!(!candidates.is_empty(), "newest store is always readable");
+            let pick = st.path.next(candidates.len() as u32) as usize;
+            candidates[pick]
+        };
+        let (stores, floor) = Self::atomic_entry(&mut st, res, init);
+        let val = stores[chosen].val;
+        let rel = stores[chosen].rel.clone();
+        Self::floor_of(floor, me);
+        floor[me] = floor[me].max(chosen);
+        if matches!(ord, Acquire | AcqRel | SeqCst) {
+            if let Some(rel) = rel {
+                st.threads[me].vc.join(&rel);
+            }
+        }
+        val
+    }
+
+    pub(crate) fn atomic_store(
+        &self,
+        me: usize,
+        res: u64,
+        ord: std::sync::atomic::Ordering,
+        init: u64,
+        val: u64,
+    ) {
+        use std::sync::atomic::Ordering::*;
+        self.yield_point(me);
+        let mut st = self.state();
+        st.threads[me].vc.tick(me);
+        let me_vc = st.threads[me].vc.clone();
+        let rel = if matches!(ord, Release | AcqRel | SeqCst) {
+            Some(me_vc.clone())
+        } else {
+            None
+        };
+        let (stores, floor) = Self::atomic_entry(&mut st, res, init);
+        stores.push(AtomicStore {
+            val,
+            tid: me,
+            vc_at: me_vc,
+            rel,
+        });
+        Self::floor_of(floor, me);
+        floor[me] = stores.len() - 1;
+        self.atomic_prune(&mut st, res);
+    }
+
+    /// Read-modify-write: reads the newest store (as C11 requires),
+    /// applies `f`, appends the result, and carries release sequences.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        res: u64,
+        ord: std::sync::atomic::Ordering,
+        init: u64,
+        f: &mut dyn FnMut(u64) -> u64,
+    ) -> (u64, u64) {
+        use std::sync::atomic::Ordering::*;
+        self.yield_point(me);
+        let mut st = self.state();
+        st.threads[me].vc.tick(me);
+        let me_vc = st.threads[me].vc.clone();
+        let (stores, floor) = Self::atomic_entry(&mut st, res, init);
+        let old = stores.last().expect("nonempty history").val;
+        let prev_rel = stores.last().expect("nonempty history").rel.clone();
+        let new = f(old);
+        // Release sequence: an acquire read of this RMW synchronizes with
+        // the release store it read from, so carry that clock forward.
+        let mut rel = if matches!(ord, Release | AcqRel | SeqCst) {
+            Some(me_vc.clone())
+        } else {
+            None
+        };
+        if let Some(p) = prev_rel.clone() {
+            match &mut rel {
+                Some(r) => r.join(&p),
+                None => rel = Some(p),
+            }
+        }
+        stores.push(AtomicStore {
+            val: new,
+            tid: me,
+            vc_at: me_vc,
+            rel,
+        });
+        let newest = stores.len() - 1;
+        Self::floor_of(floor, me);
+        floor[me] = newest;
+        if matches!(ord, Acquire | AcqRel | SeqCst) {
+            if let Some(p) = prev_rel {
+                st.threads[me].vc.join(&p);
+            }
+        }
+        self.atomic_prune(&mut st, res);
+        (old, new)
+    }
+
+    /// Compare-and-swap against the newest store. A hit appends the new
+    /// value (carrying release sequences like any RMW); a miss is just a
+    /// load of the newest store — no store is appended, so no spurious
+    /// happens-before edges are introduced.
+    pub(crate) fn atomic_cas(
+        &self,
+        me: usize,
+        res: u64,
+        ord: std::sync::atomic::Ordering,
+        init: u64,
+        current: u64,
+        new: u64,
+    ) -> Result<u64, u64> {
+        use std::sync::atomic::Ordering::*;
+        self.yield_point(me);
+        let mut st = self.state();
+        let (stores, floor) = Self::atomic_entry(&mut st, res, init);
+        let newest = stores.len() - 1;
+        let old = stores[newest].val;
+        let prev_rel = stores[newest].rel.clone();
+        let hit = old == current;
+        if hit {
+            st.threads[me].vc.tick(me);
+            let me_vc = st.threads[me].vc.clone();
+            let mut rel = if matches!(ord, Release | AcqRel | SeqCst) {
+                Some(me_vc.clone())
+            } else {
+                None
+            };
+            if let Some(p) = prev_rel.clone() {
+                match &mut rel {
+                    Some(r) => r.join(&p),
+                    None => rel = Some(p),
+                }
+            }
+            let (stores, floor) = Self::atomic_entry(&mut st, res, init);
+            stores.push(AtomicStore {
+                val: new,
+                tid: me,
+                vc_at: me_vc,
+                rel,
+            });
+            let top = stores.len() - 1;
+            Self::floor_of(floor, me);
+            floor[me] = top;
+        } else {
+            Self::floor_of(floor, me);
+            floor[me] = floor[me].max(newest);
+        }
+        if matches!(ord, Acquire | AcqRel | SeqCst) {
+            if let Some(p) = prev_rel {
+                st.threads[me].vc.join(&p);
+            }
+        }
+        if hit {
+            self.atomic_prune(&mut st, res);
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+
+    /// Drops stores no live thread can ever read again; fails the model
+    /// if the history still overflows the hard cap.
+    fn atomic_prune(&self, st: &mut State, res: u64) {
+        let live_vcs: Vec<Vc> = st
+            .threads
+            .iter()
+            .filter(|t| t.status != Status::Finished)
+            .map(|t| t.vc.clone())
+            .collect();
+        let Some(Resource::Atomic { stores, floor }) = st.resources.get_mut(&res) else {
+            return;
+        };
+        if stores.len() <= ATOMIC_SOFT_CAP {
+            return;
+        }
+        // A store is dead once some later store happened-before every
+        // live thread: no current (or future, by clock inheritance)
+        // thread may read it.
+        let mut cut = 0;
+        'scan: for i in 0..stores.len() - 1 {
+            let superseded = ((i + 1)..stores.len())
+                .any(|j| live_vcs.iter().all(|vc| Self::store_hb(stores, j, vc)));
+            if superseded {
+                cut = i + 1;
+            } else {
+                break 'scan;
+            }
+        }
+        if cut > 0 {
+            stores.drain(..cut);
+            for f in floor.iter_mut() {
+                *f = f.saturating_sub(cut);
+            }
+        }
+        if stores.len() > ATOMIC_HARD_CAP {
+            let msg =
+                format!("atomic history exceeded {ATOMIC_HARD_CAP} live stores; shrink the model");
+            self.fail(st, msg);
+        }
+    }
+}
